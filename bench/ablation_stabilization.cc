@@ -1,0 +1,69 @@
+// Ablation: stabilization period of the global-stabilization baselines
+// (not a paper figure; the paper fixes 5 ms per the authors' specification).
+//
+// Sweeps GentleRain's and Cure's stabilization interval, exposing their
+// intrinsic tradeoff — shorter periods buy visibility latency with CPU
+// (throughput), longer periods the reverse — and showing that Saturn sits
+// outside that tradeoff entirely: its visibility comes from the label stream,
+// not from any periodic mechanism.
+#include "bench/bench_common.h"
+
+namespace saturn {
+namespace {
+
+void Run() {
+  PrintHeader("Ablation — stabilization period (GentleRain / Cure)",
+              "7 DCs, defaults; Saturn shown for reference (no stabilization)");
+
+  std::printf("\n%12s  %24s  %24s\n", "", "GentleRain", "Cure");
+  std::printf("%12s  %11s %12s  %11s %12s\n", "period", "tput (ops/s)", "vis (ms)",
+              "tput (ops/s)", "vis (ms)");
+
+  for (SimTime period : {Millis(1), Millis(2), Millis(5), Millis(10), Millis(20)}) {
+    std::printf("%10.0fms", ToMillis(period));
+    for (Protocol protocol : {Protocol::kGentleRain, Protocol::kCure}) {
+      RunSpec spec;
+      spec.protocol = protocol;
+      spec.keyspace.num_keys = 10000;
+      spec.keyspace.pattern = CorrelationPattern::kExponential;
+      spec.keyspace.replication_degree = 3;
+      spec.clients_per_dc = 48;
+      spec.measure = Seconds(2);
+      ClusterConfig config;
+      // RunExperiment does not expose the interval; inline the cluster here.
+      config.protocol = protocol;
+      config.dc_sites = Ec2Sites();
+      config.latencies = Ec2Latencies();
+      config.dc.num_gears = 4;
+      config.dc.stabilization_interval = period;
+      config.dc.bulk_heartbeat_interval = period;
+      config.seed = 42;
+      ReplicaMap replicas =
+          ReplicaMap::Generate(spec.keyspace, config.dc_sites, config.latencies);
+      Cluster cluster(config, std::move(replicas), UniformClientHomes(7, 48),
+                      SyntheticGenerators(spec.workload));
+      ExperimentResult r = cluster.Run(Seconds(1), Seconds(2));
+      std::printf("  %12.0f %11.1f", r.throughput_ops, r.mean_visibility_ms);
+    }
+    std::printf("\n");
+  }
+
+  RunSpec saturn_spec;
+  saturn_spec.protocol = Protocol::kSaturn;
+  saturn_spec.keyspace.num_keys = 10000;
+  saturn_spec.keyspace.pattern = CorrelationPattern::kExponential;
+  saturn_spec.keyspace.replication_degree = 3;
+  saturn_spec.clients_per_dc = 48;
+  saturn_spec.measure = Seconds(2);
+  RunOutput sat = RunExperiment(saturn_spec);
+  std::printf("\n%12s  Saturn reference: tput %0.f ops/s, vis %.1f ms (period-free)\n", "",
+              sat.result.throughput_ops, sat.result.mean_visibility_ms);
+}
+
+}  // namespace
+}  // namespace saturn
+
+int main() {
+  saturn::Run();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Shared harness for the figure/table reproduction benches.
+//
+// Every bench binary reproduces one table or figure of the paper's evaluation
+// (section 7) on the simulated EC2 deployment and prints the same rows or
+// series the paper reports. Runs are deterministic: a fixed seed reproduces
+// every number exactly.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/runtime/cluster.h"
+
+namespace saturn {
+
+struct RunSpec {
+  Protocol protocol = Protocol::kSaturn;
+  uint32_t num_dcs = kNumEc2Regions;
+  KeyspaceConfig keyspace;
+  SyntheticOpGenerator::Config workload;
+  uint32_t clients_per_dc = 16;
+  uint32_t num_gears = 4;
+  SaturnTreeKind tree_kind = SaturnTreeKind::kGenerated;
+  SiteId star_hub = kIreland;
+  SimTime warmup = Seconds(1);
+  SimTime measure = Seconds(3);
+  SimTime drain = Millis(1500);
+  uint64_t seed = 42;
+};
+
+struct RunOutput {
+  ExperimentResult result;
+  LatencyHistogram all_visibility;
+  // Visibility histograms for the origin->destination pairs of interest.
+  std::map<std::pair<DcId, DcId>, LatencyHistogram> pairs;
+};
+
+inline RunOutput RunExperiment(const RunSpec& spec,
+                               const std::vector<std::pair<DcId, DcId>>& pairs = {}) {
+  ClusterConfig config;
+  config.protocol = spec.protocol;
+  config.dc_sites = Ec2Sites(spec.num_dcs);
+  config.latencies = Ec2Latencies();
+  config.dc.num_gears = spec.num_gears;
+  config.tree_kind = spec.tree_kind;
+  config.star_hub = spec.star_hub;
+  config.seed = spec.seed;
+
+  KeyspaceConfig keyspace = spec.keyspace;
+  ReplicaMap replicas = ReplicaMap::Generate(keyspace, config.dc_sites, config.latencies);
+
+  Cluster cluster(config, std::move(replicas),
+                  UniformClientHomes(spec.num_dcs, spec.clients_per_dc),
+                  SyntheticGenerators(spec.workload));
+  RunOutput out;
+  out.result = cluster.Run(spec.warmup, spec.measure, spec.drain);
+  out.all_visibility = cluster.metrics().AllVisibility();
+  for (const auto& pair : pairs) {
+    out.pairs[pair] = cluster.metrics().Visibility(pair.first, pair.second);
+  }
+  return out;
+}
+
+inline const char* DisplayName(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kEventual:
+      return "Eventual";
+    case Protocol::kSaturn:
+      return "Saturn";
+    case Protocol::kSaturnTimestamp:
+      return "Saturn-P2P";
+    case Protocol::kGentleRain:
+      return "GentleRain";
+    case Protocol::kCure:
+      return "Cure";
+  }
+  return "?";
+}
+
+inline void PrintHeader(const std::string& title, const std::string& subtitle) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", subtitle.c_str());
+  std::printf("==============================================================\n");
+}
+
+// Prints a CDF as fixed quantiles, one series per row.
+inline void PrintCdfRow(const std::string& name, const LatencyHistogram& hist) {
+  std::printf("  %-12s", name.c_str());
+  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.99}) {
+    std::printf("  p%02.0f=%7.1fms", q * 100, hist.PercentileMs(q));
+  }
+  std::printf("  (n=%llu)\n", static_cast<unsigned long long>(hist.count()));
+}
+
+}  // namespace saturn
+
+#endif  // BENCH_BENCH_COMMON_H_

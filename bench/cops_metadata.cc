@@ -1,0 +1,110 @@
+// Section 7.3.1's negative result, made measurable: explicit dependency
+// checking (COPS/Eiger) is "not practical under partial geo-replication"
+// because context pruning — the mechanism that keeps dependency lists small —
+// relies on the transitivity rule, which partial replication breaks. With
+// pruning disabled, client dependency lists grow towards the size of the
+// causal past, inflating message sizes and per-operation costs.
+//
+// Saturn's constant-size labels are shown alongside for contrast.
+#include "bench/bench_common.h"
+
+namespace saturn {
+namespace {
+
+struct CopsRun {
+  double throughput = 0;
+  double mean_deps = 0;
+  double max_context = 0;
+  double vis_ms = 0;
+};
+
+CopsRun RunCops(CorrelationPattern pattern, uint32_t degree, bool prune, SimTime measure) {
+  ClusterConfig config;
+  config.protocol = Protocol::kCops;
+  config.dc_sites = Ec2Sites();
+  config.latencies = Ec2Latencies();
+  config.dc.num_gears = 4;
+  config.cops_prune = prune;
+  config.seed = 42;
+
+  KeyspaceConfig keyspace;
+  keyspace.num_keys = 10000;
+  keyspace.pattern = pattern;
+  keyspace.replication_degree = degree;
+  ReplicaMap replicas = ReplicaMap::Generate(keyspace, config.dc_sites, config.latencies);
+
+  SyntheticOpGenerator::Config workload;
+  workload.write_fraction = 0.1;
+
+  Cluster cluster(config, std::move(replicas), UniformClientHomes(kNumEc2Regions, 32),
+                  SyntheticGenerators(workload));
+  ExperimentResult r = cluster.Run(Seconds(1), measure);
+
+  CopsRun out;
+  out.throughput = r.throughput_ops;
+  out.vis_ms = r.mean_visibility_ms;
+  Accumulator deps;
+  for (DcId dc = 0; dc < kNumEc2Regions; ++dc) {
+    const auto& sizes = static_cast<CopsDc*>(cluster.dc(dc))->dep_list_sizes();
+    if (sizes.count() > 0) {
+      deps.Record(sizes.Mean());
+    }
+  }
+  out.mean_deps = deps.Mean();
+  size_t max_context = 0;
+  for (const auto& client : cluster.clients()) {
+    max_context = std::max(max_context, client->max_context_size());
+  }
+  out.max_context = static_cast<double>(max_context);
+  return out;
+}
+
+void Run() {
+  PrintHeader("COPS metadata growth — why explicit checking is excluded (7.3.1)",
+              "7 DCs, 9:1 R:W; dependency-list sizes vs. replication setting");
+
+  std::printf("\n%-34s  %10s  %10s  %12s  %9s\n", "configuration", "tput", "mean deps",
+              "max context", "vis (ms)");
+
+  CopsRun full = RunCops(CorrelationPattern::kFull, 7, /*prune=*/true, Seconds(2));
+  std::printf("%-34s  %10.0f  %10.1f  %12.0f  %9.1f\n",
+              "full replication, pruned", full.throughput, full.mean_deps,
+              full.max_context, full.vis_ms);
+
+  // Partial replication: pruning must be off (it is unsound — see
+  // tests/cops_test.cc); contexts grow with run length.
+  for (SimTime measure : {Seconds(1), Seconds(2), Seconds(4), Seconds(8)}) {
+    CopsRun partial =
+        RunCops(CorrelationPattern::kExponential, 3, /*prune=*/false, measure);
+    char name[48];
+    std::snprintf(name, sizeof(name), "partial deg 3, unpruned, %2.0fs run",
+                  ToSeconds(measure));
+    std::printf("%-34s  %10.0f  %10.1f  %12.0f  %9.1f\n", name, partial.throughput,
+                partial.mean_deps, partial.max_context, partial.vis_ms);
+  }
+
+  RunSpec sat;
+  sat.protocol = Protocol::kSaturn;
+  sat.keyspace.num_keys = 10000;
+  sat.keyspace.pattern = CorrelationPattern::kExponential;
+  sat.keyspace.replication_degree = 3;
+  sat.clients_per_dc = 32;
+  sat.measure = Seconds(8);
+  RunOutput saturn_run = RunExperiment(sat);
+  std::printf("%-34s  %10.0f  %10s  %12s  %9.1f\n", "Saturn, partial deg 3, 8s run",
+              saturn_run.result.throughput_ops, "1 (label)", "1 (label)",
+              saturn_run.result.mean_visibility_ms);
+
+  std::printf("\nDependency lists grow with the length of the run (towards the size\n"
+              "of the causal past), dragging throughput down via per-dependency\n"
+              "costs and message sizes; Saturn's metadata stays one constant-size\n"
+              "label regardless of scale or duration.\n");
+}
+
+}  // namespace
+}  // namespace saturn
+
+int main() {
+  saturn::Run();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fig. 1a: the throughput / data-freshness tradeoff of the state of the art.
+//
+// GentleRain (scalar metadata) and Cure (vector metadata) run under full
+// geo-replication on 3..7 datacenters; both axes are normalized against the
+// eventually consistent baseline, as in the paper: throughput penalty (%)
+// and data-staleness overhead (%) — the extra remote-update visibility
+// latency relative to eventual consistency.
+//
+// Expected shape: GentleRain's throughput penalty stays small but its
+// staleness overhead grows with the number of datacenters (GST is bounded by
+// the furthest region); Cure's staleness stays roughly flat while its
+// throughput penalty grows with the vector size.
+#include "bench/bench_common.h"
+
+namespace saturn {
+namespace {
+
+void Run() {
+  PrintHeader("Fig. 1a — throughput vs. data freshness tradeoff",
+              "full replication, 90:10 reads:writes, 2B values, 3..7 DCs");
+
+  std::printf("\n%4s  %12s | %10s %10s | %10s %10s\n", "DCs", "Eventual",
+              "GentleRain", "Cure", "GentleRain", "Cure");
+  std::printf("%4s  %12s | %10s %10s | %10s %10s\n", "", "(ops/s)", "tput pen.%",
+              "tput pen.%", "stale ov.%", "stale ov.%");
+
+  for (uint32_t dcs = 3; dcs <= kNumEc2Regions; ++dcs) {
+    RunSpec spec;
+    spec.num_dcs = dcs;
+    spec.keyspace.num_keys = 10000;
+    spec.keyspace.pattern = CorrelationPattern::kFull;
+    spec.workload.write_fraction = 0.1;
+    spec.clients_per_dc = 48;
+    spec.measure = Seconds(2);
+
+    spec.protocol = Protocol::kEventual;
+    RunOutput eventual = RunExperiment(spec);
+
+    spec.protocol = Protocol::kGentleRain;
+    RunOutput gentlerain = RunExperiment(spec);
+
+    spec.protocol = Protocol::kCure;
+    RunOutput cure = RunExperiment(spec);
+
+    auto penalty = [&](const RunOutput& run) {
+      return 100.0 * (run.result.throughput_ops - eventual.result.throughput_ops) /
+             eventual.result.throughput_ops;
+    };
+    auto staleness = [&](const RunOutput& run) {
+      return 100.0 * (run.result.mean_visibility_ms - eventual.result.mean_visibility_ms) /
+             eventual.result.mean_visibility_ms;
+    };
+
+    std::printf("%4u  %12.0f | %+9.1f%% %+9.1f%% | %+9.1f%% %+9.1f%%\n", dcs,
+                eventual.result.throughput_ops, penalty(gentlerain), penalty(cure),
+                staleness(gentlerain), staleness(cure));
+  }
+}
+
+}  // namespace
+}  // namespace saturn
+
+int main() {
+  saturn::Run();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Fig. 4: Saturn configuration matters (section 7.1).
+//
+// Three Saturn configurations under a read-dominant workload:
+//   S-conf — single serializer in Ireland;
+//   M-conf — the multi-serializer tree produced by the configuration
+//            generator (Algorithm 3 + the Definition-2 solver);
+//   P-conf — peer-to-peer Saturn using conservative timestamp order.
+// Reported: remote-update visibility CDFs for Ireland->Frankfurt (10ms bulk
+// link) and Tokyo->Sydney (52ms), plus the mean deviation from the optimal
+// (eventual-consistency) visibility.
+//
+// Expected shape: S and M tie on Ireland->Frankfurt (the hub is in Ireland);
+// S collapses on Tokyo->Sydney (labels detour 107+154ms through Ireland);
+// P tends to the longest travel time (161ms); M stays near optimal everywhere.
+#include "bench/bench_common.h"
+
+namespace saturn {
+namespace {
+
+constexpr std::pair<DcId, DcId> kIrelandFrankfurt{kIreland, kFrankfurt};
+constexpr std::pair<DcId, DcId> kTokyoSydney{kTokyo, kSydney};
+
+RunSpec BaseSpec() {
+  RunSpec spec;
+  spec.keyspace.num_keys = 10000;
+  spec.keyspace.pattern = CorrelationPattern::kExponential;
+  spec.keyspace.replication_degree = 3;
+  spec.workload.write_fraction = 0.1;  // read-dominant (90% reads)
+  spec.clients_per_dc = 32;
+  spec.measure = Seconds(2);
+  return spec;
+}
+
+void Run() {
+  PrintHeader("Fig. 4 — Saturn configuration comparison (S / M / P)",
+              "7 DCs, 90% reads, exponential correlation; CDFs in ms");
+
+  std::vector<std::pair<DcId, DcId>> pairs{kIrelandFrankfurt, kTokyoSydney};
+
+  RunSpec spec = BaseSpec();
+  spec.protocol = Protocol::kEventual;
+  RunOutput optimal = RunExperiment(spec, pairs);
+
+  spec.protocol = Protocol::kSaturn;
+  spec.tree_kind = SaturnTreeKind::kGenerated;
+  RunOutput m_conf = RunExperiment(spec, pairs);
+
+  spec.tree_kind = SaturnTreeKind::kStar;
+  spec.star_hub = kIreland;
+  RunOutput s_conf = RunExperiment(spec, pairs);
+
+  spec.protocol = Protocol::kSaturnTimestamp;
+  RunOutput p_conf = RunExperiment(spec, pairs);
+
+  std::printf("\nIreland -> Frankfurt (bulk link 10ms):\n");
+  PrintCdfRow("optimal", optimal.pairs[kIrelandFrankfurt]);
+  PrintCdfRow("M-conf", m_conf.pairs[kIrelandFrankfurt]);
+  PrintCdfRow("S-conf", s_conf.pairs[kIrelandFrankfurt]);
+  PrintCdfRow("P-conf", p_conf.pairs[kIrelandFrankfurt]);
+
+  std::printf("\nTokyo -> Sydney (bulk link 52ms):\n");
+  PrintCdfRow("optimal", optimal.pairs[kTokyoSydney]);
+  PrintCdfRow("M-conf", m_conf.pairs[kTokyoSydney]);
+  PrintCdfRow("S-conf", s_conf.pairs[kTokyoSydney]);
+  PrintCdfRow("P-conf", p_conf.pairs[kTokyoSydney]);
+
+  std::printf("\nMean visibility over all pairs (deviation from optimal):\n");
+  auto row = [&](const char* name, const RunOutput& run) {
+    std::printf("  %-8s mean=%7.1fms  (+%.1fms vs optimal)\n", name,
+                run.result.mean_visibility_ms,
+                run.result.mean_visibility_ms - optimal.result.mean_visibility_ms);
+  };
+  row("optimal", optimal);
+  row("M-conf", m_conf);
+  row("S-conf", s_conf);
+  row("P-conf", p_conf);
+}
+
+}  // namespace
+}  // namespace saturn
+
+int main() {
+  saturn::Run();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fig. 6: impact of latency variability on Saturn (section 7.2).
+//
+// Three datacenters (N. California, Oregon, Ireland). Two single-serializer
+// configurations: T1 places the serializer in Oregon (optimal under normal
+// conditions), T2 in Ireland. Extra latency is injected on the N. California
+// <-> Oregon link (average 10ms) from 0 to 125ms; the bench reports the extra
+// remote-update visibility each configuration adds over the eventually
+// consistent baseline.
+//
+// Expected shape: T1 well below T2 at zero injection; T1 degrades slowly
+// (small deviations barely matter); the crossover where T2 becomes the better
+// configuration only appears beyond ~55ms of sustained extra delay.
+#include "bench/bench_common.h"
+
+namespace saturn {
+namespace {
+
+double MeanVisibility(SiteId hub, Protocol protocol, SimTime injected, uint64_t seed) {
+  ClusterConfig config;
+  config.protocol = protocol;
+  config.dc_sites = {kNCalifornia, kOregon, kIreland};
+  config.latencies = Ec2Latencies();
+  config.dc.num_gears = 4;
+  config.tree_kind = SaturnTreeKind::kStar;
+  config.star_hub = hub;
+  config.seed = seed;
+
+  KeyspaceConfig keyspace;
+  keyspace.num_keys = 6000;
+  keyspace.pattern = CorrelationPattern::kFull;
+  ReplicaMap replicas = ReplicaMap::Generate(keyspace, config.dc_sites, config.latencies);
+
+  SyntheticOpGenerator::Config workload;
+  workload.write_fraction = 0.1;
+
+  Cluster cluster(config, std::move(replicas), UniformClientHomes(3, 24),
+                  SyntheticGenerators(workload));
+  if (injected > 0) {
+    cluster.network().InjectExtraLatency(kNCalifornia, kOregon, injected);
+  }
+  return cluster.Run(Seconds(1), Seconds(2)).mean_visibility_ms;
+}
+
+void Run() {
+  PrintHeader("Fig. 6 — impact of latency variability on Saturn",
+              "3 DCs (NC, O, I); extra delay injected on the 10ms NC<->O link");
+
+  std::printf("\n%14s  %16s  %16s\n", "injected (ms)", "T1 extra vis (ms)",
+              "T2 extra vis (ms)");
+  for (SimTime injected : {Millis(0), Millis(25), Millis(50), Millis(75), Millis(100),
+                           Millis(125)}) {
+    double eventual = MeanVisibility(kOregon, Protocol::kEventual, injected, 42);
+    double t1 = MeanVisibility(kOregon, Protocol::kSaturn, injected, 42);
+    double t2 = MeanVisibility(kIreland, Protocol::kSaturn, injected, 42);
+    std::printf("%14lld  %16.1f  %16.1f\n", static_cast<long long>(ToMillis(injected)),
+                t1 - eventual, t2 - eventual);
+  }
+  std::printf("\n(T1: serializer in Oregon; T2: serializer in Ireland;\n"
+              " both relative to eventual consistency under the same injection.)\n");
+}
+
+}  // namespace
+}  // namespace saturn
+
+int main() {
+  saturn::Run();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Fig. 7: remote-update visibility versus the state of the art
+// (section 7.3.3).
+//
+// Default workload on 7 datacenters. Reported: visibility CDFs for
+// Ireland->Frankfurt (Saturn's best case: 10ms bulk link, no tree detour) and
+// Ireland->Sydney (Saturn's worst case: the label traverses the whole tree),
+// plus each system's average visibility increase over the optimal.
+//
+// Expected shape: Saturn ~ optimal in the best case and competitive in the
+// worst; GentleRain pinned near the longest travel time (Frankfurt-Sydney,
+// 161ms) for every pair; Cure near the origin distance plus stabilization.
+#include "bench/bench_common.h"
+
+namespace saturn {
+namespace {
+
+constexpr std::pair<DcId, DcId> kIrelandFrankfurt{kIreland, kFrankfurt};
+constexpr std::pair<DcId, DcId> kIrelandSydney{kIreland, kSydney};
+
+void Run() {
+  PrintHeader("Fig. 7 — remote update visibility vs. the state of the art",
+              "7 DCs, defaults (2B, 9:1, exponential correlation)");
+
+  std::vector<std::pair<DcId, DcId>> pairs{kIrelandFrankfurt, kIrelandSydney};
+  std::map<Protocol, RunOutput> runs;
+  for (Protocol protocol : {Protocol::kEventual, Protocol::kSaturn, Protocol::kGentleRain,
+                            Protocol::kCure}) {
+    RunSpec spec;
+    spec.protocol = protocol;
+    spec.keyspace.num_keys = 10000;
+    spec.keyspace.pattern = CorrelationPattern::kExponential;
+    spec.keyspace.replication_degree = 3;
+    spec.workload.write_fraction = 0.1;
+    spec.clients_per_dc = 32;
+    spec.measure = Seconds(2);
+    runs[protocol] = RunExperiment(spec, pairs);
+  }
+
+  std::printf("\nIreland -> Frankfurt (best case, bulk link 10ms):\n");
+  for (auto& [protocol, run] : runs) {
+    PrintCdfRow(DisplayName(protocol), run.pairs[kIrelandFrankfurt]);
+  }
+  std::printf("\nIreland -> Sydney (worst case, bulk link 154ms):\n");
+  for (auto& [protocol, run] : runs) {
+    PrintCdfRow(DisplayName(protocol), run.pairs[kIrelandSydney]);
+  }
+
+  double optimal = runs[Protocol::kEventual].result.mean_visibility_ms;
+  std::printf("\nAverage visibility over all pairs:\n");
+  for (auto& [protocol, run] : runs) {
+    std::printf("  %-12s mean=%7.1fms  (+%.1fms vs optimal)\n", DisplayName(protocol),
+                run.result.mean_visibility_ms, run.result.mean_visibility_ms - optimal);
+  }
+}
+
+}  // namespace
+}  // namespace saturn
+
+int main() {
+  saturn::Run();
+  return 0;
+}

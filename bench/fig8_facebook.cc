@@ -1,0 +1,119 @@
+// Fig. 8: Facebook-based benchmark (section 7.4).
+//
+// A synthetic power-law social graph stands in for the New Orleans Facebook
+// dataset (see DESIGN.md); users are placed with a Pujol-style locality-aware
+// partitioner with minimum 2 replicas, the operation mix follows Benevenuto
+// et al. Fig. 8a varies the maximum replicas per user from 2 to 5 (which
+// indirectly varies the remote-operation rate) and reports throughput; Fig.
+// 8b reports visibility CDFs for Ireland->Frankfurt (Saturn's best case) and
+// Ireland->Tokyo (worst case), plus averages.
+#include "src/workload/facebook_workload.h"
+
+#include "bench/bench_common.h"
+
+namespace saturn {
+namespace {
+
+constexpr Protocol kProtocols[] = {Protocol::kEventual, Protocol::kSaturn,
+                                   Protocol::kGentleRain, Protocol::kCure};
+
+constexpr std::pair<DcId, DcId> kIrelandFrankfurt{kIreland, kFrankfurt};
+constexpr std::pair<DcId, DcId> kIrelandTokyo{kIreland, kTokyo};
+
+struct FacebookRun {
+  ExperimentResult result;
+  LatencyHistogram if_hist;
+  LatencyHistogram it_hist;
+};
+
+FacebookRun RunFacebook(Protocol protocol, uint32_t max_replicas, const SocialGraph& graph,
+                        uint32_t clients) {
+  PartitionerConfig part_config;
+  part_config.num_dcs = kNumEc2Regions;
+  part_config.min_replicas = 2;
+  part_config.max_replicas = max_replicas;
+  Partitioning partitioning =
+      PartitionSocialGraph(graph, part_config, Ec2Sites(), Ec2Latencies());
+
+  ClusterConfig config;
+  config.protocol = protocol;
+  config.dc_sites = Ec2Sites();
+  config.latencies = Ec2Latencies();
+  config.dc.num_gears = 4;
+  config.seed = 42;
+
+  std::vector<DcId> homes;
+  std::vector<uint32_t> users;
+  for (uint32_t i = 0; i < clients; ++i) {
+    uint32_t user = (i * 131) % graph.num_users();
+    users.push_back(user);
+    homes.push_back(partitioning.primary[user]);
+  }
+  FacebookMixConfig mix;
+  auto factory = [&graph, &users, &mix](const ReplicaMap&, DcId, uint32_t index) {
+    return std::make_unique<FacebookOpGenerator>(&graph, users[index], mix);
+  };
+
+  Cluster cluster(config, partitioning.replicas, homes, factory);
+  FacebookRun run;
+  run.result = cluster.Run(Seconds(1), Seconds(2));
+  run.if_hist = cluster.metrics().Visibility(kIrelandFrankfurt.first, kIrelandFrankfurt.second);
+  run.it_hist = cluster.metrics().Visibility(kIrelandTokyo.first, kIrelandTokyo.second);
+  return run;
+}
+
+void Run() {
+  PrintHeader("Fig. 8 — Facebook-based benchmark",
+              "power-law social graph, locality partitioner (min 2 replicas), "
+              "Benevenuto op mix");
+
+  SocialGraphConfig graph_config;
+  graph_config.num_users = 6000;
+  graph_config.edges_per_node = 15;
+  SocialGraph graph = SocialGraph::Generate(graph_config);
+  std::printf("\ngraph: %u users, %llu edges, mean degree %.1f\n", graph.num_users(),
+              static_cast<unsigned long long>(graph.num_edges()), graph.MeanDegree());
+
+  std::printf("\n(a) throughput (ops/s) vs. maximum replicas per user\n  %-8s", "max");
+  for (Protocol protocol : kProtocols) {
+    std::printf("  %10s", DisplayName(protocol));
+  }
+  std::printf("\n");
+  for (uint32_t max_replicas = 5; max_replicas >= 2; --max_replicas) {
+    std::printf("  %-8u", max_replicas);
+    for (Protocol protocol : kProtocols) {
+      FacebookRun run = RunFacebook(protocol, max_replicas, graph, 7000);
+      std::printf("  %10.0f", run.result.throughput_ops);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n(b) visibility CDFs at max replicas = 3\n");
+  std::map<Protocol, FacebookRun> runs;
+  for (Protocol protocol : kProtocols) {
+    runs[protocol] = RunFacebook(protocol, 3, graph, 7000);
+  }
+  std::printf("\nIreland -> Frankfurt (best case):\n");
+  for (auto& [protocol, run] : runs) {
+    PrintCdfRow(DisplayName(protocol), run.if_hist);
+  }
+  std::printf("\nIreland -> Tokyo (worst case):\n");
+  for (auto& [protocol, run] : runs) {
+    PrintCdfRow(DisplayName(protocol), run.it_hist);
+  }
+
+  double optimal = runs[Protocol::kEventual].result.mean_visibility_ms;
+  std::printf("\nAverage visibility over all pairs:\n");
+  for (auto& [protocol, run] : runs) {
+    std::printf("  %-12s mean=%7.1fms  (+%.1fms vs optimal)\n", DisplayName(protocol),
+                run.result.mean_visibility_ms, run.result.mean_visibility_ms - optimal);
+  }
+}
+
+}  // namespace
+}  // namespace saturn
+
+int main() {
+  saturn::Run();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Microbenchmarks for the core data structures (google-benchmark).
+//
+// Not a paper figure: these quantify the per-operation costs of the library's
+// building blocks — label comparison, versioned-store access, event-queue
+// scheduling, histogram recording, serializer routing — so regressions in the
+// substrate are visible independently of the protocol-level experiments.
+#include <benchmark/benchmark.h>
+
+#include "src/common/dc_set.h"
+#include "src/core/label.h"
+#include "src/kvstore/partitioned_store.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+#include "src/stats/histogram.h"
+
+namespace saturn {
+namespace {
+
+void BM_LabelCompare(benchmark::State& state) {
+  Label a{LabelType::kUpdate, MakeSourceId(1, 2), 123456, 7, kInvalidDc, 1};
+  Label b{LabelType::kUpdate, MakeSourceId(1, 3), 123456, 9, kInvalidDc, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a < b);
+    benchmark::DoNotOptimize(b < a);
+  }
+}
+BENCHMARK(BM_LabelCompare);
+
+void BM_VersionedStorePut(benchmark::State& state) {
+  VersionedStore store;
+  int64_t ts = 0;
+  for (auto _ : state) {
+    Label label;
+    label.ts = ++ts;
+    store.Put(static_cast<KeyId>(ts % 10000), VersionedValue{8, label});
+  }
+}
+BENCHMARK(BM_VersionedStorePut);
+
+void BM_VersionedStoreGet(benchmark::State& state) {
+  VersionedStore store;
+  for (KeyId key = 0; key < 10000; ++key) {
+    store.Put(key, VersionedValue{8, Label{}});
+  }
+  KeyId key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Get(key));
+    key = (key + 1) % 10000;
+  }
+}
+BENCHMARK(BM_VersionedStoreGet);
+
+void BM_PartitionHash(benchmark::State& state) {
+  PartitionedStore store(8);
+  KeyId key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.PartitionOf(key++));
+  }
+}
+BENCHMARK(BM_PartitionHash);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.At(i, []() {});
+    }
+    sim.RunAll();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  LatencyHistogram hist;
+  Rng rng(1);
+  for (auto _ : state) {
+    hist.Record(static_cast<int64_t>(rng.NextBounded(1000000)));
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramPercentile(benchmark::State& state) {
+  LatencyHistogram hist;
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    hist.Record(static_cast<int64_t>(rng.NextBounded(1000000)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hist.PercentileUs(0.99));
+  }
+}
+BENCHMARK(BM_HistogramPercentile);
+
+void BM_DcSetIterate(benchmark::State& state) {
+  DcSet set;
+  for (DcId dc = 0; dc < 64; dc += 3) {
+    set.Add(dc);
+  }
+  for (auto _ : state) {
+    uint32_t sum = 0;
+    for (DcId dc : set) {
+      sum += dc;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_DcSetIterate);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(100000, 0.99);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+}  // namespace saturn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,12 @@
+// Table 1: average latencies (half RTT) among the Amazon EC2 regions used in
+// every experiment. This is the input geometry of the simulated deployment.
+#include <cstdio>
+
+#include "src/runtime/regions.h"
+
+int main() {
+  std::printf("Table 1: average one-way latencies among EC2 regions (ms)\n");
+  std::printf("(N. Virginia, N. California, Oregon, Ireland, Frankfurt, Tokyo, Sydney)\n\n");
+  std::printf("%s\n", saturn::Ec2LatencyTable().c_str());
+  return 0;
+}

@@ -1,0 +1,26 @@
+# Bench targets are defined from the top level (via include()) so that the
+# build/bench directory contains only the bench executables — the canonical
+# way to run the whole harness is `for b in build/bench/*; do $b; done`.
+set(SATURN_FIG_BENCHES
+  table1_latencies
+  fig1a_tradeoff
+  fig1b_partial_replication
+  fig4_configurations
+  fig5_throughput
+  fig6_latency_variability
+  fig7_visibility
+  fig8_facebook
+  ablation_design
+  ablation_stabilization
+  cops_metadata
+)
+
+foreach(bench ${SATURN_FIG_BENCHES})
+  add_executable(${bench} ${CMAKE_SOURCE_DIR}/bench/${bench}.cc)
+  target_link_libraries(${bench} saturn)
+  set_target_properties(${bench} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endforeach()
+
+add_executable(micro_core ${CMAKE_SOURCE_DIR}/bench/micro_core.cc)
+target_link_libraries(micro_core saturn benchmark::benchmark)
+set_target_properties(micro_core PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

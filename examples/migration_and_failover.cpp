@@ -1,0 +1,89 @@
+// Fault-tolerance example: Saturn outage, timestamp fallback, and online
+// reconfiguration (paper section 6).
+//
+// The example runs a Saturn deployment, kills the entire serializer tree
+// mid-run, shows every datacenter falling back to timestamp-order stability
+// (data stays available, visibility degrades), then fails over to a
+// pre-computed backup tree and shows stream mode resuming.
+#include <cstdio>
+
+#include "src/runtime/cluster.h"
+
+int main() {
+  using namespace saturn;
+  std::printf("Saturn failover example: 3 datacenters, serializer outage at t=2s,\n"
+              "failover to a backup tree at t=2.6s\n\n");
+
+  ClusterConfig config;
+  config.protocol = Protocol::kSaturn;
+  config.dc_sites = {kIreland, kFrankfurt, kTokyo};
+  config.latencies = Ec2Latencies();
+  config.dc.num_gears = 4;
+  config.enable_oracle = true;
+  config.chain_replicas = 3;  // each serializer is a 3-node chain
+
+  KeyspaceConfig keyspace;
+  keyspace.num_keys = 4000;
+  keyspace.pattern = CorrelationPattern::kFull;
+  ReplicaMap replicas = ReplicaMap::Generate(keyspace, config.dc_sites, config.latencies);
+
+  SyntheticOpGenerator::Config workload;
+  workload.write_fraction = 0.2;
+  workload.remote_read_fraction = 0.05;
+
+  Cluster cluster(config, std::move(replicas), UniformClientHomes(3, 16),
+                  SyntheticGenerators(workload));
+  for (DcId dc = 0; dc < 3; ++dc) {
+    cluster.saturn_dc(dc)->set_fallback_timeout(Millis(150));
+  }
+
+  // Pre-compute the backup tree (paper: backup trees may be pre-computed to
+  // speed up reconfiguration) as epoch 1.
+  cluster.metadata_service()->DeployTree(1, StarTopology(config.dc_sites, kFrankfurt));
+
+  auto report = [&cluster](const char* when) {
+    std::printf("%-26s", when);
+    for (DcId dc = 0; dc < 3; ++dc) {
+      SaturnDc* sdc = cluster.saturn_dc(dc);
+      std::printf("  dc%u[%s epoch %u]", dc,
+                  sdc->in_timestamp_mode() ? "ts-fallback" : "stream", sdc->current_epoch());
+    }
+    std::printf("\n");
+  };
+
+  // First, demonstrate that killing a single chain replica is invisible.
+  cluster.sim().At(Millis(1500), [&cluster, &report]() {
+    for (Serializer* s : cluster.metadata_service()->SerializersOf(0)) {
+      s->KillReplica(1);
+    }
+    std::printf("t=1.5s: killed one chain replica of every serializer\n");
+    report("  mode after replica kill:");
+  });
+
+  // Then kill the whole tree: every serializer group of epoch 0 goes dark.
+  cluster.sim().At(Seconds(2), [&cluster, &report]() {
+    cluster.metadata_service()->KillEpoch(0);
+    std::printf("t=2.0s: killed the entire epoch-0 serializer tree\n");
+    report("  mode right after kill:");
+  });
+  cluster.sim().At(Millis(2500), [&report]() { report("t=2.5s (watchdog fired):"); });
+
+  // Operator-triggered failover to the backup tree.
+  cluster.sim().At(Millis(2600), [&cluster]() {
+    std::printf("t=2.6s: operator triggers failover to the backup tree (epoch 1)\n");
+    cluster.metadata_service()->FailoverToEpoch(1);
+  });
+  cluster.sim().At(Millis(3200), [&report]() { report("t=3.2s (after failover):"); });
+
+  ExperimentResult result = cluster.Run(Seconds(1), Seconds(3));
+
+  std::printf("\nthroughput through the incident: %.0f ops/s (updates never stopped)\n",
+              result.throughput_ops);
+  std::printf("visibility: mean %.1f ms, p99 %.1f ms (fallback period pays the\n"
+              "timestamp-stability price, then recovers)\n",
+              result.mean_visibility_ms, result.p99_visibility_ms);
+  std::printf("causality oracle: %s\n",
+              cluster.oracle()->Clean() ? "no violations across the whole incident"
+                                        : "VIOLATIONS DETECTED");
+  return cluster.oracle()->Clean() ? 0 : 1;
+}

@@ -1,0 +1,112 @@
+#include "src/baselines/cops_dc.h"
+
+#include <algorithm>
+
+namespace saturn {
+
+void CopsDc::Start() {
+  DatacenterBase::Start();
+  // COPS needs no stabilization traffic: dependency checks drive everything.
+  // Register local updates as applied dependencies.
+}
+
+void CopsDc::OnLocalUpdateCommitted(const ClientRequest& req, const Label& label) {
+  (void)req;
+  // Local commits satisfy dependencies immediately.
+  OnDependencyApplied(label.uid);
+}
+
+void CopsDc::FillPayloadMetadata(const ClientRequest& req, RemotePayload* payload) {
+  payload->explicit_deps = req.explicit_deps;
+}
+
+uint32_t CopsDc::CountMissing(const std::vector<ExplicitDep>& deps) const {
+  uint32_t missing = 0;
+  for (const auto& dep : deps) {
+    if (resolver_(dep.key).Contains(config_.id) && applied_.count(dep.uid) == 0) {
+      ++missing;
+    }
+  }
+  return missing;
+}
+
+void CopsDc::Apply(const RemotePayload& payload) {
+  SimTime floor = std::max(last_visible_, sim_->Now());
+  ApplyRemoteUpdate(payload, floor, [this, uid = payload.label.uid](SimTime t) {
+    last_visible_ = t;
+    OnDependencyApplied(uid);
+  });
+}
+
+void CopsDc::OnDependencyApplied(uint64_t uid) {
+  applied_.insert(uid);
+
+  // Unblock updates waiting on this dependency.
+  auto it = blocked_on_.find(uid);
+  if (it != blocked_on_.end()) {
+    std::vector<uint64_t> blocked = std::move(it->second);
+    blocked_on_.erase(it);
+    for (uint64_t waiting_uid : blocked) {
+      auto w = waiting_.find(waiting_uid);
+      if (w == waiting_.end()) {
+        continue;
+      }
+      if (--w->second.missing == 0) {
+        RemotePayload payload = std::move(w->second.payload);
+        waiting_.erase(w);
+        Apply(payload);
+      }
+    }
+  }
+
+  // Unblock attaches.
+  if (!attach_waiters_.empty()) {
+    std::vector<AttachWaiter> still;
+    for (auto& w : attach_waiters_) {
+      bool waits_on_this = false;
+      for (const auto& dep : w.req.explicit_deps) {
+        if (dep.uid == uid) {
+          waits_on_this = true;
+          break;
+        }
+      }
+      if (waits_on_this && --w.missing == 0) {
+        SimTime when = std::max(last_visible_, sim_->Now()) +
+                       CostModel::AsTime(config_.costs.attach_base_us);
+        sim_->At(when, [this, w]() { FinishAttach(w.from, w.req); });
+      } else {
+        still.push_back(std::move(w));
+      }
+    }
+    attach_waiters_ = std::move(still);
+  }
+}
+
+void CopsDc::OnRemotePayload(const RemotePayload& payload) {
+  dep_sizes_.Record(static_cast<double>(payload.explicit_deps.size()));
+  uint32_t missing = CountMissing(payload.explicit_deps);
+  if (missing == 0) {
+    Apply(payload);
+    return;
+  }
+  uint64_t uid = payload.label.uid;
+  waiting_[uid] = Waiter{payload, missing};
+  for (const auto& dep : payload.explicit_deps) {
+    if (resolver_(dep.key).Contains(config_.id) && applied_.count(dep.uid) == 0) {
+      blocked_on_[dep.uid].push_back(uid);
+    }
+  }
+}
+
+void CopsDc::HandleAttach(NodeId from, const ClientRequest& req) {
+  uint32_t missing = CountMissing(req.explicit_deps);
+  if (missing == 0) {
+    SimTime when = std::max(last_visible_, sim_->Now()) +
+                   CostModel::AsTime(config_.costs.attach_base_us);
+    sim_->At(when, [this, from, req]() { FinishAttach(from, req); });
+    return;
+  }
+  attach_waiters_.push_back(AttachWaiter{from, req, missing});
+}
+
+}  // namespace saturn

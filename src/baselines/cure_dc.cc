@@ -1,0 +1,138 @@
+#include "src/baselines/cure_dc.h"
+
+#include <algorithm>
+
+namespace saturn {
+
+void CureDc::Start() {
+  DatacenterBase::Start();
+  EveryInterval(config_.bulk_heartbeat_interval, [this]() { SendBulkHeartbeats(); });
+  EveryInterval(config_.stabilization_interval, [this]() { StabilizationRound(); });
+}
+
+void CureDc::StabilizationRound() {
+  for (auto& gear : gears_) {
+    gear->queue().Submit(sim_->Now(), config_.costs.StabilizationCost(num_dcs_));
+  }
+  bool advanced = false;
+  if (staged_.size() == num_dcs_) {
+    for (DcId dc = 0; dc < num_dcs_; ++dc) {
+      if (dc != config_.id && staged_[dc] > stable_[dc]) {
+        stable_[dc] = staged_[dc];
+        advanced = true;
+      }
+    }
+  }
+  staged_.assign(num_dcs_, -1);
+  for (DcId dc = 0; dc < num_dcs_; ++dc) {
+    int64_t min_ts = kSimTimeNever;
+    for (int64_t ts : gear_ts_[dc]) {
+      min_ts = std::min(min_ts, ts);
+    }
+    if (min_ts != kSimTimeNever) {
+      staged_[dc] = min_ts;
+    }
+  }
+  if (advanced || num_dcs_ == 1) {
+    DrainVisible();
+  }
+}
+
+void CureDc::DrainVisible() {
+  // Drain eligibility is per origin (that is Cure's latency advantage over
+  // GentleRain's global minimum), but visibility uses a single monotone
+  // chain: within a pass updates drain in label order, and across passes an
+  // eligible update's dependencies were eligible no later than it (clients
+  // merge dependency vectors on reads), so the chained call order respects
+  // causality even across origins.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      const RemotePayload& p = *it;
+      DcId origin = p.label.origin_dc();
+      if (p.label.ts <= stable_[origin] && Covers(p.dep_vector)) {
+        RemotePayload payload = p;
+        it = pending_.erase(it);
+        SimTime floor = std::max(last_visible_, sim_->Now());
+        ApplyRemoteUpdate(payload, floor, [this, payload](SimTime t) {
+          last_visible_ = t;
+          key_deps_[payload.key] = {payload.label, payload.dep_vector};
+        });
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  std::vector<Waiter> still_waiting;
+  for (auto& w : attach_waiters_) {
+    if (Covers(w.req.client_vector)) {
+      // The client's causal past is stable; everything it depends on has been
+      // scheduled for visibility. Complete after the chain catches up.
+      SimTime when = std::max(sim_->Now(), last_visible_);
+      sim_->At(when, [this, w]() { FinishAttach(w.from, w.req); });
+    } else {
+      still_waiting.push_back(std::move(w));
+    }
+  }
+  attach_waiters_ = std::move(still_waiting);
+}
+
+void CureDc::HandleAttach(NodeId from, const ClientRequest& req) {
+  if (req.client_vector.empty() || Covers(req.client_vector)) {
+    // Everything the client observed is stable, but applies scheduled on the
+    // visibility chain may still be in flight; complete after they land.
+    SimTime when = std::max(sim_->Now(), last_visible_) +
+                   CostModel::AsTime(config_.costs.attach_base_us);
+    sim_->At(when, [this, from, req]() { FinishAttach(from, req); });
+    return;
+  }
+  attach_waiters_.push_back(Waiter{from, req});
+}
+
+void CureDc::FillPayloadMetadata(const ClientRequest& req, RemotePayload* payload) {
+  payload->dep_vector = req.client_vector;
+  payload->dep_vector.resize(num_dcs_, -1);
+}
+
+void CureDc::OnLocalUpdateCommitted(const ClientRequest& req, const Label& label) {
+  std::vector<int64_t> deps = req.client_vector;
+  deps.resize(num_dcs_, -1);
+  deps[config_.id] = std::max(deps[config_.id], label.ts);
+  key_deps_[req.key] = {label, std::move(deps)};
+}
+
+void CureDc::AugmentReadResponse(const ClientRequest& req, const VersionedValue* version,
+                                 ClientResponse* resp) {
+  if (version == nullptr) {
+    return;
+  }
+  auto it = key_deps_.find(req.key);
+  if (it != key_deps_.end() && it->second.first == version->label) {
+    resp->dep_vector = it->second.second;
+  }
+}
+
+void CureDc::OnRemotePayload(const RemotePayload& payload) {
+  DcId origin = payload.label.origin_dc();
+  uint32_t gear = SourceGear(payload.label.src);
+  SAT_CHECK(origin < num_dcs_ && gear < config_.num_gears);
+  if (payload.label.ts > gear_ts_[origin][gear]) {
+    gear_ts_[origin][gear] = payload.label.ts;
+  }
+  pending_.insert(payload);
+}
+
+void CureDc::OnOtherMessage(NodeId from, const Message& msg) {
+  (void)from;
+  if (const auto* hb = std::get_if<BulkHeartbeat>(&msg)) {
+    SAT_CHECK(hb->origin < num_dcs_ && hb->gear < config_.num_gears);
+    if (hb->ts > gear_ts_[hb->origin][hb->gear]) {
+      gear_ts_[hb->origin][hb->gear] = hb->ts;
+    }
+  }
+}
+
+}  // namespace saturn

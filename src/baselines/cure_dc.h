@@ -1,0 +1,95 @@
+// Cure-style datacenter (Akkoorath et al., ICDCS'16), the paper's
+// fine-grained-metadata comparison point.
+//
+// Causality is tracked with a vector clock with one entry per datacenter:
+// clients carry a vector, updates carry their dependency vector, and a
+// periodic stabilization round (5 ms) computes the stable vector SV. A remote
+// update from origin o becomes visible once SV[o] covers its timestamp and SV
+// covers its dependency vector — so visibility is bounded by the distance to
+// the *origin* (plus stabilization), unlike GentleRain's global minimum, but
+// every operation pays O(#DCs) metadata costs, which is what hurts Cure's
+// throughput in the paper's experiments.
+#ifndef SRC_BASELINES_CURE_DC_H_
+#define SRC_BASELINES_CURE_DC_H_
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/datacenter.h"
+
+namespace saturn {
+
+class CureDc : public DatacenterBase {
+ public:
+  CureDc(Simulator* sim, Network* net, const DatacenterConfig& config, uint32_t num_dcs,
+         ReplicaResolver resolver, Metrics* metrics, CausalityOracle* oracle)
+      : DatacenterBase(sim, net, config, num_dcs, resolver, metrics, oracle),
+        gear_ts_(num_dcs, std::vector<int64_t>(config.num_gears, -1)),
+        stable_(num_dcs, -1) {}
+
+  void Start() override;
+
+  const std::vector<int64_t>& stable_vector() const { return stable_; }
+
+ protected:
+  void HandleAttach(NodeId from, const ClientRequest& req) override;
+  void OnRemotePayload(const RemotePayload& payload) override;
+  void OnOtherMessage(NodeId from, const Message& msg) override;
+  void FillPayloadMetadata(const ClientRequest& req, RemotePayload* payload) override;
+  void AugmentReadResponse(const ClientRequest& req, const VersionedValue* version,
+                           ClientResponse* resp) override;
+  void OnLocalUpdateCommitted(const ClientRequest& req, const Label& label) override;
+
+  SimTime ExtraUpdateCost(const ClientRequest&) const override {
+    return CostModel::AsTime(config_.costs.vector_entry_update_us * num_dcs_);
+  }
+  SimTime ExtraReadCost(const ClientRequest&) const override {
+    return CostModel::AsTime(config_.costs.vector_entry_read_us * num_dcs_);
+  }
+  SimTime ExtraRemoteApplyCost(const RemotePayload&) const override {
+    return CostModel::AsTime(config_.costs.vector_entry_update_us * num_dcs_);
+  }
+
+ private:
+  struct PendingCompare {
+    bool operator()(const RemotePayload& a, const RemotePayload& b) const {
+      return a.label < b.label;
+    }
+  };
+  struct Waiter {
+    NodeId from;
+    ClientRequest req;
+  };
+
+  bool Covers(const std::vector<int64_t>& need) const {
+    for (uint32_t k = 0; k < num_dcs_; ++k) {
+      int64_t bound = k == config_.id ? clock_.Now() : stable_[k];
+      if (k < need.size() && need[k] > bound) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void StabilizationRound();
+  void DrainVisible();
+
+  std::vector<std::vector<int64_t>> gear_ts_;  // [dc][gear] last received ts
+  // Like GentleRain, Cure's stable vector is computed in two stacked rounds:
+  // partitions aggregate first (staged_), the DC-level SV lags one round.
+  std::vector<int64_t> staged_;
+  std::vector<int64_t> stable_;                // SV, one entry per DC
+  // Pending remote updates per origin, applied in per-origin label order.
+  std::multiset<RemotePayload, PendingCompare> pending_;
+  std::vector<Waiter> attach_waiters_;
+  // Single monotone visibility floor shared by all origins (see DrainVisible).
+  SimTime last_visible_ = 0;
+  // The dependency vector of the latest version of each locally stored key,
+  // returned with reads so clients can merge full causal pasts.
+  std::unordered_map<KeyId, std::pair<Label, std::vector<int64_t>>> key_deps_;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_BASELINES_CURE_DC_H_

@@ -1,0 +1,31 @@
+// Eventually consistent datacenter: the paper's baseline.
+//
+// Remote updates are applied the moment their payload arrives; attaches never
+// wait. No metadata is managed, so this baseline is the throughput upper
+// bound and visibility-latency lower bound ("optimal") used throughout the
+// paper's evaluation.
+#ifndef SRC_BASELINES_EVENTUAL_DC_H_
+#define SRC_BASELINES_EVENTUAL_DC_H_
+
+#include "src/core/datacenter.h"
+
+namespace saturn {
+
+class EventualDc : public DatacenterBase {
+ public:
+  using DatacenterBase::DatacenterBase;
+
+ protected:
+  void HandleAttach(NodeId from, const ClientRequest& req) override {
+    SimTime done = sim_->Now() + CostModel::AsTime(config_.costs.attach_base_us);
+    sim_->At(done, [this, from, req]() { FinishAttach(from, req); });
+  }
+
+  void OnRemotePayload(const RemotePayload& payload) override {
+    ApplyRemoteUpdate(payload, /*min_visible=*/0);
+  }
+};
+
+}  // namespace saturn
+
+#endif  // SRC_BASELINES_EVENTUAL_DC_H_

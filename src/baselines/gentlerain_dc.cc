@@ -1,0 +1,117 @@
+#include "src/baselines/gentlerain_dc.h"
+
+#include <algorithm>
+
+namespace saturn {
+
+void GentleRainDc::Start() {
+  DatacenterBase::Start();
+  // Heartbeats keep remote VV entries moving when gears are idle; the
+  // stabilization round recomputes GST. Both run at the 5 ms period used in
+  // the paper's experiments.
+  EveryInterval(config_.bulk_heartbeat_interval, [this]() { SendBulkHeartbeats(); });
+  EveryInterval(config_.stabilization_interval, [this]() { StabilizationRound(); });
+}
+
+void GentleRainDc::StabilizationRound() {
+  // The round itself costs CPU at every gear (intra-DC metadata exchange).
+  for (auto& gear : gears_) {
+    gear->queue().Submit(sim_->Now(), config_.costs.StabilizationCost(num_dcs_));
+  }
+
+  // Stage 1 (previous round): the GST is the minimum of the per-partition
+  // aggregates computed one round ago. Stage 2: re-aggregate for next round.
+  int64_t new_gst = kSimTimeNever;
+  for (DcId dc = 0; dc < num_dcs_; ++dc) {
+    if (dc == config_.id) {
+      continue;
+    }
+    new_gst = std::min(new_gst, dc < staged_.size() ? staged_[dc] : int64_t{-1});
+  }
+  if (num_dcs_ <= 1) {
+    new_gst = clock_.Now();
+  }
+
+  staged_.assign(num_dcs_, kSimTimeNever);
+  for (DcId dc = 0; dc < num_dcs_; ++dc) {
+    staged_[dc] = -1;
+    int64_t min_ts = kSimTimeNever;
+    for (int64_t ts : gear_ts_[dc]) {
+      min_ts = std::min(min_ts, ts);
+    }
+    if (min_ts != kSimTimeNever) {
+      staged_[dc] = min_ts;
+    }
+  }
+
+  if (new_gst != kSimTimeNever && new_gst > gst_) {
+    gst_ = new_gst;
+    DrainVisible();
+  }
+}
+
+void GentleRainDc::DrainVisible() {
+  // Make every pending remote update with ts <= GST visible, in label order.
+  // The ordered-visibility chain models GentleRain's semantics: the GST
+  // advance exposes a timestamp-prefix of remote updates atomically.
+  while (!pending_.empty() && pending_.begin()->label.ts <= gst_) {
+    RemotePayload payload = *pending_.begin();
+    pending_.erase(pending_.begin());
+    SimTime min_visible = last_visible_ > sim_->Now() ? last_visible_ : sim_->Now();
+    ApplyRemoteUpdate(payload, min_visible, [this](SimTime t) { last_visible_ = t; });
+  }
+
+  // Unblock attaches whose dependency time is now stable.
+  SimTime unblock_at = last_visible_ > sim_->Now() ? last_visible_ : sim_->Now();
+  std::vector<Waiter> still_waiting;
+  for (auto& w : attach_waiters_) {
+    if (w.need_ts <= gst_) {
+      sim_->At(unblock_at, [this, w]() { FinishAttach(w.from, w.req); });
+    } else {
+      still_waiting.push_back(std::move(w));
+    }
+  }
+  attach_waiters_ = std::move(still_waiting);
+}
+
+void GentleRainDc::HandleAttach(NodeId from, const ClientRequest& req) {
+  const Label& label = req.client_label;
+  // The attach returns only when the stable time covers the client's
+  // timestamp (section 7.3.2, "Remote Reads"). Unlike Saturn, GentleRain has
+  // no locally-generated shortcut: the scalar cannot distinguish a local
+  // causal past from a remote one, so even a client whose label came from
+  // this datacenter waits out the GST lag — this is exactly the
+  // false-dependency cost the paper attributes to scalar compression.
+  // Applies already scheduled on the visibility chain may still be in
+  // flight; complete after they land.
+  if (label.ts < 0 || label.ts <= gst_) {
+    SimTime when = std::max(sim_->Now(), last_visible_) +
+                   CostModel::AsTime(config_.costs.attach_base_us);
+    sim_->At(when, [this, from, req]() { FinishAttach(from, req); });
+    return;
+  }
+  attach_waiters_.push_back(Waiter{from, req, label.ts});
+}
+
+void GentleRainDc::OnRemotePayload(const RemotePayload& payload) {
+  DcId origin = payload.label.origin_dc();
+  uint32_t gear = SourceGear(payload.label.src);
+  SAT_CHECK(origin < num_dcs_ && gear < config_.num_gears);
+  if (payload.label.ts > gear_ts_[origin][gear]) {
+    gear_ts_[origin][gear] = payload.label.ts;
+  }
+  pending_.insert(payload);
+  // Visibility is granted by the stabilization round; nothing to do now.
+}
+
+void GentleRainDc::OnOtherMessage(NodeId from, const Message& msg) {
+  (void)from;
+  if (const auto* hb = std::get_if<BulkHeartbeat>(&msg)) {
+    SAT_CHECK(hb->origin < num_dcs_ && hb->gear < config_.num_gears);
+    if (hb->ts > gear_ts_[hb->origin][hb->gear]) {
+      gear_ts_[hb->origin][hb->gear] = hb->ts;
+    }
+  }
+}
+
+}  // namespace saturn

@@ -1,0 +1,83 @@
+// GentleRain-style datacenter (Du et al., SoCC'14), one of the paper's two
+// state-of-the-art comparison points.
+//
+// Causality is compressed into a single scalar per update. Each datacenter
+// tracks, per remote gear, the highest timestamp received (updates double as
+// progress markers; idle gears send heartbeats). A periodic stabilization
+// round (5 ms, the authors' setting) computes the Global Stable Time
+//
+//   GST = min over remote DCs, min over their gears, of the last timestamp
+//
+// and remote updates become visible in timestamp order once GST covers them.
+// Consequence (paper section 7.3.1): visibility latency tends to the distance
+// to the *furthest* datacenter, regardless of the update's origin — the false
+// dependencies Saturn is designed to avoid.
+#ifndef SRC_BASELINES_GENTLERAIN_DC_H_
+#define SRC_BASELINES_GENTLERAIN_DC_H_
+
+#include <set>
+#include <vector>
+
+#include "src/core/datacenter.h"
+
+namespace saturn {
+
+class GentleRainDc : public DatacenterBase {
+ public:
+  GentleRainDc(Simulator* sim, Network* net, const DatacenterConfig& config, uint32_t num_dcs,
+               ReplicaResolver resolver, Metrics* metrics, CausalityOracle* oracle)
+      : DatacenterBase(sim, net, config, num_dcs, resolver, metrics, oracle),
+        gear_ts_(num_dcs, std::vector<int64_t>(config.num_gears, -1)) {}
+
+  void Start() override;
+
+  int64_t gst() const { return gst_; }
+
+ protected:
+  void HandleAttach(NodeId from, const ClientRequest& req) override;
+  void OnRemotePayload(const RemotePayload& payload) override;
+  void OnOtherMessage(NodeId from, const Message& msg) override;
+
+  SimTime ExtraUpdateCost(const ClientRequest&) const override {
+    return CostModel::AsTime(config_.costs.scalar_meta_us);
+  }
+  SimTime ExtraReadCost(const ClientRequest&) const override {
+    return CostModel::AsTime(config_.costs.scalar_meta_us);
+  }
+  SimTime ExtraRemoteApplyCost(const RemotePayload&) const override {
+    return CostModel::AsTime(config_.costs.scalar_meta_us);
+  }
+
+ private:
+  struct PendingCompare {
+    bool operator()(const RemotePayload& a, const RemotePayload& b) const {
+      return a.label < b.label;
+    }
+  };
+  struct Waiter {
+    NodeId from;
+    ClientRequest req;
+    int64_t need_ts;
+  };
+
+  void StabilizationRound();
+  void DrainVisible();
+
+  // Highest timestamp received from each remote (dc, gear); own row unused.
+  std::vector<std::vector<int64_t>> gear_ts_;
+  // GentleRain stabilizes in two stacked rounds: partitions first aggregate
+  // their version vectors (staged_), and the datacenter-level GST uses the
+  // *previous* round's aggregate — mirroring the tree-based GST computation
+  // of the original system.
+  std::vector<int64_t> staged_;
+  int64_t gst_ = -1;
+  std::multiset<RemotePayload, PendingCompare> pending_;
+  std::vector<Waiter> attach_waiters_;
+  // Ordered-visibility chain (GentleRain exposes remote updates in timestamp
+  // order as GST advances).
+  SimTime last_visible_ = 0;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_BASELINES_GENTLERAIN_DC_H_

@@ -1,0 +1,28 @@
+// Lightweight assertion macros. These are enabled in all build types: a
+// distributed-protocol simulator that keeps running after an invariant breaks
+// produces garbage results, so we always fail fast.
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SAT_CHECK(cond)                                                           \
+  do {                                                                            \
+    if (!(cond)) {                                                                \
+      std::fprintf(stderr, "SAT_CHECK failed: %s at %s:%d\n", #cond, __FILE__,    \
+                   __LINE__);                                                     \
+      std::abort();                                                               \
+    }                                                                             \
+  } while (0)
+
+#define SAT_CHECK_MSG(cond, fmt, ...)                                             \
+  do {                                                                            \
+    if (!(cond)) {                                                                \
+      std::fprintf(stderr, "SAT_CHECK failed: %s at %s:%d: " fmt "\n", #cond,     \
+                   __FILE__, __LINE__, ##__VA_ARGS__);                            \
+      std::abort();                                                               \
+    }                                                                             \
+  } while (0)
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,86 @@
+// A small, value-type set of datacenter ids backed by a 64-bit mask.
+//
+// Replica sets, serializer interest sets, and tree reachability sets are all
+// sets of datacenters. Deployments above 64 datacenters are far beyond the
+// paper's scale (7), so a fixed-width mask keeps these sets trivially copyable
+// and hashable.
+#ifndef SRC_COMMON_DC_SET_H_
+#define SRC_COMMON_DC_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+
+namespace saturn {
+
+class DcSet {
+ public:
+  constexpr DcSet() = default;
+  constexpr explicit DcSet(uint64_t bits) : bits_(bits) {}
+
+  static constexpr DcSet Single(DcId dc) { return DcSet(Bit(dc)); }
+
+  // The set {0, 1, ..., n-1}.
+  static constexpr DcSet FirstN(uint32_t n) {
+    return DcSet(n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1);
+  }
+
+  constexpr bool Contains(DcId dc) const { return (bits_ & Bit(dc)) != 0; }
+  constexpr bool Empty() const { return bits_ == 0; }
+  constexpr int Size() const { return std::popcount(bits_); }
+  constexpr uint64_t bits() const { return bits_; }
+
+  void Add(DcId dc) { bits_ |= Bit(dc); }
+  void Remove(DcId dc) { bits_ &= ~Bit(dc); }
+
+  constexpr DcSet Union(DcSet other) const { return DcSet(bits_ | other.bits_); }
+  constexpr DcSet Intersect(DcSet other) const { return DcSet(bits_ & other.bits_); }
+  constexpr DcSet Minus(DcSet other) const { return DcSet(bits_ & ~other.bits_); }
+  constexpr bool Intersects(DcSet other) const { return (bits_ & other.bits_) != 0; }
+
+  constexpr bool operator==(const DcSet&) const = default;
+
+  // Iteration over members, lowest id first.
+  class Iterator {
+   public:
+    constexpr explicit Iterator(uint64_t bits) : bits_(bits) {}
+    constexpr DcId operator*() const { return static_cast<DcId>(std::countr_zero(bits_)); }
+    constexpr Iterator& operator++() {
+      bits_ &= bits_ - 1;
+      return *this;
+    }
+    constexpr bool operator!=(const Iterator& other) const { return bits_ != other.bits_; }
+
+   private:
+    uint64_t bits_;
+  };
+
+  constexpr Iterator begin() const { return Iterator(bits_); }
+  constexpr Iterator end() const { return Iterator(0); }
+
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    for (DcId dc : *this) {
+      if (!first) {
+        out += ",";
+      }
+      out += std::to_string(dc);
+      first = false;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  static constexpr uint64_t Bit(DcId dc) { return uint64_t{1} << (dc & 63); }
+
+  uint64_t bits_ = 0;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_COMMON_DC_SET_H_

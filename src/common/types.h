@@ -1,0 +1,51 @@
+// Core identifier and time types shared by every Saturn module.
+#ifndef SRC_COMMON_TYPES_H_
+#define SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace saturn {
+
+// Simulated time in microseconds since experiment start.
+using SimTime = int64_t;
+
+inline constexpr SimTime kSimTimeNever = std::numeric_limits<SimTime>::max();
+
+constexpr SimTime Micros(int64_t us) { return us; }
+constexpr SimTime Millis(int64_t ms) { return ms * 1000; }
+constexpr SimTime Seconds(int64_t s) { return s * 1000 * 1000; }
+
+constexpr double ToMillis(SimTime t) { return static_cast<double>(t) / 1000.0; }
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+// Index of a datacenter (a leaf of the serializer tree). Dense, starting at 0.
+using DcId = uint32_t;
+
+inline constexpr DcId kInvalidDc = std::numeric_limits<DcId>::max();
+
+// Identity of an actor attached to the simulated network.
+using NodeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+// A key in the (logical) keyspace. Datastores map keys to partitions by hash.
+using KeyId = uint64_t;
+
+// A client session identifier, unique across the whole deployment.
+using ClientId = uint64_t;
+
+// Identity of a label source: one gear (storage-server shard) of one datacenter.
+// Packed as (dc << 16) | gear_index so that sources are totally ordered, as
+// required for label comparability (paper section 3).
+using SourceId = uint32_t;
+
+constexpr SourceId MakeSourceId(DcId dc, uint32_t gear) {
+  return (dc << 16) | (gear & 0xffffu);
+}
+constexpr DcId SourceDc(SourceId src) { return src >> 16; }
+constexpr uint32_t SourceGear(SourceId src) { return src & 0xffffu; }
+
+}  // namespace saturn
+
+#endif  // SRC_COMMON_TYPES_H_

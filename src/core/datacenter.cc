@@ -1,0 +1,245 @@
+#include "src/core/datacenter.h"
+
+#include <utility>
+
+namespace saturn {
+
+DatacenterBase::DatacenterBase(Simulator* sim, Network* net, const DatacenterConfig& config,
+                               uint32_t num_dcs, ReplicaResolver resolver, Metrics* metrics,
+                               CausalityOracle* oracle)
+    : sim_(sim),
+      net_(net),
+      config_(config),
+      num_dcs_(num_dcs),
+      resolver_(std::move(resolver)),
+      metrics_(metrics),
+      oracle_(oracle),
+      clock_(sim, config.clock_skew),
+      store_(config.num_gears),
+      peer_nodes_(num_dcs, kInvalidNode),
+      rng_(config.rng_seed ^ (uint64_t{config.id} << 32)) {
+  gears_.reserve(config.num_gears);
+  for (uint32_t g = 0; g < config.num_gears; ++g) {
+    gears_.push_back(std::make_unique<Gear>(MakeSourceId(config.id, g), &clock_));
+  }
+}
+
+void DatacenterBase::RegisterPeer(DcId dc, NodeId node) {
+  SAT_CHECK(dc < num_dcs_);
+  peer_nodes_[dc] = node;
+}
+
+void DatacenterBase::Start() {}
+
+double DatacenterBase::MeanGearUtilization() const {
+  double sum = 0;
+  for (const auto& g : gears_) {
+    sum += g->queue().Utilization(sim_->Now());
+  }
+  return gears_.empty() ? 0 : sum / static_cast<double>(gears_.size());
+}
+
+void DatacenterBase::EveryInterval(SimTime interval, std::function<void()> fn) {
+  SAT_CHECK(interval > 0);
+  auto shared = std::make_shared<std::function<void()>>(std::move(fn));
+  // Self-rescheduling closure.
+  struct Repeater {
+    Simulator* sim;
+    SimTime interval;
+    std::shared_ptr<std::function<void()>> fn;
+    void operator()() const {
+      (*fn)();
+      sim->After(interval, Repeater{sim, interval, fn});
+    }
+  };
+  sim_->After(interval, Repeater{sim_, interval, shared});
+}
+
+void DatacenterBase::HandleMessage(NodeId from, const Message& msg) {
+  if (const auto* req = std::get_if<ClientRequest>(&msg)) {
+    HandleClientRequest(from, *req);
+    return;
+  }
+  if (const auto* payload = std::get_if<RemotePayload>(&msg)) {
+    OnRemotePayload(*payload);
+    return;
+  }
+  OnOtherMessage(from, msg);
+}
+
+void DatacenterBase::OnOtherMessage(NodeId from, const Message& msg) {
+  (void)from;
+  (void)msg;
+}
+
+void DatacenterBase::HandleClientRequest(NodeId from, const ClientRequest& req) {
+  switch (req.op) {
+    case ClientOpType::kRead:
+      HandleRead(from, req);
+      return;
+    case ClientOpType::kUpdate:
+      HandleUpdate(from, req);
+      return;
+    case ClientOpType::kAttach:
+      HandleAttach(from, req);
+      return;
+    case ClientOpType::kMigrate:
+      HandleMigrate(from, req);
+      return;
+  }
+}
+
+void DatacenterBase::HandleRead(NodeId from, const ClientRequest& req) {
+  Gear& gear = GearFor(req.key);
+  const VersionedValue* current = store_.PartitionFor(req.key).Get(req.key);
+  uint32_t size = current != nullptr ? current->size : 0;
+  SimTime cost = config_.costs.ReadCost(size) + ExtraReadCost(req);
+  SimTime done = gear.queue().Submit(sim_->Now(), cost);
+
+  sim_->At(done, [this, from, req]() {
+    // Read the version at completion time: the request sees the store state
+    // after everything queued before it.
+    const VersionedValue* v = store_.PartitionFor(req.key).Get(req.key);
+    ClientResponse resp;
+    resp.op = ClientOpType::kRead;
+    resp.client = req.client;
+    resp.request_id = req.request_id;
+    if (v != nullptr) {
+      resp.label = v->label;
+      resp.value_size = v->size;
+    }
+    AugmentReadResponse(req, v, &resp);
+    if (req.migrate_after) {
+      Label floor = MaxLabel(req.client_label, resp.label);
+      ClientRequest migrate = req;
+      migrate.target_dc = req.migrate_target;
+      resp.migration_label = MakeMigrationLabel(migrate, floor);
+    }
+    net_->Send(node_id(), from, resp);
+  });
+}
+
+void DatacenterBase::HandleUpdate(NodeId from, const ClientRequest& req) {
+  uint32_t partition = store_.PartitionOf(req.key);
+  Gear& gear = *gears_[partition];
+
+  SimTime cost = config_.costs.UpdateCost(req.value_size) + ExtraUpdateCost(req);
+  SimTime done = gear.queue().Submit(sim_->Now(), cost);
+
+  sim_->At(done, [this, from, req, &gear]() {
+    // The gear generates the label when it processes the request (Alg. 2
+    // line 3). Generating at completion — not at submission — matters: idle
+    // heartbeats promise that every *future* message from this gear carries a
+    // greater timestamp, and the payload only enters the channel now.
+    Label label;
+    label.type = LabelType::kUpdate;
+    label.src = gear.source();
+    label.ts = gear.GenerateTimestamp(req.client_label);
+    label.target_key = req.key;
+    label.uid = req.request_id;
+
+    // Persist locally (Alg. 2 line 5).
+    store_.PartitionFor(req.key).Put(req.key, VersionedValue{req.value_size, label});
+    if (oracle_ != nullptr) {
+      oracle_->OnApply(config_.id, label.uid);
+    }
+
+    // Ship the payload to every other replica via bulk-data transfer
+    // (Alg. 2 lines 6-7).
+    RemotePayload payload;
+    payload.label = label;
+    payload.key = req.key;
+    payload.value_size = req.value_size;
+    payload.created_at = sim_->Now();
+    FillPayloadMetadata(req, &payload);
+    DcSet replicas = resolver_(req.key);
+    for (DcId dc : replicas) {
+      if (dc != config_.id) {
+        SAT_CHECK(peer_nodes_[dc] != kInvalidNode);
+        net_->Send(node_id(), peer_nodes_[dc], payload);
+      }
+    }
+
+    // Hand the label to the protocol (Saturn: label sink, Alg. 2 line 8).
+    OnLocalUpdateCommitted(req, label);
+
+    // Return the new label to the client library.
+    ClientResponse resp;
+    resp.op = ClientOpType::kUpdate;
+    resp.client = req.client;
+    resp.request_id = req.request_id;
+    resp.label = label;
+    if (req.migrate_after) {
+      ClientRequest migrate = req;
+      migrate.target_dc = req.migrate_target;
+      resp.migration_label = MakeMigrationLabel(migrate, label);
+    }
+    net_->Send(node_id(), from, resp);
+  });
+}
+
+void DatacenterBase::HandleMigrate(NodeId from, const ClientRequest& req) {
+  // Default: no migration-label support; reply with the client's own label and
+  // let the client attach at the target with it.
+  SimTime done = sim_->Now() + CostModel::AsTime(config_.costs.attach_base_us);
+  sim_->At(done, [this, from, req]() {
+    ClientResponse resp;
+    resp.op = ClientOpType::kMigrate;
+    resp.client = req.client;
+    resp.request_id = req.request_id;
+    resp.label = req.client_label;
+    net_->Send(node_id(), from, resp);
+  });
+}
+
+void DatacenterBase::FinishAttach(NodeId from, const ClientRequest& req) {
+  if (oracle_ != nullptr) {
+    oracle_->OnAttach(config_.id, req.client);
+  }
+  ClientResponse resp;
+  resp.op = ClientOpType::kAttach;
+  resp.client = req.client;
+  resp.request_id = req.request_id;
+  resp.label = req.client_label;
+  net_->Send(node_id(), from, resp);
+}
+
+void DatacenterBase::ApplyRemoteUpdate(const RemotePayload& payload, SimTime min_visible,
+                                       std::function<void(SimTime)> done) {
+  Gear& gear = GearFor(payload.key);
+  SimTime cost = config_.costs.RemoteApplyCost(payload.value_size) +
+                 ExtraRemoteApplyCost(payload);
+  SimTime completion = gear.queue().Submit(sim_->Now(), cost);
+  SimTime visible = completion > min_visible ? completion : min_visible;
+
+  sim_->At(visible, [this, payload]() {
+    store_.PartitionFor(payload.key).Put(payload.key,
+                                         VersionedValue{payload.value_size, payload.label});
+    if (metrics_ != nullptr) {
+      metrics_->RecordVisibility(payload.label.origin_dc(), config_.id, payload.created_at,
+                                 sim_->Now());
+    }
+    if (oracle_ != nullptr) {
+      oracle_->OnApply(config_.id, payload.label.uid);
+    }
+  });
+  if (done) {
+    done(visible);
+  }
+}
+
+void DatacenterBase::SendBulkHeartbeats() {
+  for (auto& gear : gears_) {
+    BulkHeartbeat hb;
+    hb.origin = config_.id;
+    hb.gear = SourceGear(gear->source());
+    hb.ts = gear->HeartbeatTimestamp();
+    for (DcId dc = 0; dc < num_dcs_; ++dc) {
+      if (dc != config_.id && peer_nodes_[dc] != kInvalidNode) {
+        net_->Send(node_id(), peer_nodes_[dc], hb);
+      }
+    }
+  }
+}
+
+}  // namespace saturn

@@ -1,0 +1,185 @@
+// Datacenter fabric shared by every consistency protocol.
+//
+// This class implements the paper's abstract datacenter decomposition
+// (section 4): stateless frontends intercept client requests, gears generate
+// labels and ship update payloads to replicas, and a protocol-specific policy
+// decides when remote updates become visible. Saturn, GentleRain, Cure and the
+// eventually-consistent baseline are subclasses that differ *only* in
+// metadata handling and visibility gating, so performance differences between
+// them are protocol differences, exactly as in the paper's testbed.
+#ifndef SRC_CORE_DATACENTER_H_
+#define SRC_CORE_DATACENTER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/dc_set.h"
+#include "src/common/types.h"
+#include "src/core/cost_model.h"
+#include "src/core/gear.h"
+#include "src/core/label.h"
+#include "src/core/messages.h"
+#include "src/core/metrics.h"
+#include "src/core/oracle.h"
+#include "src/kvstore/partitioned_store.h"
+#include "src/sim/actor.h"
+#include "src/sim/clock.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/network.h"
+#include "src/sim/random.h"
+
+namespace saturn {
+
+// Maps a key to the set of datacenters replicating it.
+using ReplicaResolver = std::function<DcSet(KeyId)>;
+
+struct DatacenterConfig {
+  DcId id = 0;
+  uint32_t num_gears = 4;
+  SimTime clock_skew = 0;
+  CostModel costs;
+
+  // GentleRain / Cure stabilization period (paper: 5 ms, authors' setting).
+  SimTime stabilization_interval = Millis(5);
+  // Saturn label-sink flush period (labels are collected asynchronously and
+  // periodically ordered by timestamp, section 4).
+  SimTime sink_flush_interval = Millis(1);
+  // Bulk-channel heartbeat period (timestamp-order stability progress).
+  SimTime bulk_heartbeat_interval = Millis(5);
+  uint64_t rng_seed = 1;
+};
+
+class DatacenterBase : public Actor {
+ public:
+  DatacenterBase(Simulator* sim, Network* net, const DatacenterConfig& config,
+                 uint32_t num_dcs, ReplicaResolver resolver, Metrics* metrics,
+                 CausalityOracle* oracle);
+  ~DatacenterBase() override = default;
+
+  // Bulk-data address of a peer datacenter. Must be called for every peer
+  // before Start().
+  void RegisterPeer(DcId dc, NodeId node);
+
+  // Schedules periodic activities. Subclasses extend.
+  virtual void Start();
+
+  void HandleMessage(NodeId from, const Message& msg) override;
+
+  DcId id() const { return config_.id; }
+  uint32_t num_dcs() const { return num_dcs_; }
+  const DatacenterConfig& config() const { return config_; }
+  PartitionedStore& store() { return store_; }
+
+  // Aggregate gear utilization over the run (diagnostics).
+  double MeanGearUtilization() const;
+
+ protected:
+  // --- Protocol hooks ----------------------------------------------------
+
+  // Attach handling is fully protocol-specific (paper section 4.1).
+  virtual void HandleAttach(NodeId from, const ClientRequest& req) = 0;
+
+  // A remote update payload arrived on the bulk-data channel.
+  virtual void OnRemotePayload(const RemotePayload& payload) = 0;
+
+  // Migration requests; the default treats migration as a plain attach
+  // round-trip (protocols without migration labels).
+  virtual void HandleMigrate(NodeId from, const ClientRequest& req);
+
+  // Fired when a locally issued update has been committed: `label` is the
+  // freshly generated label, `payload` the replica-bound message (metadata
+  // fields already filled by FillPayloadMetadata). Saturn publishes the label
+  // to its label sink here.
+  virtual void OnLocalUpdateCommitted(const ClientRequest& req, const Label& label) {
+    (void)req;
+    (void)label;
+  }
+
+  // Adds protocol metadata (dependency scalar / vector) to outgoing payloads.
+  virtual void FillPayloadMetadata(const ClientRequest& req, RemotePayload* payload) {
+    (void)req;
+    (void)payload;
+  }
+
+  // Extra service cost charged for protocol metadata management.
+  virtual SimTime ExtraUpdateCost(const ClientRequest& req) const {
+    (void)req;
+    return 0;
+  }
+  virtual SimTime ExtraReadCost(const ClientRequest& req) const {
+    (void)req;
+    return 0;
+  }
+  virtual SimTime ExtraRemoteApplyCost(const RemotePayload& payload) const {
+    (void)payload;
+    return 0;
+  }
+
+  // Called at operation completion when the request asked to migrate away
+  // afterwards (composite operate-and-migrate). `floor` is the greatest label
+  // the operation exposed to the client (its causal past merged with the
+  // result); protocols supporting migration labels return one dominating it.
+  virtual Label MakeMigrationLabel(const ClientRequest& req, const Label& floor) {
+    (void)req;
+    (void)floor;
+    return Label{LabelType::kHeartbeat, 0, -1, 0, kInvalidDc, 0};
+  }
+
+  // Lets protocols attach extra metadata to read responses (Cure returns the
+  // version's dependency vector). `version` may be null (key never written).
+  virtual void AugmentReadResponse(const ClientRequest& req, const VersionedValue* version,
+                                   ClientResponse* resp) {
+    (void)req;
+    (void)version;
+    (void)resp;
+  }
+
+  // Messages not understood by the base (stabilization broadcasts, labels).
+  virtual void OnOtherMessage(NodeId from, const Message& msg);
+
+  // --- Facilities for subclasses -----------------------------------------
+
+  // Runs `fn` once every `interval`, starting one interval from now.
+  void EveryInterval(SimTime interval, std::function<void()> fn);
+
+  // Applies a remote update: charges the gear, installs the version, records
+  // visibility and notifies the oracle. The update becomes visible at
+  // max(gear completion, min_visible), so callers can enforce ordered
+  // visibility; the resulting visibility time is passed to `done` (optional).
+  void ApplyRemoteUpdate(const RemotePayload& payload, SimTime min_visible,
+                         std::function<void(SimTime)> done = nullptr);
+
+  // Sends a heartbeat from every gear to every peer over the bulk channel.
+  void SendBulkHeartbeats();
+
+  // Completes an attach/migrate round-trip: charges frontend cost, notifies
+  // the oracle, responds to the client.
+  void FinishAttach(NodeId from, const ClientRequest& req);
+
+  Gear& GearFor(KeyId key) { return *gears_[store_.PartitionOf(key)]; }
+  Gear& RandomGear() { return *gears_[rng_.NextBounded(gears_.size())]; }
+
+  Simulator* sim_;
+  Network* net_;
+  DatacenterConfig config_;
+  uint32_t num_dcs_;
+  ReplicaResolver resolver_;
+  Metrics* metrics_;
+  CausalityOracle* oracle_;  // may be null (benchmarks)
+
+  PhysicalClock clock_;
+  PartitionedStore store_;
+  std::vector<std::unique_ptr<Gear>> gears_;
+  std::vector<NodeId> peer_nodes_;  // indexed by DcId; self = kInvalidNode
+  Rng rng_;
+
+ private:
+  void HandleClientRequest(NodeId from, const ClientRequest& req);
+  void HandleRead(NodeId from, const ClientRequest& req);
+  void HandleUpdate(NodeId from, const ClientRequest& req);
+};
+
+}  // namespace saturn
+
+#endif  // SRC_CORE_DATACENTER_H_

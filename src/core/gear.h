@@ -1,0 +1,56 @@
+// A gear: the component attached to each storage server that generates labels
+// and ships updates (paper section 4). One gear fronts one store partition.
+#ifndef SRC_CORE_GEAR_H_
+#define SRC_CORE_GEAR_H_
+
+#include "src/common/types.h"
+#include "src/core/label.h"
+#include "src/kvstore/partitioned_store.h"
+#include "src/sim/clock.h"
+
+namespace saturn {
+
+class Gear {
+ public:
+  Gear(SourceId source, const PhysicalClock* clock) : source_(source), clock_(clock) {}
+
+  // Generates a label timestamp: monotonically increasing per gear and
+  // strictly greater than everything the issuing client observed (paper
+  // section 4.2). This is what makes the label total order respect causality.
+  int64_t GenerateTimestamp(const Label& client_label) {
+    int64_t ts = clock_->Now();
+    if (ts <= client_label.ts) {
+      ts = client_label.ts + 1;
+    }
+    if (ts <= last_ts_) {
+      ts = last_ts_ + 1;
+    }
+    last_ts_ = ts;
+    return ts;
+  }
+
+  // The highest timestamp this gear promises never to go below again; used as
+  // the value of idle heartbeats.
+  int64_t HeartbeatTimestamp() {
+    int64_t ts = clock_->Now();
+    if (ts < last_ts_) {
+      ts = last_ts_;
+    }
+    last_ts_ = ts;
+    return ts;
+  }
+
+  SourceId source() const { return source_; }
+  ServerQueue& queue() { return queue_; }
+  int64_t last_ts() const { return last_ts_; }
+
+ private:
+  SourceId source_;
+  const PhysicalClock* clock_;
+  ServerQueue queue_;
+  int64_t last_ts_ = -1;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_CORE_GEAR_H_

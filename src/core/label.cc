@@ -1,0 +1,34 @@
+#include "src/core/label.h"
+
+#include <cstdio>
+
+namespace saturn {
+
+const char* LabelTypeName(LabelType type) {
+  switch (type) {
+    case LabelType::kUpdate:
+      return "update";
+    case LabelType::kMigration:
+      return "migration";
+    case LabelType::kEpochChange:
+      return "epoch-change";
+    case LabelType::kHeartbeat:
+      return "heartbeat";
+  }
+  return "?";
+}
+
+std::string Label::ToString() const {
+  char buf[128];
+  if (type == LabelType::kUpdate) {
+    std::snprintf(buf, sizeof(buf), "<%s src=%u.%u ts=%lld key=%llu>", LabelTypeName(type),
+                  SourceDc(src), SourceGear(src), static_cast<long long>(ts),
+                  static_cast<unsigned long long>(target_key));
+  } else {
+    std::snprintf(buf, sizeof(buf), "<%s src=%u.%u ts=%lld dc=%u>", LabelTypeName(type),
+                  SourceDc(src), SourceGear(src), static_cast<long long>(ts), target_dc);
+  }
+  return buf;
+}
+
+}  // namespace saturn

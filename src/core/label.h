@@ -1,0 +1,66 @@
+// Labels: Saturn's constant-size causal metadata (paper section 3).
+//
+// A label is a tuple <type, src, ts, target>. The (ts, src) pair makes each
+// label unique and totally ordered; the total order respects causality because
+// gears generate timestamps strictly greater than everything the issuing
+// client has observed.
+#ifndef SRC_CORE_LABEL_H_
+#define SRC_CORE_LABEL_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "src/common/types.h"
+
+namespace saturn {
+
+enum class LabelType : uint8_t {
+  kUpdate = 0,      // generated on client write; target is the updated key
+  kMigration = 1,   // generated on client migration; target is the destination DC
+  kEpochChange = 2, // reconfiguration marker (section 6.2); targets every DC
+  kHeartbeat = 3,   // timestamp-mode progress marker (no payload, not user-visible)
+};
+
+const char* LabelTypeName(LabelType type);
+
+struct Label {
+  LabelType type = LabelType::kUpdate;
+  SourceId src = 0;
+  int64_t ts = 0;
+
+  // Target: exactly one of the two below is meaningful depending on `type`.
+  KeyId target_key = 0;  // kUpdate
+  DcId target_dc = kInvalidDc;  // kMigration / kEpochChange
+
+  // Unique operation id used by the harness to correlate payloads, labels and
+  // metrics. Not part of the paper's metadata (uniqueness there comes from
+  // (ts, src), which this id mirrors); it never influences protocol decisions.
+  uint64_t uid = 0;
+
+  DcId origin_dc() const { return SourceDc(src); }
+
+  // Total order: by timestamp, ties broken by source id (paper section 3,
+  // "Comparability"). This order respects causality.
+  friend std::strong_ordering operator<=>(const Label& a, const Label& b) {
+    if (auto c = a.ts <=> b.ts; c != 0) {
+      return c;
+    }
+    return a.src <=> b.src;
+  }
+  friend bool operator==(const Label& a, const Label& b) {
+    return a.ts == b.ts && a.src == b.src;
+  }
+
+  std::string ToString() const;
+};
+
+// The "bottom" label: causally before everything. Fresh clients start here.
+inline constexpr Label kBottomLabel{LabelType::kUpdate, 0, -1, 0, kInvalidDc, 0};
+
+// Returns the pointwise maximum under the label total order.
+inline const Label& MaxLabel(const Label& a, const Label& b) { return a < b ? b : a; }
+
+}  // namespace saturn
+
+#endif  // SRC_CORE_LABEL_H_

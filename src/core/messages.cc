@@ -1,0 +1,32 @@
+#include "src/core/messages.h"
+
+namespace saturn {
+namespace {
+
+struct WireSizeVisitor {
+  uint32_t operator()(const ClientRequest& m) const {
+    return 64 + m.value_size + static_cast<uint32_t>(m.client_vector.size()) * 8 +
+           static_cast<uint32_t>(m.explicit_deps.size()) * 24;
+  }
+  uint32_t operator()(const ClientResponse& m) const {
+    return 64 + m.value_size + static_cast<uint32_t>(m.dep_vector.size()) * 8;
+  }
+  uint32_t operator()(const RemotePayload& m) const {
+    return 96 + m.value_size + static_cast<uint32_t>(m.dep_vector.size()) * 8 +
+           static_cast<uint32_t>(m.explicit_deps.size()) * 24;
+  }
+  uint32_t operator()(const BulkHeartbeat&) const { return 24; }
+  uint32_t operator()(const LabelEnvelope&) const { return 40; }
+  uint32_t operator()(const ChainForward&) const { return 56; }
+  uint32_t operator()(const ChainAck&) const { return 16; }
+  uint32_t operator()(const GstBroadcast&) const { return 24; }
+  uint32_t operator()(const StableVectorBroadcast& m) const {
+    return 16 + static_cast<uint32_t>(m.stable.size()) * 8;
+  }
+};
+
+}  // namespace
+
+uint32_t MessageWireSize(const Message& msg) { return std::visit(WireSizeVisitor{}, msg); }
+
+}  // namespace saturn

@@ -1,0 +1,89 @@
+// Experiment metrics: throughput, remote-update visibility latency, and
+// client-perceived operation latency.
+//
+// Visibility latency follows the paper's methodology (section 7): the origin
+// records the physical time when an update is applied locally; the remote
+// datacenter records the physical time when the update becomes visible; the
+// difference is the visibility latency. Measurements outside the warm-up /
+// cool-down window are discarded.
+#ifndef SRC_CORE_METRICS_H_
+#define SRC_CORE_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+#include "src/core/messages.h"
+#include "src/stats/histogram.h"
+
+namespace saturn {
+
+class Metrics {
+ public:
+  explicit Metrics(uint32_t num_dcs) : num_dcs_(num_dcs), visibility_(num_dcs * num_dcs) {}
+
+  // Measurement window: only events created inside it are recorded.
+  void SetWindow(SimTime start, SimTime end) {
+    window_start_ = start;
+    window_end_ = end;
+  }
+
+  void RecordVisibility(DcId origin, DcId at, SimTime created, SimTime visible) {
+    SAT_CHECK(origin < num_dcs_ && at < num_dcs_);
+    if (created < window_start_ || created > window_end_) {
+      return;
+    }
+    visibility_[origin * num_dcs_ + at].Record(visible - created);
+    all_visibility_.Record(visible - created);
+  }
+
+  // A client operation completed (read or update); `issued` is when the client
+  // sent the request, `done` when the response arrived.
+  void RecordClientOp(ClientOpType op, DcId dc, SimTime issued, SimTime done) {
+    (void)dc;
+    if (done < window_start_ || done > window_end_) {
+      return;
+    }
+    if (op == ClientOpType::kRead || op == ClientOpType::kUpdate) {
+      ++completed_ops_;
+      op_latency_.Record(done - issued);
+    }
+    if (op == ClientOpType::kAttach || op == ClientOpType::kMigrate) {
+      attach_latency_.Record(done - issued);
+    }
+  }
+
+  // Total reads+updates per second inside the window.
+  double ThroughputOpsPerSec() const {
+    SimTime span = window_end_ - window_start_;
+    return span <= 0 ? 0.0
+                     : static_cast<double>(completed_ops_) / ToSeconds(span);
+  }
+
+  const LatencyHistogram& Visibility(DcId origin, DcId at) const {
+    SAT_CHECK(origin < num_dcs_ && at < num_dcs_);
+    return visibility_[origin * num_dcs_ + at];
+  }
+
+  const LatencyHistogram& AllVisibility() const { return all_visibility_; }
+  const LatencyHistogram& OpLatency() const { return op_latency_; }
+  const LatencyHistogram& AttachLatency() const { return attach_latency_; }
+  uint64_t completed_ops() const { return completed_ops_; }
+  uint32_t num_dcs() const { return num_dcs_; }
+
+ private:
+  uint32_t num_dcs_;
+  SimTime window_start_ = 0;
+  SimTime window_end_ = kSimTimeNever;
+  std::vector<LatencyHistogram> visibility_;  // [origin * num_dcs + at]
+  LatencyHistogram all_visibility_;
+  LatencyHistogram op_latency_;
+  LatencyHistogram attach_latency_;
+  uint64_t completed_ops_ = 0;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_CORE_METRICS_H_

@@ -1,0 +1,198 @@
+// Causal-consistency test oracle.
+//
+// The oracle tracks the *true* causal order of the run — client session order
+// plus reads-from edges — independently of any protocol metadata, and checks
+// that every datacenter applies remote updates in an order consistent with it.
+// It is the ground truth against which Saturn, GentleRain and Cure are
+// verified (and against which the eventually-consistent baseline is expected
+// to fail under concurrency).
+//
+// Mechanics: every client carries a version vector indexed by client id; an
+// update's causal past is the issuing client's vector at issue time. Because
+// causally consistent application implies each client's updates are applied in
+// session order at every interested datacenter, the check at "apply u at DC r"
+// reduces to a per-(r, client) applied-prefix pointer comparison, which keeps
+// the oracle O(#clients) per apply.
+#ifndef SRC_CORE_ORACLE_H_
+#define SRC_CORE_ORACLE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/dc_set.h"
+#include "src/common/types.h"
+
+namespace saturn {
+
+class CausalityOracle {
+ public:
+  CausalityOracle(uint32_t num_dcs, uint32_t num_clients)
+      : num_dcs_(num_dcs),
+        num_clients_(num_clients),
+        client_vectors_(num_clients, std::vector<uint32_t>(num_clients, 0)),
+        client_updates_(num_clients),
+        replicated_seqs_(static_cast<size_t>(num_clients) * num_dcs),
+        prefix_(num_dcs, std::vector<uint32_t>(num_clients, 0)) {}
+
+  // --- Recording the ground truth --------------------------------------
+
+  // Client `c` issued update `uid` on a key replicated at `replicas`.
+  // Returns the update's session index.
+  void OnClientUpdate(ClientId c, uint64_t uid, DcSet replicas) {
+    SAT_CHECK(c < num_clients_);
+    uint32_t seq = static_cast<uint32_t>(client_updates_[c].size()) + 1;
+    client_vectors_[c][c] = seq;
+    UpdateInfo info;
+    info.uid = uid;
+    info.replicas = replicas;
+    info.deps = client_vectors_[c];
+    client_updates_[c].push_back(info);
+    for (DcId dc : replicas) {
+      if (dc < num_dcs_) {
+        SeqList(c, dc).push_back(seq);
+      }
+    }
+    by_uid_[uid] = {static_cast<uint32_t>(c), seq};
+  }
+
+  // Client `c` read a version written by update `uid` (0 = initial value).
+  void OnClientRead(ClientId c, uint64_t uid) {
+    SAT_CHECK(c < num_clients_);
+    if (uid == 0) {
+      return;
+    }
+    auto it = by_uid_.find(uid);
+    SAT_CHECK_MSG(it != by_uid_.end(), "read of unknown update uid=%llu",
+                  static_cast<unsigned long long>(uid));
+    const UpdateInfo& u = client_updates_[it->second.client][it->second.seq - 1];
+    auto& vec = client_vectors_[c];
+    for (uint32_t d = 0; d < num_clients_; ++d) {
+      if (u.deps[d] > vec[d]) {
+        vec[d] = u.deps[d];
+      }
+    }
+  }
+
+  // --- Checking application order --------------------------------------
+
+  // Datacenter `dc` made update `uid` visible. Returns true if causality
+  // holds; records a violation description otherwise.
+  bool OnApply(DcId dc, uint64_t uid) {
+    SAT_CHECK(dc < num_dcs_);
+    auto it = by_uid_.find(uid);
+    SAT_CHECK(it != by_uid_.end());
+    uint32_t writer = it->second.client;
+    uint32_t seq = it->second.seq;
+    const UpdateInfo& u = client_updates_[writer][seq - 1];
+
+    bool ok = true;
+    for (uint32_t d = 0; d < num_clients_; ++d) {
+      // Everything in u's causal past from client d that this DC replicates
+      // must already be applied here. Exclude u itself.
+      uint32_t need = u.deps[d];
+      if (d == writer) {
+        need = seq - 1;
+      }
+      if (CountReplicatedPrefix(d, need, dc) > AppliedReplicatedCount(dc, d)) {
+        ok = false;
+        violations_.push_back(
+            "dc" + std::to_string(dc) + " applied uid " + std::to_string(uid) +
+            " (client " + std::to_string(writer) + " seq " + std::to_string(seq) +
+            ") before causal deps from client " + std::to_string(d) + ": needs " +
+            std::to_string(CountReplicatedPrefix(d, need, dc)) + " replicated updates (dep seq " +
+            std::to_string(need) + "), applied " + std::to_string(AppliedReplicatedCount(dc, d)) +
+            " (prefix seq " + std::to_string(prefix_[dc][d]) + ")");
+        break;
+      }
+    }
+    // Advance this DC's applied-prefix pointer for the writer. Applications
+    // out of session order are themselves violations.
+    uint32_t& applied = prefix_[dc][writer];
+    uint32_t expected = NextReplicatedSeq(writer, applied, dc);
+    if (expected != seq) {
+      ok = false;
+      violations_.push_back("dc" + std::to_string(dc) + " applied client " +
+                            std::to_string(writer) + " seq " + std::to_string(seq) +
+                            " out of session order (expected seq " +
+                            std::to_string(expected) + ")");
+    }
+    applied = seq;
+    return ok;
+  }
+
+  // Client `c` completed an attach at `dc`: its whole causal past must be
+  // visible there (paper section 4.1).
+  bool OnAttach(DcId dc, ClientId c) {
+    SAT_CHECK(dc < num_dcs_ && c < num_clients_);
+    const auto& vec = client_vectors_[c];
+    for (uint32_t d = 0; d < num_clients_; ++d) {
+      if (CountReplicatedPrefix(d, vec[d], dc) > AppliedReplicatedCount(dc, d)) {
+        violations_.push_back(
+            "attach of client " + std::to_string(c) + " at dc" + std::to_string(dc) +
+            " with missing deps from client " + std::to_string(d) + ": needs " +
+            std::to_string(CountReplicatedPrefix(d, vec[d], dc)) + " (dep seq " +
+            std::to_string(vec[d]) + "), applied " + std::to_string(AppliedReplicatedCount(dc, d)) +
+            " (prefix seq " + std::to_string(prefix_[dc][d]) + ")");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const std::vector<std::string>& violations() const { return violations_; }
+  bool Clean() const { return violations_.empty(); }
+
+ private:
+  struct UpdateInfo {
+    uint64_t uid = 0;
+    DcSet replicas;
+    std::vector<uint32_t> deps;  // writer-client vector at issue time
+  };
+  struct UpdateRef {
+    uint32_t client = 0;
+    uint32_t seq = 0;  // 1-based index into client_updates_[client]
+  };
+
+  // Session seqs of client c's updates replicated at dc, in ascending order.
+  std::vector<uint32_t>& SeqList(uint32_t c, DcId dc) {
+    return replicated_seqs_[static_cast<size_t>(c) * num_dcs_ + dc];
+  }
+  const std::vector<uint32_t>& SeqList(uint32_t c, DcId dc) const {
+    return replicated_seqs_[static_cast<size_t>(c) * num_dcs_ + dc];
+  }
+
+  // How many of client d's first `upto` updates are replicated at `dc`.
+  uint32_t CountReplicatedPrefix(uint32_t d, uint32_t upto, DcId dc) const {
+    const auto& seqs = SeqList(d, dc);
+    return static_cast<uint32_t>(std::upper_bound(seqs.begin(), seqs.end(), upto) -
+                                 seqs.begin());
+  }
+
+  uint32_t AppliedReplicatedCount(DcId dc, uint32_t d) const {
+    return CountReplicatedPrefix(d, prefix_[dc][d], dc);
+  }
+
+  // The session seq of client d's next dc-replicated update after `applied`.
+  uint32_t NextReplicatedSeq(uint32_t d, uint32_t applied, DcId dc) const {
+    const auto& seqs = SeqList(d, dc);
+    auto it = std::upper_bound(seqs.begin(), seqs.end(), applied);
+    return it == seqs.end() ? 0 : *it;
+  }
+
+  uint32_t num_dcs_;
+  uint32_t num_clients_;
+  std::vector<std::vector<uint32_t>> client_vectors_;   // [client][client]
+  std::vector<std::vector<UpdateInfo>> client_updates_; // [client] -> session order
+  std::vector<std::vector<uint32_t>> replicated_seqs_;  // [client * num_dcs + dc]
+  std::vector<std::vector<uint32_t>> prefix_;           // [dc][client] applied session prefix
+  std::unordered_map<uint64_t, UpdateRef> by_uid_;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_CORE_ORACLE_H_

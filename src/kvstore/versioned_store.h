@@ -1,0 +1,53 @@
+// A single storage server's versioned key-value map.
+//
+// Values carry the label of the update that wrote them (paper section 4.1:
+// reads return <value, label> so the client library can extend its causal
+// past). Concurrent writes converge by last-writer-wins on the label total
+// order, which is causality-respecting by construction.
+#ifndef SRC_KVSTORE_VERSIONED_STORE_H_
+#define SRC_KVSTORE_VERSIONED_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/types.h"
+#include "src/core/label.h"
+
+namespace saturn {
+
+struct VersionedValue {
+  uint32_t size = 0;
+  Label label = kBottomLabel;
+};
+
+class VersionedStore {
+ public:
+  // Installs `value` unless a causally later (label-greater) version is
+  // already present. Returns true if the version was installed.
+  bool Put(KeyId key, const VersionedValue& value) {
+    auto [it, inserted] = map_.try_emplace(key, value);
+    if (inserted) {
+      return true;
+    }
+    if (it->second.label < value.label) {
+      it->second = value;
+      return true;
+    }
+    return false;
+  }
+
+  // Returns the current version, or nullptr if the key was never written.
+  const VersionedValue* Get(KeyId key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<KeyId, VersionedValue> map_;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_KVSTORE_VERSIONED_STORE_H_

@@ -1,0 +1,218 @@
+#include "src/runtime/cluster.h"
+
+#include <algorithm>
+
+namespace saturn {
+
+const char* ProtocolName(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kEventual:
+      return "eventual";
+    case Protocol::kSaturn:
+      return "saturn";
+    case Protocol::kSaturnTimestamp:
+      return "saturn-p2p";
+    case Protocol::kGentleRain:
+      return "gentlerain";
+    case Protocol::kCure:
+      return "cure";
+    case Protocol::kCops:
+      return "cops";
+  }
+  return "?";
+}
+
+ClientProtocolMode ClientModeFor(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kCure:
+      return ClientProtocolMode::kVector;
+    case Protocol::kSaturn:
+    case Protocol::kSaturnTimestamp:
+      return ClientProtocolMode::kSaturn;
+    case Protocol::kCops:
+      return ClientProtocolMode::kExplicit;
+    case Protocol::kEventual:
+    case Protocol::kGentleRain:
+      return ClientProtocolMode::kScalar;
+  }
+  return ClientProtocolMode::kScalar;
+}
+
+Cluster::Cluster(ClusterConfig config, ReplicaMap replicas, std::vector<DcId> client_homes,
+                 const GeneratorFactory& generator_factory)
+    : config_(std::move(config)), replicas_(std::move(replicas)) {
+  const uint32_t n = num_dcs();
+  SAT_CHECK(n >= 1);
+  SAT_CHECK(replicas_.num_dcs() == n);
+
+  net_ = std::make_unique<Network>(&sim_, config_.latencies, config_.net);
+  metrics_ = std::make_unique<Metrics>(n);
+  if (config_.enable_oracle) {
+    oracle_ = std::make_unique<CausalityOracle>(n, static_cast<uint32_t>(client_homes.size()));
+  }
+
+  // --- Datacenters ----------------------------------------------------------
+  ReplicaResolver resolver = [this](KeyId key) { return replicas_.ReplicasOf(key); };
+  std::vector<SaturnDc*> saturn_dcs;
+  for (DcId id = 0; id < n; ++id) {
+    DatacenterConfig dc_config = config_.dc;
+    dc_config.id = id;
+    dc_config.rng_seed = config_.seed ^ 0x5157a7u;
+    std::unique_ptr<DatacenterBase> dc;
+    switch (config_.protocol) {
+      case Protocol::kEventual:
+        dc = std::make_unique<EventualDc>(&sim_, net_.get(), dc_config, n, resolver,
+                                          metrics_.get(), oracle_.get());
+        break;
+      case Protocol::kSaturn:
+      case Protocol::kSaturnTimestamp: {
+        auto sdc = std::make_unique<SaturnDc>(&sim_, net_.get(), dc_config, n, resolver,
+                                              metrics_.get(), oracle_.get());
+        saturn_dcs.push_back(sdc.get());
+        dc = std::move(sdc);
+        break;
+      }
+      case Protocol::kGentleRain:
+        dc = std::make_unique<GentleRainDc>(&sim_, net_.get(), dc_config, n, resolver,
+                                            metrics_.get(), oracle_.get());
+        break;
+      case Protocol::kCure:
+        dc = std::make_unique<CureDc>(&sim_, net_.get(), dc_config, n, resolver,
+                                      metrics_.get(), oracle_.get());
+        break;
+      case Protocol::kCops:
+        dc = std::make_unique<CopsDc>(&sim_, net_.get(), dc_config, n, resolver,
+                                      metrics_.get(), oracle_.get());
+        break;
+    }
+    net_->Attach(dc.get(), config_.dc_sites[id]);
+    datacenters_.push_back(std::move(dc));
+  }
+  for (DcId a = 0; a < n; ++a) {
+    for (DcId b = 0; b < n; ++b) {
+      if (a != b) {
+        datacenters_[a]->RegisterPeer(b, datacenters_[b]->node_id());
+      }
+    }
+  }
+
+  // --- Saturn metadata service ----------------------------------------------
+  if (config_.protocol == Protocol::kSaturn) {
+    switch (config_.tree_kind) {
+      case SaturnTreeKind::kStar:
+        tree_ = StarTopology(config_.dc_sites, config_.star_hub);
+        break;
+      case SaturnTreeKind::kCustom:
+        tree_ = config_.custom_tree;
+        break;
+      case SaturnTreeKind::kGenerated: {
+        SolverInput input;
+        input.dc_sites = config_.dc_sites;
+        input.candidate_sites = config_.dc_sites;
+        input.latencies = &config_.latencies;
+        if (config_.weighted_tree) {
+          input.weights = replicas_.PairWeights();
+        }
+        tree_ = FindConfiguration(input).topology;
+        break;
+      }
+    }
+    metadata_ = std::make_unique<MetadataService>(&sim_, net_.get(), saturn_dcs);
+    metadata_->DeployTree(/*epoch=*/0, tree_, config_.chain_replicas);
+  }
+
+  // --- Clients ---------------------------------------------------------------
+  // Ties break towards lower latency from the client's home.
+  auto remote_target = [this](KeyId key, DcId home) {
+    DcSet set = replicas_.ReplicasOf(key);
+    DcId best = kInvalidDc;
+    SimTime best_lat = kSimTimeNever;
+    for (DcId dc : set) {
+      SimTime lat = config_.latencies.Get(config_.dc_sites[home], config_.dc_sites[dc]);
+      if (lat < best_lat) {
+        best_lat = lat;
+        best = dc;
+      }
+    }
+    SAT_CHECK(best != kInvalidDc);
+    return best;
+  };
+
+  std::vector<NodeId> dc_nodes(n);
+  for (DcId id = 0; id < n; ++id) {
+    dc_nodes[id] = datacenters_[id]->node_id();
+  }
+
+  for (uint32_t i = 0; i < client_homes.size(); ++i) {
+    DcId home = client_homes[i];
+    SAT_CHECK(home < n);
+    ClientConfig cc;
+    cc.id = i;
+    cc.home = home;
+    cc.mode = ClientModeFor(config_.protocol);
+    cc.num_dcs = n;
+    cc.prune_context = config_.cops_prune;
+    cc.seed = config_.seed;
+    auto client = std::make_unique<Client>(&sim_, net_.get(), &replicas_,
+                                           generator_factory(replicas_, home, i),
+                                           metrics_.get(), oracle_.get(), cc, dc_nodes,
+                                           remote_target);
+    net_->Attach(client.get(), config_.dc_sites[home]);
+    clients_.push_back(std::move(client));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+SaturnDc* Cluster::saturn_dc(DcId id) {
+  SAT_CHECK(config_.protocol == Protocol::kSaturn ||
+            config_.protocol == Protocol::kSaturnTimestamp);
+  return static_cast<SaturnDc*>(datacenters_[id].get());
+}
+
+ExperimentResult Cluster::Run(SimTime warmup, SimTime measure, SimTime drain) {
+  window_start_ = sim_.Now() + warmup;
+  window_end_ = window_start_ + measure;
+  metrics_->SetWindow(window_start_, window_end_);
+
+  for (auto& dc : datacenters_) {
+    dc->Start();
+  }
+  for (auto& client : clients_) {
+    client->Start();
+  }
+  sim_.RunUntil(window_end_ + drain);
+  return Result();
+}
+
+ExperimentResult Cluster::Result() const {
+  ExperimentResult result;
+  result.throughput_ops = metrics_->ThroughputOpsPerSec();
+  const LatencyHistogram& vis = metrics_->AllVisibility();
+  result.mean_visibility_ms = vis.MeanMs();
+  result.p90_visibility_ms = vis.PercentileMs(0.90);
+  result.p99_visibility_ms = vis.PercentileMs(0.99);
+  result.remote_updates = vis.count();
+  result.mean_op_latency_ms = metrics_->OpLatency().MeanMs();
+  result.mean_attach_ms = metrics_->AttachLatency().MeanMs();
+  return result;
+}
+
+std::vector<DcId> UniformClientHomes(uint32_t num_dcs, uint32_t per_dc) {
+  std::vector<DcId> homes;
+  homes.reserve(static_cast<size_t>(num_dcs) * per_dc);
+  for (DcId dc = 0; dc < num_dcs; ++dc) {
+    for (uint32_t i = 0; i < per_dc; ++i) {
+      homes.push_back(dc);
+    }
+  }
+  return homes;
+}
+
+GeneratorFactory SyntheticGenerators(const SyntheticOpGenerator::Config& workload) {
+  return [workload](const ReplicaMap& replicas, DcId, uint32_t) {
+    return std::make_unique<SyntheticOpGenerator>(&replicas, workload);
+  };
+}
+
+}  // namespace saturn

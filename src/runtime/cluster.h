@@ -1,0 +1,138 @@
+// Cluster builder: assembles a complete simulated deployment — network,
+// datacenters running one of the consistency protocols, Saturn's metadata
+// service when applicable, and closed-loop clients — and runs experiments
+// with warm-up / measurement windows (paper section 7, "Setup").
+#ifndef SRC_RUNTIME_CLUSTER_H_
+#define SRC_RUNTIME_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/cops_dc.h"
+#include "src/baselines/cure_dc.h"
+#include "src/baselines/eventual_dc.h"
+#include "src/baselines/gentlerain_dc.h"
+#include "src/core/datacenter.h"
+#include "src/core/metrics.h"
+#include "src/core/oracle.h"
+#include "src/runtime/regions.h"
+#include "src/saturn/config_generator.h"
+#include "src/saturn/metadata_service.h"
+#include "src/saturn/saturn_dc.h"
+#include "src/workload/client.h"
+#include "src/workload/replication.h"
+
+namespace saturn {
+
+enum class Protocol {
+  kEventual,
+  kSaturn,           // serializer tree
+  kSaturnTimestamp,  // peer-to-peer Saturn, timestamp-order only (P-conf)
+  kGentleRain,
+  kCure,
+  kCops,             // explicit dependency checking (COPS/Eiger style)
+};
+
+const char* ProtocolName(Protocol protocol);
+
+enum class SaturnTreeKind {
+  kGenerated,  // Algorithm 3 + solver (the M-configuration)
+  kStar,       // single serializer at `star_hub` (the S-configuration)
+  kCustom,     // caller-provided topology
+};
+
+struct ClusterConfig {
+  Protocol protocol = Protocol::kSaturn;
+  std::vector<SiteId> dc_sites = Ec2Sites();
+  LatencyMatrix latencies = Ec2Latencies();
+  NetworkConfig net;
+  DatacenterConfig dc;  // template; id is overwritten per datacenter
+
+  SaturnTreeKind tree_kind = SaturnTreeKind::kGenerated;
+  SiteId star_hub = kIreland;
+  TreeTopology custom_tree;
+  uint32_t chain_replicas = 1;
+  // Weight the tree solver by shared-key traffic instead of uniformly.
+  bool weighted_tree = true;
+
+  // COPS: prune client contexts after updates (sound under full replication
+  // only; the bench cops_metadata shows what happens when it must be off).
+  bool cops_prune = true;
+
+  bool enable_oracle = false;
+  uint64_t seed = 42;
+};
+
+// Builds the op generator of one client. Invoked with the *cluster's* replica
+// map (which outlives the clients), the client's home and its global index.
+using GeneratorFactory =
+    std::function<std::unique_ptr<OpGenerator>(const ReplicaMap&, DcId, uint32_t)>;
+
+// One row of experiment output.
+struct ExperimentResult {
+  double throughput_ops = 0;         // reads+updates per second, all DCs
+  double mean_visibility_ms = 0;     // remote-update visibility, mean
+  double p90_visibility_ms = 0;
+  double p99_visibility_ms = 0;
+  double mean_op_latency_ms = 0;     // client-perceived
+  double mean_attach_ms = 0;         // attach/migration round-trips
+  uint64_t remote_updates = 0;
+};
+
+class Cluster {
+ public:
+  // `client_homes[i]` is the preferred datacenter of client i.
+  Cluster(ClusterConfig config, ReplicaMap replicas, std::vector<DcId> client_homes,
+          const GeneratorFactory& generator_factory);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Runs warm-up, measures for `measure`, then drains in-flight visibility.
+  // May be called once per cluster.
+  ExperimentResult Run(SimTime warmup, SimTime measure, SimTime drain = Seconds(2));
+
+  Simulator& sim() { return sim_; }
+  Network& network() { return *net_; }
+  Metrics& metrics() { return *metrics_; }
+  CausalityOracle* oracle() { return oracle_.get(); }
+  const ReplicaMap& replicas() const { return replicas_; }
+  MetadataService* metadata_service() { return metadata_.get(); }
+  const TreeTopology& tree() const { return tree_; }
+
+  uint32_t num_dcs() const { return static_cast<uint32_t>(config_.dc_sites.size()); }
+  DatacenterBase* dc(DcId id) { return datacenters_[id].get(); }
+  SaturnDc* saturn_dc(DcId id);
+  const std::vector<std::unique_ptr<Client>>& clients() const { return clients_; }
+
+  ExperimentResult Result() const;
+
+ private:
+  ClusterConfig config_;
+  ReplicaMap replicas_;
+  Simulator sim_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<Metrics> metrics_;
+  std::unique_ptr<CausalityOracle> oracle_;
+  std::vector<std::unique_ptr<DatacenterBase>> datacenters_;
+  std::unique_ptr<MetadataService> metadata_;
+  TreeTopology tree_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  SimTime window_start_ = 0;
+  SimTime window_end_ = 0;
+};
+
+// `per_dc` clients homed at every datacenter.
+std::vector<DcId> UniformClientHomes(uint32_t num_dcs, uint32_t per_dc);
+
+// Factory producing the paper's synthetic workload for every client.
+GeneratorFactory SyntheticGenerators(const SyntheticOpGenerator::Config& workload);
+
+// Maps each protocol to the client-library mode it needs.
+ClientProtocolMode ClientModeFor(Protocol protocol);
+
+}  // namespace saturn
+
+#endif  // SRC_RUNTIME_CLUSTER_H_

@@ -1,0 +1,79 @@
+#include "src/runtime/regions.h"
+
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace saturn {
+namespace {
+
+const char* const kShortNames[kNumEc2Regions] = {"NV", "NC", "O", "I", "F", "T", "S"};
+const char* const kFullNames[kNumEc2Regions] = {
+    "N. Virginia", "N. California", "Oregon", "Ireland", "Frankfurt", "Tokyo", "Sydney"};
+
+// Upper triangle of Table 1, milliseconds. Order: NV, NC, O, I, F, T, S.
+constexpr int kTable1Ms[kNumEc2Regions][kNumEc2Regions] = {
+    //        NV   NC    O    I    F    T    S
+    /*NV*/ {0, 37, 49, 41, 45, 73, 115},
+    /*NC*/ {37, 0, 10, 74, 84, 52, 79},
+    /*O */ {49, 10, 0, 69, 79, 45, 81},
+    /*I */ {41, 74, 69, 0, 10, 107, 154},
+    /*F */ {45, 84, 79, 10, 0, 118, 161},
+    /*T */ {73, 52, 45, 107, 118, 0, 52},
+    /*S */ {115, 79, 81, 154, 161, 52, 0},
+};
+
+}  // namespace
+
+const char* Ec2RegionName(SiteId region) {
+  SAT_CHECK(region < kNumEc2Regions);
+  return kShortNames[region];
+}
+
+const char* Ec2RegionFullName(SiteId region) {
+  SAT_CHECK(region < kNumEc2Regions);
+  return kFullNames[region];
+}
+
+LatencyMatrix Ec2Latencies() {
+  LatencyMatrix matrix(kNumEc2Regions);
+  for (SiteId a = 0; a < kNumEc2Regions; ++a) {
+    for (SiteId b = a + 1; b < kNumEc2Regions; ++b) {
+      matrix.Set(a, b, Millis(kTable1Ms[a][b]));
+    }
+  }
+  return matrix;
+}
+
+std::vector<SiteId> Ec2Sites(uint32_t n) {
+  SAT_CHECK(n >= 1 && n <= kNumEc2Regions);
+  std::vector<SiteId> sites(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    sites[i] = i;
+  }
+  return sites;
+}
+
+std::string Ec2LatencyTable() {
+  std::string out = "      ";
+  for (SiteId b = 0; b < kNumEc2Regions; ++b) {
+    char cell[16];
+    std::snprintf(cell, sizeof(cell), "%6s", kShortNames[b]);
+    out += cell;
+  }
+  out += "\n";
+  for (SiteId a = 0; a < kNumEc2Regions; ++a) {
+    char head[16];
+    std::snprintf(head, sizeof(head), "%4s  ", kShortNames[a]);
+    out += head;
+    for (SiteId b = 0; b < kNumEc2Regions; ++b) {
+      char cell[16];
+      std::snprintf(cell, sizeof(cell), "%6d", kTable1Ms[a][b]);
+      out += cell;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace saturn

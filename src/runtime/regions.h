@@ -1,0 +1,43 @@
+// The paper's Amazon EC2 deployment: seven regions and the measured
+// inter-region latencies of Table 1 (average half round-trip times).
+#ifndef SRC_RUNTIME_REGIONS_H_
+#define SRC_RUNTIME_REGIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/network.h"
+
+namespace saturn {
+
+enum Ec2Region : SiteId {
+  kNVirginia = 0,
+  kNCalifornia = 1,
+  kOregon = 2,
+  kIreland = 3,
+  kFrankfurt = 4,
+  kTokyo = 5,
+  kSydney = 6,
+};
+
+inline constexpr uint32_t kNumEc2Regions = 7;
+
+// Short region name ("NV", "NC", ...).
+const char* Ec2RegionName(SiteId region);
+
+// Full region name ("N. Virginia", ...).
+const char* Ec2RegionFullName(SiteId region);
+
+// Table 1 as a one-way latency matrix (microseconds).
+LatencyMatrix Ec2Latencies();
+
+// The first `n` regions in Table 1 order, used when experiments scale the
+// number of datacenters (Fig. 1a uses 3 to 7).
+std::vector<SiteId> Ec2Sites(uint32_t n = kNumEc2Regions);
+
+// Renders Table 1 for bench output.
+std::string Ec2LatencyTable();
+
+}  // namespace saturn
+
+#endif  // SRC_RUNTIME_REGIONS_H_

@@ -1,0 +1,130 @@
+#include "src/saturn/config_generator.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace saturn {
+namespace {
+
+struct WorkTree {
+  TreeTopology topo;
+  uint32_t root = 0;  // serializer node acting as the rooted-tree root
+  double ranking = 0;
+};
+
+// Hangs `dc` off a brand-new root (Alg. 3 line 10). The serializer starts at
+// `serializer_site` (the solver will move it); the leaf is pinned to the
+// datacenter's real site.
+WorkTree NewRooted(const WorkTree& tree, DcId dc, SiteId serializer_site, SiteId dc_site) {
+  WorkTree out = tree;
+  uint32_t new_root = out.topo.AddSerializer(serializer_site);
+  uint32_t leaf = out.topo.AddDcLeaf(dc, dc_site);
+  out.topo.AddEdge(new_root, out.root);
+  out.topo.AddEdge(new_root, leaf);
+  out.root = new_root;
+  return out;
+}
+
+// Splits edge `edge_index`, hanging `dc` off the new internal node
+// (Alg. 3 line 14).
+WorkTree NewOnEdge(const WorkTree& tree, size_t edge_index, DcId dc, SiteId serializer_site,
+                   SiteId dc_site) {
+  WorkTree out = tree;
+  TopologyEdge edge = out.topo.edges()[edge_index];
+  out.topo.mutable_edges().erase(out.topo.mutable_edges().begin() +
+                                 static_cast<long>(edge_index));
+  uint32_t mid = out.topo.AddSerializer(serializer_site);
+  uint32_t leaf = out.topo.AddDcLeaf(dc, dc_site);
+  out.topo.AddEdge(edge.a, mid);
+  out.topo.AddEdge(mid, edge.b);
+  out.topo.AddEdge(mid, leaf);
+  return out;
+}
+
+// Restricts the solver input to the datacenters present in the partial tree
+// so intermediate rankings only measure placed leaves.
+SolverInput RestrictInput(const SolverInput& input, const TreeTopology& topo) {
+  SolverInput restricted = input;
+  size_t n = input.dc_sites.size();
+  restricted.weights = input.weights.empty() ? UniformWeights(n) : input.weights;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      if (topo.LeafOf(i) == UINT32_MAX || topo.LeafOf(j) == UINT32_MAX) {
+        restricted.weights[i * n + j] = 0;
+      }
+    }
+  }
+  return restricted;
+}
+
+}  // namespace
+
+SolvedTree FindConfiguration(const SolverInput& input, const ConfigGeneratorOptions& options) {
+  const size_t n = input.dc_sites.size();
+  SAT_CHECK(n >= 2);
+  SAT_CHECK(input.latencies != nullptr);
+  SiteId default_site = input.candidate_sites.empty() ? input.dc_sites[0]
+                                                      : input.candidate_sites[0];
+
+  // Seed: datacenters 0 and 1 hanging off a single serializer.
+  WorkTree seed;
+  uint32_t root = seed.topo.AddSerializer(default_site);
+  uint32_t l0 = seed.topo.AddDcLeaf(0, input.dc_sites[0]);
+  uint32_t l1 = seed.topo.AddDcLeaf(1, input.dc_sites[1]);
+  seed.topo.AddEdge(root, l0);
+  seed.topo.AddEdge(root, l1);
+  seed.root = root;
+
+  std::vector<WorkTree> beam{seed};
+
+  for (DcId next = 2; next < n; ++next) {
+    std::vector<WorkTree> candidates;
+    for (const WorkTree& tree : beam) {
+      candidates.push_back(NewRooted(tree, next, default_site, input.dc_sites[next]));
+      for (size_t e = 0; e < tree.topo.edges().size(); ++e) {
+        candidates.push_back(NewOnEdge(tree, e, next, default_site, input.dc_sites[next]));
+      }
+    }
+    // Rank every candidate with the solver (Alg. 3 lines 11 and 15).
+    for (WorkTree& cand : candidates) {
+      SolverInput restricted = RestrictInput(input, cand.topo);
+      cand.ranking = SolvePlacement(cand.topo, restricted).objective;
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const WorkTree& a, const WorkTree& b) { return a.ranking < b.ranking; });
+    // Threshold filter (Alg. 3 line 18) with a hard beam cap.
+    std::vector<WorkTree> kept;
+    for (size_t i = 0; i < candidates.size() && kept.size() < options.max_trees; ++i) {
+      if (i > 0) {
+        double prev = candidates[i - 1].ranking;
+        double gap = candidates[i].ranking - prev;
+        if (gap > options.filter_threshold * std::max(prev, 1000.0)) {
+          break;
+        }
+      }
+      kept.push_back(std::move(candidates[i]));
+    }
+    beam = std::move(kept);
+  }
+
+  // Final pass: fully solve each surviving tree and pick the best.
+  SolvedTree best;
+  bool first = true;
+  for (const WorkTree& tree : beam) {
+    SolvedTree solved = SolvePlacement(tree.topo, input);
+    if (first || solved.objective < best.objective) {
+      best = std::move(solved);
+      first = false;
+    }
+  }
+  if (options.fuse_serializers) {
+    best.topology.FuseSerializers();
+    best.objective = WeightedMismatch(best.topology, input);
+  }
+  std::string error;
+  SAT_CHECK_MSG(best.topology.Validate(&error), "generated topology invalid: %s", error.c_str());
+  return best;
+}
+
+}  // namespace saturn

@@ -1,0 +1,32 @@
+// Configuration generator (paper section 5.5, Algorithm 3).
+//
+// Enumerates isomorphism classes of full binary trees over the datacenter
+// leaves incrementally — one labeled leaf per iteration, each existing tree
+// spawning 2f-1 successors (hang the new leaf off any edge, or off a new
+// root) — ranking every shape with the placement/delay solver and keeping
+// only the most promising trees (beam filtering) to avoid the combinatorial
+// explosion the paper describes (2,027,025 trees at nine datacenters).
+#ifndef SRC_SATURN_CONFIG_GENERATOR_H_
+#define SRC_SATURN_CONFIG_GENERATOR_H_
+
+#include "src/saturn/tree_solver.h"
+
+namespace saturn {
+
+struct ConfigGeneratorOptions {
+  // A tree is discarded when its ranking exceeds the best ranking of its
+  // iteration by more than this relative threshold (Alg. 3 line 18).
+  double filter_threshold = 0.35;
+  // Hard cap on the beam, whatever the threshold admits.
+  size_t max_trees = 12;
+  // Fuse same-site zero-delay serializers in the final tree (section 5.5).
+  bool fuse_serializers = true;
+};
+
+// Finds a serializer-tree configuration approximating the Weighted Minimal
+// Mismatch optimum for the given datacenters.
+SolvedTree FindConfiguration(const SolverInput& input, const ConfigGeneratorOptions& options = {});
+
+}  // namespace saturn
+
+#endif  // SRC_SATURN_CONFIG_GENERATOR_H_

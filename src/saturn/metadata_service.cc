@@ -1,0 +1,105 @@
+#include "src/saturn/metadata_service.h"
+
+#include <map>
+#include <string>
+
+#include "src/common/check.h"
+
+namespace saturn {
+
+void MetadataService::DeployTree(uint32_t epoch, const TreeTopology& topology,
+                                 uint32_t chain_replicas) {
+  std::string error;
+  SAT_CHECK_MSG(topology.Validate(&error), "invalid topology: %s", error.c_str());
+
+  Deployment deployment;
+  deployment.epoch = epoch;
+
+  // Create one serializer per internal node.
+  std::map<uint32_t, Serializer*> by_topology_node;
+  const auto& nodes = topology.nodes();
+  for (uint32_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].is_dc) {
+      continue;
+    }
+    auto serializer = std::make_unique<Serializer>(sim_, net_, nodes[i].site, chain_replicas);
+    net_->Attach(serializer.get(), nodes[i].site);
+    by_topology_node[i] = serializer.get();
+    deployment.serializers.push_back(std::move(serializer));
+  }
+
+  // Resolve the network node id of any topology node.
+  auto node_id_of = [&](uint32_t topo_node) -> NodeId {
+    if (nodes[topo_node].is_dc) {
+      DcId dc = nodes[topo_node].dc;
+      SAT_CHECK(dc < datacenters_.size());
+      return datacenters_[dc]->node_id();
+    }
+    return by_topology_node.at(topo_node)->node_id();
+  };
+
+  // Wire links with per-direction reachability and artificial delays.
+  for (const auto& edge : topology.edges()) {
+    if (!nodes[edge.a].is_dc) {
+      Serializer::Link link;
+      link.peer = node_id_of(edge.b);
+      link.reach = topology.ReachableThrough(edge.a, edge.b);
+      link.delay = edge.delay_ab;
+      by_topology_node.at(edge.a)->AddLink(link);
+    }
+    if (!nodes[edge.b].is_dc) {
+      Serializer::Link link;
+      link.peer = node_id_of(edge.a);
+      link.reach = topology.ReachableThrough(edge.b, edge.a);
+      link.delay = edge.delay_ba;
+      by_topology_node.at(edge.b)->AddLink(link);
+    }
+    // Attach datacenter leaves to their adjacent serializer.
+    if (nodes[edge.a].is_dc) {
+      SAT_CHECK(!nodes[edge.b].is_dc);
+      datacenters_[nodes[edge.a].dc]->AttachToTree(epoch, node_id_of(edge.b));
+    }
+    if (nodes[edge.b].is_dc) {
+      SAT_CHECK(!nodes[edge.a].is_dc);
+      datacenters_[nodes[edge.b].dc]->AttachToTree(epoch, node_id_of(edge.a));
+    }
+  }
+
+  deployments_.push_back(std::move(deployment));
+}
+
+void MetadataService::SwitchToEpoch(uint32_t epoch) {
+  for (SaturnDc* dc : datacenters_) {
+    dc->BeginEpochSwitch(epoch);
+  }
+}
+
+void MetadataService::FailoverToEpoch(uint32_t epoch) {
+  for (SaturnDc* dc : datacenters_) {
+    dc->BeginFailoverSwitch(epoch);
+  }
+}
+
+void MetadataService::KillEpoch(uint32_t epoch) {
+  for (auto& deployment : deployments_) {
+    if (deployment.epoch == epoch) {
+      for (auto& s : deployment.serializers) {
+        s->KillAll();
+      }
+    }
+  }
+}
+
+std::vector<Serializer*> MetadataService::SerializersOf(uint32_t epoch) {
+  std::vector<Serializer*> out;
+  for (auto& deployment : deployments_) {
+    if (deployment.epoch == epoch) {
+      for (auto& s : deployment.serializers) {
+        out.push_back(s.get());
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace saturn

@@ -1,0 +1,52 @@
+// Saturn's metadata service: instantiates the serializer tree described by a
+// TreeTopology, wires datacenters to their adjacent serializers, and drives
+// online reconfiguration between tree epochs (paper sections 5.3 and 6.2).
+#ifndef SRC_SATURN_METADATA_SERVICE_H_
+#define SRC_SATURN_METADATA_SERVICE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/saturn/saturn_dc.h"
+#include "src/saturn/serializer.h"
+#include "src/saturn/topology.h"
+
+namespace saturn {
+
+class MetadataService {
+ public:
+  MetadataService(Simulator* sim, Network* net, std::vector<SaturnDc*> datacenters)
+      : sim_(sim), net_(net), datacenters_(std::move(datacenters)) {}
+
+  // Deploys `topology` as epoch `epoch`: creates one (chain-replicated)
+  // serializer per internal node and attaches every datacenter leaf. The
+  // first deployed epoch becomes the active one.
+  void DeployTree(uint32_t epoch, const TreeTopology& topology, uint32_t chain_replicas = 1);
+
+  // Fast-path reconfiguration to a previously deployed epoch (section 6.2).
+  void SwitchToEpoch(uint32_t epoch);
+
+  // Failure-path reconfiguration: the active tree is assumed unusable.
+  void FailoverToEpoch(uint32_t epoch);
+
+  // Kills every serializer of `epoch` (models a tree-wide outage).
+  void KillEpoch(uint32_t epoch);
+
+  // Serializers of one epoch, in topology internal-node order.
+  std::vector<Serializer*> SerializersOf(uint32_t epoch);
+
+ private:
+  struct Deployment {
+    uint32_t epoch = 0;
+    std::vector<std::unique_ptr<Serializer>> serializers;
+  };
+
+  Simulator* sim_;
+  Network* net_;
+  std::vector<SaturnDc*> datacenters_;
+  std::vector<Deployment> deployments_;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_SATURN_METADATA_SERVICE_H_

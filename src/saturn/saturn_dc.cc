@@ -1,0 +1,437 @@
+#include "src/saturn/saturn_dc.h"
+
+#include <algorithm>
+
+namespace saturn {
+
+SaturnDc::SaturnDc(Simulator* sim, Network* net, const DatacenterConfig& config,
+                   uint32_t num_dcs, ReplicaResolver resolver, Metrics* metrics,
+                   CausalityOracle* oracle)
+    : DatacenterBase(sim, net, config, num_dcs, std::move(resolver), metrics, oracle),
+      stream_progress_(num_dcs, -1),
+      bulk_gear_ts_(num_dcs, std::vector<int64_t>(config.num_gears, -1)) {}
+
+void SaturnDc::AttachToTree(uint32_t epoch, NodeId serializer_node) {
+  tree_neighbor_[epoch] = serializer_node;
+  has_tree_ = true;
+}
+
+void SaturnDc::Start() {
+  DatacenterBase::Start();
+  if (!has_tree_) {
+    // Peer-to-peer configuration: timestamp-order stability is the only
+    // delivery mechanism.
+    ts_mode_ = true;
+  }
+  last_stream_activity_ = sim_->Now();
+  EveryInterval(config_.sink_flush_interval, [this]() { FlushSink(); });
+  EveryInterval(config_.bulk_heartbeat_interval, [this]() {
+    SendBulkHeartbeats();
+    TimestampDrain();
+  });
+  if (has_tree_) {
+    // Liveness watchdog: a silent stream means the tree is partitioned or its
+    // serializers are down; timestamp-order stability takes over.
+    EveryInterval(Millis(10), [this]() {
+      if (!ts_mode_ && sim_->Now() - last_stream_activity_ > fallback_timeout_) {
+        ts_mode_ = true;
+        TimestampDrain();
+      }
+    });
+  }
+}
+
+// --------------------------------------------------------------------------
+// Label sink
+// --------------------------------------------------------------------------
+
+void SaturnDc::EmitLabel(const Label& label, DcSet interest) {
+  if (!has_tree_) {
+    // Peer-to-peer configuration: update labels ride piggybacked on payloads
+    // and migration labels cannot be delivered; attaches fall back to
+    // timestamp stability.
+    return;
+  }
+  LabelEnvelope env;
+  env.label = label;
+  env.interest = interest;
+  env.epoch = emit_epoch_;
+  sink_.push_back(env);
+}
+
+void SaturnDc::FlushSink() {
+  if (!has_tree_) {
+    return;
+  }
+  gears_[0]->queue().Submit(sim_->Now(), CostModel::AsTime(config_.costs.sink_flush_us));
+  if (sink_.empty()) {
+    // Idle heartbeat: keeps remote stream progress (and liveness detection)
+    // moving. Safe: every future label from this DC carries ts >= clock now.
+    int64_t ts = clock_.Now();
+    if (ts <= last_heartbeat_ts_) {
+      return;
+    }
+    last_heartbeat_ts_ = ts;
+    LabelEnvelope hb;
+    hb.label.type = LabelType::kHeartbeat;
+    hb.label.src = MakeSourceId(config_.id, 0);
+    hb.label.ts = ts;
+    hb.epoch = emit_epoch_;
+    hb.interest = DcSet::FirstN(num_dcs_).Minus(DcSet::Single(config_.id));
+    auto it = tree_neighbor_.find(emit_epoch_);
+    SAT_CHECK(it != tree_neighbor_.end());
+    net_->Send(node_id(), it->second, hb);
+    return;
+  }
+  // Order the batch by timestamp: a causality-compliant serialization of this
+  // datacenter's labels (section 4, label sink).
+  std::sort(sink_.begin(), sink_.end(),
+            [](const LabelEnvelope& a, const LabelEnvelope& b) { return a.label < b.label; });
+  for (const auto& env : sink_) {
+    auto it = tree_neighbor_.find(env.epoch);
+    SAT_CHECK_MSG(it != tree_neighbor_.end(), "no tree for epoch %u", env.epoch);
+    net_->Send(node_id(), it->second, env);
+  }
+  sink_.clear();
+}
+
+void SaturnDc::OnLocalUpdateCommitted(const ClientRequest& req, const Label& label) {
+  DcSet interest = resolver_(req.key).Minus(DcSet::Single(config_.id));
+  if (!interest.Empty()) {
+    EmitLabel(label, interest);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Remote proxy: stream drain
+// --------------------------------------------------------------------------
+
+void SaturnDc::OnOtherMessage(NodeId from, const Message& msg) {
+  (void)from;
+  if (const auto* hb = std::get_if<BulkHeartbeat>(&msg)) {
+    NoteBulkProgress(hb->origin, hb->gear, hb->ts);
+    TimestampDrain();
+    return;
+  }
+  if (const auto* env = std::get_if<LabelEnvelope>(&msg)) {
+    last_stream_activity_ = sim_->Now();
+    if (env->epoch == epoch_ && !failover_pending_) {
+      stream_.push_back(*env);
+      PumpStream();
+    } else if (env->epoch > epoch_) {
+      // Labels of the next configuration are buffered until the switch
+      // completes (section 6.2).
+      buffered_next_epoch_.push_back(*env);
+      if (failover_pending_) {
+        TimestampDrain();
+      }
+    }
+    // Labels of past epochs are duplicates of work already covered; drop.
+  }
+}
+
+void SaturnDc::PumpStream() {
+  while (!stream_.empty()) {
+    const LabelEnvelope env = stream_.front();
+    const Label& l = env.label;
+    if (l.type == LabelType::kUpdate) {
+      if (applied_uids_.count(l.uid) == 0) {
+        auto it = pending_payloads_.find(KeyOf(l));
+        if (it == pending_payloads_.end()) {
+          // Stall: the stream may not overtake the bulk-data transfer.
+          return;
+        }
+        RemotePayload payload = it->second;
+        pending_payloads_.erase(it);
+        pending_order_.erase(l);
+        ApplyOrdered(payload);
+      }
+    } else {
+      ProcessStreamLabel(env);
+    }
+    if (l.origin_dc() < num_dcs_ && l.ts > stream_progress_[l.origin_dc()]) {
+      stream_progress_[l.origin_dc()] = l.ts;
+    }
+    stream_.pop_front();
+  }
+  CheckAttachWaiters();
+}
+
+void SaturnDc::ProcessStreamLabel(const LabelEnvelope& env) {
+  const Label& l = env.label;
+  switch (l.type) {
+    case LabelType::kHeartbeat:
+      break;  // progress bookkeeping happens in PumpStream
+    case LabelType::kMigration:
+      if (l.target_dc == config_.id) {
+        completed_migrations_.insert(KeyOf(l));
+      }
+      break;
+    case LabelType::kEpochChange:
+      if (switching_) {
+        epoch_change_seen_.Add(l.origin_dc());
+        if (epoch_change_seen_.Union(DcSet::Single(config_.id)) == DcSet::FirstN(num_dcs_) &&
+            stream_.size() == 1) {
+          // This is the last old-tree label: every datacenter has switched and
+          // everything before is applied (the stream is otherwise drained).
+          FinishEpochSwitch();
+        }
+      }
+      break;
+    case LabelType::kUpdate:
+      break;  // handled by the caller
+  }
+}
+
+void SaturnDc::ApplyOrdered(const RemotePayload& payload) {
+  applied_uids_.insert(payload.label.uid);
+  SimTime floor = std::max(last_visible_, sim_->Now());
+  ApplyRemoteUpdate(payload, floor, [this](SimTime t) { last_visible_ = t; });
+}
+
+// --------------------------------------------------------------------------
+// Remote proxy: timestamp-stability drain (fallback / P-configuration)
+// --------------------------------------------------------------------------
+
+void SaturnDc::NoteBulkProgress(DcId origin, uint32_t gear, int64_t ts) {
+  SAT_CHECK(origin < num_dcs_ && gear < config_.num_gears);
+  if (ts > bulk_gear_ts_[origin][gear]) {
+    bulk_gear_ts_[origin][gear] = ts;
+  }
+}
+
+int64_t SaturnDc::TimestampStable() const {
+  int64_t stable = kSimTimeNever;
+  for (DcId dc = 0; dc < num_dcs_; ++dc) {
+    if (dc == config_.id) {
+      continue;
+    }
+    for (int64_t ts : bulk_gear_ts_[dc]) {
+      stable = std::min(stable, ts);
+    }
+  }
+  if (num_dcs_ <= 1) {
+    return clock_.Now();
+  }
+  return stable;
+}
+
+void SaturnDc::TimestampDrain() {
+  // Timestamp-order application runs ONLY while the metadata service is out
+  // (or absent: the peer-to-peer configuration). Running it alongside a
+  // healthy stream would be unsound: data made visible ahead of its label at
+  // one datacenter lets a client issue an update whose label overtakes its
+  // dependency's label in another datacenter's stream, voiding the tree's
+  // causal-delivery guarantee. The paper uses timestamp order strictly as the
+  // outage fallback (section 6.1).
+  if (ts_mode_) {
+    int64_t stable = TimestampStable();
+    while (!pending_order_.empty() && pending_order_.begin()->ts <= stable) {
+      Label head = *pending_order_.begin();
+      pending_order_.erase(pending_order_.begin());
+      auto it = pending_payloads_.find(KeyOf(head));
+      SAT_CHECK(it != pending_payloads_.end());
+      RemotePayload payload = it->second;
+      pending_payloads_.erase(it);
+      if (applied_uids_.count(head.uid) == 0) {
+        ApplyOrdered(payload);
+      }
+    }
+    if (failover_pending_) {
+      // The drain above has just covered everything timestamp-stable, which
+      // includes every label lost with the dead tree (all lost labels predate
+      // the coordinated switch, hence the first new-tree label).
+      MaybeResumeAfterFailover();
+    }
+  }
+  CheckAttachWaiters();
+}
+
+void SaturnDc::OnRemotePayload(const RemotePayload& payload) {
+  // The label piggybacked on the payload doubles as a progress marker for
+  // timestamp-order stability (section 6.1).
+  NoteBulkProgress(payload.label.origin_dc(), SourceGear(payload.label.src),
+                   payload.label.ts);
+  if (applied_uids_.count(payload.label.uid) != 0) {
+    return;
+  }
+  pending_payloads_[KeyOf(payload.label)] = payload;
+  pending_order_.insert(payload.label);
+  // Drain by timestamp stability *before* pumping the stream: the arriving
+  // payload may have advanced stability (NoteBulkProgress above), and attach
+  // waiters -- re-checked by both drains -- must only complete after every
+  // newly stable update has been scheduled for visibility.
+  TimestampDrain();
+  PumpStream();
+}
+
+// --------------------------------------------------------------------------
+// Attach and migration (section 4)
+// --------------------------------------------------------------------------
+
+bool SaturnDc::WaiterReady(const ClientRequest& req) const {
+  const Label& l = req.client_label;
+  if (l.ts < 0 || l.origin_dc() == config_.id) {
+    return true;
+  }
+  if (l.type == LabelType::kMigration) {
+    if (l.target_dc == config_.id && completed_migrations_.count(KeyOf(l)) != 0) {
+      return true;
+    }
+    // A dead tree never delivers the migration label; fall through to the
+    // timestamp condition so migrating clients are not stuck forever.
+    if (!ts_mode_) {
+      return false;
+    }
+  }
+  // Update label (or migration under fallback): wait until a label with an
+  // equal or greater timestamp has been processed from every remote DC. The
+  // bulk-channel stability bound only counts while in timestamp mode, where
+  // stable updates are actually applied.
+  int64_t ts_stable = ts_mode_ ? TimestampStable() : -1;
+  for (DcId dc = 0; dc < num_dcs_; ++dc) {
+    if (dc == config_.id) {
+      continue;
+    }
+    if (stream_progress_[dc] < l.ts && ts_stable < l.ts) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SaturnDc::CompleteWaiter(NodeId from, const ClientRequest& req) {
+  // The attach completes once everything the client may have observed is
+  // visible, i.e. after the visibility chain catches up.
+  SimTime when = std::max(last_visible_, sim_->Now()) +
+                 CostModel::AsTime(config_.costs.attach_base_us);
+  sim_->At(when, [this, from, req]() { FinishAttach(from, req); });
+}
+
+void SaturnDc::CheckAttachWaiters() {
+  if (waiters_.empty()) {
+    return;
+  }
+  std::vector<AttachWaiter> still;
+  for (auto& w : waiters_) {
+    if (WaiterReady(w.req)) {
+      CompleteWaiter(w.from, w.req);
+    } else {
+      still.push_back(std::move(w));
+    }
+  }
+  waiters_ = std::move(still);
+}
+
+void SaturnDc::HandleAttach(NodeId from, const ClientRequest& req) {
+  if (WaiterReady(req)) {
+    CompleteWaiter(from, req);
+    return;
+  }
+  waiters_.push_back(AttachWaiter{from, req});
+}
+
+void SaturnDc::HandleMigrate(NodeId from, const ClientRequest& req) {
+  // Alg. 1 lines 22-26 / Alg. 2 lines 15-19: any gear generates a migration
+  // label greater than the client's causal past and hands it to the sink;
+  // Saturn delivers it to the target datacenter in causal order.
+  Gear& gear = RandomGear();
+  Label label;
+  label.type = LabelType::kMigration;
+  label.src = gear.source();
+  label.ts = gear.GenerateTimestamp(req.client_label);
+  label.target_dc = req.target_dc;
+  label.uid = req.request_id;
+
+  SimTime done = gear.queue().Submit(sim_->Now(), CostModel::AsTime(config_.costs.scalar_meta_us +
+                                                                    config_.costs.attach_base_us));
+  EmitLabel(label, DcSet::Single(req.target_dc));
+
+  sim_->At(done, [this, from, req, label]() {
+    ClientResponse resp;
+    resp.op = ClientOpType::kMigrate;
+    resp.client = req.client;
+    resp.request_id = req.request_id;
+    resp.label = label;
+    net_->Send(node_id(), from, resp);
+  });
+}
+
+Label SaturnDc::MakeMigrationLabel(const ClientRequest& req, const Label& floor) {
+  // Composite operate-and-migrate: the gear that just served the operation
+  // generates the migration label, so it can dominate both the client's
+  // causal past and the operation's result atomically.
+  Gear& gear = GearFor(req.key);
+  Label label;
+  label.type = LabelType::kMigration;
+  label.src = gear.source();
+  label.ts = gear.GenerateTimestamp(floor);
+  label.target_dc = req.target_dc;
+  EmitLabel(label, DcSet::Single(req.target_dc));
+  return label;
+}
+
+// --------------------------------------------------------------------------
+// Reconfiguration (section 6.2)
+// --------------------------------------------------------------------------
+
+void SaturnDc::BeginEpochSwitch(uint32_t new_epoch) {
+  SAT_CHECK(tree_neighbor_.count(new_epoch) != 0);
+  SAT_CHECK(!switching_);
+  switching_ = true;
+  next_epoch_ = new_epoch;
+  epoch_change_seen_ = DcSet();
+
+  // Emit the epoch-change label through the old tree, then move emission to
+  // the new one. Everything already in the sink flushes ahead of it.
+  Gear& gear = RandomGear();
+  Label label;
+  label.type = LabelType::kEpochChange;
+  label.src = gear.source();
+  label.ts = gear.HeartbeatTimestamp();
+  label.target_dc = config_.id;
+  EmitLabel(label, DcSet::FirstN(num_dcs_).Minus(DcSet::Single(config_.id)));
+  FlushSink();
+  emit_epoch_ = new_epoch;
+}
+
+void SaturnDc::FinishEpochSwitch() {
+  switching_ = false;
+  epoch_ = next_epoch_;
+  // The buffered new-tree labels become the live stream.
+  stream_.insert(stream_.end(), buffered_next_epoch_.begin(), buffered_next_epoch_.end());
+  buffered_next_epoch_.clear();
+  // PumpStream() continues from the caller's loop; the epoch-change label that
+  // triggered the switch is still at the front and is popped there.
+}
+
+void SaturnDc::BeginFailoverSwitch(uint32_t new_epoch) {
+  SAT_CHECK(tree_neighbor_.count(new_epoch) != 0);
+  ts_mode_ = true;
+  failover_pending_ = true;
+  next_epoch_ = new_epoch;
+  emit_epoch_ = new_epoch;
+  stream_.clear();  // the old tree's stream is dead
+  MaybeResumeAfterFailover();
+}
+
+void SaturnDc::MaybeResumeAfterFailover() {
+  if (!failover_pending_ || buffered_next_epoch_.empty()) {
+    return;
+  }
+  // Resume once the first label delivered by the new tree is stable in
+  // timestamp order: everything that could precede it causally has already
+  // been applied by the timestamp drain (which runs just before this check).
+  if (buffered_next_epoch_.front().label.ts > TimestampStable()) {
+    return;
+  }
+  failover_pending_ = false;
+  epoch_ = next_epoch_;
+  ts_mode_ = false;
+  last_stream_activity_ = sim_->Now();
+  stream_ = std::move(buffered_next_epoch_);
+  buffered_next_epoch_.clear();
+  PumpStream();
+}
+
+}  // namespace saturn

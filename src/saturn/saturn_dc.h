@@ -1,0 +1,154 @@
+// Saturn-attached datacenter (paper sections 2-4 and 6).
+//
+// Local side: gears hand every generated label to the label sink, which
+// periodically orders its batch by timestamp — a causality-compliant serial
+// stream — and feeds it to the adjacent serializer of the current tree.
+//
+// Remote side: the remote proxy consumes the label stream Saturn delivers and
+// applies each remote update when both its label (from the stream, in order)
+// and its payload (from the bulk-data channel) have arrived. When the stream
+// goes silent (serializer outage), a watchdog switches the datacenter to
+// timestamp mode, where a drain applies updates once they are
+// *timestamp-stable* (every remote gear has passed their timestamp, via
+// payload-piggybacked labels and bulk heartbeats) — the section 6.1 fallback
+// that keeps data available through a Saturn outage. The two mechanisms never
+// run concurrently in steady state: applying timestamp-stable data ahead of
+// its label at one datacenter would let a dependent update's label overtake
+// it in another datacenter's stream. Both share one monotone visibility
+// floor, so visibility order respects causality across mode transitions.
+//
+// With no tree attached the datacenter runs in pure timestamp mode: this is
+// the paper's peer-to-peer "P-configuration" (section 7.1).
+#ifndef SRC_SATURN_SATURN_DC_H_
+#define SRC_SATURN_SATURN_DC_H_
+
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/core/datacenter.h"
+
+namespace saturn {
+
+class SaturnDc : public DatacenterBase {
+ public:
+  SaturnDc(Simulator* sim, Network* net, const DatacenterConfig& config, uint32_t num_dcs,
+           ReplicaResolver resolver, Metrics* metrics, CausalityOracle* oracle);
+
+  // Wires this datacenter to its adjacent serializer for `epoch`. Not calling
+  // this at all yields the peer-to-peer timestamp-mode configuration.
+  void AttachToTree(uint32_t epoch, NodeId serializer_node);
+
+  void Start() override;
+
+  // --- Reconfiguration (section 6.2) -------------------------------------
+
+  // Fast path: the current tree is healthy. Emits an epoch-change label via
+  // the old tree and moves label emission to `new_epoch`'s tree. The remote
+  // proxy switches once epoch-change labels from every datacenter have been
+  // processed and everything before them applied.
+  void BeginEpochSwitch(uint32_t new_epoch);
+
+  // Failure path: the current tree is unusable. Runs on timestamp-order
+  // stability until the first label delivered by the new tree is stable, then
+  // resumes stream mode on the new tree.
+  void BeginFailoverSwitch(uint32_t new_epoch);
+
+  bool in_timestamp_mode() const { return ts_mode_; }
+  uint32_t current_epoch() const { return epoch_; }
+  SimTime fallback_timeout() const { return fallback_timeout_; }
+  void set_fallback_timeout(SimTime t) { fallback_timeout_ = t; }
+
+ protected:
+  void HandleAttach(NodeId from, const ClientRequest& req) override;
+  void HandleMigrate(NodeId from, const ClientRequest& req) override;
+  Label MakeMigrationLabel(const ClientRequest& req, const Label& floor) override;
+  void OnRemotePayload(const RemotePayload& payload) override;
+  void OnOtherMessage(NodeId from, const Message& msg) override;
+  void OnLocalUpdateCommitted(const ClientRequest& req, const Label& label) override;
+
+  SimTime ExtraUpdateCost(const ClientRequest&) const override {
+    return CostModel::AsTime(config_.costs.scalar_meta_us);
+  }
+  SimTime ExtraReadCost(const ClientRequest&) const override {
+    return CostModel::AsTime(config_.costs.scalar_meta_us);
+  }
+  SimTime ExtraRemoteApplyCost(const RemotePayload&) const override {
+    return CostModel::AsTime(config_.costs.scalar_meta_us);
+  }
+
+ private:
+  using LabelKey = std::pair<SourceId, int64_t>;
+
+  static LabelKey KeyOf(const Label& label) { return {label.src, label.ts}; }
+
+  struct AttachWaiter {
+    NodeId from;
+    ClientRequest req;
+  };
+
+  struct LabelOrder {
+    bool operator()(const Label& a, const Label& b) const { return a < b; }
+  };
+
+  // --- Label sink ---------------------------------------------------------
+  void EmitLabel(const Label& label, DcSet interest);
+  void FlushSink();
+
+  // --- Remote proxy -------------------------------------------------------
+  void PumpStream();
+  void ProcessStreamLabel(const LabelEnvelope& env);
+  void TimestampDrain();
+  int64_t TimestampStable() const;
+  void ApplyOrdered(const RemotePayload& payload);
+  void CheckAttachWaiters();
+  bool WaiterReady(const ClientRequest& req) const;
+  void CompleteWaiter(NodeId from, const ClientRequest& req);
+  void NoteBulkProgress(DcId origin, uint32_t gear, int64_t ts);
+  void MaybeResumeAfterFailover();
+  void FinishEpochSwitch();
+
+  // Tree attachment per epoch.
+  std::map<uint32_t, NodeId> tree_neighbor_;
+  uint32_t epoch_ = 0;
+  uint32_t emit_epoch_ = 0;
+  bool has_tree_ = false;
+
+  // Label sink state.
+  std::vector<LabelEnvelope> sink_;
+  int64_t last_heartbeat_ts_ = -1;
+
+  // Stream state.
+  std::deque<LabelEnvelope> stream_;
+  std::deque<LabelEnvelope> buffered_next_epoch_;
+  std::vector<int64_t> stream_progress_;  // per origin DC: max processed label ts
+  SimTime last_visible_ = 0;              // shared monotone visibility floor
+  SimTime last_stream_activity_ = 0;
+
+  // Payload buffer shared by both drains.
+  std::map<LabelKey, RemotePayload> pending_payloads_;
+  std::set<Label, LabelOrder> pending_order_;
+  std::unordered_set<uint64_t> applied_uids_;
+
+  // Timestamp-stability state.
+  bool ts_mode_ = false;
+  std::vector<std::vector<int64_t>> bulk_gear_ts_;  // [dc][gear]
+  SimTime fallback_timeout_ = Millis(300);
+
+  // Reconfiguration state.
+  bool switching_ = false;
+  bool failover_pending_ = false;
+  uint32_t next_epoch_ = 0;
+  DcSet epoch_change_seen_;
+
+  // Attach/migration bookkeeping.
+  std::vector<AttachWaiter> waiters_;
+  std::set<LabelKey> completed_migrations_;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_SATURN_SATURN_DC_H_

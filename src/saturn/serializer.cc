@@ -1,0 +1,187 @@
+#include "src/saturn/serializer.h"
+
+#include "src/common/check.h"
+
+namespace saturn {
+
+void ChainReplica::HandleMessage(NodeId from, const Message& msg) {
+  (void)from;
+  if (!alive_) {
+    return;
+  }
+  const auto* fwd = std::get_if<ChainForward>(&msg);
+  if (fwd == nullptr) {
+    return;
+  }
+  // Dedup after splice-driven resends.
+  if (fwd->seq <= last_seen_seq_) {
+    return;
+  }
+  last_seen_seq_ = fwd->seq;
+  if (successor_ != kInvalidNode) {
+    net_->Send(node_id(), successor_, *fwd);
+  } else {
+    // Tail: the envelope is replicated; hand it back for routing.
+    owner_->Commit(*fwd);
+  }
+}
+
+Serializer::Serializer(Simulator* sim, Network* net, SiteId site, uint32_t replicas)
+    : sim_(sim), net_(net), site_(site) {
+  SAT_CHECK(replicas >= 1);
+  // The first "replica" is the serializer process itself; extra replicas form
+  // the chain. With replicas == 1 envelopes commit synchronously.
+  for (uint32_t i = 1; i < replicas; ++i) {
+    auto replica = std::make_unique<ChainReplica>(net, this, i);
+    net->Attach(replica.get(), site);
+    replicas_.push_back(std::move(replica));
+  }
+  RewireChain();
+}
+
+void Serializer::AddLink(const Link& link) { links_.push_back(link); }
+
+void Serializer::RewireChain() {
+  ChainReplica* prev = nullptr;
+  for (auto& r : replicas_) {
+    if (!r->alive()) {
+      continue;
+    }
+    if (prev != nullptr) {
+      prev->set_successor(r->node_id());
+    }
+    prev = r.get();
+  }
+  if (prev != nullptr) {
+    prev->set_successor(kInvalidNode);  // tail commits back to the facade
+  }
+}
+
+NodeId Serializer::FirstLiveReplica() const {
+  for (const auto& r : replicas_) {
+    if (r->alive()) {
+      return r->node_id();
+    }
+  }
+  return kInvalidNode;
+}
+
+bool Serializer::Alive() const { return !killed_; }
+
+uint32_t Serializer::live_replicas() const {
+  uint32_t n = killed_ ? 0 : 1;
+  for (const auto& r : replicas_) {
+    if (r->alive()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void Serializer::HandleMessage(NodeId from, const Message& msg) {
+  if (killed_) {
+    return;
+  }
+  if (const auto* env = std::get_if<LabelEnvelope>(&msg)) {
+    EnqueueThroughChain(*env, from);
+  }
+}
+
+void Serializer::EnqueueThroughChain(const LabelEnvelope& env, NodeId ingress) {
+  ChainForward fwd;
+  fwd.envelope = env;
+  fwd.seq = next_seq_++;
+  fwd.ingress_link = ingress;
+
+  NodeId head = FirstLiveReplica();
+  if (head == kInvalidNode) {
+    // Unreplicated serializer: commit synchronously.
+    Commit(fwd);
+    return;
+  }
+  unacked_[fwd.seq] = fwd;
+  net_->Send(node_id(), head, fwd);
+}
+
+void Serializer::Commit(const ChainForward& fwd) {
+  if (killed_) {
+    return;
+  }
+  if (fwd.seq < next_commit_) {
+    return;  // duplicate after resend
+  }
+  if (fwd.seq > next_commit_) {
+    out_of_order_[fwd.seq] = fwd;
+    return;
+  }
+  ChainForward current = fwd;
+  for (;;) {
+    unacked_.erase(current.seq);
+    ++next_commit_;
+    Route(current.envelope, current.ingress_link);
+    auto it = out_of_order_.find(next_commit_);
+    if (it == out_of_order_.end()) {
+      break;
+    }
+    current = it->second;
+    out_of_order_.erase(it);
+  }
+}
+
+void Serializer::Route(const LabelEnvelope& env, NodeId ingress) {
+  ++routed_;
+  for (const auto& link : links_) {
+    if (link.peer == ingress) {
+      continue;  // never send a label back where it came from
+    }
+    if (!env.interest.Intersects(link.reach)) {
+      continue;  // genuine partial replication: uninterested branch
+    }
+    if (link.delay > 0) {
+      // Artificial delay (section 5.4). Constant per directed edge, so FIFO
+      // order on the link is preserved.
+      NodeId self = node_id();
+      NodeId peer = link.peer;
+      Network* net = net_;
+      sim_->After(link.delay, [net, self, peer, env]() { net->Send(self, peer, env); });
+    } else {
+      net_->Send(node_id(), link.peer, env);
+    }
+  }
+}
+
+bool Serializer::KillReplica(uint32_t index) {
+  SAT_CHECK(index >= 1 && index - 1 < replicas_.size());
+  ChainReplica* replica = replicas_[index - 1].get();
+  if (!replica->alive()) {
+    return false;
+  }
+  replica->Kill();
+  RewireChain();
+  // Resend everything not yet committed through the repaired chain; replica
+  // dedup discards what survivors already saw, order is preserved because
+  // unacked_ is seq-ordered and commits are gated on contiguous sequences.
+  NodeId head = FirstLiveReplica();
+  std::vector<ChainForward> to_resend;
+  to_resend.reserve(unacked_.size());
+  for (const auto& [seq, fwd] : unacked_) {
+    to_resend.push_back(fwd);
+  }
+  for (const auto& fwd : to_resend) {
+    if (head == kInvalidNode) {
+      Commit(fwd);
+    } else {
+      net_->Send(node_id(), head, fwd);
+    }
+  }
+  return true;
+}
+
+void Serializer::KillAll() {
+  killed_ = true;
+  for (auto& r : replicas_) {
+    r->Kill();
+  }
+}
+
+}  // namespace saturn

@@ -1,0 +1,110 @@
+// Saturn serializers (paper sections 5.3 and 6.1).
+//
+// A serializer aggregates the label streams arriving on its tree links and
+// forwards every label, in arrival order, to each other link whose subtree
+// contains an interested datacenter. FIFO links plus order-preserving
+// forwarding are what make each datacenter's delivered stream causal.
+//
+// Fault tolerance: each logical serializer is replicated with chain
+// replication (van Renesse & Schneider, OSDI'04). The `Serializer` object is
+// the stable identity its tree neighbors address; incoming envelopes are
+// sequenced, pushed through the replica chain, and only routed once they
+// emerge from the tail ("committed"). Killing a replica triggers a splice and
+// a resend of unacknowledged envelopes; killing the whole group silences the
+// subtree, which downstream datacenters survive by falling back to
+// timestamp-order stability (section 6.1).
+#ifndef SRC_SATURN_SERIALIZER_H_
+#define SRC_SATURN_SERIALIZER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/dc_set.h"
+#include "src/common/types.h"
+#include "src/core/messages.h"
+#include "src/sim/actor.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/network.h"
+
+namespace saturn {
+
+class Serializer;
+
+// One replica in a serializer's chain: relays ChainForward messages to its
+// successor, deduplicating after splices.
+class ChainReplica : public Actor {
+ public:
+  ChainReplica(Network* net, Serializer* owner, uint32_t index)
+      : net_(net), owner_(owner), index_(index) {}
+
+  void HandleMessage(NodeId from, const Message& msg) override;
+
+  void Kill() { alive_ = false; }
+  bool alive() const { return alive_; }
+  void set_successor(NodeId node) { successor_ = node; }
+  uint32_t index() const { return index_; }
+
+ private:
+  Network* net_;
+  Serializer* owner_;
+  uint32_t index_;
+  NodeId successor_ = kInvalidNode;
+  bool alive_ = true;
+  uint64_t last_seen_seq_ = 0;
+};
+
+class Serializer : public Actor {
+ public:
+  struct Link {
+    NodeId peer = kInvalidNode;
+    DcSet reach;          // datacenters in the subtree behind this link
+    SimTime delay = 0;    // artificial propagation delay on this directed edge
+  };
+
+  // `replicas` >= 1; replicas beyond the first enable chain replication.
+  Serializer(Simulator* sim, Network* net, SiteId site, uint32_t replicas);
+
+  void AddLink(const Link& link);
+
+  void HandleMessage(NodeId from, const Message& msg) override;
+
+  // Called by the tail replica when an envelope has traversed the full chain.
+  void Commit(const ChainForward& fwd);
+
+  // Kills replica `index`; the controller splices the chain and resends
+  // unacknowledged envelopes. Returns false if it was already dead.
+  bool KillReplica(uint32_t index);
+
+  // Kills the entire group: all traffic is dropped from now on.
+  void KillAll();
+
+  bool Alive() const;
+  uint32_t live_replicas() const;
+  uint64_t routed() const { return routed_; }
+  SiteId site() const { return site_; }
+
+ private:
+  void EnqueueThroughChain(const LabelEnvelope& env, NodeId ingress);
+  void Route(const LabelEnvelope& env, NodeId ingress);
+  NodeId FirstLiveReplica() const;
+  void RewireChain();
+
+  Simulator* sim_;
+  Network* net_;
+  SiteId site_;
+  std::vector<std::unique_ptr<ChainReplica>> replicas_;
+  std::vector<Link> links_;
+  bool killed_ = false;
+
+  uint64_t next_seq_ = 1;
+  uint64_t next_commit_ = 1;
+  std::map<uint64_t, ChainForward> unacked_;   // sent into the chain, not yet committed
+  std::map<uint64_t, ChainForward> out_of_order_;
+  uint64_t routed_ = 0;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_SATURN_SERIALIZER_H_

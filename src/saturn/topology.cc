@@ -1,0 +1,278 @@
+#include "src/saturn/topology.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/common/check.h"
+
+namespace saturn {
+
+uint32_t TreeTopology::AddDcLeaf(DcId dc, SiteId site) {
+  nodes_.push_back(TopologyNode{true, dc, site});
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+uint32_t TreeTopology::AddSerializer(SiteId site) {
+  nodes_.push_back(TopologyNode{false, kInvalidDc, site});
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+void TreeTopology::AddEdge(uint32_t a, uint32_t b, SimTime delay_ab, SimTime delay_ba) {
+  SAT_CHECK(a < nodes_.size() && b < nodes_.size() && a != b);
+  edges_.push_back(TopologyEdge{a, b, delay_ab, delay_ba});
+}
+
+std::vector<uint32_t> TreeTopology::Neighbors(uint32_t node) const {
+  std::vector<uint32_t> out;
+  for (const auto& e : edges_) {
+    if (e.a == node) {
+      out.push_back(e.b);
+    } else if (e.b == node) {
+      out.push_back(e.a);
+    }
+  }
+  return out;
+}
+
+bool TreeTopology::Validate(std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) {
+      *error = msg;
+    }
+    return false;
+  };
+  if (nodes_.empty()) {
+    return fail("empty topology");
+  }
+  if (edges_.size() != nodes_.size() - 1) {
+    return fail("edge count does not match a tree");
+  }
+  // Connectivity check via BFS.
+  std::vector<bool> seen(nodes_.size(), false);
+  std::queue<uint32_t> queue;
+  queue.push(0);
+  seen[0] = true;
+  uint32_t visited = 0;
+  while (!queue.empty()) {
+    uint32_t n = queue.front();
+    queue.pop();
+    ++visited;
+    for (uint32_t nb : Neighbors(n)) {
+      if (!seen[nb]) {
+        seen[nb] = true;
+        queue.push(nb);
+      }
+    }
+  }
+  if (visited != nodes_.size()) {
+    return fail("topology is not connected");
+  }
+  // Datacenters must be leaves (they only attach to the tree, never relay).
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].is_dc && Neighbors(i).size() > 1) {
+      return fail("datacenter node is not a leaf");
+    }
+  }
+  return true;
+}
+
+uint32_t TreeTopology::LeafOf(DcId dc) const {
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].is_dc && nodes_[i].dc == dc) {
+      return i;
+    }
+  }
+  return UINT32_MAX;
+}
+
+std::vector<uint32_t> TreeTopology::Path(uint32_t from, uint32_t to) const {
+  std::vector<uint32_t> parent(nodes_.size(), UINT32_MAX);
+  std::queue<uint32_t> queue;
+  queue.push(from);
+  parent[from] = from;
+  while (!queue.empty()) {
+    uint32_t n = queue.front();
+    queue.pop();
+    if (n == to) {
+      break;
+    }
+    for (uint32_t nb : Neighbors(n)) {
+      if (parent[nb] == UINT32_MAX) {
+        parent[nb] = n;
+        queue.push(nb);
+      }
+    }
+  }
+  if (parent[to] == UINT32_MAX) {
+    return {};
+  }
+  std::vector<uint32_t> path;
+  for (uint32_t n = to; n != from; n = parent[n]) {
+    path.push_back(n);
+  }
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+SimTime TreeTopology::DelayOn(uint32_t from, uint32_t to) const {
+  for (const auto& e : edges_) {
+    if (e.a == from && e.b == to) {
+      return e.delay_ab;
+    }
+    if (e.b == from && e.a == to) {
+      return e.delay_ba;
+    }
+  }
+  return 0;
+}
+
+void TreeTopology::SetDelay(uint32_t from, uint32_t to, SimTime delay) {
+  for (auto& e : edges_) {
+    if (e.a == from && e.b == to) {
+      e.delay_ab = delay;
+      return;
+    }
+    if (e.b == from && e.a == to) {
+      e.delay_ba = delay;
+      return;
+    }
+  }
+  SAT_CHECK_MSG(false, "no edge %u-%u", from, to);
+}
+
+SimTime TreeTopology::PathLatency(DcId from, DcId to, const Network& net) const {
+  return PathLatency(from, to,
+                     [&net](SiteId a, SiteId b) { return net.BaseLatency(a, b); });
+}
+
+SimTime TreeTopology::PathLatency(DcId from, DcId to,
+                                  const std::function<SimTime(SiteId, SiteId)>& latency) const {
+  uint32_t a = LeafOf(from);
+  uint32_t b = LeafOf(to);
+  if (a == UINT32_MAX || b == UINT32_MAX) {
+    return -1;
+  }
+  std::vector<uint32_t> path = Path(a, b);
+  if (path.empty()) {
+    return -1;
+  }
+  SimTime total = 0;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    SiteId sa = nodes_[path[i]].site;
+    SiteId sb = nodes_[path[i + 1]].site;
+    total += latency(sa, sb);
+    total += DelayOn(path[i], path[i + 1]);
+  }
+  return total;
+}
+
+DcSet TreeTopology::ReachableThrough(uint32_t node, uint32_t neighbor) const {
+  // BFS the neighbor's side with the (node, neighbor) edge removed.
+  DcSet reach;
+  std::vector<bool> seen(nodes_.size(), false);
+  seen[node] = true;
+  seen[neighbor] = true;
+  std::queue<uint32_t> queue;
+  queue.push(neighbor);
+  if (nodes_[neighbor].is_dc) {
+    reach.Add(nodes_[neighbor].dc);
+  }
+  while (!queue.empty()) {
+    uint32_t n = queue.front();
+    queue.pop();
+    for (uint32_t nb : Neighbors(n)) {
+      if (seen[nb]) {
+        continue;
+      }
+      seen[nb] = true;
+      if (nodes_[nb].is_dc) {
+        reach.Add(nodes_[nb].dc);
+      }
+      queue.push(nb);
+    }
+  }
+  return reach;
+}
+
+uint32_t TreeTopology::FuseSerializers() {
+  uint32_t fusions = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& e : edges_) {
+      const TopologyNode& na = nodes_[e.a];
+      const TopologyNode& nb = nodes_[e.b];
+      if (na.is_dc || nb.is_dc || na.site != nb.site || e.delay_ab != 0 || e.delay_ba != 0) {
+        continue;
+      }
+      // Fuse b into a: re-point b's other edges at a, drop the (a, b) edge.
+      uint32_t keep = e.a;
+      uint32_t drop = e.b;
+      std::vector<TopologyEdge> new_edges;
+      for (const auto& edge : edges_) {
+        if ((edge.a == keep && edge.b == drop) || (edge.a == drop && edge.b == keep)) {
+          continue;
+        }
+        TopologyEdge copy = edge;
+        if (copy.a == drop) {
+          copy.a = keep;
+        }
+        if (copy.b == drop) {
+          copy.b = keep;
+        }
+        new_edges.push_back(copy);
+      }
+      edges_ = std::move(new_edges);
+      // Remove the dropped node, remapping indices above it.
+      nodes_.erase(nodes_.begin() + drop);
+      for (auto& edge : edges_) {
+        if (edge.a > drop) {
+          --edge.a;
+        }
+        if (edge.b > drop) {
+          --edge.b;
+        }
+      }
+      ++fusions;
+      changed = true;
+      break;
+    }
+  }
+  return fusions;
+}
+
+uint32_t TreeTopology::NumSerializers() const {
+  uint32_t n = 0;
+  for (const auto& node : nodes_) {
+    if (!node.is_dc) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string TreeTopology::ToString() const {
+  std::string out = "tree{";
+  for (const auto& e : edges_) {
+    auto name = [&](uint32_t n) {
+      return nodes_[n].is_dc ? "dc" + std::to_string(nodes_[n].dc)
+                             : "s@" + std::to_string(nodes_[n].site);
+    };
+    out += " " + name(e.a) + "-" + name(e.b);
+  }
+  out += " }";
+  return out;
+}
+
+TreeTopology StarTopology(const std::vector<SiteId>& dc_sites, SiteId hub_site) {
+  TreeTopology tree;
+  uint32_t hub = tree.AddSerializer(hub_site);
+  for (uint32_t dc = 0; dc < dc_sites.size(); ++dc) {
+    uint32_t leaf = tree.AddDcLeaf(dc, dc_sites[dc]);
+    tree.AddEdge(hub, leaf);
+  }
+  return tree;
+}
+
+}  // namespace saturn

@@ -1,0 +1,97 @@
+// Serializer tree topology (paper section 5.3).
+//
+// Serializers and datacenters form a tree with datacenters as leaves,
+// connected by FIFO channels. Labels are propagated along the shared tree
+// with the source datacenter acting as the root, and only into branches that
+// contain interested datacenters (genuine partial replication). Edges may add
+// artificial propagation delays to match optimal visibility times (5.4).
+#ifndef SRC_SATURN_TOPOLOGY_H_
+#define SRC_SATURN_TOPOLOGY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/dc_set.h"
+#include "src/common/types.h"
+#include "src/sim/network.h"
+
+namespace saturn {
+
+struct TopologyNode {
+  bool is_dc = false;
+  DcId dc = kInvalidDc;   // valid when is_dc
+  SiteId site = 0;        // geographic placement
+};
+
+struct TopologyEdge {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  SimTime delay_ab = 0;  // artificial delay when forwarding a -> b
+  SimTime delay_ba = 0;  // artificial delay when forwarding b -> a
+};
+
+class TreeTopology {
+ public:
+  // Adds a node; returns its index.
+  uint32_t AddDcLeaf(DcId dc, SiteId site);
+  uint32_t AddSerializer(SiteId site);
+
+  void AddEdge(uint32_t a, uint32_t b, SimTime delay_ab = 0, SimTime delay_ba = 0);
+
+  // True when the graph is a tree (connected, acyclic) and every datacenter
+  // node is a leaf.
+  bool Validate(std::string* error = nullptr) const;
+
+  // Metadata-path latency from dc i to dc j through the tree: sum of link
+  // latencies plus artificial delays along the path. Returns -1 if no path
+  // exists.
+  SimTime PathLatency(DcId from, DcId to, const Network& net) const;
+  SimTime PathLatency(DcId from, DcId to,
+                      const std::function<SimTime(SiteId, SiteId)>& latency) const;
+
+  // The set of datacenters reachable from `node` through the edge towards
+  // `neighbor` (i.e. in the subtree on the neighbor's side).
+  DcSet ReachableThrough(uint32_t node, uint32_t neighbor) const;
+
+  // Merges directly connected serializers that share a site and have zero
+  // artificial delay between them (section 5.5: fusion does not change the
+  // tree's effectiveness). Returns the number of fusions performed.
+  uint32_t FuseSerializers();
+
+  const std::vector<TopologyNode>& nodes() const { return nodes_; }
+  const std::vector<TopologyEdge>& edges() const { return edges_; }
+  std::vector<TopologyEdge>& mutable_edges() { return edges_; }
+
+  // Index of the leaf node for `dc`, or UINT32_MAX.
+  uint32_t LeafOf(DcId dc) const;
+
+  std::vector<uint32_t> Neighbors(uint32_t node) const;
+
+  // Per-directed-edge artificial delay accessors (a->b orientation resolved).
+  SimTime DelayOn(uint32_t from, uint32_t to) const;
+  void SetDelay(uint32_t from, uint32_t to, SimTime delay);
+
+  uint32_t NumSerializers() const;
+
+  std::string ToString() const;
+
+  // Path (sequence of node indices) between two nodes; empty if none.
+  std::vector<uint32_t> Path(uint32_t from, uint32_t to) const;
+
+  // Mutable access for the configuration solver.
+  void SetSite(uint32_t node, SiteId site) { nodes_[node].site = site; }
+
+ private:
+  std::vector<TopologyNode> nodes_;
+  std::vector<TopologyEdge> edges_;
+};
+
+// Builds the trivial star topology: one serializer at `hub_site` connected to
+// every datacenter (the "S-configuration" of section 7.1).
+TreeTopology StarTopology(const std::vector<SiteId>& dc_sites, SiteId hub_site);
+
+}  // namespace saturn
+
+#endif  // SRC_SATURN_TOPOLOGY_H_

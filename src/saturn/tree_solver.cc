@@ -1,0 +1,218 @@
+#include "src/saturn/tree_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace saturn {
+namespace {
+
+// Overshoot (metadata slower than bulk data) hurts data freshness and cannot
+// be repaired; undershoot can be absorbed by artificial delays. The placement
+// search therefore penalizes undershoot only lightly.
+constexpr double kUndershootWeight = 0.15;
+
+struct PairPath {
+  uint32_t i = 0;
+  uint32_t j = 0;
+  double weight = 1.0;
+  SimTime target = 0;                   // lat(i, j): bulk-data latency
+  std::vector<uint32_t> nodes;          // leaf_i ... leaf_j
+};
+
+std::vector<PairPath> BuildPairPaths(const TreeTopology& tree, const SolverInput& input) {
+  std::vector<PairPath> pairs;
+  uint32_t n = static_cast<uint32_t>(input.dc_sites.size());
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      if (i == j) {
+        continue;
+      }
+      double w = input.WeightOf(i, j);
+      if (w <= 0) {
+        continue;
+      }
+      PairPath p;
+      p.i = i;
+      p.j = j;
+      p.weight = w;
+      p.target = input.latencies->Get(input.dc_sites[i], input.dc_sites[j]);
+      p.nodes = tree.Path(tree.LeafOf(i), tree.LeafOf(j));
+      SAT_CHECK(!p.nodes.empty());
+      pairs.push_back(std::move(p));
+    }
+  }
+  return pairs;
+}
+
+SimTime PathLatencyOf(const TreeTopology& tree, const PairPath& p, const LatencyMatrix& lat) {
+  SimTime total = 0;
+  for (size_t k = 0; k + 1 < p.nodes.size(); ++k) {
+    total += lat.Get(tree.nodes()[p.nodes[k]].site, tree.nodes()[p.nodes[k + 1]].site);
+    total += tree.DelayOn(p.nodes[k], p.nodes[k + 1]);
+  }
+  return total;
+}
+
+double PlacementObjective(const TreeTopology& tree, const std::vector<PairPath>& pairs,
+                          const LatencyMatrix& lat) {
+  double total = 0;
+  for (const auto& p : pairs) {
+    SimTime path = PathLatencyOf(tree, p, lat);
+    double diff = static_cast<double>(path - p.target);
+    total += p.weight * (diff >= 0 ? diff : -diff * kUndershootWeight);
+  }
+  return total;
+}
+
+// Exact weighted-L1 coordinate step: the optimal delay on a directed edge is
+// the weighted median of (target - rest_of_path) over the pairs using it,
+// clamped to be non-negative.
+void OptimizeDelays(TreeTopology& tree, const std::vector<PairPath>& pairs,
+                    const LatencyMatrix& lat) {
+  // Reset delays, then iterate coordinate descent a few passes.
+  for (auto& e : tree.mutable_edges()) {
+    e.delay_ab = 0;
+    e.delay_ba = 0;
+  }
+  for (int pass = 0; pass < 6; ++pass) {
+    bool changed = false;
+    for (auto& edge : tree.mutable_edges()) {
+      for (int dir = 0; dir < 2; ++dir) {
+        uint32_t from = dir == 0 ? edge.a : edge.b;
+        uint32_t to = dir == 0 ? edge.b : edge.a;
+        SimTime& delay = dir == 0 ? edge.delay_ab : edge.delay_ba;
+
+        std::vector<std::pair<double, double>> residuals;  // (value, weight)
+        for (const auto& p : pairs) {
+          // Does p's path traverse from -> to?
+          bool uses = false;
+          for (size_t k = 0; k + 1 < p.nodes.size(); ++k) {
+            if (p.nodes[k] == from && p.nodes[k + 1] == to) {
+              uses = true;
+              break;
+            }
+          }
+          if (!uses) {
+            continue;
+          }
+          SimTime path = PathLatencyOf(tree, p, lat);
+          SimTime rest = path - delay;
+          residuals.emplace_back(static_cast<double>(p.target - rest), p.weight);
+        }
+        if (residuals.empty()) {
+          continue;
+        }
+        std::sort(residuals.begin(), residuals.end());
+        double total_w = 0;
+        for (const auto& r : residuals) {
+          total_w += r.second;
+        }
+        double acc = 0;
+        double median = residuals.back().first;
+        for (const auto& r : residuals) {
+          acc += r.second;
+          if (acc >= total_w / 2) {
+            median = r.first;
+            break;
+          }
+        }
+        SimTime best = median > 0 ? static_cast<SimTime>(median) : 0;
+        if (best != delay) {
+          delay = best;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<double> UniformWeights(size_t num_dcs) {
+  std::vector<double> w(num_dcs * num_dcs, 1.0);
+  for (size_t i = 0; i < num_dcs; ++i) {
+    w[i * num_dcs + i] = 0.0;
+  }
+  return w;
+}
+
+double WeightedMismatch(const TreeTopology& topology, const SolverInput& input) {
+  auto pairs = BuildPairPaths(topology, input);
+  double total = 0;
+  for (const auto& p : pairs) {
+    SimTime path = PathLatencyOf(topology, p, *input.latencies);
+    total += p.weight * std::abs(static_cast<double>(path - p.target));
+  }
+  return total;
+}
+
+SolvedTree SolvePlacement(TreeTopology shape, const SolverInput& input) {
+  SAT_CHECK(input.latencies != nullptr);
+  SAT_CHECK(!input.candidate_sites.empty());
+
+  auto pairs = BuildPairPaths(shape, input);
+  const LatencyMatrix& lat = *input.latencies;
+
+  // Initial placement: each serializer starts at the site of the nearest leaf
+  // in its neighborhood (breadth-first by tree distance).
+  const auto& nodes = shape.nodes();
+  for (uint32_t n = 0; n < nodes.size(); ++n) {
+    if (nodes[n].is_dc) {
+      continue;
+    }
+    // Find the closest leaf in hops and adopt its site as the starting point.
+    for (uint32_t leaf = 0; leaf < nodes.size(); ++leaf) {
+      if (nodes[leaf].is_dc) {
+        shape.SetSite(n, nodes[leaf].site);
+        break;
+      }
+    }
+  }
+
+  // Steepest-descent local search over serializer placements.
+  double current = PlacementObjective(shape, pairs, lat);
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (uint32_t n = 0; n < nodes.size(); ++n) {
+      if (nodes[n].is_dc) {
+        continue;
+      }
+      SiteId original = shape.nodes()[n].site;
+      SiteId best_site = original;
+      double best = current;
+      for (SiteId cand : input.candidate_sites) {
+        if (cand == original) {
+          continue;
+        }
+        shape.SetSite(n, cand);
+        double obj = PlacementObjective(shape, pairs, lat);
+        if (obj + 1e-9 < best) {
+          best = obj;
+          best_site = cand;
+        }
+      }
+      shape.SetSite(n, best_site);
+      if (best_site != original) {
+        current = best;
+        improved = true;
+      }
+    }
+  }
+
+  // Artificial delays to lift undershooting paths towards their optimal
+  // visibility times (section 5.4).
+  OptimizeDelays(shape, pairs, lat);
+
+  SolvedTree result;
+  result.objective = WeightedMismatch(shape, input);
+  result.topology = std::move(shape);
+  return result;
+}
+
+}  // namespace saturn

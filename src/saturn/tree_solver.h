@@ -1,0 +1,62 @@
+// Constraint optimizer for a fixed tree shape (paper section 5.4-5.5).
+//
+// Given a tree whose leaves are datacenters and whose internal nodes are
+// serializers to be placed, the solver chooses (i) a site for every
+// serializer from the candidate list and (ii) non-negative artificial delays
+// per directed edge, minimizing the Weighted Minimal Mismatch of Definition 2:
+//
+//   min sum over DC pairs (i, j) of  c_ij * | Lambda(i, j) - lat(i, j) |
+//
+// where Lambda is the metadata-path latency through the tree and lat the
+// bulk-data latency (the optimal label propagation latency). The original
+// prototype delegates this to the OscaR constraint toolkit; we implement the
+// same objective natively: placement by steepest-descent local search with an
+// asymmetric surrogate (overshoot is unfixable, undershoot is fixable by
+// delays), then artificial delays by weighted-median coordinate descent,
+// which is exact per coordinate for a weighted L1 objective.
+#ifndef SRC_SATURN_TREE_SOLVER_H_
+#define SRC_SATURN_TREE_SOLVER_H_
+
+#include <vector>
+
+#include "src/sim/network.h"
+#include "src/saturn/topology.h"
+
+namespace saturn {
+
+struct SolverInput {
+  // dc_sites[i] is the site of datacenter i; leaves must use these DC ids.
+  std::vector<SiteId> dc_sites;
+  // Candidate serializer locations (paper: limited points-of-presence).
+  std::vector<SiteId> candidate_sites;
+  // Site-to-site one-way latencies (both bulk-data and serializer links).
+  const LatencyMatrix* latencies = nullptr;
+  // Pair weights c_ij; empty means uniform. Indexed [i * N + j].
+  std::vector<double> weights;
+
+  double WeightOf(uint32_t i, uint32_t j) const {
+    if (weights.empty()) {
+      return 1.0;
+    }
+    return weights[i * dc_sites.size() + j];
+  }
+};
+
+struct SolvedTree {
+  TreeTopology topology;
+  double objective = 0.0;  // weighted global mismatch, microseconds
+};
+
+// Optimizes serializer placement and artificial delays for the given shape.
+// The shape's serializer sites are used as the starting point.
+SolvedTree SolvePlacement(TreeTopology shape, const SolverInput& input);
+
+// The Weighted Minimal Mismatch of a fully specified topology.
+double WeightedMismatch(const TreeTopology& topology, const SolverInput& input);
+
+// Uniform all-pairs weights helper.
+std::vector<double> UniformWeights(size_t num_dcs);
+
+}  // namespace saturn
+
+#endif  // SRC_SATURN_TREE_SOLVER_H_

@@ -1,0 +1,26 @@
+// Base class for simulated nodes (datacenters, serializers, clients).
+#ifndef SRC_SIM_ACTOR_H_
+#define SRC_SIM_ACTOR_H_
+
+#include "src/common/types.h"
+#include "src/core/messages.h"
+
+namespace saturn {
+
+class Actor {
+ public:
+  virtual ~Actor() = default;
+
+  // Called by the network when a message addressed to this actor arrives.
+  virtual void HandleMessage(NodeId from, const Message& msg) = 0;
+
+  NodeId node_id() const { return node_id_; }
+  void set_node_id(NodeId id) { node_id_ = id; }
+
+ private:
+  NodeId node_id_ = kInvalidNode;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_SIM_ACTOR_H_

@@ -1,0 +1,35 @@
+// Per-node physical clocks.
+//
+// Gears use physical clocks to generate label timestamps (paper section 7,
+// "Implementation"). The paper relies on NTP keeping skew negligible relative
+// to inter-DC latency; we model a small constant per-node offset so tests can
+// also exercise skewed configurations.
+#ifndef SRC_SIM_CLOCK_H_
+#define SRC_SIM_CLOCK_H_
+
+#include "src/common/types.h"
+#include "src/sim/event_queue.h"
+
+namespace saturn {
+
+class PhysicalClock {
+ public:
+  PhysicalClock(const Simulator* sim, SimTime skew) : sim_(sim), skew_(skew) {}
+
+  // The node's current physical time in microseconds. May differ from the
+  // simulator's true time by the configured skew; never negative.
+  SimTime Now() const {
+    SimTime t = sim_->Now() + skew_;
+    return t < 0 ? 0 : t;
+  }
+
+  SimTime skew() const { return skew_; }
+
+ private:
+  const Simulator* sim_;
+  SimTime skew_;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_SIM_CLOCK_H_

@@ -1,0 +1,80 @@
+#include "src/sim/network.h"
+
+#include <utility>
+
+namespace saturn {
+
+NodeId Network::Attach(Actor* actor, SiteId site) {
+  SAT_CHECK(actor != nullptr);
+  SAT_CHECK(site < latency_.sites());
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(NodeInfo{actor, site});
+  actor->set_node_id(id);
+  return id;
+}
+
+void Network::Send(NodeId from, NodeId to, Message msg) {
+  SAT_CHECK(from < nodes_.size() && to < nodes_.size());
+  SiteId sa = nodes_[from].site;
+  SiteId sb = nodes_[to].site;
+
+  if (down_buffers_.count(SitePair(sa, sb)) != 0) {
+    down_buffers_[SitePair(sa, sb)].push_back({{from, to}, std::move(msg)});
+    return;
+  }
+
+  SimTime base = BaseLatency(sa, sb);
+  SimTime jitter = 0;
+  if (config_.jitter_fraction > 0.0 && base > 0) {
+    jitter = static_cast<SimTime>(static_cast<double>(base) * config_.jitter_fraction *
+                                  jitter_rng_.NextDouble());
+  }
+  uint32_t size = MessageWireSize(msg);
+  SimTime transmission = static_cast<SimTime>(static_cast<double>(size) /
+                                              config_.bandwidth_bytes_per_us);
+  SimTime when = sim_->Now() + base + jitter + transmission;
+  Deliver(from, to, std::move(msg), when);
+}
+
+void Network::Deliver(NodeId from, NodeId to, Message msg, SimTime when) {
+  // FIFO clamp: no message on a (from, to) channel overtakes an earlier one.
+  uint64_t chan_key = (static_cast<uint64_t>(from) << 32) | to;
+  Channel& chan = channels_[chan_key];
+  if (when < chan.last_delivery) {
+    when = chan.last_delivery;
+  }
+  chan.last_delivery = when;
+
+  ++messages_sent_;
+  bytes_sent_ += MessageWireSize(msg);
+
+  Actor* target = nodes_[to].actor;
+  sim_->At(when, [target, from, m = std::move(msg)]() { target->HandleMessage(from, m); });
+}
+
+void Network::InjectExtraLatency(SiteId a, SiteId b, SimTime extra) {
+  if (extra == 0) {
+    injected_.erase(SitePair(a, b));
+  } else {
+    injected_[SitePair(a, b)] = extra;
+  }
+}
+
+void Network::SetLinkDown(SiteId a, SiteId b, bool down) {
+  uint64_t key = SitePair(a, b);
+  if (down) {
+    down_buffers_[key];  // creates the buffer, marking the link down
+    return;
+  }
+  auto it = down_buffers_.find(key);
+  if (it == down_buffers_.end()) {
+    return;
+  }
+  auto buffered = std::move(it->second);
+  down_buffers_.erase(it);
+  for (auto& [endpoints, msg] : buffered) {
+    Send(endpoints.first, endpoints.second, std::move(msg));
+  }
+}
+
+}  // namespace saturn

@@ -1,0 +1,148 @@
+// Simulated wide-area network.
+//
+// Nodes live at *sites* (geographic regions). A message from node a to node b
+// is delivered after
+//
+//   latency(site(a), site(b)) + injected_extra(site pair) + jitter + size/bw
+//
+// with per-(sender, receiver) FIFO ordering enforced — channels model TCP
+// connections, which both the paper's serializer tree and its bulk-data layer
+// assume ("connected with FIFO channels").
+#ifndef SRC_SIM_NETWORK_H_
+#define SRC_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+#include "src/core/messages.h"
+#include "src/sim/actor.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+
+namespace saturn {
+
+using SiteId = uint32_t;
+
+// Symmetric site-to-site one-way latency matrix, in microseconds.
+class LatencyMatrix {
+ public:
+  explicit LatencyMatrix(uint32_t sites, SimTime default_latency = Millis(50))
+      : sites_(sites), lat_(static_cast<size_t>(sites) * sites, default_latency) {
+    for (uint32_t i = 0; i < sites; ++i) {
+      Set(i, i, 0);
+    }
+  }
+
+  void Set(SiteId a, SiteId b, SimTime one_way) {
+    At(a, b) = one_way;
+    At(b, a) = one_way;
+  }
+
+  SimTime Get(SiteId a, SiteId b) const {
+    SAT_CHECK(a < sites_ && b < sites_);
+    return lat_[static_cast<size_t>(a) * sites_ + b];
+  }
+
+  uint32_t sites() const { return sites_; }
+
+ private:
+  SimTime& At(SiteId a, SiteId b) {
+    SAT_CHECK(a < sites_ && b < sites_);
+    return lat_[static_cast<size_t>(a) * sites_ + b];
+  }
+
+  uint32_t sites_;
+  std::vector<SimTime> lat_;
+};
+
+struct NetworkConfig {
+  // Latency between two distinct nodes at the same site (separate machines in
+  // one region, e.g. clients and their preferred datacenter).
+  SimTime intra_site_latency = Micros(250);
+  // Bytes per microsecond (1000 B/us == 8 Gbps). Only large payloads notice.
+  double bandwidth_bytes_per_us = 1250.0;  // 10 Gbps
+  // Uniform jitter as a fraction of the base latency (0 = deterministic).
+  double jitter_fraction = 0.0;
+  uint64_t jitter_seed = 0x5a7b;
+};
+
+class Network {
+ public:
+  Network(Simulator* sim, LatencyMatrix latency, NetworkConfig config = {})
+      : sim_(sim), latency_(std::move(latency)), config_(config), jitter_rng_(config.jitter_seed) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Registers `actor` at `site` and assigns it a node id.
+  NodeId Attach(Actor* actor, SiteId site);
+
+  // Sends `msg` from `from` to `to`. Both must be attached.
+  void Send(NodeId from, NodeId to, Message msg);
+
+  // Adds (or removes, with 0) extra one-way latency between two *sites* in
+  // both directions. Used by the Fig. 6 latency-variability experiment.
+  void InjectExtraLatency(SiteId a, SiteId b, SimTime extra);
+
+  // Cuts / restores the channel between two sites. While down, messages are
+  // buffered and flushed in order when the link is restored (TCP semantics).
+  void SetLinkDown(SiteId a, SiteId b, bool down);
+
+  SiteId SiteOf(NodeId node) const {
+    SAT_CHECK(node < nodes_.size());
+    return nodes_[node].site;
+  }
+
+  SimTime BaseLatency(SiteId a, SiteId b) const {
+    if (a == b) {
+      return config_.intra_site_latency;
+    }
+    SimTime extra = 0;
+    if (auto it = injected_.find(SitePair(a, b)); it != injected_.end()) {
+      extra = it->second;
+    }
+    return latency_.Get(a, b) + extra;
+  }
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  Simulator* simulator() { return sim_; }
+
+ private:
+  struct NodeInfo {
+    Actor* actor = nullptr;
+    SiteId site = 0;
+  };
+
+  struct Channel {
+    SimTime last_delivery = 0;  // FIFO clamp
+  };
+
+  static uint64_t SitePair(SiteId a, SiteId b) {
+    if (a > b) {
+      std::swap(a, b);
+    }
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  void Deliver(NodeId from, NodeId to, Message msg, SimTime when);
+
+  Simulator* sim_;
+  LatencyMatrix latency_;
+  NetworkConfig config_;
+  Rng jitter_rng_;
+  std::vector<NodeInfo> nodes_;
+  std::map<uint64_t, Channel> channels_;  // key: (from << 32) | to
+  std::map<uint64_t, SimTime> injected_;  // key: site pair
+  std::map<uint64_t, std::vector<std::pair<std::pair<NodeId, NodeId>, Message>>> down_buffers_;
+  uint64_t messages_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_SIM_NETWORK_H_

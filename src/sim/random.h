@@ -1,0 +1,139 @@
+// Deterministic random number generation for simulations.
+//
+// Every experiment owns its generators explicitly; nothing in the codebase
+// touches global randomness, so a fixed seed reproduces an experiment's event
+// interleaving (and therefore its output tables) exactly.
+#ifndef SRC_SIM_RANDOM_H_
+#define SRC_SIM_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace saturn {
+
+// SplitMix64: used to seed and to derive independent substreams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256**: the workhorse generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) {
+      s = sm.Next();
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    SAT_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = -bound % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    SAT_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // True with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // Exponentially distributed with the given mean.
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u <= 0.0) {
+      u = 0x1.0p-53;
+    }
+    return -mean * std::log(u);
+  }
+
+  // Derive an independent substream (for giving each actor its own generator).
+  Rng Fork() { return Rng(Next() ^ 0xa02f1c5d8f3a9b71ull); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+// Zipf-distributed sampler over {0, ..., n-1} with parameter theta.
+// Precomputes the CDF; sampling is a binary search.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double theta) : cdf_(n) {
+    SAT_CHECK(n > 0);
+    double sum = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_[i] = sum;
+    }
+    for (auto& c : cdf_) {
+      c /= sum;
+    }
+  }
+
+  uint64_t Sample(Rng& rng) const {
+    double u = rng.NextDouble();
+    // Binary search for the first cdf entry >= u.
+    size_t lo = 0;
+    size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  uint64_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_SIM_RANDOM_H_

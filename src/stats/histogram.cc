@@ -1,0 +1,150 @@
+#include "src/stats/histogram.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace saturn {
+
+namespace {
+// Number of buckets: kLinearLimit exact buckets plus kSubBuckets per
+// power-of-two from 2^10 up to 2^52 (plenty for microsecond latencies).
+constexpr int kMaxPower = 52;
+}  // namespace
+
+LatencyHistogram::LatencyHistogram()
+    : buckets_(static_cast<size_t>(kLinearLimit) + static_cast<size_t>(kSubBuckets) *
+                                                       (kMaxPower - 10 + 1),
+               0) {}
+
+size_t LatencyHistogram::BucketFor(int64_t value) {
+  if (value < 0) {
+    value = 0;
+  }
+  if (value < kLinearLimit) {
+    return static_cast<size_t>(value);
+  }
+  int power = 63 - std::countl_zero(static_cast<uint64_t>(value));  // floor(log2(value))
+  if (power > kMaxPower) {
+    power = kMaxPower;
+  }
+  // Sub-bucket index within [2^power, 2^(power+1)).
+  int64_t base = int64_t{1} << power;
+  int64_t sub = ((value - base) * kSubBuckets) >> power;
+  if (sub >= kSubBuckets) {
+    sub = kSubBuckets - 1;
+  }
+  return static_cast<size_t>(kLinearLimit) +
+         static_cast<size_t>(power - 10) * kSubBuckets + static_cast<size_t>(sub);
+}
+
+int64_t LatencyHistogram::BucketUpperBound(size_t bucket) {
+  if (bucket < kLinearLimit) {
+    return static_cast<int64_t>(bucket);
+  }
+  size_t rel = bucket - kLinearLimit;
+  int power = static_cast<int>(rel / kSubBuckets) + 10;
+  int64_t sub = static_cast<int64_t>(rel % kSubBuckets);
+  int64_t base = int64_t{1} << power;
+  return base + ((sub + 1) * base) / kSubBuckets - 1;
+}
+
+void LatencyHistogram::Record(int64_t value_us) {
+  if (value_us < 0) {
+    value_us = 0;
+  }
+  size_t b = BucketFor(value_us);
+  SAT_CHECK(b < buckets_.size());
+  ++buckets_[b];
+  if (count_ == 0 || value_us < min_) {
+    min_ = value_us;
+  }
+  if (count_ == 0 || value_us > max_) {
+    max_ = value_us;
+  }
+  sum_ += static_cast<double>(value_us);
+  ++count_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  SAT_CHECK(buckets_.size() == other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (count_ == 0 || other.max_ > max_) {
+      max_ = other.max_;
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+double LatencyHistogram::MeanUs() const {
+  return count_ == 0 ? 0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t LatencyHistogram::PercentileUs(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (q < 0) {
+    q = 0;
+  }
+  if (q > 1) {
+    q = 1;
+  }
+  uint64_t target = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  if (target == 0) {
+    target = 1;
+  }
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      int64_t upper = BucketUpperBound(i);
+      return upper > max_ ? max_ : upper;
+    }
+  }
+  return max_;
+}
+
+std::vector<std::pair<double, double>> LatencyHistogram::CdfPointsMs() const {
+  std::vector<std::pair<double, double>> points;
+  if (count_ == 0) {
+    return points;
+  }
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    seen += buckets_[i];
+    points.emplace_back(static_cast<double>(BucketUpperBound(i)) / 1000.0,
+                        static_cast<double>(seen) / static_cast<double>(count_));
+  }
+  return points;
+}
+
+std::string LatencyHistogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%.1fms p50=%.1fms p90=%.1fms p99=%.1fms",
+                static_cast<unsigned long long>(count_), MeanMs(), PercentileMs(0.50),
+                PercentileMs(0.90), PercentileMs(0.99));
+  return buf;
+}
+
+}  // namespace saturn

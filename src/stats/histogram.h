@@ -1,0 +1,82 @@
+// Latency histograms and summary statistics for experiment metrics.
+#ifndef SRC_STATS_HISTOGRAM_H_
+#define SRC_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace saturn {
+
+// Fixed-resolution histogram over microsecond values with HdrHistogram-style
+// sub-bucketing: values up to kLinearLimit are recorded exactly; above that,
+// buckets grow geometrically with ~1% relative error. Memory is constant.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(int64_t value_us);
+  void Merge(const LatencyHistogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double MeanUs() const;
+  int64_t MinUs() const { return count_ == 0 ? 0 : min_; }
+  int64_t MaxUs() const { return count_ == 0 ? 0 : max_; }
+
+  // Value at quantile q in [0, 1]. Returns 0 for an empty histogram.
+  int64_t PercentileUs(double q) const;
+
+  double MeanMs() const { return MeanUs() / 1000.0; }
+  double PercentileMs(double q) const { return static_cast<double>(PercentileUs(q)) / 1000.0; }
+
+  // CDF as (value_ms, cumulative_fraction) points, one per non-empty bucket.
+  std::vector<std::pair<double, double>> CdfPointsMs() const;
+
+  // One-line summary, e.g. "n=1000 mean=12.3ms p50=11.0ms p90=20.1ms p99=35.2ms".
+  std::string Summary() const;
+
+ private:
+  static constexpr int64_t kLinearLimit = 1024;  // exact below this
+  static constexpr int kSubBuckets = 64;         // per power-of-two above the limit
+
+  static size_t BucketFor(int64_t value);
+  static int64_t BucketUpperBound(size_t bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+// Simple mean/min/max accumulator for non-latency scalars.
+class Accumulator {
+ public:
+  void Record(double v) {
+    if (count_ == 0 || v < min_) {
+      min_ = v;
+    }
+    if (count_ == 0 || v > max_) {
+      max_ = v;
+    }
+    sum_ += v;
+    ++count_;
+  }
+
+  uint64_t count() const { return count_; }
+  double Mean() const { return count_ == 0 ? 0 : sum_ / static_cast<double>(count_); }
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+  double Sum() const { return sum_; }
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_STATS_HISTOGRAM_H_

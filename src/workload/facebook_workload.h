@@ -1,0 +1,93 @@
+// Facebook-style operation mix, after Benevenuto et al. (IMC'09), which the
+// paper integrates into Basho Bench for its realistic benchmark (section 7.4).
+//
+// Each simulated client plays one user of the social graph, homed at the
+// user's primary datacenter. Operations touch the user's own data, a friend's
+// data, or a random user's data ("universal search"); friend and random keys
+// that are not replicated at the home datacenter trigger the client-migration
+// machinery, which is what varies the remote-operation rate as the maximum
+// replication degree changes (Fig. 8a).
+#ifndef SRC_WORKLOAD_FACEBOOK_WORKLOAD_H_
+#define SRC_WORKLOAD_FACEBOOK_WORKLOAD_H_
+
+#include "src/workload/op_generator.h"
+#include "src/workload/partitioner.h"
+#include "src/workload/social_graph.h"
+
+namespace saturn {
+
+struct FacebookMixConfig {
+  // Occurrence fractions (normalized if they do not sum to 1). The split
+  // follows the Benevenuto study's dominant categories: browsing dominates,
+  // with ~8% of interactions generating content.
+  double browse_friend = 0.62;   // read a friend's data
+  double browse_own = 0.22;      // read own data (profile, settings, albums)
+  double universal_search = 0.04;  // read a random user's data
+  double write_own = 0.08;       // status / settings updates
+  double write_friend = 0.04;    // messages, comments on friends' content
+  uint32_t value_size = 256;     // social payloads are larger than 2B
+};
+
+class FacebookOpGenerator : public OpGenerator {
+ public:
+  // `user` is the graph user this client impersonates.
+  FacebookOpGenerator(const SocialGraph* graph, uint32_t user, const FacebookMixConfig& mix)
+      : graph_(graph), user_(user), mix_(mix) {
+    double total = mix_.browse_friend + mix_.browse_own + mix_.universal_search +
+                   mix_.write_own + mix_.write_friend;
+    SAT_CHECK(total > 0);
+    scale_ = 1.0 / total;
+  }
+
+  PlannedOp Next(DcId home, Rng& rng) override {
+    (void)home;
+    PlannedOp op;
+    op.value_size = mix_.value_size;
+    double p = rng.NextDouble();
+    double acc = mix_.browse_friend * scale_;
+    if (p < acc) {
+      op.kind = PlannedOp::Kind::kRead;
+      op.key = PickFriend(rng);
+      return op;
+    }
+    acc += mix_.browse_own * scale_;
+    if (p < acc) {
+      op.kind = PlannedOp::Kind::kRead;
+      op.key = user_;
+      return op;
+    }
+    acc += mix_.universal_search * scale_;
+    if (p < acc) {
+      op.kind = PlannedOp::Kind::kRead;
+      op.key = rng.NextBounded(graph_->num_users());
+      return op;
+    }
+    acc += mix_.write_own * scale_;
+    if (p < acc) {
+      op.kind = PlannedOp::Kind::kUpdate;
+      op.key = user_;
+      return op;
+    }
+    op.kind = PlannedOp::Kind::kUpdate;
+    op.key = PickFriend(rng);
+    return op;
+  }
+
+ private:
+  KeyId PickFriend(Rng& rng) const {
+    const auto& friends = graph_->FriendsOf(user_);
+    if (friends.empty()) {
+      return user_;
+    }
+    return friends[rng.NextBounded(friends.size())];
+  }
+
+  const SocialGraph* graph_;
+  uint32_t user_;
+  FacebookMixConfig mix_;
+  double scale_ = 1.0;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_WORKLOAD_FACEBOOK_WORKLOAD_H_

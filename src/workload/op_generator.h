@@ -1,0 +1,87 @@
+// Operation generators: what a closed-loop client does next.
+#ifndef SRC_WORKLOAD_OP_GENERATOR_H_
+#define SRC_WORKLOAD_OP_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/types.h"
+#include "src/sim/random.h"
+#include "src/workload/replication.h"
+
+namespace saturn {
+
+struct PlannedOp {
+  enum class Kind { kRead, kUpdate } kind = Kind::kRead;
+  KeyId key = 0;
+  uint32_t value_size = 0;
+};
+
+class OpGenerator {
+ public:
+  virtual ~OpGenerator() = default;
+  // The next operation for a client homed at `home`.
+  virtual PlannedOp Next(DcId home, Rng& rng) = 0;
+};
+
+// The paper's synthetic micro-workload (section 7.3.2). Default values:
+// 2-byte values, 9:1 read:write ratio, 0% remote reads; updates always target
+// locally replicated keys; remote reads pick keys *not* replicated at home.
+class SyntheticOpGenerator : public OpGenerator {
+ public:
+  struct Config {
+    double write_fraction = 0.1;
+    double remote_read_fraction = 0.0;  // fraction of reads on non-local keys
+    uint32_t value_size = 2;
+    // Key popularity skew (Zipf theta). 0 = uniform; Basho Bench-style hot
+    // keys (e.g. 0.99) make recently written versions dominate reads, which
+    // is what makes stabilization waits bind during client migration.
+    double zipf_theta = 0.0;
+  };
+
+  SyntheticOpGenerator(const ReplicaMap* replicas, const Config& config)
+      : replicas_(replicas), config_(config) {
+    if (config_.zipf_theta > 0.0) {
+      local_zipf_ = std::make_unique<ZipfSampler>(
+          std::max<uint64_t>(1, replicas_->num_keys()), config_.zipf_theta);
+    }
+  }
+
+  PlannedOp Next(DcId home, Rng& rng) override {
+    PlannedOp op;
+    op.value_size = config_.value_size;
+    if (rng.NextBool(config_.write_fraction)) {
+      op.kind = PlannedOp::Kind::kUpdate;
+      op.key = PickFrom(replicas_->LocalKeys(home), rng);
+      return op;
+    }
+    op.kind = PlannedOp::Kind::kRead;
+    const auto& remote = replicas_->RemoteKeys(home);
+    if (!remote.empty() && rng.NextBool(config_.remote_read_fraction)) {
+      op.key = PickFrom(remote, rng);
+    } else {
+      op.key = PickFrom(replicas_->LocalKeys(home), rng);
+    }
+    return op;
+  }
+
+ private:
+  KeyId PickFrom(const std::vector<KeyId>& keys, Rng& rng) const {
+    SAT_CHECK(!keys.empty());
+    if (local_zipf_ == nullptr) {
+      return keys[rng.NextBounded(keys.size())];
+    }
+    // Sample a global rank and fold it into the candidate list, preserving
+    // the skew while staying within the requested key population.
+    uint64_t rank = local_zipf_->Sample(rng);
+    return keys[rank % keys.size()];
+  }
+
+  const ReplicaMap* replicas_;
+  Config config_;
+  std::unique_ptr<ZipfSampler> local_zipf_;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_WORKLOAD_OP_GENERATOR_H_

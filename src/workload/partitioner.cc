@@ -1,0 +1,109 @@
+#include "src/workload/partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace saturn {
+
+Partitioning PartitionSocialGraph(const SocialGraph& graph, const PartitionerConfig& config,
+                                  const std::vector<SiteId>& dc_sites,
+                                  const LatencyMatrix& latencies) {
+  uint32_t n_users = graph.num_users();
+  uint32_t n_dcs = config.num_dcs;
+  SAT_CHECK(n_dcs >= 1 && n_dcs == dc_sites.size());
+  uint32_t min_r = std::min(config.min_replicas, n_dcs);
+  uint32_t max_r = std::min(std::max(config.max_replicas, min_r), n_dcs);
+
+  // --- Primary placement: greedy, highest-degree users first ---------------
+  std::vector<uint32_t> order(n_users);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return graph.FriendsOf(a).size() > graph.FriendsOf(b).size();
+  });
+
+  std::vector<DcId> primary(n_users, kInvalidDc);
+  std::vector<double> load(n_dcs, 0);
+  double target_load = static_cast<double>(n_users) / n_dcs;
+
+  for (uint32_t user : order) {
+    std::vector<double> score(n_dcs, 0);
+    for (uint32_t friend_id : graph.FriendsOf(user)) {
+      if (primary[friend_id] != kInvalidDc) {
+        score[primary[friend_id]] += 1.0;
+      }
+    }
+    DcId best = 0;
+    double best_score = -1e18;
+    for (DcId dc = 0; dc < n_dcs; ++dc) {
+      double s = score[dc] - config.balance_weight * std::max(0.0, load[dc] - target_load);
+      if (s > best_score) {
+        best_score = s;
+        best = dc;
+      }
+    }
+    primary[user] = best;
+    load[best] += 1.0;
+  }
+
+  // --- Replica sets: primary plus the datacenters hosting most friends -----
+  std::vector<DcSet> sets(n_users);
+  for (uint32_t user = 0; user < n_users; ++user) {
+    std::vector<std::pair<double, DcId>> counts;
+    std::vector<double> per_dc(n_dcs, 0);
+    for (uint32_t friend_id : graph.FriendsOf(user)) {
+      per_dc[primary[friend_id]] += 1.0;
+    }
+    for (DcId dc = 0; dc < n_dcs; ++dc) {
+      if (dc != primary[user] && per_dc[dc] > 0) {
+        counts.emplace_back(per_dc[dc], dc);
+      }
+    }
+    std::sort(counts.begin(), counts.end(), std::greater<>());
+
+    DcSet replicas = DcSet::Single(primary[user]);
+    for (const auto& [count, dc] : counts) {
+      if (static_cast<uint32_t>(replicas.Size()) >= max_r) {
+        break;
+      }
+      replicas.Add(dc);
+    }
+    // Pad up to the minimum with the datacenters nearest to the primary.
+    if (static_cast<uint32_t>(replicas.Size()) < min_r) {
+      std::vector<std::pair<SimTime, DcId>> nearest;
+      for (DcId dc = 0; dc < n_dcs; ++dc) {
+        if (!replicas.Contains(dc)) {
+          nearest.emplace_back(latencies.Get(dc_sites[primary[user]], dc_sites[dc]), dc);
+        }
+      }
+      std::sort(nearest.begin(), nearest.end());
+      for (const auto& [dist, dc] : nearest) {
+        if (static_cast<uint32_t>(replicas.Size()) >= min_r) {
+          break;
+        }
+        replicas.Add(dc);
+      }
+    }
+    sets[user] = replicas;
+  }
+
+  // --- Locality statistic ---------------------------------------------------
+  uint64_t local_pairs = 0;
+  uint64_t total_pairs = 0;
+  for (uint32_t user = 0; user < n_users; ++user) {
+    for (uint32_t friend_id : graph.FriendsOf(user)) {
+      ++total_pairs;
+      if (sets[friend_id].Contains(primary[user])) {
+        ++local_pairs;
+      }
+    }
+  }
+
+  Partitioning result{std::move(primary), ReplicaMap::FromSets(std::move(sets), n_dcs), 0};
+  result.friend_locality =
+      total_pairs == 0 ? 1.0 : static_cast<double>(local_pairs) / static_cast<double>(total_pairs);
+  return result;
+}
+
+}  // namespace saturn

@@ -1,0 +1,45 @@
+// Locality-aware social-graph partitioning with bounded replication,
+// following the approach of Pujol et al. (SIGCOMM'10) as used in the paper's
+// Facebook benchmark (section 7.4): users are placed to maximize co-location
+// with their friends, and each user's data is replicated at between
+// `min_replicas` and `max_replicas` datacenters, biased towards the
+// datacenters hosting most of their friends.
+#ifndef SRC_WORKLOAD_PARTITIONER_H_
+#define SRC_WORKLOAD_PARTITIONER_H_
+
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/network.h"
+#include "src/workload/replication.h"
+#include "src/workload/social_graph.h"
+
+namespace saturn {
+
+struct PartitionerConfig {
+  uint32_t num_dcs = 7;
+  uint32_t min_replicas = 2;
+  uint32_t max_replicas = 5;
+  // Penalty steering the primary assignment towards balanced datacenters
+  // (friends-co-located gain per unit of imbalance).
+  double balance_weight = 1.0;
+};
+
+struct Partitioning {
+  std::vector<DcId> primary;   // per user
+  ReplicaMap replicas;         // per user (key == user id)
+
+  // Fraction of (user, friend) pairs where the friend's data is replicated at
+  // the user's primary datacenter — the locality the partitioner maximizes.
+  double friend_locality = 0;
+};
+
+// `dc_sites` / `latencies` provide distances for padding replica sets up to
+// the minimum.
+Partitioning PartitionSocialGraph(const SocialGraph& graph, const PartitionerConfig& config,
+                                  const std::vector<SiteId>& dc_sites,
+                                  const LatencyMatrix& latencies);
+
+}  // namespace saturn
+
+#endif  // SRC_WORKLOAD_PARTITIONER_H_

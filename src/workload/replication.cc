@@ -1,0 +1,127 @@
+#include "src/workload/replication.h"
+
+#include <cmath>
+
+namespace saturn {
+
+const char* CorrelationPatternName(CorrelationPattern pattern) {
+  switch (pattern) {
+    case CorrelationPattern::kExponential:
+      return "exponential";
+    case CorrelationPattern::kProportional:
+      return "proportional";
+    case CorrelationPattern::kUniform:
+      return "uniform";
+    case CorrelationPattern::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+ReplicaMap::ReplicaMap(std::vector<DcSet> sets, uint32_t num_dcs)
+    : sets_(std::move(sets)), num_dcs_(num_dcs), local_(num_dcs), remote_(num_dcs) {
+  for (KeyId key = 0; key < sets_.size(); ++key) {
+    for (DcId dc = 0; dc < num_dcs_; ++dc) {
+      if (sets_[key].Contains(dc)) {
+        local_[dc].push_back(key);
+      } else {
+        remote_[dc].push_back(key);
+      }
+    }
+  }
+}
+
+ReplicaMap ReplicaMap::FromSets(std::vector<DcSet> sets, uint32_t num_dcs) {
+  return ReplicaMap(std::move(sets), num_dcs);
+}
+
+ReplicaMap ReplicaMap::Generate(const KeyspaceConfig& config,
+                                const std::vector<SiteId>& dc_sites,
+                                const LatencyMatrix& latencies) {
+  uint32_t n = static_cast<uint32_t>(dc_sites.size());
+  SAT_CHECK(n >= 1);
+  Rng rng(config.seed);
+  uint32_t degree = config.replication_degree;
+  if (degree < 1) {
+    degree = 1;
+  }
+  if (degree > n) {
+    degree = n;
+  }
+
+  std::vector<DcSet> sets(config.num_keys);
+  for (KeyId key = 0; key < config.num_keys; ++key) {
+    // Primaries are spread round-robin so every datacenter owns local data.
+    DcId primary = static_cast<DcId>(key % n);
+    DcSet replicas = DcSet::Single(primary);
+
+    if (config.pattern == CorrelationPattern::kFull) {
+      sets[key] = DcSet::FirstN(n);
+      continue;
+    }
+
+    while (static_cast<uint32_t>(replicas.Size()) < degree) {
+      // Sample one more replica, weighted by correlation with the primary.
+      double total = 0;
+      std::vector<double> weight(n, 0);
+      for (DcId dc = 0; dc < n; ++dc) {
+        if (replicas.Contains(dc)) {
+          continue;
+        }
+        double dist = static_cast<double>(latencies.Get(dc_sites[primary], dc_sites[dc]));
+        switch (config.pattern) {
+          case CorrelationPattern::kUniform:
+            weight[dc] = 1.0;
+            break;
+          case CorrelationPattern::kProportional:
+            weight[dc] = 1.0 / std::max(dist, 1000.0);
+            break;
+          case CorrelationPattern::kExponential:
+            weight[dc] = std::exp(-dist / config.exponential_tau_us);
+            break;
+          case CorrelationPattern::kFull:
+            break;
+        }
+        total += weight[dc];
+      }
+      SAT_CHECK(total > 0);
+      double pick = rng.NextDouble() * total;
+      for (DcId dc = 0; dc < n; ++dc) {
+        pick -= weight[dc];
+        if (weight[dc] > 0 && pick <= 0) {
+          replicas.Add(dc);
+          break;
+        }
+      }
+    }
+    sets[key] = replicas;
+  }
+  return ReplicaMap(std::move(sets), n);
+}
+
+std::vector<double> ReplicaMap::PairWeights() const {
+  std::vector<double> weights(static_cast<size_t>(num_dcs_) * num_dcs_, 0.0);
+  for (const DcSet& set : sets_) {
+    for (DcId i : set) {
+      for (DcId j : set) {
+        if (i != j) {
+          weights[i * num_dcs_ + j] += 1.0;
+        }
+      }
+    }
+  }
+  return weights;
+}
+
+double ReplicaMap::MeanDegree() const {
+  if (sets_.empty()) {
+    return 0;
+  }
+  double total = 0;
+  for (const DcSet& set : sets_) {
+    total += set.Size();
+  }
+  return total / static_cast<double>(sets_.size());
+}
+
+}  // namespace saturn

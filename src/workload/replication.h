@@ -1,0 +1,82 @@
+// Keyspace replication maps: which datacenters replicate which keys.
+//
+// Implements the paper's four correlation patterns (section 7.3.2): the
+// correlation between two datacenters is the amount of data they share, and
+// the exponential / proportional patterns tie it to geographic distance —
+// nearby datacenters (Ireland/Frankfurt) share much more than distant ones
+// (Ireland/Sydney). `full` is full geo-replication, `uniform` ignores
+// distance.
+#ifndef SRC_WORKLOAD_REPLICATION_H_
+#define SRC_WORKLOAD_REPLICATION_H_
+
+#include <vector>
+
+#include "src/common/dc_set.h"
+#include "src/common/types.h"
+#include "src/core/datacenter.h"
+#include "src/sim/network.h"
+#include "src/sim/random.h"
+
+namespace saturn {
+
+enum class CorrelationPattern { kExponential, kProportional, kUniform, kFull };
+
+const char* CorrelationPatternName(CorrelationPattern pattern);
+
+struct KeyspaceConfig {
+  uint64_t num_keys = 20000;
+  CorrelationPattern pattern = CorrelationPattern::kExponential;
+  // Replicas per key (primary included). Ignored by kFull.
+  uint32_t replication_degree = 3;
+  // Distance scale (microseconds) for the exponential pattern.
+  double exponential_tau_us = 25000.0;
+  uint64_t seed = 7;
+};
+
+class ReplicaMap {
+ public:
+  // Generates a keyspace for `dc_sites.size()` datacenters; distances come
+  // from `latencies` between the datacenter sites.
+  static ReplicaMap Generate(const KeyspaceConfig& config, const std::vector<SiteId>& dc_sites,
+                             const LatencyMatrix& latencies);
+
+  // Builds a map from explicit per-key replica sets (used by the social
+  // benchmark's partitioner).
+  static ReplicaMap FromSets(std::vector<DcSet> sets, uint32_t num_dcs);
+
+  DcSet ReplicasOf(KeyId key) const {
+    SAT_CHECK(key < sets_.size());
+    return sets_[key];
+  }
+
+  // Keys replicated / not replicated at `dc`.
+  const std::vector<KeyId>& LocalKeys(DcId dc) const { return local_[dc]; }
+  const std::vector<KeyId>& RemoteKeys(DcId dc) const { return remote_[dc]; }
+
+  uint64_t num_keys() const { return sets_.size(); }
+  uint32_t num_dcs() const { return num_dcs_; }
+
+  // Adapter for the datacenter fabric.
+  ReplicaResolver Resolver() const {
+    return [this](KeyId key) { return ReplicasOf(key); };
+  }
+
+  // Pair weights c_ij for the tree solver: the number of keys datacenters i
+  // and j share (section 5.4, collecting workload statistics).
+  std::vector<double> PairWeights() const;
+
+  // Mean replicas per key.
+  double MeanDegree() const;
+
+ private:
+  ReplicaMap(std::vector<DcSet> sets, uint32_t num_dcs);
+
+  std::vector<DcSet> sets_;
+  uint32_t num_dcs_ = 0;
+  std::vector<std::vector<KeyId>> local_;
+  std::vector<std::vector<KeyId>> remote_;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_WORKLOAD_REPLICATION_H_

@@ -1,0 +1,62 @@
+#include "src/workload/social_graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/check.h"
+
+namespace saturn {
+
+SocialGraph SocialGraph::Generate(const SocialGraphConfig& config) {
+  SAT_CHECK(config.num_users >= 2);
+  uint32_t m = std::max<uint32_t>(1, config.edges_per_node);
+  Rng rng(config.seed);
+
+  std::vector<std::vector<uint32_t>> adjacency(config.num_users);
+  // Repeated-endpoint list: sampling uniformly from it is sampling
+  // proportionally to degree (preferential attachment).
+  std::vector<uint32_t> endpoints;
+  uint64_t edges = 0;
+
+  auto connect = [&](uint32_t a, uint32_t b) {
+    adjacency[a].push_back(b);
+    adjacency[b].push_back(a);
+    endpoints.push_back(a);
+    endpoints.push_back(b);
+    ++edges;
+  };
+
+  // Seed clique of m+1 users.
+  uint32_t seed_size = std::min(config.num_users, m + 1);
+  for (uint32_t i = 0; i < seed_size; ++i) {
+    for (uint32_t j = i + 1; j < seed_size; ++j) {
+      connect(i, j);
+    }
+  }
+
+  for (uint32_t u = seed_size; u < config.num_users; ++u) {
+    std::unordered_set<uint32_t> chosen;
+    uint32_t budget = std::min(m, u);
+    while (chosen.size() < budget) {
+      uint32_t pick = endpoints[rng.NextBounded(endpoints.size())];
+      if (pick != u) {
+        chosen.insert(pick);
+      }
+    }
+    for (uint32_t friend_id : chosen) {
+      connect(u, friend_id);
+    }
+  }
+
+  return SocialGraph(std::move(adjacency), edges);
+}
+
+uint32_t SocialGraph::MaxDegree() const {
+  uint32_t max_deg = 0;
+  for (const auto& friends : adjacency_) {
+    max_deg = std::max(max_deg, static_cast<uint32_t>(friends.size()));
+  }
+  return max_deg;
+}
+
+}  // namespace saturn

@@ -1,0 +1,109 @@
+// Property suite: every causally consistent protocol, under every correlation
+// pattern and replication degree, must produce executions the independent
+// causality oracle accepts — including with clock skew, remote reads and
+// write-heavy mixes. This is the paper's core safety claim, checked
+// mechanically across the parameter grid.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tests/test_util.h"
+
+namespace saturn {
+namespace {
+
+using Params = std::tuple<Protocol, CorrelationPattern, uint32_t /*degree*/>;
+
+std::string Sanitize(std::string name) {
+  for (auto& c : name) {
+    if (c == '-') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+std::string ParamsName(const ::testing::TestParamInfo<Params>& info) {
+  std::string name = ProtocolName(std::get<0>(info.param));
+  name += "_";
+  name += CorrelationPatternName(std::get<1>(info.param));
+  name += "_deg" + std::to_string(std::get<2>(info.param));
+  return Sanitize(name);
+}
+
+std::string ProtocolParamName(const ::testing::TestParamInfo<Protocol>& info) {
+  return Sanitize(ProtocolName(info.param));
+}
+
+class CausalityProperty : public ::testing::TestWithParam<Params> {};
+
+TEST_P(CausalityProperty, OracleAcceptsExecution) {
+  auto [protocol, pattern, degree] = GetParam();
+  ClusterConfig config = SmallClusterConfig(protocol);
+  SyntheticOpGenerator::Config workload;
+  workload.write_fraction = 0.3;
+  workload.remote_read_fraction = 0.1;
+  ReplicaMap replicas =
+      ReplicaMap::Generate(SmallKeyspace(pattern, degree), config.dc_sites, config.latencies);
+  Cluster cluster(config, std::move(replicas), UniformClientHomes(3, 4),
+                  SyntheticGenerators(workload));
+  cluster.Run(Seconds(1), Seconds(2));
+  ASSERT_NE(cluster.oracle(), nullptr);
+  EXPECT_TRUE(cluster.oracle()->Clean())
+      << ProtocolName(protocol) << "/" << CorrelationPatternName(pattern) << "/deg" << degree
+      << ": " << cluster.oracle()->violations().front();
+  EXPECT_GT(cluster.metrics().ThroughputOpsPerSec(), 100.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCausalProtocols, CausalityProperty,
+    ::testing::Combine(::testing::Values(Protocol::kSaturn, Protocol::kSaturnTimestamp,
+                                         Protocol::kGentleRain, Protocol::kCure),
+                       ::testing::Values(CorrelationPattern::kFull,
+                                         CorrelationPattern::kExponential,
+                                         CorrelationPattern::kUniform),
+                       ::testing::Values(2u, 3u)),
+    ParamsName);
+
+class SkewedClocks : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(SkewedClocks, CausalityHoldsDespiteSkew) {
+  // NTP keeps skew small but non-zero (section 7); correctness must not
+  // depend on perfect clocks, only liveness/latency may degrade.
+  ClusterConfig config = SmallClusterConfig(GetParam());
+  config.dc.clock_skew = Millis(2);  // every DC ahead by 2ms of true time
+  SyntheticOpGenerator::Config workload;
+  workload.write_fraction = 0.4;
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 4),
+                  SyntheticGenerators(workload));
+  cluster.Run(Seconds(1), Seconds(2));
+  ASSERT_NE(cluster.oracle(), nullptr);
+  EXPECT_TRUE(cluster.oracle()->Clean()) << cluster.oracle()->violations().front();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCausalProtocols, SkewedClocks,
+                         ::testing::Values(Protocol::kSaturn, Protocol::kGentleRain,
+                                           Protocol::kCure),
+                         ProtocolParamName);
+
+class JitteryNetwork : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(JitteryNetwork, CausalityHoldsUnderJitter) {
+  ClusterConfig config = SmallClusterConfig(GetParam());
+  config.net.jitter_fraction = 0.3;
+  SyntheticOpGenerator::Config workload;
+  workload.write_fraction = 0.4;
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 4),
+                  SyntheticGenerators(workload));
+  cluster.Run(Seconds(1), Seconds(2));
+  ASSERT_NE(cluster.oracle(), nullptr);
+  EXPECT_TRUE(cluster.oracle()->Clean()) << cluster.oracle()->violations().front();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCausalProtocols, JitteryNetwork,
+                         ::testing::Values(Protocol::kSaturn, Protocol::kSaturnTimestamp,
+                                           Protocol::kGentleRain, Protocol::kCure),
+                         ProtocolParamName);
+
+}  // namespace
+}  // namespace saturn

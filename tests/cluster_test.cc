@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace saturn {
+namespace {
+
+TEST(Cluster, ProtocolNamesAreStable) {
+  EXPECT_STREQ(ProtocolName(Protocol::kEventual), "eventual");
+  EXPECT_STREQ(ProtocolName(Protocol::kSaturn), "saturn");
+  EXPECT_STREQ(ProtocolName(Protocol::kSaturnTimestamp), "saturn-p2p");
+  EXPECT_STREQ(ProtocolName(Protocol::kGentleRain), "gentlerain");
+  EXPECT_STREQ(ProtocolName(Protocol::kCure), "cure");
+}
+
+TEST(Cluster, ClientModesMatchProtocols) {
+  EXPECT_EQ(ClientModeFor(Protocol::kCure), ClientProtocolMode::kVector);
+  EXPECT_EQ(ClientModeFor(Protocol::kSaturn), ClientProtocolMode::kSaturn);
+  EXPECT_EQ(ClientModeFor(Protocol::kSaturnTimestamp), ClientProtocolMode::kSaturn);
+  EXPECT_EQ(ClientModeFor(Protocol::kEventual), ClientProtocolMode::kScalar);
+  EXPECT_EQ(ClientModeFor(Protocol::kGentleRain), ClientProtocolMode::kScalar);
+}
+
+TEST(Cluster, UniformHomesCoverEveryDatacenter) {
+  auto homes = UniformClientHomes(3, 4);
+  ASSERT_EQ(homes.size(), 12u);
+  std::vector<int> counts(3, 0);
+  for (DcId home : homes) {
+    ++counts[home];
+  }
+  for (int c : counts) {
+    EXPECT_EQ(c, 4);
+  }
+}
+
+TEST(Cluster, BuildsGeneratedTreeOnlyForSaturn) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 1),
+                  SyntheticGenerators(DefaultWorkload()));
+  EXPECT_TRUE(cluster.tree().Validate());
+  EXPECT_NE(cluster.metadata_service(), nullptr);
+
+  ClusterConfig ev = SmallClusterConfig(Protocol::kEventual);
+  Cluster eventual(ev, SmallReplicas(ev), UniformClientHomes(3, 1),
+                   SyntheticGenerators(DefaultWorkload()));
+  EXPECT_EQ(eventual.metadata_service(), nullptr);
+}
+
+TEST(Cluster, TreeGenerationIsDeterministic) {
+  auto build = []() {
+    ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+    Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 1),
+                    SyntheticGenerators(DefaultWorkload()));
+    return cluster.tree().ToString();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(Cluster, OracleOnlyWhenEnabled) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kEventual);
+  config.enable_oracle = false;
+  Cluster off(config, SmallReplicas(config), UniformClientHomes(3, 1),
+              SyntheticGenerators(DefaultWorkload()));
+  EXPECT_EQ(off.oracle(), nullptr);
+
+  config.enable_oracle = true;
+  Cluster on(config, SmallReplicas(config), UniformClientHomes(3, 1),
+             SyntheticGenerators(DefaultWorkload()));
+  EXPECT_NE(on.oracle(), nullptr);
+}
+
+TEST(Cluster, ResultSummarizesMetrics) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kEventual);
+  config.enable_oracle = false;
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 4),
+                  SyntheticGenerators(DefaultWorkload()));
+  ExperimentResult result = cluster.Run(Millis(500), Seconds(1));
+  EXPECT_GT(result.throughput_ops, 0);
+  EXPECT_GT(result.remote_updates, 0u);
+  EXPECT_GT(result.mean_visibility_ms, 0);
+  EXPECT_GE(result.p99_visibility_ms, result.p90_visibility_ms);
+  EXPECT_GE(result.p90_visibility_ms, 0);
+  EXPECT_GT(result.mean_op_latency_ms, 0);
+}
+
+TEST(Cluster, CustomTreeIsUsedVerbatim) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  config.tree_kind = SaturnTreeKind::kCustom;
+  config.custom_tree = StarTopology(config.dc_sites, kTokyo);
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 1),
+                  SyntheticGenerators(DefaultWorkload()));
+  EXPECT_EQ(cluster.tree().NumSerializers(), 1u);
+  // The single serializer sits where we asked.
+  for (const auto& node : cluster.tree().nodes()) {
+    if (!node.is_dc) {
+      EXPECT_EQ(node.site, static_cast<SiteId>(kTokyo));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace saturn

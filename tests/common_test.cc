@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "src/common/dc_set.h"
+#include "src/common/types.h"
+
+namespace saturn {
+namespace {
+
+TEST(Types, TimeConversions) {
+  EXPECT_EQ(Millis(1), 1000);
+  EXPECT_EQ(Seconds(1), 1000000);
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(12)), 12.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3)), 3.0);
+}
+
+TEST(Types, SourceIdPacking) {
+  SourceId src = MakeSourceId(5, 3);
+  EXPECT_EQ(SourceDc(src), 5u);
+  EXPECT_EQ(SourceGear(src), 3u);
+
+  // Sources from different datacenters compare by DC first, which gives a
+  // global total order over sources.
+  EXPECT_LT(MakeSourceId(1, 9), MakeSourceId(2, 0));
+  EXPECT_LT(MakeSourceId(2, 0), MakeSourceId(2, 1));
+}
+
+TEST(DcSet, BasicOperations) {
+  DcSet set;
+  EXPECT_TRUE(set.Empty());
+  set.Add(3);
+  set.Add(5);
+  EXPECT_EQ(set.Size(), 2);
+  EXPECT_TRUE(set.Contains(3));
+  EXPECT_FALSE(set.Contains(4));
+  set.Remove(3);
+  EXPECT_FALSE(set.Contains(3));
+  EXPECT_EQ(set.Size(), 1);
+}
+
+TEST(DcSet, FirstN) {
+  DcSet set = DcSet::FirstN(4);
+  EXPECT_EQ(set.Size(), 4);
+  for (DcId dc = 0; dc < 4; ++dc) {
+    EXPECT_TRUE(set.Contains(dc));
+  }
+  EXPECT_FALSE(set.Contains(4));
+  EXPECT_EQ(DcSet::FirstN(0).Size(), 0);
+  EXPECT_EQ(DcSet::FirstN(64).Size(), 64);
+}
+
+TEST(DcSet, SetAlgebra) {
+  DcSet a = DcSet::FirstN(3);            // {0,1,2}
+  DcSet b = DcSet::Single(2).Union(DcSet::Single(4));  // {2,4}
+  EXPECT_EQ(a.Intersect(b), DcSet::Single(2));
+  EXPECT_EQ(a.Minus(b), DcSet::FirstN(2));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(DcSet::Single(0).Intersects(DcSet::Single(1)));
+  EXPECT_EQ(a.Union(b).Size(), 4);
+}
+
+TEST(DcSet, Iteration) {
+  DcSet set;
+  set.Add(1);
+  set.Add(7);
+  set.Add(63);
+  std::vector<DcId> members;
+  for (DcId dc : set) {
+    members.push_back(dc);
+  }
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0], 1u);
+  EXPECT_EQ(members[1], 7u);
+  EXPECT_EQ(members[2], 63u);
+}
+
+TEST(DcSet, ToString) {
+  DcSet set;
+  set.Add(0);
+  set.Add(2);
+  EXPECT_EQ(set.ToString(), "{0,2}");
+  EXPECT_EQ(DcSet().ToString(), "{}");
+}
+
+}  // namespace
+}  // namespace saturn

@@ -1,0 +1,101 @@
+// Tests for the composite operate-and-migrate fast path: remote operations
+// that fold the return migration into the operation itself, including remote
+// *updates* (writes to keys the home datacenter does not replicate).
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace saturn {
+namespace {
+
+// Issues updates on keys NOT replicated at home, forcing the full
+// migrate-write-return cycle.
+class RemoteWriteGenerator : public OpGenerator {
+ public:
+  RemoteWriteGenerator(const ReplicaMap* replicas, double remote_write_fraction)
+      : replicas_(replicas), remote_write_fraction_(remote_write_fraction) {}
+
+  PlannedOp Next(DcId home, Rng& rng) override {
+    PlannedOp op;
+    op.value_size = 2;
+    const auto& remote = replicas_->RemoteKeys(home);
+    if (!remote.empty() && rng.NextBool(remote_write_fraction_)) {
+      op.kind = PlannedOp::Kind::kUpdate;
+      op.key = remote[rng.NextBounded(remote.size())];
+      return op;
+    }
+    const auto& local = replicas_->LocalKeys(home);
+    op.kind = rng.NextBool(0.3) ? PlannedOp::Kind::kUpdate : PlannedOp::Kind::kRead;
+    op.key = local[rng.NextBounded(local.size())];
+    return op;
+  }
+
+ private:
+  const ReplicaMap* replicas_;
+  double remote_write_fraction_;
+};
+
+GeneratorFactory RemoteWriteGenerators(double fraction) {
+  return [fraction](const ReplicaMap& replicas, DcId, uint32_t) {
+    return std::make_unique<RemoteWriteGenerator>(&replicas, fraction);
+  };
+}
+
+TEST(CompositeMigration, RemoteWritesStayCausalUnderSaturn) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  ReplicaMap replicas = SmallReplicas(config, CorrelationPattern::kUniform, 2);
+  Cluster cluster(config, std::move(replicas), UniformClientHomes(3, 4),
+                  RemoteWriteGenerators(0.15));
+  cluster.Run(Seconds(1), Seconds(3));
+
+  uint64_t migrations = 0;
+  for (const auto& client : cluster.clients()) {
+    migrations += client->migrations();
+  }
+  EXPECT_GT(migrations, 20u);
+  ASSERT_NE(cluster.oracle(), nullptr);
+  EXPECT_TRUE(cluster.oracle()->Clean()) << cluster.oracle()->violations().front();
+}
+
+TEST(CompositeMigration, RemoteWritesStayCausalUnderSaturnP2P) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturnTimestamp);
+  ReplicaMap replicas = SmallReplicas(config, CorrelationPattern::kUniform, 2);
+  Cluster cluster(config, std::move(replicas), UniformClientHomes(3, 4),
+                  RemoteWriteGenerators(0.15));
+  cluster.Run(Seconds(1), Seconds(3));
+  ASSERT_NE(cluster.oracle(), nullptr);
+  EXPECT_TRUE(cluster.oracle()->Clean()) << cluster.oracle()->violations().front();
+}
+
+TEST(CompositeMigration, RemoteWritesStayCausalUnderGentleRainAndCure) {
+  for (Protocol protocol : {Protocol::kGentleRain, Protocol::kCure}) {
+    ClusterConfig config = SmallClusterConfig(protocol);
+    ReplicaMap replicas = SmallReplicas(config, CorrelationPattern::kUniform, 2);
+    Cluster cluster(config, std::move(replicas), UniformClientHomes(3, 4),
+                    RemoteWriteGenerators(0.15));
+    cluster.Run(Seconds(1), Seconds(3));
+    ASSERT_NE(cluster.oracle(), nullptr);
+    EXPECT_TRUE(cluster.oracle()->Clean())
+        << ProtocolName(protocol) << ": " << cluster.oracle()->violations().front();
+  }
+}
+
+TEST(CompositeMigration, SavesARoundTripOverExplicitMigrateBack) {
+  // The composite path should make Saturn's remote operations cheaper than
+  // the same workload would be with the extra wide-area migrate round trip;
+  // we approximate by asserting that attach+migration latency stays within
+  // ~3 one-way hops of the target distance on average.
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  config.enable_oracle = false;
+  ReplicaMap replicas = SmallReplicas(config, CorrelationPattern::kUniform, 2);
+  Cluster cluster(config, std::move(replicas), UniformClientHomes(3, 4),
+                  SyntheticGenerators(DefaultWorkload(/*remote_reads=*/0.3)));
+  cluster.Run(Seconds(1), Seconds(3));
+  // Ireland/Frankfurt clients target each other (10ms); Tokyo targets
+  // Ireland (107ms). Weighted mean one-way ~ 42ms; the old explicit
+  // migrate-back flow measured ~46ms mean attach, composite should be lower.
+  EXPECT_LT(cluster.metrics().AttachLatency().MeanMs(), 40.0);
+}
+
+}  // namespace
+}  // namespace saturn

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "src/runtime/regions.h"
+#include "src/saturn/config_generator.h"
+#include "src/workload/replication.h"
+
+namespace saturn {
+namespace {
+
+TEST(ConfigGenerator, TwoDatacentersIsSingleSerializer) {
+  LatencyMatrix m(2);
+  m.Set(0, 1, Millis(20));
+  SolverInput input;
+  input.dc_sites = {0, 1};
+  input.candidate_sites = {0, 1};
+  input.latencies = &m;
+  SolvedTree solved = FindConfiguration(input);
+  EXPECT_TRUE(solved.topology.Validate());
+  EXPECT_EQ(solved.topology.NumSerializers(), 1u);
+  EXPECT_DOUBLE_EQ(solved.objective, 0.0);
+}
+
+TEST(ConfigGenerator, GeneratedTreeIsValidForEc2) {
+  LatencyMatrix m = Ec2Latencies();
+  SolverInput input;
+  input.dc_sites = Ec2Sites();
+  input.candidate_sites = Ec2Sites();
+  input.latencies = &m;
+  SolvedTree solved = FindConfiguration(input);
+  std::string error;
+  EXPECT_TRUE(solved.topology.Validate(&error)) << error;
+  // All 7 leaves present.
+  for (DcId dc = 0; dc < kNumEc2Regions; ++dc) {
+    EXPECT_NE(solved.topology.LeafOf(dc), UINT32_MAX);
+  }
+}
+
+TEST(ConfigGenerator, BeatsTheWorstStarOnEc2) {
+  // Section 7.1: a single serializer in Ireland is bad for Tokyo->Sydney.
+  // The generated multi-serializer configuration must dominate globally.
+  LatencyMatrix m = Ec2Latencies();
+  SolverInput input;
+  input.dc_sites = Ec2Sites();
+  input.candidate_sites = Ec2Sites();
+  input.latencies = &m;
+
+  SolvedTree generated = FindConfiguration(input);
+  double star_mismatch = WeightedMismatch(StarTopology(Ec2Sites(), kIreland), input);
+  EXPECT_LT(generated.objective, star_mismatch);
+
+  // And the specific Tokyo->Sydney path must be far better than via Ireland
+  // (107 + 154 ms). With uniform weights the optimizer may still route it
+  // through N. California (52 + 79 ms) to keep Sydney close to the Americas.
+  auto lat = [&m](SiteId a, SiteId b) { return m.Get(a, b); };
+  SimTime generated_ts = generated.topology.PathLatency(kTokyo, kSydney, lat);
+  EXPECT_LT(generated_ts, Millis(140));
+}
+
+TEST(ConfigGenerator, WorkloadWeightsRecoverRegionalClusters) {
+  // With exponential-correlation traffic weights (nearby DCs share the most
+  // data — the paper's setting), the generated tree keeps each near pair at
+  // its optimal metadata latency, matching the M-configuration of Fig. 4.
+  LatencyMatrix m = Ec2Latencies();
+  KeyspaceConfig keyspace;
+  keyspace.num_keys = 10000;
+  keyspace.pattern = CorrelationPattern::kExponential;
+  keyspace.replication_degree = 3;
+  ReplicaMap map = ReplicaMap::Generate(keyspace, Ec2Sites(), m);
+
+  SolverInput input;
+  input.dc_sites = Ec2Sites();
+  input.candidate_sites = Ec2Sites();
+  input.latencies = &m;
+  input.weights = map.PairWeights();
+
+  SolvedTree generated = FindConfiguration(input);
+  auto lat = [&m](SiteId a, SiteId b) { return m.Get(a, b); };
+  EXPECT_LE(generated.topology.PathLatency(kTokyo, kSydney, lat), Millis(60));
+  EXPECT_LE(generated.topology.PathLatency(kIreland, kFrankfurt, lat), Millis(14));
+  EXPECT_LE(generated.topology.PathLatency(kNVirginia, kNCalifornia, lat), Millis(45));
+}
+
+TEST(ConfigGenerator, RespectsCandidateRestrictions) {
+  LatencyMatrix m = Ec2Latencies();
+  SolverInput input;
+  input.dc_sites = {kIreland, kFrankfurt, kTokyo};
+  input.candidate_sites = {kIreland};  // only one allowed location
+  input.latencies = &m;
+  SolvedTree solved = FindConfiguration(input);
+  for (const auto& node : solved.topology.nodes()) {
+    if (!node.is_dc) {
+      EXPECT_EQ(node.site, static_cast<SiteId>(kIreland));
+    }
+  }
+}
+
+TEST(ConfigGenerator, FusionDoesNotChangeObjective) {
+  LatencyMatrix m = Ec2Latencies();
+  SolverInput input;
+  input.dc_sites = Ec2Sites(5);
+  input.candidate_sites = Ec2Sites(5);
+  input.latencies = &m;
+  ConfigGeneratorOptions no_fuse;
+  no_fuse.fuse_serializers = false;
+  ConfigGeneratorOptions fuse;
+  fuse.fuse_serializers = true;
+  double obj_no_fuse = FindConfiguration(input, no_fuse).objective;
+  double obj_fuse = FindConfiguration(input, fuse).objective;
+  EXPECT_NEAR(obj_fuse, obj_no_fuse, 1.0);
+}
+
+TEST(ConfigGenerator, WeightedPairsGetPriority) {
+  LatencyMatrix m = Ec2Latencies();
+  SolverInput input;
+  input.dc_sites = Ec2Sites();
+  input.candidate_sites = Ec2Sites();
+  input.latencies = &m;
+  // Weight only Ireland<->Frankfurt (ids 3, 4).
+  input.weights.assign(49, 0.01);
+  input.weights[3 * 7 + 4] = 1000.0;
+  input.weights[4 * 7 + 3] = 1000.0;
+  SolvedTree solved = FindConfiguration(input);
+  auto lat = [&m](SiteId a, SiteId b) { return m.Get(a, b); };
+  SimTime path = solved.topology.PathLatency(3, 4, lat);
+  EXPECT_LE(path, Millis(14));  // near the optimal 10ms
+}
+
+}  // namespace
+}  // namespace saturn

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/sim/event_queue.h"
+
+namespace saturn {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(30, [&]() { order.push_back(3); });
+  sim.At(10, [&]() { order.push_back(1); });
+  sim.At(20, [&]() { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(Simulator, EqualTimesRunInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.At(5, [&, i]() { order.push_back(i); });
+  }
+  sim.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.At(100, [&]() { sim.After(50, [&]() { fired_at = sim.Now(); }); });
+  sim.RunAll();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(10, [&]() { ++fired; });
+  sim.At(20, [&]() { ++fired; });
+  sim.At(30, [&]() { ++fired; });
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 20);
+  sim.RunUntil(100);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(Simulator, RunUntilAdvancesTimeEvenWhenIdle) {
+  Simulator sim;
+  sim.RunUntil(500);
+  EXPECT_EQ(sim.Now(), 500);
+  EXPECT_TRUE(sim.Empty());
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 100) {
+      sim.After(1, recurse);
+    }
+  };
+  sim.At(0, recurse);
+  sim.RunAll();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.Now(), 99);
+  EXPECT_EQ(sim.executed_events(), 100u);
+}
+
+TEST(SimulatorDeathTest, SchedulingIntoThePastAborts) {
+  Simulator sim;
+  sim.At(10, []() {});
+  sim.RunAll();
+  EXPECT_DEATH(sim.At(5, []() {}), "scheduling into the past");
+}
+
+TEST(PhysicalClockTest, SkewIsApplied) {
+  Simulator sim;
+  sim.At(1000, []() {});
+  sim.RunAll();
+  PhysicalClock ahead(&sim, 50);
+  PhysicalClock behind(&sim, -50);
+  EXPECT_EQ(ahead.Now(), 1050);
+  EXPECT_EQ(behind.Now(), 950);
+}
+
+TEST(PhysicalClockTest, NeverNegative) {
+  Simulator sim;
+  PhysicalClock skewed(&sim, -100);
+  EXPECT_EQ(skewed.Now(), 0);
+}
+
+}  // namespace
+}  // namespace saturn

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace saturn {
+namespace {
+
+TEST(EventualIntegration, ServesTrafficAndPropagatesUpdates) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kEventual);
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 4),
+                  SyntheticGenerators(DefaultWorkload()));
+  ExperimentResult result = cluster.Run(Seconds(1), Seconds(2));
+
+  EXPECT_GT(result.throughput_ops, 1000.0);
+  EXPECT_GT(result.remote_updates, 100u);
+}
+
+TEST(EventualIntegration, VisibilityTracksNetworkLatency) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kEventual);
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 4),
+                  SyntheticGenerators(DefaultWorkload()));
+  cluster.Run(Seconds(1), Seconds(2));
+
+  // Ireland -> Frankfurt is a 10ms link; eventual visibility should sit just
+  // above it (queueing + apply cost), far below the 107ms Tokyo link.
+  double if_ms = cluster.metrics().Visibility(0, 1).MeanMs();
+  double it_ms = cluster.metrics().Visibility(0, 2).MeanMs();
+  EXPECT_GT(if_ms, 10.0);
+  EXPECT_LT(if_ms, 20.0);
+  EXPECT_GT(it_ms, 107.0);
+  EXPECT_LT(it_ms, 120.0);
+}
+
+TEST(EventualIntegration, ViolatesCausalityUnderConcurrency) {
+  // The whole point of the baseline: applying remote updates on arrival must
+  // eventually break session/read-from order somewhere. The oracle is the
+  // failure-injection check that our checker actually catches it.
+  ClusterConfig config = SmallClusterConfig(Protocol::kEventual);
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 6),
+                  SyntheticGenerators(DefaultWorkload()));
+  // Heavier write mix to force cross-DC races.
+  SyntheticOpGenerator::Config heavy;
+  heavy.write_fraction = 0.5;
+  Cluster racy(config, SmallReplicas(config), UniformClientHomes(3, 6),
+               SyntheticGenerators(heavy));
+  racy.Run(Seconds(1), Seconds(3));
+  ASSERT_NE(racy.oracle(), nullptr);
+  EXPECT_FALSE(racy.oracle()->Clean())
+      << "eventual consistency unexpectedly produced a causal execution";
+}
+
+TEST(EventualIntegration, DeterministicAcrossRuns) {
+  auto run = []() {
+    ClusterConfig config = SmallClusterConfig(Protocol::kEventual);
+    config.enable_oracle = false;
+    Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 4),
+                    SyntheticGenerators(DefaultWorkload()));
+    return cluster.Run(Seconds(1), Seconds(1));
+  };
+  ExperimentResult a = run();
+  ExperimentResult b = run();
+  EXPECT_DOUBLE_EQ(a.throughput_ops, b.throughput_ops);
+  EXPECT_DOUBLE_EQ(a.mean_visibility_ms, b.mean_visibility_ms);
+  EXPECT_EQ(a.remote_updates, b.remote_updates);
+}
+
+}  // namespace
+}  // namespace saturn

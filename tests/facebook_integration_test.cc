@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "src/workload/facebook_workload.h"
+#include "tests/test_util.h"
+
+namespace saturn {
+namespace {
+
+struct FacebookSetup {
+  SocialGraph graph;
+  Partitioning partitioning;
+  std::vector<DcId> homes;  // one client per sampled user
+  std::vector<uint32_t> users;
+};
+
+FacebookSetup MakeSetup(uint32_t num_dcs, uint32_t max_replicas, uint32_t clients) {
+  SocialGraphConfig graph_config;
+  graph_config.num_users = 1200;
+  graph_config.edges_per_node = 8;
+  SocialGraph graph = SocialGraph::Generate(graph_config);
+
+  PartitionerConfig part_config;
+  part_config.num_dcs = num_dcs;
+  part_config.min_replicas = 2;
+  part_config.max_replicas = max_replicas;
+  std::vector<SiteId> sites = Ec2Sites(num_dcs);
+  Partitioning partitioning = PartitionSocialGraph(graph, part_config, sites, Ec2Latencies());
+
+  FacebookSetup setup{std::move(graph), std::move(partitioning), {}, {}};
+  for (uint32_t i = 0; i < clients; ++i) {
+    uint32_t user = (i * 37) % setup.graph.num_users();
+    setup.users.push_back(user);
+    setup.homes.push_back(setup.partitioning.primary[user]);
+  }
+  return setup;
+}
+
+TEST(FacebookIntegration, SaturnStaysCausalOnSocialWorkload) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  FacebookSetup setup = MakeSetup(3, 3, 12);
+  FacebookMixConfig mix;
+  auto factory = [&setup, &mix](const ReplicaMap&, DcId, uint32_t index) {
+    return std::make_unique<FacebookOpGenerator>(&setup.graph, setup.users[index], mix);
+  };
+  Cluster cluster(config, setup.partitioning.replicas, setup.homes, factory);
+  cluster.Run(Seconds(1), Seconds(2));
+  ASSERT_NE(cluster.oracle(), nullptr);
+  EXPECT_TRUE(cluster.oracle()->Clean()) << cluster.oracle()->violations().front();
+  EXPECT_GT(cluster.metrics().ThroughputOpsPerSec(), 500.0);
+}
+
+TEST(FacebookIntegration, HigherMaxReplicasReducesMigrations) {
+  auto migrations = [](uint32_t max_replicas) {
+    ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+    config.enable_oracle = false;
+    FacebookSetup setup = MakeSetup(3, max_replicas, 12);
+    FacebookMixConfig mix;
+    auto factory = [&setup, &mix](const ReplicaMap&, DcId, uint32_t index) {
+      return std::make_unique<FacebookOpGenerator>(&setup.graph, setup.users[index], mix);
+    };
+    Cluster cluster(config, setup.partitioning.replicas, setup.homes, factory);
+    cluster.Run(Seconds(1), Seconds(2));
+    uint64_t total = 0;
+    for (const auto& client : cluster.clients()) {
+      total += client->migrations();
+    }
+    return total;
+  };
+  EXPECT_GT(migrations(2), migrations(3));
+}
+
+TEST(FacebookIntegration, MixGeneratesReadsAndWrites) {
+  SocialGraphConfig graph_config;
+  graph_config.num_users = 200;
+  graph_config.edges_per_node = 5;
+  SocialGraph graph = SocialGraph::Generate(graph_config);
+  FacebookMixConfig mix;
+  FacebookOpGenerator gen(&graph, 7, mix);
+  Rng rng(3);
+  int reads = 0;
+  int writes = 0;
+  int own = 0;
+  for (int i = 0; i < 10000; ++i) {
+    PlannedOp op = gen.Next(0, rng);
+    (op.kind == PlannedOp::Kind::kRead ? reads : writes)++;
+    own += op.key == 7 ? 1 : 0;
+    EXPECT_LT(op.key, graph.num_users());
+  }
+  // Browsing dominates (Benevenuto): ~88% reads, ~12% writes.
+  EXPECT_NEAR(static_cast<double>(reads) / 10000.0, 0.88, 0.03);
+  EXPECT_GT(own, 1000);  // own-profile traffic present
+}
+
+}  // namespace
+}  // namespace saturn

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace saturn {
+namespace {
+
+TEST(GentleRainIntegration, NeverViolatesCausality) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kGentleRain);
+  SyntheticOpGenerator::Config heavy;
+  heavy.write_fraction = 0.5;
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 6),
+                  SyntheticGenerators(heavy));
+  cluster.Run(Seconds(1), Seconds(3));
+  ASSERT_NE(cluster.oracle(), nullptr);
+  EXPECT_TRUE(cluster.oracle()->Clean())
+      << cluster.oracle()->violations().front();
+}
+
+TEST(GentleRainIntegration, VisibilityBoundByFurthestDatacenter) {
+  // Section 7.3.1: with a single scalar, visibility latency tends to the
+  // longest network travel time regardless of origin. In the {I, F, T}
+  // deployment, Frankfurt-Tokyo (118ms) is the longest link, so even the
+  // 10ms Ireland->Frankfurt pair waits ~118ms for its GST to cover.
+  ClusterConfig config = SmallClusterConfig(Protocol::kGentleRain);
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 4),
+                  SyntheticGenerators(DefaultWorkload()));
+  cluster.Run(Seconds(1), Seconds(2));
+
+  double if_ms = cluster.metrics().Visibility(0, 1).MeanMs();
+  EXPECT_GT(if_ms, 100.0);
+  EXPECT_LT(if_ms, 140.0);
+}
+
+TEST(GentleRainIntegration, GstAdvances) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kGentleRain);
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 2),
+                  SyntheticGenerators(DefaultWorkload()));
+  cluster.Run(Millis(500), Seconds(1));
+  auto* dc = static_cast<GentleRainDc*>(cluster.dc(0));
+  // After 1.5s of simulated time the GST must have advanced to within a
+  // stabilization lag of now (lag ~ max latency + heartbeat + round).
+  EXPECT_GT(dc->gst(), cluster.sim().Now() - Millis(200));
+  EXPECT_LT(dc->gst(), cluster.sim().Now());
+}
+
+TEST(GentleRainIntegration, ThroughputBelowEventual) {
+  ClusterConfig ev_config = SmallClusterConfig(Protocol::kEventual);
+  ev_config.enable_oracle = false;
+  Cluster ev(ev_config, SmallReplicas(ev_config), UniformClientHomes(3, 8),
+             SyntheticGenerators(DefaultWorkload()));
+  double ev_tput = ev.Run(Seconds(1), Seconds(2)).throughput_ops;
+
+  ClusterConfig gr_config = SmallClusterConfig(Protocol::kGentleRain);
+  gr_config.enable_oracle = false;
+  Cluster gr(gr_config, SmallReplicas(gr_config), UniformClientHomes(3, 8),
+             SyntheticGenerators(DefaultWorkload()));
+  double gr_tput = gr.Run(Seconds(1), Seconds(2)).throughput_ops;
+
+  EXPECT_LT(gr_tput, ev_tput);
+  EXPECT_GT(gr_tput, 0.80 * ev_tput);  // but only mildly below (Fig. 1a)
+}
+
+}  // namespace
+}  // namespace saturn

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "src/stats/histogram.h"
+
+namespace saturn {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.MeanUs(), 0.0);
+  EXPECT_EQ(h.PercentileUs(0.5), 0);
+  EXPECT_TRUE(h.CdfPointsMs().empty());
+}
+
+TEST(LatencyHistogram, ExactBelowLinearLimit) {
+  LatencyHistogram h;
+  for (int64_t v = 0; v < 1000; ++v) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.MinUs(), 0);
+  EXPECT_EQ(h.MaxUs(), 999);
+  EXPECT_NEAR(static_cast<double>(h.PercentileUs(0.5)), 500.0, 2.0);
+  EXPECT_NEAR(h.MeanUs(), 499.5, 0.01);
+}
+
+TEST(LatencyHistogram, RelativeErrorBoundedAboveLimit) {
+  LatencyHistogram h;
+  const int64_t value = 1234567;
+  h.Record(value);
+  int64_t p = h.PercentileUs(1.0);
+  EXPECT_NEAR(static_cast<double>(p), static_cast<double>(value), 0.02 * value);
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotone) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 10000; ++i) {
+    h.Record(i * 17);
+  }
+  int64_t prev = 0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    int64_t v = h.PercentileUs(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_LE(h.PercentileUs(1.0), h.MaxUs());
+}
+
+TEST(LatencyHistogram, NegativeValuesClampToZero) {
+  LatencyHistogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.MinUs(), 0);
+}
+
+TEST(LatencyHistogram, MergeCombinesCounts) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(100);
+  a.Record(200);
+  b.Record(300);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.MaxUs(), 300);
+  EXPECT_NEAR(a.MeanUs(), 200.0, 0.01);
+}
+
+TEST(LatencyHistogram, CdfReachesOne) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) {
+    h.Record(i * 1000);
+  }
+  auto points = h.CdfPointsMs();
+  ASSERT_FALSE(points.empty());
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].first, points[i - 1].first);
+    EXPECT_GE(points[i].second, points[i - 1].second);
+  }
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.PercentileUs(0.9), 0);
+}
+
+TEST(LatencyHistogram, SummaryMentionsPercentiles) {
+  LatencyHistogram h;
+  h.Record(5000);
+  std::string s = h.Summary();
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("p99"), std::string::npos);
+}
+
+TEST(Accumulator, TracksMeanMinMax) {
+  Accumulator acc;
+  acc.Record(2.0);
+  acc.Record(4.0);
+  acc.Record(9.0);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.Sum(), 15.0);
+}
+
+}  // namespace
+}  // namespace saturn

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "src/kvstore/partitioned_store.h"
+#include "src/kvstore/versioned_store.h"
+
+namespace saturn {
+namespace {
+
+Label MakeLabel(int64_t ts, SourceId src = 0) {
+  Label l;
+  l.ts = ts;
+  l.src = src;
+  return l;
+}
+
+TEST(VersionedStore, GetMissingReturnsNull) {
+  VersionedStore store;
+  EXPECT_EQ(store.Get(1), nullptr);
+}
+
+TEST(VersionedStore, PutThenGet) {
+  VersionedStore store;
+  EXPECT_TRUE(store.Put(1, {16, MakeLabel(5)}));
+  const VersionedValue* v = store.Get(1);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->size, 16u);
+  EXPECT_EQ(v->label.ts, 5);
+}
+
+TEST(VersionedStore, LastWriterWinsByLabelOrder) {
+  VersionedStore store;
+  EXPECT_TRUE(store.Put(1, {1, MakeLabel(5)}));
+  // A causally earlier (smaller-label) write must not clobber a later one.
+  EXPECT_FALSE(store.Put(1, {2, MakeLabel(3)}));
+  EXPECT_EQ(store.Get(1)->label.ts, 5);
+  // A later write replaces.
+  EXPECT_TRUE(store.Put(1, {3, MakeLabel(7)}));
+  EXPECT_EQ(store.Get(1)->label.ts, 7);
+}
+
+TEST(VersionedStore, ConcurrentWritesConvergeBySource) {
+  // Same timestamp, different sources: all replicas must pick the same winner.
+  VersionedStore a;
+  VersionedStore b;
+  VersionedValue v1{1, MakeLabel(5, 1)};
+  VersionedValue v2{2, MakeLabel(5, 2)};
+  a.Put(1, v1);
+  a.Put(1, v2);
+  b.Put(1, v2);
+  b.Put(1, v1);
+  EXPECT_EQ(a.Get(1)->label.src, b.Get(1)->label.src);
+  EXPECT_EQ(a.Get(1)->label.src, 2u);
+}
+
+TEST(PartitionedStore, StableKeyAssignment) {
+  PartitionedStore store(8);
+  for (KeyId key = 0; key < 1000; ++key) {
+    EXPECT_EQ(store.PartitionOf(key), store.PartitionOf(key));
+    EXPECT_LT(store.PartitionOf(key), 8u);
+  }
+}
+
+TEST(PartitionedStore, KeysSpreadAcrossPartitions) {
+  PartitionedStore store(8);
+  std::vector<int> counts(8, 0);
+  for (KeyId key = 0; key < 8000; ++key) {
+    ++counts[store.PartitionOf(key)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 500);  // roughly balanced
+    EXPECT_LT(c, 1500);
+  }
+}
+
+TEST(PartitionedStore, TotalKeysAggregates) {
+  PartitionedStore store(4);
+  for (KeyId key = 0; key < 100; ++key) {
+    store.PartitionFor(key).Put(key, {1, MakeLabel(1)});
+  }
+  EXPECT_EQ(store.TotalKeys(), 100u);
+}
+
+TEST(ServerQueue, IdleServerStartsImmediately) {
+  ServerQueue q;
+  EXPECT_EQ(q.Submit(100, 50), 150);
+}
+
+TEST(ServerQueue, BusyServerQueues) {
+  ServerQueue q;
+  EXPECT_EQ(q.Submit(0, 100), 100);
+  EXPECT_EQ(q.Submit(10, 100), 200);  // waits for the first job
+  EXPECT_EQ(q.Submit(500, 100), 600);  // idle gap, starts at arrival
+}
+
+TEST(ServerQueue, TracksUtilization) {
+  ServerQueue q;
+  q.Submit(0, 250);
+  q.Submit(0, 250);
+  EXPECT_DOUBLE_EQ(q.Utilization(1000), 0.5);
+  EXPECT_EQ(q.jobs(), 2u);
+}
+
+}  // namespace
+}  // namespace saturn

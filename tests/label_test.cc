@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/core/label.h"
+
+namespace saturn {
+namespace {
+
+Label Make(int64_t ts, SourceId src, LabelType type = LabelType::kUpdate) {
+  Label l;
+  l.ts = ts;
+  l.src = src;
+  l.type = type;
+  return l;
+}
+
+TEST(Label, TimestampDominatesOrder) {
+  EXPECT_LT(Make(1, 99), Make(2, 0));
+  EXPECT_GT(Make(3, 0), Make(2, 99));
+}
+
+TEST(Label, SourceBreaksTies) {
+  // Paper section 3: la < lb iff la.ts < lb.ts or (equal ts and la.src < lb.src).
+  EXPECT_LT(Make(5, 1), Make(5, 2));
+  EXPECT_EQ(Make(5, 1), Make(5, 1));
+}
+
+TEST(Label, TotalOrderIsStrict) {
+  std::vector<Label> labels;
+  for (int64_t ts = 0; ts < 5; ++ts) {
+    for (SourceId src = 0; src < 5; ++src) {
+      labels.push_back(Make(ts, src));
+    }
+  }
+  std::sort(labels.begin(), labels.end());
+  for (size_t i = 1; i < labels.size(); ++i) {
+    EXPECT_LT(labels[i - 1], labels[i]);
+  }
+}
+
+TEST(Label, BottomIsSmallest) {
+  EXPECT_LT(kBottomLabel, Make(0, 0));
+  EXPECT_EQ(MaxLabel(kBottomLabel, Make(0, 0)), Make(0, 0));
+}
+
+TEST(Label, MaxLabelPicksGreater) {
+  Label a = Make(10, 1);
+  Label b = Make(10, 2);
+  EXPECT_EQ(MaxLabel(a, b), b);
+  EXPECT_EQ(MaxLabel(b, a), b);
+}
+
+TEST(Label, OriginDcFromSource) {
+  Label l = Make(1, MakeSourceId(4, 2));
+  EXPECT_EQ(l.origin_dc(), 4u);
+}
+
+TEST(Label, ToStringMentionsTypeAndTarget) {
+  Label update = Make(7, MakeSourceId(1, 0));
+  update.target_key = 42;
+  EXPECT_NE(update.ToString().find("update"), std::string::npos);
+  EXPECT_NE(update.ToString().find("42"), std::string::npos);
+
+  Label migration = Make(9, MakeSourceId(2, 1), LabelType::kMigration);
+  migration.target_dc = 3;
+  EXPECT_NE(migration.ToString().find("migration"), std::string::npos);
+  EXPECT_NE(migration.ToString().find("dc=3"), std::string::npos);
+}
+
+TEST(Label, TypeNames) {
+  EXPECT_STREQ(LabelTypeName(LabelType::kUpdate), "update");
+  EXPECT_STREQ(LabelTypeName(LabelType::kMigration), "migration");
+  EXPECT_STREQ(LabelTypeName(LabelType::kEpochChange), "epoch-change");
+  EXPECT_STREQ(LabelTypeName(LabelType::kHeartbeat), "heartbeat");
+}
+
+}  // namespace
+}  // namespace saturn

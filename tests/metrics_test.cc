@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "src/core/cost_model.h"
+#include "src/core/metrics.h"
+
+namespace saturn {
+namespace {
+
+TEST(Metrics, ThroughputCountsOnlyReadsAndUpdatesInWindow) {
+  Metrics metrics(2);
+  metrics.SetWindow(Seconds(1), Seconds(3));
+
+  // Before the window: ignored.
+  metrics.RecordClientOp(ClientOpType::kRead, 0, Millis(500), Millis(900));
+  // Inside the window: counted.
+  metrics.RecordClientOp(ClientOpType::kRead, 0, Seconds(1), Seconds(1) + Millis(1));
+  metrics.RecordClientOp(ClientOpType::kUpdate, 1, Seconds(2), Seconds(2) + Millis(2));
+  // Attach operations never count towards throughput.
+  metrics.RecordClientOp(ClientOpType::kAttach, 0, Seconds(2), Seconds(2) + Millis(10));
+  metrics.RecordClientOp(ClientOpType::kMigrate, 0, Seconds(2), Seconds(2) + Millis(5));
+  // After the window: ignored.
+  metrics.RecordClientOp(ClientOpType::kRead, 0, Seconds(3), Seconds(4));
+
+  EXPECT_EQ(metrics.completed_ops(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.ThroughputOpsPerSec(), 1.0);  // 2 ops over 2 seconds
+  EXPECT_EQ(metrics.AttachLatency().count(), 2u);
+}
+
+TEST(Metrics, VisibilityFiltersOnCreationTime) {
+  Metrics metrics(3);
+  metrics.SetWindow(Seconds(1), Seconds(2));
+  // Created before the window: dropped even though it became visible inside.
+  metrics.RecordVisibility(0, 1, Millis(900), Seconds(1) + Millis(50));
+  // Created inside, visible after the window end: kept (drain semantics).
+  metrics.RecordVisibility(0, 1, Seconds(2) - Millis(1), Seconds(2) + Millis(99));
+  EXPECT_EQ(metrics.Visibility(0, 1).count(), 1u);
+  EXPECT_NEAR(metrics.Visibility(0, 1).MeanMs(), 100.0, 1.0);
+  EXPECT_EQ(metrics.AllVisibility().count(), 1u);
+}
+
+TEST(Metrics, PerPairHistogramsAreIndependent) {
+  Metrics metrics(3);
+  metrics.RecordVisibility(0, 1, 0, Millis(10));
+  metrics.RecordVisibility(0, 2, 0, Millis(100));
+  metrics.RecordVisibility(2, 0, 0, Millis(50));
+  EXPECT_EQ(metrics.Visibility(0, 1).count(), 1u);
+  EXPECT_EQ(metrics.Visibility(0, 2).count(), 1u);
+  EXPECT_EQ(metrics.Visibility(2, 0).count(), 1u);
+  EXPECT_EQ(metrics.Visibility(1, 0).count(), 0u);
+  EXPECT_EQ(metrics.AllVisibility().count(), 3u);
+  EXPECT_NEAR(metrics.Visibility(0, 2).MeanMs(), 100.0, 1.0);
+}
+
+TEST(Metrics, EmptyWindowYieldsZeroThroughput) {
+  Metrics metrics(1);
+  metrics.SetWindow(Seconds(1), Seconds(1));
+  EXPECT_DOUBLE_EQ(metrics.ThroughputOpsPerSec(), 0.0);
+}
+
+TEST(CostModel, CostsScaleWithInputs) {
+  CostModel costs;
+  EXPECT_GT(costs.UpdateCost(0), costs.ReadCost(0));
+  EXPECT_GT(costs.ReadCost(2048), costs.ReadCost(2));
+  EXPECT_GT(costs.StabilizationCost(7), costs.StabilizationCost(3));
+  EXPECT_EQ(CostModel::AsTime(12.7), 12);
+}
+
+TEST(MessageWireSizes, PayloadDominatesForLargeValues) {
+  RemotePayload small;
+  small.value_size = 2;
+  RemotePayload large;
+  large.value_size = 2048;
+  EXPECT_GT(MessageWireSize(large), MessageWireSize(small) + 2000);
+
+  // Cure's vectors make requests and payloads proportionally bigger.
+  RemotePayload with_vector = small;
+  with_vector.dep_vector.assign(7, 0);
+  EXPECT_EQ(MessageWireSize(with_vector), MessageWireSize(small) + 7 * 8);
+
+  LabelEnvelope env;
+  EXPECT_LT(MessageWireSize(env), 64u);  // labels are small and constant-size
+}
+
+}  // namespace
+}  // namespace saturn

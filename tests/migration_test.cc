@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace saturn {
+namespace {
+
+// Remote reads force clients through the migration machinery (section 4.4).
+TEST(Migration, SaturnClientsMigrateAndStayCausal) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  ReplicaMap replicas = SmallReplicas(config, CorrelationPattern::kUniform, 2);
+  Cluster cluster(config, std::move(replicas), UniformClientHomes(3, 4),
+                  SyntheticGenerators(DefaultWorkload(/*remote_reads=*/0.2)));
+  cluster.Run(Seconds(1), Seconds(3));
+
+  uint64_t migrations = 0;
+  for (const auto& client : cluster.clients()) {
+    migrations += client->migrations();
+  }
+  EXPECT_GT(migrations, 50u);
+  ASSERT_NE(cluster.oracle(), nullptr);
+  EXPECT_TRUE(cluster.oracle()->Clean()) << cluster.oracle()->violations().front();
+  EXPECT_GT(cluster.metrics().AttachLatency().count(), 0u);
+}
+
+TEST(Migration, GentleRainAttachWaitsOnGst) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kGentleRain);
+  ReplicaMap replicas = SmallReplicas(config, CorrelationPattern::kUniform, 2);
+  Cluster cluster(config, std::move(replicas), UniformClientHomes(3, 4),
+                  SyntheticGenerators(DefaultWorkload(/*remote_reads=*/0.2)));
+  cluster.Run(Seconds(1), Seconds(3));
+  ASSERT_NE(cluster.oracle(), nullptr);
+  EXPECT_TRUE(cluster.oracle()->Clean()) << cluster.oracle()->violations().front();
+}
+
+TEST(Migration, CureAttachWaitsOnStableVector) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kCure);
+  ReplicaMap replicas = SmallReplicas(config, CorrelationPattern::kUniform, 2);
+  Cluster cluster(config, std::move(replicas), UniformClientHomes(3, 4),
+                  SyntheticGenerators(DefaultWorkload(/*remote_reads=*/0.2)));
+  cluster.Run(Seconds(1), Seconds(3));
+  ASSERT_NE(cluster.oracle(), nullptr);
+  EXPECT_TRUE(cluster.oracle()->Clean()) << cluster.oracle()->violations().front();
+}
+
+TEST(Migration, SaturnMigrationFasterThanGlobalStabilization) {
+  // The migration-label fast path should make Saturn attaches cheaper than
+  // GentleRain's GST wait (whose lag tracks the furthest datacenter).
+  auto mean_attach = [](Protocol protocol) {
+    ClusterConfig config = SmallClusterConfig(protocol);
+    config.enable_oracle = false;
+    ReplicaMap replicas = ReplicaMap::Generate(SmallKeyspace(CorrelationPattern::kUniform, 2),
+                                               config.dc_sites, config.latencies);
+    Cluster cluster(config, std::move(replicas), UniformClientHomes(3, 4),
+                    SyntheticGenerators(DefaultWorkload(/*remote_reads=*/0.2)));
+    cluster.Run(Seconds(1), Seconds(3));
+    return cluster.metrics().AttachLatency().MeanMs();
+  };
+  double sat = mean_attach(Protocol::kSaturn);
+  double gr = mean_attach(Protocol::kGentleRain);
+  EXPECT_LT(sat, gr);
+}
+
+TEST(Migration, RemoteReadsDepressThroughputMoreForStabilizationProtocols) {
+  // Fig. 5d: at high remote-read rates Saturn outperforms GentleRain and
+  // Cure. (The paper's full ordering — GentleRain above Cure — needs the
+  // 7-DC geometry, where vectors are wide and the GST lag is amortized over
+  // short migrations; bench/fig5_throughput reproduces it. At 3 DCs we only
+  // assert Saturn's advantage.)
+  auto tput = [](Protocol protocol) {
+    ClusterConfig config = SmallClusterConfig(protocol);
+    config.enable_oracle = false;
+    ReplicaMap replicas = ReplicaMap::Generate(SmallKeyspace(CorrelationPattern::kUniform, 2),
+                                               config.dc_sites, config.latencies);
+    Cluster cluster(config, std::move(replicas), UniformClientHomes(3, 8),
+                    SyntheticGenerators(DefaultWorkload(/*remote_reads=*/0.4)));
+    return cluster.Run(Seconds(1), Seconds(3)).throughput_ops;
+  };
+  double sat = tput(Protocol::kSaturn);
+  double gr = tput(Protocol::kGentleRain);
+  EXPECT_GT(sat, gr);
+}
+
+}  // namespace
+}  // namespace saturn

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/network.h"
+
+namespace saturn {
+namespace {
+
+// Collects received heartbeat messages with their delivery times.
+class Sink : public Actor {
+ public:
+  explicit Sink(Simulator* sim) : sim_(sim) {}
+
+  void HandleMessage(NodeId from, const Message& msg) override {
+    (void)from;
+    if (const auto* hb = std::get_if<BulkHeartbeat>(&msg)) {
+      received.push_back({sim_->Now(), hb->ts});
+    }
+  }
+
+  std::vector<std::pair<SimTime, int64_t>> received;
+
+ private:
+  Simulator* sim_;
+};
+
+BulkHeartbeat Hb(int64_t ts) {
+  BulkHeartbeat hb;
+  hb.ts = ts;
+  return hb;
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : matrix_(3) {
+    matrix_.Set(0, 1, Millis(10));
+    matrix_.Set(0, 2, Millis(50));
+    matrix_.Set(1, 2, Millis(30));
+  }
+
+  LatencyMatrix matrix_;
+};
+
+TEST_F(NetworkTest, DeliversWithConfiguredLatency) {
+  Simulator sim;
+  NetworkConfig config;
+  config.bandwidth_bytes_per_us = 1e9;  // transmission time negligible
+  Network net(&sim, matrix_, config);
+  Sink a(&sim);
+  Sink b(&sim);
+  net.Attach(&a, 0);
+  net.Attach(&b, 1);
+
+  net.Send(a.node_id(), b.node_id(), Hb(1));
+  sim.RunAll();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, Millis(10));
+}
+
+TEST_F(NetworkTest, IntraSiteLatencyApplies) {
+  Simulator sim;
+  NetworkConfig config;
+  config.intra_site_latency = Micros(250);
+  config.bandwidth_bytes_per_us = 1e9;
+  Network net(&sim, matrix_, config);
+  Sink a(&sim);
+  Sink b(&sim);
+  net.Attach(&a, 2);
+  net.Attach(&b, 2);
+
+  net.Send(a.node_id(), b.node_id(), Hb(1));
+  sim.RunAll();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, Micros(250));
+}
+
+TEST_F(NetworkTest, FifoPerChannelEvenWithJitter) {
+  Simulator sim;
+  NetworkConfig config;
+  config.jitter_fraction = 0.5;
+  Network net(&sim, matrix_, config);
+  Sink a(&sim);
+  Sink b(&sim);
+  net.Attach(&a, 0);
+  net.Attach(&b, 2);
+
+  for (int i = 0; i < 100; ++i) {
+    net.Send(a.node_id(), b.node_id(), Hb(i));
+  }
+  sim.RunAll();
+  ASSERT_EQ(b.received.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(b.received[i].second, i);  // order preserved
+  }
+}
+
+TEST_F(NetworkTest, InjectedLatencyAddsAndClears) {
+  Simulator sim;
+  NetworkConfig config;
+  config.bandwidth_bytes_per_us = 1e9;
+  Network net(&sim, matrix_, config);
+  Sink a(&sim);
+  Sink b(&sim);
+  net.Attach(&a, 0);
+  net.Attach(&b, 1);
+
+  net.InjectExtraLatency(0, 1, Millis(25));
+  EXPECT_EQ(net.BaseLatency(0, 1), Millis(35));
+  net.Send(a.node_id(), b.node_id(), Hb(1));
+  sim.RunAll();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, Millis(35));
+
+  net.InjectExtraLatency(0, 1, 0);
+  EXPECT_EQ(net.BaseLatency(0, 1), Millis(10));
+}
+
+TEST_F(NetworkTest, LargeMessagesPayTransmissionTime) {
+  Simulator sim;
+  NetworkConfig config;
+  config.bandwidth_bytes_per_us = 1.0;  // 1 byte per microsecond
+  Network net(&sim, matrix_, config);
+  Sink a(&sim);
+  Sink b(&sim);
+  net.Attach(&a, 0);
+  net.Attach(&b, 1);
+
+  RemotePayload payload;
+  payload.value_size = 1000;
+  net.Send(a.node_id(), b.node_id(), payload);
+  sim.RunAll();
+  // 10ms latency + (96 + 1000) bytes at 1 B/us.
+  EXPECT_EQ(sim.Now(), Millis(10) + 1096);
+}
+
+TEST_F(NetworkTest, DownLinkBuffersAndFlushesInOrder) {
+  Simulator sim;
+  Network net(&sim, matrix_);
+  Sink a(&sim);
+  Sink b(&sim);
+  net.Attach(&a, 0);
+  net.Attach(&b, 1);
+
+  net.SetLinkDown(0, 1, true);
+  net.Send(a.node_id(), b.node_id(), Hb(1));
+  net.Send(a.node_id(), b.node_id(), Hb(2));
+  sim.RunUntil(Millis(100));
+  EXPECT_TRUE(b.received.empty());
+
+  net.SetLinkDown(0, 1, false);
+  sim.RunAll();
+  ASSERT_EQ(b.received.size(), 2u);
+  EXPECT_EQ(b.received[0].second, 1);
+  EXPECT_EQ(b.received[1].second, 2);
+  EXPECT_GE(b.received[0].first, Millis(100));
+}
+
+TEST_F(NetworkTest, CountsTraffic) {
+  Simulator sim;
+  Network net(&sim, matrix_);
+  Sink a(&sim);
+  Sink b(&sim);
+  net.Attach(&a, 0);
+  net.Attach(&b, 1);
+  net.Send(a.node_id(), b.node_id(), Hb(1));
+  net.Send(b.node_id(), a.node_id(), Hb(2));
+  EXPECT_EQ(net.messages_sent(), 2u);
+  EXPECT_GT(net.bytes_sent(), 0u);
+}
+
+TEST(LatencyMatrixTest, SymmetricWithZeroDiagonal) {
+  LatencyMatrix m(4, Millis(20));
+  EXPECT_EQ(m.Get(1, 1), 0);
+  m.Set(1, 2, Millis(5));
+  EXPECT_EQ(m.Get(1, 2), Millis(5));
+  EXPECT_EQ(m.Get(2, 1), Millis(5));
+  EXPECT_EQ(m.Get(0, 3), Millis(20));  // default preserved elsewhere
+}
+
+}  // namespace
+}  // namespace saturn

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "src/core/oracle.h"
+
+namespace saturn {
+namespace {
+
+constexpr DcSet kBoth{0b11};  // replicated at DC 0 and DC 1
+
+TEST(Oracle, CleanWhenSessionOrderRespected) {
+  CausalityOracle oracle(2, 1);
+  oracle.OnClientUpdate(0, 101, kBoth);
+  oracle.OnClientUpdate(0, 102, kBoth);
+  EXPECT_TRUE(oracle.OnApply(0, 101));
+  EXPECT_TRUE(oracle.OnApply(0, 102));
+  EXPECT_TRUE(oracle.OnApply(1, 101));
+  EXPECT_TRUE(oracle.OnApply(1, 102));
+  EXPECT_TRUE(oracle.Clean());
+}
+
+TEST(Oracle, DetectsSessionOrderViolation) {
+  CausalityOracle oracle(2, 1);
+  oracle.OnClientUpdate(0, 101, kBoth);
+  oracle.OnClientUpdate(0, 102, kBoth);
+  oracle.OnApply(0, 101);
+  oracle.OnApply(0, 102);
+  // DC 1 applies the second update first: a causality violation.
+  EXPECT_FALSE(oracle.OnApply(1, 102));
+  EXPECT_FALSE(oracle.Clean());
+}
+
+TEST(Oracle, DetectsReadFromViolation) {
+  CausalityOracle oracle(2, 2);
+  // Client 0 writes u1; client 1 reads it and writes u2 (u1 -> u2).
+  oracle.OnClientUpdate(0, 11, kBoth);
+  oracle.OnApply(0, 11);
+  oracle.OnClientRead(1, 11);
+  oracle.OnClientUpdate(1, 22, kBoth);
+  oracle.OnApply(0, 22);
+  // DC 1 applies u2 before u1: violation.
+  EXPECT_FALSE(oracle.OnApply(1, 22));
+}
+
+TEST(Oracle, DetectsMissingDepsEvenAtOrigin) {
+  CausalityOracle oracle(2, 2);
+  oracle.OnClientUpdate(0, 11, kBoth);
+  oracle.OnApply(0, 11);
+  oracle.OnClientRead(1, 11);
+  oracle.OnClientUpdate(1, 22, kBoth);
+  // u2 is applied at DC 1 (its origin) while its dependency u1 has not been
+  // applied there: still a violation — the client should not have been able
+  // to observe u1 at a datacenter that does not have it.
+  oracle.OnApply(1, 22);
+  EXPECT_FALSE(oracle.Clean());
+}
+
+TEST(Oracle, PartialReplicationSkipsUnreplicatedDeps) {
+  CausalityOracle oracle(2, 2);
+  constexpr DcSet kOnlyDc0{0b01};
+  // u1 lives only at DC 0; u2 (depending on u1) lives at both.
+  oracle.OnClientUpdate(0, 11, kOnlyDc0);
+  oracle.OnApply(0, 11);
+  oracle.OnClientRead(1, 11);
+  oracle.OnClientUpdate(1, 22, kBoth);
+  oracle.OnApply(1, 22);
+  // DC 1 never receives u1, so applying u2 there without u1 is fine.
+  EXPECT_TRUE(oracle.Clean());
+}
+
+TEST(Oracle, TransitiveDependencyThroughUnreplicatedItem) {
+  CausalityOracle oracle(2, 3);
+  constexpr DcSet kOnlyDc0{0b01};
+  // u1 (both DCs) -> read by c1 -> u2 (only DC 0) -> read by c2 -> u3 (both).
+  oracle.OnClientUpdate(0, 11, kBoth);
+  oracle.OnApply(0, 11);
+  oracle.OnClientRead(1, 11);
+  oracle.OnClientUpdate(1, 22, kOnlyDc0);
+  oracle.OnApply(0, 22);
+  oracle.OnClientRead(2, 22);
+  oracle.OnClientUpdate(2, 33, kBoth);
+  oracle.OnApply(0, 33);
+  // DC 1 must apply u1 before u3 even though the middle link u2 never reaches
+  // it (transitivity of causality).
+  EXPECT_FALSE(oracle.OnApply(1, 33));
+}
+
+TEST(Oracle, AttachRequiresCausalPastVisible) {
+  CausalityOracle oracle(2, 2);
+  oracle.OnClientUpdate(0, 11, kBoth);
+  oracle.OnApply(0, 11);
+  oracle.OnClientRead(1, 11);
+  // Client 1 attaches at DC 1 where u1 has not been applied yet.
+  EXPECT_FALSE(oracle.OnAttach(1, 1));
+  oracle.OnApply(1, 11);
+  EXPECT_TRUE(oracle.OnAttach(1, 1));
+}
+
+TEST(Oracle, ReadOfInitialValueIsNoDependency) {
+  CausalityOracle oracle(1, 1);
+  oracle.OnClientRead(0, 0);  // uid 0 = never-written key
+  oracle.OnClientUpdate(0, 11, DcSet::Single(0));
+  EXPECT_TRUE(oracle.OnApply(0, 11));
+  EXPECT_TRUE(oracle.Clean());
+}
+
+TEST(Oracle, IndependentClientsAreConcurrent) {
+  CausalityOracle oracle(2, 2);
+  oracle.OnClientUpdate(0, 11, kBoth);
+  oracle.OnClientUpdate(1, 22, kBoth);
+  oracle.OnApply(0, 11);
+  oracle.OnApply(0, 22);
+  // DC 1 applies them in the opposite order: fine, they are concurrent.
+  EXPECT_TRUE(oracle.OnApply(1, 22));
+  EXPECT_TRUE(oracle.OnApply(1, 11));
+  EXPECT_TRUE(oracle.Clean());
+}
+
+}  // namespace
+}  // namespace saturn

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "src/runtime/regions.h"
+#include "src/workload/partitioner.h"
+
+namespace saturn {
+namespace {
+
+SocialGraph TestGraph() {
+  SocialGraphConfig config;
+  config.num_users = 2000;
+  config.edges_per_node = 10;
+  return SocialGraph::Generate(config);
+}
+
+TEST(Partitioner, ReplicaBoundsHonored) {
+  SocialGraph graph = TestGraph();
+  for (uint32_t max_r = 2; max_r <= 5; ++max_r) {
+    PartitionerConfig config;
+    config.num_dcs = 7;
+    config.min_replicas = 2;
+    config.max_replicas = max_r;
+    Partitioning part = PartitionSocialGraph(graph, config, Ec2Sites(), Ec2Latencies());
+    for (uint32_t user = 0; user < graph.num_users(); ++user) {
+      int size = part.replicas.ReplicasOf(user).Size();
+      EXPECT_GE(size, 2);
+      EXPECT_LE(size, static_cast<int>(max_r));
+    }
+  }
+}
+
+TEST(Partitioner, PrimaryIsAlwaysReplicated) {
+  SocialGraph graph = TestGraph();
+  PartitionerConfig config;
+  Partitioning part = PartitionSocialGraph(graph, config, Ec2Sites(), Ec2Latencies());
+  for (uint32_t user = 0; user < graph.num_users(); ++user) {
+    EXPECT_TRUE(part.replicas.ReplicasOf(user).Contains(part.primary[user]));
+  }
+}
+
+TEST(Partitioner, LoadIsRoughlyBalanced) {
+  SocialGraph graph = TestGraph();
+  PartitionerConfig config;
+  Partitioning part = PartitionSocialGraph(graph, config, Ec2Sites(), Ec2Latencies());
+  std::vector<int> load(7, 0);
+  for (uint32_t user = 0; user < graph.num_users(); ++user) {
+    ++load[part.primary[user]];
+  }
+  double mean = static_cast<double>(graph.num_users()) / 7.0;
+  for (int l : load) {
+    EXPECT_GT(l, mean * 0.5);
+    EXPECT_LT(l, mean * 1.8);
+  }
+}
+
+TEST(Partitioner, BeatsRandomPlacementOnLocality) {
+  SocialGraph graph = TestGraph();
+  PartitionerConfig config;
+  config.max_replicas = 3;
+  Partitioning part = PartitionSocialGraph(graph, config, Ec2Sites(), Ec2Latencies());
+
+  // Random baseline: each user at a random DC with 3 random replicas would
+  // give locality ~ 3/7 ~ 0.43. The greedy partitioner must clearly beat it.
+  EXPECT_GT(part.friend_locality, 0.55);
+}
+
+TEST(Partitioner, HigherMaxReplicasRaisesLocality) {
+  SocialGraph graph = TestGraph();
+  PartitionerConfig lo;
+  lo.max_replicas = 2;
+  PartitionerConfig hi;
+  hi.max_replicas = 5;
+  double locality_lo =
+      PartitionSocialGraph(graph, lo, Ec2Sites(), Ec2Latencies()).friend_locality;
+  double locality_hi =
+      PartitionSocialGraph(graph, hi, Ec2Sites(), Ec2Latencies()).friend_locality;
+  EXPECT_GT(locality_hi, locality_lo);
+}
+
+TEST(Partitioner, MinReplicasPadsWithNearbyDcs) {
+  // A graph of isolated pairs: friend counts give only 1-2 candidate DCs, so
+  // min_replicas forces padding.
+  SocialGraphConfig small;
+  small.num_users = 50;
+  small.edges_per_node = 1;
+  SocialGraph graph = SocialGraph::Generate(small);
+  PartitionerConfig config;
+  config.min_replicas = 4;
+  config.max_replicas = 5;
+  Partitioning part = PartitionSocialGraph(graph, config, Ec2Sites(), Ec2Latencies());
+  for (uint32_t user = 0; user < graph.num_users(); ++user) {
+    EXPECT_GE(part.replicas.ReplicasOf(user).Size(), 4);
+  }
+}
+
+}  // namespace
+}  // namespace saturn

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "src/runtime/regions.h"
+#include "src/workload/replication.h"
+
+namespace saturn {
+namespace {
+
+KeyspaceConfig BaseConfig() {
+  KeyspaceConfig config;
+  config.num_keys = 5000;
+  config.replication_degree = 3;
+  return config;
+}
+
+TEST(ReplicaMap, FullPatternReplicatesEverywhere) {
+  KeyspaceConfig config = BaseConfig();
+  config.pattern = CorrelationPattern::kFull;
+  ReplicaMap map = ReplicaMap::Generate(config, Ec2Sites(), Ec2Latencies());
+  EXPECT_DOUBLE_EQ(map.MeanDegree(), 7.0);
+  for (DcId dc = 0; dc < 7; ++dc) {
+    EXPECT_EQ(map.LocalKeys(dc).size(), config.num_keys);
+    EXPECT_TRUE(map.RemoteKeys(dc).empty());
+  }
+}
+
+TEST(ReplicaMap, DegreeHonored) {
+  for (uint32_t degree = 2; degree <= 5; ++degree) {
+    KeyspaceConfig config = BaseConfig();
+    config.replication_degree = degree;
+    ReplicaMap map = ReplicaMap::Generate(config, Ec2Sites(), Ec2Latencies());
+    EXPECT_DOUBLE_EQ(map.MeanDegree(), static_cast<double>(degree));
+  }
+}
+
+TEST(ReplicaMap, EveryDcHasLocalKeys) {
+  for (auto pattern : {CorrelationPattern::kExponential, CorrelationPattern::kProportional,
+                       CorrelationPattern::kUniform}) {
+    KeyspaceConfig config = BaseConfig();
+    config.pattern = pattern;
+    ReplicaMap map = ReplicaMap::Generate(config, Ec2Sites(), Ec2Latencies());
+    for (DcId dc = 0; dc < 7; ++dc) {
+      EXPECT_GT(map.LocalKeys(dc).size(), 0u) << CorrelationPatternName(pattern);
+    }
+  }
+}
+
+TEST(ReplicaMap, ExponentialPatternFavoursNearbyDcs) {
+  KeyspaceConfig config = BaseConfig();
+  config.pattern = CorrelationPattern::kExponential;
+  config.replication_degree = 2;
+  ReplicaMap map = ReplicaMap::Generate(config, Ec2Sites(), Ec2Latencies());
+  auto weights = map.PairWeights();
+  // Ireland (3) shares far more with Frankfurt (4, 10ms) than with
+  // Sydney (6, 154ms).
+  EXPECT_GT(weights[3 * 7 + 4], 10.0 * weights[3 * 7 + 6] + 1);
+}
+
+TEST(ReplicaMap, UniformPatternIsRoughlyEven) {
+  KeyspaceConfig config = BaseConfig();
+  config.pattern = CorrelationPattern::kUniform;
+  config.num_keys = 20000;
+  ReplicaMap map = ReplicaMap::Generate(config, Ec2Sites(), Ec2Latencies());
+  auto weights = map.PairWeights();
+  double min_w = 1e18;
+  double max_w = 0;
+  for (DcId i = 0; i < 7; ++i) {
+    for (DcId j = 0; j < 7; ++j) {
+      if (i != j) {
+        min_w = std::min(min_w, weights[i * 7 + j]);
+        max_w = std::max(max_w, weights[i * 7 + j]);
+      }
+    }
+  }
+  EXPECT_LT(max_w / min_w, 1.6);
+}
+
+TEST(ReplicaMap, PrimarySpreadRoundRobin) {
+  KeyspaceConfig config = BaseConfig();
+  ReplicaMap map = ReplicaMap::Generate(config, Ec2Sites(), Ec2Latencies());
+  // Key k's replica set always contains its round-robin primary.
+  for (KeyId key = 0; key < 100; ++key) {
+    EXPECT_TRUE(map.ReplicasOf(key).Contains(static_cast<DcId>(key % 7)));
+  }
+}
+
+TEST(ReplicaMap, LocalAndRemotePartitionTheKeyspace) {
+  KeyspaceConfig config = BaseConfig();
+  ReplicaMap map = ReplicaMap::Generate(config, Ec2Sites(), Ec2Latencies());
+  for (DcId dc = 0; dc < 7; ++dc) {
+    EXPECT_EQ(map.LocalKeys(dc).size() + map.RemoteKeys(dc).size(), config.num_keys);
+  }
+}
+
+TEST(ReplicaMap, DeterministicForSeed) {
+  KeyspaceConfig config = BaseConfig();
+  ReplicaMap a = ReplicaMap::Generate(config, Ec2Sites(), Ec2Latencies());
+  ReplicaMap b = ReplicaMap::Generate(config, Ec2Sites(), Ec2Latencies());
+  for (KeyId key = 0; key < config.num_keys; ++key) {
+    EXPECT_EQ(a.ReplicasOf(key), b.ReplicasOf(key));
+  }
+}
+
+TEST(ReplicaMap, FromSetsRoundTrips) {
+  std::vector<DcSet> sets = {DcSet::FirstN(2), DcSet::Single(1)};
+  ReplicaMap map = ReplicaMap::FromSets(sets, 2);
+  EXPECT_EQ(map.ReplicasOf(0), DcSet::FirstN(2));
+  EXPECT_EQ(map.ReplicasOf(1), DcSet::Single(1));
+  EXPECT_EQ(map.LocalKeys(0).size(), 1u);
+  EXPECT_EQ(map.LocalKeys(1).size(), 2u);
+  EXPECT_EQ(map.RemoteKeys(0).size(), 1u);
+}
+
+TEST(ReplicaMap, ResolverMatchesMap) {
+  KeyspaceConfig config = BaseConfig();
+  config.num_keys = 100;
+  ReplicaMap map = ReplicaMap::Generate(config, Ec2Sites(), Ec2Latencies());
+  auto resolver = map.Resolver();
+  for (KeyId key = 0; key < 100; ++key) {
+    EXPECT_EQ(resolver(key), map.ReplicasOf(key));
+  }
+}
+
+}  // namespace
+}  // namespace saturn

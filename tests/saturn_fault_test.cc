@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace saturn {
+namespace {
+
+TEST(SaturnFault, ChainReplicaFailureIsTransparent) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  config.chain_replicas = 3;
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 4),
+                  SyntheticGenerators(DefaultWorkload()));
+  // Kill one replica of every serializer mid-run.
+  cluster.sim().At(Seconds(2), [&cluster]() {
+    for (Serializer* s : cluster.metadata_service()->SerializersOf(0)) {
+      s->KillReplica(1);
+    }
+  });
+  cluster.Run(Seconds(1), Seconds(3));
+
+  // The stream stays healthy: no fallback, causality clean, visibility for
+  // the near pair still near-optimal.
+  for (DcId dc = 0; dc < 3; ++dc) {
+    EXPECT_FALSE(cluster.saturn_dc(dc)->in_timestamp_mode());
+  }
+  ASSERT_NE(cluster.oracle(), nullptr);
+  EXPECT_TRUE(cluster.oracle()->Clean()) << cluster.oracle()->violations().front();
+  EXPECT_LT(cluster.metrics().Visibility(0, 1).MeanMs(), 30.0);
+}
+
+TEST(SaturnFault, TreeOutageFallsBackToTimestampOrder) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 4),
+                  SyntheticGenerators(DefaultWorkload()));
+  for (DcId dc = 0; dc < 3; ++dc) {
+    cluster.saturn_dc(dc)->set_fallback_timeout(Millis(150));
+  }
+  cluster.sim().At(Seconds(2), [&cluster]() { cluster.metadata_service()->KillEpoch(0); });
+  cluster.Run(Seconds(1), Seconds(4));
+
+  // Every datacenter detected the outage and switched to timestamp mode; data
+  // stays available and causality holds throughout.
+  for (DcId dc = 0; dc < 3; ++dc) {
+    EXPECT_TRUE(cluster.saturn_dc(dc)->in_timestamp_mode());
+  }
+  ASSERT_NE(cluster.oracle(), nullptr);
+  EXPECT_TRUE(cluster.oracle()->Clean()) << cluster.oracle()->violations().front();
+  // Clients kept completing operations after the outage.
+  EXPECT_GT(cluster.metrics().ThroughputOpsPerSec(), 1000.0);
+}
+
+TEST(SaturnFault, FailoverToBackupTreeRestoresStreamMode) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 4),
+                  SyntheticGenerators(DefaultWorkload()));
+  for (DcId dc = 0; dc < 3; ++dc) {
+    cluster.saturn_dc(dc)->set_fallback_timeout(Millis(150));
+  }
+  // Pre-deploy a backup tree as epoch 1 (paper: backup trees may be
+  // pre-computed to speed up reconfiguration).
+  cluster.metadata_service()->DeployTree(1, StarTopology(config.dc_sites, kFrankfurt));
+
+  cluster.sim().At(Seconds(2), [&cluster]() { cluster.metadata_service()->KillEpoch(0); });
+  cluster.sim().At(Millis(2600), [&cluster]() {
+    cluster.metadata_service()->FailoverToEpoch(1);
+  });
+  cluster.Run(Seconds(1), Seconds(4));
+
+  for (DcId dc = 0; dc < 3; ++dc) {
+    EXPECT_FALSE(cluster.saturn_dc(dc)->in_timestamp_mode())
+        << "dc " << dc << " did not resume stream mode";
+    EXPECT_EQ(cluster.saturn_dc(dc)->current_epoch(), 1u);
+  }
+  ASSERT_NE(cluster.oracle(), nullptr);
+  EXPECT_TRUE(cluster.oracle()->Clean()) << cluster.oracle()->violations().front();
+}
+
+TEST(SaturnFault, AvailabilityPreservedDuringOutage) {
+  // Compare completed ops with and without an outage: the fallback costs
+  // visibility latency, not availability (section 6.1).
+  auto run = [](bool kill) {
+    ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+    config.enable_oracle = false;
+    Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 4),
+                    SyntheticGenerators(DefaultWorkload()));
+    for (DcId dc = 0; dc < 3; ++dc) {
+      cluster.saturn_dc(dc)->set_fallback_timeout(Millis(150));
+    }
+    if (kill) {
+      cluster.sim().At(Millis(1500), [&cluster]() {
+        cluster.metadata_service()->KillEpoch(0);
+      });
+    }
+    return cluster.Run(Seconds(1), Seconds(3)).throughput_ops;
+  };
+  double healthy = run(false);
+  double outage = run(true);
+  EXPECT_GT(outage, 0.9 * healthy);
+}
+
+}  // namespace
+}  // namespace saturn

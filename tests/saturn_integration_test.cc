@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace saturn {
+namespace {
+
+TEST(SaturnIntegration, NeverViolatesCausality) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  SyntheticOpGenerator::Config heavy;
+  heavy.write_fraction = 0.5;
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 6),
+                  SyntheticGenerators(heavy));
+  cluster.Run(Seconds(1), Seconds(3));
+  ASSERT_NE(cluster.oracle(), nullptr);
+  EXPECT_TRUE(cluster.oracle()->Clean()) << cluster.oracle()->violations().front();
+}
+
+TEST(SaturnIntegration, VisibilityNearOptimalPerPair) {
+  // The headline property: with a well-configured tree, each pair's
+  // visibility approaches its own bulk-data latency — 10ms-ish for
+  // Ireland->Frankfurt even though Tokyo is 107ms away (contrast GentleRain).
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 4),
+                  SyntheticGenerators(DefaultWorkload()));
+  cluster.Run(Seconds(1), Seconds(2));
+
+  double if_ms = cluster.metrics().Visibility(0, 1).MeanMs();
+  double it_ms = cluster.metrics().Visibility(0, 2).MeanMs();
+  EXPECT_LT(if_ms, 25.0) << "Ireland->Frankfurt visibility too slow";
+  EXPECT_GT(if_ms, 10.0);
+  EXPECT_GT(it_ms, 107.0);
+  EXPECT_LT(it_ms, 135.0);
+}
+
+TEST(SaturnIntegration, ThroughputComparableToEventual) {
+  auto run = [](Protocol protocol) {
+    ClusterConfig config = SmallClusterConfig(protocol);
+    config.enable_oracle = false;
+    Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 8),
+                    SyntheticGenerators(DefaultWorkload()));
+    return cluster.Run(Seconds(1), Seconds(2)).throughput_ops;
+  };
+  double ev = run(Protocol::kEventual);
+  double sat = run(Protocol::kSaturn);
+  EXPECT_GT(sat, 0.93 * ev) << "Saturn overhead should be a few percent at most";
+  EXPECT_LE(sat, ev * 1.01);
+}
+
+TEST(SaturnIntegration, StreamModeStaysOn) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 2),
+                  SyntheticGenerators(DefaultWorkload()));
+  cluster.Run(Seconds(1), Seconds(1));
+  for (DcId dc = 0; dc < 3; ++dc) {
+    EXPECT_FALSE(cluster.saturn_dc(dc)->in_timestamp_mode());
+    EXPECT_EQ(cluster.saturn_dc(dc)->current_epoch(), 0u);
+  }
+}
+
+TEST(SaturnIntegration, PartialReplicationKeepsMetadataLocal) {
+  // Genuine partial replication: with keys split into {Ireland, Frankfurt}
+  // and {Frankfurt, Tokyo} groups, no Ireland update ever interests Tokyo —
+  // its branch of the tree must never deliver one.
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  std::vector<DcSet> sets;
+  for (KeyId key = 0; key < 600; ++key) {
+    sets.push_back(key % 2 == 0 ? DcSet{0b011} : DcSet{0b110});
+  }
+  Cluster cluster(config, ReplicaMap::FromSets(std::move(sets), 3), UniformClientHomes(3, 4),
+                  SyntheticGenerators(DefaultWorkload()));
+  cluster.Run(Seconds(1), Seconds(2));
+
+  EXPECT_EQ(cluster.metrics().Visibility(0, 2).count(), 0u);
+  EXPECT_EQ(cluster.metrics().Visibility(2, 0).count(), 0u);
+  EXPECT_GT(cluster.metrics().Visibility(0, 1).count(), 100u);
+  EXPECT_GT(cluster.metrics().Visibility(2, 1).count(), 100u);
+  ASSERT_NE(cluster.oracle(), nullptr);
+  EXPECT_TRUE(cluster.oracle()->Clean()) << cluster.oracle()->violations().front();
+}
+
+TEST(SaturnIntegration, PeerToPeerModeMatchesLongestLatency) {
+  // The P-configuration (section 7.1): timestamp-order stability makes every
+  // pair wait for the slowest gear anywhere, so visibility tends to the
+  // longest network travel time.
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturnTimestamp);
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 4),
+                  SyntheticGenerators(DefaultWorkload()));
+  cluster.Run(Seconds(1), Seconds(2));
+
+  for (DcId dc = 0; dc < 3; ++dc) {
+    EXPECT_TRUE(cluster.saturn_dc(dc)->in_timestamp_mode());
+  }
+  double if_ms = cluster.metrics().Visibility(0, 1).MeanMs();
+  EXPECT_GT(if_ms, 100.0) << "P-conf should pay the longest-link penalty";
+  ASSERT_NE(cluster.oracle(), nullptr);
+  EXPECT_TRUE(cluster.oracle()->Clean()) << cluster.oracle()->violations().front();
+}
+
+TEST(SaturnIntegration, GeneratedTreeBeatsBadStarForFarPairs) {
+  // S-configuration with the hub in Ireland: Tokyo->Frankfurt labels detour
+  // via Ireland. The generated M-configuration avoids that.
+  auto run = [](SaturnTreeKind kind) {
+    ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+    config.enable_oracle = false;
+    config.tree_kind = kind;
+    config.star_hub = kIreland;
+    Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 4),
+                    SyntheticGenerators(DefaultWorkload()));
+    cluster.Run(Seconds(1), Seconds(2));
+    return cluster.metrics().Visibility(2, 1).MeanMs();  // Tokyo -> Frankfurt
+  };
+  double star_ms = run(SaturnTreeKind::kStar);
+  double generated_ms = run(SaturnTreeKind::kGenerated);
+  EXPECT_LE(generated_ms, star_ms + 1.0);
+  EXPECT_GT(star_ms, 118.0);
+}
+
+}  // namespace
+}  // namespace saturn

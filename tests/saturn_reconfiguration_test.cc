@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace saturn {
+namespace {
+
+TEST(SaturnReconfiguration, FastPathSwitchesEveryDatacenter) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  config.tree_kind = SaturnTreeKind::kStar;
+  config.star_hub = kIreland;
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 4),
+                  SyntheticGenerators(DefaultWorkload()));
+  // New configuration: hub in Tokyo.
+  cluster.metadata_service()->DeployTree(1, StarTopology(config.dc_sites, kTokyo));
+  cluster.sim().At(Seconds(2), [&cluster]() { cluster.metadata_service()->SwitchToEpoch(1); });
+  cluster.Run(Seconds(1), Seconds(3));
+
+  for (DcId dc = 0; dc < 3; ++dc) {
+    EXPECT_EQ(cluster.saturn_dc(dc)->current_epoch(), 1u);
+    EXPECT_FALSE(cluster.saturn_dc(dc)->in_timestamp_mode());
+  }
+  ASSERT_NE(cluster.oracle(), nullptr);
+  EXPECT_TRUE(cluster.oracle()->Clean()) << cluster.oracle()->violations().front();
+}
+
+TEST(SaturnReconfiguration, SwitchCompletesWithinMetadataPathLatency) {
+  // Section 6.2: the fast reconfiguration takes on the order of the largest
+  // metadata-path latency of the old tree (the paper observed < 200ms).
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  config.tree_kind = SaturnTreeKind::kStar;
+  config.star_hub = kIreland;
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 2),
+                  SyntheticGenerators(DefaultWorkload()));
+  cluster.metadata_service()->DeployTree(1, StarTopology(config.dc_sites, kFrankfurt));
+
+  SimTime switched_at = 0;
+  cluster.sim().At(Seconds(2), [&cluster]() { cluster.metadata_service()->SwitchToEpoch(1); });
+  // Poll for completion.
+  for (SimTime t = Seconds(2) + Millis(10); t < Seconds(3); t += Millis(10)) {
+    cluster.sim().At(t, [&cluster, &switched_at, t]() {
+      if (switched_at == 0) {
+        bool all = true;
+        for (DcId dc = 0; dc < 3; ++dc) {
+          all = all && cluster.saturn_dc(dc)->current_epoch() == 1;
+        }
+        if (all) {
+          switched_at = t;
+        }
+      }
+    });
+  }
+  cluster.Run(Seconds(1), Seconds(3));
+  ASSERT_GT(switched_at, 0);
+  EXPECT_LT(switched_at - Seconds(2), Millis(400));
+}
+
+TEST(SaturnReconfiguration, TrafficContinuesThroughSwitch) {
+  auto run = [](bool reconfigure) {
+    ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+    config.enable_oracle = false;
+    config.tree_kind = SaturnTreeKind::kStar;
+    config.star_hub = kIreland;
+    Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 4),
+                    SyntheticGenerators(DefaultWorkload()));
+    cluster.metadata_service()->DeployTree(1, StarTopology(config.dc_sites, kFrankfurt));
+    if (reconfigure) {
+      cluster.sim().At(Seconds(2),
+                       [&cluster]() { cluster.metadata_service()->SwitchToEpoch(1); });
+    }
+    return cluster.Run(Seconds(1), Seconds(3)).throughput_ops;
+  };
+  double steady = run(false);
+  double switching = run(true);
+  EXPECT_GT(switching, 0.95 * steady);
+}
+
+TEST(SaturnReconfiguration, VisibilityRecoversOnNewTree) {
+  // After switching from a bad tree (hub Ireland hurting Tokyo pairs) to a
+  // Tokyo hub, Tokyo->Frankfurt visibility should improve.
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  config.enable_oracle = false;
+  config.tree_kind = SaturnTreeKind::kStar;
+  config.star_hub = kIreland;
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 4),
+                  SyntheticGenerators(DefaultWorkload()));
+  cluster.metadata_service()->DeployTree(1, StarTopology(config.dc_sites, kTokyo));
+  // Switch before the measurement window so the window sees only the new tree.
+  cluster.sim().At(Millis(600), [&cluster]() { cluster.metadata_service()->SwitchToEpoch(1); });
+  cluster.Run(Seconds(2), Seconds(2));
+
+  // On the Ireland-hub star, Tokyo->Sydney-style far pairs pay ~2x latency;
+  // with the Tokyo hub, Tokyo->Frankfurt equals the direct 118ms link.
+  double tf_ms = cluster.metrics().Visibility(2, 1).MeanMs();
+  EXPECT_LT(tf_ms, 135.0);
+}
+
+}  // namespace
+}  // namespace saturn

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/saturn/serializer.h"
+
+namespace saturn {
+namespace {
+
+class EnvelopeSink : public Actor {
+ public:
+  void HandleMessage(NodeId from, const Message& msg) override {
+    (void)from;
+    if (const auto* env = std::get_if<LabelEnvelope>(&msg)) {
+      received.push_back(*env);
+    }
+  }
+  std::vector<LabelEnvelope> received;
+};
+
+LabelEnvelope Env(int64_t ts, DcSet interest) {
+  LabelEnvelope env;
+  env.label.ts = ts;
+  env.interest = interest;
+  return env;
+}
+
+class SerializerTest : public ::testing::Test {
+ protected:
+  SerializerTest()
+      : matrix_(MakeMatrix()), net_(&sim_, matrix_) {}
+
+  static LatencyMatrix MakeMatrix() {
+    LatencyMatrix m(3);
+    m.Set(0, 1, Millis(10));
+    m.Set(0, 2, Millis(20));
+    m.Set(1, 2, Millis(25));
+    return m;
+  }
+
+  Simulator sim_;
+  LatencyMatrix matrix_;
+  Network net_;
+};
+
+TEST_F(SerializerTest, RoutesToInterestedLinksOnly) {
+  Serializer s(&sim_, &net_, 0, 1);
+  net_.Attach(&s, 0);
+  EnvelopeSink source;
+  EnvelopeSink dc1;
+  EnvelopeSink dc2;
+  net_.Attach(&source, 0);
+  net_.Attach(&dc1, 1);
+  net_.Attach(&dc2, 2);
+  s.AddLink({source.node_id(), DcSet::Single(0), 0});
+  s.AddLink({dc1.node_id(), DcSet::Single(1), 0});
+  s.AddLink({dc2.node_id(), DcSet::Single(2), 0});
+
+  net_.Send(source.node_id(), s.node_id(), Env(1, DcSet::Single(1)));
+  net_.Send(source.node_id(), s.node_id(), Env(2, DcSet::Single(2)));
+  sim_.RunAll();
+  ASSERT_EQ(dc1.received.size(), 1u);
+  EXPECT_EQ(dc1.received[0].label.ts, 1);
+  ASSERT_EQ(dc2.received.size(), 1u);
+  EXPECT_EQ(dc2.received[0].label.ts, 2);
+  // Nothing echoed back to the source link.
+  EXPECT_TRUE(source.received.empty());
+  EXPECT_EQ(s.routed(), 2u);
+}
+
+TEST_F(SerializerTest, PreservesArrivalOrder) {
+  Serializer s(&sim_, &net_, 0, 1);
+  net_.Attach(&s, 0);
+  EnvelopeSink source;
+  EnvelopeSink dc1;
+  net_.Attach(&source, 0);
+  net_.Attach(&dc1, 1);
+  s.AddLink({source.node_id(), DcSet::Single(0), 0});
+  s.AddLink({dc1.node_id(), DcSet::Single(1), 0});
+
+  for (int i = 0; i < 50; ++i) {
+    net_.Send(source.node_id(), s.node_id(), Env(i, DcSet::Single(1)));
+  }
+  sim_.RunAll();
+  ASSERT_EQ(dc1.received.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(dc1.received[i].label.ts, i);
+  }
+}
+
+TEST_F(SerializerTest, ArtificialDelayPostponesForwarding) {
+  Serializer s(&sim_, &net_, 0, 1);
+  net_.Attach(&s, 0);
+  EnvelopeSink source;
+  EnvelopeSink dc1;
+  net_.Attach(&source, 0);
+  net_.Attach(&dc1, 1);
+  s.AddLink({source.node_id(), DcSet::Single(0), 0});
+  s.AddLink({dc1.node_id(), DcSet::Single(1), Millis(40)});
+
+  net_.Send(source.node_id(), s.node_id(), Env(1, DcSet::Single(1)));
+  sim_.RunAll();
+  // intra-site hop to s, 40ms artificial delay, 10ms link to site 1.
+  EXPECT_GE(sim_.Now(), Millis(50));
+  ASSERT_EQ(dc1.received.size(), 1u);
+}
+
+TEST_F(SerializerTest, ChainReplicationDeliversInOrder) {
+  Serializer s(&sim_, &net_, 0, 3);  // 2 chain replicas
+  net_.Attach(&s, 0);
+  EnvelopeSink source;
+  EnvelopeSink dc1;
+  net_.Attach(&source, 0);
+  net_.Attach(&dc1, 1);
+  s.AddLink({source.node_id(), DcSet::Single(0), 0});
+  s.AddLink({dc1.node_id(), DcSet::Single(1), 0});
+  EXPECT_EQ(s.live_replicas(), 3u);
+
+  for (int i = 0; i < 20; ++i) {
+    net_.Send(source.node_id(), s.node_id(), Env(i, DcSet::Single(1)));
+  }
+  sim_.RunAll();
+  ASSERT_EQ(dc1.received.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(dc1.received[i].label.ts, i);
+  }
+}
+
+TEST_F(SerializerTest, SurvivesReplicaFailureWithoutLossOrReorder) {
+  Serializer s(&sim_, &net_, 0, 3);
+  net_.Attach(&s, 0);
+  EnvelopeSink source;
+  EnvelopeSink dc1;
+  net_.Attach(&source, 0);
+  net_.Attach(&dc1, 1);
+  s.AddLink({source.node_id(), DcSet::Single(0), 0});
+  s.AddLink({dc1.node_id(), DcSet::Single(1), 0});
+
+  // First half in flight, then a replica dies mid-stream.
+  for (int i = 0; i < 10; ++i) {
+    net_.Send(source.node_id(), s.node_id(), Env(i, DcSet::Single(1)));
+  }
+  sim_.After(Micros(300), [&]() { EXPECT_TRUE(s.KillReplica(1)); });
+  sim_.After(Micros(400), [&]() {
+    for (int i = 10; i < 20; ++i) {
+      net_.Send(source.node_id(), s.node_id(), Env(i, DcSet::Single(1)));
+    }
+  });
+  sim_.RunAll();
+  EXPECT_EQ(s.live_replicas(), 2u);
+  ASSERT_EQ(dc1.received.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(dc1.received[i].label.ts, i);
+  }
+}
+
+TEST_F(SerializerTest, KillingSameReplicaTwiceReportsFalse) {
+  Serializer s(&sim_, &net_, 0, 2);
+  net_.Attach(&s, 0);
+  EXPECT_TRUE(s.KillReplica(1));
+  EXPECT_FALSE(s.KillReplica(1));
+}
+
+TEST_F(SerializerTest, KillAllSilencesRouting) {
+  Serializer s(&sim_, &net_, 0, 2);
+  net_.Attach(&s, 0);
+  EnvelopeSink source;
+  EnvelopeSink dc1;
+  net_.Attach(&source, 0);
+  net_.Attach(&dc1, 1);
+  s.AddLink({source.node_id(), DcSet::Single(0), 0});
+  s.AddLink({dc1.node_id(), DcSet::Single(1), 0});
+
+  s.KillAll();
+  EXPECT_FALSE(s.Alive());
+  EXPECT_EQ(s.live_replicas(), 0u);
+  net_.Send(source.node_id(), s.node_id(), Env(1, DcSet::Single(1)));
+  sim_.RunAll();
+  EXPECT_TRUE(dc1.received.empty());
+}
+
+}  // namespace
+}  // namespace saturn

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/workload/social_graph.h"
+
+namespace saturn {
+namespace {
+
+TEST(SocialGraph, MeanDegreeMatchesTarget) {
+  SocialGraphConfig config;
+  config.num_users = 4000;
+  config.edges_per_node = 15;
+  SocialGraph graph = SocialGraph::Generate(config);
+  // BA graphs converge to mean degree ~2m (the WOSN dataset has ~29.6).
+  EXPECT_NEAR(graph.MeanDegree(), 30.0, 2.0);
+}
+
+TEST(SocialGraph, PowerLawHasHubs) {
+  SocialGraphConfig config;
+  config.num_users = 4000;
+  config.edges_per_node = 10;
+  SocialGraph graph = SocialGraph::Generate(config);
+  // Preferential attachment produces hubs far above the mean degree.
+  EXPECT_GT(graph.MaxDegree(), 5 * static_cast<uint32_t>(graph.MeanDegree()));
+}
+
+TEST(SocialGraph, EdgesAreSymmetric) {
+  SocialGraphConfig config;
+  config.num_users = 500;
+  config.edges_per_node = 5;
+  SocialGraph graph = SocialGraph::Generate(config);
+  for (uint32_t u = 0; u < graph.num_users(); ++u) {
+    for (uint32_t v : graph.FriendsOf(u)) {
+      const auto& back = graph.FriendsOf(v);
+      EXPECT_NE(std::find(back.begin(), back.end(), u), back.end());
+    }
+  }
+}
+
+TEST(SocialGraph, NoSelfLoopsOrDuplicates) {
+  SocialGraphConfig config;
+  config.num_users = 500;
+  config.edges_per_node = 5;
+  SocialGraph graph = SocialGraph::Generate(config);
+  for (uint32_t u = 0; u < graph.num_users(); ++u) {
+    std::unordered_set<uint32_t> seen;
+    for (uint32_t v : graph.FriendsOf(u)) {
+      EXPECT_NE(v, u);
+      EXPECT_TRUE(seen.insert(v).second) << "duplicate edge " << u << "-" << v;
+    }
+  }
+}
+
+TEST(SocialGraph, EveryUserHasFriends) {
+  SocialGraphConfig config;
+  config.num_users = 1000;
+  config.edges_per_node = 8;
+  SocialGraph graph = SocialGraph::Generate(config);
+  for (uint32_t u = 0; u < graph.num_users(); ++u) {
+    EXPECT_GE(graph.FriendsOf(u).size(), config.edges_per_node)
+        << "user " << u << " under-connected";
+  }
+}
+
+TEST(SocialGraph, DeterministicForSeed) {
+  SocialGraphConfig config;
+  config.num_users = 300;
+  SocialGraph a = SocialGraph::Generate(config);
+  SocialGraph b = SocialGraph::Generate(config);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (uint32_t u = 0; u < a.num_users(); ++u) {
+    EXPECT_EQ(a.FriendsOf(u), b.FriendsOf(u));
+  }
+}
+
+}  // namespace
+}  // namespace saturn

@@ -1,0 +1,209 @@
+// Property sweeps over the metadata-service structures: randomly grown trees,
+// solver invariants across deployment sizes, and chain replication under
+// randomized failure schedules.
+#include <gtest/gtest.h>
+
+#include "src/runtime/regions.h"
+#include "src/saturn/config_generator.h"
+#include "src/saturn/serializer.h"
+#include "src/sim/random.h"
+
+namespace saturn {
+namespace {
+
+// --- Random tree invariants -------------------------------------------------
+
+class RandomTrees : public ::testing::TestWithParam<uint64_t> {};
+
+TreeTopology GrowRandomTree(uint32_t num_dcs, Rng& rng) {
+  TreeTopology tree;
+  uint32_t root = tree.AddSerializer(0);
+  tree.AddEdge(root, tree.AddDcLeaf(0, 0));
+  tree.AddEdge(root, tree.AddDcLeaf(1, 1 % kNumEc2Regions));
+  for (DcId dc = 2; dc < num_dcs; ++dc) {
+    // Split a random edge with a new serializer and hang the leaf off it.
+    auto edges = tree.edges();
+    const TopologyEdge& edge = edges[rng.NextBounded(edges.size())];
+    uint32_t mid = tree.AddSerializer(static_cast<SiteId>(rng.NextBounded(kNumEc2Regions)));
+    uint32_t leaf = tree.AddDcLeaf(dc, dc % kNumEc2Regions);
+    auto& mutable_edges = tree.mutable_edges();
+    for (size_t i = 0; i < mutable_edges.size(); ++i) {
+      if (mutable_edges[i].a == edge.a && mutable_edges[i].b == edge.b) {
+        mutable_edges.erase(mutable_edges.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+    tree.AddEdge(edge.a, mid);
+    tree.AddEdge(mid, edge.b);
+    tree.AddEdge(mid, leaf);
+  }
+  return tree;
+}
+
+TEST_P(RandomTrees, GrownTreesAreValid) {
+  Rng rng(GetParam());
+  for (uint32_t num_dcs = 2; num_dcs <= 7; ++num_dcs) {
+    TreeTopology tree = GrowRandomTree(num_dcs, rng);
+    std::string error;
+    EXPECT_TRUE(tree.Validate(&error)) << error;
+  }
+}
+
+TEST_P(RandomTrees, ReachSetsPartitionTheDatacenters) {
+  // For any node, the reach sets through its links are disjoint and cover all
+  // datacenters not at the node itself.
+  Rng rng(GetParam() ^ 0xbeef);
+  TreeTopology tree = GrowRandomTree(6, rng);
+  for (uint32_t n = 0; n < tree.nodes().size(); ++n) {
+    DcSet covered;
+    if (tree.nodes()[n].is_dc) {
+      covered.Add(tree.nodes()[n].dc);
+    }
+    for (uint32_t nb : tree.Neighbors(n)) {
+      DcSet reach = tree.ReachableThrough(n, nb);
+      EXPECT_FALSE(covered.Intersects(reach)) << "overlapping reach sets at node " << n;
+      covered = covered.Union(reach);
+    }
+    EXPECT_EQ(covered, DcSet::FirstN(6)) << "reach sets do not cover all DCs at node " << n;
+  }
+}
+
+TEST_P(RandomTrees, PathLatencyIsSymmetricWithoutDelays) {
+  Rng rng(GetParam() ^ 0xf00d);
+  TreeTopology tree = GrowRandomTree(5, rng);
+  LatencyMatrix m = Ec2Latencies();
+  auto lat = [&m](SiteId a, SiteId b) { return a == b ? 0 : m.Get(a, b); };
+  for (DcId i = 0; i < 5; ++i) {
+    for (DcId j = i + 1; j < 5; ++j) {
+      EXPECT_EQ(tree.PathLatency(i, j, lat), tree.PathLatency(j, i, lat));
+    }
+  }
+}
+
+TEST_P(RandomTrees, FusionPreservesValidityAndPaths) {
+  Rng rng(GetParam() ^ 0xabcd);
+  TreeTopology tree = GrowRandomTree(6, rng);
+  LatencyMatrix m = Ec2Latencies();
+  auto lat = [&m](SiteId a, SiteId b) { return a == b ? 0 : m.Get(a, b); };
+  std::vector<SimTime> before;
+  for (DcId i = 0; i < 6; ++i) {
+    for (DcId j = 0; j < 6; ++j) {
+      if (i != j) {
+        before.push_back(tree.PathLatency(i, j, lat));
+      }
+    }
+  }
+  tree.FuseSerializers();
+  EXPECT_TRUE(tree.Validate());
+  size_t idx = 0;
+  for (DcId i = 0; i < 6; ++i) {
+    for (DcId j = 0; j < 6; ++j) {
+      if (i != j) {
+        // Fusion merges same-site zero-delay serializers: latency unchanged
+        // when intra-site hops are free.
+        EXPECT_EQ(tree.PathLatency(i, j, lat), before[idx]) << i << "->" << j;
+        ++idx;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTrees, ::testing::Values(1, 2, 3, 4, 5));
+
+// --- Solver invariants --------------------------------------------------------
+
+class SolverSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SolverSweep, GeneratedNeverWorseThanAnyStar) {
+  uint32_t num_dcs = GetParam();
+  LatencyMatrix m = Ec2Latencies();
+  SolverInput input;
+  input.dc_sites = Ec2Sites(num_dcs);
+  input.candidate_sites = Ec2Sites(num_dcs);
+  input.latencies = &m;
+  SolvedTree generated = FindConfiguration(input);
+  for (SiteId hub = 0; hub < num_dcs; ++hub) {
+    double star = WeightedMismatch(StarTopology(Ec2Sites(num_dcs), hub), input);
+    EXPECT_LE(generated.objective, star + 1e-6)
+        << num_dcs << " DCs: generated tree loses to star at " << Ec2RegionName(hub);
+  }
+}
+
+TEST_P(SolverSweep, DelaysOnlyEverAddedNotSubtracted) {
+  uint32_t num_dcs = GetParam();
+  LatencyMatrix m = Ec2Latencies();
+  SolverInput input;
+  input.dc_sites = Ec2Sites(num_dcs);
+  input.candidate_sites = Ec2Sites(num_dcs);
+  input.latencies = &m;
+  SolvedTree solved = FindConfiguration(input);
+  for (const auto& edge : solved.topology.edges()) {
+    EXPECT_GE(edge.delay_ab, 0);
+    EXPECT_GE(edge.delay_ba, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DcCounts, SolverSweep, ::testing::Values(3u, 4u, 5u, 6u, 7u));
+
+// --- Chain replication under randomized failures -----------------------------
+
+class ChainFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChainFuzz, NoLossNoReorderUnderRandomKills) {
+  Simulator sim;
+  LatencyMatrix m(2);
+  m.Set(0, 1, Millis(10));
+  Network net(&sim, m);
+
+  Serializer serializer(&sim, &net, 0, /*replicas=*/4);
+  net.Attach(&serializer, 0);
+
+  class Sink : public Actor {
+   public:
+    void HandleMessage(NodeId, const Message& msg) override {
+      if (const auto* env = std::get_if<LabelEnvelope>(&msg)) {
+        labels.push_back(env->label.ts);
+      }
+    }
+    std::vector<int64_t> labels;
+  };
+  Sink source;
+  Sink destination;
+  net.Attach(&source, 0);
+  net.Attach(&destination, 1);
+  serializer.AddLink({source.node_id(), DcSet::Single(0), 0});
+  serializer.AddLink({destination.node_id(), DcSet::Single(1), 0});
+
+  Rng rng(GetParam());
+  constexpr int kLabels = 200;
+  // Interleave label sends with up to two random replica kills.
+  int kills = 0;
+  for (int i = 0; i < kLabels; ++i) {
+    SimTime when = i * Micros(50);
+    sim.At(when, [&net, &source, &serializer, i]() {
+      LabelEnvelope env;
+      env.label.ts = i;
+      env.interest = DcSet::Single(1);
+      net.Send(source.node_id(), serializer.node_id(), env);
+    });
+    if (kills < 2 && rng.NextBool(0.02)) {
+      uint32_t victim = 1 + kills;  // kill replicas 1 then 2
+      sim.At(when + Micros(25), [&serializer, victim]() { serializer.KillReplica(victim); });
+      ++kills;
+    }
+  }
+  sim.RunAll();
+
+  ASSERT_EQ(destination.labels.size(), static_cast<size_t>(kLabels))
+      << "labels lost across replica failures";
+  for (int i = 0; i < kLabels; ++i) {
+    EXPECT_EQ(destination.labels[i], i) << "reordered at " << i;
+  }
+  EXPECT_GE(serializer.live_replicas(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace saturn

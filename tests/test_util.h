@@ -1,0 +1,49 @@
+// Shared helpers for integration tests: small, fast clusters.
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include "src/runtime/cluster.h"
+
+namespace saturn {
+
+// A 3-datacenter deployment over Ireland / Frankfurt / Tokyo with small gear
+// counts and keyspaces so integration tests run in well under a second of
+// wall-clock time.
+inline ClusterConfig SmallClusterConfig(Protocol protocol) {
+  ClusterConfig config;
+  config.protocol = protocol;
+  config.dc_sites = {kIreland, kFrankfurt, kTokyo};
+  config.latencies = Ec2Latencies();
+  config.dc.num_gears = 2;
+  config.enable_oracle = true;
+  config.seed = 1234;
+  return config;
+}
+
+inline KeyspaceConfig SmallKeyspace(CorrelationPattern pattern = CorrelationPattern::kFull,
+                                    uint32_t degree = 3) {
+  KeyspaceConfig keyspace;
+  keyspace.num_keys = 600;
+  keyspace.pattern = pattern;
+  keyspace.replication_degree = degree;
+  return keyspace;
+}
+
+inline ReplicaMap SmallReplicas(const ClusterConfig& config,
+                                CorrelationPattern pattern = CorrelationPattern::kFull,
+                                uint32_t degree = 3) {
+  return ReplicaMap::Generate(SmallKeyspace(pattern, degree), config.dc_sites,
+                              config.latencies);
+}
+
+inline SyntheticOpGenerator::Config DefaultWorkload(double remote_reads = 0.0) {
+  SyntheticOpGenerator::Config workload;
+  workload.write_fraction = 0.1;
+  workload.remote_read_fraction = remote_reads;
+  workload.value_size = 2;
+  return workload;
+}
+
+}  // namespace saturn
+
+#endif  // TESTS_TEST_UTIL_H_

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "src/saturn/topology.h"
+
+namespace saturn {
+namespace {
+
+// A 4-DC tree: dc0 - s0 - s1 - dc2, with dc1 on s0 and dc3 on s1.
+TreeTopology TwoSerializerTree() {
+  TreeTopology tree;
+  uint32_t s0 = tree.AddSerializer(0);
+  uint32_t s1 = tree.AddSerializer(2);
+  uint32_t d0 = tree.AddDcLeaf(0, 0);
+  uint32_t d1 = tree.AddDcLeaf(1, 1);
+  uint32_t d2 = tree.AddDcLeaf(2, 2);
+  uint32_t d3 = tree.AddDcLeaf(3, 3);
+  tree.AddEdge(s0, s1);
+  tree.AddEdge(s0, d0);
+  tree.AddEdge(s0, d1);
+  tree.AddEdge(s1, d2);
+  tree.AddEdge(s1, d3);
+  return tree;
+}
+
+LatencyMatrix FourSiteMatrix() {
+  LatencyMatrix m(4);
+  m.Set(0, 1, Millis(10));
+  m.Set(0, 2, Millis(50));
+  m.Set(0, 3, Millis(60));
+  m.Set(1, 2, Millis(55));
+  m.Set(1, 3, Millis(65));
+  m.Set(2, 3, Millis(10));
+  return m;
+}
+
+TEST(TreeTopology, ValidatesWellFormedTree) {
+  TreeTopology tree = TwoSerializerTree();
+  std::string error;
+  EXPECT_TRUE(tree.Validate(&error)) << error;
+}
+
+TEST(TreeTopology, RejectsCycle) {
+  TreeTopology tree = TwoSerializerTree();
+  tree.AddEdge(2, 5);  // extra edge creates a cycle
+  EXPECT_FALSE(tree.Validate());
+}
+
+TEST(TreeTopology, RejectsDisconnected) {
+  TreeTopology tree;
+  tree.AddSerializer(0);
+  tree.AddDcLeaf(0, 0);
+  tree.AddDcLeaf(1, 1);
+  tree.AddEdge(0, 1);
+  // Node 2 (dc1) is disconnected; edge count is also off.
+  EXPECT_FALSE(tree.Validate());
+}
+
+TEST(TreeTopology, RejectsDcAsRelay) {
+  TreeTopology tree;
+  uint32_t d0 = tree.AddDcLeaf(0, 0);
+  uint32_t d1 = tree.AddDcLeaf(1, 1);
+  uint32_t d2 = tree.AddDcLeaf(2, 2);
+  tree.AddEdge(d0, d1);
+  tree.AddEdge(d1, d2);  // dc1 would relay labels
+  EXPECT_FALSE(tree.Validate());
+}
+
+TEST(TreeTopology, PathLatencySumsLinks) {
+  TreeTopology tree = TwoSerializerTree();
+  LatencyMatrix m = FourSiteMatrix();
+  auto lat = [&m](SiteId a, SiteId b) { return a == b ? Micros(250) : m.Get(a, b); };
+  // dc0 (site 0) -> s0 (site 0) -> s1 (site 2) -> dc2 (site 2):
+  // intra-site + 50ms + intra-site.
+  EXPECT_EQ(tree.PathLatency(0, 2, lat), Micros(250) + Millis(50) + Micros(250));
+}
+
+TEST(TreeTopology, PathLatencyIncludesArtificialDelays) {
+  TreeTopology tree = TwoSerializerTree();
+  tree.SetDelay(0, 1, Millis(7));  // s0 -> s1 direction only
+  LatencyMatrix m = FourSiteMatrix();
+  auto lat = [&m](SiteId a, SiteId b) { return a == b ? 0 : m.Get(a, b); };
+  EXPECT_EQ(tree.PathLatency(0, 2, lat), Millis(57));
+  EXPECT_EQ(tree.PathLatency(2, 0, lat), Millis(50));  // reverse unaffected
+}
+
+TEST(TreeTopology, ReachableThroughSplitsSubtrees) {
+  TreeTopology tree = TwoSerializerTree();
+  // From s0 towards s1: dc2 and dc3.
+  DcSet right = tree.ReachableThrough(0, 1);
+  EXPECT_EQ(right.Size(), 2);
+  EXPECT_TRUE(right.Contains(2));
+  EXPECT_TRUE(right.Contains(3));
+  // From s1 towards s0: dc0 and dc1.
+  DcSet left = tree.ReachableThrough(1, 0);
+  EXPECT_TRUE(left.Contains(0));
+  EXPECT_TRUE(left.Contains(1));
+  // Through a leaf edge: only that leaf.
+  EXPECT_EQ(tree.ReachableThrough(0, 2), DcSet::Single(0));
+}
+
+TEST(TreeTopology, LeafLookup) {
+  TreeTopology tree = TwoSerializerTree();
+  EXPECT_EQ(tree.LeafOf(2), 4u);
+  EXPECT_EQ(tree.LeafOf(9), UINT32_MAX);
+}
+
+TEST(TreeTopology, FusesSameSiteSerializers) {
+  TreeTopology tree;
+  uint32_t s0 = tree.AddSerializer(1);
+  uint32_t s1 = tree.AddSerializer(1);  // same site, fusable
+  uint32_t d0 = tree.AddDcLeaf(0, 0);
+  uint32_t d1 = tree.AddDcLeaf(1, 1);
+  uint32_t d2 = tree.AddDcLeaf(2, 2);
+  tree.AddEdge(s0, s1);
+  tree.AddEdge(s0, d0);
+  tree.AddEdge(s1, d1);
+  tree.AddEdge(s1, d2);
+  ASSERT_TRUE(tree.Validate());
+  EXPECT_EQ(tree.FuseSerializers(), 1u);
+  EXPECT_EQ(tree.NumSerializers(), 1u);
+  EXPECT_TRUE(tree.Validate());
+  // All three DCs still connected through the fused serializer.
+  for (DcId dc = 0; dc < 3; ++dc) {
+    EXPECT_NE(tree.LeafOf(dc), UINT32_MAX);
+  }
+}
+
+TEST(TreeTopology, DoesNotFuseAcrossSitesOrDelays) {
+  TreeTopology tree = TwoSerializerTree();  // s0 at site 0, s1 at site 2
+  EXPECT_EQ(tree.FuseSerializers(), 0u);
+
+  TreeTopology delayed;
+  uint32_t s0 = delayed.AddSerializer(1);
+  uint32_t s1 = delayed.AddSerializer(1);
+  uint32_t d0 = delayed.AddDcLeaf(0, 0);
+  uint32_t d1 = delayed.AddDcLeaf(1, 1);
+  delayed.AddEdge(s0, s1, Millis(5), 0);  // artificial delay blocks fusion
+  delayed.AddEdge(s0, d0);
+  delayed.AddEdge(s1, d1);
+  EXPECT_EQ(delayed.FuseSerializers(), 0u);
+}
+
+TEST(TreeTopology, StarTopologyShape) {
+  TreeTopology star = StarTopology({0, 1, 2, 3}, 2);
+  EXPECT_TRUE(star.Validate());
+  EXPECT_EQ(star.NumSerializers(), 1u);
+  // The hub reaches each DC through its leaf edge.
+  for (DcId dc = 0; dc < 4; ++dc) {
+    EXPECT_NE(star.LeafOf(dc), UINT32_MAX);
+  }
+}
+
+}  // namespace
+}  // namespace saturn

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "src/runtime/regions.h"
+#include "src/saturn/tree_solver.h"
+
+namespace saturn {
+namespace {
+
+// Two site clusters: {0,1} close together, {2,3} close together, clusters far
+// apart. The right two-serializer placement is one serializer per cluster.
+LatencyMatrix ClusteredMatrix() {
+  LatencyMatrix m(4);
+  m.Set(0, 1, Millis(5));
+  m.Set(2, 3, Millis(5));
+  m.Set(0, 2, Millis(100));
+  m.Set(0, 3, Millis(100));
+  m.Set(1, 2, Millis(100));
+  m.Set(1, 3, Millis(100));
+  return m;
+}
+
+TreeTopology TwoSerializerShape() {
+  TreeTopology tree;
+  uint32_t s0 = tree.AddSerializer(0);
+  uint32_t s1 = tree.AddSerializer(0);
+  uint32_t d0 = tree.AddDcLeaf(0, 0);
+  uint32_t d1 = tree.AddDcLeaf(1, 1);
+  uint32_t d2 = tree.AddDcLeaf(2, 2);
+  uint32_t d3 = tree.AddDcLeaf(3, 3);
+  tree.AddEdge(s0, s1);
+  tree.AddEdge(s0, d0);
+  tree.AddEdge(s0, d1);
+  tree.AddEdge(s1, d2);
+  tree.AddEdge(s1, d3);
+  return tree;
+}
+
+SolverInput ClusteredInput(const LatencyMatrix& m) {
+  SolverInput input;
+  input.dc_sites = {0, 1, 2, 3};
+  input.candidate_sites = {0, 1, 2, 3};
+  input.latencies = &m;
+  return input;
+}
+
+TEST(TreeSolver, PlacesSerializersNearTheirClusters) {
+  LatencyMatrix m = ClusteredMatrix();
+  SolverInput input = ClusteredInput(m);
+  SolvedTree solved = SolvePlacement(TwoSerializerShape(), input);
+
+  // The serializer adjacent to {dc0, dc1} must sit in cluster {0,1} and the
+  // other in cluster {2,3}; otherwise nearby pairs pay the 100ms hop.
+  const auto& nodes = solved.topology.nodes();
+  SiteId s0_site = nodes[0].site;
+  SiteId s1_site = nodes[1].site;
+  EXPECT_TRUE(s0_site == 0 || s0_site == 1) << "s0 at site " << s0_site;
+  EXPECT_TRUE(s1_site == 2 || s1_site == 3) << "s1 at site " << s1_site;
+
+  // Nearby pairs get near-optimal metadata latency.
+  auto lat = [&m](SiteId a, SiteId b) { return m.Get(a, b); };
+  EXPECT_LE(solved.topology.PathLatency(0, 1, lat), Millis(12));
+  EXPECT_LE(solved.topology.PathLatency(2, 3, lat), Millis(12));
+}
+
+TEST(TreeSolver, DelaysLiftUndershootingPaths) {
+  // A star with the hub at site 0: the dc0<->dc1 metadata path (5ms) is much
+  // faster than some bulk-data latencies would want; with a weight profile
+  // that emphasises a slow pair, the solver adds delay instead of hurting it.
+  LatencyMatrix m = ClusteredMatrix();
+  SolverInput input = ClusteredInput(m);
+  TreeTopology star = StarTopology({0, 1, 2, 3}, 0);
+  SolvedTree solved = SolvePlacement(star, input);
+
+  // Paths that undershoot their bulk latency should have been lifted towards
+  // it: total mismatch strictly better than the zero-delay star.
+  TreeTopology zero_delay = solved.topology;
+  for (auto& e : zero_delay.mutable_edges()) {
+    e.delay_ab = 0;
+    e.delay_ba = 0;
+  }
+  EXPECT_LE(solved.objective, WeightedMismatch(zero_delay, input) + 1e-6);
+}
+
+TEST(TreeSolver, WeightsSteerTheTradeoff) {
+  LatencyMatrix m = ClusteredMatrix();
+  SolverInput input = ClusteredInput(m);
+  // Only the (0,1) pair matters.
+  input.weights.assign(16, 0.0);
+  input.weights[0 * 4 + 1] = 1.0;
+  input.weights[1 * 4 + 0] = 1.0;
+  SolvedTree solved = SolvePlacement(TwoSerializerShape(), input);
+  auto lat = [&m](SiteId a, SiteId b) { return m.Get(a, b); };
+  SimTime path = solved.topology.PathLatency(0, 1, lat);
+  EXPECT_NEAR(static_cast<double>(path), static_cast<double>(Millis(5)), Millis(2));
+}
+
+TEST(TreeSolver, UniformWeightsZeroDiagonal) {
+  auto w = UniformWeights(3);
+  ASSERT_EQ(w.size(), 9u);
+  EXPECT_EQ(w[0], 0.0);
+  EXPECT_EQ(w[4], 0.0);
+  EXPECT_EQ(w[1], 1.0);
+}
+
+TEST(TreeSolver, MismatchIsZeroForPerfectTree) {
+  // Two DCs, one serializer placed at DC 0's site: metadata path = latency
+  // only if intra-site hops are free (they are in this matrix-only view).
+  LatencyMatrix m(2);
+  m.Set(0, 1, Millis(30));
+  SolverInput input;
+  input.dc_sites = {0, 1};
+  input.candidate_sites = {0, 1};
+  input.latencies = &m;
+  TreeTopology star = StarTopology({0, 1}, 0);
+  EXPECT_DOUBLE_EQ(WeightedMismatch(star, input), 0.0);
+}
+
+}  // namespace
+}  // namespace saturn

@@ -1,0 +1,227 @@
+// saturn_sim — command-line experiment driver.
+//
+// Runs one deployment of any supported protocol on the simulated EC2 network
+// and prints throughput, visibility statistics and (optionally) per-pair CDFs
+// as CSV for plotting. Everything the figure benches do, parameterized.
+//
+// Examples:
+//   saturn_sim --protocol=saturn --dcs=7 --seconds=3
+//   saturn_sim --protocol=gentlerain --pattern=full --writes=0.25
+//   saturn_sim --protocol=saturn --tree=star --hub=3 --csv=/tmp/vis.csv
+//   saturn_sim --protocol=cops --prune=0 --degree=2 --oracle
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "src/runtime/cluster.h"
+
+namespace saturn {
+namespace {
+
+struct Flags {
+  std::map<std::string, std::string> values;
+
+  bool Parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--", 2) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg);
+        return false;
+      }
+      const char* eq = std::strchr(arg, '=');
+      if (eq == nullptr) {
+        values[arg + 2] = "1";  // boolean flag
+      } else {
+        values[std::string(arg + 2, eq - arg - 2)] = eq + 1;
+      }
+    }
+    return true;
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : std::atof(it->second.c_str());
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = values.find(key);
+    return it == values.end() ? fallback : std::atol(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values.count(key) != 0; }
+};
+
+void Usage() {
+  std::printf(
+      "saturn_sim — run one simulated geo-replicated deployment\n\n"
+      "  --protocol=eventual|saturn|saturn-p2p|gentlerain|cure|cops  (saturn)\n"
+      "  --dcs=N             datacenters, 2..7 Table-1 regions          (7)\n"
+      "  --pattern=exponential|proportional|uniform|full               (exponential)\n"
+      "  --degree=N          replicas per key                           (3)\n"
+      "  --keys=N            keyspace size                              (10000)\n"
+      "  --writes=F          write fraction                             (0.1)\n"
+      "  --remote-reads=F    remote-read fraction of reads              (0)\n"
+      "  --zipf=F            key popularity skew theta                  (0)\n"
+      "  --value=N           value size in bytes                        (2)\n"
+      "  --clients=N         clients per datacenter                     (32)\n"
+      "  --gears=N           storage servers per datacenter             (4)\n"
+      "  --seconds=N         measured simulated seconds                 (3)\n"
+      "  --warmup=N          warm-up simulated seconds                  (1)\n"
+      "  --tree=generated|star  Saturn tree configuration               (generated)\n"
+      "  --hub=SITE          star hub region index (0=NV..6=S)          (3=Ireland)\n"
+      "  --chain=N           chain replicas per serializer              (1)\n"
+      "  --prune=0|1         COPS context pruning                       (1)\n"
+      "  --seed=N            RNG seed                                   (42)\n"
+      "  --oracle            enable the causality oracle\n"
+      "  --csv=PATH          dump per-pair visibility CDFs as CSV\n");
+}
+
+int Run(const Flags& flags) {
+  static const std::map<std::string, Protocol> kProtocols = {
+      {"eventual", Protocol::kEventual},     {"saturn", Protocol::kSaturn},
+      {"saturn-p2p", Protocol::kSaturnTimestamp}, {"gentlerain", Protocol::kGentleRain},
+      {"cure", Protocol::kCure},             {"cops", Protocol::kCops},
+  };
+  static const std::map<std::string, CorrelationPattern> kPatterns = {
+      {"exponential", CorrelationPattern::kExponential},
+      {"proportional", CorrelationPattern::kProportional},
+      {"uniform", CorrelationPattern::kUniform},
+      {"full", CorrelationPattern::kFull},
+  };
+
+  std::string protocol_name = flags.Get("protocol", "saturn");
+  auto protocol_it = kProtocols.find(protocol_name);
+  if (protocol_it == kProtocols.end()) {
+    std::fprintf(stderr, "unknown protocol: %s\n", protocol_name.c_str());
+    return 2;
+  }
+  auto pattern_it = kPatterns.find(flags.Get("pattern", "exponential"));
+  if (pattern_it == kPatterns.end()) {
+    std::fprintf(stderr, "unknown pattern: %s\n", flags.Get("pattern", "").c_str());
+    return 2;
+  }
+
+  uint32_t dcs = static_cast<uint32_t>(flags.GetInt("dcs", 7));
+  if (dcs < 2 || dcs > kNumEc2Regions) {
+    std::fprintf(stderr, "--dcs must be 2..%u\n", kNumEc2Regions);
+    return 2;
+  }
+
+  ClusterConfig config;
+  config.protocol = protocol_it->second;
+  config.dc_sites = Ec2Sites(dcs);
+  config.latencies = Ec2Latencies();
+  config.dc.num_gears = static_cast<uint32_t>(flags.GetInt("gears", 4));
+  config.tree_kind = flags.Get("tree", "generated") == "star" ? SaturnTreeKind::kStar
+                                                              : SaturnTreeKind::kGenerated;
+  config.star_hub = static_cast<SiteId>(flags.GetInt("hub", kIreland));
+  config.chain_replicas = static_cast<uint32_t>(flags.GetInt("chain", 1));
+  config.cops_prune = flags.GetInt("prune", 1) != 0;
+  config.enable_oracle = flags.Has("oracle");
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  KeyspaceConfig keyspace;
+  keyspace.num_keys = static_cast<uint64_t>(flags.GetInt("keys", 10000));
+  keyspace.pattern = pattern_it->second;
+  keyspace.replication_degree = static_cast<uint32_t>(flags.GetInt("degree", 3));
+  ReplicaMap replicas = ReplicaMap::Generate(keyspace, config.dc_sites, config.latencies);
+
+  SyntheticOpGenerator::Config workload;
+  workload.write_fraction = flags.GetDouble("writes", 0.1);
+  workload.remote_read_fraction = flags.GetDouble("remote-reads", 0.0);
+  workload.zipf_theta = flags.GetDouble("zipf", 0.0);
+  workload.value_size = static_cast<uint32_t>(flags.GetInt("value", 2));
+
+  uint32_t clients = static_cast<uint32_t>(flags.GetInt("clients", 32));
+  Cluster cluster(config, std::move(replicas), UniformClientHomes(dcs, clients),
+                  SyntheticGenerators(workload));
+
+  std::printf("protocol=%s dcs=%u pattern=%s degree=%u keys=%llu writes=%.2f "
+              "remote-reads=%.2f clients=%u seed=%llu\n",
+              ProtocolName(config.protocol), dcs, CorrelationPatternName(keyspace.pattern),
+              keyspace.replication_degree,
+              static_cast<unsigned long long>(keyspace.num_keys), workload.write_fraction,
+              workload.remote_read_fraction, clients,
+              static_cast<unsigned long long>(config.seed));
+  if (config.protocol == Protocol::kSaturn) {
+    std::printf("tree: %s\n", cluster.tree().ToString().c_str());
+  }
+
+  ExperimentResult result = cluster.Run(Seconds(flags.GetInt("warmup", 1)),
+                                        Seconds(flags.GetInt("seconds", 3)));
+
+  std::printf("\nthroughput          %10.0f ops/s\n", result.throughput_ops);
+  std::printf("op latency (mean)   %10.2f ms\n", result.mean_op_latency_ms);
+  std::printf("visibility mean     %10.1f ms\n", result.mean_visibility_ms);
+  std::printf("visibility p90/p99  %10.1f / %.1f ms\n", result.p90_visibility_ms,
+              result.p99_visibility_ms);
+  std::printf("remote updates      %10llu\n",
+              static_cast<unsigned long long>(result.remote_updates));
+  if (result.mean_attach_ms > 0) {
+    std::printf("attach mean         %10.1f ms\n", result.mean_attach_ms);
+  }
+
+  std::printf("\nper-pair visibility means (ms, origin row -> destination column):\n     ");
+  for (DcId to = 0; to < dcs; ++to) {
+    std::printf(" %7s", Ec2RegionName(config.dc_sites[to]));
+  }
+  std::printf("\n");
+  for (DcId from = 0; from < dcs; ++from) {
+    std::printf("%4s ", Ec2RegionName(config.dc_sites[from]));
+    for (DcId to = 0; to < dcs; ++to) {
+      const LatencyHistogram& hist = cluster.metrics().Visibility(from, to);
+      if (from == to || hist.count() == 0) {
+        std::printf(" %7s", "-");
+      } else {
+        std::printf(" %7.1f", hist.MeanMs());
+      }
+    }
+    std::printf("\n");
+  }
+
+  if (flags.Has("csv")) {
+    std::ofstream csv(flags.Get("csv", ""));
+    csv << "origin,destination,visibility_ms,cdf\n";
+    for (DcId from = 0; from < dcs; ++from) {
+      for (DcId to = 0; to < dcs; ++to) {
+        if (from == to) {
+          continue;
+        }
+        for (auto [ms, frac] : cluster.metrics().Visibility(from, to).CdfPointsMs()) {
+          csv << Ec2RegionName(config.dc_sites[from]) << ','
+              << Ec2RegionName(config.dc_sites[to]) << ',' << ms << ',' << frac << '\n';
+        }
+      }
+    }
+    std::printf("\nwrote CDFs to %s\n", flags.Get("csv", "").c_str());
+  }
+
+  if (cluster.oracle() != nullptr) {
+    if (cluster.oracle()->Clean()) {
+      std::printf("\ncausality oracle: clean\n");
+    } else {
+      std::printf("\ncausality oracle: %zu VIOLATIONS, first: %s\n",
+                  cluster.oracle()->violations().size(),
+                  cluster.oracle()->violations().front().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace saturn
+
+int main(int argc, char** argv) {
+  saturn::Flags flags;
+  if (!flags.Parse(argc, argv) || flags.Has("help")) {
+    saturn::Usage();
+    return flags.Has("help") ? 0 : 2;
+  }
+  return saturn::Run(flags);
+}
