@@ -57,7 +57,13 @@ void CureDc::DrainVisible() {
         SimTime floor = std::max(last_visible_, sim_->Now());
         ApplyRemoteUpdate(payload, floor, [this, payload](SimTime t) {
           last_visible_ = t;
-          key_deps_[payload.key] = {payload.label, payload.dep_vector};
+          // The store Put lands at t, not now: update the dep map at the same
+          // instant (the event queue keeps it adjacent to the Put) so a read
+          // served in between still gets the dep vector of the version it
+          // actually returns. Updating here would silently strip the old
+          // version's deps from concurrent reads, letting the reader's next
+          // write escape with a weaker vector than its causal past.
+          sim_->At(t, [this, payload]() { RecordKeyDeps(payload.label, payload.key, payload.dep_vector); });
         });
         progress = true;
       } else {
@@ -101,7 +107,20 @@ void CureDc::OnLocalUpdateCommitted(const ClientRequest& req, const Label& label
   std::vector<int64_t> deps = req.client_vector;
   deps.resize(num_dcs_, -1);
   deps[config_.id] = std::max(deps[config_.id], label.ts);
-  key_deps_[req.key] = {label, std::move(deps)};
+  RecordKeyDeps(label, req.key, deps);
+}
+
+void CureDc::RecordKeyDeps(const Label& label, KeyId key, const std::vector<int64_t>& deps) {
+  // Mirror the store's last-writer-wins rule: the dep map must keep
+  // describing the version the store actually holds. An unconditional
+  // overwrite would let an *older* apply regress the entry, making reads of
+  // the still-current newer version come back without a dep vector — and a
+  // client that read deps-free writes with a weaker vector than its causal
+  // past, which a remote DC can then apply too early.
+  auto it = key_deps_.find(key);
+  if (it == key_deps_.end() || it->second.first < label) {
+    key_deps_[key] = {label, deps};
+  }
 }
 
 void CureDc::AugmentReadResponse(const ClientRequest& req, const VersionedValue* version,

@@ -74,6 +74,7 @@ class CureDc : public DatacenterBase {
 
   void StabilizationRound();
   void DrainVisible();
+  void RecordKeyDeps(const Label& label, KeyId key, const std::vector<int64_t>& deps);
 
   std::vector<std::vector<int64_t>> gear_ts_;  // [dc][gear] last received ts
   // Like GentleRain, Cure's stable vector is computed in two stacked rounds:

@@ -17,7 +17,8 @@ DatacenterBase::DatacenterBase(Simulator* sim, Network* net, const DatacenterCon
       clock_(sim, config.clock_skew),
       store_(config.num_gears),
       peer_nodes_(num_dcs, kInvalidNode),
-      rng_(config.rng_seed ^ (uint64_t{config.id} << 32)) {
+      rng_(config.rng_seed ^ (uint64_t{config.id} << 32)),
+      bulk_peers_(num_dcs) {
   gears_.reserve(config.num_gears);
   for (uint32_t g = 0; g < config.num_gears; ++g) {
     gears_.push_back(std::make_unique<Gear>(MakeSourceId(config.id, g), &clock_));
@@ -61,7 +62,15 @@ void DatacenterBase::HandleMessage(NodeId from, const Message& msg) {
     return;
   }
   if (const auto* payload = std::get_if<RemotePayload>(&msg)) {
-    OnRemotePayload(*payload);
+    ReceiveBulk(payload->label.origin_dc(), payload->bulk_seq, msg);
+    return;
+  }
+  if (const auto* hb = std::get_if<BulkHeartbeat>(&msg)) {
+    ReceiveBulk(hb->origin, hb->bulk_seq, msg);
+    return;
+  }
+  if (const auto* ack = std::get_if<BulkAck>(&msg)) {
+    HandleBulkAck(*ack);
     return;
   }
   OnOtherMessage(from, msg);
@@ -156,7 +165,7 @@ void DatacenterBase::HandleUpdate(NodeId from, const ClientRequest& req) {
     for (DcId dc : replicas) {
       if (dc != config_.id) {
         SAT_CHECK(peer_nodes_[dc] != kInvalidNode);
-        net_->Send(node_id(), peer_nodes_[dc], payload);
+        SendBulk(dc, payload);
       }
     }
 
@@ -234,9 +243,141 @@ void DatacenterBase::SendBulkHeartbeats() {
     hb.origin = config_.id;
     hb.gear = SourceGear(gear->source());
     hb.ts = gear->HeartbeatTimestamp();
+    DecorateHeartbeat(&hb);
     for (DcId dc = 0; dc < num_dcs_; ++dc) {
       if (dc != config_.id && peer_nodes_[dc] != kInvalidNode) {
-        net_->Send(node_id(), peer_nodes_[dc], hb);
+        SendBulk(dc, hb);
+      }
+    }
+  }
+}
+
+// --- Reliable bulk channel -------------------------------------------------
+
+void DatacenterBase::SendBulk(DcId dest, Message msg) {
+  SAT_CHECK(dest < num_dcs_ && peer_nodes_[dest] != kInvalidNode);
+  BulkPeerState& peer = bulk_peers_[dest];
+  uint64_t seq = peer.next_out++;
+  if (auto* payload = std::get_if<RemotePayload>(&msg)) {
+    payload->bulk_seq = seq;
+  } else if (auto* hb = std::get_if<BulkHeartbeat>(&msg)) {
+    hb->bulk_seq = seq;
+  } else {
+    SAT_CHECK(false);  // only payloads and heartbeats ride the bulk channel
+  }
+  peer.unacked.emplace(seq, msg);
+  peer.sent_at[seq] = sim_->Now();
+  net_->Send(node_id(), peer_nodes_[dest], std::move(msg));
+  ScheduleBulkTick();
+}
+
+void DatacenterBase::ReceiveBulk(DcId origin, uint64_t seq, const Message& msg) {
+  if (seq == 0 || origin >= num_dcs_ || peer_nodes_[origin] == kInvalidNode) {
+    // Unsequenced message (direct injection in unit tests): bypass the channel.
+    DeliverBulk(origin, msg);
+    return;
+  }
+  BulkPeerState& peer = bulk_peers_[origin];
+  if (seq < peer.next_in) {
+    // Duplicate (retransmission after a lost ack): re-ack so the sender can
+    // retire it, but do not deliver twice.
+    SendBulkAck(origin);
+    return;
+  }
+  if (seq > peer.next_in) {
+    peer.reorder.emplace(seq, msg);  // a gap: an earlier message was lost
+    return;
+  }
+  DeliverBulk(origin, msg);
+  ++peer.next_in;
+  // A retransmission may have plugged the gap in front of buffered arrivals.
+  while (!peer.reorder.empty() && peer.reorder.begin()->first == peer.next_in) {
+    Message next = std::move(peer.reorder.begin()->second);
+    peer.reorder.erase(peer.reorder.begin());
+    ++peer.next_in;
+    DeliverBulk(origin, next);
+  }
+  ScheduleBulkTick();  // an ack for the delivered prefix is now owed
+}
+
+void DatacenterBase::DeliverBulk(DcId origin, const Message& msg) {
+  if (const auto* payload = std::get_if<RemotePayload>(&msg)) {
+    OnRemotePayload(*payload);
+    return;
+  }
+  NodeId from = origin < num_dcs_ ? peer_nodes_[origin] : kInvalidNode;
+  OnOtherMessage(from, msg);
+}
+
+void DatacenterBase::HandleBulkAck(const BulkAck& ack) {
+  if (ack.origin >= num_dcs_) {
+    return;
+  }
+  BulkPeerState& peer = bulk_peers_[ack.origin];
+  while (!peer.unacked.empty() && peer.unacked.begin()->first <= ack.acked) {
+    peer.sent_at.erase(peer.unacked.begin()->first);
+    peer.unacked.erase(peer.unacked.begin());
+  }
+}
+
+void DatacenterBase::SendBulkAck(DcId dest) {
+  BulkPeerState& peer = bulk_peers_[dest];
+  BulkAck ack;
+  ack.origin = config_.id;
+  ack.acked = peer.next_in - 1;
+  peer.acked_in = ack.acked;
+  net_->Send(node_id(), peer_nodes_[dest], ack);
+}
+
+SimTime DatacenterBase::BulkRto(DcId dest) const {
+  // Two round trips plus a margin: generous enough that retransmissions never
+  // fire on a healthy link (acks are piggy-timed on the channel tick).
+  SimTime one_way = net_->BaseLatency(net_->SiteOf(node_id()), net_->SiteOf(peer_nodes_[dest]));
+  return 4 * one_way + config_.bulk_retransmit_margin;
+}
+
+bool DatacenterBase::BulkWorkPending() const {
+  for (DcId dc = 0; dc < num_dcs_; ++dc) {
+    const BulkPeerState& peer = bulk_peers_[dc];
+    if (!peer.unacked.empty() || peer.next_in - 1 > peer.acked_in) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void DatacenterBase::ScheduleBulkTick() {
+  // Lazy maintenance: the channel tick (cumulative acks, retransmission) runs
+  // only while traffic is outstanding, so an idle datacenter leaves the event
+  // queue empty and queue-draining tests terminate.
+  if (bulk_tick_scheduled_) {
+    return;
+  }
+  bulk_tick_scheduled_ = true;
+  sim_->After(config_.bulk_heartbeat_interval, [this]() {
+    bulk_tick_scheduled_ = false;
+    BulkChannelTick();
+    if (BulkWorkPending()) {
+      ScheduleBulkTick();
+    }
+  });
+}
+
+void DatacenterBase::BulkChannelTick() {
+  SimTime now = sim_->Now();
+  for (DcId dc = 0; dc < num_dcs_; ++dc) {
+    if (dc == config_.id || peer_nodes_[dc] == kInvalidNode) {
+      continue;
+    }
+    BulkPeerState& peer = bulk_peers_[dc];
+    if (peer.next_in - 1 > peer.acked_in) {
+      SendBulkAck(dc);
+    }
+    SimTime rto = BulkRto(dc);
+    for (auto& [seq, sent] : peer.sent_at) {
+      if (now - sent >= rto) {
+        sent = now;
+        net_->Send(node_id(), peer_nodes_[dc], peer.unacked.at(seq));
       }
     }
   }

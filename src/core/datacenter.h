@@ -11,6 +11,7 @@
 #define SRC_CORE_DATACENTER_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -47,6 +48,9 @@ struct DatacenterConfig {
   SimTime sink_flush_interval = Millis(1);
   // Bulk-channel heartbeat period (timestamp-order stability progress).
   SimTime bulk_heartbeat_interval = Millis(5);
+  // Reliable bulk channel: retransmission margin added on top of two round
+  // trips to the peer before an unacked message is resent.
+  SimTime bulk_retransmit_margin = Millis(25);
   uint64_t rng_seed = 1;
 };
 
@@ -138,6 +142,10 @@ class DatacenterBase : public Actor {
   // Messages not understood by the base (stabilization broadcasts, labels).
   virtual void OnOtherMessage(NodeId from, const Message& msg);
 
+  // Lets protocols piggyback state on outgoing bulk heartbeats (Saturn's
+  // failover gossip).
+  virtual void DecorateHeartbeat(BulkHeartbeat* hb) { (void)hb; }
+
   // --- Facilities for subclasses -----------------------------------------
 
   // Runs `fn` once every `interval`, starting one interval from now.
@@ -152,6 +160,16 @@ class DatacenterBase : public Actor {
 
   // Sends a heartbeat from every gear to every peer over the bulk channel.
   void SendBulkHeartbeats();
+
+  // Reliable DC<->DC bulk channel (payloads and heartbeats). Messages get a
+  // per-destination sequence number, are retransmitted until cumulatively
+  // acked, and are delivered to the protocol hooks in sending order with
+  // duplicates suppressed. This is the TCP connection the paper assumes for
+  // the bulk-data layer, made explicit so lossy faults cannot silently lose
+  // an update — or let a heartbeat overtake the payload it vouches for,
+  // which would advance timestamp stability (or the GST / stable vector)
+  // past an undelivered update.
+  void SendBulk(DcId dest, Message msg);
 
   // Completes an attach/migrate round-trip: charges frontend cost, notifies
   // the oracle, responds to the client.
@@ -175,9 +193,30 @@ class DatacenterBase : public Actor {
   Rng rng_;
 
  private:
+  struct BulkPeerState {
+    uint64_t next_out = 1;                // next sequence number to assign
+    std::map<uint64_t, Message> unacked;  // sent, not yet cumulatively acked
+    std::map<uint64_t, SimTime> sent_at;  // seq -> last (re)transmission time
+    uint64_t next_in = 1;                 // next sequence expected from the peer
+    uint64_t acked_in = 0;                // highest in-seq we have acked back
+    std::map<uint64_t, Message> reorder;  // arrived ahead of a gap
+  };
+
   void HandleClientRequest(NodeId from, const ClientRequest& req);
   void HandleRead(NodeId from, const ClientRequest& req);
   void HandleUpdate(NodeId from, const ClientRequest& req);
+
+  void ReceiveBulk(DcId origin, uint64_t seq, const Message& msg);
+  void DeliverBulk(DcId origin, const Message& msg);
+  void HandleBulkAck(const BulkAck& ack);
+  void BulkChannelTick();  // acks delivered prefixes, retransmits unacked
+  void ScheduleBulkTick();
+  bool BulkWorkPending() const;
+  void SendBulkAck(DcId dest);
+  SimTime BulkRto(DcId dest) const;
+
+  std::vector<BulkPeerState> bulk_peers_;  // indexed by DcId
+  bool bulk_tick_scheduled_ = false;
 };
 
 }  // namespace saturn

@@ -12,12 +12,14 @@ struct WireSizeVisitor {
     return 64 + m.value_size + static_cast<uint32_t>(m.dep_vector.size()) * 8;
   }
   uint32_t operator()(const RemotePayload& m) const {
-    return 96 + m.value_size + static_cast<uint32_t>(m.dep_vector.size()) * 8 +
+    return 104 + m.value_size + static_cast<uint32_t>(m.dep_vector.size()) * 8 +
            static_cast<uint32_t>(m.explicit_deps.size()) * 24;
   }
-  uint32_t operator()(const BulkHeartbeat&) const { return 24; }
-  uint32_t operator()(const LabelEnvelope&) const { return 40; }
-  uint32_t operator()(const ChainForward&) const { return 56; }
+  uint32_t operator()(const BulkHeartbeat&) const { return 40; }
+  uint32_t operator()(const BulkAck&) const { return 16; }
+  uint32_t operator()(const LabelEnvelope&) const { return 48; }
+  uint32_t operator()(const LinkAck&) const { return 16; }
+  uint32_t operator()(const ChainForward&) const { return 64; }
   uint32_t operator()(const ChainAck&) const { return 16; }
   uint32_t operator()(const GstBroadcast&) const { return 24; }
   uint32_t operator()(const StableVectorBroadcast& m) const {

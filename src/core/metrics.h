@@ -22,7 +22,8 @@ namespace saturn {
 
 class Metrics {
  public:
-  explicit Metrics(uint32_t num_dcs) : num_dcs_(num_dcs), visibility_(num_dcs * num_dcs) {}
+  explicit Metrics(uint32_t num_dcs)
+      : num_dcs_(num_dcs), visibility_(num_dcs * num_dcs), fault_stats_(num_dcs) {}
 
   // Measurement window: only events created inside it are recorded.
   void SetWindow(SimTime start, SimTime end) {
@@ -73,7 +74,57 @@ class Metrics {
   uint64_t completed_ops() const { return completed_ops_; }
   uint32_t num_dcs() const { return num_dcs_; }
 
+  // --- Degraded-mode accounting (fault experiments) -----------------------
+  // Not window-gated: fault schedules deliberately straddle the measurement
+  // window, and the interesting quantity is total degraded time per DC.
+
+  void RecordFallbackEnter(DcId dc, SimTime now) {
+    SAT_CHECK(dc < num_dcs_);
+    DcFaultStats& s = fault_stats_[dc];
+    if (s.in_fallback) {
+      return;
+    }
+    s.in_fallback = true;
+    s.entered_at = now;
+    ++s.entries;
+  }
+
+  void RecordFallbackExit(DcId dc, SimTime now) {
+    SAT_CHECK(dc < num_dcs_);
+    DcFaultStats& s = fault_stats_[dc];
+    if (!s.in_fallback) {
+      return;
+    }
+    s.in_fallback = false;
+    s.ts_mode_time += now - s.entered_at;
+    ++s.exits;
+  }
+
+  // End-to-end outage-to-recovery latency: fallback entry until stream mode
+  // resumed (resync on the same tree, or failover to a backup tree).
+  void RecordFailoverLatency(SimTime latency) { failover_latency_.Record(latency); }
+
+  uint32_t FallbackEntries(DcId dc) const { return fault_stats_[dc].entries; }
+  uint32_t FallbackExits(DcId dc) const { return fault_stats_[dc].exits; }
+
+  // Total time `dc` spent in timestamp (degraded) mode; an open interval is
+  // counted up to `now`.
+  SimTime TimestampModeTime(DcId dc, SimTime now) const {
+    const DcFaultStats& s = fault_stats_[dc];
+    return s.ts_mode_time + (s.in_fallback ? now - s.entered_at : 0);
+  }
+
+  const LatencyHistogram& FailoverLatency() const { return failover_latency_; }
+
  private:
+  struct DcFaultStats {
+    uint32_t entries = 0;
+    uint32_t exits = 0;
+    SimTime ts_mode_time = 0;
+    SimTime entered_at = 0;
+    bool in_fallback = false;
+  };
+
   uint32_t num_dcs_;
   SimTime window_start_ = 0;
   SimTime window_end_ = kSimTimeNever;
@@ -81,6 +132,8 @@ class Metrics {
   LatencyHistogram all_visibility_;
   LatencyHistogram op_latency_;
   LatencyHistogram attach_latency_;
+  LatencyHistogram failover_latency_;
+  std::vector<DcFaultStats> fault_stats_;
   uint64_t completed_ops_ = 0;
 };
 

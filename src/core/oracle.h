@@ -85,6 +85,7 @@ class CausalityOracle {
     SAT_CHECK(dc < num_dcs_);
     auto it = by_uid_.find(uid);
     SAT_CHECK(it != by_uid_.end());
+    applied_at_[uid].Add(dc);
     uint32_t writer = it->second.client;
     uint32_t seq = it->second.seq;
     const UpdateInfo& u = client_updates_[writer][seq - 1];
@@ -146,6 +147,32 @@ class CausalityOracle {
   const std::vector<std::string>& violations() const { return violations_; }
   bool Clean() const { return violations_.empty(); }
 
+  // --- Liveness: replication completeness -------------------------------
+  //
+  // Updates that were applied somewhere but are still missing from a replica
+  // — after a fault run has healed and drained, this must be empty, or a
+  // fault permanently lost an update. Updates applied *nowhere* are skipped:
+  // a request a crashed datacenter dropped was never acknowledged, so the
+  // system owes it nothing.
+  std::vector<std::string> MissingReplicas() const {
+    std::vector<std::string> missing;
+    for (uint32_t c = 0; c < num_clients_; ++c) {
+      for (const UpdateInfo& u : client_updates_[c]) {
+        auto it = applied_at_.find(u.uid);
+        if (it == applied_at_.end()) {
+          continue;  // never committed anywhere (request lost pre-commit)
+        }
+        DcSet want = u.replicas.Intersect(DcSet::FirstN(num_dcs_));
+        if (it->second.Intersect(want) != want) {
+          missing.push_back("uid " + std::to_string(u.uid) + " (client " + std::to_string(c) +
+                            ") applied at " + it->second.ToString() + ", replicas " +
+                            want.ToString());
+        }
+      }
+    }
+    return missing;
+  }
+
  private:
   struct UpdateInfo {
     uint64_t uid = 0;
@@ -190,6 +217,7 @@ class CausalityOracle {
   std::vector<std::vector<uint32_t>> replicated_seqs_;  // [client * num_dcs + dc]
   std::vector<std::vector<uint32_t>> prefix_;           // [dc][client] applied session prefix
   std::unordered_map<uint64_t, UpdateRef> by_uid_;
+  std::unordered_map<uint64_t, DcSet> applied_at_;
   std::vector<std::string> violations_;
 };
 

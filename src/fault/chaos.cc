@@ -1,0 +1,142 @@
+#include "src/fault/chaos.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/sim/random.h"
+
+namespace saturn {
+namespace {
+
+struct Interval {
+  SimTime start;
+  SimTime end;
+};
+
+bool Overlaps(const std::vector<Interval>& busy, SimTime start, SimTime end) {
+  for (const auto& iv : busy) {
+    if (start < iv.end && iv.start < end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+FaultPlan GenerateChaosPlan(const ChaosOptions& options, const std::vector<SiteId>& dc_sites) {
+  SAT_CHECK(dc_sites.size() >= 2);
+  SAT_CHECK(options.end > options.start);
+  Rng rng(options.seed);
+  FaultPlan plan;
+  SimTime window = options.end - options.start;
+
+  if (options.tree_kill_percent > 0 &&
+      rng.NextBounded(100) < options.tree_kill_percent) {
+    // Permanent fault: the whole tree dies somewhere in the first half of the
+    // window, forcing the datacenters to fail over to a backup epoch.
+    FaultEvent kill;
+    kill.kind = FaultKind::kKillTree;
+    kill.epoch = options.tree_epoch;
+    kill.at = options.start + static_cast<SimTime>(rng.NextBounded(
+                                  static_cast<uint64_t>(window / 2) + 1));
+    plan.events.push_back(kill);
+  }
+
+  // Transient faults: each picks a kind, a start, and a duration, and heals
+  // before the window closes. Same-pair link faults never overlap, and at
+  // most one datacenter is crashed at a time (a majority-less deployment is
+  // not a scenario any of the protocols claims to survive).
+  uint32_t count = 1 + static_cast<uint32_t>(rng.NextBounded(options.max_faults));
+  std::map<uint64_t, std::vector<Interval>> pair_busy;
+  std::vector<Interval> crash_busy;
+  auto pair_key = [](SiteId a, SiteId b) {
+    if (a > b) {
+      std::swap(a, b);
+    }
+    return (static_cast<uint64_t>(a) << 32) | b;
+  };
+
+  for (uint32_t i = 0; i < count; ++i) {
+    for (uint32_t attempt = 0; attempt < 8; ++attempt) {
+      SimTime duration = Millis(100) + static_cast<SimTime>(rng.NextBounded(Millis(500)));
+      SimTime latest_start = options.end - duration;
+      if (latest_start <= options.start) {
+        break;
+      }
+      SimTime start = options.start + static_cast<SimTime>(rng.NextBounded(
+                                          static_cast<uint64_t>(latest_start - options.start)));
+      SimTime end = start + duration;
+
+      enum { kCut, kLossyCut, kSpike, kCrash };
+      std::vector<int> kinds = {kCut};
+      if (options.allow_lossy) {
+        kinds.push_back(kLossyCut);
+      }
+      if (options.allow_latency_spike) {
+        kinds.push_back(kSpike);
+      }
+      if (options.allow_crash) {
+        kinds.push_back(kCrash);
+      }
+      int kind = kinds[rng.NextBounded(kinds.size())];
+
+      if (kind == kCrash) {
+        if (Overlaps(crash_busy, start, end)) {
+          continue;
+        }
+        DcId dc = static_cast<DcId>(rng.NextBounded(dc_sites.size()));
+        FaultEvent crash;
+        crash.kind = FaultKind::kDcCrash;
+        crash.dc = dc;
+        crash.at = start;
+        FaultEvent recover = crash;
+        recover.kind = FaultKind::kDcRecover;
+        recover.at = end;
+        plan.events.push_back(crash);
+        plan.events.push_back(recover);
+        crash_busy.push_back({start, end});
+        break;
+      }
+
+      // Link fault: pick two distinct datacenter sites.
+      DcId a = static_cast<DcId>(rng.NextBounded(dc_sites.size()));
+      DcId b = static_cast<DcId>(rng.NextBounded(dc_sites.size() - 1));
+      if (b >= a) {
+        ++b;
+      }
+      SiteId sa = dc_sites[a];
+      SiteId sb = dc_sites[b];
+      auto& busy = pair_busy[pair_key(sa, sb)];
+      if (Overlaps(busy, start, end)) {
+        continue;
+      }
+      FaultEvent fault;
+      fault.site_a = sa;
+      fault.site_b = sb;
+      fault.at = start;
+      FaultEvent undo = fault;
+      undo.at = end;
+      if (kind == kSpike) {
+        fault.kind = FaultKind::kLatencySpike;
+        fault.extra_latency = Millis(20) + static_cast<SimTime>(rng.NextBounded(Millis(180)));
+        undo.kind = FaultKind::kLatencyClear;
+      } else {
+        fault.kind = FaultKind::kLinkCut;
+        fault.drop = kind == kLossyCut;
+        undo.kind = FaultKind::kLinkHeal;
+      }
+      plan.events.push_back(fault);
+      plan.events.push_back(undo);
+      busy.push_back({start, end});
+      break;
+    }
+  }
+
+  plan.Normalize();
+  return plan;
+}
+
+}  // namespace saturn

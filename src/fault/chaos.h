@@ -1,0 +1,42 @@
+// Seeded chaos-schedule generator.
+//
+// Turns a 64-bit seed into a FaultPlan: a handful of transient faults (link
+// cuts — buffered or lossy — latency spikes, datacenter crashes, optionally a
+// tree-wide serializer kill) scattered over a time window, every one of which
+// heals before the window closes. Determinism is the point: the same seed and
+// options always produce the same plan, so a failing chaos test reproduces
+// from its printed seed alone.
+#ifndef SRC_FAULT_CHAOS_H_
+#define SRC_FAULT_CHAOS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fault/fault_plan.h"
+
+namespace saturn {
+
+struct ChaosOptions {
+  uint64_t seed = 1;
+  // Faults are injected in [start, end); every transient fault heals by `end`.
+  SimTime start = Millis(1500);
+  SimTime end = Millis(3500);
+  // 1 + NextBounded(max_faults) transient faults are drawn.
+  uint32_t max_faults = 4;
+  bool allow_lossy = true;
+  bool allow_crash = true;
+  bool allow_latency_spike = true;
+  // Percent chance (0-100) of additionally killing every serializer of
+  // `tree_epoch` in the first half of the window — a permanent fault that
+  // forces failover to a backup tree.
+  uint32_t tree_kill_percent = 0;
+  uint32_t tree_epoch = 0;
+};
+
+// `dc_sites[dc]` is the site of datacenter `dc`; link faults are drawn
+// between distinct datacenter sites, crashes among the datacenters.
+FaultPlan GenerateChaosPlan(const ChaosOptions& options, const std::vector<SiteId>& dc_sites);
+
+}  // namespace saturn
+
+#endif  // SRC_FAULT_CHAOS_H_

@@ -1,0 +1,51 @@
+#include "src/fault/fault_injector.h"
+
+#include "src/common/check.h"
+
+namespace saturn {
+
+void FaultInjector::Start() {
+  for (const FaultEvent& event : plan_.events) {
+    sim_->At(event.at, [this, event]() { Apply(event); });
+  }
+}
+
+void FaultInjector::Apply(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kLinkCut:
+      targets_.net->CutLink(event.site_a, event.site_b, event.drop);
+      break;
+    case FaultKind::kLinkHeal:
+      targets_.net->HealLink(event.site_a, event.site_b);
+      break;
+    case FaultKind::kLatencySpike:
+      targets_.net->InjectExtraLatency(event.site_a, event.site_b, event.extra_latency);
+      break;
+    case FaultKind::kLatencyClear:
+      targets_.net->InjectExtraLatency(event.site_a, event.site_b, 0);
+      break;
+    case FaultKind::kDcCrash:
+      SAT_CHECK(event.dc < targets_.dc_nodes.size());
+      targets_.net->SetNodeDown(targets_.dc_nodes[event.dc], true);
+      break;
+    case FaultKind::kDcRecover:
+      SAT_CHECK(event.dc < targets_.dc_nodes.size());
+      targets_.net->SetNodeDown(targets_.dc_nodes[event.dc], false);
+      break;
+    case FaultKind::kKillTree:
+      if (targets_.metadata != nullptr) {
+        targets_.metadata->KillEpoch(event.epoch);
+      }
+      break;
+    case FaultKind::kKillChainReplica:
+      if (targets_.metadata != nullptr) {
+        for (Serializer* s : targets_.metadata->SerializersOf(event.epoch)) {
+          s->KillReplica(event.replica);
+        }
+      }
+      break;
+  }
+  log_.emplace_back(sim_->Now(), event.ToString());
+}
+
+}  // namespace saturn

@@ -1,0 +1,56 @@
+// FaultInjector: an actor that applies a FaultPlan to a running cluster.
+//
+// The injector is attached to the network like any other actor (it never
+// sends or receives messages — attachment just ties its lifetime and node id
+// to the simulation) and schedules one simulator event per fault. Fault
+// application is ordinary event-queue work, so chaos runs stay bit-for-bit
+// deterministic and replayable from the plan alone.
+#ifndef SRC_FAULT_FAULT_INJECTOR_H_
+#define SRC_FAULT_FAULT_INJECTOR_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/fault/fault_plan.h"
+#include "src/saturn/metadata_service.h"
+#include "src/sim/actor.h"
+#include "src/sim/network.h"
+
+namespace saturn {
+
+struct FaultTargets {
+  Network* net = nullptr;
+  MetadataService* metadata = nullptr;  // may be null (non-Saturn protocols)
+  std::vector<NodeId> dc_nodes;         // indexed by DcId
+  std::vector<SiteId> dc_sites;         // indexed by DcId
+};
+
+class FaultInjector : public Actor {
+ public:
+  FaultInjector(Simulator* sim, FaultPlan plan, FaultTargets targets)
+      : sim_(sim), plan_(std::move(plan)), targets_(std::move(targets)) {}
+
+  // Schedules every event of the plan. Call once, before or during the run.
+  void Start();
+
+  void HandleMessage(NodeId from, const Message& msg) override {
+    (void)from;
+    (void)msg;
+  }
+
+  const FaultPlan& plan() const { return plan_; }
+  // (time applied, event description) — the fault trace of the run.
+  const std::vector<std::pair<SimTime, std::string>>& log() const { return log_; }
+
+ private:
+  void Apply(const FaultEvent& event);
+
+  Simulator* sim_;
+  FaultPlan plan_;
+  FaultTargets targets_;
+  std::vector<std::pair<SimTime, std::string>> log_;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_FAULT_FAULT_INJECTOR_H_

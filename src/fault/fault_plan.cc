@@ -1,0 +1,172 @@
+#include "src/fault/fault_plan.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace saturn {
+namespace {
+
+std::string PairString(const FaultEvent& e) {
+  return std::to_string(e.site_a) + "-" + std::to_string(e.site_b);
+}
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+bool ParseUint(const std::string& s, uint64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  uint64_t v = std::strtoull(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseSitePair(const std::string& s, FaultEvent* e, std::string* error) {
+  auto parts = SplitOn(s, '-');
+  uint64_t a = 0;
+  uint64_t b = 0;
+  if (parts.size() != 2 || !ParseUint(parts[0], &a) || !ParseUint(parts[1], &b)) {
+    *error = "bad site pair '" + s + "' (want <siteA>-<siteB>)";
+    return false;
+  }
+  e->site_a = static_cast<SiteId>(a);
+  e->site_b = static_cast<SiteId>(b);
+  return true;
+}
+
+}  // namespace
+
+std::string FaultEvent::ToString() const {
+  std::string when = std::to_string(at / Millis(1)) + "ms ";
+  switch (kind) {
+    case FaultKind::kLinkCut:
+      return when + "cut " + PairString(*this) + (drop ? " (lossy)" : " (buffered)");
+    case FaultKind::kLinkHeal:
+      return when + "heal " + PairString(*this);
+    case FaultKind::kLatencySpike:
+      return when + "lat " + PairString(*this) + " +" +
+             std::to_string(extra_latency / Millis(1)) + "ms";
+    case FaultKind::kLatencyClear:
+      return when + "unlat " + PairString(*this);
+    case FaultKind::kDcCrash:
+      return when + "crash dc" + std::to_string(dc);
+    case FaultKind::kDcRecover:
+      return when + "recover dc" + std::to_string(dc);
+    case FaultKind::kKillTree:
+      return when + "killtree epoch" + std::to_string(epoch);
+    case FaultKind::kKillChainReplica:
+      return when + "killchain epoch" + std::to_string(epoch) + " replica" +
+             std::to_string(replica);
+  }
+  return when + "?";
+}
+
+void FaultPlan::Normalize() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+}
+
+SimTime FaultPlan::LastEventTime() const {
+  SimTime last = 0;
+  for (const auto& e : events) {
+    last = std::max(last, e.at);
+  }
+  return last;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  for (const auto& e : events) {
+    if (!out.empty()) {
+      out += "; ";
+    }
+    out += e.ToString();
+  }
+  return out.empty() ? "(no faults)" : out;
+}
+
+bool ParseFaultPlan(const std::string& spec, FaultPlan* plan, std::string* error) {
+  plan->events.clear();
+  std::string err;
+  for (const std::string& entry : SplitOn(spec, ';')) {
+    if (entry.empty()) {
+      continue;
+    }
+    auto fields = SplitOn(entry, ':');
+    uint64_t ms = 0;
+    if (fields.size() < 2 || !ParseUint(fields[0], &ms)) {
+      *error = "bad event '" + entry + "' (want <ms>:<kind>[:args])";
+      return false;
+    }
+    FaultEvent e;
+    e.at = Millis(static_cast<SimTime>(ms));
+    const std::string& kind = fields[1];
+    uint64_t v = 0;
+    if (kind == "cut" && (fields.size() == 3 || (fields.size() == 4 && fields[3] == "drop"))) {
+      e.kind = FaultKind::kLinkCut;
+      e.drop = fields.size() == 4;
+      if (!ParseSitePair(fields[2], &e, error)) {
+        return false;
+      }
+    } else if (kind == "heal" && fields.size() == 3) {
+      e.kind = FaultKind::kLinkHeal;
+      if (!ParseSitePair(fields[2], &e, error)) {
+        return false;
+      }
+    } else if (kind == "lat" && fields.size() == 4 && ParseUint(fields[3], &v)) {
+      e.kind = FaultKind::kLatencySpike;
+      e.extra_latency = Millis(static_cast<SimTime>(v));
+      if (!ParseSitePair(fields[2], &e, error)) {
+        return false;
+      }
+    } else if (kind == "unlat" && fields.size() == 3) {
+      e.kind = FaultKind::kLatencyClear;
+      if (!ParseSitePair(fields[2], &e, error)) {
+        return false;
+      }
+    } else if (kind == "crash" && fields.size() == 3 && ParseUint(fields[2], &v)) {
+      e.kind = FaultKind::kDcCrash;
+      e.dc = static_cast<DcId>(v);
+    } else if (kind == "recover" && fields.size() == 3 && ParseUint(fields[2], &v)) {
+      e.kind = FaultKind::kDcRecover;
+      e.dc = static_cast<DcId>(v);
+    } else if (kind == "killtree" && fields.size() == 3 && ParseUint(fields[2], &v)) {
+      e.kind = FaultKind::kKillTree;
+      e.epoch = static_cast<uint32_t>(v);
+    } else if (kind == "killchain" && fields.size() == 4 && ParseUint(fields[2], &v)) {
+      e.kind = FaultKind::kKillChainReplica;
+      e.epoch = static_cast<uint32_t>(v);
+      uint64_t r = 0;
+      if (!ParseUint(fields[3], &r)) {
+        *error = "bad replica in '" + entry + "'";
+        return false;
+      }
+      e.replica = static_cast<uint32_t>(r);
+    } else {
+      *error = "unknown or malformed event '" + entry + "'";
+      return false;
+    }
+    plan->events.push_back(e);
+  }
+  plan->Normalize();
+  return true;
+}
+
+}  // namespace saturn

@@ -1,0 +1,73 @@
+// Fault plans: scripted timelines of deterministic fault events.
+//
+// A FaultPlan is the unit of chaos in this repository: a list of timed events
+// (link cuts and heals, latency spikes, serializer kills, datacenter crashes)
+// applied to a running cluster by a FaultInjector. Plans are plain data — they
+// can be parsed from a command-line spec, generated from a seed (chaos.h), and
+// printed back out, so every failing chaos run is reproducible from one line.
+#ifndef SRC_FAULT_FAULT_PLAN_H_
+#define SRC_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/network.h"
+
+namespace saturn {
+
+enum class FaultKind : uint8_t {
+  kLinkCut,       // cut a site pair; drop=false buffers (TCP), drop=true loses
+  kLinkHeal,      // restore a cut site pair
+  kLatencySpike,  // add extra one-way latency to a site pair
+  kLatencyClear,  // remove the extra latency
+  kDcCrash,       // crash a datacenter node (drops everything in and out)
+  kDcRecover,     // recover a crashed datacenter (replays nothing)
+  kKillTree,      // kill every serializer of one tree epoch
+  kKillChainReplica,  // kill one chain replica in every serializer of an epoch
+};
+
+struct FaultEvent {
+  SimTime at = 0;
+  FaultKind kind = FaultKind::kLinkCut;
+  SiteId site_a = 0;  // kLinkCut / kLinkHeal / kLatencySpike / kLatencyClear
+  SiteId site_b = 0;
+  bool drop = false;          // kLinkCut: lossy instead of buffered
+  SimTime extra_latency = 0;  // kLatencySpike
+  DcId dc = 0;                // kDcCrash / kDcRecover
+  uint32_t epoch = 0;         // kKillTree / kKillChainReplica
+  uint32_t replica = 0;       // kKillChainReplica
+
+  std::string ToString() const;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  // Sorts events by time (stable: same-time events keep their listed order).
+  void Normalize();
+
+  bool Empty() const { return events.empty(); }
+  SimTime LastEventTime() const;
+  std::string ToString() const;
+};
+
+// Parses a plan spec of `;`-separated timed events:
+//
+//   <ms>:cut:<siteA>-<siteB>[:drop]   cut a link (buffered, or lossy w/ drop)
+//   <ms>:heal:<siteA>-<siteB>         heal a cut link
+//   <ms>:lat:<siteA>-<siteB>:<ms>     inject extra one-way latency
+//   <ms>:unlat:<siteA>-<siteB>        clear injected latency
+//   <ms>:crash:<dc>                   crash datacenter <dc>
+//   <ms>:recover:<dc>                 recover datacenter <dc>
+//   <ms>:killtree:<epoch>             kill all serializers of an epoch
+//   <ms>:killchain:<epoch>:<replica>  kill one chain replica per serializer
+//
+// e.g. "1500:cut:3-5:drop;2100:heal:3-5;1800:crash:1;2400:recover:1".
+// Returns false (and sets *error) on malformed specs.
+bool ParseFaultPlan(const std::string& spec, FaultPlan* plan, std::string* error);
+
+}  // namespace saturn
+
+#endif  // SRC_FAULT_FAULT_PLAN_H_

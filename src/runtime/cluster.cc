@@ -164,6 +164,22 @@ Cluster::Cluster(ClusterConfig config, ReplicaMap replicas, std::vector<DcId> cl
 
 Cluster::~Cluster() = default;
 
+void Cluster::InstallFaultPlan(const FaultPlan& plan) {
+  SAT_CHECK(injector_ == nullptr);
+  FaultTargets targets;
+  targets.net = net_.get();
+  targets.metadata = metadata_.get();
+  for (auto& dc : datacenters_) {
+    targets.dc_nodes.push_back(dc->node_id());
+  }
+  targets.dc_sites = config_.dc_sites;
+  injector_ = std::make_unique<FaultInjector>(&sim_, plan, std::move(targets));
+  // The injector exchanges no messages; attachment just gives it a node id.
+  net_->Attach(injector_.get(), config_.dc_sites[0]);
+}
+
+void Cluster::StopClientsAt(SimTime when) { stop_clients_at_ = when; }
+
 SaturnDc* Cluster::saturn_dc(DcId id) {
   SAT_CHECK(config_.protocol == Protocol::kSaturn ||
             config_.protocol == Protocol::kSaturnTimestamp);
@@ -180,6 +196,16 @@ ExperimentResult Cluster::Run(SimTime warmup, SimTime measure, SimTime drain) {
   }
   for (auto& client : clients_) {
     client->Start();
+  }
+  if (injector_ != nullptr) {
+    injector_->Start();
+  }
+  if (stop_clients_at_ != kSimTimeNever) {
+    sim_.At(stop_clients_at_, [this]() {
+      for (auto& client : clients_) {
+        client->Stop();
+      }
+    });
   }
   sim_.RunUntil(window_end_ + drain);
   return Result();

@@ -16,6 +16,8 @@
 #include "src/core/datacenter.h"
 #include "src/core/metrics.h"
 #include "src/core/oracle.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
 #include "src/runtime/regions.h"
 #include "src/saturn/config_generator.h"
 #include "src/saturn/metadata_service.h"
@@ -94,6 +96,17 @@ class Cluster {
   // May be called once per cluster.
   ExperimentResult Run(SimTime warmup, SimTime measure, SimTime drain = Seconds(2));
 
+  // Installs a fault plan to be injected during Run(). Call before Run().
+  void InstallFaultPlan(const FaultPlan& plan);
+
+  // Stops every client (after its in-flight operation) at `when`. Fault
+  // experiments use this to leave quiescent time for recovery and the
+  // liveness check before the run ends.
+  void StopClientsAt(SimTime when);
+
+  // Null unless InstallFaultPlan was called.
+  FaultInjector* fault_injector() { return injector_.get(); }
+
   Simulator& sim() { return sim_; }
   Network& network() { return *net_; }
   Metrics& metrics() { return *metrics_; }
@@ -120,6 +133,8 @@ class Cluster {
   std::unique_ptr<MetadataService> metadata_;
   TreeTopology tree_;
   std::vector<std::unique_ptr<Client>> clients_;
+  std::unique_ptr<FaultInjector> injector_;
+  SimTime stop_clients_at_ = kSimTimeNever;
   SimTime window_start_ = 0;
   SimTime window_end_ = 0;
 };

@@ -1,0 +1,136 @@
+#include "src/saturn/reliable_link.h"
+
+namespace saturn {
+namespace {
+
+// Maintenance cadence for acknowledgements and retransmission checks. Fast
+// relative to wide-area latencies so acks add negligible delay, slow enough
+// that an idle channel costs nothing (the tick is lazy and stops when all
+// traffic is acknowledged).
+constexpr SimTime kTickInterval = Millis(5);
+// Safety margin on top of the round-trip estimate before a retransmission.
+constexpr SimTime kRetransmitMargin = Millis(25);
+
+}  // namespace
+
+void ReliableLinks::SetPeerDelay(NodeId peer, SimTime delay) {
+  out_[peer].delay = delay;
+}
+
+void ReliableLinks::Send(NodeId to, LabelEnvelope env) {
+  OutChannel& out = out_[to];
+  env.link_seq = out.next_out++;
+  out.unacked[env.link_seq] = env;
+  Transmit(to, &out, env.link_seq);
+  ScheduleTick();
+}
+
+void ReliableLinks::Transmit(NodeId to, OutChannel* out, uint64_t seq) {
+  out->sent_at[seq] = sim_->Now();
+  const LabelEnvelope& env = out->unacked[seq];
+  if (out->delay > 0) {
+    // Artificial edge delay (section 5.4): constant per directed edge, so it
+    // shifts but never reorders transmissions.
+    Network* net = net_;
+    NodeId self = owner_->node_id();
+    LabelEnvelope copy = env;
+    sim_->After(out->delay, [net, self, to, copy]() { net->Send(self, to, copy); });
+  } else {
+    net_->Send(owner_->node_id(), to, env);
+  }
+}
+
+void ReliableLinks::OnEnvelope(NodeId from, const LabelEnvelope& env) {
+  if (env.link_seq == 0) {
+    deliver_(from, env);  // unsequenced: unit-test injection
+    return;
+  }
+  InChannel& in = in_[from];
+  in.ack_owed = true;  // every arrival (duplicates included) triggers a re-ack
+  ScheduleTick();
+  if (env.link_seq < in.next_in) {
+    return;  // duplicate of something already delivered
+  }
+  if (env.link_seq > in.next_in) {
+    in.reorder[env.link_seq] = env;  // gap: park until the hole fills
+    return;
+  }
+  deliver_(from, env);
+  ++in.next_in;
+  auto it = in.reorder.find(in.next_in);
+  while (it != in.reorder.end()) {
+    deliver_(from, it->second);
+    in.reorder.erase(it);
+    ++in.next_in;
+    it = in.reorder.find(in.next_in);
+  }
+}
+
+void ReliableLinks::OnAck(NodeId from, const LinkAck& ack) {
+  auto channel = out_.find(from);
+  if (channel == out_.end()) {
+    return;
+  }
+  OutChannel& out = channel->second;
+  while (!out.unacked.empty() && out.unacked.begin()->first <= ack.acked) {
+    out.sent_at.erase(out.unacked.begin()->first);
+    out.unacked.erase(out.unacked.begin());
+  }
+}
+
+SimTime ReliableLinks::Rto(NodeId to, const OutChannel& out) const {
+  SimTime one_way =
+      net_->BaseLatency(net_->SiteOf(owner_->node_id()), net_->SiteOf(to)) + out.delay;
+  return 4 * one_way + kRetransmitMargin;
+}
+
+bool ReliableLinks::WorkPending() const {
+  for (const auto& [peer, out] : out_) {
+    if (!out.unacked.empty()) {
+      return true;
+    }
+  }
+  for (const auto& [peer, in] : in_) {
+    if (in.ack_owed) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ReliableLinks::ScheduleTick() {
+  if (tick_scheduled_) {
+    return;
+  }
+  tick_scheduled_ = true;
+  sim_->After(kTickInterval, [this]() {
+    tick_scheduled_ = false;
+    Tick();
+    if (WorkPending()) {
+      ScheduleTick();
+    }
+  });
+}
+
+void ReliableLinks::Tick() {
+  SimTime now = sim_->Now();
+  for (auto& [peer, in] : in_) {
+    if (in.ack_owed) {
+      LinkAck ack;
+      ack.acked = in.next_in - 1;
+      net_->Send(owner_->node_id(), peer, ack);
+      in.ack_owed = false;
+    }
+  }
+  for (auto& [peer, out] : out_) {
+    SimTime rto = Rto(peer, out);
+    for (auto& [seq, sent] : out.sent_at) {
+      if (now - sent >= rto) {
+        ++retransmissions_;
+        Transmit(peer, &out, seq);
+      }
+    }
+  }
+}
+
+}  // namespace saturn

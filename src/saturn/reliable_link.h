@@ -1,0 +1,95 @@
+// Reliable FIFO links for Saturn's metadata plane.
+//
+// The paper assumes the label sinks, serializers and remote proxies are
+// connected by FIFO reliable channels (TCP). Under the fault model this is a
+// load-bearing assumption: if a lossy link cut could silently eat a label,
+// the stream delivered downstream would have a *hole*, and a later label that
+// causally depends on the lost one would be applied first — a causality
+// violation no receiver can detect, because labels deliberately carry no
+// dependency metadata. `ReliableLinks` therefore gives every directed
+// (sender node, receiver node) metadata link TCP-like semantics:
+//
+//  - outgoing envelopes carry a per-destination sequence number and are
+//    retransmitted until cumulatively acknowledged (LinkAck);
+//  - incoming envelopes are deduplicated and reordered so the owner sees the
+//    exact send order, gap-free;
+//  - acknowledgements and retransmissions ride a lazy maintenance tick that
+//    only runs while there is work, so idle simulations still drain.
+//
+// Faults thus translate into *delay* (possibly long enough to trip the
+// timestamp fallback, which is stability-gated and safe), never into loss.
+// The only way labels truly die is with their serializer (KillEpoch), which
+// silences the whole stream — exactly the outage the fallback covers.
+#ifndef SRC_SATURN_RELIABLE_LINK_H_
+#define SRC_SATURN_RELIABLE_LINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "src/core/messages.h"
+#include "src/sim/actor.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/network.h"
+
+namespace saturn {
+
+class ReliableLinks {
+ public:
+  // `deliver` is invoked for every envelope in send order, exactly once.
+  using Deliver = std::function<void(NodeId from, const LabelEnvelope&)>;
+
+  ReliableLinks(Simulator* sim, Network* net, Actor* owner, Deliver deliver)
+      : sim_(sim), net_(net), owner_(owner), deliver_(std::move(deliver)) {}
+
+  // Artificial propagation delay for the directed edge to `peer` (tree-solver
+  // edges, section 5.4). Applied to first transmissions and retransmissions
+  // alike so FIFO reasoning stays intact.
+  void SetPeerDelay(NodeId peer, SimTime delay);
+
+  // Sends `env` reliably: assigns the link sequence number, remembers the
+  // envelope for retransmission and transmits.
+  void Send(NodeId to, LabelEnvelope env);
+
+  // Feeds a received envelope through dedup/reordering; in-order envelopes
+  // (and any reorder-buffered successors) are handed to `deliver`.
+  // Unsequenced envelopes (link_seq == 0, unit-test injection) bypass.
+  void OnEnvelope(NodeId from, const LabelEnvelope& env);
+
+  // Retires acknowledged envelopes on the channel towards `from`.
+  void OnAck(NodeId from, const LinkAck& ack);
+
+  uint64_t retransmissions() const { return retransmissions_; }
+
+ private:
+  struct OutChannel {
+    uint64_t next_out = 1;
+    std::map<uint64_t, LabelEnvelope> unacked;  // seq -> envelope
+    std::map<uint64_t, SimTime> sent_at;        // seq -> last transmission
+    SimTime delay = 0;                          // artificial edge delay
+  };
+  struct InChannel {
+    uint64_t next_in = 1;
+    std::map<uint64_t, LabelEnvelope> reorder;  // arrived out of order
+    bool ack_owed = false;
+  };
+
+  void Transmit(NodeId to, OutChannel* out, uint64_t seq);
+  SimTime Rto(NodeId to, const OutChannel& out) const;
+  bool WorkPending() const;
+  void ScheduleTick();
+  void Tick();
+
+  Simulator* sim_;
+  Network* net_;
+  Actor* owner_;
+  Deliver deliver_;
+  std::map<NodeId, OutChannel> out_;
+  std::map<NodeId, InChannel> in_;
+  bool tick_scheduled_ = false;
+  uint64_t retransmissions_ = 0;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_SATURN_RELIABLE_LINK_H_

@@ -8,6 +8,8 @@ SaturnDc::SaturnDc(Simulator* sim, Network* net, const DatacenterConfig& config,
                    uint32_t num_dcs, ReplicaResolver resolver, Metrics* metrics,
                    CausalityOracle* oracle)
     : DatacenterBase(sim, net, config, num_dcs, std::move(resolver), metrics, oracle),
+      links_(sim, net, this,
+             [this](NodeId from, const LabelEnvelope& env) { OnStreamEnvelope(from, env); }),
       stream_progress_(num_dcs, -1),
       bulk_gear_ts_(num_dcs, std::vector<int64_t>(config.num_gears, -1)) {}
 
@@ -20,24 +22,85 @@ void SaturnDc::Start() {
   DatacenterBase::Start();
   if (!has_tree_) {
     // Peer-to-peer configuration: timestamp-order stability is the only
-    // delivery mechanism.
+    // delivery mechanism. Not a degraded mode, so no fallback accounting.
     ts_mode_ = true;
   }
   last_stream_activity_ = sim_->Now();
+  last_label_seen_.assign(num_dcs_, sim_->Now());
+  resync_fence_.assign(num_dcs_, -1);
   EveryInterval(config_.sink_flush_interval, [this]() { FlushSink(); });
   EveryInterval(config_.bulk_heartbeat_interval, [this]() {
     SendBulkHeartbeats();
     TimestampDrain();
   });
   if (has_tree_) {
-    // Liveness watchdog: a silent stream means the tree is partitioned or its
-    // serializers are down; timestamp-order stability takes over.
-    EveryInterval(Millis(10), [this]() {
-      if (!ts_mode_ && sim_->Now() - last_stream_activity_ > fallback_timeout_) {
-        ts_mode_ = true;
-        TimestampDrain();
-      }
-    });
+    EveryInterval(Millis(10), [this]() { Watchdog(); });
+  }
+}
+
+// --------------------------------------------------------------------------
+// Failure detector
+// --------------------------------------------------------------------------
+
+void SaturnDc::Watchdog() {
+  if (!has_tree_ || num_dcs_ <= 1) {
+    return;
+  }
+  SimTime now = sim_->Now();
+  if (!ts_mode_) {
+    // A silent stream means the tree is partitioned or its serializers are
+    // down; timestamp-order stability takes over (section 6.1). Silence of
+    // the *whole* stream is the trigger: a single quiet peer pair already
+    // degrades only that pair's visibility, and per-origin triggers would
+    // freeze every origin's visibility behind the global stability cut.
+    if (now - last_stream_activity_ > fallback_timeout_) {
+      EnterTimestampMode();
+    }
+    return;
+  }
+  if (failover_pending_) {
+    // The epoch-change label travels on the freshly deployed tree, which the
+    // same fault episode may still be disturbing; re-emit until every peer
+    // has answered. Duplicates are idempotent on the receiving side.
+    if (now - last_change_emit_ >= Millis(100)) {
+      EmitFailoverChange();
+    }
+    TimestampDrain();
+    return;
+  }
+  TimestampDrain();  // also attempts the resync exit
+  if (ts_mode_ && auto_failover_ && now - last_stream_activity_ > fallback_timeout_ + failover_grace_) {
+    // The old tree stayed silent well past the fallback trigger: give up on
+    // it and fail over to the highest pre-deployed backup epoch.
+    uint32_t target = tree_neighbor_.rbegin()->first;
+    if (target > epoch_) {
+      BeginFailoverSwitch(target);
+    }
+  }
+}
+
+void SaturnDc::EnterTimestampMode() {
+  if (ts_mode_) {
+    return;
+  }
+  ts_mode_ = true;
+  outage_started_ = sim_->Now();
+  resync_fence_.assign(num_dcs_, -1);
+  if (metrics_ != nullptr) {
+    metrics_->RecordFallbackEnter(config_.id, sim_->Now());
+  }
+  TimestampDrain();
+}
+
+void SaturnDc::ExitTimestampMode() {
+  if (!ts_mode_) {
+    return;
+  }
+  ts_mode_ = false;
+  last_stream_activity_ = sim_->Now();
+  if (metrics_ != nullptr) {
+    metrics_->RecordFallbackExit(config_.id, sim_->Now());
+    metrics_->RecordFailoverLatency(sim_->Now() - outage_started_);
   }
 }
 
@@ -64,35 +127,38 @@ void SaturnDc::FlushSink() {
     return;
   }
   gears_[0]->queue().Submit(sim_->Now(), CostModel::AsTime(config_.costs.sink_flush_us));
-  if (sink_.empty()) {
-    // Idle heartbeat: keeps remote stream progress (and liveness detection)
-    // moving. Safe: every future label from this DC carries ts >= clock now.
-    int64_t ts = clock_.Now();
-    if (ts <= last_heartbeat_ts_) {
-      return;
+  if (!sink_.empty()) {
+    // Order the batch by timestamp: a causality-compliant serialization of
+    // this datacenter's labels (section 4, label sink).
+    std::sort(sink_.begin(), sink_.end(),
+              [](const LabelEnvelope& a, const LabelEnvelope& b) { return a.label < b.label; });
+    for (const auto& env : sink_) {
+      auto it = tree_neighbor_.find(env.epoch);
+      SAT_CHECK_MSG(it != tree_neighbor_.end(), "no tree for epoch %u", env.epoch);
+      links_.Send(it->second, env);
     }
-    last_heartbeat_ts_ = ts;
-    LabelEnvelope hb;
-    hb.label.type = LabelType::kHeartbeat;
-    hb.label.src = MakeSourceId(config_.id, 0);
-    hb.label.ts = ts;
-    hb.epoch = emit_epoch_;
-    hb.interest = DcSet::FirstN(num_dcs_).Minus(DcSet::Single(config_.id));
-    auto it = tree_neighbor_.find(emit_epoch_);
-    SAT_CHECK(it != tree_neighbor_.end());
-    net_->Send(node_id(), it->second, hb);
+    sink_.clear();
+  }
+  // Heartbeat label on every flush, busy or idle. Update labels carry
+  // interest sets, so under partial replication a datacenter can be starved
+  // of labels from one origin even while the stream as a whole is busy; the
+  // all-DC heartbeat gives every pair per-origin liveness, which the resync
+  // fences below rely on. Safe: every future label from this DC carries
+  // ts >= clock now (GenerateTimestamp is monotone over the clock).
+  int64_t ts = clock_.Now();
+  if (ts <= last_heartbeat_ts_) {
     return;
   }
-  // Order the batch by timestamp: a causality-compliant serialization of this
-  // datacenter's labels (section 4, label sink).
-  std::sort(sink_.begin(), sink_.end(),
-            [](const LabelEnvelope& a, const LabelEnvelope& b) { return a.label < b.label; });
-  for (const auto& env : sink_) {
-    auto it = tree_neighbor_.find(env.epoch);
-    SAT_CHECK_MSG(it != tree_neighbor_.end(), "no tree for epoch %u", env.epoch);
-    net_->Send(node_id(), it->second, env);
-  }
-  sink_.clear();
+  last_heartbeat_ts_ = ts;
+  LabelEnvelope hb;
+  hb.label.type = LabelType::kHeartbeat;
+  hb.label.src = MakeSourceId(config_.id, 0);
+  hb.label.ts = ts;
+  hb.epoch = emit_epoch_;
+  hb.interest = DcSet::FirstN(num_dcs_).Minus(DcSet::Single(config_.id));
+  auto it = tree_neighbor_.find(emit_epoch_);
+  SAT_CHECK(it != tree_neighbor_.end());
+  links_.Send(it->second, hb);
 }
 
 void SaturnDc::OnLocalUpdateCommitted(const ClientRequest& req, const Label& label) {
@@ -110,50 +176,111 @@ void SaturnDc::OnOtherMessage(NodeId from, const Message& msg) {
   (void)from;
   if (const auto* hb = std::get_if<BulkHeartbeat>(&msg)) {
     NoteBulkProgress(hb->origin, hb->gear, hb->ts);
+    // Failover gossip: a peer that is failing over (or already switched)
+    // advertises its target epoch here, which reaches us even when the same
+    // fault silenced our copy of the epoch-change label.
+    if (hb->failover_epoch > epoch_ && tree_neighbor_.count(hb->failover_epoch) != 0 &&
+        !switching_) {
+      BeginFailoverSwitch(hb->failover_epoch);
+    }
     TimestampDrain();
     return;
   }
   if (const auto* env = std::get_if<LabelEnvelope>(&msg)) {
-    last_stream_activity_ = sim_->Now();
-    if (env->epoch == epoch_ && !failover_pending_) {
-      stream_.push_back(*env);
-      PumpStream();
-    } else if (env->epoch > epoch_) {
-      // Labels of the next configuration are buffered until the switch
-      // completes (section 6.2).
-      buffered_next_epoch_.push_back(*env);
-      if (failover_pending_) {
-        TimestampDrain();
-      }
-    }
-    // Labels of past epochs are duplicates of work already covered; drop.
+    // Reliable-link ingress: dedup + reorder, then OnStreamEnvelope sees the
+    // serializer's exact send order, gap-free.
+    links_.OnEnvelope(from, *env);
+    return;
+  }
+  if (const auto* ack = std::get_if<LinkAck>(&msg)) {
+    links_.OnAck(from, *ack);
   }
 }
 
-void SaturnDc::PumpStream() {
-  while (!stream_.empty()) {
-    const LabelEnvelope env = stream_.front();
-    const Label& l = env.label;
-    if (l.type == LabelType::kUpdate) {
-      if (applied_uids_.count(l.uid) == 0) {
-        auto it = pending_payloads_.find(KeyOf(l));
-        if (it == pending_payloads_.end()) {
-          // Stall: the stream may not overtake the bulk-data transfer.
-          return;
-        }
-        RemotePayload payload = it->second;
-        pending_payloads_.erase(it);
-        pending_order_.erase(l);
-        ApplyOrdered(payload);
+void SaturnDc::OnStreamEnvelope(NodeId from, const LabelEnvelope& env) {
+  (void)from;
+  last_stream_activity_ = sim_->Now();
+  const Label& l = env.label;
+  if (l.origin_dc() < num_dcs_) {
+    last_label_seen_[l.origin_dc()] = sim_->Now();
+  }
+  if (env.epoch == epoch_ && !failover_pending_) {
+    stream_.push_back(env);
+    if (ts_mode_) {
+      // Fallback: the stream is buffered, not pumped (timestamp-order
+      // application and stream-order application never run concurrently).
+      // The first post-outage label per origin becomes its resync fence.
+      if (l.origin_dc() < num_dcs_ && resync_fence_[l.origin_dc()] < 0) {
+        resync_fence_[l.origin_dc()] = l.ts;
       }
     } else {
-      ProcessStreamLabel(env);
+      PumpStream();
     }
-    if (l.origin_dc() < num_dcs_ && l.ts > stream_progress_[l.origin_dc()]) {
-      stream_progress_[l.origin_dc()] = l.ts;
+  } else if (env.epoch > epoch_) {
+    // Labels of the next configuration are buffered until the switch
+    // completes (section 6.2).
+    buffered_next_epoch_.push_back(env);
+    if (l.type == LabelType::kEpochChange && !switching_ &&
+        tree_neighbor_.count(env.epoch) != 0) {
+      // A peer initiated failover to env->epoch: join it, and record the
+      // peer's change label for our own resume condition.
+      failover_change_seen_.Add(l.origin_dc());
+      if (l.ts > failover_fence_) {
+        failover_fence_ = l.ts;
+      }
+      BeginFailoverSwitch(env.epoch);
     }
-    stream_.pop_front();
+    if (failover_pending_) {
+      TimestampDrain();
+    }
   }
+  // Labels of past epochs are duplicates of work already covered; drop.
+}
+
+void SaturnDc::PumpStream() {
+  if (ts_mode_) {
+    return;  // the stream is buffered until the resync / failover exit
+  }
+  for (;;) {
+    bool stalled = false;
+    while (!stream_.empty()) {
+      const LabelEnvelope env = stream_.front();
+      const Label& l = env.label;
+      if (l.type == LabelType::kUpdate) {
+        if (applied_uids_.count(l.uid) == 0) {
+          auto it = pending_payloads_.find(KeyOf(l));
+          if (it == pending_payloads_.end()) {
+            // Stall: the stream may not overtake the bulk-data transfer.
+            stalled = true;
+            break;
+          }
+          RemotePayload payload = it->second;
+          pending_payloads_.erase(it);
+          pending_order_.erase(l);
+          ApplyOrdered(payload);
+        }
+      } else {
+        ProcessStreamLabel(env);
+      }
+      if (l.origin_dc() < num_dcs_ && l.ts > stream_progress_[l.origin_dc()]) {
+        stream_progress_[l.origin_dc()] = l.ts;
+      }
+      stream_.pop_front();
+    }
+    // Epoch switch completes once every datacenter's change label has been
+    // seen and the old-tree stream has fully drained; then keep pumping the
+    // buffered new-tree stream it installs. (Trailing old-tree heartbeats may
+    // arrive after the change labels, so the check lives here, not at the
+    // moment a change label is processed.)
+    if (!stalled && switching_ &&
+        epoch_change_seen_.Union(DcSet::Single(config_.id)) == DcSet::FirstN(num_dcs_) &&
+        stream_.empty()) {
+      FinishEpochSwitch();
+      continue;
+    }
+    break;
+  }
+  OrphanRepair();
   CheckAttachWaiters();
 }
 
@@ -169,13 +296,8 @@ void SaturnDc::ProcessStreamLabel(const LabelEnvelope& env) {
       break;
     case LabelType::kEpochChange:
       if (switching_) {
+        // Completion is checked in PumpStream once the old stream drains.
         epoch_change_seen_.Add(l.origin_dc());
-        if (epoch_change_seen_.Union(DcSet::Single(config_.id)) == DcSet::FirstN(num_dcs_) &&
-            stream_.size() == 1) {
-          // This is the last old-tree label: every datacenter has switched and
-          // everything before is applied (the stream is otherwise drained).
-          FinishEpochSwitch();
-        }
       }
       break;
     case LabelType::kUpdate:
@@ -216,6 +338,20 @@ int64_t SaturnDc::TimestampStable() const {
   return stable;
 }
 
+void SaturnDc::DrainPendingUpTo(int64_t bound) {
+  while (!pending_order_.empty() && pending_order_.begin()->ts <= bound) {
+    Label head = *pending_order_.begin();
+    pending_order_.erase(pending_order_.begin());
+    auto it = pending_payloads_.find(KeyOf(head));
+    SAT_CHECK(it != pending_payloads_.end());
+    RemotePayload payload = it->second;
+    pending_payloads_.erase(it);
+    if (applied_uids_.count(head.uid) == 0) {
+      ApplyOrdered(payload);
+    }
+  }
+}
+
 void SaturnDc::TimestampDrain() {
   // Timestamp-order application runs ONLY while the metadata service is out
   // (or absent: the peer-to-peer configuration). Running it alongside a
@@ -225,26 +361,66 @@ void SaturnDc::TimestampDrain() {
   // causal-delivery guarantee. The paper uses timestamp order strictly as the
   // outage fallback (section 6.1).
   if (ts_mode_) {
-    int64_t stable = TimestampStable();
-    while (!pending_order_.empty() && pending_order_.begin()->ts <= stable) {
-      Label head = *pending_order_.begin();
-      pending_order_.erase(pending_order_.begin());
-      auto it = pending_payloads_.find(KeyOf(head));
-      SAT_CHECK(it != pending_payloads_.end());
-      RemotePayload payload = it->second;
-      pending_payloads_.erase(it);
-      if (applied_uids_.count(head.uid) == 0) {
-        ApplyOrdered(payload);
-      }
-    }
+    DrainPendingUpTo(TimestampStable());
     if (failover_pending_) {
-      // The drain above has just covered everything timestamp-stable, which
-      // includes every label lost with the dead tree (all lost labels predate
-      // the coordinated switch, hence the first new-tree label).
       MaybeResumeAfterFailover();
+    } else {
+      TryResyncExit();
     }
+  } else {
+    OrphanRepair();
   }
   CheckAttachWaiters();
+}
+
+void SaturnDc::OrphanRepair() {
+  // Stream-mode repair for labels a lossy fault ate. A pending payload whose
+  // timestamp both (a) every remote origin's stream has passed and (b) is
+  // timestamp-stable on the bulk channel can never be applied by its label:
+  // per-origin FIFO through the tree means the label would already have
+  // arrived. (a) guarantees no queued-but-stalled stream label precedes it,
+  // so applying the orphans in timestamp order extends the same causal
+  // prefix the stream was building; (b) guarantees every payload that could
+  // precede it causally has already arrived on the (reliable, in-order)
+  // bulk channel. In fault-free runs the bound never reaches an in-flight
+  // label's timestamp, so this is a no-op.
+  if (ts_mode_ || !has_tree_ || num_dcs_ <= 1 || pending_order_.empty()) {
+    return;
+  }
+  int64_t bound = TimestampStable();
+  for (DcId dc = 0; dc < num_dcs_; ++dc) {
+    if (dc != config_.id) {
+      bound = std::min(bound, stream_progress_[dc]);
+    }
+  }
+  DrainPendingUpTo(bound);
+}
+
+void SaturnDc::TryResyncExit() {
+  // Transient-outage recovery: the tree is delivering again on the *same*
+  // epoch. Resume stream mode once (1) every remote origin has produced a
+  // post-outage label (its resync fence) and is recently live, and (2)
+  // everything up to every fence is timestamp-stable, hence applied by the
+  // drain — so the buffered stream suffix contains no gap the outage lost.
+  if (!ts_mode_ || failover_pending_ || !has_tree_ || num_dcs_ <= 1) {
+    return;
+  }
+  SimTime now = sim_->Now();
+  int64_t max_fence = -1;
+  for (DcId dc = 0; dc < num_dcs_; ++dc) {
+    if (dc == config_.id) {
+      continue;
+    }
+    if (resync_fence_[dc] < 0 || now - last_label_seen_[dc] > fallback_timeout_) {
+      return;
+    }
+    max_fence = std::max(max_fence, resync_fence_[dc]);
+  }
+  if (TimestampStable() < max_fence) {
+    return;
+  }
+  ExitTimestampMode();
+  PumpStream();  // labels already covered by the drain dedup via applied_uids_
 }
 
 void SaturnDc::OnRemotePayload(const RemotePayload& payload) {
@@ -278,11 +454,23 @@ bool SaturnDc::WaiterReady(const ClientRequest& req) const {
     if (l.target_dc == config_.id && completed_migrations_.count(KeyOf(l)) != 0) {
       return true;
     }
-    // A dead tree never delivers the migration label; fall through to the
-    // timestamp condition so migrating clients are not stuck forever.
     if (!ts_mode_) {
-      return false;
+      // The migration label may have been lost to a fault (it has no payload,
+      // so no retransmission covers it). Admit the client anyway once every
+      // remote stream has passed the label's timestamp AND the bulk channel
+      // is stable past it: together these bound the orphan-repair drain, so
+      // everything the label dominates is already visible here.
+      if (TimestampStable() < l.ts) {
+        return false;
+      }
+      for (DcId dc = 0; dc < num_dcs_; ++dc) {
+        if (dc != config_.id && stream_progress_[dc] < l.ts) {
+          return false;
+        }
+      }
+      return true;
     }
+    // In fallback the timestamp condition below covers migrations too.
   }
   // Update label (or migration under fallback): wait until a label with an
   // equal or greater timestamp has been processed from every remote DC. The
@@ -398,40 +586,83 @@ void SaturnDc::BeginEpochSwitch(uint32_t new_epoch) {
 void SaturnDc::FinishEpochSwitch() {
   switching_ = false;
   epoch_ = next_epoch_;
-  // The buffered new-tree labels become the live stream.
+  // The buffered new-tree labels become the live stream; PumpStream's outer
+  // loop (the only caller) picks them up immediately.
   stream_.insert(stream_.end(), buffered_next_epoch_.begin(), buffered_next_epoch_.end());
   buffered_next_epoch_.clear();
-  // PumpStream() continues from the caller's loop; the epoch-change label that
-  // triggered the switch is still at the front and is popped there.
 }
 
 void SaturnDc::BeginFailoverSwitch(uint32_t new_epoch) {
-  SAT_CHECK(tree_neighbor_.count(new_epoch) != 0);
-  ts_mode_ = true;
+  if (tree_neighbor_.count(new_epoch) == 0 || epoch_ >= new_epoch) {
+    return;  // unknown backup, or already there
+  }
+  if (failover_pending_ && next_epoch_ >= new_epoch) {
+    return;  // already failing over (detector racing an operator / gossip)
+  }
+  EnterTimestampMode();  // no-op if the fallback watchdog already fired
   failover_pending_ = true;
   next_epoch_ = new_epoch;
   emit_epoch_ = new_epoch;
   stream_.clear();  // the old tree's stream is dead
-  MaybeResumeAfterFailover();
+
+  // Our epoch-change label for the new tree: a fence dominating every label
+  // this datacenter ever emitted, so once it (and its peers' counterparts)
+  // are timestamp-stable, everything the dead tree lost has been applied by
+  // the drain and the new tree's stream is gap-free.
+  uint32_t best_gear = 0;
+  int64_t best_ts = -1;
+  for (uint32_t g = 0; g < static_cast<uint32_t>(gears_.size()); ++g) {
+    int64_t ts = gears_[g]->HeartbeatTimestamp();
+    if (ts > best_ts) {
+      best_ts = ts;
+      best_gear = g;
+    }
+  }
+  failover_change_label_ = Label{LabelType::kEpochChange, gears_[best_gear]->source(), best_ts,
+                                 0, config_.id, 0};
+  if (best_ts > failover_fence_) {
+    failover_fence_ = best_ts;
+  }
+  EmitFailoverChange();
+  TimestampDrain();
+}
+
+void SaturnDc::EmitFailoverChange() {
+  last_change_emit_ = sim_->Now();
+  EmitLabel(failover_change_label_, DcSet::FirstN(num_dcs_).Minus(DcSet::Single(config_.id)));
+  FlushSink();
 }
 
 void SaturnDc::MaybeResumeAfterFailover() {
-  if (!failover_pending_ || buffered_next_epoch_.empty()) {
+  if (!failover_pending_) {
     return;
   }
-  // Resume once the first label delivered by the new tree is stable in
-  // timestamp order: everything that could precede it causally has already
-  // been applied by the timestamp drain (which runs just before this check).
-  if (buffered_next_epoch_.front().label.ts > TimestampStable()) {
-    return;
+  if (num_dcs_ > 1) {
+    // Resume once every datacenter's epoch-change label has been delivered by
+    // the new tree and everything up to the greatest of them is stable in
+    // timestamp order: all updates the dead tree lost predate some fence, so
+    // the drain has applied them, and the buffered new-tree stream carries no
+    // label we cannot dedup or apply in order.
+    if (failover_change_seen_.Union(DcSet::Single(config_.id)) != DcSet::FirstN(num_dcs_)) {
+      return;
+    }
+    if (TimestampStable() < failover_fence_) {
+      return;
+    }
   }
   failover_pending_ = false;
   epoch_ = next_epoch_;
-  ts_mode_ = false;
-  last_stream_activity_ = sim_->Now();
+  failover_change_seen_ = DcSet();
+  failover_fence_ = -1;
+  ExitTimestampMode();
   stream_ = std::move(buffered_next_epoch_);
   buffered_next_epoch_.clear();
   PumpStream();
+}
+
+void SaturnDc::DecorateHeartbeat(BulkHeartbeat* hb) {
+  hb->epoch = epoch_;
+  hb->failover_epoch = failover_pending_ ? next_epoch_ : epoch_;
 }
 
 }  // namespace saturn

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/core/datacenter.h"
+#include "src/saturn/reliable_link.h"
 
 namespace saturn {
 
@@ -53,14 +54,23 @@ class SaturnDc : public DatacenterBase {
   void BeginEpochSwitch(uint32_t new_epoch);
 
   // Failure path: the current tree is unusable. Runs on timestamp-order
-  // stability until the first label delivered by the new tree is stable, then
-  // resumes stream mode on the new tree.
+  // stability until epoch-change labels from every datacenter have been
+  // delivered by the new tree and everything up to them is stable, then
+  // resumes stream mode on the new tree. Invoked by the failure detector
+  // (auto failover) or explicitly by an operator / test. Idempotent: calls
+  // for an epoch we already reached (or are already failing over to) are
+  // no-ops, so the detector racing an operator is harmless.
   void BeginFailoverSwitch(uint32_t new_epoch);
 
   bool in_timestamp_mode() const { return ts_mode_; }
   uint32_t current_epoch() const { return epoch_; }
   SimTime fallback_timeout() const { return fallback_timeout_; }
   void set_fallback_timeout(SimTime t) { fallback_timeout_ = t; }
+  // Extra silence beyond fallback_timeout_ before the failure detector gives
+  // up on the current tree and fails over to a deployed backup epoch.
+  SimTime failover_grace() const { return failover_grace_; }
+  void set_failover_grace(SimTime t) { failover_grace_ = t; }
+  void set_auto_failover(bool enabled) { auto_failover_ = enabled; }
 
  protected:
   void HandleAttach(NodeId from, const ClientRequest& req) override;
@@ -69,6 +79,7 @@ class SaturnDc : public DatacenterBase {
   void OnRemotePayload(const RemotePayload& payload) override;
   void OnOtherMessage(NodeId from, const Message& msg) override;
   void OnLocalUpdateCommitted(const ClientRequest& req, const Label& label) override;
+  void DecorateHeartbeat(BulkHeartbeat* hb) override;
 
   SimTime ExtraUpdateCost(const ClientRequest&) const override {
     return CostModel::AsTime(config_.costs.scalar_meta_us);
@@ -99,17 +110,31 @@ class SaturnDc : public DatacenterBase {
   void FlushSink();
 
   // --- Remote proxy -------------------------------------------------------
+  void OnStreamEnvelope(NodeId from, const LabelEnvelope& env);
   void PumpStream();
   void ProcessStreamLabel(const LabelEnvelope& env);
   void TimestampDrain();
   int64_t TimestampStable() const;
+  void DrainPendingUpTo(int64_t bound);
+  void OrphanRepair();
   void ApplyOrdered(const RemotePayload& payload);
   void CheckAttachWaiters();
   bool WaiterReady(const ClientRequest& req) const;
   void CompleteWaiter(NodeId from, const ClientRequest& req);
   void NoteBulkProgress(DcId origin, uint32_t gear, int64_t ts);
+
+  // --- Failure detection and recovery -------------------------------------
+  void Watchdog();
+  void EnterTimestampMode();
+  void ExitTimestampMode();
+  void TryResyncExit();
+  void EmitFailoverChange();
   void MaybeResumeAfterFailover();
   void FinishEpochSwitch();
+
+  // Reliable (TCP-like) metadata links to and from the serializer tree; see
+  // reliable_link.h for why label traffic must never be silently lost.
+  ReliableLinks links_;
 
   // Tree attachment per epoch.
   std::map<uint32_t, NodeId> tree_neighbor_;
@@ -127,6 +152,7 @@ class SaturnDc : public DatacenterBase {
   std::vector<int64_t> stream_progress_;  // per origin DC: max processed label ts
   SimTime last_visible_ = 0;              // shared monotone visibility floor
   SimTime last_stream_activity_ = 0;
+  std::vector<SimTime> last_label_seen_;  // per origin DC: last stream label time
 
   // Payload buffer shared by both drains.
   std::map<LabelKey, RemotePayload> pending_payloads_;
@@ -137,12 +163,27 @@ class SaturnDc : public DatacenterBase {
   bool ts_mode_ = false;
   std::vector<std::vector<int64_t>> bulk_gear_ts_;  // [dc][gear]
   SimTime fallback_timeout_ = Millis(300);
+  SimTime outage_started_ = 0;
+  // Resync-to-stream fence: per remote origin, the timestamp of the first
+  // current-epoch label that arrived after entering fallback (-1 = none yet).
+  // Anything the outage lost from that origin precedes its fence, so once
+  // everything up to every fence is timestamp-stable (hence applied), the
+  // buffered stream suffix is gap-free and stream mode can resume.
+  std::vector<int64_t> resync_fence_;
 
   // Reconfiguration state.
   bool switching_ = false;
   bool failover_pending_ = false;
   uint32_t next_epoch_ = 0;
   DcSet epoch_change_seen_;
+
+  // Failure detector / automatic failover state.
+  bool auto_failover_ = true;
+  SimTime failover_grace_ = Millis(500);
+  SimTime last_change_emit_ = 0;
+  Label failover_change_label_ = kBottomLabel;
+  DcSet failover_change_seen_;   // remote DCs whose change label arrived
+  int64_t failover_fence_ = -1;  // max change-label ts seen (incl. our own)
 
   // Attach/migration bookkeeping.
   std::vector<AttachWaiter> waiters_;

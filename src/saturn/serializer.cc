@@ -27,7 +27,12 @@ void ChainReplica::HandleMessage(NodeId from, const Message& msg) {
 }
 
 Serializer::Serializer(Simulator* sim, Network* net, SiteId site, uint32_t replicas)
-    : sim_(sim), net_(net), site_(site) {
+    : sim_(sim),
+      net_(net),
+      site_(site),
+      channels_(sim, net, this, [this](NodeId from, const LabelEnvelope& env) {
+        EnqueueThroughChain(env, from);
+      }) {
   SAT_CHECK(replicas >= 1);
   // The first "replica" is the serializer process itself; extra replicas form
   // the chain. With replicas == 1 envelopes commit synchronously.
@@ -39,7 +44,10 @@ Serializer::Serializer(Simulator* sim, Network* net, SiteId site, uint32_t repli
   RewireChain();
 }
 
-void Serializer::AddLink(const Link& link) { links_.push_back(link); }
+void Serializer::AddLink(const Link& link) {
+  links_.push_back(link);
+  channels_.SetPeerDelay(link.peer, link.delay);
+}
 
 void Serializer::RewireChain() {
   ChainReplica* prev = nullptr;
@@ -80,10 +88,14 @@ uint32_t Serializer::live_replicas() const {
 
 void Serializer::HandleMessage(NodeId from, const Message& msg) {
   if (killed_) {
-    return;
+    return;  // dead silent: no acks, so peers keep retransmitting into the void
   }
   if (const auto* env = std::get_if<LabelEnvelope>(&msg)) {
-    EnqueueThroughChain(*env, from);
+    channels_.OnEnvelope(from, *env);
+    return;
+  }
+  if (const auto* ack = std::get_if<LinkAck>(&msg)) {
+    channels_.OnAck(from, *ack);
   }
 }
 
@@ -137,16 +149,10 @@ void Serializer::Route(const LabelEnvelope& env, NodeId ingress) {
     if (!env.interest.Intersects(link.reach)) {
       continue;  // genuine partial replication: uninterested branch
     }
-    if (link.delay > 0) {
-      // Artificial delay (section 5.4). Constant per directed edge, so FIFO
-      // order on the link is preserved.
-      NodeId self = node_id();
-      NodeId peer = link.peer;
-      Network* net = net_;
-      sim_->After(link.delay, [net, self, peer, env]() { net->Send(self, peer, env); });
-    } else {
-      net_->Send(node_id(), link.peer, env);
-    }
+    // Reliable forwarding: the channel handles the edge's artificial delay
+    // (section 5.4) and retransmits until the peer acknowledges, so a lossy
+    // fault on this link delays the subtree's stream instead of holing it.
+    channels_.Send(link.peer, env);
   }
 }
 

@@ -24,6 +24,7 @@
 #include "src/common/dc_set.h"
 #include "src/common/types.h"
 #include "src/core/messages.h"
+#include "src/saturn/reliable_link.h"
 #include "src/sim/actor.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/network.h"
@@ -96,6 +97,7 @@ class Serializer : public Actor {
   SiteId site_;
   std::vector<std::unique_ptr<ChainReplica>> replicas_;
   std::vector<Link> links_;
+  ReliableLinks channels_;  // TCP-like tree links (see reliable_link.h)
   bool killed_ = false;
 
   uint64_t next_seq_ = 1;

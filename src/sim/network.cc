@@ -8,18 +8,32 @@ NodeId Network::Attach(Actor* actor, SiteId site) {
   SAT_CHECK(actor != nullptr);
   SAT_CHECK(site < latency_.sites());
   NodeId id = static_cast<NodeId>(nodes_.size());
-  nodes_.push_back(NodeInfo{actor, site});
+  nodes_.push_back(NodeInfo{actor, site, /*down=*/false});
   actor->set_node_id(id);
   return id;
 }
 
 void Network::Send(NodeId from, NodeId to, Message msg) {
   SAT_CHECK(from < nodes_.size() && to < nodes_.size());
+  if (nodes_[from].down) {
+    // A crashed node produces nothing: the send never leaves the machine.
+    ++dropped_node_down_;
+    return;
+  }
   SiteId sa = nodes_[from].site;
   SiteId sb = nodes_[to].site;
 
-  if (down_buffers_.count(SitePair(sa, sb)) != 0) {
-    down_buffers_[SitePair(sa, sb)].push_back({{from, to}, std::move(msg)});
+  if (auto it = links_.find(SitePair(sa, sb)); it != links_.end() && it->second.down) {
+    LinkState& link = it->second;
+    if (link.drop) {
+      ++dropped_on_cut_;
+      return;
+    }
+    if (config_.down_buffer_cap > 0 && link.buffer.size() >= config_.down_buffer_cap) {
+      link.buffer.pop_front();  // drop-oldest
+      ++dropped_overflow_;
+    }
+    link.buffer.push_back({{from, to}, std::move(msg)});
     return;
   }
 
@@ -48,8 +62,22 @@ void Network::Deliver(NodeId from, NodeId to, Message msg, SimTime when) {
   ++messages_sent_;
   bytes_sent_ += MessageWireSize(msg);
 
-  Actor* target = nodes_[to].actor;
-  sim_->At(when, [target, from, m = std::move(msg)]() { target->HandleMessage(from, m); });
+  // Fault state is re-checked at delivery time: a lossy cut or a crash landing
+  // while the message is in flight loses it (packets on the wire do not
+  // survive either). Buffered cuts leave in-flight traffic alone — they model
+  // TCP, which retransmits once the route heals.
+  sim_->At(when, [this, from, to, m = std::move(msg)]() {
+    if (nodes_[to].down) {
+      ++dropped_node_down_;
+      return;
+    }
+    auto it = links_.find(SitePair(nodes_[from].site, nodes_[to].site));
+    if (it != links_.end() && it->second.down && it->second.drop) {
+      ++dropped_on_cut_;
+      return;
+    }
+    nodes_[to].actor->HandleMessage(from, m);
+  });
 }
 
 void Network::InjectExtraLatency(SiteId a, SiteId b, SimTime extra) {
@@ -61,20 +89,49 @@ void Network::InjectExtraLatency(SiteId a, SiteId b, SimTime extra) {
 }
 
 void Network::SetLinkDown(SiteId a, SiteId b, bool down) {
-  uint64_t key = SitePair(a, b);
   if (down) {
-    down_buffers_[key];  // creates the buffer, marking the link down
+    CutLink(a, b, /*drop_messages=*/false);
+  } else {
+    HealLink(a, b);
+  }
+}
+
+void Network::CutLink(SiteId a, SiteId b, bool drop_messages) {
+  LinkState& link = links_[SitePair(a, b)];
+  link.down = true;
+  link.drop = drop_messages;
+  if (drop_messages) {
+    // Escalating a buffered cut to a lossy one loses what was buffered.
+    dropped_on_cut_ += link.buffer.size();
+    link.buffer.clear();
+  }
+}
+
+void Network::HealLink(SiteId a, SiteId b) {
+  auto it = links_.find(SitePair(a, b));
+  if (it == links_.end() || !it->second.down) {
     return;
   }
-  auto it = down_buffers_.find(key);
-  if (it == down_buffers_.end()) {
-    return;
-  }
-  auto buffered = std::move(it->second);
-  down_buffers_.erase(it);
+  auto buffered = std::move(it->second.buffer);
+  links_.erase(it);
   for (auto& [endpoints, msg] : buffered) {
     Send(endpoints.first, endpoints.second, std::move(msg));
   }
+}
+
+bool Network::LinkDown(SiteId a, SiteId b) const {
+  auto it = links_.find(SitePair(a, b));
+  return it != links_.end() && it->second.down;
+}
+
+void Network::SetNodeDown(NodeId node, bool down) {
+  SAT_CHECK(node < nodes_.size());
+  nodes_[node].down = down;
+}
+
+bool Network::NodeDown(NodeId node) const {
+  SAT_CHECK(node < nodes_.size());
+  return nodes_[node].down;
 }
 
 }  // namespace saturn

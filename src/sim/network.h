@@ -12,6 +12,7 @@
 #define SRC_SIM_NETWORK_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <vector>
@@ -68,6 +69,10 @@ struct NetworkConfig {
   // Uniform jitter as a fraction of the base latency (0 = deterministic).
   double jitter_fraction = 0.0;
   uint64_t jitter_seed = 0x5a7b;
+  // Max messages buffered per cut link (buffer semantics). When a partition
+  // outlasts the buffer, the oldest messages are dropped — a long outage
+  // cannot hold unbounded memory, and protocols must survive the loss.
+  size_t down_buffer_cap = 65536;
 };
 
 class Network {
@@ -92,6 +97,23 @@ class Network {
   // buffered and flushed in order when the link is restored (TCP semantics).
   void SetLinkDown(SiteId a, SiteId b, bool down);
 
+  // Cuts the channel between two sites. With `drop_messages` the cut is lossy:
+  // messages sent while down are discarded, and so are messages already in
+  // flight when the cut lands (checked at delivery time). Without it the cut
+  // buffers like SetLinkDown (up to `down_buffer_cap`, oldest dropped first).
+  void CutLink(SiteId a, SiteId b, bool drop_messages);
+
+  // Restores a cut link; buffered messages (buffer semantics) flush in order.
+  void HealLink(SiteId a, SiteId b);
+
+  bool LinkDown(SiteId a, SiteId b) const;
+
+  // Crashes / recovers a node. A crashed node silently drops every incoming
+  // message — including those already in flight — and nothing it sends leaves
+  // the machine. Recovery replays nothing: protocols must resynchronize.
+  void SetNodeDown(NodeId node, bool down);
+  bool NodeDown(NodeId node) const;
+
   SiteId SiteOf(NodeId node) const {
     SAT_CHECK(node < nodes_.size());
     return nodes_[node].site;
@@ -110,12 +132,27 @@ class Network {
 
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
+  // Messages lost to faults: lossy cuts (including in-flight loss), buffer
+  // overflow on buffered cuts, and crashed nodes.
+  uint64_t messages_dropped() const {
+    return dropped_on_cut_ + dropped_overflow_ + dropped_node_down_;
+  }
+  uint64_t dropped_on_cut() const { return dropped_on_cut_; }
+  uint64_t dropped_overflow() const { return dropped_overflow_; }
+  uint64_t dropped_node_down() const { return dropped_node_down_; }
   Simulator* simulator() { return sim_; }
 
  private:
   struct NodeInfo {
     Actor* actor = nullptr;
     SiteId site = 0;
+    bool down = false;
+  };
+
+  struct LinkState {
+    bool down = false;
+    bool drop = false;  // lossy cut: discard instead of buffering
+    std::deque<std::pair<std::pair<NodeId, NodeId>, Message>> buffer;
   };
 
   struct Channel {
@@ -138,9 +175,12 @@ class Network {
   std::vector<NodeInfo> nodes_;
   std::map<uint64_t, Channel> channels_;  // key: (from << 32) | to
   std::map<uint64_t, SimTime> injected_;  // key: site pair
-  std::map<uint64_t, std::vector<std::pair<std::pair<NodeId, NodeId>, Message>>> down_buffers_;
+  std::map<uint64_t, LinkState> links_;   // key: site pair; only cut links present
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
+  uint64_t dropped_on_cut_ = 0;
+  uint64_t dropped_overflow_ = 0;
+  uint64_t dropped_node_down_ = 0;
 };
 
 }  // namespace saturn

@@ -54,6 +54,10 @@ void Client::Send(DcId dc, ClientRequest req) {
 }
 
 void Client::NextOp() {
+  if (stopped_) {
+    phase_ = Phase::kIdle;
+    return;
+  }
   current_op_ = generator_->Next(config_.home, rng_);
   DcSet replicas = replicas_->ReplicasOf(current_op_.key);
   if (replicas.Contains(config_.home)) {

@@ -56,6 +56,11 @@ class Client : public Actor {
   // Begins the closed loop.
   void Start();
 
+  // Ends the closed loop: the in-flight operation (if any) completes, then
+  // the client goes idle. Fault experiments stop clients before the end of
+  // the run so recovery can quiesce.
+  void Stop() { stopped_ = true; }
+
   void HandleMessage(NodeId from, const Message& msg) override;
 
   uint64_t ops_completed() const { return ops_completed_; }
@@ -103,6 +108,7 @@ class Client : public Actor {
   size_t max_context_ = 0;
 
   Phase phase_ = Phase::kIdle;
+  bool stopped_ = false;
   PlannedOp current_op_;
   DcId target_dc_ = kInvalidDc;
   uint64_t next_request_ = 0;

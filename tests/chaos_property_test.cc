@@ -1,0 +1,139 @@
+// Chaos property suite: seeded random fault schedules against every causal
+// protocol. Each case generates a FaultPlan from a seed, runs a full cluster
+// through it, stops the clients, lets recovery quiesce, and asserts the two
+// invariants a fault may never break:
+//
+//   1. Safety: the causality oracle stays clean.
+//   2. Liveness: every update that committed anywhere reaches all its
+//      replicas once the faults heal (no silent loss).
+//
+// Saturn additionally must end in stream mode on a single agreed epoch —
+// chaos schedules kill the serializer tree outright 30% of the time, so the
+// automatic failure detector has to find the pre-deployed backup tree without
+// any help from the test.
+//
+// Failures print the protocol, the seed and the full fault plan; the run
+// reproduces from that line alone.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/fault/chaos.h"
+#include "tests/test_util.h"
+
+namespace saturn {
+namespace {
+
+struct ChaosCase {
+  Protocol protocol = Protocol::kSaturn;
+  uint64_t seed = 1;
+  bool partial_replication = false;
+  // Saturn: percent chance the plan kills the primary tree (needs a backup).
+  uint32_t tree_kill_percent = 30;
+};
+
+void RunChaosCase(const ChaosCase& c) {
+  ClusterConfig config = SmallClusterConfig(c.protocol);
+  ReplicaMap replicas =
+      c.partial_replication
+          ? SmallReplicas(config, CorrelationPattern::kUniform, 2)
+          : SmallReplicas(config, CorrelationPattern::kFull);
+  Cluster cluster(config, std::move(replicas), UniformClientHomes(3, 3),
+                  SyntheticGenerators(DefaultWorkload()));
+
+  ChaosOptions options;
+  options.seed = c.seed;
+  options.start = Millis(1500);
+  options.end = Millis(3300);
+  // The whole palette is fair game even under partial replication: metadata
+  // and bulk links are reliable (reliable_link.h), so a lossy cut or crash can
+  // delay but never strand a migrating client's migration label.
+  options.allow_lossy = true;
+  options.allow_crash = true;
+  if (c.protocol == Protocol::kSaturn) {
+    options.tree_kill_percent = c.tree_kill_percent;
+    options.tree_epoch = 0;
+    // Backup tree the failure detector can fail over to on its own.
+    cluster.metadata_service()->DeployTree(1, StarTopology(config.dc_sites, kFrankfurt));
+    for (DcId dc = 0; dc < 3; ++dc) {
+      cluster.saturn_dc(dc)->set_fallback_timeout(Millis(150));
+    }
+  }
+  FaultPlan plan = GenerateChaosPlan(options, config.dc_sites);
+  cluster.InstallFaultPlan(plan);
+  cluster.StopClientsAt(Millis(4000));
+  cluster.Run(Seconds(1), Seconds(2), /*drain=*/Seconds(2));
+
+  std::string context = std::string("protocol=") + ProtocolName(c.protocol) +
+                        " seed=" + std::to_string(c.seed) + " plan=[" + plan.ToString() + "]";
+  ASSERT_NE(cluster.oracle(), nullptr);
+  EXPECT_TRUE(cluster.oracle()->Clean())
+      << context << "\nfirst violation: " << cluster.oracle()->violations().front();
+  auto missing = cluster.oracle()->MissingReplicas();
+  EXPECT_TRUE(missing.empty()) << context << "\n" << missing.size()
+                               << " updates missing replicas, first: " << missing.front();
+  if (c.protocol == Protocol::kSaturn) {
+    uint32_t epoch0 = cluster.saturn_dc(0)->current_epoch();
+    for (DcId dc = 0; dc < 3; ++dc) {
+      EXPECT_FALSE(cluster.saturn_dc(dc)->in_timestamp_mode())
+          << context << "\ndc " << dc << " stuck in timestamp mode";
+      EXPECT_EQ(cluster.saturn_dc(dc)->current_epoch(), epoch0)
+          << context << "\ndc " << dc << " disagrees on the epoch";
+    }
+  }
+}
+
+TEST(ChaosProperty, SaturnSurvivesRandomFaultSchedules) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    ChaosCase c;
+    c.protocol = Protocol::kSaturn;
+    c.seed = seed;
+    RunChaosCase(c);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(ChaosProperty, GentleRainSurvivesRandomFaultSchedules) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    ChaosCase c;
+    c.protocol = Protocol::kGentleRain;
+    c.seed = seed;
+    RunChaosCase(c);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(ChaosProperty, CureSurvivesRandomFaultSchedules) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    ChaosCase c;
+    c.protocol = Protocol::kCure;
+    c.seed = seed;
+    RunChaosCase(c);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(ChaosProperty, SaturnPartialReplicationSurvivesChaos) {
+  // Genuine partial replication adds client migrations (and their labels) to
+  // everything the full-replication suites already stress.
+  for (uint64_t seed = 101; seed <= 110; ++seed) {
+    ChaosCase c;
+    c.protocol = Protocol::kSaturn;
+    c.seed = seed;
+    c.partial_replication = true;
+    c.tree_kill_percent = 0;  // keep the tree; link faults are the story here
+    RunChaosCase(c);
+    if (::testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace saturn

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/fault/chaos.h"
+#include "src/fault/fault_plan.h"
+
+namespace saturn {
+namespace {
+
+TEST(FaultPlan, ParsesEveryEventKind) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(ParseFaultPlan(
+      "1500:cut:3-5:drop;1600:cut:0-1;2100:heal:3-5;1800:lat:0-2:40;2000:unlat:0-2;"
+      "1900:crash:1;2400:recover:1;2200:killtree:0;2300:killchain:1:2",
+      &plan, &error))
+      << error;
+  ASSERT_EQ(plan.events.size(), 9u);
+
+  // Normalize orders by time, stably.
+  plan.Normalize();
+  EXPECT_EQ(plan.events.front().at, Millis(1500));
+  EXPECT_EQ(plan.events.front().kind, FaultKind::kLinkCut);
+  EXPECT_TRUE(plan.events.front().drop);
+  EXPECT_EQ(plan.events.front().site_a, 3u);
+  EXPECT_EQ(plan.events.front().site_b, 5u);
+  EXPECT_FALSE(plan.events[1].drop);  // plain cut buffers
+  EXPECT_EQ(plan.LastEventTime(), Millis(2400));
+
+  const FaultEvent& lat = plan.events[2];
+  EXPECT_EQ(lat.kind, FaultKind::kLatencySpike);
+  EXPECT_EQ(lat.extra_latency, Millis(40));
+  const FaultEvent& chain = plan.events[7];
+  EXPECT_EQ(chain.kind, FaultKind::kKillChainReplica);
+  EXPECT_EQ(chain.epoch, 1u);
+  EXPECT_EQ(chain.replica, 2u);
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  FaultPlan plan;
+  std::string error;
+  EXPECT_FALSE(ParseFaultPlan("1500:cut", &plan, &error));  // missing pair
+  EXPECT_FALSE(ParseFaultPlan("abc:cut:0-1", &plan, &error));  // bad time
+  EXPECT_FALSE(ParseFaultPlan("1500:frobnicate:0-1", &plan, &error));  // bad verb
+  EXPECT_FALSE(ParseFaultPlan("1500:cut:0", &plan, &error));  // bad pair
+  EXPECT_FALSE(ParseFaultPlan("1500:lat:0-1", &plan, &error));  // missing ms
+  EXPECT_FALSE(ParseFaultPlan("1500:crash:x", &plan, &error));  // bad dc
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FaultPlan, ToStringRoundTripsThroughTheLog) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(ParseFaultPlan("100:cut:0-1:drop;200:heal:0-1", &plan, &error));
+  std::string s = plan.ToString();
+  EXPECT_NE(s.find("cut 0-1"), std::string::npos);
+  EXPECT_NE(s.find("lossy"), std::string::npos);
+  EXPECT_NE(s.find("heal 0-1"), std::string::npos);
+
+  FaultPlan empty;
+  EXPECT_EQ(empty.ToString(), "(no faults)");
+}
+
+TEST(ChaosPlan, SameSeedSamePlan) {
+  std::vector<SiteId> sites = {0, 3, 5};
+  ChaosOptions options;
+  options.seed = 0xfeed;
+  FaultPlan a = GenerateChaosPlan(options, sites);
+  FaultPlan b = GenerateChaosPlan(options, sites);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_FALSE(a.Empty());
+
+  options.seed = 0xfeed + 1;
+  FaultPlan c = GenerateChaosPlan(options, sites);
+  EXPECT_NE(a.ToString(), c.ToString());  // astronomically unlikely to collide
+}
+
+TEST(ChaosPlan, EveryTransientFaultHealsInsideTheWindow) {
+  std::vector<SiteId> sites = {0, 1, 2, 3};
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    ChaosOptions options;
+    options.seed = seed;
+    options.max_faults = 6;
+    FaultPlan plan = GenerateChaosPlan(options, sites);
+    int opened = 0;
+    int closed = 0;
+    for (const FaultEvent& e : plan.events) {
+      ASSERT_GE(e.at, options.start) << plan.ToString();
+      ASSERT_LE(e.at, options.end) << plan.ToString();
+      switch (e.kind) {
+        case FaultKind::kLinkCut:
+        case FaultKind::kLatencySpike:
+        case FaultKind::kDcCrash:
+          ++opened;
+          break;
+        case FaultKind::kLinkHeal:
+        case FaultKind::kLatencyClear:
+        case FaultKind::kDcRecover:
+          ++closed;
+          break;
+        case FaultKind::kKillTree:
+        case FaultKind::kKillChainReplica:
+          break;  // permanent by design
+      }
+    }
+    EXPECT_EQ(opened, closed) << "seed " << seed << ": " << plan.ToString();
+    EXPECT_GT(opened, 0) << "seed " << seed;
+  }
+}
+
+TEST(ChaosPlan, TreeKillRespectsProbabilityKnob) {
+  std::vector<SiteId> sites = {0, 1, 2};
+  auto has_tree_kill = [&sites](uint64_t seed, uint32_t percent) {
+    ChaosOptions options;
+    options.seed = seed;
+    options.tree_kill_percent = percent;
+    FaultPlan plan = GenerateChaosPlan(options, sites);
+    for (const FaultEvent& e : plan.events) {
+      if (e.kind == FaultKind::kKillTree) {
+        return true;
+      }
+    }
+    return false;
+  };
+  int kills_at_0 = 0;
+  int kills_at_100 = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    kills_at_0 += has_tree_kill(seed, 0) ? 1 : 0;
+    kills_at_100 += has_tree_kill(seed, 100) ? 1 : 0;
+  }
+  EXPECT_EQ(kills_at_0, 0);
+  EXPECT_EQ(kills_at_100, 20);
+}
+
+}  // namespace
+}  // namespace saturn

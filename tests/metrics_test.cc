@@ -57,6 +57,34 @@ TEST(Metrics, EmptyWindowYieldsZeroThroughput) {
   EXPECT_DOUBLE_EQ(metrics.ThroughputOpsPerSec(), 0.0);
 }
 
+TEST(Metrics, FallbackAccountingTracksDegradedIntervals) {
+  Metrics metrics(2);
+  // Enter/exit pairs accumulate per-DC degraded time; re-entering while
+  // already degraded is idempotent (watchdog and failover both call enter).
+  metrics.RecordFallbackEnter(0, Millis(100));
+  metrics.RecordFallbackEnter(0, Millis(150));  // ignored
+  metrics.RecordFallbackExit(0, Millis(400));
+  metrics.RecordFallbackExit(0, Millis(450));  // ignored
+  EXPECT_EQ(metrics.FallbackEntries(0), 1u);
+  EXPECT_EQ(metrics.FallbackExits(0), 1u);
+  EXPECT_EQ(metrics.TimestampModeTime(0, Millis(999)), Millis(300));
+
+  // An open interval counts up to `now`; the other DC is untouched.
+  metrics.RecordFallbackEnter(0, Millis(600));
+  EXPECT_EQ(metrics.TimestampModeTime(0, Millis(700)), Millis(400));
+  EXPECT_EQ(metrics.FallbackEntries(1), 0u);
+  EXPECT_EQ(metrics.TimestampModeTime(1, Millis(700)), 0);
+}
+
+TEST(Metrics, FailoverLatencyHistogramRecords) {
+  Metrics metrics(2);
+  EXPECT_EQ(metrics.FailoverLatency().count(), 0u);
+  metrics.RecordFailoverLatency(Millis(800));
+  metrics.RecordFailoverLatency(Millis(1200));
+  EXPECT_EQ(metrics.FailoverLatency().count(), 2u);
+  EXPECT_NEAR(metrics.FailoverLatency().MeanMs(), 1000.0, 1.0);
+}
+
 TEST(CostModel, CostsScaleWithInputs) {
   CostModel costs;
   EXPECT_GT(costs.UpdateCost(0), costs.ReadCost(0));

@@ -130,8 +130,8 @@ TEST_F(NetworkTest, LargeMessagesPayTransmissionTime) {
   payload.value_size = 1000;
   net.Send(a.node_id(), b.node_id(), payload);
   sim.RunAll();
-  // 10ms latency + (96 + 1000) bytes at 1 B/us.
-  EXPECT_EQ(sim.Now(), Millis(10) + 1096);
+  // 10ms latency + (104 + 1000) bytes at 1 B/us.
+  EXPECT_EQ(sim.Now(), Millis(10) + 1104);
 }
 
 TEST_F(NetworkTest, DownLinkBuffersAndFlushesInOrder) {
@@ -154,6 +154,145 @@ TEST_F(NetworkTest, DownLinkBuffersAndFlushesInOrder) {
   EXPECT_EQ(b.received[0].second, 1);
   EXPECT_EQ(b.received[1].second, 2);
   EXPECT_GE(b.received[0].first, Millis(100));
+}
+
+TEST_F(NetworkTest, LossyCutDropsInsteadOfBuffering) {
+  Simulator sim;
+  Network net(&sim, matrix_);
+  Sink a(&sim);
+  Sink b(&sim);
+  net.Attach(&a, 0);
+  net.Attach(&b, 1);
+
+  net.CutLink(0, 1, /*drop_messages=*/true);
+  EXPECT_TRUE(net.LinkDown(0, 1));
+  net.Send(a.node_id(), b.node_id(), Hb(1));
+  net.Send(a.node_id(), b.node_id(), Hb(2));
+  net.HealLink(0, 1);
+  net.Send(a.node_id(), b.node_id(), Hb(3));
+  sim.RunAll();
+
+  // Nothing buffered: only the post-heal message arrives.
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].second, 3);
+  EXPECT_EQ(net.dropped_on_cut(), 2u);
+  EXPECT_EQ(net.messages_dropped(), 2u);
+}
+
+TEST_F(NetworkTest, LossyCutEatsMessagesAlreadyInFlight) {
+  Simulator sim;
+  Network net(&sim, matrix_);
+  Sink a(&sim);
+  Sink b(&sim);
+  net.Attach(&a, 0);
+  net.Attach(&b, 1);
+
+  // Sent on a healthy link (10ms one way), but the cut lands at 5ms — before
+  // delivery — so the in-flight message is lost too.
+  net.Send(a.node_id(), b.node_id(), Hb(1));
+  sim.At(Millis(5), [&net]() { net.CutLink(0, 1, /*drop_messages=*/true); });
+  sim.RunAll();
+
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.dropped_on_cut(), 1u);
+}
+
+TEST_F(NetworkTest, BufferedCutLeavesInFlightAlone) {
+  Simulator sim;
+  Network net(&sim, matrix_);
+  Sink a(&sim);
+  Sink b(&sim);
+  net.Attach(&a, 0);
+  net.Attach(&b, 1);
+
+  net.Send(a.node_id(), b.node_id(), Hb(1));
+  sim.At(Millis(5), [&net]() { net.CutLink(0, 1, /*drop_messages=*/false); });
+  sim.RunUntil(Millis(100));
+  // TCP semantics: the cut only stops *new* traffic; the in-flight segment
+  // still lands.
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(net.messages_dropped(), 0u);
+}
+
+TEST_F(NetworkTest, DownBufferCapDropsOldestFirst) {
+  Simulator sim;
+  NetworkConfig config;
+  config.down_buffer_cap = 2;
+  Network net(&sim, matrix_, config);
+  Sink a(&sim);
+  Sink b(&sim);
+  net.Attach(&a, 0);
+  net.Attach(&b, 1);
+
+  net.CutLink(0, 1, /*drop_messages=*/false);
+  for (int64_t ts = 1; ts <= 4; ++ts) {
+    net.Send(a.node_id(), b.node_id(), Hb(ts));
+  }
+  EXPECT_EQ(net.dropped_overflow(), 2u);
+  net.HealLink(0, 1);
+  sim.RunAll();
+
+  // The two newest survived, in order.
+  ASSERT_EQ(b.received.size(), 2u);
+  EXPECT_EQ(b.received[0].second, 3);
+  EXPECT_EQ(b.received[1].second, 4);
+}
+
+TEST_F(NetworkTest, CrashedNodeDropsTrafficBothWays) {
+  Simulator sim;
+  Network net(&sim, matrix_);
+  Sink a(&sim);
+  Sink b(&sim);
+  net.Attach(&a, 0);
+  net.Attach(&b, 1);
+
+  net.SetNodeDown(b.node_id(), true);
+  EXPECT_TRUE(net.NodeDown(b.node_id()));
+  net.Send(a.node_id(), b.node_id(), Hb(1));  // into the crash: dropped
+  net.Send(b.node_id(), a.node_id(), Hb(2));  // out of the crash: dropped
+  sim.RunAll();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_EQ(net.dropped_node_down(), 2u);
+
+  // Recovery replays nothing, but new traffic flows again.
+  net.SetNodeDown(b.node_id(), false);
+  net.Send(a.node_id(), b.node_id(), Hb(3));
+  sim.RunAll();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].second, 3);
+}
+
+TEST_F(NetworkTest, CrashEatsMessagesInFlightToTheNode) {
+  Simulator sim;
+  Network net(&sim, matrix_);
+  Sink a(&sim);
+  Sink b(&sim);
+  net.Attach(&a, 0);
+  net.Attach(&b, 1);
+
+  net.Send(a.node_id(), b.node_id(), Hb(1));
+  sim.At(Millis(5), [&net, &b]() { net.SetNodeDown(b.node_id(), true); });
+  sim.RunAll();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.dropped_node_down(), 1u);
+}
+
+TEST_F(NetworkTest, EscalatingBufferedCutToLossyDropsTheBuffer) {
+  Simulator sim;
+  Network net(&sim, matrix_);
+  Sink a(&sim);
+  Sink b(&sim);
+  net.Attach(&a, 0);
+  net.Attach(&b, 1);
+
+  net.CutLink(0, 1, /*drop_messages=*/false);
+  net.Send(a.node_id(), b.node_id(), Hb(1));
+  net.CutLink(0, 1, /*drop_messages=*/true);  // escalate: partition now lossy
+  net.HealLink(0, 1);
+  sim.RunAll();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.dropped_on_cut(), 1u);
 }
 
 TEST_F(NetworkTest, CountsTraffic) {

@@ -75,6 +75,74 @@ TEST(SaturnFault, FailoverToBackupTreeRestoresStreamMode) {
   EXPECT_TRUE(cluster.oracle()->Clean()) << cluster.oracle()->violations().front();
 }
 
+TEST(SaturnFault, AutomaticFailoverToBackupTree) {
+  // Like FailoverToBackupTreeRestoresStreamMode, but nobody calls
+  // FailoverToEpoch: the per-DC failure detector must notice the dead tree on
+  // its own (stream silence past fallback + grace) and fail over to the
+  // pre-deployed backup epoch.
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 4),
+                  SyntheticGenerators(DefaultWorkload()));
+  for (DcId dc = 0; dc < 3; ++dc) {
+    cluster.saturn_dc(dc)->set_fallback_timeout(Millis(150));
+    cluster.saturn_dc(dc)->set_failover_grace(Millis(300));
+  }
+  cluster.metadata_service()->DeployTree(1, StarTopology(config.dc_sites, kFrankfurt));
+
+  cluster.sim().At(Seconds(2), [&cluster]() { cluster.metadata_service()->KillEpoch(0); });
+  cluster.Run(Seconds(1), Seconds(4));
+
+  for (DcId dc = 0; dc < 3; ++dc) {
+    EXPECT_FALSE(cluster.saturn_dc(dc)->in_timestamp_mode())
+        << "dc " << dc << " did not resume stream mode";
+    EXPECT_EQ(cluster.saturn_dc(dc)->current_epoch(), 1u);
+    // The outage was detected (fallback) and healed (exit) exactly once.
+    EXPECT_EQ(cluster.metrics().FallbackEntries(dc), 1u);
+    EXPECT_EQ(cluster.metrics().FallbackExits(dc), 1u);
+  }
+  // Outage-to-recovery latency was recorded for every datacenter.
+  EXPECT_EQ(cluster.metrics().FailoverLatency().count(), 3u);
+  ASSERT_NE(cluster.oracle(), nullptr);
+  EXPECT_TRUE(cluster.oracle()->Clean()) << cluster.oracle()->violations().front();
+}
+
+TEST(SaturnFault, TransientPartitionResyncsToStreamMode) {
+  // A buffered partition between the star hub (Ireland) and Tokyo starves
+  // Tokyo's stream: it falls back to timestamp mode. When the partition heals
+  // the stream resumes and the resync fences let Tokyo exit back to stream
+  // mode on the SAME tree — no failover, no operator.
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  config.tree_kind = SaturnTreeKind::kStar;
+  config.star_hub = kIreland;
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 4),
+                  SyntheticGenerators(DefaultWorkload()));
+  for (DcId dc = 0; dc < 3; ++dc) {
+    cluster.saturn_dc(dc)->set_fallback_timeout(Millis(150));
+  }
+
+  cluster.sim().At(Seconds(2), [&cluster]() {
+    cluster.network().CutLink(kIreland, kTokyo, /*drop_messages=*/false);
+  });
+  cluster.sim().At(Millis(2600), [&cluster]() { cluster.network().HealLink(kIreland, kTokyo); });
+  // Quiesce before the end so the replication-liveness check is meaningful.
+  cluster.StopClientsAt(Seconds(5));
+  cluster.Run(Seconds(1), Seconds(3), /*drain=*/Seconds(2));
+
+  // Tokyo (dc 2) degraded during the cut and recovered after it.
+  EXPECT_GE(cluster.metrics().FallbackEntries(2), 1u);
+  EXPECT_EQ(cluster.metrics().FallbackEntries(2), cluster.metrics().FallbackExits(2));
+  EXPECT_GT(cluster.metrics().TimestampModeTime(2, cluster.sim().Now()), Millis(100));
+  for (DcId dc = 0; dc < 3; ++dc) {
+    EXPECT_FALSE(cluster.saturn_dc(dc)->in_timestamp_mode())
+        << "dc " << dc << " did not resync to stream mode";
+    EXPECT_EQ(cluster.saturn_dc(dc)->current_epoch(), 0u)
+        << "resync must not fail over: the tree never died";
+  }
+  ASSERT_NE(cluster.oracle(), nullptr);
+  EXPECT_TRUE(cluster.oracle()->Clean()) << cluster.oracle()->violations().front();
+  EXPECT_TRUE(cluster.oracle()->MissingReplicas().empty());
+}
+
 TEST(SaturnFault, AvailabilityPreservedDuringOutage) {
   // Compare completed ops with and without an outage: the fallback costs
   // visibility latency, not availability (section 6.1).

@@ -55,6 +55,37 @@ TEST(SaturnReconfiguration, SwitchCompletesWithinMetadataPathLatency) {
   EXPECT_LT(switched_at - Seconds(2), Millis(400));
 }
 
+TEST(SaturnReconfiguration, EpochSwitchSurvivesLinkFlap) {
+  // A short buffered link flap lands right after the fast epoch switch
+  // starts: Tokyo's old-tree stream stalls mid-switch and the epoch-change
+  // labels queue behind the partition. The flap (245ms) is shorter than the
+  // fallback timeout (300ms), so no datacenter may panic into timestamp
+  // mode, and the switch must still complete once the link heals.
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  config.tree_kind = SaturnTreeKind::kStar;
+  config.star_hub = kIreland;
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 2),
+                  SyntheticGenerators(DefaultWorkload()));
+  cluster.metadata_service()->DeployTree(1, StarTopology(config.dc_sites, kFrankfurt));
+
+  cluster.sim().At(Seconds(2), [&cluster]() { cluster.metadata_service()->SwitchToEpoch(1); });
+  cluster.sim().At(Seconds(2) + Millis(5), [&cluster]() {
+    cluster.network().CutLink(kIreland, kTokyo, /*drop_messages=*/false);
+  });
+  cluster.sim().At(Seconds(2) + Millis(250), [&cluster]() {
+    cluster.network().HealLink(kIreland, kTokyo);
+  });
+  cluster.Run(Seconds(1), Seconds(3));
+
+  for (DcId dc = 0; dc < 3; ++dc) {
+    EXPECT_EQ(cluster.saturn_dc(dc)->current_epoch(), 1u)
+        << "dc " << dc << " never completed the switch";
+    EXPECT_FALSE(cluster.saturn_dc(dc)->in_timestamp_mode());
+  }
+  ASSERT_NE(cluster.oracle(), nullptr);
+  EXPECT_TRUE(cluster.oracle()->Clean()) << cluster.oracle()->violations().front();
+}
+
 TEST(SaturnReconfiguration, TrafficContinuesThroughSwitch) {
   auto run = [](bool reconfigure) {
     ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);

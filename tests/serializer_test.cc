@@ -9,13 +9,24 @@ namespace {
 
 class EnvelopeSink : public Actor {
  public:
+  explicit EnvelopeSink(Network* net = nullptr) : net_(net) {}
+
   void HandleMessage(NodeId from, const Message& msg) override {
-    (void)from;
     if (const auto* env = std::get_if<LabelEnvelope>(&msg)) {
       received.push_back(*env);
+      // Reliable tree links expect the endpoint to acknowledge; without the
+      // ack the serializer retransmits forever and RunAll never drains.
+      if (net_ != nullptr && env->link_seq != 0) {
+        LinkAck ack;
+        ack.acked = env->link_seq;
+        net_->Send(node_id(), from, ack);
+      }
     }
   }
   std::vector<LabelEnvelope> received;
+
+ private:
+  Network* net_;
 };
 
 LabelEnvelope Env(int64_t ts, DcSet interest) {
@@ -46,9 +57,9 @@ class SerializerTest : public ::testing::Test {
 TEST_F(SerializerTest, RoutesToInterestedLinksOnly) {
   Serializer s(&sim_, &net_, 0, 1);
   net_.Attach(&s, 0);
-  EnvelopeSink source;
-  EnvelopeSink dc1;
-  EnvelopeSink dc2;
+  EnvelopeSink source(&net_);
+  EnvelopeSink dc1(&net_);
+  EnvelopeSink dc2(&net_);
   net_.Attach(&source, 0);
   net_.Attach(&dc1, 1);
   net_.Attach(&dc2, 2);
@@ -71,8 +82,8 @@ TEST_F(SerializerTest, RoutesToInterestedLinksOnly) {
 TEST_F(SerializerTest, PreservesArrivalOrder) {
   Serializer s(&sim_, &net_, 0, 1);
   net_.Attach(&s, 0);
-  EnvelopeSink source;
-  EnvelopeSink dc1;
+  EnvelopeSink source(&net_);
+  EnvelopeSink dc1(&net_);
   net_.Attach(&source, 0);
   net_.Attach(&dc1, 1);
   s.AddLink({source.node_id(), DcSet::Single(0), 0});
@@ -91,8 +102,8 @@ TEST_F(SerializerTest, PreservesArrivalOrder) {
 TEST_F(SerializerTest, ArtificialDelayPostponesForwarding) {
   Serializer s(&sim_, &net_, 0, 1);
   net_.Attach(&s, 0);
-  EnvelopeSink source;
-  EnvelopeSink dc1;
+  EnvelopeSink source(&net_);
+  EnvelopeSink dc1(&net_);
   net_.Attach(&source, 0);
   net_.Attach(&dc1, 1);
   s.AddLink({source.node_id(), DcSet::Single(0), 0});
@@ -108,8 +119,8 @@ TEST_F(SerializerTest, ArtificialDelayPostponesForwarding) {
 TEST_F(SerializerTest, ChainReplicationDeliversInOrder) {
   Serializer s(&sim_, &net_, 0, 3);  // 2 chain replicas
   net_.Attach(&s, 0);
-  EnvelopeSink source;
-  EnvelopeSink dc1;
+  EnvelopeSink source(&net_);
+  EnvelopeSink dc1(&net_);
   net_.Attach(&source, 0);
   net_.Attach(&dc1, 1);
   s.AddLink({source.node_id(), DcSet::Single(0), 0});
@@ -129,8 +140,8 @@ TEST_F(SerializerTest, ChainReplicationDeliversInOrder) {
 TEST_F(SerializerTest, SurvivesReplicaFailureWithoutLossOrReorder) {
   Serializer s(&sim_, &net_, 0, 3);
   net_.Attach(&s, 0);
-  EnvelopeSink source;
-  EnvelopeSink dc1;
+  EnvelopeSink source(&net_);
+  EnvelopeSink dc1(&net_);
   net_.Attach(&source, 0);
   net_.Attach(&dc1, 1);
   s.AddLink({source.node_id(), DcSet::Single(0), 0});
@@ -164,8 +175,8 @@ TEST_F(SerializerTest, KillingSameReplicaTwiceReportsFalse) {
 TEST_F(SerializerTest, KillAllSilencesRouting) {
   Serializer s(&sim_, &net_, 0, 2);
   net_.Attach(&s, 0);
-  EnvelopeSink source;
-  EnvelopeSink dc1;
+  EnvelopeSink source(&net_);
+  EnvelopeSink dc1(&net_);
   net_.Attach(&source, 0);
   net_.Attach(&dc1, 1);
   s.AddLink({source.node_id(), DcSet::Single(0), 0});

@@ -160,15 +160,25 @@ TEST_P(ChainFuzz, NoLossNoReorderUnderRandomKills) {
 
   class Sink : public Actor {
    public:
-    void HandleMessage(NodeId, const Message& msg) override {
+    explicit Sink(Network* net) : net_(net) {}
+    void HandleMessage(NodeId from, const Message& msg) override {
       if (const auto* env = std::get_if<LabelEnvelope>(&msg)) {
         labels.push_back(env->label.ts);
+        // Ack reliable tree links so RunAll drains.
+        if (env->link_seq != 0) {
+          LinkAck ack;
+          ack.acked = env->link_seq;
+          net_->Send(node_id(), from, ack);
+        }
       }
     }
     std::vector<int64_t> labels;
+
+   private:
+    Network* net_;
   };
-  Sink source;
-  Sink destination;
+  Sink source(&net);
+  Sink destination(&net);
   net.Attach(&source, 0);
   net.Attach(&destination, 1);
   serializer.AddLink({source.node_id(), DcSet::Single(0), 0});

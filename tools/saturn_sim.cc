@@ -9,6 +9,7 @@
 //   saturn_sim --protocol=gentlerain --pattern=full --writes=0.25
 //   saturn_sim --protocol=saturn --tree=star --hub=3 --csv=/tmp/vis.csv
 //   saturn_sim --protocol=cops --prune=0 --degree=2 --oracle
+//   saturn_sim --protocol=saturn --backup --oracle --fault-plan="1500:cut:3-5:drop;2100:heal:3-5"
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -78,7 +79,18 @@ void Usage() {
       "  --prune=0|1         COPS context pruning                       (1)\n"
       "  --seed=N            RNG seed                                   (42)\n"
       "  --oracle            enable the causality oracle\n"
-      "  --csv=PATH          dump per-pair visibility CDFs as CSV\n");
+      "  --csv=PATH          dump per-pair visibility CDFs (and fault events) as CSV\n"
+      "  --fault-plan=SPEC   inject faults; `;`-separated timed events:\n"
+      "                        <ms>:cut:<a>-<b>[:drop]   cut a site link (lossy w/ drop)\n"
+      "                        <ms>:heal:<a>-<b>         heal it\n"
+      "                        <ms>:lat:<a>-<b>:<ms>     extra one-way latency\n"
+      "                        <ms>:unlat:<a>-<b>        clear the extra latency\n"
+      "                        <ms>:crash:<dc>           crash a datacenter\n"
+      "                        <ms>:recover:<dc>         recover it\n"
+      "                        <ms>:killtree:<epoch>     kill an epoch's serializers\n"
+      "                        <ms>:killchain:<e>:<r>    kill one chain replica\n"
+      "  --backup            saturn: pre-deploy a backup star tree as epoch 1\n"
+      "  --stop-clients=MS   stop all clients at MS (quiescent recovery tail)\n");
 }
 
 int Run(const Flags& flags) {
@@ -141,6 +153,30 @@ int Run(const Flags& flags) {
   Cluster cluster(config, std::move(replicas), UniformClientHomes(dcs, clients),
                   SyntheticGenerators(workload));
 
+  FaultPlan plan;
+  if (flags.Has("fault-plan")) {
+    std::string error;
+    if (!ParseFaultPlan(flags.Get("fault-plan", ""), &plan, &error)) {
+      std::fprintf(stderr, "bad --fault-plan: %s\n", error.c_str());
+      return 2;
+    }
+    cluster.InstallFaultPlan(plan);
+  }
+  if (flags.Has("backup")) {
+    if (cluster.metadata_service() == nullptr) {
+      std::fprintf(stderr, "--backup requires --protocol=saturn\n");
+      return 2;
+    }
+    // A star rooted away from the primary hub: survives whatever killed it.
+    SiteId hub = config.dc_sites[0] != config.star_hub ? config.dc_sites[0]
+                                                       : config.dc_sites[1];
+    cluster.metadata_service()->DeployTree(1, StarTopology(config.dc_sites, hub));
+    std::printf("backup tree (epoch 1): star hub %s\n", Ec2RegionName(hub));
+  }
+  if (flags.Has("stop-clients")) {
+    cluster.StopClientsAt(Millis(flags.GetInt("stop-clients", 0)));
+  }
+
   std::printf("protocol=%s dcs=%u pattern=%s degree=%u keys=%llu writes=%.2f "
               "remote-reads=%.2f clients=%u seed=%llu\n",
               ProtocolName(config.protocol), dcs, CorrelationPatternName(keyspace.pattern),
@@ -150,6 +186,9 @@ int Run(const Flags& flags) {
               static_cast<unsigned long long>(config.seed));
   if (config.protocol == Protocol::kSaturn) {
     std::printf("tree: %s\n", cluster.tree().ToString().c_str());
+  }
+  if (!plan.Empty()) {
+    std::printf("fault plan: %s\n", plan.ToString().c_str());
   }
 
   ExperimentResult result = cluster.Run(Seconds(flags.GetInt("warmup", 1)),
@@ -164,6 +203,33 @@ int Run(const Flags& flags) {
               static_cast<unsigned long long>(result.remote_updates));
   if (result.mean_attach_ms > 0) {
     std::printf("attach mean         %10.1f ms\n", result.mean_attach_ms);
+  }
+
+  if (cluster.fault_injector() != nullptr) {
+    std::printf("\ndegraded-mode metrics:\n");
+    std::printf("messages dropped    %10llu\n",
+                static_cast<unsigned long long>(cluster.network().messages_dropped()));
+    SimTime now = cluster.sim().Now();
+    for (DcId dc = 0; dc < dcs; ++dc) {
+      std::printf("%4s fallback entries/exits %u/%u, timestamp-mode time %.1f ms%s\n",
+                  Ec2RegionName(config.dc_sites[dc]), cluster.metrics().FallbackEntries(dc),
+                  cluster.metrics().FallbackExits(dc),
+                  static_cast<double>(cluster.metrics().TimestampModeTime(dc, now)) /
+                      Millis(1),
+                  cluster.saturn_dc(dc) != nullptr &&
+                          cluster.saturn_dc(dc)->in_timestamp_mode()
+                      ? " (still degraded)"
+                      : "");
+    }
+    if (cluster.metrics().FailoverLatency().count() > 0) {
+      std::printf("failover latency    %10.1f ms mean over %llu failovers\n",
+                  cluster.metrics().FailoverLatency().MeanMs(),
+                  static_cast<unsigned long long>(cluster.metrics().FailoverLatency().count()));
+    }
+    std::printf("fault trace:\n");
+    for (const auto& [at, desc] : cluster.fault_injector()->log()) {
+      std::printf("  [%7.1f ms] %s\n", static_cast<double>(at) / Millis(1), desc.c_str());
+    }
   }
 
   std::printf("\nper-pair visibility means (ms, origin row -> destination column):\n     ");
@@ -186,22 +252,38 @@ int Run(const Flags& flags) {
 
   if (flags.Has("csv")) {
     std::ofstream csv(flags.Get("csv", ""));
-    csv << "origin,destination,visibility_ms,cdf\n";
+    csv << "kind,origin,destination,visibility_ms,cdf\n";
     for (DcId from = 0; from < dcs; ++from) {
       for (DcId to = 0; to < dcs; ++to) {
         if (from == to) {
           continue;
         }
         for (auto [ms, frac] : cluster.metrics().Visibility(from, to).CdfPointsMs()) {
-          csv << Ec2RegionName(config.dc_sites[from]) << ','
+          csv << "visibility," << Ec2RegionName(config.dc_sites[from]) << ','
               << Ec2RegionName(config.dc_sites[to]) << ',' << ms << ',' << frac << '\n';
         }
+      }
+    }
+    if (cluster.fault_injector() != nullptr) {
+      // Fault events as rows so plots can overlay the fault timeline
+      // (descriptions contain no commas).
+      for (const auto& [at, desc] : cluster.fault_injector()->log()) {
+        csv << "fault," << desc << ",," << static_cast<double>(at) / Millis(1) << ",\n";
       }
     }
     std::printf("\nwrote CDFs to %s\n", flags.Get("csv", "").c_str());
   }
 
   if (cluster.oracle() != nullptr) {
+    if (cluster.fault_injector() != nullptr) {
+      auto missing = cluster.oracle()->MissingReplicas();
+      if (!missing.empty()) {
+        std::printf("\nreplication liveness: %zu updates missing replicas, first: %s\n",
+                    missing.size(), missing.front().c_str());
+        return 1;
+      }
+      std::printf("\nreplication liveness: complete\n");
+    }
     if (cluster.oracle()->Clean()) {
       std::printf("\ncausality oracle: clean\n");
     } else {
