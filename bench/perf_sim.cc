@@ -1,0 +1,281 @@
+// Performance trajectory harness for the discrete-event simulation core.
+//
+// Unlike the fig*/table* benches (which reproduce the paper's *numbers*),
+// perf_sim measures how fast the simulator itself executes: every figure and
+// every chaos sweep is bottlenecked by events/second through the core, so
+// this harness is the repo's recorded perf trajectory. It runs three pinned
+// workloads and writes BENCH_sim.json:
+//
+//   fig5_full  — Saturn on the 7-DC EC2 deployment, full replication, the
+//                Fig. 5 default dynamic workload (2B values, 9:1 R:W).
+//   partial    — Saturn, 7 DCs, genuine partial replication (degree 3,
+//                uniform correlation, 5% remote reads → client migrations).
+//   chaos      — 3-DC Saturn under a seeded chaos schedule with a backup
+//                tree (lossy cuts, crashes, tree kill + auto failover).
+//
+// Per workload it records wall-clock, executed simulation events, events/sec,
+// peak RSS and the protocol-level throughput. The executed-event count is a
+// determinism fingerprint: any core change that alters it changed simulation
+// *behaviour*, not just speed, and must be treated as a correctness question
+// before its perf delta means anything. Compare two runs (or a run against
+// the committed baseline) with tools/bench_diff.py.
+//
+// Usage: perf_sim [--smoke] [--repeat N] [--out PATH]
+//   --smoke   tiny measurement windows; CI sanity check, numbers meaningless
+//   --repeat  run each workload N times, keep the fastest (default 1)
+//   --out     output JSON path (default BENCH_sim.json in the CWD)
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/fault/chaos.h"
+#include "src/runtime/cluster.h"
+
+namespace saturn {
+namespace {
+
+struct PerfOptions {
+  bool smoke = false;
+  int repeat = 1;
+  std::string out = "BENCH_sim.json";
+};
+
+struct WorkloadResult {
+  std::string name;
+  uint64_t executed_events = 0;
+  double wall_s = 0;
+  double events_per_sec = 0;
+  double throughput_ops = 0;
+  long peak_rss_kb = 0;
+};
+
+long PeakRssKb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // kilobytes on Linux
+}
+
+// One timed cluster run. `build` constructs the cluster and returns it ready
+// to Run; construction cost (keyspace generation, tree solving) is excluded
+// from the timed window so events/sec reflects the event loop alone.
+template <typename BuildFn>
+WorkloadResult TimeWorkload(const std::string& name, int repeat, BuildFn build) {
+  WorkloadResult best;
+  best.name = name;
+  for (int i = 0; i < repeat; ++i) {
+    auto run = build();  // unique_ptr<Cluster> plus the run windows
+    Cluster& cluster = *run.cluster;
+    auto start = std::chrono::steady_clock::now();
+    ExperimentResult result = cluster.Run(run.warmup, run.measure, run.drain);
+    auto stop = std::chrono::steady_clock::now();
+    double wall = std::chrono::duration<double>(stop - start).count();
+    uint64_t events = cluster.sim().executed_events();
+    if (i == 0 || events / wall > best.events_per_sec) {
+      best.executed_events = events;
+      best.wall_s = wall;
+      best.events_per_sec = static_cast<double>(events) / wall;
+      best.throughput_ops = result.throughput_ops;
+    }
+    if (best.executed_events != events) {
+      std::fprintf(stderr, "FATAL: %s is nondeterministic across repeats (%llu vs %llu)\n",
+                   name.c_str(), static_cast<unsigned long long>(best.executed_events),
+                   static_cast<unsigned long long>(events));
+      std::exit(1);
+    }
+  }
+  best.peak_rss_kb = PeakRssKb();
+  return best;
+}
+
+struct PreparedRun {
+  std::unique_ptr<Cluster> cluster;
+  SimTime warmup = 0;
+  SimTime measure = 0;
+  SimTime drain = 0;
+};
+
+// Workload 1: Saturn, 7 DCs, full replication, Fig. 5 defaults.
+PreparedRun BuildFig5Full(const PerfOptions& options) {
+  PreparedRun run;
+  ClusterConfig config;
+  config.protocol = Protocol::kSaturn;
+  config.dc_sites = Ec2Sites();
+  config.latencies = Ec2Latencies();
+  config.dc.num_gears = 4;
+  config.seed = 42;
+
+  KeyspaceConfig keyspace;
+  keyspace.num_keys = 10000;
+  keyspace.pattern = CorrelationPattern::kFull;
+  ReplicaMap replicas = ReplicaMap::Generate(keyspace, config.dc_sites, config.latencies);
+
+  SyntheticOpGenerator::Config workload;
+  workload.write_fraction = 0.1;
+  workload.value_size = 2;
+
+  uint32_t clients_per_dc = options.smoke ? 8 : 48;
+  run.cluster = std::make_unique<Cluster>(std::move(config), std::move(replicas),
+                                          UniformClientHomes(kNumEc2Regions, clients_per_dc),
+                                          SyntheticGenerators(workload));
+  run.warmup = options.smoke ? Millis(200) : Seconds(1);
+  run.measure = options.smoke ? Millis(300) : Seconds(2);
+  run.drain = options.smoke ? Millis(500) : Millis(1500);
+  return run;
+}
+
+// Workload 2: Saturn, 7 DCs, partial replication with client migrations.
+PreparedRun BuildPartial(const PerfOptions& options) {
+  PreparedRun run;
+  ClusterConfig config;
+  config.protocol = Protocol::kSaturn;
+  config.dc_sites = Ec2Sites();
+  config.latencies = Ec2Latencies();
+  config.dc.num_gears = 4;
+  config.seed = 42;
+
+  KeyspaceConfig keyspace;
+  keyspace.num_keys = 10000;
+  keyspace.pattern = CorrelationPattern::kUniform;
+  keyspace.replication_degree = 3;
+  ReplicaMap replicas = ReplicaMap::Generate(keyspace, config.dc_sites, config.latencies);
+
+  SyntheticOpGenerator::Config workload;
+  workload.write_fraction = 0.1;
+  workload.remote_read_fraction = 0.05;
+  workload.value_size = 2;
+
+  uint32_t clients_per_dc = options.smoke ? 8 : 48;
+  run.cluster = std::make_unique<Cluster>(std::move(config), std::move(replicas),
+                                          UniformClientHomes(kNumEc2Regions, clients_per_dc),
+                                          SyntheticGenerators(workload));
+  run.warmup = options.smoke ? Millis(200) : Seconds(1);
+  run.measure = options.smoke ? Millis(300) : Seconds(2);
+  run.drain = options.smoke ? Millis(500) : Millis(1500);
+  return run;
+}
+
+// Workload 3: 3-DC Saturn under a seeded chaos schedule (mirrors the chaos
+// property suite's setup: lossy faults allowed, backup tree pre-deployed,
+// fast failure detector).
+PreparedRun BuildChaos(const PerfOptions& options) {
+  PreparedRun run;
+  ClusterConfig config;
+  config.protocol = Protocol::kSaturn;
+  config.dc_sites = {kIreland, kFrankfurt, kTokyo};
+  config.latencies = Ec2Latencies();
+  config.dc.num_gears = 2;
+  config.enable_oracle = true;
+  config.seed = 1234;
+  std::vector<SiteId> dc_sites = config.dc_sites;
+
+  KeyspaceConfig keyspace;
+  keyspace.num_keys = 600;
+  keyspace.pattern = CorrelationPattern::kUniform;
+  keyspace.replication_degree = 2;
+  ReplicaMap replicas = ReplicaMap::Generate(keyspace, config.dc_sites, config.latencies);
+
+  SyntheticOpGenerator::Config workload;
+  workload.write_fraction = 0.1;
+  workload.value_size = 2;
+
+  uint32_t clients_per_dc = options.smoke ? 2 : 6;
+  run.cluster = std::make_unique<Cluster>(std::move(config), std::move(replicas),
+                                          UniformClientHomes(3, clients_per_dc),
+                                          SyntheticGenerators(workload));
+
+  ChaosOptions chaos;
+  chaos.seed = 7;
+  chaos.start = Millis(1500);
+  chaos.end = Millis(3300);
+  chaos.allow_lossy = true;
+  chaos.allow_crash = true;
+  chaos.tree_kill_percent = 100;  // always exercise auto failover
+  chaos.tree_epoch = 0;
+  run.cluster->metadata_service()->DeployTree(1, StarTopology(dc_sites, kFrankfurt));
+  for (DcId dc = 0; dc < 3; ++dc) {
+    run.cluster->saturn_dc(dc)->set_fallback_timeout(Millis(150));
+  }
+  run.cluster->InstallFaultPlan(GenerateChaosPlan(chaos, dc_sites));
+  run.cluster->StopClientsAt(Millis(4000));
+  run.warmup = Seconds(1);
+  run.measure = Seconds(2);
+  run.drain = Seconds(2);
+  return run;
+}
+
+void WriteJson(const PerfOptions& options, const std::vector<WorkloadResult>& results) {
+  std::FILE* f = std::fopen(options.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", options.out.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"harness\": \"perf_sim\",\n");
+  std::fprintf(f, "  \"version\": 1,\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", options.smoke ? "true" : "false");
+  std::fprintf(f, "  \"repeat\": %d,\n", options.repeat);
+  std::fprintf(f, "  \"workloads\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& r = results[i];
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
+    std::fprintf(f, "      \"executed_events\": %llu,\n",
+                 static_cast<unsigned long long>(r.executed_events));
+    std::fprintf(f, "      \"wall_s\": %.4f,\n", r.wall_s);
+    std::fprintf(f, "      \"events_per_sec\": %.0f,\n", r.events_per_sec);
+    std::fprintf(f, "      \"throughput_ops\": %.0f,\n", r.throughput_ops);
+    std::fprintf(f, "      \"peak_rss_kb\": %ld\n", r.peak_rss_kb);
+    std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
+int Main(int argc, char** argv) {
+  PerfOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      options.smoke = true;
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      options.repeat = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      options.out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: perf_sim [--smoke] [--repeat N] [--out PATH]\n");
+      return 2;
+    }
+  }
+  if (options.repeat < 1) {
+    options.repeat = 1;
+  }
+
+  std::vector<WorkloadResult> results;
+  results.push_back(
+      TimeWorkload("fig5_full", options.repeat, [&]() { return BuildFig5Full(options); }));
+  results.push_back(
+      TimeWorkload("partial", options.repeat, [&]() { return BuildPartial(options); }));
+  results.push_back(
+      TimeWorkload("chaos", options.repeat, [&]() { return BuildChaos(options); }));
+
+  std::printf("%-10s  %14s  %8s  %14s  %12s  %10s\n", "workload", "events", "wall_s",
+              "events/sec", "ops/sec", "rss_mb");
+  for (const WorkloadResult& r : results) {
+    std::printf("%-10s  %14llu  %8.3f  %14.0f  %12.0f  %10.1f\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.executed_events), r.wall_s, r.events_per_sec,
+                r.throughput_ops, static_cast<double>(r.peak_rss_kb) / 1024.0);
+  }
+  WriteJson(options, results);
+  std::printf("wrote %s\n", options.out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace saturn
+
+int main(int argc, char** argv) { return saturn::Main(argc, argv); }

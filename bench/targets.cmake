@@ -24,3 +24,25 @@ endforeach()
 add_executable(micro_core ${CMAKE_SOURCE_DIR}/bench/micro_core.cc)
 target_link_libraries(micro_core saturn benchmark::benchmark)
 set_target_properties(micro_core PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# Simulation-core perf harness (see bench/perf_sim.cc). The default build is
+# RelWithDebInfo (-O2), so tier-1 exercises optimized code; the smoke run in
+# ctest keeps the harness from bit-rotting without paying for a full
+# measurement on every test cycle.
+add_executable(perf_sim ${CMAKE_SOURCE_DIR}/bench/perf_sim.cc)
+target_link_libraries(perf_sim saturn)
+set_target_properties(perf_sim PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+add_test(NAME perf_sim_smoke
+         COMMAND perf_sim --smoke --out ${CMAKE_BINARY_DIR}/BENCH_smoke.json)
+
+# `cmake --build build --target perf` runs the full measurement and prints the
+# delta against the committed baseline (regression gate: >5% events/sec drop).
+find_package(Python3 COMPONENTS Interpreter QUIET)
+if(Python3_FOUND)
+  add_custom_target(perf
+    COMMAND $<TARGET_FILE:perf_sim> --out ${CMAKE_BINARY_DIR}/BENCH_sim.json
+    COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/bench_diff.py
+            ${CMAKE_SOURCE_DIR}/BENCH_sim.json ${CMAKE_BINARY_DIR}/BENCH_sim.json
+    DEPENDS perf_sim
+    USES_TERMINAL)
+endif()

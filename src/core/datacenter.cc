@@ -18,7 +18,13 @@ DatacenterBase::DatacenterBase(Simulator* sim, Network* net, const DatacenterCon
       store_(config.num_gears),
       peer_nodes_(num_dcs, kInvalidNode),
       rng_(config.rng_seed ^ (uint64_t{config.id} << 32)),
-      bulk_peers_(num_dcs) {
+      bulk_peers_(num_dcs),
+      bulk_tick_(sim, [this]() {
+        BulkChannelTick();
+        if (BulkWorkPending()) {
+          ScheduleBulkTick();
+        }
+      }) {
   gears_.reserve(config.num_gears);
   for (uint32_t g = 0; g < config.num_gears; ++g) {
     gears_.push_back(std::make_unique<Gear>(MakeSourceId(config.id, g), &clock_));
@@ -42,18 +48,8 @@ double DatacenterBase::MeanGearUtilization() const {
 
 void DatacenterBase::EveryInterval(SimTime interval, std::function<void()> fn) {
   SAT_CHECK(interval > 0);
-  auto shared = std::make_shared<std::function<void()>>(std::move(fn));
-  // Self-rescheduling closure.
-  struct Repeater {
-    Simulator* sim;
-    SimTime interval;
-    std::shared_ptr<std::function<void()>> fn;
-    void operator()() const {
-      (*fn)();
-      sim->After(interval, Repeater{sim, interval, fn});
-    }
-  };
-  sim_->After(interval, Repeater{sim_, interval, shared});
+  periodic_.push_back(std::make_unique<PeriodicTimer>(sim_, interval, std::move(fn)));
+  periodic_.back()->Start();
 }
 
 void DatacenterBase::HandleMessage(NodeId from, const Message& msg) {
@@ -105,7 +101,7 @@ void DatacenterBase::HandleRead(NodeId from, const ClientRequest& req) {
   SimTime cost = config_.costs.ReadCost(size) + ExtraReadCost(req);
   SimTime done = gear.queue().Submit(sim_->Now(), cost);
 
-  sim_->At(done, [this, from, req]() {
+  auto complete = [this, from, req = req]() {
     // Read the version at completion time: the request sees the store state
     // after everything queued before it.
     const VersionedValue* v = store_.PartitionFor(req.key).Get(req.key);
@@ -124,8 +120,13 @@ void DatacenterBase::HandleRead(NodeId from, const ClientRequest& req) {
       migrate.target_dc = req.migrate_target;
       resp.migration_label = MakeMigrationLabel(migrate, floor);
     }
-    net_->Send(node_id(), from, resp);
-  });
+    net_->Send(node_id(), from, std::move(resp));
+  };
+  // Gear-completion closures run once per client operation; keep them inside
+  // InlineTask's buffer so the fast path never heap-allocates.
+  static_assert(InlineTask::fits_inline<decltype(complete)>,
+                "read-completion closure outgrew InlineTask's inline buffer");
+  sim_->At(done, std::move(complete));
 }
 
 void DatacenterBase::HandleUpdate(NodeId from, const ClientRequest& req) {
@@ -135,7 +136,7 @@ void DatacenterBase::HandleUpdate(NodeId from, const ClientRequest& req) {
   SimTime cost = config_.costs.UpdateCost(req.value_size) + ExtraUpdateCost(req);
   SimTime done = gear.queue().Submit(sim_->Now(), cost);
 
-  sim_->At(done, [this, from, req, &gear]() {
+  auto complete = [this, from, req = req, &gear]() {
     // The gear generates the label when it processes the request (Alg. 2
     // line 3). Generating at completion — not at submission — matters: idle
     // heartbeats promise that every *future* message from this gear carries a
@@ -183,8 +184,11 @@ void DatacenterBase::HandleUpdate(NodeId from, const ClientRequest& req) {
       migrate.target_dc = req.migrate_target;
       resp.migration_label = MakeMigrationLabel(migrate, label);
     }
-    net_->Send(node_id(), from, resp);
-  });
+    net_->Send(node_id(), from, std::move(resp));
+  };
+  static_assert(InlineTask::fits_inline<decltype(complete)>,
+                "update-completion closure outgrew InlineTask's inline buffer");
+  sim_->At(done, std::move(complete));
 }
 
 void DatacenterBase::HandleMigrate(NodeId from, const ClientRequest& req) {
@@ -197,7 +201,7 @@ void DatacenterBase::HandleMigrate(NodeId from, const ClientRequest& req) {
     resp.client = req.client;
     resp.request_id = req.request_id;
     resp.label = req.client_label;
-    net_->Send(node_id(), from, resp);
+    net_->Send(node_id(), from, std::move(resp));
   });
 }
 
@@ -210,7 +214,7 @@ void DatacenterBase::FinishAttach(NodeId from, const ClientRequest& req) {
   resp.client = req.client;
   resp.request_id = req.request_id;
   resp.label = req.client_label;
-  net_->Send(node_id(), from, resp);
+  net_->Send(node_id(), from, std::move(resp));
 }
 
 void DatacenterBase::ApplyRemoteUpdate(const RemotePayload& payload, SimTime min_visible,
@@ -221,7 +225,7 @@ void DatacenterBase::ApplyRemoteUpdate(const RemotePayload& payload, SimTime min
   SimTime completion = gear.queue().Submit(sim_->Now(), cost);
   SimTime visible = completion > min_visible ? completion : min_visible;
 
-  sim_->At(visible, [this, payload]() {
+  auto apply = [this, payload = payload]() {
     store_.PartitionFor(payload.key).Put(payload.key,
                                          VersionedValue{payload.value_size, payload.label});
     if (metrics_ != nullptr) {
@@ -231,7 +235,10 @@ void DatacenterBase::ApplyRemoteUpdate(const RemotePayload& payload, SimTime min
     if (oracle_ != nullptr) {
       oracle_->OnApply(config_.id, payload.label.uid);
     }
-  });
+  };
+  static_assert(InlineTask::fits_inline<decltype(apply)>,
+                "remote-apply closure outgrew InlineTask's inline buffer");
+  sim_->At(visible, std::move(apply));
   if (done) {
     done(visible);
   }
@@ -265,8 +272,8 @@ void DatacenterBase::SendBulk(DcId dest, Message msg) {
   } else {
     SAT_CHECK(false);  // only payloads and heartbeats ride the bulk channel
   }
-  peer.unacked.emplace(seq, msg);
-  peer.sent_at[seq] = sim_->Now();
+  // The window keeps the retransmission copy; the original moves to the wire.
+  peer.unacked.Push(seq, BulkOutEntry{msg, sim_->Now()});
   net_->Send(node_id(), peer_nodes_[dest], std::move(msg));
   ScheduleBulkTick();
 }
@@ -285,15 +292,15 @@ void DatacenterBase::ReceiveBulk(DcId origin, uint64_t seq, const Message& msg) 
     return;
   }
   if (seq > peer.next_in) {
-    peer.reorder.emplace(seq, msg);  // a gap: an earlier message was lost
+    peer.reorder[seq] = msg;  // a gap: an earlier message was lost
     return;
   }
   DeliverBulk(origin, msg);
   ++peer.next_in;
   // A retransmission may have plugged the gap in front of buffered arrivals.
-  while (!peer.reorder.empty() && peer.reorder.begin()->first == peer.next_in) {
-    Message next = std::move(peer.reorder.begin()->second);
-    peer.reorder.erase(peer.reorder.begin());
+  while (Message* buffered = peer.reorder.Find(peer.next_in)) {
+    Message next = std::move(*buffered);
+    peer.reorder.Erase(peer.next_in);
     ++peer.next_in;
     DeliverBulk(origin, next);
   }
@@ -313,11 +320,7 @@ void DatacenterBase::HandleBulkAck(const BulkAck& ack) {
   if (ack.origin >= num_dcs_) {
     return;
   }
-  BulkPeerState& peer = bulk_peers_[ack.origin];
-  while (!peer.unacked.empty() && peer.unacked.begin()->first <= ack.acked) {
-    peer.sent_at.erase(peer.unacked.begin()->first);
-    peer.unacked.erase(peer.unacked.begin());
-  }
+  bulk_peers_[ack.origin].unacked.PopUpTo(ack.acked);
 }
 
 void DatacenterBase::SendBulkAck(DcId dest) {
@@ -349,18 +352,9 @@ bool DatacenterBase::BulkWorkPending() const {
 void DatacenterBase::ScheduleBulkTick() {
   // Lazy maintenance: the channel tick (cumulative acks, retransmission) runs
   // only while traffic is outstanding, so an idle datacenter leaves the event
-  // queue empty and queue-draining tests terminate.
-  if (bulk_tick_scheduled_) {
-    return;
-  }
-  bulk_tick_scheduled_ = true;
-  sim_->After(config_.bulk_heartbeat_interval, [this]() {
-    bulk_tick_scheduled_ = false;
-    BulkChannelTick();
-    if (BulkWorkPending()) {
-      ScheduleBulkTick();
-    }
-  });
+  // queue empty and queue-draining tests terminate. The LazyTimer coalesces
+  // arming bursts and reuses one stored callback across the whole run.
+  bulk_tick_.Arm(config_.bulk_heartbeat_interval);
 }
 
 void DatacenterBase::BulkChannelTick() {
@@ -374,12 +368,13 @@ void DatacenterBase::BulkChannelTick() {
       SendBulkAck(dc);
     }
     SimTime rto = BulkRto(dc);
-    for (auto& [seq, sent] : peer.sent_at) {
-      if (now - sent >= rto) {
-        sent = now;
-        net_->Send(node_id(), peer_nodes_[dc], peer.unacked.at(seq));
+    peer.unacked.ForEach([&](uint64_t seq, BulkOutEntry& entry) {
+      (void)seq;
+      if (now - entry.sent_at >= rto) {
+        entry.sent_at = now;
+        net_->Send(node_id(), peer_nodes_[dc], entry.msg);
       }
-    }
+    });
   }
 }
 

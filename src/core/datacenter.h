@@ -11,11 +11,12 @@
 #define SRC_CORE_DATACENTER_H_
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "src/common/dc_set.h"
+#include "src/common/flat_map.h"
+#include "src/common/seq_window.h"
 #include "src/common/types.h"
 #include "src/core/cost_model.h"
 #include "src/core/gear.h"
@@ -29,6 +30,7 @@
 #include "src/sim/event_queue.h"
 #include "src/sim/network.h"
 #include "src/sim/random.h"
+#include "src/sim/timer.h"
 
 namespace saturn {
 
@@ -148,7 +150,9 @@ class DatacenterBase : public Actor {
 
   // --- Facilities for subclasses -----------------------------------------
 
-  // Runs `fn` once every `interval`, starting one interval from now.
+  // Runs `fn` once every `interval`, starting one interval from now. The
+  // callback is stored once in a PeriodicTimer owned by this datacenter;
+  // steady-state ticks schedule only a pointer-sized event (see timer.h).
   void EveryInterval(SimTime interval, std::function<void()> fn);
 
   // Applies a remote update: charges the gear, installs the version, records
@@ -193,13 +197,18 @@ class DatacenterBase : public Actor {
   Rng rng_;
 
  private:
+  // Sent but not yet cumulatively acked; lives in the peer's send window.
+  struct BulkOutEntry {
+    Message msg;
+    SimTime sent_at = 0;  // last (re)transmission time
+  };
+
   struct BulkPeerState {
-    uint64_t next_out = 1;                // next sequence number to assign
-    std::map<uint64_t, Message> unacked;  // sent, not yet cumulatively acked
-    std::map<uint64_t, SimTime> sent_at;  // seq -> last (re)transmission time
-    uint64_t next_in = 1;                 // next sequence expected from the peer
-    uint64_t acked_in = 0;                // highest in-seq we have acked back
-    std::map<uint64_t, Message> reorder;  // arrived ahead of a gap
+    uint64_t next_out = 1;                 // next sequence number to assign
+    SeqWindow<BulkOutEntry> unacked;       // contiguous [acked+1, next_out)
+    uint64_t next_in = 1;                  // next sequence expected from the peer
+    uint64_t acked_in = 0;                 // highest in-seq we have acked back
+    FlatMap<uint64_t, Message> reorder;    // arrived ahead of a gap
   };
 
   void HandleClientRequest(NodeId from, const ClientRequest& req);
@@ -216,7 +225,8 @@ class DatacenterBase : public Actor {
   SimTime BulkRto(DcId dest) const;
 
   std::vector<BulkPeerState> bulk_peers_;  // indexed by DcId
-  bool bulk_tick_scheduled_ = false;
+  LazyTimer bulk_tick_;
+  std::vector<std::unique_ptr<PeriodicTimer>> periodic_;  // EveryInterval handles
 };
 
 }  // namespace saturn

@@ -100,13 +100,18 @@ class CausalityOracle {
       }
       if (CountReplicatedPrefix(d, need, dc) > AppliedReplicatedCount(dc, d)) {
         ok = false;
-        violations_.push_back(
-            "dc" + std::to_string(dc) + " applied uid " + std::to_string(uid) +
-            " (client " + std::to_string(writer) + " seq " + std::to_string(seq) +
-            ") before causal deps from client " + std::to_string(d) + ": needs " +
-            std::to_string(CountReplicatedPrefix(d, need, dc)) + " replicated updates (dep seq " +
-            std::to_string(need) + "), applied " + std::to_string(AppliedReplicatedCount(dc, d)) +
-            " (prefix seq " + std::to_string(prefix_[dc][d]) + ")");
+        ViolationRecord v;
+        v.kind = ViolationRecord::Kind::kCausalDep;
+        v.dc = dc;
+        v.uid = uid;
+        v.writer = writer;
+        v.seq = seq;
+        v.dep_client = d;
+        v.needed = CountReplicatedPrefix(d, need, dc);
+        v.dep_seq = need;
+        v.applied = AppliedReplicatedCount(dc, d);
+        v.prefix_seq = prefix_[dc][d];
+        violations_.push_back(v);
         break;
       }
     }
@@ -116,10 +121,14 @@ class CausalityOracle {
     uint32_t expected = NextReplicatedSeq(writer, applied, dc);
     if (expected != seq) {
       ok = false;
-      violations_.push_back("dc" + std::to_string(dc) + " applied client " +
-                            std::to_string(writer) + " seq " + std::to_string(seq) +
-                            " out of session order (expected seq " +
-                            std::to_string(expected) + ")");
+      ViolationRecord v;
+      v.kind = ViolationRecord::Kind::kSessionOrder;
+      v.dc = dc;
+      v.uid = uid;
+      v.writer = writer;
+      v.seq = seq;
+      v.dep_seq = expected;
+      violations_.push_back(v);
     }
     applied = seq;
     return ok;
@@ -132,19 +141,31 @@ class CausalityOracle {
     const auto& vec = client_vectors_[c];
     for (uint32_t d = 0; d < num_clients_; ++d) {
       if (CountReplicatedPrefix(d, vec[d], dc) > AppliedReplicatedCount(dc, d)) {
-        violations_.push_back(
-            "attach of client " + std::to_string(c) + " at dc" + std::to_string(dc) +
-            " with missing deps from client " + std::to_string(d) + ": needs " +
-            std::to_string(CountReplicatedPrefix(d, vec[d], dc)) + " (dep seq " +
-            std::to_string(vec[d]) + "), applied " + std::to_string(AppliedReplicatedCount(dc, d)) +
-            " (prefix seq " + std::to_string(prefix_[dc][d]) + ")");
+        ViolationRecord v;
+        v.kind = ViolationRecord::Kind::kAttachDep;
+        v.dc = dc;
+        v.writer = static_cast<uint32_t>(c);
+        v.dep_client = d;
+        v.needed = CountReplicatedPrefix(d, vec[d], dc);
+        v.dep_seq = vec[d];
+        v.applied = AppliedReplicatedCount(dc, d);
+        v.prefix_seq = prefix_[dc][d];
+        violations_.push_back(v);
         return false;
       }
     }
     return true;
   }
 
-  const std::vector<std::string>& violations() const { return violations_; }
+  // Violations are recorded as structured records on the checking path and
+  // only rendered to strings here, so a clean run never pays for formatting
+  // (the oracle's OnApply/OnAttach ride the simulator's hot loop).
+  const std::vector<std::string>& violations() const {
+    while (formatted_.size() < violations_.size()) {
+      formatted_.push_back(Format(violations_[formatted_.size()]));
+    }
+    return formatted_;
+  }
   bool Clean() const { return violations_.empty(); }
 
   // --- Liveness: replication completeness -------------------------------
@@ -184,6 +205,46 @@ class CausalityOracle {
     uint32_t seq = 0;  // 1-based index into client_updates_[client]
   };
 
+  // Everything needed to render a violation message, captured as plain
+  // numbers at detection time.
+  struct ViolationRecord {
+    enum class Kind : uint8_t { kCausalDep, kSessionOrder, kAttachDep };
+    Kind kind = Kind::kCausalDep;
+    DcId dc = 0;
+    uint64_t uid = 0;
+    uint32_t writer = 0;    // writer client (causal/session) or attaching client
+    uint32_t seq = 0;
+    uint32_t dep_client = 0;
+    uint32_t needed = 0;
+    uint32_t dep_seq = 0;   // dep seq (causal/attach) or expected seq (session)
+    uint32_t applied = 0;
+    uint32_t prefix_seq = 0;
+  };
+
+  static std::string Format(const ViolationRecord& v) {
+    switch (v.kind) {
+      case ViolationRecord::Kind::kCausalDep:
+        return "dc" + std::to_string(v.dc) + " applied uid " + std::to_string(v.uid) +
+               " (client " + std::to_string(v.writer) + " seq " + std::to_string(v.seq) +
+               ") before causal deps from client " + std::to_string(v.dep_client) +
+               ": needs " + std::to_string(v.needed) + " replicated updates (dep seq " +
+               std::to_string(v.dep_seq) + "), applied " + std::to_string(v.applied) +
+               " (prefix seq " + std::to_string(v.prefix_seq) + ")";
+      case ViolationRecord::Kind::kSessionOrder:
+        return "dc" + std::to_string(v.dc) + " applied client " + std::to_string(v.writer) +
+               " seq " + std::to_string(v.seq) + " out of session order (expected seq " +
+               std::to_string(v.dep_seq) + ")";
+      case ViolationRecord::Kind::kAttachDep:
+        return "attach of client " + std::to_string(v.writer) + " at dc" +
+               std::to_string(v.dc) + " with missing deps from client " +
+               std::to_string(v.dep_client) + ": needs " + std::to_string(v.needed) +
+               " (dep seq " + std::to_string(v.dep_seq) + "), applied " +
+               std::to_string(v.applied) + " (prefix seq " + std::to_string(v.prefix_seq) +
+               ")";
+    }
+    return "";
+  }
+
   // Session seqs of client c's updates replicated at dc, in ascending order.
   std::vector<uint32_t>& SeqList(uint32_t c, DcId dc) {
     return replicated_seqs_[static_cast<size_t>(c) * num_dcs_ + dc];
@@ -218,7 +279,8 @@ class CausalityOracle {
   std::vector<std::vector<uint32_t>> prefix_;           // [dc][client] applied session prefix
   std::unordered_map<uint64_t, UpdateRef> by_uid_;
   std::unordered_map<uint64_t, DcSet> applied_at_;
-  std::vector<std::string> violations_;
+  std::vector<ViolationRecord> violations_;
+  mutable std::vector<std::string> formatted_;  // rendered lazily by violations()
 };
 
 }  // namespace saturn

@@ -45,7 +45,7 @@ void FaultInjector::Apply(const FaultEvent& event) {
       }
       break;
   }
-  log_.emplace_back(sim_->Now(), event.ToString());
+  log_.emplace_back(sim_->Now(), event);
 }
 
 }  // namespace saturn

@@ -8,6 +8,7 @@
 #ifndef SRC_FAULT_FAULT_INJECTOR_H_
 #define SRC_FAULT_FAULT_INJECTOR_H_
 
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -39,8 +40,17 @@ class FaultInjector : public Actor {
   }
 
   const FaultPlan& plan() const { return plan_; }
-  // (time applied, event description) — the fault trace of the run.
-  const std::vector<std::pair<SimTime, std::string>>& log() const { return log_; }
+  // (time applied, event description) — the fault trace of the run. Rendered
+  // on demand: applying a fault records only the event, so runs that never
+  // read the trace pay nothing for formatting.
+  std::vector<std::pair<SimTime, std::string>> log() const {
+    std::vector<std::pair<SimTime, std::string>> rendered;
+    rendered.reserve(log_.size());
+    for (const auto& [when, event] : log_) {
+      rendered.emplace_back(when, event.ToString());
+    }
+    return rendered;
+  }
 
  private:
   void Apply(const FaultEvent& event);
@@ -48,7 +58,7 @@ class FaultInjector : public Actor {
   Simulator* sim_;
   FaultPlan plan_;
   FaultTargets targets_;
-  std::vector<std::pair<SimTime, std::string>> log_;
+  std::vector<std::pair<SimTime, FaultEvent>> log_;
 };
 
 }  // namespace saturn

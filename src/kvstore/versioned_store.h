@@ -8,8 +8,8 @@
 #define SRC_KVSTORE_VERSIONED_STORE_H_
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "src/common/flat_map.h"
 #include "src/common/types.h"
 #include "src/core/label.h"
 
@@ -25,27 +25,24 @@ class VersionedStore {
   // Installs `value` unless a causally later (label-greater) version is
   // already present. Returns true if the version was installed.
   bool Put(KeyId key, const VersionedValue& value) {
-    auto [it, inserted] = map_.try_emplace(key, value);
-    if (inserted) {
-      return true;
+    if (VersionedValue* existing = map_.Find(key)) {
+      if (existing->label < value.label) {
+        *existing = value;
+        return true;
+      }
+      return false;
     }
-    if (it->second.label < value.label) {
-      it->second = value;
-      return true;
-    }
-    return false;
+    map_[key] = value;
+    return true;
   }
 
   // Returns the current version, or nullptr if the key was never written.
-  const VersionedValue* Get(KeyId key) const {
-    auto it = map_.find(key);
-    return it == map_.end() ? nullptr : &it->second;
-  }
+  const VersionedValue* Get(KeyId key) const { return map_.Find(key); }
 
   size_t size() const { return map_.size(); }
 
  private:
-  std::unordered_map<KeyId, VersionedValue> map_;
+  FlatMap<KeyId, VersionedValue> map_;
 };
 
 }  // namespace saturn

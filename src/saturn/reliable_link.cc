@@ -1,5 +1,7 @@
 #include "src/saturn/reliable_link.h"
 
+#include <utility>
+
 namespace saturn {
 namespace {
 
@@ -13,6 +15,18 @@ constexpr SimTime kRetransmitMargin = Millis(25);
 
 }  // namespace
 
+ReliableLinks::ReliableLinks(Simulator* sim, Network* net, Actor* owner, Deliver deliver)
+    : sim_(sim),
+      net_(net),
+      owner_(owner),
+      deliver_(std::move(deliver)),
+      tick_(sim, [this]() {
+        Tick();
+        if (WorkPending()) {
+          ScheduleTick();
+        }
+      }) {}
+
 void ReliableLinks::SetPeerDelay(NodeId peer, SimTime delay) {
   out_[peer].delay = delay;
 }
@@ -20,23 +34,23 @@ void ReliableLinks::SetPeerDelay(NodeId peer, SimTime delay) {
 void ReliableLinks::Send(NodeId to, LabelEnvelope env) {
   OutChannel& out = out_[to];
   env.link_seq = out.next_out++;
-  out.unacked[env.link_seq] = env;
+  out.unacked.Push(env.link_seq, OutEntry{env, 0});
   Transmit(to, &out, env.link_seq);
   ScheduleTick();
 }
 
 void ReliableLinks::Transmit(NodeId to, OutChannel* out, uint64_t seq) {
-  out->sent_at[seq] = sim_->Now();
-  const LabelEnvelope& env = out->unacked[seq];
+  OutEntry& entry = out->unacked.At(seq);
+  entry.sent_at = sim_->Now();
   if (out->delay > 0) {
     // Artificial edge delay (section 5.4): constant per directed edge, so it
     // shifts but never reorders transmissions.
     Network* net = net_;
     NodeId self = owner_->node_id();
-    LabelEnvelope copy = env;
+    LabelEnvelope copy = entry.env;
     sim_->After(out->delay, [net, self, to, copy]() { net->Send(self, to, copy); });
   } else {
-    net_->Send(owner_->node_id(), to, env);
+    net_->Send(owner_->node_id(), to, entry.env);
   }
 }
 
@@ -57,12 +71,11 @@ void ReliableLinks::OnEnvelope(NodeId from, const LabelEnvelope& env) {
   }
   deliver_(from, env);
   ++in.next_in;
-  auto it = in.reorder.find(in.next_in);
-  while (it != in.reorder.end()) {
-    deliver_(from, it->second);
-    in.reorder.erase(it);
+  while (LabelEnvelope* buffered = in.reorder.Find(in.next_in)) {
+    LabelEnvelope next = *buffered;
+    in.reorder.Erase(in.next_in);
+    deliver_(from, next);
     ++in.next_in;
-    it = in.reorder.find(in.next_in);
   }
 }
 
@@ -71,11 +84,7 @@ void ReliableLinks::OnAck(NodeId from, const LinkAck& ack) {
   if (channel == out_.end()) {
     return;
   }
-  OutChannel& out = channel->second;
-  while (!out.unacked.empty() && out.unacked.begin()->first <= ack.acked) {
-    out.sent_at.erase(out.unacked.begin()->first);
-    out.unacked.erase(out.unacked.begin());
-  }
+  channel->second.unacked.PopUpTo(ack.acked);
 }
 
 SimTime ReliableLinks::Rto(NodeId to, const OutChannel& out) const {
@@ -99,17 +108,7 @@ bool ReliableLinks::WorkPending() const {
 }
 
 void ReliableLinks::ScheduleTick() {
-  if (tick_scheduled_) {
-    return;
-  }
-  tick_scheduled_ = true;
-  sim_->After(kTickInterval, [this]() {
-    tick_scheduled_ = false;
-    Tick();
-    if (WorkPending()) {
-      ScheduleTick();
-    }
-  });
+  tick_.Arm(kTickInterval);
 }
 
 void ReliableLinks::Tick() {
@@ -124,12 +123,14 @@ void ReliableLinks::Tick() {
   }
   for (auto& [peer, out] : out_) {
     SimTime rto = Rto(peer, out);
-    for (auto& [seq, sent] : out.sent_at) {
-      if (now - sent >= rto) {
+    NodeId to = peer;
+    OutChannel* channel = &out;
+    out.unacked.ForEach([&](uint64_t seq, OutEntry& entry) {
+      if (now - entry.sent_at >= rto) {
         ++retransmissions_;
-        Transmit(peer, &out, seq);
+        Transmit(to, channel, seq);
       }
-    }
+    });
   }
 }
 

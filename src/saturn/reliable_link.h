@@ -27,10 +27,13 @@
 #include <functional>
 #include <map>
 
+#include "src/common/flat_map.h"
+#include "src/common/seq_window.h"
 #include "src/core/messages.h"
 #include "src/sim/actor.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/network.h"
+#include "src/sim/timer.h"
 
 namespace saturn {
 
@@ -39,8 +42,7 @@ class ReliableLinks {
   // `deliver` is invoked for every envelope in send order, exactly once.
   using Deliver = std::function<void(NodeId from, const LabelEnvelope&)>;
 
-  ReliableLinks(Simulator* sim, Network* net, Actor* owner, Deliver deliver)
-      : sim_(sim), net_(net), owner_(owner), deliver_(std::move(deliver)) {}
+  ReliableLinks(Simulator* sim, Network* net, Actor* owner, Deliver deliver);
 
   // Artificial propagation delay for the directed edge to `peer` (tree-solver
   // edges, section 5.4). Applied to first transmissions and retransmissions
@@ -62,15 +64,20 @@ class ReliableLinks {
   uint64_t retransmissions() const { return retransmissions_; }
 
  private:
+  // Sent but not yet cumulatively acked. Sequence numbers are dense and acks
+  // retire prefixes, so the live set is a contiguous window (see seq_window.h).
+  struct OutEntry {
+    LabelEnvelope env;
+    SimTime sent_at = 0;  // last (re)transmission time
+  };
   struct OutChannel {
     uint64_t next_out = 1;
-    std::map<uint64_t, LabelEnvelope> unacked;  // seq -> envelope
-    std::map<uint64_t, SimTime> sent_at;        // seq -> last transmission
-    SimTime delay = 0;                          // artificial edge delay
+    SeqWindow<OutEntry> unacked;  // contiguous [acked+1, next_out)
+    SimTime delay = 0;            // artificial edge delay
   };
   struct InChannel {
     uint64_t next_in = 1;
-    std::map<uint64_t, LabelEnvelope> reorder;  // arrived out of order
+    FlatMap<uint64_t, LabelEnvelope> reorder;  // arrived out of order
     bool ack_owed = false;
   };
 
@@ -84,9 +91,11 @@ class ReliableLinks {
   Network* net_;
   Actor* owner_;
   Deliver deliver_;
+  // Keyed by peer NodeId and iterated in Tick(); std::map keeps the ascending
+  // node order the deterministic schedule depends on.
   std::map<NodeId, OutChannel> out_;
   std::map<NodeId, InChannel> in_;
-  bool tick_scheduled_ = false;
+  LazyTimer tick_;
   uint64_t retransmissions_ = 0;
 };
 

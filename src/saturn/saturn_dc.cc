@@ -247,7 +247,7 @@ void SaturnDc::PumpStream() {
       const LabelEnvelope env = stream_.front();
       const Label& l = env.label;
       if (l.type == LabelType::kUpdate) {
-        if (applied_uids_.count(l.uid) == 0) {
+        if (!applied_uids_.Contains(l.uid)) {
           auto it = pending_payloads_.find(KeyOf(l));
           if (it == pending_payloads_.end()) {
             // Stall: the stream may not overtake the bulk-data transfer.
@@ -264,6 +264,7 @@ void SaturnDc::PumpStream() {
       }
       if (l.origin_dc() < num_dcs_ && l.ts > stream_progress_[l.origin_dc()]) {
         stream_progress_[l.origin_dc()] = l.ts;
+        min_remote_progress_dirty_ = true;
       }
       stream_.pop_front();
     }
@@ -306,7 +307,7 @@ void SaturnDc::ProcessStreamLabel(const LabelEnvelope& env) {
 }
 
 void SaturnDc::ApplyOrdered(const RemotePayload& payload) {
-  applied_uids_.insert(payload.label.uid);
+  applied_uids_.Insert(payload.label.uid);
   SimTime floor = std::max(last_visible_, sim_->Now());
   ApplyRemoteUpdate(payload, floor, [this](SimTime t) { last_visible_ = t; });
 }
@@ -319,23 +320,42 @@ void SaturnDc::NoteBulkProgress(DcId origin, uint32_t gear, int64_t ts) {
   SAT_CHECK(origin < num_dcs_ && gear < config_.num_gears);
   if (ts > bulk_gear_ts_[origin][gear]) {
     bulk_gear_ts_[origin][gear] = ts;
+    ts_stable_dirty_ = true;
   }
 }
 
 int64_t SaturnDc::TimestampStable() const {
-  int64_t stable = kSimTimeNever;
-  for (DcId dc = 0; dc < num_dcs_; ++dc) {
-    if (dc == config_.id) {
-      continue;
-    }
-    for (int64_t ts : bulk_gear_ts_[dc]) {
-      stable = std::min(stable, ts);
-    }
-  }
   if (num_dcs_ <= 1) {
     return clock_.Now();
   }
-  return stable;
+  if (ts_stable_dirty_) {
+    int64_t stable = kSimTimeNever;
+    for (DcId dc = 0; dc < num_dcs_; ++dc) {
+      if (dc == config_.id) {
+        continue;
+      }
+      for (int64_t ts : bulk_gear_ts_[dc]) {
+        stable = std::min(stable, ts);
+      }
+    }
+    ts_stable_cache_ = stable;
+    ts_stable_dirty_ = false;
+  }
+  return ts_stable_cache_;
+}
+
+int64_t SaturnDc::MinRemoteStreamProgress() const {
+  if (min_remote_progress_dirty_) {
+    int64_t progress = kSimTimeNever;
+    for (DcId dc = 0; dc < num_dcs_; ++dc) {
+      if (dc != config_.id) {
+        progress = std::min(progress, stream_progress_[dc]);
+      }
+    }
+    min_remote_progress_cache_ = progress;
+    min_remote_progress_dirty_ = false;
+  }
+  return min_remote_progress_cache_;
 }
 
 void SaturnDc::DrainPendingUpTo(int64_t bound) {
@@ -346,7 +366,7 @@ void SaturnDc::DrainPendingUpTo(int64_t bound) {
     SAT_CHECK(it != pending_payloads_.end());
     RemotePayload payload = it->second;
     pending_payloads_.erase(it);
-    if (applied_uids_.count(head.uid) == 0) {
+    if (!applied_uids_.Contains(head.uid)) {
       ApplyOrdered(payload);
     }
   }
@@ -387,13 +407,7 @@ void SaturnDc::OrphanRepair() {
   if (ts_mode_ || !has_tree_ || num_dcs_ <= 1 || pending_order_.empty()) {
     return;
   }
-  int64_t bound = TimestampStable();
-  for (DcId dc = 0; dc < num_dcs_; ++dc) {
-    if (dc != config_.id) {
-      bound = std::min(bound, stream_progress_[dc]);
-    }
-  }
-  DrainPendingUpTo(bound);
+  DrainPendingUpTo(std::min(TimestampStable(), MinRemoteStreamProgress()));
 }
 
 void SaturnDc::TryResyncExit() {
@@ -428,7 +442,7 @@ void SaturnDc::OnRemotePayload(const RemotePayload& payload) {
   // timestamp-order stability (section 6.1).
   NoteBulkProgress(payload.label.origin_dc(), SourceGear(payload.label.src),
                    payload.label.ts);
-  if (applied_uids_.count(payload.label.uid) != 0) {
+  if (applied_uids_.Contains(payload.label.uid)) {
     return;
   }
   pending_payloads_[KeyOf(payload.label)] = payload;
@@ -477,15 +491,7 @@ bool SaturnDc::WaiterReady(const ClientRequest& req) const {
   // bulk-channel stability bound only counts while in timestamp mode, where
   // stable updates are actually applied.
   int64_t ts_stable = ts_mode_ ? TimestampStable() : -1;
-  for (DcId dc = 0; dc < num_dcs_; ++dc) {
-    if (dc == config_.id) {
-      continue;
-    }
-    if (stream_progress_[dc] < l.ts && ts_stable < l.ts) {
-      return false;
-    }
-  }
-  return true;
+  return l.ts <= MinRemoteStreamProgress() || l.ts <= ts_stable;
 }
 
 void SaturnDc::CompleteWaiter(NodeId from, const ClientRequest& req) {
@@ -500,15 +506,20 @@ void SaturnDc::CheckAttachWaiters() {
   if (waiters_.empty()) {
     return;
   }
-  std::vector<AttachWaiter> still;
-  for (auto& w : waiters_) {
-    if (WaiterReady(w.req)) {
-      CompleteWaiter(w.from, w.req);
+  // Stable in-place compaction: completion order matches arrival order and no
+  // per-check allocation (this runs after every pump/drain).
+  size_t keep = 0;
+  for (size_t i = 0; i < waiters_.size(); ++i) {
+    if (WaiterReady(waiters_[i].req)) {
+      CompleteWaiter(waiters_[i].from, waiters_[i].req);
     } else {
-      still.push_back(std::move(w));
+      if (keep != i) {
+        waiters_[keep] = std::move(waiters_[i]);
+      }
+      ++keep;
     }
   }
-  waiters_ = std::move(still);
+  waiters_.resize(keep);
 }
 
 void SaturnDc::HandleAttach(NodeId from, const ClientRequest& req) {

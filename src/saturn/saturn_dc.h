@@ -26,9 +26,9 @@
 #include <map>
 #include <set>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/core/datacenter.h"
 #include "src/saturn/reliable_link.h"
 
@@ -115,6 +115,7 @@ class SaturnDc : public DatacenterBase {
   void ProcessStreamLabel(const LabelEnvelope& env);
   void TimestampDrain();
   int64_t TimestampStable() const;
+  int64_t MinRemoteStreamProgress() const;
   void DrainPendingUpTo(int64_t bound);
   void OrphanRepair();
   void ApplyOrdered(const RemotePayload& payload);
@@ -157,11 +158,19 @@ class SaturnDc : public DatacenterBase {
   // Payload buffer shared by both drains.
   std::map<LabelKey, RemotePayload> pending_payloads_;
   std::set<Label, LabelOrder> pending_order_;
-  std::unordered_set<uint64_t> applied_uids_;
+  FlatSet<uint64_t> applied_uids_;
 
   // Timestamp-stability state.
   bool ts_mode_ = false;
   std::vector<std::vector<int64_t>> bulk_gear_ts_;  // [dc][gear]
+  // Lazily recomputed minima for the hot stability predicates. Each has a
+  // single writer (NoteBulkProgress / PumpStream) that sets the dirty flag;
+  // TimestampStable and WaiterReady run once per stream/bulk event and would
+  // otherwise rescan O(dcs * gears) state every time.
+  mutable int64_t ts_stable_cache_ = -1;
+  mutable bool ts_stable_dirty_ = true;
+  mutable int64_t min_remote_progress_cache_ = -1;
+  mutable bool min_remote_progress_dirty_ = true;
   SimTime fallback_timeout_ = Millis(300);
   SimTime outage_started_ = 0;
   // Resync-to-stream fence: per remote origin, the timestamp of the first

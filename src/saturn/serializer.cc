@@ -111,7 +111,7 @@ void Serializer::EnqueueThroughChain(const LabelEnvelope& env, NodeId ingress) {
     Commit(fwd);
     return;
   }
-  unacked_[fwd.seq] = fwd;
+  unacked_.Push(fwd.seq, fwd);
   net_->Send(node_id(), head, fwd);
 }
 
@@ -128,15 +128,17 @@ void Serializer::Commit(const ChainForward& fwd) {
   }
   ChainForward current = fwd;
   for (;;) {
-    unacked_.erase(current.seq);
+    // Commits are gated on contiguity (current.seq == next_commit_), so this
+    // retires exactly the front of the window when the entry is present.
+    unacked_.PopUpTo(current.seq);
     ++next_commit_;
     Route(current.envelope, current.ingress_link);
-    auto it = out_of_order_.find(next_commit_);
-    if (it == out_of_order_.end()) {
+    ChainForward* buffered = out_of_order_.Find(next_commit_);
+    if (buffered == nullptr) {
       break;
     }
-    current = it->second;
-    out_of_order_.erase(it);
+    current = *buffered;
+    out_of_order_.Erase(current.seq);
   }
 }
 
@@ -170,9 +172,7 @@ bool Serializer::KillReplica(uint32_t index) {
   NodeId head = FirstLiveReplica();
   std::vector<ChainForward> to_resend;
   to_resend.reserve(unacked_.size());
-  for (const auto& [seq, fwd] : unacked_) {
-    to_resend.push_back(fwd);
-  }
+  unacked_.ForEach([&](uint64_t /*seq*/, ChainForward& fwd) { to_resend.push_back(fwd); });
   for (const auto& fwd : to_resend) {
     if (head == kInvalidNode) {
       Commit(fwd);

@@ -17,11 +17,12 @@
 #define SRC_SATURN_SERIALIZER_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "src/common/dc_set.h"
+#include "src/common/flat_map.h"
+#include "src/common/seq_window.h"
 #include "src/common/types.h"
 #include "src/core/messages.h"
 #include "src/saturn/reliable_link.h"
@@ -102,8 +103,11 @@ class Serializer : public Actor {
 
   uint64_t next_seq_ = 1;
   uint64_t next_commit_ = 1;
-  std::map<uint64_t, ChainForward> unacked_;   // sent into the chain, not yet committed
-  std::map<uint64_t, ChainForward> out_of_order_;
+  // Sent into the chain, not yet committed. Sequences are dense and commits
+  // retire the contiguous prefix, so the live set is a sliding window; splice
+  // resends iterate it in ascending seq order (KillReplica).
+  SeqWindow<ChainForward> unacked_;
+  FlatMap<uint64_t, ChainForward> out_of_order_;  // committed ahead of a gap
   uint64_t routed_ = 0;
 };
 

@@ -4,22 +4,37 @@
 // times run in scheduling order (a monotonically increasing sequence number
 // breaks ties), which — together with explicit RNG ownership — makes every run
 // with the same seed bit-for-bit reproducible.
+//
+// Hot-path design: tasks are InlineTask (small-buffer closures, no heap
+// allocation for the common capture sizes — see inline_task.h). Tasks are
+// parked in a slab (`slots_` + freelist) and the priority queue is an explicit
+// binary min-heap over 24-byte trivially-copyable handles {time, seq, slot}.
+// Heap rebalances therefore shuffle PODs — no relocate calls, no 200-byte
+// moves — and the sift uses a hole instead of pairwise swaps, so each level
+// costs one handle move. The explicit heap also pops by move
+// (std::priority_queue exposes only a const top(), forcing a const_cast to
+// steal the task). Because (time, seq) is a strict total order (seq is
+// unique), execution order is independent of the heap's internal layout and
+// of slot reuse: any correct heap yields the identical event trace, which is
+// what makes executed_events() usable as a determinism fingerprint across
+// core rewrites.
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/common/check.h"
 #include "src/common/types.h"
+#include "src/sim/inline_task.h"
 
 namespace saturn {
 
 class Simulator {
  public:
-  using Task = std::function<void()>;
+  using Task = InlineTask;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -31,7 +46,16 @@ class Simulator {
   void At(SimTime when, Task task) {
     SAT_CHECK_MSG(when >= now_, "scheduling into the past: %lld < %lld",
                   static_cast<long long>(when), static_cast<long long>(now_));
-    queue_.push(Event{when, next_seq_++, std::move(task)});
+    uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      slots_[slot] = std::move(task);
+    } else {
+      slot = static_cast<uint32_t>(slots_.size());
+      slots_.push_back(std::move(task));
+    }
+    Push(HeapEntry{when, next_seq_++, slot});
   }
 
   // Schedules `task` `delay` microseconds from now.
@@ -39,14 +63,16 @@ class Simulator {
 
   // Runs a single event. Returns false if the queue is empty.
   bool Step() {
-    if (queue_.empty()) {
+    if (heap_.empty()) {
       return false;
     }
-    // Move the task out before popping; pop invalidates the reference.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
-    ev.task();
+    HeapEntry top = PopTop();
+    now_ = top.time;
+    // Steal the task and retire the slot *before* running: the task may
+    // schedule new events, and its slot is free for them to reuse.
+    Task task = std::move(slots_[top.slot]);
+    free_slots_.push_back(top.slot);
+    task();
     ++executed_;
     return true;
   }
@@ -54,7 +80,7 @@ class Simulator {
   // Runs until the queue drains or virtual time would exceed `until`.
   // Leaves events scheduled after `until` in the queue and sets Now() == until.
   void RunUntil(SimTime until) {
-    while (!queue_.empty() && queue_.top().time <= until) {
+    while (!heap_.empty() && heap_.front().time <= until) {
       Step();
     }
     if (now_ < until) {
@@ -68,24 +94,73 @@ class Simulator {
     }
   }
 
-  bool Empty() const { return queue_.empty(); }
+  bool Empty() const { return heap_.empty(); }
   uint64_t executed_events() const { return executed_; }
+  size_t pending_events() const { return heap_.size(); }
 
  private:
-  struct Event {
+  // Heap handle: comparison key plus the slab slot holding the task.
+  // Trivially copyable by design — sifting must be memcpy-cheap.
+  struct HeapEntry {
     SimTime time;
     uint64_t seq;
-    Task task;
-
-    bool operator>(const Event& other) const {
-      if (time != other.time) {
-        return time > other.time;
-      }
-      return seq > other.seq;
-    }
+    uint32_t slot;
   };
+  static_assert(std::is_trivially_copyable_v<HeapEntry>);
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
+  // Strict weak (actually total, seq is unique) min-order.
+  static bool Before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) {
+      return a.time < b.time;
+    }
+    return a.seq < b.seq;
+  }
+
+  void Push(HeapEntry ev) {
+    size_t hole = heap_.size();
+    heap_.emplace_back();
+    while (hole > 0) {
+      size_t parent = (hole - 1) / 2;
+      if (!Before(ev, heap_[parent])) {
+        break;
+      }
+      heap_[hole] = heap_[parent];
+      hole = parent;
+    }
+    heap_[hole] = ev;
+  }
+
+  HeapEntry PopTop() {
+    HeapEntry top = heap_.front();
+    if (heap_.size() == 1) {
+      heap_.pop_back();
+      return top;
+    }
+    HeapEntry last = heap_.back();
+    heap_.pop_back();
+    size_t hole = 0;
+    size_t n = heap_.size();
+    for (;;) {
+      size_t child = 2 * hole + 1;
+      if (child >= n) {
+        break;
+      }
+      if (child + 1 < n && Before(heap_[child + 1], heap_[child])) {
+        ++child;
+      }
+      if (!Before(heap_[child], last)) {
+        break;
+      }
+      heap_[hole] = heap_[child];
+      hole = child;
+    }
+    heap_[hole] = last;
+    return top;
+  }
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Task> slots_;         // task slab, indexed by HeapEntry::slot
+  std::vector<uint32_t> free_slots_;  // retired slots awaiting reuse
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;

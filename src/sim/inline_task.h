@@ -1,0 +1,129 @@
+// InlineTask: the simulator's move-only callable with small-buffer storage.
+//
+// Every simulated message and timer becomes one scheduled closure, so the
+// per-closure cost *is* the simulator's hot path. std::function heap-allocates
+// any capture larger than its tiny internal buffer (16 bytes on libstdc++) and
+// must be copy-constructible; InlineTask instead reserves enough inline
+// storage for the simulator's real closures — a network delivery captures a
+// whole Message variant — and is move-only, so captured payloads move from the
+// sender to the event heap to the handler without a single allocation or copy.
+// Callables that genuinely exceed the buffer still work (heap fallback), they
+// are just not free; the hot call sites static_assert they fit (see
+// network.cc / datacenter.cc).
+#ifndef SRC_SIM_INLINE_TASK_H_
+#define SRC_SIM_INLINE_TASK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace saturn {
+
+class InlineTask {
+ public:
+  // Sized so a network-delivery closure (this + endpoints + Message) stays
+  // inline; the Event framing around it keeps the heap node cache-friendly.
+  static constexpr std::size_t kCapacity = 232;
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+
+  // True when F runs inline: no allocation on construction, a memcpy-sized
+  // move when the event heap rebalances.
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= kCapacity && alignof(F) <= kAlign &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  InlineTask() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, InlineTask>>>
+  InlineTask(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(static_cast<void*>(storage_)) = new Fn(std::forward<F>(f));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  InlineTask(InlineTask&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineTask& operator=(InlineTask&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineTask(const InlineTask&) = delete;
+  InlineTask& operator=(const InlineTask&) = delete;
+
+  ~InlineTask() { Reset(); }
+
+  void operator()() {
+    ops_->invoke(storage_);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  // Introspection for tests: whether the stored callable lives inline.
+  bool stored_inline() const noexcept { return ops_ != nullptr && ops_->inline_storage; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-construct the callable at dst from src, then destroy the src copy.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* storage) { (*std::launder(reinterpret_cast<Fn*>(storage)))(); },
+      [](void* dst, void* src) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* storage) noexcept { std::launder(reinterpret_cast<Fn*>(storage))->~Fn(); },
+      /*inline_storage=*/true,
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* storage) { (**std::launder(reinterpret_cast<Fn**>(storage)))(); },
+      [](void* dst, void* src) noexcept {
+        *reinterpret_cast<Fn**>(dst) = *std::launder(reinterpret_cast<Fn**>(src));
+      },
+      [](void* storage) noexcept { delete *std::launder(reinterpret_cast<Fn**>(storage)); },
+      /*inline_storage=*/false,
+  };
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(kAlign) unsigned char storage_[kCapacity];
+};
+
+}  // namespace saturn
+
+#endif  // SRC_SIM_INLINE_TASK_H_

@@ -23,17 +23,16 @@ void Network::Send(NodeId from, NodeId to, Message msg) {
   SiteId sa = nodes_[from].site;
   SiteId sb = nodes_[to].site;
 
-  if (auto it = links_.find(SitePair(sa, sb)); it != links_.end() && it->second.down) {
-    LinkState& link = it->second;
-    if (link.drop) {
+  if (LinkState* link = links_.Find(SitePair(sa, sb)); link != nullptr && link->down) {
+    if (link->drop) {
       ++dropped_on_cut_;
       return;
     }
-    if (config_.down_buffer_cap > 0 && link.buffer.size() >= config_.down_buffer_cap) {
-      link.buffer.pop_front();  // drop-oldest
+    if (config_.down_buffer_cap > 0 && link->buffer.size() >= config_.down_buffer_cap) {
+      link->buffer.pop_front();  // drop-oldest
       ++dropped_overflow_;
     }
-    link.buffer.push_back({{from, to}, std::move(msg)});
+    link->buffer.push_back({{from, to}, std::move(msg)});
     return;
   }
 
@@ -47,10 +46,10 @@ void Network::Send(NodeId from, NodeId to, Message msg) {
   SimTime transmission = static_cast<SimTime>(static_cast<double>(size) /
                                               config_.bandwidth_bytes_per_us);
   SimTime when = sim_->Now() + base + jitter + transmission;
-  Deliver(from, to, std::move(msg), when);
+  Deliver(from, to, std::move(msg), when, size);
 }
 
-void Network::Deliver(NodeId from, NodeId to, Message msg, SimTime when) {
+void Network::Deliver(NodeId from, NodeId to, Message msg, SimTime when, uint32_t wire_size) {
   // FIFO clamp: no message on a (from, to) channel overtakes an earlier one.
   uint64_t chan_key = (static_cast<uint64_t>(from) << 32) | to;
   Channel& chan = channels_[chan_key];
@@ -60,29 +59,37 @@ void Network::Deliver(NodeId from, NodeId to, Message msg, SimTime when) {
   chan.last_delivery = when;
 
   ++messages_sent_;
-  bytes_sent_ += MessageWireSize(msg);
+  bytes_sent_ += wire_size;
 
   // Fault state is re-checked at delivery time: a lossy cut or a crash landing
   // while the message is in flight loses it (packets on the wire do not
   // survive either). Buffered cuts leave in-flight traffic alone — they model
-  // TCP, which retransmits once the route heals.
-  sim_->At(when, [this, from, to, m = std::move(msg)]() {
+  // TCP, which retransmits once the route heals. The message moves into the
+  // event and is handed to the actor without further copies.
+  auto task = [this, from, to, m = std::move(msg)]() {
     if (nodes_[to].down) {
       ++dropped_node_down_;
       return;
     }
-    auto it = links_.find(SitePair(nodes_[from].site, nodes_[to].site));
-    if (it != links_.end() && it->second.down && it->second.drop) {
+    const LinkState* link = links_.Find(SitePair(nodes_[from].site, nodes_[to].site));
+    if (link != nullptr && link->down && link->drop) {
       ++dropped_on_cut_;
       return;
     }
     nodes_[to].actor->HandleMessage(from, m);
-  });
+  };
+  // The delivery closure is the simulator's single hottest scheduling site:
+  // one per simulated message. It must stay inside InlineTask's buffer, or
+  // every message pays a heap round trip again.
+  static_assert(InlineTask::fits_inline<decltype(task)>,
+                "network delivery closure no longer fits InlineTask's inline buffer; "
+                "grow InlineTask::kCapacity or shrink Message");
+  sim_->At(when, std::move(task));
 }
 
 void Network::InjectExtraLatency(SiteId a, SiteId b, SimTime extra) {
   if (extra == 0) {
-    injected_.erase(SitePair(a, b));
+    injected_.Erase(SitePair(a, b));
   } else {
     injected_[SitePair(a, b)] = extra;
   }
@@ -108,20 +115,20 @@ void Network::CutLink(SiteId a, SiteId b, bool drop_messages) {
 }
 
 void Network::HealLink(SiteId a, SiteId b) {
-  auto it = links_.find(SitePair(a, b));
-  if (it == links_.end() || !it->second.down) {
+  LinkState* link = links_.Find(SitePair(a, b));
+  if (link == nullptr || !link->down) {
     return;
   }
-  auto buffered = std::move(it->second.buffer);
-  links_.erase(it);
+  auto buffered = std::move(link->buffer);
+  links_.Erase(SitePair(a, b));
   for (auto& [endpoints, msg] : buffered) {
     Send(endpoints.first, endpoints.second, std::move(msg));
   }
 }
 
 bool Network::LinkDown(SiteId a, SiteId b) const {
-  auto it = links_.find(SitePair(a, b));
-  return it != links_.end() && it->second.down;
+  const LinkState* link = links_.Find(SitePair(a, b));
+  return link != nullptr && link->down;
 }
 
 void Network::SetNodeDown(NodeId node, bool down) {

@@ -13,11 +13,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/common/flat_map.h"
 #include "src/common/types.h"
 #include "src/core/messages.h"
 #include "src/sim/actor.h"
@@ -124,8 +124,8 @@ class Network {
       return config_.intra_site_latency;
     }
     SimTime extra = 0;
-    if (auto it = injected_.find(SitePair(a, b)); it != injected_.end()) {
-      extra = it->second;
+    if (const SimTime* injected = injected_.Find(SitePair(a, b))) {
+      extra = *injected;
     }
     return latency_.Get(a, b) + extra;
   }
@@ -166,16 +166,16 @@ class Network {
     return (static_cast<uint64_t>(a) << 32) | b;
   }
 
-  void Deliver(NodeId from, NodeId to, Message msg, SimTime when);
+  void Deliver(NodeId from, NodeId to, Message msg, SimTime when, uint32_t wire_size);
 
   Simulator* sim_;
   LatencyMatrix latency_;
   NetworkConfig config_;
   Rng jitter_rng_;
   std::vector<NodeInfo> nodes_;
-  std::map<uint64_t, Channel> channels_;  // key: (from << 32) | to
-  std::map<uint64_t, SimTime> injected_;  // key: site pair
-  std::map<uint64_t, LinkState> links_;   // key: site pair; only cut links present
+  FlatMap<uint64_t, Channel> channels_;  // key: (from << 32) | to
+  FlatMap<uint64_t, SimTime> injected_;  // key: site pair
+  FlatMap<uint64_t, LinkState> links_;   // key: site pair; only cut links present
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
   uint64_t dropped_on_cut_ = 0;

@@ -1,0 +1,117 @@
+// Reusable timer handles for timer-driven actors.
+//
+// Before these existed, every periodic activity (stabilization broadcasts,
+// sink flushes, RTO ticks) re-created a fresh closure per firing — a
+// shared_ptr bump plus, under std::function, a heap allocation per tick. A
+// timer handle instead stores its callback once and re-arms by scheduling a
+// pointer-sized InlineTask, so steady-state timers put zero allocations on
+// the event path.
+//
+// Lifetime: an armed timer's firing event holds a pointer to the handle, so
+// the handle must outlive the simulator run (or, equivalently, the simulator
+// must not be stepped after the handle dies). Both handles are members of
+// long-lived actors (datacenters, link layers) that are destroyed together
+// with the simulator, after the last Step — the same contract raw `this`
+// captures in actor code already rely on. Stop()/generation counters exist so
+// a *logically* cancelled timer can ignore its already-scheduled firing; they
+// do not extend lifetimes.
+#ifndef SRC_SIM_TIMER_H_
+#define SRC_SIM_TIMER_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/types.h"
+#include "src/sim/event_queue.h"
+
+namespace saturn {
+
+// Fires its callback every `interval`, starting one interval after Start().
+// Exactly one firing event is in flight at a time; Stop() cancels logically
+// (the in-flight event becomes a no-op via the generation counter), Start()
+// after Stop() restarts the cadence.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator* sim, SimTime interval, std::function<void()> fn)
+      : sim_(sim), interval_(interval), fn_(std::move(fn)) {
+    SAT_CHECK(interval_ > 0);
+  }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void Start() {
+    if (running_) {
+      return;
+    }
+    running_ = true;
+    Schedule();
+  }
+
+  void Stop() {
+    running_ = false;
+    ++generation_;  // orphans any in-flight firing
+  }
+
+  bool running() const { return running_; }
+
+ private:
+  void Schedule() {
+    uint64_t gen = generation_;
+    sim_->After(interval_, [this, gen]() { Fire(gen); });
+  }
+
+  void Fire(uint64_t gen) {
+    if (gen != generation_ || !running_) {
+      return;  // stopped (or restarted) after this firing was scheduled
+    }
+    fn_();
+    if (running_ && gen == generation_) {
+      Schedule();
+    }
+  }
+
+  Simulator* sim_;
+  SimTime interval_;
+  std::function<void()> fn_;
+  uint64_t generation_ = 0;
+  bool running_ = false;
+};
+
+// A re-armable one-shot timer for lazy maintenance ticks (cumulative acks,
+// retransmission checks): Arm() schedules a firing `delay` from now unless
+// one is already pending, so bursts of traffic coalesce into a single tick.
+// The callback may call Arm() again to keep the tick alive while work
+// remains — the idle state costs nothing and leaves the event queue empty.
+class LazyTimer {
+ public:
+  LazyTimer(Simulator* sim, std::function<void()> fn) : sim_(sim), fn_(std::move(fn)) {}
+
+  LazyTimer(const LazyTimer&) = delete;
+  LazyTimer& operator=(const LazyTimer&) = delete;
+
+  // Schedules a firing `delay` from now; no-op when one is already pending.
+  void Arm(SimTime delay) {
+    if (armed_) {
+      return;
+    }
+    armed_ = true;
+    sim_->After(delay, [this]() {
+      armed_ = false;
+      fn_();
+    });
+  }
+
+  bool armed() const { return armed_; }
+
+ private:
+  Simulator* sim_;
+  std::function<void()> fn_;
+  bool armed_ = false;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_SIM_TIMER_H_

@@ -26,7 +26,7 @@ Client::Client(Simulator* sim, Network* net, const ReplicaMap* replicas,
 void Client::Start() { NextOp(); }
 
 void Client::AddDep(const ExplicitDep& dep) {
-  if (context_uids_.insert(dep.uid).second) {
+  if (context_uids_.Insert(dep.uid)) {
     context_.push_back(dep);
     max_context_ = std::max(max_context_, context_.size());
   }
@@ -151,7 +151,7 @@ void Client::OnResponse(const ClientResponse& resp) {
             // Transitivity: the new update subsumes the whole context.
             // Sound under full replication only (section 7.3.1).
             context_.clear();
-            context_uids_.clear();
+            context_uids_.Clear();
           }
           AddDep(ExplicitDep{current_op_.key, resp.label.src, resp.label.ts, resp.label.uid});
         }

@@ -12,10 +12,10 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
 #include "src/core/label.h"
+#include "src/common/flat_map.h"
 #include "src/core/messages.h"
 #include "src/core/metrics.h"
 #include "src/core/oracle.h"
@@ -104,7 +104,7 @@ class Client : public Actor {
   Label label_ = kBottomLabel;
   std::vector<int64_t> vector_;  // Cure mode only
   std::vector<ExplicitDep> context_;  // COPS mode only
-  std::unordered_set<uint64_t> context_uids_;
+  FlatSet<uint64_t> context_uids_;
   size_t max_context_ = 0;
 
   Phase phase_ = Phase::kIdle;

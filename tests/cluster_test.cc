@@ -83,6 +83,24 @@ TEST(Cluster, ResultSummarizesMetrics) {
   EXPECT_GT(result.mean_op_latency_ms, 0);
 }
 
+// End-to-end determinism fingerprint: two clusters built from the same config
+// and seed must execute exactly the same number of simulator events and
+// produce identical metrics. This is the invariant every simulation-core
+// optimization is checked against (see bench/perf_sim.cc).
+TEST(Cluster, SameSeedProducesSameEventFingerprint) {
+  auto run = []() {
+    ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+    Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 2),
+                    SyntheticGenerators(DefaultWorkload()));
+    ExperimentResult result = cluster.Run(Millis(200), Millis(500));
+    return std::make_pair(cluster.sim().executed_events(), result.throughput_ops);
+  };
+  auto [events_a, throughput_a] = run();
+  auto [events_b, throughput_b] = run();
+  EXPECT_EQ(events_a, events_b);
+  EXPECT_EQ(throughput_a, throughput_b);
+}
+
 TEST(Cluster, CustomTreeIsUsedVerbatim) {
   ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
   config.tree_kind = SaturnTreeKind::kCustom;

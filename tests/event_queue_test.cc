@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "src/sim/clock.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/random.h"
 
 namespace saturn {
 namespace {
@@ -73,6 +76,46 @@ TEST(Simulator, EventsCanScheduleMoreEvents) {
   EXPECT_EQ(depth, 100);
   EXPECT_EQ(sim.Now(), 99);
   EXPECT_EQ(sim.executed_events(), 100u);
+}
+
+TEST(Simulator, PendingEventsTracksQueueDepth) {
+  Simulator sim;
+  EXPECT_EQ(sim.pending_events(), 0u);
+  sim.At(10, []() {});
+  sim.At(20, []() {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.Step();
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunAll();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+// The (time, seq) order is strict and total, so the executed-event trace —
+// and therefore executed_events() — must be identical across runs of the same
+// schedule regardless of internal heap layout or slot reuse. This is the
+// property that makes executed_events() usable as a determinism fingerprint.
+TEST(Simulator, IdenticalSchedulesProduceIdenticalTraces) {
+  auto run = []() {
+    Simulator sim;
+    std::vector<std::pair<SimTime, int>> trace;
+    Rng rng(2024);
+    std::function<void(int)> spawn = [&](int id) {
+      trace.emplace_back(sim.Now(), id);
+      if (id < 400) {
+        // Deliberately collide times so tie-break order matters, and fan out
+        // so the heap grows and shrinks through many rebalances.
+        sim.After(rng.NextBounded(3), [&, id]() { spawn(2 * id); });
+        sim.After(rng.NextBounded(3), [&, id]() { spawn(2 * id + 1); });
+      }
+    };
+    sim.At(0, [&]() { spawn(1); });
+    sim.RunAll();
+    return std::make_pair(sim.executed_events(), trace);
+  };
+  auto [events_a, trace_a] = run();
+  auto [events_b, trace_b] = run();
+  EXPECT_EQ(events_a, events_b);
+  EXPECT_EQ(trace_a, trace_b);
 }
 
 TEST(SimulatorDeathTest, SchedulingIntoThePastAborts) {

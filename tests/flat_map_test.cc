@@ -1,0 +1,175 @@
+#include "src/common/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/seq_window.h"
+#include "src/sim/random.h"
+
+namespace saturn {
+namespace {
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap<uint64_t, int> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(1), nullptr);
+
+  map[1] = 10;
+  map[2] = 20;
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.Find(1), nullptr);
+  EXPECT_EQ(*map.Find(1), 10);
+  EXPECT_TRUE(map.Contains(2));
+  EXPECT_FALSE(map.Contains(3));
+
+  EXPECT_TRUE(map.Erase(1));
+  EXPECT_FALSE(map.Erase(1));
+  EXPECT_EQ(map.Find(1), nullptr);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, OperatorBracketDefaultConstructsOnce) {
+  FlatMap<uint64_t, int> map;
+  map[5] += 3;
+  map[5] += 4;
+  EXPECT_EQ(*map.Find(5), 7);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, GrowsPastInitialCapacityAndMatchesStdMap) {
+  FlatMap<uint64_t, uint64_t> map;
+  std::map<uint64_t, uint64_t> reference;
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t key = rng.NextBounded(2000);
+    switch (rng.NextBounded(3)) {
+      case 0:
+        map[key] = key * 3;
+        reference[key] = key * 3;
+        break;
+      case 1:
+        map.Erase(key);
+        reference.erase(key);
+        break;
+      default:
+        if (const uint64_t* found = map.Find(key)) {
+          auto it = reference.find(key);
+          ASSERT_NE(it, reference.end());
+          EXPECT_EQ(*found, it->second);
+        } else {
+          EXPECT_EQ(reference.count(key), 0u);
+        }
+    }
+  }
+  EXPECT_EQ(map.size(), reference.size());
+  size_t visited = 0;
+  map.ForEach([&](const uint64_t& k, uint64_t& v) {
+    ++visited;
+    auto it = reference.find(k);
+    ASSERT_NE(it, reference.end());
+    EXPECT_EQ(v, it->second);
+  });
+  EXPECT_EQ(visited, reference.size());
+}
+
+TEST(FlatMap, EraseReleasesHeldResources) {
+  FlatMap<uint64_t, std::vector<int>> map;
+  map[7] = std::vector<int>(1000, 1);
+  EXPECT_TRUE(map.Erase(7));
+  map[7];  // re-insert via default construction
+  EXPECT_TRUE(map.Find(7)->empty());
+}
+
+TEST(FlatMap, TombstoneChainsStillFindLaterKeys) {
+  FlatMap<uint64_t, int> map;
+  // Insert enough keys to force probe chains, then erase every other one and
+  // verify lookups still land correctly through the tombstones.
+  for (uint64_t k = 0; k < 64; ++k) {
+    map[k] = static_cast<int>(k);
+  }
+  for (uint64_t k = 0; k < 64; k += 2) {
+    map.Erase(k);
+  }
+  for (uint64_t k = 0; k < 64; ++k) {
+    if (k % 2 == 0) {
+      EXPECT_EQ(map.Find(k), nullptr) << k;
+    } else {
+      ASSERT_NE(map.Find(k), nullptr) << k;
+      EXPECT_EQ(*map.Find(k), static_cast<int>(k));
+    }
+  }
+  // Re-inserting over tombstones must not grow the live count incorrectly.
+  for (uint64_t k = 0; k < 64; ++k) {
+    map[k] = 1;
+  }
+  EXPECT_EQ(map.size(), 64u);
+}
+
+TEST(FlatSet, InsertContainsClear) {
+  FlatSet<uint64_t> set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.Insert(10));
+  EXPECT_FALSE(set.Insert(10));
+  EXPECT_TRUE(set.Contains(10));
+  EXPECT_FALSE(set.Contains(11));
+  for (uint64_t k = 0; k < 1000; ++k) {
+    set.Insert(k * 977);
+  }
+  EXPECT_TRUE(set.Contains(977 * 999));
+  set.Clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.Contains(10));
+}
+
+TEST(SeqWindow, ContiguousPushAndFind) {
+  SeqWindow<std::string> window;
+  EXPECT_TRUE(window.empty());
+  window.Push(5, "five");
+  window.Push(6, "six");
+  window.Push(7, "seven");
+  EXPECT_EQ(window.begin_seq(), 5u);
+  EXPECT_EQ(window.end_seq(), 8u);
+  ASSERT_NE(window.Find(6), nullptr);
+  EXPECT_EQ(*window.Find(6), "six");
+  EXPECT_EQ(window.Find(4), nullptr);
+  EXPECT_EQ(window.Find(8), nullptr);
+  EXPECT_EQ(window.At(7), "seven");
+}
+
+TEST(SeqWindow, PopUpToRetiresPrefix) {
+  SeqWindow<int> window;
+  for (uint64_t s = 1; s <= 10; ++s) {
+    window.Push(s, static_cast<int>(s));
+  }
+  window.PopUpTo(4);
+  EXPECT_EQ(window.begin_seq(), 5u);
+  EXPECT_EQ(window.size(), 6u);
+  EXPECT_EQ(window.Find(4), nullptr);
+  EXPECT_EQ(*window.Find(5), 5);
+  window.PopUpTo(100);
+  EXPECT_TRUE(window.empty());
+  // A fresh window can start at any sequence after a full drain.
+  window.Push(42, 42);
+  EXPECT_EQ(window.begin_seq(), 42u);
+}
+
+TEST(SeqWindow, ForEachVisitsAscendingSeqOrder) {
+  SeqWindow<int> window;
+  for (uint64_t s = 3; s <= 9; ++s) {
+    window.Push(s, static_cast<int>(s * 10));
+  }
+  window.PopUpTo(4);
+  std::vector<uint64_t> seqs;
+  window.ForEach([&](uint64_t seq, int& value) {
+    seqs.push_back(seq);
+    EXPECT_EQ(value, static_cast<int>(seq * 10));
+  });
+  EXPECT_EQ(seqs, (std::vector<uint64_t>{5, 6, 7, 8, 9}));
+}
+
+}  // namespace
+}  // namespace saturn

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compare two perf_sim BENCH_sim.json files and flag regressions.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold PCT]
+    tools/bench_diff.py BENCH_sim.json                 # self mode
+
+Two-file mode compares per-workload events/sec (and throughput) of CANDIDATE
+against BASELINE. Self mode reads a single committed BENCH_sim.json that
+carries a "baseline" block (the pre-change numbers recorded when the file was
+committed) and compares the current "workloads" block against it.
+
+Exit status: 0 = no regression, 1 = events/sec regression beyond the
+threshold (default 5%) or a determinism-fingerprint mismatch, 2 = usage or
+parse error. Fingerprints (executed_events) are only required to match when
+both runs were made at the same scale (smoke vs full).
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def by_name(workloads):
+    return {w["name"]: w for w in workloads}
+
+
+def compare(base, cand, threshold_pct, check_fingerprint):
+    base_by = by_name(base)
+    cand_by = by_name(cand)
+    regressed = False
+    print(f"{'workload':<12} {'base ev/s':>14} {'cand ev/s':>14} {'delta':>9}  fingerprint")
+    for name, b in base_by.items():
+        c = cand_by.get(name)
+        if c is None:
+            print(f"{name:<12} {'':>14} {'':>14} {'MISSING':>9}")
+            regressed = True
+            continue
+        b_eps = float(b["events_per_sec"])
+        c_eps = float(c["events_per_sec"])
+        delta = (c_eps - b_eps) / b_eps * 100.0 if b_eps > 0 else 0.0
+        if check_fingerprint:
+            same = int(b["executed_events"]) == int(c["executed_events"])
+            fp = "ok" if same else (
+                f"MISMATCH ({b['executed_events']} -> {c['executed_events']})")
+            if not same:
+                regressed = True
+        else:
+            fp = "skipped (different scale)"
+        flag = ""
+        if delta < -threshold_pct:
+            flag = "  << REGRESSION"
+            regressed = True
+        print(f"{name:<12} {b_eps:>14.0f} {c_eps:>14.0f} {delta:>+8.1f}%  {fp}{flag}")
+    for name in cand_by:
+        if name not in base_by:
+            print(f"{name:<12} (new workload, no baseline)")
+    return regressed
+
+
+def main(argv):
+    threshold = 5.0
+    args = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--threshold" and i + 1 < len(argv):
+            threshold = float(argv[i + 1])
+            i += 2
+        else:
+            args.append(argv[i])
+            i += 1
+
+    if len(args) == 1:
+        doc = load(args[0])
+        base = doc.get("baseline", {}).get("workloads")
+        if not base:
+            print(f"bench_diff: {args[0]} has no 'baseline' block for self mode",
+                  file=sys.stderr)
+            return 2
+        cand = doc["workloads"]
+        base_smoke = doc.get("baseline", {}).get("smoke", False)
+        cand_smoke = doc.get("smoke", False)
+    elif len(args) == 2:
+        base_doc = load(args[0])
+        cand_doc = load(args[1])
+        base = base_doc["workloads"]
+        cand = cand_doc["workloads"]
+        base_smoke = base_doc.get("smoke", False)
+        cand_smoke = cand_doc.get("smoke", False)
+    else:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    check_fingerprint = base_smoke == cand_smoke
+    regressed = compare(base, cand, threshold, check_fingerprint)
+    if regressed:
+        print(f"\nFAIL: regression beyond {threshold:.1f}% or fingerprint mismatch")
+        return 1
+    print(f"\nOK: no events/sec regression beyond {threshold:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
