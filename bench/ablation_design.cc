@@ -18,53 +18,83 @@ struct AblationResult {
   double throughput = 0;
 };
 
-AblationResult RunSaturn(SaturnTreeKind kind, bool weighted, bool zero_delays,
-                         uint32_t chain_replicas, SimTime sink_interval,
-                         Protocol protocol = Protocol::kSaturn) {
+RunSpec SaturnSpec(SaturnTreeKind kind, bool weighted, uint32_t chain_replicas,
+                   SimTime sink_interval, Protocol protocol = Protocol::kSaturn) {
+  RunSpec spec;
+  spec.protocol = protocol;
+  spec.keyspace.num_keys = 10000;
+  spec.keyspace.pattern = CorrelationPattern::kExponential;
+  spec.keyspace.replication_degree = 3;
+  spec.workload.write_fraction = 0.1;
+  spec.workload.remote_read_fraction = 0.05;
+  spec.clients_per_dc = 32;
+  spec.tree_kind = kind;
+  spec.star_hub = kIreland;
+  spec.measure = Seconds(2);
+  spec.drain = Seconds(2);
+  spec.configure = [weighted, chain_replicas, sink_interval](ClusterConfig& config) {
+    config.dc.sink_flush_interval = sink_interval;
+    config.weighted_tree = weighted;
+    config.chain_replicas = chain_replicas;
+  };
+  return spec;
+}
+
+AblationResult ToAblation(const RunOutput& out) {
+  return AblationResult{out.result.mean_visibility_ms, out.result.p90_visibility_ms,
+                        out.result.mean_attach_ms, out.result.throughput_ops};
+}
+
+// Panel (c): the Fig. 3 scenario. The EC2 matrix is metric (no tree path
+// beats the direct link), so the solver picks zero delays there; the paper's
+// Fig. 3 scenario needs metadata that genuinely outruns bulk data. We build
+// it explicitly: sites A, B, C with fast A-B and B-C hops but a slow direct
+// A-C link, a serializer chain A—S_A—S_B—{B, C}, and items shared {A,C} and
+// {B,C}. Without artificial delays, A's labels reach C ~90ms before their
+// payloads and stall the stream, delaying B->C updates behind them (false
+// dependencies); the S_A->S_B delay recovers B->C's optimal visibility.
+struct Fig3Result {
+  double b_to_c_ms = 0;
+  double a_to_c_ms = 0;
+};
+
+Fig3Result RunFig3Scenario(bool delays_on) {
+  LatencyMatrix matrix(3);
+  matrix.Set(0, 1, Millis(5));
+  matrix.Set(1, 2, Millis(5));
+  matrix.Set(0, 2, Millis(100));  // slow bulk path A -> C
+
+  TreeTopology tree;
+  uint32_t s_a = tree.AddSerializer(0);
+  uint32_t s_b = tree.AddSerializer(1);
+  uint32_t leaf_a = tree.AddDcLeaf(0, 0);
+  uint32_t leaf_b = tree.AddDcLeaf(1, 1);
+  uint32_t leaf_c = tree.AddDcLeaf(2, 2);
+  tree.AddEdge(s_a, leaf_a);
+  tree.AddEdge(s_a, s_b, delays_on ? Millis(89) : 0, 0);
+  tree.AddEdge(s_b, leaf_b);
+  tree.AddEdge(s_b, leaf_c);
+
   ClusterConfig config;
-  config.protocol = protocol;
-  config.dc_sites = Ec2Sites();
-  config.latencies = Ec2Latencies();
+  config.protocol = Protocol::kSaturn;
+  config.dc_sites = {0, 1, 2};
+  config.latencies = matrix;
   config.dc.num_gears = 4;
-  config.dc.sink_flush_interval = sink_interval;
-  config.tree_kind = kind;
-  config.star_hub = kIreland;
-  config.weighted_tree = weighted;
-  config.chain_replicas = chain_replicas;
+  config.tree_kind = SaturnTreeKind::kCustom;
+  config.custom_tree = tree;
   config.seed = 42;
 
-  KeyspaceConfig keyspace;
-  keyspace.num_keys = 10000;
-  keyspace.pattern = CorrelationPattern::kExponential;
-  keyspace.replication_degree = 3;
-  ReplicaMap replicas = ReplicaMap::Generate(keyspace, config.dc_sites, config.latencies);
-
+  std::vector<DcSet> sets;
+  for (KeyId key = 0; key < 4000; ++key) {
+    sets.push_back(key % 2 == 0 ? DcSet{0b101} : DcSet{0b110});  // {A,C} / {B,C}
+  }
   SyntheticOpGenerator::Config workload;
   workload.write_fraction = 0.1;
-  workload.remote_read_fraction = 0.05;
-
-  if (zero_delays && kind == SaturnTreeKind::kGenerated) {
-    // Regenerate the tree, then strip its artificial delays.
-    SolverInput input;
-    input.dc_sites = config.dc_sites;
-    input.candidate_sites = config.dc_sites;
-    input.latencies = &config.latencies;
-    if (weighted) {
-      input.weights = replicas.PairWeights();
-    }
-    config.custom_tree = FindConfiguration(input).topology;
-    for (auto& edge : config.custom_tree.mutable_edges()) {
-      edge.delay_ab = 0;
-      edge.delay_ba = 0;
-    }
-    config.tree_kind = SaturnTreeKind::kCustom;
-  }
-
-  Cluster cluster(config, std::move(replicas), UniformClientHomes(kNumEc2Regions, 32),
-                  SyntheticGenerators(workload));
-  ExperimentResult r = cluster.Run(Seconds(1), Seconds(2));
-  return AblationResult{r.mean_visibility_ms, r.p90_visibility_ms, r.mean_attach_ms,
-                        r.throughput_ops};
+  Cluster cluster(config, ReplicaMap::FromSets(std::move(sets), 3),
+                  UniformClientHomes(3, 24), SyntheticGenerators(workload));
+  cluster.Run(Seconds(1), Seconds(2));
+  return Fig3Result{cluster.metrics().Visibility(1, 2).MeanMs(),
+                    cluster.metrics().Visibility(0, 2).MeanMs()};
 }
 
 void PrintRow(const char* name, const AblationResult& r) {
@@ -76,90 +106,70 @@ void Run() {
   PrintHeader("Ablation — Saturn design choices",
               "7 DCs, exponential correlation deg 3, 9:1 R:W, 5% remote reads");
 
-  std::printf("\n(a) tree shape\n");
-  PrintRow("M-conf (generated)",
-           RunSaturn(SaturnTreeKind::kGenerated, true, false, 1, Millis(1)));
-  PrintRow("S-conf (star, Ireland)",
-           RunSaturn(SaturnTreeKind::kStar, true, false, 1, Millis(1)));
-  PrintRow("P-conf (timestamp order)",
-           RunSaturn(SaturnTreeKind::kGenerated, true, false, 1, Millis(1),
-                     Protocol::kSaturnTimestamp));
+  // Panels (a), (b), (d), (e) as one ordered sweep of specs...
+  std::vector<std::string> labels;
+  std::vector<RunSpec> specs;
+  auto add = [&](const std::string& label, RunSpec spec) {
+    labels.push_back(label);
+    specs.push_back(std::move(spec));
+  };
 
-  std::printf("\n(b) solver weights\n");
-  PrintRow("workload-weighted",
-           RunSaturn(SaturnTreeKind::kGenerated, true, false, 1, Millis(1)));
-  PrintRow("uniform weights",
-           RunSaturn(SaturnTreeKind::kGenerated, false, false, 1, Millis(1)));
-
-  // The EC2 matrix is metric (no tree path beats the direct link), so the
-  // solver picks zero delays there; the paper's Fig. 3 scenario needs
-  // metadata that genuinely outruns bulk data. We build it explicitly:
-  // sites A, B, C with fast A-B and B-C hops but a slow direct A-C link, a
-  // serializer chain A—S_A—S_B—{B, C}, and items shared {A,C} and {B,C}.
-  // Without artificial delays, A's labels reach C ~90ms before their
-  // payloads and stall the stream, delaying B->C updates behind them (false
-  // dependencies); the S_A->S_B delay recovers B->C's optimal visibility.
-  std::printf("\n(c) artificial delays (Fig. 3 scenario: premature labels)\n");
-  for (bool delays_on : {true, false}) {
-    LatencyMatrix matrix(3);
-    matrix.Set(0, 1, Millis(5));
-    matrix.Set(1, 2, Millis(5));
-    matrix.Set(0, 2, Millis(100));  // slow bulk path A -> C
-
-    TreeTopology tree;
-    uint32_t s_a = tree.AddSerializer(0);
-    uint32_t s_b = tree.AddSerializer(1);
-    uint32_t leaf_a = tree.AddDcLeaf(0, 0);
-    uint32_t leaf_b = tree.AddDcLeaf(1, 1);
-    uint32_t leaf_c = tree.AddDcLeaf(2, 2);
-    tree.AddEdge(s_a, leaf_a);
-    tree.AddEdge(s_a, s_b, delays_on ? Millis(89) : 0, 0);
-    tree.AddEdge(s_b, leaf_b);
-    tree.AddEdge(s_b, leaf_c);
-
-    ClusterConfig config;
-    config.protocol = Protocol::kSaturn;
-    config.dc_sites = {0, 1, 2};
-    config.latencies = matrix;
-    config.dc.num_gears = 4;
-    config.tree_kind = SaturnTreeKind::kCustom;
-    config.custom_tree = tree;
-    config.seed = 42;
-
-    std::vector<DcSet> sets;
-    for (KeyId key = 0; key < 4000; ++key) {
-      sets.push_back(key % 2 == 0 ? DcSet{0b101} : DcSet{0b110});  // {A,C} / {B,C}
-    }
-    SyntheticOpGenerator::Config workload;
-    workload.write_fraction = 0.1;
-    Cluster cluster(config, ReplicaMap::FromSets(std::move(sets), 3),
-                    UniformClientHomes(3, 24), SyntheticGenerators(workload));
-    cluster.Run(Seconds(1), Seconds(2));
-    std::printf("  %-28s  B->C vis mean %7.1fms (optimal ~5.5ms)   A->C vis mean %7.1fms\n",
-                delays_on ? "delay 89ms on S_A->S_B" : "delays zeroed",
-                cluster.metrics().Visibility(1, 2).MeanMs(),
-                cluster.metrics().Visibility(0, 2).MeanMs());
-  }
-
-  std::printf("\n(d) chain-replication depth\n");
+  add("M-conf (generated)", SaturnSpec(SaturnTreeKind::kGenerated, true, 1, Millis(1)));
+  add("S-conf (star, Ireland)", SaturnSpec(SaturnTreeKind::kStar, true, 1, Millis(1)));
+  add("P-conf (timestamp order)",
+      SaturnSpec(SaturnTreeKind::kGenerated, true, 1, Millis(1),
+                 Protocol::kSaturnTimestamp));
+  add("workload-weighted", SaturnSpec(SaturnTreeKind::kGenerated, true, 1, Millis(1)));
+  add("uniform weights", SaturnSpec(SaturnTreeKind::kGenerated, false, 1, Millis(1)));
   for (uint32_t replicas : {1u, 2u, 3u}) {
     char name[40];
     std::snprintf(name, sizeof(name), "%u replica(s) per serializer", replicas);
-    PrintRow(name, RunSaturn(SaturnTreeKind::kGenerated, true, false, replicas, Millis(1)));
+    add(name, SaturnSpec(SaturnTreeKind::kGenerated, true, replicas, Millis(1)));
   }
-
-  std::printf("\n(e) label-sink flush interval\n");
   for (SimTime interval : {Micros(500), Millis(1), Millis(2), Millis(5)}) {
     char name[40];
     std::snprintf(name, sizeof(name), "flush every %.1fms", ToMillis(interval));
-    PrintRow(name, RunSaturn(SaturnTreeKind::kGenerated, true, false, 1, interval));
+    add(name, SaturnSpec(SaturnTreeKind::kGenerated, true, 1, interval));
+  }
+  std::vector<RunOutput> outputs = RunMany(specs);
+
+  // ...and panel (c)'s two custom scenarios on the same pool.
+  std::vector<std::function<Fig3Result()>> fig3_jobs;
+  for (bool delays_on : {true, false}) {
+    fig3_jobs.push_back([delays_on] { return RunFig3Scenario(delays_on); });
+  }
+  std::vector<Fig3Result> fig3 = RunJobs(fig3_jobs);
+
+  size_t next = 0;
+  std::printf("\n(a) tree shape\n");
+  for (int i = 0; i < 3; ++i, ++next) {
+    PrintRow(labels[next].c_str(), ToAblation(outputs[next]));
+  }
+  std::printf("\n(b) solver weights\n");
+  for (int i = 0; i < 2; ++i, ++next) {
+    PrintRow(labels[next].c_str(), ToAblation(outputs[next]));
+  }
+  std::printf("\n(c) artificial delays (Fig. 3 scenario: premature labels)\n");
+  for (size_t i = 0; i < fig3.size(); ++i) {
+    std::printf("  %-28s  B->C vis mean %7.1fms (optimal ~5.5ms)   A->C vis mean %7.1fms\n",
+                i == 0 ? "delay 89ms on S_A->S_B" : "delays zeroed", fig3[i].b_to_c_ms,
+                fig3[i].a_to_c_ms);
+  }
+  std::printf("\n(d) chain-replication depth\n");
+  for (int i = 0; i < 3; ++i, ++next) {
+    PrintRow(labels[next].c_str(), ToAblation(outputs[next]));
+  }
+  std::printf("\n(e) label-sink flush interval\n");
+  for (int i = 0; i < 4; ++i, ++next) {
+    PrintRow(labels[next].c_str(), ToAblation(outputs[next]));
   }
 }
 
 }  // namespace
 }  // namespace saturn
 
-int main() {
+int main(int argc, char** argv) {
+  saturn::BenchInit(argc, argv);
   saturn::Run();
   return 0;
 }

@@ -15,12 +15,10 @@ void Run() {
   PrintHeader("Ablation — stabilization period (GentleRain / Cure)",
               "7 DCs, defaults; Saturn shown for reference (no stabilization)");
 
-  std::printf("\n%12s  %24s  %24s\n", "", "GentleRain", "Cure");
-  std::printf("%12s  %11s %12s  %11s %12s\n", "period", "tput (ops/s)", "vis (ms)",
-              "tput (ops/s)", "vis (ms)");
-
-  for (SimTime period : {Millis(1), Millis(2), Millis(5), Millis(10), Millis(20)}) {
-    std::printf("%10.0fms", ToMillis(period));
+  constexpr SimTime kPeriods[] = {Millis(1), Millis(2), Millis(5), Millis(10),
+                                  Millis(20)};
+  std::vector<RunSpec> specs;
+  for (SimTime period : kPeriods) {
     for (Protocol protocol : {Protocol::kGentleRain, Protocol::kCure}) {
       RunSpec spec;
       spec.protocol = protocol;
@@ -29,41 +27,49 @@ void Run() {
       spec.keyspace.replication_degree = 3;
       spec.clients_per_dc = 48;
       spec.measure = Seconds(2);
-      ClusterConfig config;
-      // RunExperiment does not expose the interval; inline the cluster here.
-      config.protocol = protocol;
-      config.dc_sites = Ec2Sites();
-      config.latencies = Ec2Latencies();
-      config.dc.num_gears = 4;
-      config.dc.stabilization_interval = period;
-      config.dc.bulk_heartbeat_interval = period;
-      config.seed = 42;
-      ReplicaMap replicas =
-          ReplicaMap::Generate(spec.keyspace, config.dc_sites, config.latencies);
-      Cluster cluster(config, std::move(replicas), UniformClientHomes(7, 48),
-                      SyntheticGenerators(spec.workload));
-      ExperimentResult r = cluster.Run(Seconds(1), Seconds(2));
+      spec.drain = Seconds(2);
+      spec.configure = [period](ClusterConfig& config) {
+        config.dc.stabilization_interval = period;
+        config.dc.bulk_heartbeat_interval = period;
+      };
+      specs.push_back(std::move(spec));
+    }
+  }
+  {
+    RunSpec spec;  // Saturn reference, period-free
+    spec.protocol = Protocol::kSaturn;
+    spec.keyspace.num_keys = 10000;
+    spec.keyspace.pattern = CorrelationPattern::kExponential;
+    spec.keyspace.replication_degree = 3;
+    spec.clients_per_dc = 48;
+    spec.measure = Seconds(2);
+    specs.push_back(std::move(spec));
+  }
+  std::vector<RunOutput> runs = RunMany(specs);
+
+  std::printf("\n%12s  %24s  %24s\n", "", "GentleRain", "Cure");
+  std::printf("%12s  %11s %12s  %11s %12s\n", "period", "tput (ops/s)", "vis (ms)",
+              "tput (ops/s)", "vis (ms)");
+  size_t next = 0;
+  for (SimTime period : kPeriods) {
+    std::printf("%10.0fms", ToMillis(period));
+    for (int p = 0; p < 2; ++p) {
+      const ExperimentResult& r = runs[next++].result;
       std::printf("  %12.0f %11.1f", r.throughput_ops, r.mean_visibility_ms);
     }
     std::printf("\n");
   }
 
-  RunSpec saturn_spec;
-  saturn_spec.protocol = Protocol::kSaturn;
-  saturn_spec.keyspace.num_keys = 10000;
-  saturn_spec.keyspace.pattern = CorrelationPattern::kExponential;
-  saturn_spec.keyspace.replication_degree = 3;
-  saturn_spec.clients_per_dc = 48;
-  saturn_spec.measure = Seconds(2);
-  RunOutput sat = RunExperiment(saturn_spec);
+  const ExperimentResult& sat = runs[next++].result;
   std::printf("\n%12s  Saturn reference: tput %0.f ops/s, vis %.1f ms (period-free)\n", "",
-              sat.result.throughput_ops, sat.result.mean_visibility_ms);
+              sat.throughput_ops, sat.mean_visibility_ms);
 }
 
 }  // namespace
 }  // namespace saturn
 
-int main() {
+int main(int argc, char** argv) {
+  saturn::BenchInit(argc, argv);
   saturn::Run();
   return 0;
 }

@@ -4,22 +4,34 @@
 // (section 7) on the simulated EC2 deployment and prints the same rows or
 // series the paper reports. Runs are deterministic: a fixed seed reproduces
 // every number exactly.
+//
+// Sweep execution: every bench accepts `--jobs N` (or the SATURN_JOBS
+// environment variable; default: all hardware threads) and runs its
+// independent simulations on a worker pool via RunMany/ParallelSweep. Results
+// come back in submission order and all printing happens after the runs, so
+// the output is byte-identical for every jobs value.
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/runtime/cluster.h"
+#include "src/runtime/sweep.h"
 
 namespace saturn {
 
 struct RunSpec {
   Protocol protocol = Protocol::kSaturn;
   uint32_t num_dcs = kNumEc2Regions;
+  // Overrides num_dcs/Ec2Sites when non-empty (e.g. fig6's NC/O/I triple).
+  std::vector<SiteId> sites;
   KeyspaceConfig keyspace;
   SyntheticOpGenerator::Config workload;
   uint32_t clients_per_dc = 16;
@@ -30,6 +42,11 @@ struct RunSpec {
   SimTime measure = Seconds(3);
   SimTime drain = Millis(1500);
   uint64_t seed = 42;
+  // Tweaks the assembled ClusterConfig before the cluster is built (e.g.
+  // stabilization intervals, chain replicas, custom trees).
+  std::function<void(ClusterConfig&)> configure;
+  // Runs on the built cluster before Run() (e.g. latency injection).
+  std::function<void(Cluster&)> setup;
 };
 
 struct RunOutput {
@@ -43,26 +60,78 @@ inline RunOutput RunExperiment(const RunSpec& spec,
                                const std::vector<std::pair<DcId, DcId>>& pairs = {}) {
   ClusterConfig config;
   config.protocol = spec.protocol;
-  config.dc_sites = Ec2Sites(spec.num_dcs);
+  config.dc_sites = spec.sites.empty() ? Ec2Sites(spec.num_dcs) : spec.sites;
   config.latencies = Ec2Latencies();
   config.dc.num_gears = spec.num_gears;
   config.tree_kind = spec.tree_kind;
   config.star_hub = spec.star_hub;
   config.seed = spec.seed;
+  if (spec.configure) {
+    spec.configure(config);
+  }
+  const uint32_t num_dcs = static_cast<uint32_t>(config.dc_sites.size());
 
   KeyspaceConfig keyspace = spec.keyspace;
   ReplicaMap replicas = ReplicaMap::Generate(keyspace, config.dc_sites, config.latencies);
 
   Cluster cluster(config, std::move(replicas),
-                  UniformClientHomes(spec.num_dcs, spec.clients_per_dc),
+                  UniformClientHomes(num_dcs, spec.clients_per_dc),
                   SyntheticGenerators(spec.workload));
+  if (spec.setup) {
+    spec.setup(cluster);
+  }
   RunOutput out;
   out.result = cluster.Run(spec.warmup, spec.measure, spec.drain);
-  out.all_visibility = cluster.metrics().AllVisibility();
+  // Move the histograms out of the (about-to-die) cluster's metrics instead
+  // of copying their bucket arrays.
+  out.all_visibility = cluster.metrics().TakeAllVisibility();
   for (const auto& pair : pairs) {
-    out.pairs[pair] = cluster.metrics().Visibility(pair.first, pair.second);
+    out.pairs[pair] = cluster.metrics().TakeVisibility(pair.first, pair.second);
   }
   return out;
+}
+
+// --- Parallel sweep entry points -------------------------------------------
+
+// Worker count for this bench process: set by BenchInit (--jobs), else the
+// SATURN_JOBS env / hardware concurrency via ResolveJobs.
+inline int& BenchJobs() {
+  static int jobs = 0;  // 0 = resolve lazily
+  return jobs;
+}
+
+// Parses the shared bench flags (`--jobs N` / `--jobs=N`). Exits with usage
+// on anything unrecognized, so figure benches stay argument-free otherwise.
+inline void BenchInit(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      BenchJobs() = std::atoi(argv[++i]);
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      BenchJobs() = std::atoi(arg + 7);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--jobs N]   (default: SATURN_JOBS env or all "
+                   "hardware threads)\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+}
+
+// Runs every spec on the worker pool; results in submission order.
+inline std::vector<RunOutput> RunMany(const std::vector<RunSpec>& specs,
+                                      const std::vector<std::pair<DcId, DcId>>& pairs = {}) {
+  return ParallelSweep(specs, BenchJobs(),
+                       [&pairs](const RunSpec& spec) { return RunExperiment(spec, pairs); });
+}
+
+// Runs arbitrary per-run closures (for benches whose runs need custom cluster
+// assembly or custom metric extraction); results in submission order.
+template <typename Result>
+std::vector<Result> RunJobs(const std::vector<std::function<Result()>>& jobs) {
+  return ParallelSweep(jobs, BenchJobs(),
+                       [](const std::function<Result()>& job) { return job(); });
 }
 
 inline const char* DisplayName(Protocol protocol) {
@@ -77,6 +146,8 @@ inline const char* DisplayName(Protocol protocol) {
       return "GentleRain";
     case Protocol::kCure:
       return "Cure";
+    case Protocol::kCops:
+      return "COPS";
   }
   return "?";
 }

@@ -15,6 +15,9 @@
 namespace saturn {
 namespace {
 
+constexpr Protocol kProtocols[] = {Protocol::kEventual, Protocol::kGentleRain,
+                                   Protocol::kCure};
+
 void Run() {
   PrintHeader("Fig. 1a — throughput vs. data freshness tradeoff",
               "full replication, 90:10 reads:writes, 2B values, 3..7 DCs");
@@ -24,23 +27,28 @@ void Run() {
   std::printf("%4s  %12s | %10s %10s | %10s %10s\n", "", "(ops/s)", "tput pen.%",
               "tput pen.%", "stale ov.%", "stale ov.%");
 
+  // All (dcs, protocol) cells as one sweep; rows are printed afterwards.
+  std::vector<RunSpec> specs;
   for (uint32_t dcs = 3; dcs <= kNumEc2Regions; ++dcs) {
-    RunSpec spec;
-    spec.num_dcs = dcs;
-    spec.keyspace.num_keys = 10000;
-    spec.keyspace.pattern = CorrelationPattern::kFull;
-    spec.workload.write_fraction = 0.1;
-    spec.clients_per_dc = 48;
-    spec.measure = Seconds(2);
+    for (Protocol protocol : kProtocols) {
+      RunSpec spec;
+      spec.protocol = protocol;
+      spec.num_dcs = dcs;
+      spec.keyspace.num_keys = 10000;
+      spec.keyspace.pattern = CorrelationPattern::kFull;
+      spec.workload.write_fraction = 0.1;
+      spec.clients_per_dc = 48;
+      spec.measure = Seconds(2);
+      specs.push_back(std::move(spec));
+    }
+  }
+  std::vector<RunOutput> runs = RunMany(specs);
 
-    spec.protocol = Protocol::kEventual;
-    RunOutput eventual = RunExperiment(spec);
-
-    spec.protocol = Protocol::kGentleRain;
-    RunOutput gentlerain = RunExperiment(spec);
-
-    spec.protocol = Protocol::kCure;
-    RunOutput cure = RunExperiment(spec);
+  size_t next = 0;
+  for (uint32_t dcs = 3; dcs <= kNumEc2Regions; ++dcs) {
+    const RunOutput& eventual = runs[next++];
+    const RunOutput& gentlerain = runs[next++];
+    const RunOutput& cure = runs[next++];
 
     auto penalty = [&](const RunOutput& run) {
       return 100.0 * (run.result.throughput_ops - eventual.result.throughput_ops) /
@@ -60,7 +68,8 @@ void Run() {
 }  // namespace
 }  // namespace saturn
 
-int main() {
+int main(int argc, char** argv) {
+  saturn::BenchInit(argc, argv);
   saturn::Run();
   return 0;
 }

@@ -12,6 +12,9 @@
 namespace saturn {
 namespace {
 
+constexpr Protocol kProtocols[] = {Protocol::kEventual, Protocol::kGentleRain,
+                                   Protocol::kCure, Protocol::kSaturn};
+
 void Run() {
   PrintHeader("Fig. 1b — data staleness overhead under partial geo-replication",
               "7 DCs, exponential correlation, degree 5 -> 2, 90:10, 2B values");
@@ -21,36 +24,43 @@ void Run() {
   std::printf("%7s  %12s | %12s %12s %12s\n", "", "vis (ms)", "stale ov.%",
               "stale ov.%", "stale ov.%");
 
+  std::vector<RunSpec> specs;
   for (uint32_t degree = 5; degree >= 2; --degree) {
-    RunSpec spec;
-    spec.keyspace.num_keys = 10000;
-    spec.keyspace.pattern = CorrelationPattern::kExponential;
-    spec.keyspace.replication_degree = degree;
-    spec.workload.write_fraction = 0.1;
-    spec.clients_per_dc = 32;
-    spec.measure = Seconds(2);
+    for (Protocol protocol : kProtocols) {
+      RunSpec spec;
+      spec.protocol = protocol;
+      spec.keyspace.num_keys = 10000;
+      spec.keyspace.pattern = CorrelationPattern::kExponential;
+      spec.keyspace.replication_degree = degree;
+      spec.workload.write_fraction = 0.1;
+      spec.clients_per_dc = 32;
+      spec.measure = Seconds(2);
+      specs.push_back(std::move(spec));
+    }
+  }
+  std::vector<RunOutput> runs = RunMany(specs);
 
-    spec.protocol = Protocol::kEventual;
-    RunOutput eventual = RunExperiment(spec);
-
-    auto staleness = [&](Protocol protocol) {
-      RunSpec s = spec;
-      s.protocol = protocol;
-      RunOutput run = RunExperiment(s);
+  size_t next = 0;
+  for (uint32_t degree = 5; degree >= 2; --degree) {
+    const RunOutput& eventual = runs[next++];
+    auto staleness = [&](const RunOutput& run) {
       return 100.0 * (run.result.mean_visibility_ms - eventual.result.mean_visibility_ms) /
              eventual.result.mean_visibility_ms;
     };
-
+    const RunOutput& gentlerain = runs[next++];
+    const RunOutput& cure = runs[next++];
+    const RunOutput& sat = runs[next++];
     std::printf("%7u  %12.1f | %+11.1f%% %+11.1f%% %+11.1f%%\n", degree,
-                eventual.result.mean_visibility_ms, staleness(Protocol::kGentleRain),
-                staleness(Protocol::kCure), staleness(Protocol::kSaturn));
+                eventual.result.mean_visibility_ms, staleness(gentlerain),
+                staleness(cure), staleness(sat));
   }
 }
 
 }  // namespace
 }  // namespace saturn
 
-int main() {
+int main(int argc, char** argv) {
+  saturn::BenchInit(argc, argv);
   saturn::Run();
   return 0;
 }

@@ -37,20 +37,28 @@ void Run() {
 
   std::vector<std::pair<DcId, DcId>> pairs{kIrelandFrankfurt, kTokyoSydney};
 
-  RunSpec spec = BaseSpec();
-  spec.protocol = Protocol::kEventual;
-  RunOutput optimal = RunExperiment(spec, pairs);
+  std::vector<RunSpec> specs;
+  {
+    RunSpec spec = BaseSpec();
+    spec.protocol = Protocol::kEventual;
+    specs.push_back(spec);  // optimal
 
-  spec.protocol = Protocol::kSaturn;
-  spec.tree_kind = SaturnTreeKind::kGenerated;
-  RunOutput m_conf = RunExperiment(spec, pairs);
+    spec.protocol = Protocol::kSaturn;
+    spec.tree_kind = SaturnTreeKind::kGenerated;
+    specs.push_back(spec);  // M-conf
 
-  spec.tree_kind = SaturnTreeKind::kStar;
-  spec.star_hub = kIreland;
-  RunOutput s_conf = RunExperiment(spec, pairs);
+    spec.tree_kind = SaturnTreeKind::kStar;
+    spec.star_hub = kIreland;
+    specs.push_back(spec);  // S-conf
 
-  spec.protocol = Protocol::kSaturnTimestamp;
-  RunOutput p_conf = RunExperiment(spec, pairs);
+    spec.protocol = Protocol::kSaturnTimestamp;
+    specs.push_back(spec);  // P-conf
+  }
+  std::vector<RunOutput> runs = RunMany(specs, pairs);
+  RunOutput& optimal = runs[0];
+  RunOutput& m_conf = runs[1];
+  RunOutput& s_conf = runs[2];
+  RunOutput& p_conf = runs[3];
 
   std::printf("\nIreland -> Frankfurt (bulk link 10ms):\n");
   PrintCdfRow("optimal", optimal.pairs[kIrelandFrankfurt]);
@@ -79,7 +87,8 @@ void Run() {
 }  // namespace
 }  // namespace saturn
 
-int main() {
+int main(int argc, char** argv) {
+  saturn::BenchInit(argc, argv);
   saturn::Run();
   return 0;
 }

@@ -31,16 +31,42 @@ RunSpec DefaultSpec() {
   return spec;
 }
 
-void PrintRow(const std::string& x, const RunSpec& base) {
-  std::printf("  %-14s", x.c_str());
-  for (Protocol protocol : kProtocols) {
-    RunSpec spec = base;
-    spec.protocol = protocol;
-    RunOutput out = RunExperiment(spec);
-    std::printf("  %9.0f", out.result.throughput_ops);
+// The whole figure is assembled as one flat sweep: each labelled row expands
+// to one spec per protocol, all runs execute on the pool, and the panels are
+// printed from the ordered results afterwards.
+struct Row {
+  std::string label;
+  size_t first_run = 0;  // index of this row's first run in the sweep
+};
+
+class Sweep {
+ public:
+  void AddRow(const std::string& label, const RunSpec& base) {
+    rows_.push_back({label, specs_.size()});
+    for (Protocol protocol : kProtocols) {
+      RunSpec spec = base;
+      spec.protocol = protocol;
+      specs_.push_back(std::move(spec));
+    }
   }
-  std::printf("\n");
-}
+
+  void Run() { results_ = RunMany(specs_); }
+
+  void PrintRow(size_t row) const {
+    std::printf("  %-14s", rows_[row].label.c_str());
+    for (size_t p = 0; p < std::size(kProtocols); ++p) {
+      std::printf("  %9.0f", results_[rows_[row].first_run + p].result.throughput_ops);
+    }
+    std::printf("\n");
+  }
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<Row> rows_;
+  std::vector<RunSpec> specs_;
+  std::vector<RunOutput> results_;
+};
 
 void PrintPanelHeader(const char* panel) {
   std::printf("\n%s\n  %-14s", panel, "");
@@ -54,28 +80,31 @@ void Run() {
   PrintHeader("Fig. 5 — dynamic workload throughput (ops/s)",
               "7 DCs; defaults: 2B values, 9:1 R:W, exponential corr., 0% remote reads");
 
-  PrintPanelHeader("(a) value size (bytes)");
+  Sweep sweep;
+  std::vector<std::pair<const char*, size_t>> panels;  // header, first row
+
+  panels.emplace_back("(a) value size (bytes)", sweep.num_rows());
   for (uint32_t size : {8u, 32u, 128u, 512u, 2048u}) {
     RunSpec spec = DefaultSpec();
     spec.workload.value_size = size;
-    PrintRow(std::to_string(size) + "B", spec);
+    sweep.AddRow(std::to_string(size) + "B", spec);
   }
 
-  PrintPanelHeader("(b) read:write ratio");
+  panels.emplace_back("(b) read:write ratio", sweep.num_rows());
   for (double writes : {0.5, 0.25, 0.1, 0.01}) {
     RunSpec spec = DefaultSpec();
     spec.workload.write_fraction = writes;
     char label[32];
     std::snprintf(label, sizeof(label), "%.0f:%.0f", 100 * (1 - writes), 100 * writes);
-    PrintRow(label, spec);
+    sweep.AddRow(label, spec);
   }
 
-  PrintPanelHeader("(c) correlation distribution");
+  panels.emplace_back("(c) correlation distribution", sweep.num_rows());
   for (auto pattern : {CorrelationPattern::kExponential, CorrelationPattern::kProportional,
                        CorrelationPattern::kUniform, CorrelationPattern::kFull}) {
     RunSpec spec = DefaultSpec();
     spec.keyspace.pattern = pattern;
-    PrintRow(CorrelationPatternName(pattern), spec);
+    sweep.AddRow(CorrelationPatternName(pattern), spec);
   }
 
   // Panel (d) needs two workload adjustments to exercise the paper's effect:
@@ -85,7 +114,7 @@ void Run() {
   // popularity skew (hot keys keep client causal pasts fresh relative to the
   // stabilization lag, which is what makes GentleRain's and Cure's attach
   // waits bind).
-  PrintPanelHeader("(d) percentage of remote reads");
+  panels.emplace_back("(d) percentage of remote reads", sweep.num_rows());
   for (double remote : {0.0, 0.05, 0.10, 0.20, 0.40}) {
     RunSpec spec = DefaultSpec();
     spec.keyspace.pattern = CorrelationPattern::kUniform;
@@ -95,14 +124,25 @@ void Run() {
     spec.clients_per_dc = 1200;
     char label[32];
     std::snprintf(label, sizeof(label), "%.0f%%", remote * 100);
-    PrintRow(label, spec);
+    sweep.AddRow(label, spec);
+  }
+
+  sweep.Run();
+
+  for (size_t p = 0; p < panels.size(); ++p) {
+    PrintPanelHeader(panels[p].first);
+    size_t end = p + 1 < panels.size() ? panels[p + 1].second : sweep.num_rows();
+    for (size_t row = panels[p].second; row < end; ++row) {
+      sweep.PrintRow(row);
+    }
   }
 }
 
 }  // namespace
 }  // namespace saturn
 
-int main() {
+int main(int argc, char** argv) {
+  saturn::BenchInit(argc, argv);
   saturn::Run();
   return 0;
 }

@@ -15,43 +15,47 @@
 namespace saturn {
 namespace {
 
-double MeanVisibility(SiteId hub, Protocol protocol, SimTime injected, uint64_t seed) {
-  ClusterConfig config;
-  config.protocol = protocol;
-  config.dc_sites = {kNCalifornia, kOregon, kIreland};
-  config.latencies = Ec2Latencies();
-  config.dc.num_gears = 4;
-  config.tree_kind = SaturnTreeKind::kStar;
-  config.star_hub = hub;
-  config.seed = seed;
-
-  KeyspaceConfig keyspace;
-  keyspace.num_keys = 6000;
-  keyspace.pattern = CorrelationPattern::kFull;
-  ReplicaMap replicas = ReplicaMap::Generate(keyspace, config.dc_sites, config.latencies);
-
-  SyntheticOpGenerator::Config workload;
-  workload.write_fraction = 0.1;
-
-  Cluster cluster(config, std::move(replicas), UniformClientHomes(3, 24),
-                  SyntheticGenerators(workload));
+RunSpec VariabilitySpec(SiteId hub, Protocol protocol, SimTime injected) {
+  RunSpec spec;
+  spec.protocol = protocol;
+  spec.sites = {kNCalifornia, kOregon, kIreland};
+  spec.keyspace.num_keys = 6000;
+  spec.keyspace.pattern = CorrelationPattern::kFull;
+  spec.workload.write_fraction = 0.1;
+  spec.clients_per_dc = 24;
+  spec.tree_kind = SaturnTreeKind::kStar;
+  spec.star_hub = hub;
+  spec.measure = Seconds(2);
+  spec.drain = Seconds(2);
   if (injected > 0) {
-    cluster.network().InjectExtraLatency(kNCalifornia, kOregon, injected);
+    spec.setup = [injected](Cluster& cluster) {
+      cluster.network().InjectExtraLatency(kNCalifornia, kOregon, injected);
+    };
   }
-  return cluster.Run(Seconds(1), Seconds(2)).mean_visibility_ms;
+  return spec;
 }
 
 void Run() {
   PrintHeader("Fig. 6 — impact of latency variability on Saturn",
               "3 DCs (NC, O, I); extra delay injected on the 10ms NC<->O link");
 
+  constexpr SimTime kInjected[] = {Millis(0),  Millis(25),  Millis(50),
+                                   Millis(75), Millis(100), Millis(125)};
+  std::vector<RunSpec> specs;
+  for (SimTime injected : kInjected) {
+    specs.push_back(VariabilitySpec(kOregon, Protocol::kEventual, injected));
+    specs.push_back(VariabilitySpec(kOregon, Protocol::kSaturn, injected));   // T1
+    specs.push_back(VariabilitySpec(kIreland, Protocol::kSaturn, injected));  // T2
+  }
+  std::vector<RunOutput> runs = RunMany(specs);
+
   std::printf("\n%14s  %16s  %16s\n", "injected (ms)", "T1 extra vis (ms)",
               "T2 extra vis (ms)");
-  for (SimTime injected : {Millis(0), Millis(25), Millis(50), Millis(75), Millis(100),
-                           Millis(125)}) {
-    double eventual = MeanVisibility(kOregon, Protocol::kEventual, injected, 42);
-    double t1 = MeanVisibility(kOregon, Protocol::kSaturn, injected, 42);
-    double t2 = MeanVisibility(kIreland, Protocol::kSaturn, injected, 42);
+  size_t next = 0;
+  for (SimTime injected : kInjected) {
+    double eventual = runs[next++].result.mean_visibility_ms;
+    double t1 = runs[next++].result.mean_visibility_ms;
+    double t2 = runs[next++].result.mean_visibility_ms;
     std::printf("%14lld  %16.1f  %16.1f\n", static_cast<long long>(ToMillis(injected)),
                 t1 - eventual, t2 - eventual);
   }
@@ -62,7 +66,8 @@ void Run() {
 }  // namespace
 }  // namespace saturn
 
-int main() {
+int main(int argc, char** argv) {
+  saturn::BenchInit(argc, argv);
   saturn::Run();
   return 0;
 }

@@ -17,14 +17,16 @@ namespace {
 constexpr std::pair<DcId, DcId> kIrelandFrankfurt{kIreland, kFrankfurt};
 constexpr std::pair<DcId, DcId> kIrelandSydney{kIreland, kSydney};
 
+constexpr Protocol kProtocols[] = {Protocol::kEventual, Protocol::kSaturn,
+                                   Protocol::kGentleRain, Protocol::kCure};
+
 void Run() {
   PrintHeader("Fig. 7 — remote update visibility vs. the state of the art",
               "7 DCs, defaults (2B, 9:1, exponential correlation)");
 
   std::vector<std::pair<DcId, DcId>> pairs{kIrelandFrankfurt, kIrelandSydney};
-  std::map<Protocol, RunOutput> runs;
-  for (Protocol protocol : {Protocol::kEventual, Protocol::kSaturn, Protocol::kGentleRain,
-                            Protocol::kCure}) {
+  std::vector<RunSpec> specs;
+  for (Protocol protocol : kProtocols) {
     RunSpec spec;
     spec.protocol = protocol;
     spec.keyspace.num_keys = 10000;
@@ -33,7 +35,12 @@ void Run() {
     spec.workload.write_fraction = 0.1;
     spec.clients_per_dc = 32;
     spec.measure = Seconds(2);
-    runs[protocol] = RunExperiment(spec, pairs);
+    specs.push_back(std::move(spec));
+  }
+  std::vector<RunOutput> outputs = RunMany(specs, pairs);
+  std::map<Protocol, RunOutput> runs;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    runs[kProtocols[i]] = std::move(outputs[i]);
   }
 
   std::printf("\nIreland -> Frankfurt (best case, bulk link 10ms):\n");
@@ -56,7 +63,8 @@ void Run() {
 }  // namespace
 }  // namespace saturn
 
-int main() {
+int main(int argc, char** argv) {
+  saturn::BenchInit(argc, argv);
   saturn::Run();
   return 0;
 }

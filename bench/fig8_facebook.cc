@@ -26,6 +26,9 @@ struct FacebookRun {
   LatencyHistogram it_hist;
 };
 
+// The graph is generated once and shared read-only across the sweep's
+// workers; everything mutable (partitioning, cluster, client state) is built
+// inside the run.
 FacebookRun RunFacebook(Protocol protocol, uint32_t max_replicas, const SocialGraph& graph,
                         uint32_t clients) {
   PartitionerConfig part_config;
@@ -57,8 +60,9 @@ FacebookRun RunFacebook(Protocol protocol, uint32_t max_replicas, const SocialGr
   Cluster cluster(config, partitioning.replicas, homes, factory);
   FacebookRun run;
   run.result = cluster.Run(Seconds(1), Seconds(2));
-  run.if_hist = cluster.metrics().Visibility(kIrelandFrankfurt.first, kIrelandFrankfurt.second);
-  run.it_hist = cluster.metrics().Visibility(kIrelandTokyo.first, kIrelandTokyo.second);
+  run.if_hist = cluster.metrics().TakeVisibility(kIrelandFrankfurt.first,
+                                                 kIrelandFrankfurt.second);
+  run.it_hist = cluster.metrics().TakeVisibility(kIrelandTokyo.first, kIrelandTokyo.second);
   return run;
 }
 
@@ -74,16 +78,30 @@ void Run() {
   std::printf("\ngraph: %u users, %llu edges, mean degree %.1f\n", graph.num_users(),
               static_cast<unsigned long long>(graph.num_edges()), graph.MeanDegree());
 
+  // Panels (a) and (b) as one sweep: 16 grid cells, then the 4 CDF runs.
+  std::vector<std::function<FacebookRun()>> jobs;
+  for (uint32_t max_replicas = 5; max_replicas >= 2; --max_replicas) {
+    for (Protocol protocol : kProtocols) {
+      jobs.push_back([protocol, max_replicas, &graph] {
+        return RunFacebook(protocol, max_replicas, graph, 7000);
+      });
+    }
+  }
+  for (Protocol protocol : kProtocols) {
+    jobs.push_back([protocol, &graph] { return RunFacebook(protocol, 3, graph, 7000); });
+  }
+  std::vector<FacebookRun> results = RunJobs(jobs);
+
   std::printf("\n(a) throughput (ops/s) vs. maximum replicas per user\n  %-8s", "max");
   for (Protocol protocol : kProtocols) {
     std::printf("  %10s", DisplayName(protocol));
   }
   std::printf("\n");
+  size_t next = 0;
   for (uint32_t max_replicas = 5; max_replicas >= 2; --max_replicas) {
     std::printf("  %-8u", max_replicas);
-    for (Protocol protocol : kProtocols) {
-      FacebookRun run = RunFacebook(protocol, max_replicas, graph, 7000);
-      std::printf("  %10.0f", run.result.throughput_ops);
+    for (size_t p = 0; p < std::size(kProtocols); ++p) {
+      std::printf("  %10.0f", results[next++].result.throughput_ops);
     }
     std::printf("\n");
   }
@@ -91,7 +109,7 @@ void Run() {
   std::printf("\n(b) visibility CDFs at max replicas = 3\n");
   std::map<Protocol, FacebookRun> runs;
   for (Protocol protocol : kProtocols) {
-    runs[protocol] = RunFacebook(protocol, 3, graph, 7000);
+    runs[protocol] = std::move(results[next++]);
   }
   std::printf("\nIreland -> Frankfurt (best case):\n");
   for (auto& [protocol, run] : runs) {
@@ -113,7 +131,8 @@ void Run() {
 }  // namespace
 }  // namespace saturn
 
-int main() {
+int main(int argc, char** argv) {
+  saturn::BenchInit(argc, argv);
   saturn::Run();
   return 0;
 }

@@ -20,9 +20,18 @@
 // before its perf delta means anything. Compare two runs (or a run against
 // the committed baseline) with tools/bench_diff.py.
 //
-// Usage: perf_sim [--smoke] [--repeat N] [--out PATH]
+// A fourth section, suite_wall_clock, measures the parallel sweep harness
+// itself: a combined figure+chaos suite of independent runs executes once
+// serially (jobs=1) and once on the worker pool (--jobs / SATURN_JOBS /
+// hardware concurrency), recording both wall-clocks, the speedup, and whether
+// the per-run executed-event fingerprints were identical across the two legs
+// (they must be: the sweep is share-nothing and ordered).
+//
+// Usage: perf_sim [--smoke] [--repeat N] [--jobs N] [--out PATH]
 //   --smoke   tiny measurement windows; CI sanity check, numbers meaningless
 //   --repeat  run each workload N times, keep the fastest (default 1)
+//   --jobs    worker count for the suite's parallel leg (default: SATURN_JOBS
+//             env or all hardware threads)
 //   --out     output JSON path (default BENCH_sim.json in the CWD)
 #include <sys/resource.h>
 
@@ -31,10 +40,12 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/fault/chaos.h"
 #include "src/runtime/cluster.h"
+#include "src/runtime/sweep.h"
 
 namespace saturn {
 namespace {
@@ -42,6 +53,7 @@ namespace {
 struct PerfOptions {
   bool smoke = false;
   int repeat = 1;
+  int jobs = 0;  // suite parallel leg; 0 = SATURN_JOBS env / hardware
   std::string out = "BENCH_sim.json";
 };
 
@@ -208,7 +220,156 @@ PreparedRun BuildChaos(const PerfOptions& options) {
   return run;
 }
 
-void WriteJson(const PerfOptions& options, const std::vector<WorkloadResult>& results) {
+// --- Parallel-suite measurement --------------------------------------------
+//
+// A combined figure+chaos suite of small, fully independent runs, executed
+// twice through ParallelSweep: once with jobs=1 (serial leg) and once on the
+// worker pool. Per-run executed-event fingerprints must match between the
+// legs — a mismatch means a run's behaviour depended on its neighbours, which
+// breaks the share-nothing contract, so it is fatal.
+
+struct SuiteSpec {
+  enum Kind { kFig, kChaos } kind = kFig;
+  uint64_t seed = 42;
+  uint32_t value_size = 2;
+};
+
+std::vector<SuiteSpec> BuildSuiteSpecs(const PerfOptions& options) {
+  std::vector<SuiteSpec> specs;
+  const uint64_t fig_seeds = options.smoke ? 2 : 6;
+  for (uint64_t s = 0; s < fig_seeds; ++s) {
+    specs.push_back({SuiteSpec::kFig, 42 + s, s % 2 == 0 ? 2u : 128u});
+  }
+  const uint64_t chaos_seeds = options.smoke ? 2 : 6;
+  for (uint64_t s = 1; s <= chaos_seeds; ++s) {
+    specs.push_back({SuiteSpec::kChaos, s, 2});
+  }
+  return specs;
+}
+
+// One suite run; returns the executed-event fingerprint.
+uint64_t RunSuiteCase(const PerfOptions& options, const SuiteSpec& spec) {
+  if (spec.kind == SuiteSpec::kFig) {
+    ClusterConfig config;
+    config.protocol = Protocol::kSaturn;
+    config.dc_sites = Ec2Sites();
+    config.latencies = Ec2Latencies();
+    config.dc.num_gears = 4;
+    config.seed = spec.seed;
+
+    KeyspaceConfig keyspace;
+    keyspace.num_keys = 10000;
+    keyspace.pattern = CorrelationPattern::kFull;
+    ReplicaMap replicas =
+        ReplicaMap::Generate(keyspace, config.dc_sites, config.latencies);
+
+    SyntheticOpGenerator::Config workload;
+    workload.write_fraction = 0.1;
+    workload.value_size = spec.value_size;
+
+    uint32_t clients_per_dc = options.smoke ? 4 : 16;
+    Cluster cluster(std::move(config), std::move(replicas),
+                    UniformClientHomes(kNumEc2Regions, clients_per_dc),
+                    SyntheticGenerators(workload));
+    cluster.Run(options.smoke ? Millis(200) : Millis(500),
+                options.smoke ? Millis(300) : Seconds(1),
+                options.smoke ? Millis(500) : Millis(1500));
+    return cluster.sim().executed_events();
+  }
+
+  // Chaos case: the chaos property suite's small-cluster setup, one seed.
+  ClusterConfig config;
+  config.protocol = Protocol::kSaturn;
+  config.dc_sites = {kIreland, kFrankfurt, kTokyo};
+  config.latencies = Ec2Latencies();
+  config.dc.num_gears = 2;
+  config.enable_oracle = true;
+  config.seed = 1234;
+  std::vector<SiteId> dc_sites = config.dc_sites;
+
+  KeyspaceConfig keyspace;
+  keyspace.num_keys = 600;
+  keyspace.pattern = CorrelationPattern::kUniform;
+  keyspace.replication_degree = 2;
+  ReplicaMap replicas =
+      ReplicaMap::Generate(keyspace, config.dc_sites, config.latencies);
+
+  SyntheticOpGenerator::Config workload;
+  workload.write_fraction = 0.1;
+  workload.value_size = 2;
+
+  Cluster cluster(std::move(config), std::move(replicas),
+                  UniformClientHomes(3, options.smoke ? 2u : 6u),
+                  SyntheticGenerators(workload));
+  ChaosOptions chaos;
+  chaos.seed = spec.seed;
+  chaos.start = Millis(1500);
+  chaos.end = Millis(3300);
+  chaos.allow_lossy = true;
+  chaos.allow_crash = true;
+  chaos.tree_kill_percent = 100;
+  chaos.tree_epoch = 0;
+  cluster.metadata_service()->DeployTree(1, StarTopology(dc_sites, kFrankfurt));
+  for (DcId dc = 0; dc < 3; ++dc) {
+    cluster.saturn_dc(dc)->set_fallback_timeout(Millis(150));
+  }
+  cluster.InstallFaultPlan(GenerateChaosPlan(chaos, dc_sites));
+  cluster.StopClientsAt(Millis(4000));
+  cluster.Run(Seconds(1), options.smoke ? Millis(500) : Seconds(2), Seconds(2));
+  return cluster.sim().executed_events();
+}
+
+struct SuiteResult {
+  int runs = 0;
+  int jobs = 1;
+  unsigned hardware_concurrency = 0;
+  double serial_wall_s = 0;
+  double parallel_wall_s = 0;
+  double speedup = 0;
+  uint64_t total_events = 0;
+  long peak_rss_kb = 0;
+  bool fingerprints_identical = false;
+};
+
+SuiteResult RunSuite(const PerfOptions& options) {
+  std::vector<SuiteSpec> specs = BuildSuiteSpecs(options);
+  auto run_leg = [&](int jobs, double* wall_s) {
+    auto start = std::chrono::steady_clock::now();
+    std::vector<uint64_t> fp = ParallelSweep(
+        specs, jobs, [&](const SuiteSpec& s) { return RunSuiteCase(options, s); });
+    auto stop = std::chrono::steady_clock::now();
+    *wall_s = std::chrono::duration<double>(stop - start).count();
+    return fp;
+  };
+
+  SuiteResult suite;
+  suite.runs = static_cast<int>(specs.size());
+  suite.jobs = ResolveJobs(options.jobs);
+  suite.hardware_concurrency = std::thread::hardware_concurrency();
+
+  std::vector<uint64_t> serial_fp = run_leg(1, &suite.serial_wall_s);
+  std::vector<uint64_t> parallel_fp = run_leg(suite.jobs, &suite.parallel_wall_s);
+
+  suite.fingerprints_identical = serial_fp == parallel_fp;
+  if (!suite.fingerprints_identical) {
+    std::fprintf(stderr,
+                 "FATAL: suite fingerprints differ between jobs=1 and jobs=%d —\n"
+                 "a run's behaviour depended on its neighbours (shared state?)\n",
+                 suite.jobs);
+    std::exit(1);
+  }
+  for (uint64_t events : serial_fp) {
+    suite.total_events += events;
+  }
+  suite.speedup = suite.parallel_wall_s > 0
+                      ? suite.serial_wall_s / suite.parallel_wall_s
+                      : 0;
+  suite.peak_rss_kb = PeakRssKb();
+  return suite;
+}
+
+void WriteJson(const PerfOptions& options, const std::vector<WorkloadResult>& results,
+               const SuiteResult& suite) {
   std::FILE* f = std::fopen(options.out.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", options.out.c_str());
@@ -232,7 +393,20 @@ void WriteJson(const PerfOptions& options, const std::vector<WorkloadResult>& re
     std::fprintf(f, "      \"peak_rss_kb\": %ld\n", r.peak_rss_kb);
     std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"suite_wall_clock\": {\n");
+  std::fprintf(f, "    \"runs\": %d,\n", suite.runs);
+  std::fprintf(f, "    \"jobs\": %d,\n", suite.jobs);
+  std::fprintf(f, "    \"hardware_concurrency\": %u,\n", suite.hardware_concurrency);
+  std::fprintf(f, "    \"serial_wall_s\": %.4f,\n", suite.serial_wall_s);
+  std::fprintf(f, "    \"parallel_wall_s\": %.4f,\n", suite.parallel_wall_s);
+  std::fprintf(f, "    \"speedup\": %.2f,\n", suite.speedup);
+  std::fprintf(f, "    \"total_events\": %llu,\n",
+               static_cast<unsigned long long>(suite.total_events));
+  std::fprintf(f, "    \"fingerprints_identical\": %s,\n",
+               suite.fingerprints_identical ? "true" : "false");
+  std::fprintf(f, "    \"peak_rss_kb\": %ld\n", suite.peak_rss_kb);
+  std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
 }
@@ -244,10 +418,13 @@ int Main(int argc, char** argv) {
       options.smoke = true;
     } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
       options.repeat = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      options.jobs = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       options.out = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: perf_sim [--smoke] [--repeat N] [--out PATH]\n");
+      std::fprintf(stderr,
+                   "usage: perf_sim [--smoke] [--repeat N] [--jobs N] [--out PATH]\n");
       return 2;
     }
   }
@@ -270,7 +447,15 @@ int Main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.executed_events), r.wall_s, r.events_per_sec,
                 r.throughput_ops, static_cast<double>(r.peak_rss_kb) / 1024.0);
   }
-  WriteJson(options, results);
+
+  SuiteResult suite = RunSuite(options);
+  std::printf("suite: %d runs, serial %.3fs, parallel %.3fs (jobs=%d, hw=%u), "
+              "speedup %.2fx, fingerprints %s\n",
+              suite.runs, suite.serial_wall_s, suite.parallel_wall_s, suite.jobs,
+              suite.hardware_concurrency, suite.speedup,
+              suite.fingerprints_identical ? "identical" : "DIFFER");
+
+  WriteJson(options, results, suite);
   std::printf("wrote %s\n", options.out.c_str());
   return 0;
 }

@@ -2,9 +2,11 @@
 // every experiment. This is the input geometry of the simulated deployment.
 #include <cstdio>
 
+#include "bench/bench_common.h"
 #include "src/runtime/regions.h"
 
-int main() {
+int main(int argc, char** argv) {
+  saturn::BenchInit(argc, argv);  // accepts --jobs for harness uniformity
   std::printf("Table 1: average one-way latencies among EC2 regions (ms)\n");
   std::printf("(N. Virginia, N. California, Oregon, Ireland, Frankfurt, Tokyo, Sydney)\n\n");
   std::printf("%s\n", saturn::Ec2LatencyTable().c_str());

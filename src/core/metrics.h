@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "src/common/check.h"
@@ -69,6 +70,18 @@ class Metrics {
   }
 
   const LatencyHistogram& AllVisibility() const { return all_visibility_; }
+
+  // Destructive end-of-run accessors: move the histogram out instead of
+  // copying its bucket array. The histogram left behind is empty; only call
+  // once the run is over and nothing will read the metrics again.
+  LatencyHistogram TakeAllVisibility() {
+    return std::exchange(all_visibility_, LatencyHistogram());
+  }
+  LatencyHistogram TakeVisibility(DcId origin, DcId at) {
+    SAT_CHECK(origin < num_dcs_ && at < num_dcs_);
+    return std::exchange(visibility_[origin * num_dcs_ + at], LatencyHistogram());
+  }
+
   const LatencyHistogram& OpLatency() const { return op_latency_; }
   const LatencyHistogram& AttachLatency() const { return attach_latency_; }
   uint64_t completed_ops() const { return completed_ops_; }

@@ -1,0 +1,59 @@
+// Fixed-size worker pool for embarrassingly parallel experiment sweeps.
+//
+// Simulations are share-nothing (every Cluster owns its simulator, network,
+// RNGs and metrics), so the pool needs no work stealing, no futures and no
+// per-job synchronization beyond the queue itself: submit closures, then
+// Wait() for the batch. The first exception thrown by any job is captured and
+// rethrown from Wait() on the submitting thread, so a failing run aborts the
+// sweep the same way it would have aborted a serial loop.
+#ifndef SRC_EXEC_THREAD_POOL_H_
+#define SRC_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace saturn {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (at least 1). Workers idle until Submit.
+  explicit ThreadPool(unsigned num_threads);
+
+  // Drains the queue, then joins the workers. Pending exceptions from jobs
+  // that were never Wait()ed on are dropped.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a job. Jobs start in FIFO order (completion order is up to the
+  // scheduler; callers that need ordered results index into a result slot).
+  void Submit(std::function<void()> job);
+
+  // Blocks until every submitted job has finished, then rethrows the first
+  // exception any job raised (if one did). The pool stays usable afterwards.
+  void Wait();
+
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: job available / stop
+  std::condition_variable idle_cv_;  // signals Wait(): batch complete
+  std::deque<std::function<void()>> queue_;
+  std::exception_ptr first_error_;
+  std::size_t in_flight_ = 0;  // queued + currently running
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_EXEC_THREAD_POOL_H_

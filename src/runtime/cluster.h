@@ -108,9 +108,13 @@ class Cluster {
   FaultInjector* fault_injector() { return injector_.get(); }
 
   Simulator& sim() { return sim_; }
+  const Simulator& sim() const { return sim_; }
   Network& network() { return *net_; }
+  const Network& network() const { return *net_; }
   Metrics& metrics() { return *metrics_; }
+  const Metrics& metrics() const { return *metrics_; }
   CausalityOracle* oracle() { return oracle_.get(); }
+  const CausalityOracle* oracle() const { return oracle_.get(); }
   const ReplicaMap& replicas() const { return replicas_; }
   MetadataService* metadata_service() { return metadata_.get(); }
   const TreeTopology& tree() const { return tree_; }

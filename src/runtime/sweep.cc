@@ -1,0 +1,22 @@
+#include "src/runtime/sweep.h"
+
+#include <cstdlib>
+#include <thread>
+
+namespace saturn {
+
+int ResolveJobs(int requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  if (const char* env = std::getenv("SATURN_JOBS"); env != nullptr) {
+    int jobs = std::atoi(env);
+    if (jobs > 0) {
+      return jobs;
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace saturn

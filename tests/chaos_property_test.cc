@@ -12,13 +12,22 @@
 // automatic failure detector has to find the pre-deployed backup tree without
 // any help from the test.
 //
+// The seeds of a sweep run concurrently on the ParallelSweep worker pool
+// (SATURN_JOBS env or hardware concurrency; the tsan_smoke ctest runs this
+// binary with SATURN_JOBS=4 under ThreadSanitizer to prove the runs are
+// share-nothing). Simulations execute on workers and only produce verdict
+// structs; all gtest assertions happen on the main thread, in seed order, so
+// failures read identically whatever the worker count.
+//
 // Failures print the protocol, the seed and the full fault plan; the run
 // reproduces from that line alone.
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "src/fault/chaos.h"
+#include "src/runtime/sweep.h"
 #include "tests/test_util.h"
 
 namespace saturn {
@@ -32,7 +41,34 @@ struct ChaosCase {
   uint32_t tree_kill_percent = 30;
 };
 
-void RunChaosCase(const ChaosCase& c) {
+// Everything the assertions need, extracted on the worker before the cluster
+// is torn down. Plain data only: verdicts cross the thread boundary, gtest
+// never does.
+struct ChaosVerdict {
+  std::string context;
+  bool oracle_clean = false;
+  std::string first_violation;
+  size_t missing_count = 0;
+  std::string first_missing;
+  // Saturn only: per-DC end state.
+  std::vector<bool> in_timestamp_mode;
+  std::vector<uint32_t> epochs;
+
+  // Canonical one-line form; used by the cross-jobs determinism check.
+  std::string ToString() const {
+    std::string s = context + " clean=" + (oracle_clean ? "1" : "0") +
+                    " missing=" + std::to_string(missing_count);
+    for (bool ts : in_timestamp_mode) {
+      s += ts ? " ts" : " stream";
+    }
+    for (uint32_t epoch : epochs) {
+      s += " e" + std::to_string(epoch);
+    }
+    return s;
+  }
+};
+
+ChaosVerdict RunChaosSim(const ChaosCase& c) {
   ClusterConfig config = SmallClusterConfig(c.protocol);
   ReplicaMap replicas =
       c.partial_replication
@@ -64,74 +100,96 @@ void RunChaosCase(const ChaosCase& c) {
   cluster.StopClientsAt(Millis(4000));
   cluster.Run(Seconds(1), Seconds(2), /*drain=*/Seconds(2));
 
-  std::string context = std::string("protocol=") + ProtocolName(c.protocol) +
-                        " seed=" + std::to_string(c.seed) + " plan=[" + plan.ToString() + "]";
-  ASSERT_NE(cluster.oracle(), nullptr);
-  EXPECT_TRUE(cluster.oracle()->Clean())
-      << context << "\nfirst violation: " << cluster.oracle()->violations().front();
+  ChaosVerdict v;
+  v.context = std::string("protocol=") + ProtocolName(c.protocol) +
+              " seed=" + std::to_string(c.seed) + " plan=[" + plan.ToString() + "]";
+  v.oracle_clean = cluster.oracle() != nullptr && cluster.oracle()->Clean();
+  if (!v.oracle_clean && cluster.oracle() != nullptr &&
+      !cluster.oracle()->violations().empty()) {
+    v.first_violation = cluster.oracle()->violations().front();
+  }
   auto missing = cluster.oracle()->MissingReplicas();
-  EXPECT_TRUE(missing.empty()) << context << "\n" << missing.size()
-                               << " updates missing replicas, first: " << missing.front();
+  v.missing_count = missing.size();
+  if (!missing.empty()) {
+    v.first_missing = missing.front();
+  }
   if (c.protocol == Protocol::kSaturn) {
-    uint32_t epoch0 = cluster.saturn_dc(0)->current_epoch();
     for (DcId dc = 0; dc < 3; ++dc) {
-      EXPECT_FALSE(cluster.saturn_dc(dc)->in_timestamp_mode())
-          << context << "\ndc " << dc << " stuck in timestamp mode";
-      EXPECT_EQ(cluster.saturn_dc(dc)->current_epoch(), epoch0)
-          << context << "\ndc " << dc << " disagrees on the epoch";
+      v.in_timestamp_mode.push_back(cluster.saturn_dc(dc)->in_timestamp_mode());
+      v.epochs.push_back(cluster.saturn_dc(dc)->current_epoch());
     }
   }
+  return v;
+}
+
+// Runs every case on the pool, then asserts in submission order.
+void RunChaosSweep(const std::vector<ChaosCase>& cases) {
+  std::vector<ChaosVerdict> verdicts = ParallelSweep(cases, ResolveJobs(), RunChaosSim);
+  for (size_t i = 0; i < cases.size(); ++i) {
+    const ChaosCase& c = cases[i];
+    const ChaosVerdict& v = verdicts[i];
+    EXPECT_TRUE(v.oracle_clean)
+        << v.context << "\nfirst violation: " << v.first_violation;
+    EXPECT_EQ(v.missing_count, 0u)
+        << v.context << "\n" << v.missing_count
+        << " updates missing replicas, first: " << v.first_missing;
+    if (c.protocol == Protocol::kSaturn) {
+      ASSERT_EQ(v.epochs.size(), 3u) << v.context;
+      for (DcId dc = 0; dc < 3; ++dc) {
+        EXPECT_FALSE(v.in_timestamp_mode[dc])
+            << v.context << "\ndc " << dc << " stuck in timestamp mode";
+        EXPECT_EQ(v.epochs[dc], v.epochs[0])
+            << v.context << "\ndc " << dc << " disagrees on the epoch";
+      }
+    }
+  }
+}
+
+std::vector<ChaosCase> SeedSweep(Protocol protocol, uint64_t first, uint64_t last) {
+  std::vector<ChaosCase> cases;
+  for (uint64_t seed = first; seed <= last; ++seed) {
+    ChaosCase c;
+    c.protocol = protocol;
+    c.seed = seed;
+    cases.push_back(c);
+  }
+  return cases;
 }
 
 TEST(ChaosProperty, SaturnSurvivesRandomFaultSchedules) {
-  for (uint64_t seed = 1; seed <= 20; ++seed) {
-    ChaosCase c;
-    c.protocol = Protocol::kSaturn;
-    c.seed = seed;
-    RunChaosCase(c);
-    if (::testing::Test::HasFatalFailure()) {
-      return;
-    }
-  }
+  RunChaosSweep(SeedSweep(Protocol::kSaturn, 1, 20));
 }
 
 TEST(ChaosProperty, GentleRainSurvivesRandomFaultSchedules) {
-  for (uint64_t seed = 1; seed <= 20; ++seed) {
-    ChaosCase c;
-    c.protocol = Protocol::kGentleRain;
-    c.seed = seed;
-    RunChaosCase(c);
-    if (::testing::Test::HasFatalFailure()) {
-      return;
-    }
-  }
+  RunChaosSweep(SeedSweep(Protocol::kGentleRain, 1, 20));
 }
 
 TEST(ChaosProperty, CureSurvivesRandomFaultSchedules) {
-  for (uint64_t seed = 1; seed <= 20; ++seed) {
-    ChaosCase c;
-    c.protocol = Protocol::kCure;
-    c.seed = seed;
-    RunChaosCase(c);
-    if (::testing::Test::HasFatalFailure()) {
-      return;
-    }
-  }
+  RunChaosSweep(SeedSweep(Protocol::kCure, 1, 20));
 }
 
 TEST(ChaosProperty, SaturnPartialReplicationSurvivesChaos) {
   // Genuine partial replication adds client migrations (and their labels) to
   // everything the full-replication suites already stress.
-  for (uint64_t seed = 101; seed <= 110; ++seed) {
-    ChaosCase c;
-    c.protocol = Protocol::kSaturn;
-    c.seed = seed;
+  std::vector<ChaosCase> cases = SeedSweep(Protocol::kSaturn, 101, 110);
+  for (ChaosCase& c : cases) {
     c.partial_replication = true;
     c.tree_kill_percent = 0;  // keep the tree; link faults are the story here
-    RunChaosCase(c);
-    if (::testing::Test::HasFatalFailure()) {
-      return;
-    }
+  }
+  RunChaosSweep(cases);
+}
+
+TEST(ChaosProperty, VerdictsAreIdenticalAcrossJobCounts) {
+  // The ordering guarantee, end to end: a serial sweep and a 4-worker sweep
+  // of the same cases must produce byte-identical verdicts.
+  std::vector<ChaosCase> cases = SeedSweep(Protocol::kSaturn, 1, 6);
+  std::vector<ChaosVerdict> serial = ParallelSweep(cases, 1, RunChaosSim);
+  std::vector<ChaosVerdict> parallel = ParallelSweep(cases, 4, RunChaosSim);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].ToString(), parallel[i].ToString()) << "case " << i;
+    EXPECT_EQ(serial[i].first_violation, parallel[i].first_violation);
+    EXPECT_EQ(serial[i].first_missing, parallel[i].first_missing);
   }
 }
 

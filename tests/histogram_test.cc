@@ -66,6 +66,33 @@ TEST(LatencyHistogram, MergeCombinesCounts) {
   EXPECT_NEAR(a.MeanUs(), 200.0, 0.01);
 }
 
+TEST(LatencyHistogram, MergeMatchesCombinedQuantiles) {
+  // Merging per-shard histograms must be indistinguishable from recording
+  // every sample into one histogram — this is what the seed-sweep modes rely
+  // on when they merge per-run visibility histograms.
+  LatencyHistogram shards[4];
+  LatencyHistogram combined;
+  uint64_t x = 12345;
+  for (int i = 0; i < 20000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;  // LCG
+    int64_t sample = static_cast<int64_t>(x % 5000000);       // 0..5s in us
+    shards[i % 4].Record(sample);
+    combined.Record(sample);
+  }
+  LatencyHistogram merged;
+  for (const LatencyHistogram& shard : shards) {
+    merged.Merge(shard);
+  }
+  EXPECT_EQ(merged.count(), combined.count());
+  EXPECT_EQ(merged.MinUs(), combined.MinUs());
+  EXPECT_EQ(merged.MaxUs(), combined.MaxUs());
+  EXPECT_NEAR(merged.MeanUs(), combined.MeanUs(), 1e-6);
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(merged.PercentileUs(q), combined.PercentileUs(q)) << "q=" << q;
+  }
+  EXPECT_EQ(merged.CdfPointsMs(), combined.CdfPointsMs());
+}
+
 TEST(LatencyHistogram, CdfReachesOne) {
   LatencyHistogram h;
   for (int i = 0; i < 100; ++i) {

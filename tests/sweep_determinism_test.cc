@@ -1,0 +1,136 @@
+// The parallel sweep's ordering guarantee, from the primitive up to a real
+// experiment: results come back in submission order, ResolveJobs picks the
+// worker count predictably, and a cluster experiment swept with jobs=1 and
+// jobs=hardware_concurrency produces identical results and histograms — the
+// property every figure bench's byte-identical output rests on.
+#include "src/runtime/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "tests/test_util.h"
+
+namespace saturn {
+namespace {
+
+TEST(ResolveJobs, ExplicitRequestWins) {
+  EXPECT_EQ(ResolveJobs(3), 3);
+  EXPECT_EQ(ResolveJobs(1), 1);
+}
+
+TEST(ResolveJobs, EnvFallbackAndFloor) {
+  ASSERT_EQ(setenv("SATURN_JOBS", "5", /*overwrite=*/1), 0);
+  EXPECT_EQ(ResolveJobs(0), 5);
+  EXPECT_EQ(ResolveJobs(2), 2);  // explicit still wins
+  ASSERT_EQ(setenv("SATURN_JOBS", "0", 1), 0);
+  EXPECT_GE(ResolveJobs(0), 1);  // non-positive env falls through
+  ASSERT_EQ(unsetenv("SATURN_JOBS"), 0);
+  EXPECT_GE(ResolveJobs(0), 1);  // hardware_concurrency, floored at 1
+  EXPECT_GE(ResolveJobs(-4), 1);
+}
+
+TEST(ParallelSweep, ResultsComeBackInSubmissionOrder) {
+  std::vector<int> specs;
+  for (int i = 0; i < 200; ++i) {
+    specs.push_back(i);
+  }
+  std::vector<int> serial = ParallelSweep(specs, 1, [](int i) { return i * i; });
+  std::vector<int> parallel = ParallelSweep(specs, 8, [](int i) { return i * i; });
+  ASSERT_EQ(serial.size(), specs.size());
+  EXPECT_EQ(serial, parallel);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(serial[i], i * i);
+  }
+}
+
+TEST(ParallelSweep, EmptySweepIsEmpty) {
+  std::vector<int> none;
+  EXPECT_TRUE(ParallelSweep(none, 4, [](int i) { return i; }).empty());
+}
+
+TEST(ParallelSweep, MoveOnlyResultsWork) {
+  std::vector<int> specs = {1, 2, 3};
+  auto results = ParallelSweep(specs, 2, [](int i) {
+    return std::make_unique<int>(i * 10);
+  });
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(*results[1], 20);
+}
+
+TEST(ParallelSweep, FirstExceptionPropagates) {
+  std::vector<int> specs = {0, 1, 2, 3};
+  EXPECT_THROW(ParallelSweep(specs, 4,
+                             [](int i) {
+                               if (i == 2) {
+                                 throw std::runtime_error("boom");
+                               }
+                               return i;
+                             }),
+               std::runtime_error);
+  // Serial path raises the same way.
+  EXPECT_THROW(ParallelSweep(specs, 1,
+                             [](int) -> int { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+}
+
+// Formats every field a bench would print, at full precision, so two runs
+// compare byte-for-byte rather than within tolerances.
+std::string Formatted(const RunOutput& out) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "tput=%.17g op=%.17g vis=%.17g p90=%.17g p99=%.17g remote=%llu "
+                "attach=%.17g n=%llu",
+                out.result.throughput_ops, out.result.mean_op_latency_ms,
+                out.result.mean_visibility_ms, out.result.p90_visibility_ms,
+                out.result.p99_visibility_ms,
+                static_cast<unsigned long long>(out.result.remote_updates),
+                out.result.mean_attach_ms,
+                static_cast<unsigned long long>(out.all_visibility.count()));
+  std::string s = buf;
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    std::snprintf(buf, sizeof(buf), " q%.2f=%.17g", q, out.all_visibility.PercentileMs(q));
+    s += buf;
+  }
+  return s;
+}
+
+TEST(SweepDeterminism, ExperimentsIdenticalAcrossJobCounts) {
+  std::vector<RunSpec> specs;
+  for (Protocol protocol : {Protocol::kSaturn, Protocol::kGentleRain, Protocol::kCure}) {
+    RunSpec spec;
+    spec.protocol = protocol;
+    spec.num_dcs = 3;
+    spec.clients_per_dc = 4;
+    spec.measure = Seconds(1);
+    specs.push_back(spec);
+    spec.seed = 7;  // a second seed per protocol
+    specs.push_back(spec);
+  }
+
+  auto run = [&specs](int jobs) {
+    return ParallelSweep(specs, jobs,
+                         [](const RunSpec& spec) { return RunExperiment(spec); });
+  };
+  unsigned hw = std::thread::hardware_concurrency();
+  std::vector<RunOutput> serial = run(1);
+  std::vector<RunOutput> parallel = run(static_cast<int>(hw > 1 ? hw : 4));
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(Formatted(serial[i]), Formatted(parallel[i])) << "spec " << i;
+    EXPECT_EQ(serial[i].all_visibility.CdfPointsMs(),
+              parallel[i].all_visibility.CdfPointsMs())
+        << "spec " << i;
+  }
+}
+
+}  // namespace
+}  // namespace saturn

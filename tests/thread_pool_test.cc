@@ -1,0 +1,86 @@
+// Unit tests for the sweep worker pool: batch completion, exception
+// propagation, reuse across batches, and destructor drain.
+#include "src/exec/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace saturn {
+namespace {
+
+TEST(ThreadPool, RunsEveryJob) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, SingleWorkerStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&done, i] {
+      if (i == 3) {
+        throw std::runtime_error("job 3 failed");
+      }
+      done.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error is consumed: the pool is reusable and a clean batch succeeds.
+  pool.Submit([&done] { done.fetch_add(1); });
+  pool.Wait();
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(done.load(), (batch + 1) * 20);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsPendingJobs) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+    // No Wait(): the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> done{0};
+  pool.Submit([&done] { done.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 1);
+}
+
+}  // namespace
+}  // namespace saturn

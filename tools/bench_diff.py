@@ -3,6 +3,7 @@
 
 Usage:
     tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold PCT]
+                        [--ignore-wallclock]
     tools/bench_diff.py BENCH_sim.json                 # self mode
 
 Two-file mode compares per-workload events/sec (and throughput) of CANDIDATE
@@ -10,10 +11,18 @@ against BASELINE. Self mode reads a single committed BENCH_sim.json that
 carries a "baseline" block (the pre-change numbers recorded when the file was
 committed) and compares the current "workloads" block against it.
 
+When both files carry a "suite_wall_clock" section (the parallel-sweep
+measurement), the suite's parallel wall-clock is compared too. Wall-clock is
+machine-sensitive, so --ignore-wallclock demotes a suite slowdown to
+informational; the suite's serial-vs-parallel fingerprint check is a
+*determinism* property, never a timing one, so it gates regardless of the
+flag.
+
 Exit status: 0 = no regression, 1 = events/sec regression beyond the
-threshold (default 5%) or a determinism-fingerprint mismatch, 2 = usage or
-parse error. Fingerprints (executed_events) are only required to match when
-both runs were made at the same scale (smoke vs full).
+threshold (default 5%), a determinism-fingerprint mismatch, or (without
+--ignore-wallclock) a suite wall-clock regression; 2 = usage or parse error.
+Fingerprints (executed_events) are only required to match when both runs were
+made at the same scale (smoke vs full).
 """
 
 import json
@@ -66,14 +75,52 @@ def compare(base, cand, threshold_pct, check_fingerprint):
     return regressed
 
 
+def compare_suite(base_suite, cand_suite, threshold_pct, ignore_wallclock):
+    """Compare suite_wall_clock sections; returns True on a gating regression.
+
+    The candidate's serial-vs-parallel fingerprint flag always gates: a false
+    there means a run's behaviour depended on its neighbours. The wall-clock
+    delta gates only without --ignore-wallclock, and only when both sides ran
+    the same number of suite runs.
+    """
+    regressed = False
+    if cand_suite and not cand_suite.get("fingerprints_identical", True):
+        print("suite: candidate fingerprints DIFFER between serial and parallel "
+              "legs (shared state across runs?)")
+        regressed = True
+    if not base_suite or not cand_suite:
+        return regressed
+    if base_suite.get("runs") != cand_suite.get("runs"):
+        print("suite: run counts differ; wall-clock comparison skipped")
+        return regressed
+    b_wall = float(base_suite.get("parallel_wall_s", 0))
+    c_wall = float(cand_suite.get("parallel_wall_s", 0))
+    delta = (c_wall - b_wall) / b_wall * 100.0 if b_wall > 0 else 0.0
+    flag = ""
+    if delta > threshold_pct:
+        if ignore_wallclock:
+            flag = "  (slower, ignored by --ignore-wallclock)"
+        else:
+            flag = "  << REGRESSION"
+            regressed = True
+    print(f"{'suite':<12} {b_wall:>13.3f}s {c_wall:>13.3f}s {delta:>+8.1f}%  "
+          f"parallel wall-clock (jobs {base_suite.get('jobs', '?')} -> "
+          f"{cand_suite.get('jobs', '?')}){flag}")
+    return regressed
+
+
 def main(argv):
     threshold = 5.0
+    ignore_wallclock = False
     args = []
     i = 1
     while i < len(argv):
         if argv[i] == "--threshold" and i + 1 < len(argv):
             threshold = float(argv[i + 1])
             i += 2
+        elif argv[i] == "--ignore-wallclock":
+            ignore_wallclock = True
+            i += 1
         else:
             args.append(argv[i])
             i += 1
@@ -88,6 +135,8 @@ def main(argv):
         cand = doc["workloads"]
         base_smoke = doc.get("baseline", {}).get("smoke", False)
         cand_smoke = doc.get("smoke", False)
+        base_suite = doc.get("baseline", {}).get("suite_wall_clock")
+        cand_suite = doc.get("suite_wall_clock")
     elif len(args) == 2:
         base_doc = load(args[0])
         cand_doc = load(args[1])
@@ -95,12 +144,15 @@ def main(argv):
         cand = cand_doc["workloads"]
         base_smoke = base_doc.get("smoke", False)
         cand_smoke = cand_doc.get("smoke", False)
+        base_suite = base_doc.get("suite_wall_clock")
+        cand_suite = cand_doc.get("suite_wall_clock")
     else:
         print(__doc__, file=sys.stderr)
         return 2
 
     check_fingerprint = base_smoke == cand_smoke
     regressed = compare(base, cand, threshold, check_fingerprint)
+    regressed |= compare_suite(base_suite, cand_suite, threshold, ignore_wallclock)
     if regressed:
         print(f"\nFAIL: regression beyond {threshold:.1f}% or fingerprint mismatch")
         return 1

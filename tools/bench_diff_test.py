@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_diff.py (run via ctest or directly)."""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_diff  # noqa: E402
+
+
+def workload(name, events=1000, eps=50000.0):
+    return {
+        "name": name,
+        "executed_events": events,
+        "wall_s": events / eps,
+        "events_per_sec": eps,
+        "throughput_ops": 1234.0,
+        "peak_rss_kb": 10000,
+    }
+
+
+def suite(runs=12, jobs=4, serial=8.0, parallel=2.5, fingerprints=True):
+    return {
+        "runs": runs,
+        "jobs": jobs,
+        "hardware_concurrency": jobs,
+        "serial_wall_s": serial,
+        "parallel_wall_s": parallel,
+        "speedup": serial / parallel,
+        "total_events": 5000000,
+        "fingerprints_identical": fingerprints,
+        "peak_rss_kb": 20000,
+    }
+
+
+def doc(workloads, smoke=False, suite_section=None):
+    d = {"harness": "perf_sim", "version": 1, "smoke": smoke,
+         "repeat": 1, "workloads": workloads}
+    if suite_section is not None:
+        d["suite_wall_clock"] = suite_section
+    return d
+
+
+class BenchDiffTest(unittest.TestCase):
+    def run_diff(self, *argv):
+        """Runs bench_diff.main with temp files; returns (exit_code, stdout)."""
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = bench_diff.main(["bench_diff.py"] + list(argv))
+        return code, out.getvalue()
+
+    def write(self, document):
+        f = tempfile.NamedTemporaryFile(
+            mode="w", suffix=".json", delete=False)
+        self.addCleanup(os.unlink, f.name)
+        json.dump(document, f)
+        f.close()
+        return f.name
+
+    def test_identical_files_pass(self):
+        path = self.write(doc([workload("fig5_full")], suite_section=suite()))
+        code, out = self.run_diff(path, path)
+        self.assertEqual(code, 0)
+        self.assertIn("OK", out)
+
+    def test_events_per_sec_regression_fails(self):
+        base = self.write(doc([workload("fig5_full", eps=50000.0)]))
+        cand = self.write(doc([workload("fig5_full", eps=40000.0)]))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+
+    def test_fingerprint_mismatch_fails_at_same_scale(self):
+        base = self.write(doc([workload("fig5_full", events=1000)]))
+        cand = self.write(doc([workload("fig5_full", events=1001)]))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 1)
+        self.assertIn("MISMATCH", out)
+
+    def test_fingerprint_skipped_across_scales(self):
+        base = self.write(doc([workload("fig5_full", events=1000)], smoke=True))
+        cand = self.write(doc([workload("fig5_full", events=2000)], smoke=False))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
+        self.assertIn("skipped (different scale)", out)
+
+    def test_suite_wallclock_regression_gates_by_default(self):
+        base = self.write(doc([workload("fig5_full")],
+                              suite_section=suite(parallel=2.0)))
+        cand = self.write(doc([workload("fig5_full")],
+                              suite_section=suite(parallel=4.0)))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 1)
+        self.assertIn("parallel wall-clock", out)
+        self.assertIn("REGRESSION", out)
+
+    def test_ignore_wallclock_demotes_suite_slowdown(self):
+        base = self.write(doc([workload("fig5_full")],
+                              suite_section=suite(parallel=2.0)))
+        cand = self.write(doc([workload("fig5_full")],
+                              suite_section=suite(parallel=4.0)))
+        code, out = self.run_diff(base, cand, "--ignore-wallclock")
+        self.assertEqual(code, 0)
+        self.assertIn("ignored by --ignore-wallclock", out)
+
+    def test_suite_fingerprint_failure_gates_despite_flag(self):
+        base = self.write(doc([workload("fig5_full")], suite_section=suite()))
+        cand = self.write(doc([workload("fig5_full")],
+                              suite_section=suite(fingerprints=False)))
+        code, out = self.run_diff(base, cand, "--ignore-wallclock")
+        self.assertEqual(code, 1)
+        self.assertIn("DIFFER", out)
+
+    def test_suite_run_count_change_skips_wallclock(self):
+        base = self.write(doc([workload("fig5_full")],
+                              suite_section=suite(runs=12, parallel=2.0)))
+        cand = self.write(doc([workload("fig5_full")],
+                              suite_section=suite(runs=4, parallel=9.0)))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
+        self.assertIn("wall-clock comparison skipped", out)
+
+    def test_missing_suite_sections_are_fine(self):
+        base = self.write(doc([workload("fig5_full")]))
+        cand = self.write(doc([workload("fig5_full")], suite_section=suite()))
+        code, _ = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
+
+    def test_self_mode_compares_suite_against_baseline_block(self):
+        d = doc([workload("fig5_full")], suite_section=suite(parallel=5.0))
+        d["baseline"] = {"smoke": False,
+                        "workloads": [workload("fig5_full")],
+                        "suite_wall_clock": suite(parallel=2.0)}
+        path = self.write(d)
+        code, out = self.run_diff(path)
+        self.assertEqual(code, 1)
+        self.assertIn("parallel wall-clock", out)
+        code, _ = self.run_diff(path, "--ignore-wallclock")
+        self.assertEqual(code, 0)
+
+    def test_threshold_tolerates_small_wallclock_noise(self):
+        base = self.write(doc([workload("fig5_full")],
+                              suite_section=suite(parallel=2.0)))
+        cand = self.write(doc([workload("fig5_full")],
+                              suite_section=suite(parallel=2.06)))
+        code, _ = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -10,14 +10,17 @@
 //   saturn_sim --protocol=saturn --tree=star --hub=3 --csv=/tmp/vis.csv
 //   saturn_sim --protocol=cops --prune=0 --degree=2 --oracle
 //   saturn_sim --protocol=saturn --backup --oracle --fault-plan="1500:cut:3-5:drop;2100:heal:3-5"
+//   saturn_sim --protocol=saturn --seeds=10 --jobs=4 --csv=/tmp/vis.csv
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "src/runtime/cluster.h"
+#include "src/runtime/sweep.h"
 
 namespace saturn {
 namespace {
@@ -90,10 +93,34 @@ void Usage() {
       "                        <ms>:killtree:<epoch>     kill an epoch's serializers\n"
       "                        <ms>:killchain:<e>:<r>    kill one chain replica\n"
       "  --backup            saturn: pre-deploy a backup star tree as epoch 1\n"
-      "  --stop-clients=MS   stop all clients at MS (quiescent recovery tail)\n");
+      "  --stop-clients=MS   stop all clients at MS (quiescent recovery tail)\n"
+      "  --seeds=N           sweep mode: run seeds seed..seed+N-1 concurrently\n"
+      "                      on a worker pool; prints a per-seed table plus\n"
+      "                      merged visibility statistics, and --csv dumps the\n"
+      "                      CDFs of the per-pair histograms merged across seeds\n"
+      "  --jobs=N            sweep worker threads (default: SATURN_JOBS env or\n"
+      "                      all hardware threads); results are reported in seed\n"
+      "                      order, so output is identical for every jobs value\n");
 }
 
-int Run(const Flags& flags) {
+// Everything needed to assemble one cluster, parsed and validated once; the
+// seed sweep re-stamps `config.seed` per run.
+struct SimSetup {
+  ClusterConfig config;
+  KeyspaceConfig keyspace;
+  SyntheticOpGenerator::Config workload;
+  FaultPlan plan;
+  uint32_t dcs = 0;
+  uint32_t clients = 0;
+  SimTime warmup = 0;
+  SimTime measure = 0;
+  SimTime stop_clients = 0;  // 0 = never
+  bool backup = false;
+};
+
+// Parses flags into a SimSetup. Returns false (with *exit_code set) on bad
+// input.
+bool BuildSetup(const Flags& flags, SimSetup* setup, int* exit_code) {
   static const std::map<std::string, Protocol> kProtocols = {
       {"eventual", Protocol::kEventual},     {"saturn", Protocol::kSaturn},
       {"saturn-p2p", Protocol::kSaturnTimestamp}, {"gentlerain", Protocol::kGentleRain},
@@ -110,23 +137,26 @@ int Run(const Flags& flags) {
   auto protocol_it = kProtocols.find(protocol_name);
   if (protocol_it == kProtocols.end()) {
     std::fprintf(stderr, "unknown protocol: %s\n", protocol_name.c_str());
-    return 2;
+    *exit_code = 2;
+    return false;
   }
   auto pattern_it = kPatterns.find(flags.Get("pattern", "exponential"));
   if (pattern_it == kPatterns.end()) {
     std::fprintf(stderr, "unknown pattern: %s\n", flags.Get("pattern", "").c_str());
-    return 2;
+    *exit_code = 2;
+    return false;
   }
 
-  uint32_t dcs = static_cast<uint32_t>(flags.GetInt("dcs", 7));
-  if (dcs < 2 || dcs > kNumEc2Regions) {
+  setup->dcs = static_cast<uint32_t>(flags.GetInt("dcs", 7));
+  if (setup->dcs < 2 || setup->dcs > kNumEc2Regions) {
     std::fprintf(stderr, "--dcs must be 2..%u\n", kNumEc2Regions);
-    return 2;
+    *exit_code = 2;
+    return false;
   }
 
-  ClusterConfig config;
+  ClusterConfig& config = setup->config;
   config.protocol = protocol_it->second;
-  config.dc_sites = Ec2Sites(dcs);
+  config.dc_sites = Ec2Sites(setup->dcs);
   config.latencies = Ec2Latencies();
   config.dc.num_gears = static_cast<uint32_t>(flags.GetInt("gears", 4));
   config.tree_kind = flags.Get("tree", "generated") == "star" ? SaturnTreeKind::kStar
@@ -137,44 +167,79 @@ int Run(const Flags& flags) {
   config.enable_oracle = flags.Has("oracle");
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
 
-  KeyspaceConfig keyspace;
-  keyspace.num_keys = static_cast<uint64_t>(flags.GetInt("keys", 10000));
-  keyspace.pattern = pattern_it->second;
-  keyspace.replication_degree = static_cast<uint32_t>(flags.GetInt("degree", 3));
-  ReplicaMap replicas = ReplicaMap::Generate(keyspace, config.dc_sites, config.latencies);
+  setup->keyspace.num_keys = static_cast<uint64_t>(flags.GetInt("keys", 10000));
+  setup->keyspace.pattern = pattern_it->second;
+  setup->keyspace.replication_degree = static_cast<uint32_t>(flags.GetInt("degree", 3));
 
-  SyntheticOpGenerator::Config workload;
-  workload.write_fraction = flags.GetDouble("writes", 0.1);
-  workload.remote_read_fraction = flags.GetDouble("remote-reads", 0.0);
-  workload.zipf_theta = flags.GetDouble("zipf", 0.0);
-  workload.value_size = static_cast<uint32_t>(flags.GetInt("value", 2));
+  setup->workload.write_fraction = flags.GetDouble("writes", 0.1);
+  setup->workload.remote_read_fraction = flags.GetDouble("remote-reads", 0.0);
+  setup->workload.zipf_theta = flags.GetDouble("zipf", 0.0);
+  setup->workload.value_size = static_cast<uint32_t>(flags.GetInt("value", 2));
 
-  uint32_t clients = static_cast<uint32_t>(flags.GetInt("clients", 32));
-  Cluster cluster(config, std::move(replicas), UniformClientHomes(dcs, clients),
-                  SyntheticGenerators(workload));
+  setup->clients = static_cast<uint32_t>(flags.GetInt("clients", 32));
+  setup->warmup = Seconds(flags.GetInt("warmup", 1));
+  setup->measure = Seconds(flags.GetInt("seconds", 3));
 
-  FaultPlan plan;
   if (flags.Has("fault-plan")) {
     std::string error;
-    if (!ParseFaultPlan(flags.Get("fault-plan", ""), &plan, &error)) {
+    if (!ParseFaultPlan(flags.Get("fault-plan", ""), &setup->plan, &error)) {
       std::fprintf(stderr, "bad --fault-plan: %s\n", error.c_str());
-      return 2;
+      *exit_code = 2;
+      return false;
     }
-    cluster.InstallFaultPlan(plan);
   }
   if (flags.Has("backup")) {
-    if (cluster.metadata_service() == nullptr) {
+    if (config.protocol != Protocol::kSaturn) {
       std::fprintf(stderr, "--backup requires --protocol=saturn\n");
-      return 2;
+      *exit_code = 2;
+      return false;
     }
-    // A star rooted away from the primary hub: survives whatever killed it.
-    SiteId hub = config.dc_sites[0] != config.star_hub ? config.dc_sites[0]
-                                                       : config.dc_sites[1];
-    cluster.metadata_service()->DeployTree(1, StarTopology(config.dc_sites, hub));
-    std::printf("backup tree (epoch 1): star hub %s\n", Ec2RegionName(hub));
+    setup->backup = true;
   }
   if (flags.Has("stop-clients")) {
-    cluster.StopClientsAt(Millis(flags.GetInt("stop-clients", 0)));
+    setup->stop_clients = Millis(flags.GetInt("stop-clients", 0));
+  }
+  return true;
+}
+
+// Builds the cluster for one run of `setup` (the backup tree, fault plan and
+// client stop are applied; nothing is printed — both modes share this).
+std::unique_ptr<Cluster> BuildCluster(const SimSetup& setup) {
+  ReplicaMap replicas =
+      ReplicaMap::Generate(setup.keyspace, setup.config.dc_sites, setup.config.latencies);
+  auto cluster = std::make_unique<Cluster>(setup.config, std::move(replicas),
+                                           UniformClientHomes(setup.dcs, setup.clients),
+                                           SyntheticGenerators(setup.workload));
+  if (!setup.plan.Empty()) {
+    cluster->InstallFaultPlan(setup.plan);
+  }
+  if (setup.backup) {
+    // A star rooted away from the primary hub: survives whatever killed it.
+    SiteId hub = setup.config.dc_sites[0] != setup.config.star_hub
+                     ? setup.config.dc_sites[0]
+                     : setup.config.dc_sites[1];
+    cluster->metadata_service()->DeployTree(1, StarTopology(setup.config.dc_sites, hub));
+  }
+  if (setup.stop_clients != 0) {
+    cluster->StopClientsAt(setup.stop_clients);
+  }
+  return cluster;
+}
+
+int Run(const Flags& flags, const SimSetup& setup) {
+  const ClusterConfig& config = setup.config;
+  const KeyspaceConfig& keyspace = setup.keyspace;
+  const SyntheticOpGenerator::Config& workload = setup.workload;
+  const uint32_t dcs = setup.dcs;
+  const uint32_t clients = setup.clients;
+  const FaultPlan& plan = setup.plan;
+
+  std::unique_ptr<Cluster> cluster_ptr = BuildCluster(setup);
+  Cluster& cluster = *cluster_ptr;
+  if (setup.backup) {
+    SiteId hub = config.dc_sites[0] != config.star_hub ? config.dc_sites[0]
+                                                       : config.dc_sites[1];
+    std::printf("backup tree (epoch 1): star hub %s\n", Ec2RegionName(hub));
   }
 
   std::printf("protocol=%s dcs=%u pattern=%s degree=%u keys=%llu writes=%.2f "
@@ -191,8 +256,7 @@ int Run(const Flags& flags) {
     std::printf("fault plan: %s\n", plan.ToString().c_str());
   }
 
-  ExperimentResult result = cluster.Run(Seconds(flags.GetInt("warmup", 1)),
-                                        Seconds(flags.GetInt("seconds", 3)));
+  ExperimentResult result = cluster.Run(setup.warmup, setup.measure);
 
   std::printf("\nthroughput          %10.0f ops/s\n", result.throughput_ops);
   std::printf("op latency (mean)   %10.2f ms\n", result.mean_op_latency_ms);
@@ -296,6 +360,111 @@ int Run(const Flags& flags) {
   return 0;
 }
 
+// --- Seed sweep mode -------------------------------------------------------
+
+// Plain data extracted from one seed's cluster on the worker; printing and
+// CSV writing happen on the main thread afterwards, in seed order, so the
+// output is identical whatever --jobs is.
+struct SeedRun {
+  uint64_t seed = 0;
+  ExperimentResult result;
+  LatencyHistogram all_visibility;
+  std::vector<LatencyHistogram> pair_visibility;  // dcs*dcs, row-major
+  bool oracle_clean = true;
+  std::string first_violation;
+};
+
+SeedRun RunOneSeed(const SimSetup& base, uint64_t seed) {
+  SimSetup setup = base;
+  setup.config.seed = seed;
+  std::unique_ptr<Cluster> cluster = BuildCluster(setup);
+  SeedRun run;
+  run.seed = seed;
+  run.result = cluster->Run(setup.warmup, setup.measure);
+  run.all_visibility = cluster->metrics().TakeAllVisibility();
+  run.pair_visibility.reserve(static_cast<size_t>(setup.dcs) * setup.dcs);
+  for (DcId from = 0; from < setup.dcs; ++from) {
+    for (DcId to = 0; to < setup.dcs; ++to) {
+      run.pair_visibility.push_back(from == to ? LatencyHistogram()
+                                               : cluster->metrics().TakeVisibility(from, to));
+    }
+  }
+  if (cluster->oracle() != nullptr && !cluster->oracle()->Clean()) {
+    run.oracle_clean = false;
+    run.first_violation = cluster->oracle()->violations().front();
+  }
+  return run;
+}
+
+int RunSeedSweep(const Flags& flags, const SimSetup& setup, uint64_t num_seeds) {
+  const uint64_t base_seed = setup.config.seed;
+  std::vector<uint64_t> seeds;
+  for (uint64_t i = 0; i < num_seeds; ++i) {
+    seeds.push_back(base_seed + i);
+  }
+  const int jobs = ResolveJobs(static_cast<int>(flags.GetInt("jobs", 0)));
+
+  std::printf("protocol=%s dcs=%u pattern=%s degree=%u clients=%u "
+              "seeds=%llu..%llu jobs=%d\n",
+              ProtocolName(setup.config.protocol), setup.dcs,
+              CorrelationPatternName(setup.keyspace.pattern),
+              setup.keyspace.replication_degree, setup.clients,
+              static_cast<unsigned long long>(seeds.front()),
+              static_cast<unsigned long long>(seeds.back()), jobs);
+
+  std::vector<SeedRun> runs = ParallelSweep(
+      seeds, jobs, [&setup](uint64_t seed) { return RunOneSeed(setup, seed); });
+
+  std::printf("\n%6s  %10s  %9s  %9s  %9s  %9s\n", "seed", "tput", "op (ms)",
+              "vis mean", "vis p90", "vis p99");
+  LatencyHistogram merged;
+  int violations = 0;
+  for (const SeedRun& run : runs) {
+    std::printf("%6llu  %10.0f  %9.2f  %9.1f  %9.1f  %9.1f\n",
+                static_cast<unsigned long long>(run.seed), run.result.throughput_ops,
+                run.result.mean_op_latency_ms, run.result.mean_visibility_ms,
+                run.result.p90_visibility_ms, run.result.p99_visibility_ms);
+    merged.Merge(run.all_visibility);
+    if (!run.oracle_clean) {
+      ++violations;
+      std::printf("        causality VIOLATION: %s\n", run.first_violation.c_str());
+    }
+  }
+
+  std::printf("\nmerged visibility over %llu seeds (%llu samples):\n",
+              static_cast<unsigned long long>(num_seeds),
+              static_cast<unsigned long long>(merged.count()));
+  std::printf("  mean %.1f ms, p50 %.1f, p90 %.1f, p99 %.1f\n", merged.MeanMs(),
+              merged.PercentileMs(0.50), merged.PercentileMs(0.90),
+              merged.PercentileMs(0.99));
+
+  if (flags.Has("csv")) {
+    // Per-pair histograms merged across all seeds, dumped in the same format
+    // as single-run mode. Merge order is seed order: byte-identical output
+    // for every --jobs value.
+    std::ofstream csv(flags.Get("csv", ""));
+    csv << "kind,origin,destination,visibility_ms,cdf\n";
+    for (DcId from = 0; from < setup.dcs; ++from) {
+      for (DcId to = 0; to < setup.dcs; ++to) {
+        if (from == to) {
+          continue;
+        }
+        LatencyHistogram pair_merged;
+        for (const SeedRun& run : runs) {
+          pair_merged.Merge(run.pair_visibility[from * setup.dcs + to]);
+        }
+        for (auto [ms, frac] : pair_merged.CdfPointsMs()) {
+          csv << "visibility," << Ec2RegionName(setup.config.dc_sites[from]) << ','
+              << Ec2RegionName(setup.config.dc_sites[to]) << ',' << ms << ',' << frac
+              << '\n';
+        }
+      }
+    }
+    std::printf("\nwrote merged CDFs to %s\n", flags.Get("csv", "").c_str());
+  }
+  return violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace saturn
 
@@ -305,5 +474,14 @@ int main(int argc, char** argv) {
     saturn::Usage();
     return flags.Has("help") ? 0 : 2;
   }
-  return saturn::Run(flags);
+  saturn::SimSetup setup;
+  int exit_code = 0;
+  if (!saturn::BuildSetup(flags, &setup, &exit_code)) {
+    return exit_code;
+  }
+  long seeds = flags.GetInt("seeds", 1);
+  if (seeds > 1) {
+    return saturn::RunSeedSweep(flags, setup, static_cast<uint64_t>(seeds));
+  }
+  return saturn::Run(flags, setup);
 }
