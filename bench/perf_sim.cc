@@ -3,7 +3,7 @@
 // Unlike the fig*/table* benches (which reproduce the paper's *numbers*),
 // perf_sim measures how fast the simulator itself executes: every figure and
 // every chaos sweep is bottlenecked by events/second through the core, so
-// this harness is the repo's recorded perf trajectory. It runs three pinned
+// this harness is the repo's recorded perf trajectory. It runs four pinned
 // workloads and writes BENCH_sim.json:
 //
 //   fig5_full  — Saturn on the 7-DC EC2 deployment, full replication, the
@@ -13,12 +13,24 @@
 //   chaos      — 3-DC Saturn under a seeded chaos schedule with a backup
 //                tree (lossy cuts, crashes, tree kill + auto failover).
 //
+//   cure_cops  — Cure then COPS back-to-back on the 7-DC deployment, full
+//                replication: the two baselines whose per-message metadata
+//                (dependency vectors / explicit dep lists) dominates the
+//                allocation plane. One timed window covers both runs.
+//
 // Per workload it records wall-clock, executed simulation events, events/sec,
 // peak RSS and the protocol-level throughput. The executed-event count is a
 // determinism fingerprint: any core change that alters it changed simulation
 // *behaviour*, not just speed, and must be treated as a correctness question
 // before its perf delta means anything. Compare two runs (or a run against
 // the committed baseline) with tools/bench_diff.py.
+//
+// The binary also replaces global operator new/delete with thin counting
+// shims (relaxed atomics over malloc/free), so each workload additionally
+// records the heap-allocation count and byte volume inside its timed window,
+// plus allocs_per_event — the allocation tax per simulation event. Like the
+// fingerprints, allocs_per_event is a gated quantity in bench_diff.py: an
+// allocation regression on the message plane fails the perf gate.
 //
 // A fourth section, suite_wall_clock, measures the parallel sweep harness
 // itself: a combined figure+chaos suite of independent runs executes once
@@ -35,10 +47,13 @@
 //   --out     output JSON path (default BENCH_sim.json in the CWD)
 #include <sys/resource.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <new>
 #include <string>
 #include <thread>
 #include <vector>
@@ -46,6 +61,76 @@
 #include "src/fault/chaos.h"
 #include "src/runtime/cluster.h"
 #include "src/runtime/sweep.h"
+
+// --- Global allocation counters --------------------------------------------
+//
+// Counting shims over malloc/free. Relaxed atomics: the counters are summed,
+// never used for synchronization, and the suite's worker threads only need
+// the totals to be exact, not ordered. Every replaceable form is overridden
+// so new/delete stay a matched malloc/free pair throughout the binary.
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded ? rounded : align);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void* operator new(std::size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+// GCC pairs delete-expressions with the *default* operator new when checking
+// -Wmismatched-new-delete; with the replacement operators above, new/delete
+// really are a malloc/free pair.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace saturn {
 namespace {
@@ -63,6 +148,9 @@ struct WorkloadResult {
   double wall_s = 0;
   double events_per_sec = 0;
   double throughput_ops = 0;
+  uint64_t allocs = 0;
+  uint64_t alloc_bytes = 0;
+  double allocs_per_event = 0;
   long peak_rss_kb = 0;
 };
 
@@ -72,26 +160,51 @@ long PeakRssKb() {
   return usage.ru_maxrss;  // kilobytes on Linux
 }
 
-// One timed cluster run. `build` constructs the cluster and returns it ready
-// to Run; construction cost (keyspace generation, tree solving) is excluded
-// from the timed window so events/sec reflects the event loop alone.
+struct PreparedRun {
+  std::unique_ptr<Cluster> cluster;
+  SimTime warmup = 0;
+  SimTime measure = 0;
+  SimTime drain = 0;
+};
+
+// One timed workload: `build` constructs one or more clusters and returns
+// them ready to Run; construction cost (keyspace generation, tree solving) is
+// excluded from the timed window so events/sec reflects the event loop alone.
+// Multi-run workloads (cure_cops) execute their runs back-to-back inside the
+// same window; events and allocation counters sum across the runs.
+//
+// The allocation counters are taken from the repeat with the *fewest*
+// allocations: the first repeat can pay one-time lazy initialization
+// (allocator arenas, stdio) that is not the workload's own tax.
 template <typename BuildFn>
 WorkloadResult TimeWorkload(const std::string& name, int repeat, BuildFn build) {
   WorkloadResult best;
   best.name = name;
   for (int i = 0; i < repeat; ++i) {
-    auto run = build();  // unique_ptr<Cluster> plus the run windows
-    Cluster& cluster = *run.cluster;
+    std::vector<PreparedRun> runs = build();
+    uint64_t events = 0;
+    double throughput = 0;
+    uint64_t alloc0 = g_alloc_count.load(std::memory_order_relaxed);
+    uint64_t bytes0 = g_alloc_bytes.load(std::memory_order_relaxed);
     auto start = std::chrono::steady_clock::now();
-    ExperimentResult result = cluster.Run(run.warmup, run.measure, run.drain);
+    for (PreparedRun& run : runs) {
+      ExperimentResult result = run.cluster->Run(run.warmup, run.measure, run.drain);
+      events += run.cluster->sim().executed_events();
+      throughput += result.throughput_ops;
+    }
     auto stop = std::chrono::steady_clock::now();
+    uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) - alloc0;
+    uint64_t bytes = g_alloc_bytes.load(std::memory_order_relaxed) - bytes0;
     double wall = std::chrono::duration<double>(stop - start).count();
-    uint64_t events = cluster.sim().executed_events();
     if (i == 0 || events / wall > best.events_per_sec) {
       best.executed_events = events;
       best.wall_s = wall;
       best.events_per_sec = static_cast<double>(events) / wall;
-      best.throughput_ops = result.throughput_ops;
+      best.throughput_ops = throughput;
+    }
+    if (i == 0 || allocs < best.allocs) {
+      best.allocs = allocs;
+      best.alloc_bytes = bytes;
     }
     if (best.executed_events != events) {
       std::fprintf(stderr, "FATAL: %s is nondeterministic across repeats (%llu vs %llu)\n",
@@ -100,16 +213,13 @@ WorkloadResult TimeWorkload(const std::string& name, int repeat, BuildFn build) 
       std::exit(1);
     }
   }
+  best.allocs_per_event =
+      best.executed_events > 0
+          ? static_cast<double>(best.allocs) / static_cast<double>(best.executed_events)
+          : 0;
   best.peak_rss_kb = PeakRssKb();
   return best;
 }
-
-struct PreparedRun {
-  std::unique_ptr<Cluster> cluster;
-  SimTime warmup = 0;
-  SimTime measure = 0;
-  SimTime drain = 0;
-};
 
 // Workload 1: Saturn, 7 DCs, full replication, Fig. 5 defaults.
 PreparedRun BuildFig5Full(const PerfOptions& options) {
@@ -218,6 +328,46 @@ PreparedRun BuildChaos(const PerfOptions& options) {
   run.measure = Seconds(2);
   run.drain = Seconds(2);
   return run;
+}
+
+// Workload 4: the metadata-heavy baselines, back-to-back. Cure's per-DC
+// dependency vectors and COPS's explicit dependency lists ride on every
+// client request, response and remote payload, so this workload is dominated
+// by per-message container traffic — exactly where the allocation plane
+// lives. Full replication with pruning keeps COPS contexts bounded (the
+// paper-scale regime), so the allocation count measures the message plane,
+// not unbounded context growth.
+std::vector<PreparedRun> BuildCureCops(const PerfOptions& options) {
+  std::vector<PreparedRun> runs;
+  for (Protocol protocol : {Protocol::kCure, Protocol::kCops}) {
+    PreparedRun run;
+    ClusterConfig config;
+    config.protocol = protocol;
+    config.dc_sites = Ec2Sites();
+    config.latencies = Ec2Latencies();
+    config.dc.num_gears = 4;
+    config.cops_prune = true;
+    config.seed = 42;
+
+    KeyspaceConfig keyspace;
+    keyspace.num_keys = 10000;
+    keyspace.pattern = CorrelationPattern::kFull;
+    ReplicaMap replicas = ReplicaMap::Generate(keyspace, config.dc_sites, config.latencies);
+
+    SyntheticOpGenerator::Config workload;
+    workload.write_fraction = 0.1;
+    workload.value_size = 2;
+
+    uint32_t clients_per_dc = options.smoke ? 8 : 48;
+    run.cluster = std::make_unique<Cluster>(std::move(config), std::move(replicas),
+                                            UniformClientHomes(kNumEc2Regions, clients_per_dc),
+                                            SyntheticGenerators(workload));
+    run.warmup = options.smoke ? Millis(200) : Seconds(1);
+    run.measure = options.smoke ? Millis(300) : Seconds(2);
+    run.drain = options.smoke ? Millis(500) : Millis(1500);
+    runs.push_back(std::move(run));
+  }
+  return runs;
 }
 
 // --- Parallel-suite measurement --------------------------------------------
@@ -377,7 +527,7 @@ void WriteJson(const PerfOptions& options, const std::vector<WorkloadResult>& re
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"harness\": \"perf_sim\",\n");
-  std::fprintf(f, "  \"version\": 1,\n");
+  std::fprintf(f, "  \"version\": 2,\n");
   std::fprintf(f, "  \"smoke\": %s,\n", options.smoke ? "true" : "false");
   std::fprintf(f, "  \"repeat\": %d,\n", options.repeat);
   std::fprintf(f, "  \"workloads\": [\n");
@@ -390,6 +540,10 @@ void WriteJson(const PerfOptions& options, const std::vector<WorkloadResult>& re
     std::fprintf(f, "      \"wall_s\": %.4f,\n", r.wall_s);
     std::fprintf(f, "      \"events_per_sec\": %.0f,\n", r.events_per_sec);
     std::fprintf(f, "      \"throughput_ops\": %.0f,\n", r.throughput_ops);
+    std::fprintf(f, "      \"allocs\": %llu,\n", static_cast<unsigned long long>(r.allocs));
+    std::fprintf(f, "      \"alloc_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(r.alloc_bytes));
+    std::fprintf(f, "      \"allocs_per_event\": %.4f,\n", r.allocs_per_event);
     std::fprintf(f, "      \"peak_rss_kb\": %ld\n", r.peak_rss_kb);
     std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
   }
@@ -432,20 +586,29 @@ int Main(int argc, char** argv) {
     options.repeat = 1;
   }
 
+  auto single = [](PreparedRun run) {
+    std::vector<PreparedRun> runs;
+    runs.push_back(std::move(run));
+    return runs;
+  };
   std::vector<WorkloadResult> results;
-  results.push_back(
-      TimeWorkload("fig5_full", options.repeat, [&]() { return BuildFig5Full(options); }));
-  results.push_back(
-      TimeWorkload("partial", options.repeat, [&]() { return BuildPartial(options); }));
-  results.push_back(
-      TimeWorkload("chaos", options.repeat, [&]() { return BuildChaos(options); }));
+  results.push_back(TimeWorkload("fig5_full", options.repeat,
+                                 [&]() { return single(BuildFig5Full(options)); }));
+  results.push_back(TimeWorkload("partial", options.repeat,
+                                 [&]() { return single(BuildPartial(options)); }));
+  results.push_back(TimeWorkload("chaos", options.repeat,
+                                 [&]() { return single(BuildChaos(options)); }));
+  results.push_back(TimeWorkload("cure_cops", options.repeat,
+                                 [&]() { return BuildCureCops(options); }));
 
-  std::printf("%-10s  %14s  %8s  %14s  %12s  %10s\n", "workload", "events", "wall_s",
-              "events/sec", "ops/sec", "rss_mb");
+  std::printf("%-10s  %14s  %8s  %14s  %12s  %12s  %10s  %10s\n", "workload", "events",
+              "wall_s", "events/sec", "ops/sec", "allocs", "allocs/ev", "rss_mb");
   for (const WorkloadResult& r : results) {
-    std::printf("%-10s  %14llu  %8.3f  %14.0f  %12.0f  %10.1f\n", r.name.c_str(),
-                static_cast<unsigned long long>(r.executed_events), r.wall_s, r.events_per_sec,
-                r.throughput_ops, static_cast<double>(r.peak_rss_kb) / 1024.0);
+    std::printf("%-10s  %14llu  %8.3f  %14.0f  %12.0f  %12llu  %10.4f  %10.1f\n",
+                r.name.c_str(), static_cast<unsigned long long>(r.executed_events), r.wall_s,
+                r.events_per_sec, r.throughput_ops,
+                static_cast<unsigned long long>(r.allocs), r.allocs_per_event,
+                static_cast<double>(r.peak_rss_kb) / 1024.0);
   }
 
   SuiteResult suite = RunSuite(options);

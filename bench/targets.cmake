@@ -35,9 +35,22 @@ set_target_properties(perf_sim PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINAR
 add_test(NAME perf_sim_smoke
          COMMAND perf_sim --smoke --out ${CMAKE_BINARY_DIR}/BENCH_smoke.json)
 
+# Allocation-regression gate: the smoke run's allocs/event must stay within
+# 10% of the committed smoke baseline (bench/BENCH_smoke_baseline.json).
+# --no-timing keeps only the deterministic checks — event fingerprints and
+# allocation rates — so machine load cannot flake the suite. Skipped under
+# sanitizers, whose interposed allocators change the counts being audited.
+find_package(Python3 COMPONENTS Interpreter QUIET)
+if(Python3_FOUND AND NOT SATURN_SANITIZE AND NOT SATURN_TSAN)
+  add_test(NAME perf_sim_alloc_budget
+           COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/bench_diff.py
+                   ${CMAKE_SOURCE_DIR}/bench/BENCH_smoke_baseline.json
+                   ${CMAKE_BINARY_DIR}/BENCH_smoke.json --no-timing)
+  set_tests_properties(perf_sim_alloc_budget PROPERTIES DEPENDS perf_sim_smoke)
+endif()
+
 # `cmake --build build --target perf` runs the full measurement and prints the
 # delta against the committed baseline (regression gate: >5% events/sec drop).
-find_package(Python3 COMPONENTS Interpreter QUIET)
 if(Python3_FOUND)
   add_custom_target(perf
     COMMAND $<TARGET_FILE:perf_sim> --out ${CMAKE_BINARY_DIR}/BENCH_sim.json

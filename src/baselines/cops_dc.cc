@@ -1,6 +1,7 @@
 #include "src/baselines/cops_dc.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace saturn {
 
@@ -20,10 +21,10 @@ void CopsDc::FillPayloadMetadata(const ClientRequest& req, RemotePayload* payloa
   payload->explicit_deps = req.explicit_deps;
 }
 
-uint32_t CopsDc::CountMissing(const std::vector<ExplicitDep>& deps) const {
+uint32_t CopsDc::CountMissing(const DepVec& deps) const {
   uint32_t missing = 0;
   for (const auto& dep : deps) {
-    if (resolver_(dep.key).Contains(config_.id) && applied_.count(dep.uid) == 0) {
+    if (resolver_(dep.key).Contains(config_.id) && !applied_.Contains(dep.uid)) {
       ++missing;
     }
   }
@@ -39,47 +40,52 @@ void CopsDc::Apply(const RemotePayload& payload) {
 }
 
 void CopsDc::OnDependencyApplied(uint64_t uid) {
-  applied_.insert(uid);
+  applied_.Insert(uid);
 
-  // Unblock updates waiting on this dependency.
-  auto it = blocked_on_.find(uid);
-  if (it != blocked_on_.end()) {
-    std::vector<uint64_t> blocked = std::move(it->second);
-    blocked_on_.erase(it);
+  // Unblock updates waiting on this dependency. The list is moved out and the
+  // entry erased before any Apply: Apply's done-callback recurses into this
+  // function, which may erase further waiting_/blocked_on_ entries — but
+  // never inserts (only OnRemotePayload does, and it is not reachable from
+  // here), so no rehash happens under the loop and Find stays valid.
+  if (InlineVec<uint64_t, 4>* blocked_entry = blocked_on_.Find(uid)) {
+    InlineVec<uint64_t, 4> blocked = std::move(*blocked_entry);
+    blocked_on_.Erase(uid);
     for (uint64_t waiting_uid : blocked) {
-      auto w = waiting_.find(waiting_uid);
-      if (w == waiting_.end()) {
+      Waiter* w = waiting_.Find(waiting_uid);
+      if (w == nullptr) {
         continue;
       }
-      if (--w->second.missing == 0) {
-        RemotePayload payload = std::move(w->second.payload);
-        waiting_.erase(w);
+      if (--w->missing == 0) {
+        RemotePayload payload = std::move(w->payload);
+        waiting_.Erase(waiting_uid);
         Apply(payload);
       }
     }
   }
 
-  // Unblock attaches.
-  if (!attach_waiters_.empty()) {
-    std::vector<AttachWaiter> still;
-    for (auto& w : attach_waiters_) {
-      bool waits_on_this = false;
-      for (const auto& dep : w.req.explicit_deps) {
-        if (dep.uid == uid) {
-          waits_on_this = true;
-          break;
-        }
-      }
-      if (waits_on_this && --w.missing == 0) {
-        SimTime when = std::max(last_visible_, sim_->Now()) +
-                       CostModel::AsTime(config_.costs.attach_base_us);
-        sim_->At(when, [this, w]() { FinishAttach(w.from, w.req); });
-      } else {
-        still.push_back(std::move(w));
+  // Unblock attaches; compact survivors in place.
+  size_t keep = 0;
+  for (size_t i = 0; i < attach_waiters_.size(); ++i) {
+    AttachWaiter& w = attach_waiters_[i];
+    bool waits_on_this = false;
+    for (const auto& dep : w.req.explicit_deps) {
+      if (dep.uid == uid) {
+        waits_on_this = true;
+        break;
       }
     }
-    attach_waiters_ = std::move(still);
+    if (waits_on_this && --w.missing == 0) {
+      SimTime when = std::max(last_visible_, sim_->Now()) +
+                     CostModel::AsTime(config_.costs.attach_base_us);
+      sim_->At(when, [this, w = std::move(w)]() { FinishAttach(w.from, w.req); });
+    } else {
+      if (keep != i) {
+        attach_waiters_[keep] = std::move(attach_waiters_[i]);
+      }
+      ++keep;
+    }
   }
+  attach_waiters_.resize(keep);
 }
 
 void CopsDc::OnRemotePayload(const RemotePayload& payload) {
@@ -90,9 +96,11 @@ void CopsDc::OnRemotePayload(const RemotePayload& payload) {
     return;
   }
   uint64_t uid = payload.label.uid;
-  waiting_[uid] = Waiter{payload, missing};
+  Waiter& waiter = waiting_[uid];
+  waiter.payload = payload;
+  waiter.missing = missing;
   for (const auto& dep : payload.explicit_deps) {
-    if (resolver_(dep.key).Contains(config_.id) && applied_.count(dep.uid) == 0) {
+    if (resolver_(dep.key).Contains(config_.id) && !applied_.Contains(dep.uid)) {
       blocked_on_[dep.uid].push_back(uid);
     }
   }

@@ -12,13 +12,18 @@
 // transitive dependencies, so pruning is unsound and client contexts grow
 // without bound — this engine implements both modes so the effect is
 // measurable (bench/cops_metadata.cc).
+//
+// The dependency-tracking tables are the COPS hot path (one lookup per dep
+// per update), so they are open-addressed FlatMap/FlatSet rather than
+// node-based std::unordered_*, and the per-uid blocked lists are inline
+// small-vectors — steady-state dependency checking touches no allocator.
 #ifndef SRC_BASELINES_COPS_DC_H_
 #define SRC_BASELINES_COPS_DC_H_
 
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "src/common/flat_map.h"
+#include "src/common/inline_vec.h"
 #include "src/core/datacenter.h"
 #include "src/stats/histogram.h"
 
@@ -65,14 +70,15 @@ class CopsDc : public DatacenterBase {
   };
 
   // Dependencies on keys this DC replicates that have not been applied yet.
-  uint32_t CountMissing(const std::vector<ExplicitDep>& deps) const;
+  uint32_t CountMissing(const DepVec& deps) const;
   void OnDependencyApplied(uint64_t uid);
   void Apply(const RemotePayload& payload);
 
-  std::unordered_set<uint64_t> applied_;
-  // uid -> indices of waiting updates blocked on it.
-  std::unordered_map<uint64_t, std::vector<uint64_t>> blocked_on_;
-  std::unordered_map<uint64_t, Waiter> waiting_;  // keyed by update uid
+  FlatSet<uint64_t> applied_;
+  // uid -> uids of waiting updates blocked on it. Most uids block at most a
+  // handful of updates, so the list stays inline.
+  FlatMap<uint64_t, InlineVec<uint64_t, 4>> blocked_on_;
+  FlatMap<uint64_t, Waiter> waiting_;  // keyed by update uid
   std::vector<AttachWaiter> attach_waiters_;
   SimTime last_visible_ = 0;
   Accumulator dep_sizes_;

@@ -26,8 +26,8 @@ void CureDc::StabilizationRound() {
   staged_.assign(num_dcs_, -1);
   for (DcId dc = 0; dc < num_dcs_; ++dc) {
     int64_t min_ts = kSimTimeNever;
-    for (int64_t ts : gear_ts_[dc]) {
-      min_ts = std::min(min_ts, ts);
+    for (uint32_t g = 0; g < config_.num_gears; ++g) {
+      min_ts = std::min(min_ts, GearTs(dc, g));
     }
     if (min_ts != kSimTimeNever) {
       staged_[dc] = min_ts;
@@ -45,17 +45,21 @@ void CureDc::DrainVisible() {
   // eligible update's dependencies were eligible no later than it (clients
   // merge dependency vectors on reads), so the chained call order respects
   // causality even across origins.
+  //
+  // Each pass walks the sorted vector once and compacts survivors in place —
+  // the iteration order (ascending label, retry every survivor each pass)
+  // matches the multiset-erase loop this replaces exactly, so the event
+  // trace is unchanged; only the per-payload tree-node allocations are gone.
   bool progress = true;
   while (progress) {
     progress = false;
-    for (auto it = pending_.begin(); it != pending_.end();) {
-      const RemotePayload& p = *it;
+    size_t keep = 0;
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      RemotePayload& p = pending_[i];
       DcId origin = p.label.origin_dc();
       if (p.label.ts <= stable_[origin] && Covers(p.dep_vector)) {
-        RemotePayload payload = p;
-        it = pending_.erase(it);
         SimTime floor = std::max(last_visible_, sim_->Now());
-        ApplyRemoteUpdate(payload, floor, [this, payload](SimTime t) {
+        ApplyRemoteUpdate(p, floor, [this, &p](SimTime t) {
           last_visible_ = t;
           // The store Put lands at t, not now: update the dep map at the same
           // instant (the event queue keeps it adjacent to the Put) so a read
@@ -63,27 +67,37 @@ void CureDc::DrainVisible() {
           // actually returns. Updating here would silently strip the old
           // version's deps from concurrent reads, letting the reader's next
           // write escape with a weaker vector than its causal past.
-          sim_->At(t, [this, payload]() { RecordKeyDeps(payload.label, payload.key, payload.dep_vector); });
+          sim_->At(t, [this, label = p.label, key = p.key, deps = p.dep_vector]() {
+            RecordKeyDeps(label, key, deps);
+          });
         });
         progress = true;
       } else {
-        ++it;
+        if (keep != i) {
+          pending_[keep] = std::move(pending_[i]);
+        }
+        ++keep;
       }
     }
+    pending_.resize(keep);
   }
 
-  std::vector<Waiter> still_waiting;
-  for (auto& w : attach_waiters_) {
+  size_t keep = 0;
+  for (size_t i = 0; i < attach_waiters_.size(); ++i) {
+    Waiter& w = attach_waiters_[i];
     if (Covers(w.req.client_vector)) {
       // The client's causal past is stable; everything it depends on has been
       // scheduled for visibility. Complete after the chain catches up.
       SimTime when = std::max(sim_->Now(), last_visible_);
-      sim_->At(when, [this, w]() { FinishAttach(w.from, w.req); });
+      sim_->At(when, [this, w = std::move(w)]() { FinishAttach(w.from, w.req); });
     } else {
-      still_waiting.push_back(std::move(w));
+      if (keep != i) {
+        attach_waiters_[keep] = std::move(attach_waiters_[i]);
+      }
+      ++keep;
     }
   }
-  attach_waiters_ = std::move(still_waiting);
+  attach_waiters_.resize(keep);
 }
 
 void CureDc::HandleAttach(NodeId from, const ClientRequest& req) {
@@ -104,23 +118,29 @@ void CureDc::FillPayloadMetadata(const ClientRequest& req, RemotePayload* payloa
 }
 
 void CureDc::OnLocalUpdateCommitted(const ClientRequest& req, const Label& label) {
-  std::vector<int64_t> deps = req.client_vector;
+  DcVec deps = req.client_vector;
   deps.resize(num_dcs_, -1);
   deps[config_.id] = std::max(deps[config_.id], label.ts);
   RecordKeyDeps(label, req.key, deps);
 }
 
-void CureDc::RecordKeyDeps(const Label& label, KeyId key, const std::vector<int64_t>& deps) {
+void CureDc::RecordKeyDeps(const Label& label, KeyId key, const DcVec& deps) {
   // Mirror the store's last-writer-wins rule: the dep map must keep
   // describing the version the store actually holds. An unconditional
   // overwrite would let an *older* apply regress the entry, making reads of
   // the still-current newer version come back without a dep vector — and a
   // client that read deps-free writes with a weaker vector than its causal
   // past, which a remote DC can then apply too early.
-  auto it = key_deps_.find(key);
-  if (it == key_deps_.end() || it->second.first < label) {
-    key_deps_[key] = {label, deps};
+  if (KeyDeps* entry = key_deps_.Find(key)) {
+    if (entry->label < label) {
+      entry->label = label;
+      entry->deps = deps;
+    }
+    return;
   }
+  KeyDeps& fresh = key_deps_[key];
+  fresh.label = label;
+  fresh.deps = deps;
 }
 
 void CureDc::AugmentReadResponse(const ClientRequest& req, const VersionedValue* version,
@@ -128,9 +148,9 @@ void CureDc::AugmentReadResponse(const ClientRequest& req, const VersionedValue*
   if (version == nullptr) {
     return;
   }
-  auto it = key_deps_.find(req.key);
-  if (it != key_deps_.end() && it->second.first == version->label) {
-    resp->dep_vector = it->second.second;
+  const KeyDeps* entry = key_deps_.Find(req.key);
+  if (entry != nullptr && entry->label == version->label) {
+    resp->dep_vector = entry->deps;
   }
 }
 
@@ -138,18 +158,24 @@ void CureDc::OnRemotePayload(const RemotePayload& payload) {
   DcId origin = payload.label.origin_dc();
   uint32_t gear = SourceGear(payload.label.src);
   SAT_CHECK(origin < num_dcs_ && gear < config_.num_gears);
-  if (payload.label.ts > gear_ts_[origin][gear]) {
-    gear_ts_[origin][gear] = payload.label.ts;
+  int64_t& gear_ts = GearTs(origin, gear);
+  if (payload.label.ts > gear_ts) {
+    gear_ts = payload.label.ts;
   }
-  pending_.insert(payload);
+  auto pos = std::upper_bound(pending_.begin(), pending_.end(), payload,
+                              [](const RemotePayload& a, const RemotePayload& b) {
+                                return a.label < b.label;
+                              });
+  pending_.insert(pos, payload);
 }
 
 void CureDc::OnOtherMessage(NodeId from, const Message& msg) {
   (void)from;
   if (const auto* hb = std::get_if<BulkHeartbeat>(&msg)) {
     SAT_CHECK(hb->origin < num_dcs_ && hb->gear < config_.num_gears);
-    if (hb->ts > gear_ts_[hb->origin][hb->gear]) {
-      gear_ts_[hb->origin][hb->gear] = hb->ts;
+    int64_t& gear_ts = GearTs(hb->origin, hb->gear);
+    if (hb->ts > gear_ts) {
+      gear_ts = hb->ts;
     }
   }
 }

@@ -9,13 +9,17 @@
 // the *origin* (plus stabilization), unlike GentleRain's global minimum, but
 // every operation pays O(#DCs) metadata costs, which is what hurts Cure's
 // throughput in the paper's experiments.
+//
+// Hot-path state is allocation-free in steady state: vectors are DcVec
+// (inline small-buffers, messages.h), the per-key dependency table is an
+// open-addressed FlatMap, gear timestamps live in one flat [dc][gear] array,
+// and the pending set is a sorted vector whose drain compacts in place.
 #ifndef SRC_BASELINES_CURE_DC_H_
 #define SRC_BASELINES_CURE_DC_H_
 
-#include <set>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/flat_map.h"
 #include "src/core/datacenter.h"
 
 namespace saturn {
@@ -25,12 +29,12 @@ class CureDc : public DatacenterBase {
   CureDc(Simulator* sim, Network* net, const DatacenterConfig& config, uint32_t num_dcs,
          ReplicaResolver resolver, Metrics* metrics, CausalityOracle* oracle)
       : DatacenterBase(sim, net, config, num_dcs, resolver, metrics, oracle),
-        gear_ts_(num_dcs, std::vector<int64_t>(config.num_gears, -1)),
+        gear_ts_(static_cast<size_t>(num_dcs) * config.num_gears, -1),
         stable_(num_dcs, -1) {}
 
   void Start() override;
 
-  const std::vector<int64_t>& stable_vector() const { return stable_; }
+  const DcVec& stable_vector() const { return stable_; }
 
  protected:
   void HandleAttach(NodeId from, const ClientRequest& req) override;
@@ -52,17 +56,17 @@ class CureDc : public DatacenterBase {
   }
 
  private:
-  struct PendingCompare {
-    bool operator()(const RemotePayload& a, const RemotePayload& b) const {
-      return a.label < b.label;
-    }
-  };
   struct Waiter {
     NodeId from;
     ClientRequest req;
   };
+  // Dependency vector of the latest stored version of a key.
+  struct KeyDeps {
+    Label label{};
+    DcVec deps;
+  };
 
-  bool Covers(const std::vector<int64_t>& need) const {
+  bool Covers(const DcVec& need) const {
     for (uint32_t k = 0; k < num_dcs_; ++k) {
       int64_t bound = k == config_.id ? clock_.Now() : stable_[k];
       if (k < need.size() && need[k] > bound) {
@@ -72,23 +76,30 @@ class CureDc : public DatacenterBase {
     return true;
   }
 
+  int64_t& GearTs(DcId dc, uint32_t gear) {
+    return gear_ts_[static_cast<size_t>(dc) * config_.num_gears + gear];
+  }
+
   void StabilizationRound();
   void DrainVisible();
-  void RecordKeyDeps(const Label& label, KeyId key, const std::vector<int64_t>& deps);
+  void RecordKeyDeps(const Label& label, KeyId key, const DcVec& deps);
 
-  std::vector<std::vector<int64_t>> gear_ts_;  // [dc][gear] last received ts
+  // Last received ts per (dc, gear), flattened to one cache-friendly array.
+  std::vector<int64_t> gear_ts_;
   // Like GentleRain, Cure's stable vector is computed in two stacked rounds:
   // partitions aggregate first (staged_), the DC-level SV lags one round.
-  std::vector<int64_t> staged_;
-  std::vector<int64_t> stable_;                // SV, one entry per DC
-  // Pending remote updates per origin, applied in per-origin label order.
-  std::multiset<RemotePayload, PendingCompare> pending_;
+  DcVec staged_;
+  DcVec stable_;  // SV, one entry per DC
+  // Pending remote updates, kept sorted by label; applied in label order.
+  // A sorted vector (not a multiset) so steady-state traffic recycles the
+  // same slots instead of allocating a tree node per payload.
+  std::vector<RemotePayload> pending_;
   std::vector<Waiter> attach_waiters_;
   // Single monotone visibility floor shared by all origins (see DrainVisible).
   SimTime last_visible_ = 0;
   // The dependency vector of the latest version of each locally stored key,
   // returned with reads so clients can merge full causal pasts.
-  std::unordered_map<KeyId, std::pair<Label, std::vector<int64_t>>> key_deps_;
+  FlatMap<KeyId, KeyDeps> key_deps_;
 };
 
 }  // namespace saturn

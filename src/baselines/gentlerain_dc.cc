@@ -36,8 +36,8 @@ void GentleRainDc::StabilizationRound() {
   for (DcId dc = 0; dc < num_dcs_; ++dc) {
     staged_[dc] = -1;
     int64_t min_ts = kSimTimeNever;
-    for (int64_t ts : gear_ts_[dc]) {
-      min_ts = std::min(min_ts, ts);
+    for (uint32_t g = 0; g < config_.num_gears; ++g) {
+      min_ts = std::min(min_ts, GearTs(dc, g));
     }
     if (min_ts != kSimTimeNever) {
       staged_[dc] = min_ts;
@@ -53,25 +53,37 @@ void GentleRainDc::StabilizationRound() {
 void GentleRainDc::DrainVisible() {
   // Make every pending remote update with ts <= GST visible, in label order.
   // The ordered-visibility chain models GentleRain's semantics: the GST
-  // advance exposes a timestamp-prefix of remote updates atomically.
-  while (!pending_.empty() && pending_.begin()->label.ts <= gst_) {
-    RemotePayload payload = *pending_.begin();
-    pending_.erase(pending_.begin());
+  // advance exposes a timestamp-prefix of remote updates atomically. The
+  // eligible set is a prefix of the sorted vector; applies never mutate
+  // pending_ (the visibility chain defers through the event queue), so the
+  // prefix is applied in order and erased in one shift.
+  size_t eligible = 0;
+  while (eligible < pending_.size() && pending_[eligible].label.ts <= gst_) {
+    RemotePayload& payload = pending_[eligible];
     SimTime min_visible = last_visible_ > sim_->Now() ? last_visible_ : sim_->Now();
     ApplyRemoteUpdate(payload, min_visible, [this](SimTime t) { last_visible_ = t; });
+    ++eligible;
+  }
+  if (eligible > 0) {
+    pending_.erase(pending_.begin(), pending_.begin() + static_cast<ptrdiff_t>(eligible));
   }
 
-  // Unblock attaches whose dependency time is now stable.
+  // Unblock attaches whose dependency time is now stable; compact survivors
+  // in place.
   SimTime unblock_at = last_visible_ > sim_->Now() ? last_visible_ : sim_->Now();
-  std::vector<Waiter> still_waiting;
-  for (auto& w : attach_waiters_) {
+  size_t keep = 0;
+  for (size_t i = 0; i < attach_waiters_.size(); ++i) {
+    Waiter& w = attach_waiters_[i];
     if (w.need_ts <= gst_) {
-      sim_->At(unblock_at, [this, w]() { FinishAttach(w.from, w.req); });
+      sim_->At(unblock_at, [this, w = std::move(w)]() { FinishAttach(w.from, w.req); });
     } else {
-      still_waiting.push_back(std::move(w));
+      if (keep != i) {
+        attach_waiters_[keep] = std::move(attach_waiters_[i]);
+      }
+      ++keep;
     }
   }
-  attach_waiters_ = std::move(still_waiting);
+  attach_waiters_.resize(keep);
 }
 
 void GentleRainDc::HandleAttach(NodeId from, const ClientRequest& req) {
@@ -97,10 +109,15 @@ void GentleRainDc::OnRemotePayload(const RemotePayload& payload) {
   DcId origin = payload.label.origin_dc();
   uint32_t gear = SourceGear(payload.label.src);
   SAT_CHECK(origin < num_dcs_ && gear < config_.num_gears);
-  if (payload.label.ts > gear_ts_[origin][gear]) {
-    gear_ts_[origin][gear] = payload.label.ts;
+  int64_t& gear_ts = GearTs(origin, gear);
+  if (payload.label.ts > gear_ts) {
+    gear_ts = payload.label.ts;
   }
-  pending_.insert(payload);
+  auto pos = std::upper_bound(pending_.begin(), pending_.end(), payload,
+                              [](const RemotePayload& a, const RemotePayload& b) {
+                                return a.label < b.label;
+                              });
+  pending_.insert(pos, payload);
   // Visibility is granted by the stabilization round; nothing to do now.
 }
 
@@ -108,8 +125,9 @@ void GentleRainDc::OnOtherMessage(NodeId from, const Message& msg) {
   (void)from;
   if (const auto* hb = std::get_if<BulkHeartbeat>(&msg)) {
     SAT_CHECK(hb->origin < num_dcs_ && hb->gear < config_.num_gears);
-    if (hb->ts > gear_ts_[hb->origin][hb->gear]) {
-      gear_ts_[hb->origin][hb->gear] = hb->ts;
+    int64_t& gear_ts = GearTs(hb->origin, hb->gear);
+    if (hb->ts > gear_ts) {
+      gear_ts = hb->ts;
     }
   }
 }

@@ -12,10 +12,14 @@
 // Consequence (paper section 7.3.1): visibility latency tends to the distance
 // to the *furthest* datacenter, regardless of the update's origin — the false
 // dependencies Saturn is designed to avoid.
+//
+// Hot-path state is allocation-free in steady state: gear timestamps live in
+// one flat [dc][gear] array, the staged aggregate is an inline DcVec, and the
+// pending set is a sorted vector drained by prefix (GST advances expose a
+// timestamp-prefix, so the eligible set is always the front of the vector).
 #ifndef SRC_BASELINES_GENTLERAIN_DC_H_
 #define SRC_BASELINES_GENTLERAIN_DC_H_
 
-#include <set>
 #include <vector>
 
 #include "src/core/datacenter.h"
@@ -27,7 +31,7 @@ class GentleRainDc : public DatacenterBase {
   GentleRainDc(Simulator* sim, Network* net, const DatacenterConfig& config, uint32_t num_dcs,
                ReplicaResolver resolver, Metrics* metrics, CausalityOracle* oracle)
       : DatacenterBase(sim, net, config, num_dcs, resolver, metrics, oracle),
-        gear_ts_(num_dcs, std::vector<int64_t>(config.num_gears, -1)) {}
+        gear_ts_(static_cast<size_t>(num_dcs) * config.num_gears, -1) {}
 
   void Start() override;
 
@@ -49,29 +53,32 @@ class GentleRainDc : public DatacenterBase {
   }
 
  private:
-  struct PendingCompare {
-    bool operator()(const RemotePayload& a, const RemotePayload& b) const {
-      return a.label < b.label;
-    }
-  };
   struct Waiter {
     NodeId from;
     ClientRequest req;
     int64_t need_ts;
   };
 
+  int64_t& GearTs(DcId dc, uint32_t gear) {
+    return gear_ts_[static_cast<size_t>(dc) * config_.num_gears + gear];
+  }
+
   void StabilizationRound();
   void DrainVisible();
 
-  // Highest timestamp received from each remote (dc, gear); own row unused.
-  std::vector<std::vector<int64_t>> gear_ts_;
+  // Highest timestamp received from each remote (dc, gear), flattened to one
+  // cache-friendly array; own row unused.
+  std::vector<int64_t> gear_ts_;
   // GentleRain stabilizes in two stacked rounds: partitions first aggregate
   // their version vectors (staged_), and the datacenter-level GST uses the
   // *previous* round's aggregate — mirroring the tree-based GST computation
   // of the original system.
-  std::vector<int64_t> staged_;
+  DcVec staged_;
   int64_t gst_ = -1;
-  std::multiset<RemotePayload, PendingCompare> pending_;
+  // Pending remote updates, kept sorted by label; drained as a prefix when
+  // GST advances. A sorted vector (not a multiset) so steady-state traffic
+  // recycles the same slots instead of allocating a tree node per payload.
+  std::vector<RemotePayload> pending_;
   std::vector<Waiter> attach_waiters_;
   // Ordered-visibility chain (GentleRain exposes remote updates in timestamp
   // order as GST advances).

@@ -25,4 +25,13 @@
     }                                                                             \
   } while (0)
 
+// Debug-only variant for per-element hot paths (container indexing): active
+// in Debug and sanitizer builds, compiled out under NDEBUG so the default
+// RelWithDebInfo build pays nothing.
+#ifdef NDEBUG
+#define SAT_DCHECK(cond) ((void)0)
+#else
+#define SAT_DCHECK(cond) SAT_CHECK(cond)
+#endif
+
 #endif  // SRC_COMMON_CHECK_H_

@@ -168,7 +168,10 @@ class FlatMap {
     std::vector<V> old_values = std::move(values_);
     states_.assign(new_capacity, kEmpty);
     keys_.assign(new_capacity, K{});
-    values_.assign(new_capacity, V{});
+    // resize, not assign(n, V{}): values only need to be default-constructible
+    // and movable (the channel queues they hold are move-only).
+    values_.clear();
+    values_.resize(new_capacity);
     used_ = size_;
     size_t mask = new_capacity - 1;
     for (size_t i = 0; i < old_states.size(); ++i) {

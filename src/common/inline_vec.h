@@ -1,0 +1,312 @@
+#ifndef SATURN_COMMON_INLINE_VEC_H_
+#define SATURN_COMMON_INLINE_VEC_H_
+
+// Small-buffer vector for the message plane.
+//
+// Saturn's core argument (section 3) is that causal metadata can be constant
+// size; at paper scale the *baselines'* metadata is small too — Cure's
+// dependency vectors hold one entry per datacenter (7 in Table 1) and COPS's
+// pruned dependency lists stay in the single digits. InlineVec<T, N> keeps
+// those payloads inside the message object itself: elements live in an
+// in-object buffer up to N and spill to the heap only past it, so the common
+// case allocates nothing and a Message stays one trivially relocatable block
+// that the simulator's InlineTask buffer can memcpy.
+//
+// Deliberate differences from std::vector:
+//   - No exception guarantees beyond what operator new provides; the
+//     simulator is single-threaded per cluster and element types are
+//     value-like.
+//   - Iterators and references are invalidated by ANY growth across the
+//     spill boundary (inline storage moves with the object).
+//   - Capacity never shrinks below N; shrink_to_fit() moves a small heap
+//     vector back into the inline buffer.
+//
+// T must be nothrow-move-constructible. Trivially copyable T uses memcpy
+// relocation on spill and copy.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace saturn {
+
+template <typename T, size_t N>
+class InlineVec {
+  static_assert(N > 0, "inline capacity must be positive");
+  static_assert(std::is_nothrow_move_constructible_v<T>,
+                "InlineVec requires nothrow-movable elements");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  InlineVec() = default;
+
+  InlineVec(size_t count, const T& value) { assign(count, value); }
+
+  explicit InlineVec(size_t count) { resize(count); }
+
+  InlineVec(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+
+  InlineVec(const InlineVec& other) { CopyFrom(other); }
+
+  InlineVec(InlineVec&& other) noexcept { MoveFrom(std::move(other)); }
+
+  InlineVec& operator=(const InlineVec& other) {
+    if (this != &other) {
+      clear();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  InlineVec& operator=(InlineVec&& other) noexcept {
+    if (this != &other) {
+      Dispose();
+      size_ = 0;
+      capacity_ = N;
+      heap_ = nullptr;
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  InlineVec& operator=(std::initializer_list<T> init) {
+    assign(init.begin(), init.end());
+    return *this;
+  }
+
+  ~InlineVec() { Dispose(); }
+
+  // --- capacity -----------------------------------------------------------
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool spilled() const { return heap_ != nullptr; }
+
+  void reserve(size_t cap) {
+    if (cap > capacity_) {
+      Grow(cap);
+    }
+  }
+
+  // A heap block holding <= N live elements moves back into the inline
+  // buffer (the round-trip exercised when a transiently large dep list
+  // shrinks back to paper scale).
+  void shrink_to_fit() {
+    if (heap_ == nullptr || size_ > N) {
+      return;
+    }
+    T* old = heap_;
+    size_t n = size_;
+    heap_ = nullptr;
+    capacity_ = N;
+    Relocate(old, n, InlinePtr());
+    ::operator delete(static_cast<void*>(old));
+  }
+
+  // --- element access -----------------------------------------------------
+
+  T* data() { return heap_ != nullptr ? heap_ : InlinePtr(); }
+  const T* data() const { return heap_ != nullptr ? heap_ : InlinePtr(); }
+
+  T& operator[](size_t i) {
+    SAT_DCHECK(i < size_);
+    return data()[i];
+  }
+  const T& operator[](size_t i) const {
+    SAT_DCHECK(i < size_);
+    return data()[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  iterator begin() { return data(); }
+  const_iterator begin() const { return data(); }
+  const_iterator cbegin() const { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator end() const { return data() + size_; }
+  const_iterator cend() const { return data() + size_; }
+
+  // --- modifiers ----------------------------------------------------------
+
+  void clear() {
+    std::destroy_n(data(), size_);
+    size_ = 0;
+  }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) {
+      // Construct before relocating: args may alias an element of *this
+      // (push_back(v[0]) during growth).
+      T tmp(std::forward<Args>(args)...);
+      Grow(capacity_ * 2);
+      T* slot = data() + size_;
+      ::new (static_cast<void*>(slot)) T(std::move(tmp));
+      ++size_;
+      return *slot;
+    }
+    T* slot = data() + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    SAT_DCHECK(size_ > 0);
+    --size_;
+    std::destroy_at(data() + size_);
+  }
+
+  void resize(size_t count) {
+    if (count < size_) {
+      std::destroy_n(data() + count, size_ - count);
+      size_ = count;
+      return;
+    }
+    reserve(count);
+    T* base = data();
+    for (size_t i = size_; i < count; ++i) {
+      ::new (static_cast<void*>(base + i)) T();
+    }
+    size_ = count;
+  }
+
+  void resize(size_t count, const T& value) {
+    if (count < size_) {
+      std::destroy_n(data() + count, size_ - count);
+      size_ = count;
+      return;
+    }
+    reserve(count);
+    T* base = data();
+    for (size_t i = size_; i < count; ++i) {
+      ::new (static_cast<void*>(base + i)) T(value);
+    }
+    size_ = count;
+  }
+
+  void assign(size_t count, const T& value) {
+    clear();
+    resize(count, value);
+  }
+
+  // Constrained so assign(7, 0) picks the count/value overload, as with
+  // std::vector's iterator-pair constructor.
+  template <typename It, typename = std::enable_if_t<!std::is_integral_v<It>>>
+  void assign(It first, It last) {
+    clear();
+    for (; first != last; ++first) {
+      emplace_back(*first);
+    }
+  }
+
+  iterator erase(const_iterator pos) {
+    SAT_DCHECK(pos >= begin() && pos < end());
+    T* p = const_cast<T*>(pos);
+    std::move(p + 1, end(), p);
+    pop_back();
+    return p;
+  }
+
+  // --- comparison ---------------------------------------------------------
+
+  friend bool operator==(const InlineVec& a, const InlineVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const InlineVec& a, const InlineVec& b) { return !(a == b); }
+  friend bool operator<(const InlineVec& a, const InlineVec& b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  T* InlinePtr() { return std::launder(reinterpret_cast<T*>(inline_)); }
+  const T* InlinePtr() const { return std::launder(reinterpret_cast<const T*>(inline_)); }
+
+  // Move-construct n elements from src into (raw) dst, destroying src.
+  static void Relocate(T* src, size_t n, T* dst) {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      if (n > 0) {
+        std::memcpy(static_cast<void*>(dst), static_cast<const void*>(src), n * sizeof(T));
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        ::new (static_cast<void*>(dst + i)) T(std::move(src[i]));
+        std::destroy_at(src + i);
+      }
+    }
+  }
+
+  void Grow(size_t min_cap) {
+    size_t cap = capacity_;
+    while (cap < min_cap) {
+      cap *= 2;
+    }
+    T* fresh = static_cast<T*>(::operator new(cap * sizeof(T)));
+    T* old = data();
+    Relocate(old, size_, fresh);
+    if (heap_ != nullptr) {
+      ::operator delete(static_cast<void*>(heap_));
+    }
+    heap_ = fresh;
+    capacity_ = cap;
+  }
+
+  void CopyFrom(const InlineVec& other) {
+    reserve(other.size_);
+    T* base = data();
+    for (size_t i = 0; i < other.size_; ++i) {
+      ::new (static_cast<void*>(base + i)) T(other.data()[i]);
+    }
+    size_ = other.size_;
+  }
+
+  // Precondition: *this is empty and inline. Steals other's heap block or
+  // relocates its inline elements; other is left empty either way.
+  void MoveFrom(InlineVec&& other) noexcept {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.capacity_ = N;
+      other.size_ = 0;
+      return;
+    }
+    Relocate(other.InlinePtr(), other.size_, InlinePtr());
+    size_ = other.size_;
+    other.size_ = 0;
+  }
+
+  void Dispose() {
+    std::destroy_n(data(), size_);
+    if (heap_ != nullptr) {
+      ::operator delete(static_cast<void*>(heap_));
+    }
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace saturn
+
+#endif  // SATURN_COMMON_INLINE_VEC_H_

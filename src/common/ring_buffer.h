@@ -1,0 +1,115 @@
+// RingQueue: a FIFO over a recycled slot array.
+//
+// The simulator's channel queues (reliable-link send windows, the network's
+// down-link buffers, Saturn's label stream) all push at the tail and pop at
+// the head. std::deque serves that shape but allocates a fresh 512-byte block
+// every few entries — once a Message carries its metadata inline (~300 bytes,
+// see messages.h) that is one heap round trip per message or two. RingQueue
+// keeps a power-of-two slot array and recycles slots in place: push move-
+// assigns into the next free slot, pop releases the head slot's resources and
+// advances, and the array only grows (doubling, relocating in FIFO order) when
+// the live count exceeds it. Steady-state traffic therefore touches the
+// allocator only while a queue is still discovering its high-water mark —
+// the per-channel free-list is the ring itself.
+//
+// T must be default-constructible and move-assignable; a popped slot is reset
+// to T{} so held resources (a spilled InlineVec, say) release eagerly instead
+// of lingering until the slot is reused.
+#ifndef SATURN_COMMON_RING_BUFFER_H_
+#define SATURN_COMMON_RING_BUFFER_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace saturn {
+
+template <typename T>
+class RingQueue {
+ public:
+  RingQueue() = default;
+
+  RingQueue(RingQueue&& other) noexcept
+      : slots_(std::move(other.slots_)), head_(other.head_), count_(other.count_) {
+    other.head_ = 0;
+    other.count_ = 0;
+  }
+
+  RingQueue& operator=(RingQueue&& other) noexcept {
+    if (this != &other) {
+      slots_ = std::move(other.slots_);
+      head_ = other.head_;
+      count_ = other.count_;
+      other.head_ = 0;
+      other.count_ = 0;
+    }
+    return *this;
+  }
+
+  RingQueue(const RingQueue&) = delete;
+  RingQueue& operator=(const RingQueue&) = delete;
+
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
+  size_t capacity() const { return slots_.size(); }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[count_ - 1]; }
+  const T& back() const { return (*this)[count_ - 1]; }
+
+  // FIFO-order indexing: [0] is the head, [size()-1] the tail.
+  T& operator[](size_t i) {
+    SAT_DCHECK(i < count_);
+    return slots_[(head_ + i) & (slots_.size() - 1)];
+  }
+  const T& operator[](size_t i) const {
+    SAT_DCHECK(i < count_);
+    return slots_[(head_ + i) & (slots_.size() - 1)];
+  }
+
+  T& push_back(T value) {
+    if (count_ == slots_.size()) {
+      Grow();
+    }
+    T& slot = slots_[(head_ + count_) & (slots_.size() - 1)];
+    slot = std::move(value);
+    ++count_;
+    return slot;
+  }
+
+  void pop_front() {
+    SAT_DCHECK(count_ > 0);
+    slots_[head_] = T{};  // release held resources now, keep the slot
+    head_ = (head_ + 1) & (slots_.size() - 1);
+    --count_;
+  }
+
+  void clear() {
+    while (count_ > 0) {
+      pop_front();
+    }
+    head_ = 0;
+  }
+
+ private:
+  void Grow() {
+    size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
+    std::vector<T> fresh(cap);
+    for (size_t i = 0; i < count_; ++i) {
+      fresh[i] = std::move((*this)[i]);
+    }
+    slots_ = std::move(fresh);
+    head_ = 0;
+  }
+
+  std::vector<T> slots_;  // power-of-two length (or empty)
+  size_t head_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace saturn
+
+#endif  // SATURN_COMMON_RING_BUFFER_H_

@@ -5,20 +5,22 @@
 // chains) all share one shape: messages are numbered 1, 2, 3, ... on send,
 // retired strictly in order by cumulative acknowledgement (or contiguous
 // commit), and consulted by exact sequence number in between. The live set is
-// therefore always the contiguous range [begin_seq, end_seq) — a deque indexed
-// by (seq - begin) serves every operation in O(1) with zero per-entry nodes,
-// where the std::maps it replaces paid an allocation and a tree rebalance per
-// message. Iteration (retransmission scans) is in ascending sequence order by
-// construction, preserving the deterministic send order the fingerprint tests
-// rely on.
+// therefore always the contiguous range [begin_seq, end_seq) — a ring of
+// recycled slots indexed by (seq - begin) serves every operation in O(1) with
+// zero steady-state allocations: the std::maps this shape originally used
+// paid an allocation and a tree rebalance per message, and the std::deque
+// that replaced them still paid one block allocation per handful of entries
+// once messages carried their metadata inline. Iteration (retransmission
+// scans) is in ascending sequence order by construction, preserving the
+// deterministic send order the fingerprint tests rely on.
 #ifndef SRC_COMMON_SEQ_WINDOW_H_
 #define SRC_COMMON_SEQ_WINDOW_H_
 
 #include <cstdint>
-#include <deque>
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/common/ring_buffer.h"
 
 namespace saturn {
 
@@ -45,8 +47,7 @@ class SeqWindow {
                     static_cast<unsigned long long>(seq),
                     static_cast<unsigned long long>(end_seq()));
     }
-    items_.push_back(std::move(value));
-    return items_.back();
+    return items_.push_back(std::move(value));
   }
 
   // Entry for `seq`, or nullptr when outside the live window.
@@ -77,22 +78,20 @@ class SeqWindow {
   // Visits live entries as fn(seq, T&) in ascending sequence order.
   template <typename Fn>
   void ForEach(Fn fn) {
-    uint64_t seq = base_;
-    for (T& item : items_) {
-      fn(seq++, item);
+    for (size_t i = 0; i < items_.size(); ++i) {
+      fn(base_ + i, items_[i]);
     }
   }
 
   template <typename Fn>
   void ForEach(Fn fn) const {
-    uint64_t seq = base_;
-    for (const T& item : items_) {
-      fn(seq++, item);
+    for (size_t i = 0; i < items_.size(); ++i) {
+      fn(base_ + i, items_[i]);
     }
   }
 
  private:
-  std::deque<T> items_;
+  RingQueue<T> items_;
   uint64_t base_ = 1;  // seq of items_.front() when non-empty
 };
 

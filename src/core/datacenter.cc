@@ -217,8 +217,8 @@ void DatacenterBase::FinishAttach(NodeId from, const ClientRequest& req) {
   net_->Send(node_id(), from, std::move(resp));
 }
 
-void DatacenterBase::ApplyRemoteUpdate(const RemotePayload& payload, SimTime min_visible,
-                                       std::function<void(SimTime)> done) {
+SimTime DatacenterBase::ApplyRemoteUpdateImpl(const RemotePayload& payload,
+                                              SimTime min_visible) {
   Gear& gear = GearFor(payload.key);
   SimTime cost = config_.costs.RemoteApplyCost(payload.value_size) +
                  ExtraRemoteApplyCost(payload);
@@ -239,9 +239,7 @@ void DatacenterBase::ApplyRemoteUpdate(const RemotePayload& payload, SimTime min
   static_assert(InlineTask::fits_inline<decltype(apply)>,
                 "remote-apply closure outgrew InlineTask's inline buffer");
   sim_->At(visible, std::move(apply));
-  if (done) {
-    done(visible);
-  }
+  return visible;
 }
 
 void DatacenterBase::SendBulkHeartbeats() {

@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/common/dc_set.h"
@@ -158,9 +159,17 @@ class DatacenterBase : public Actor {
   // Applies a remote update: charges the gear, installs the version, records
   // visibility and notifies the oracle. The update becomes visible at
   // max(gear completion, min_visible), so callers can enforce ordered
-  // visibility; the resulting visibility time is passed to `done` (optional).
-  void ApplyRemoteUpdate(const RemotePayload& payload, SimTime min_visible,
-                         std::function<void(SimTime)> done = nullptr);
+  // visibility; the resulting visibility time is passed to `done`. Templated
+  // on the callback so per-apply continuations never pay a std::function
+  // heap allocation (the callback runs synchronously, before returning).
+  template <typename DoneFn>
+  void ApplyRemoteUpdate(const RemotePayload& payload, SimTime min_visible, DoneFn&& done) {
+    SimTime visible = ApplyRemoteUpdateImpl(payload, min_visible);
+    std::forward<DoneFn>(done)(visible);
+  }
+  void ApplyRemoteUpdate(const RemotePayload& payload, SimTime min_visible) {
+    ApplyRemoteUpdateImpl(payload, min_visible);
+  }
 
   // Sends a heartbeat from every gear to every peer over the bulk channel.
   void SendBulkHeartbeats();
@@ -210,6 +219,9 @@ class DatacenterBase : public Actor {
     uint64_t acked_in = 0;                 // highest in-seq we have acked back
     FlatMap<uint64_t, Message> reorder;    // arrived ahead of a gap
   };
+
+  // Shared body of ApplyRemoteUpdate; returns the visibility time.
+  SimTime ApplyRemoteUpdateImpl(const RemotePayload& payload, SimTime min_visible);
 
   void HandleClientRequest(NodeId from, const ClientRequest& req);
   void HandleRead(NodeId from, const ClientRequest& req);

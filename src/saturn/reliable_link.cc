@@ -33,9 +33,12 @@ void ReliableLinks::SetPeerDelay(NodeId peer, SimTime delay) {
 
 void ReliableLinks::Send(NodeId to, LabelEnvelope env) {
   OutChannel& out = out_[to];
-  env.link_seq = out.next_out++;
-  out.unacked.Push(env.link_seq, OutEntry{env, 0});
-  Transmit(to, &out, env.link_seq);
+  uint64_t seq = out.next_out++;
+  env.link_seq = seq;
+  // Move the envelope straight into the (ring-backed) retransmit window; the
+  // wire copy in Transmit reads from the stored entry.
+  out.unacked.Push(seq, OutEntry{std::move(env), 0});
+  Transmit(to, &out, seq);
   ScheduleTick();
 }
 

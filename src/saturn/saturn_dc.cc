@@ -11,7 +11,7 @@ SaturnDc::SaturnDc(Simulator* sim, Network* net, const DatacenterConfig& config,
       links_(sim, net, this,
              [this](NodeId from, const LabelEnvelope& env) { OnStreamEnvelope(from, env); }),
       stream_progress_(num_dcs, -1),
-      bulk_gear_ts_(num_dcs, std::vector<int64_t>(config.num_gears, -1)) {}
+      bulk_gear_ts_(static_cast<size_t>(num_dcs) * config.num_gears, -1) {}
 
 void SaturnDc::AttachToTree(uint32_t epoch, NodeId serializer_node) {
   tree_neighbor_[epoch] = serializer_node;
@@ -248,15 +248,14 @@ void SaturnDc::PumpStream() {
       const Label& l = env.label;
       if (l.type == LabelType::kUpdate) {
         if (!applied_uids_.Contains(l.uid)) {
-          auto it = pending_payloads_.find(KeyOf(l));
-          if (it == pending_payloads_.end()) {
+          auto it = FindPending(l);
+          if (it == pending_.end()) {
             // Stall: the stream may not overtake the bulk-data transfer.
             stalled = true;
             break;
           }
-          RemotePayload payload = it->second;
-          pending_payloads_.erase(it);
-          pending_order_.erase(l);
+          RemotePayload payload = std::move(*it);
+          pending_.erase(it);
           ApplyOrdered(payload);
         }
       } else {
@@ -318,8 +317,9 @@ void SaturnDc::ApplyOrdered(const RemotePayload& payload) {
 
 void SaturnDc::NoteBulkProgress(DcId origin, uint32_t gear, int64_t ts) {
   SAT_CHECK(origin < num_dcs_ && gear < config_.num_gears);
-  if (ts > bulk_gear_ts_[origin][gear]) {
-    bulk_gear_ts_[origin][gear] = ts;
+  int64_t& slot = bulk_gear_ts_[static_cast<size_t>(origin) * config_.num_gears + gear];
+  if (ts > slot) {
+    slot = ts;
     ts_stable_dirty_ = true;
   }
 }
@@ -334,8 +334,8 @@ int64_t SaturnDc::TimestampStable() const {
       if (dc == config_.id) {
         continue;
       }
-      for (int64_t ts : bulk_gear_ts_[dc]) {
-        stable = std::min(stable, ts);
+      for (uint32_t g = 0; g < config_.num_gears; ++g) {
+        stable = std::min(stable, BulkGearTs(dc, g));
       }
     }
     ts_stable_cache_ = stable;
@@ -358,17 +358,31 @@ int64_t SaturnDc::MinRemoteStreamProgress() const {
   return min_remote_progress_cache_;
 }
 
+std::vector<RemotePayload>::iterator SaturnDc::FindPending(const Label& label) {
+  auto pos = std::lower_bound(pending_.begin(), pending_.end(), label,
+                              [](const RemotePayload& p, const Label& l) { return p.label < l; });
+  if (pos != pending_.end() && pos->label == label) {
+    return pos;
+  }
+  return pending_.end();
+}
+
 void SaturnDc::DrainPendingUpTo(int64_t bound) {
-  while (!pending_order_.empty() && pending_order_.begin()->ts <= bound) {
-    Label head = *pending_order_.begin();
-    pending_order_.erase(pending_order_.begin());
-    auto it = pending_payloads_.find(KeyOf(head));
-    SAT_CHECK(it != pending_payloads_.end());
-    RemotePayload payload = it->second;
-    pending_payloads_.erase(it);
-    if (!applied_uids_.Contains(head.uid)) {
+  // The eligible set is a prefix of the sorted vector (labels order by ts
+  // first). ApplyOrdered never mutates pending_ (visibility is deferred
+  // through the event queue), so the prefix is applied in label order — the
+  // same order the ordered-set walk this replaces produced — and erased in
+  // one shift.
+  size_t eligible = 0;
+  while (eligible < pending_.size() && pending_[eligible].label.ts <= bound) {
+    RemotePayload& payload = pending_[eligible];
+    if (!applied_uids_.Contains(payload.label.uid)) {
       ApplyOrdered(payload);
     }
+    ++eligible;
+  }
+  if (eligible > 0) {
+    pending_.erase(pending_.begin(), pending_.begin() + static_cast<ptrdiff_t>(eligible));
   }
 }
 
@@ -404,7 +418,7 @@ void SaturnDc::OrphanRepair() {
   // precede it causally has already arrived on the (reliable, in-order)
   // bulk channel. In fault-free runs the bound never reaches an in-flight
   // label's timestamp, so this is a no-op.
-  if (ts_mode_ || !has_tree_ || num_dcs_ <= 1 || pending_order_.empty()) {
+  if (ts_mode_ || !has_tree_ || num_dcs_ <= 1 || pending_.empty()) {
     return;
   }
   DrainPendingUpTo(std::min(TimestampStable(), MinRemoteStreamProgress()));
@@ -445,8 +459,13 @@ void SaturnDc::OnRemotePayload(const RemotePayload& payload) {
   if (applied_uids_.Contains(payload.label.uid)) {
     return;
   }
-  pending_payloads_[KeyOf(payload.label)] = payload;
-  pending_order_.insert(payload.label);
+  auto pos = std::lower_bound(pending_.begin(), pending_.end(), payload.label,
+                              [](const RemotePayload& p, const Label& l) { return p.label < l; });
+  if (pos != pending_.end() && pos->label == payload.label) {
+    *pos = payload;  // duplicate delivery: keep the latest copy, as before
+  } else {
+    pending_.insert(pos, payload);
+  }
   // Drain by timestamp stability *before* pumping the stream: the arriving
   // payload may have advanced stability (NoteBulkProgress above), and attach
   // waiters -- re-checked by both drains -- must only complete after every
@@ -598,8 +617,11 @@ void SaturnDc::FinishEpochSwitch() {
   switching_ = false;
   epoch_ = next_epoch_;
   // The buffered new-tree labels become the live stream; PumpStream's outer
-  // loop (the only caller) picks them up immediately.
-  stream_.insert(stream_.end(), buffered_next_epoch_.begin(), buffered_next_epoch_.end());
+  // loop (the only caller) picks them up immediately. The stream is empty
+  // here (the switch requires it), so this is a plain transfer in order.
+  for (size_t i = 0; i < buffered_next_epoch_.size(); ++i) {
+    stream_.push_back(std::move(buffered_next_epoch_[i]));
+  }
   buffered_next_epoch_.clear();
 }
 

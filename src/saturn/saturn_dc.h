@@ -22,13 +22,12 @@
 #ifndef SRC_SATURN_SATURN_DC_H_
 #define SRC_SATURN_SATURN_DC_H_
 
-#include <deque>
 #include <map>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/flat_map.h"
+#include "src/common/ring_buffer.h"
 #include "src/core/datacenter.h"
 #include "src/saturn/reliable_link.h"
 
@@ -101,10 +100,6 @@ class SaturnDc : public DatacenterBase {
     ClientRequest req;
   };
 
-  struct LabelOrder {
-    bool operator()(const Label& a, const Label& b) const { return a < b; }
-  };
-
   // --- Label sink ---------------------------------------------------------
   void EmitLabel(const Label& label, DcSet interest);
   void FlushSink();
@@ -123,6 +118,13 @@ class SaturnDc : public DatacenterBase {
   bool WaiterReady(const ClientRequest& req) const;
   void CompleteWaiter(NodeId from, const ClientRequest& req);
   void NoteBulkProgress(DcId origin, uint32_t gear, int64_t ts);
+
+  int64_t BulkGearTs(DcId dc, uint32_t gear) const {
+    return bulk_gear_ts_[static_cast<size_t>(dc) * config_.num_gears + gear];
+  }
+
+  // Position of the payload carrying exactly `label`, or pending_.end().
+  std::vector<RemotePayload>::iterator FindPending(const Label& label);
 
   // --- Failure detection and recovery -------------------------------------
   void Watchdog();
@@ -147,22 +149,29 @@ class SaturnDc : public DatacenterBase {
   std::vector<LabelEnvelope> sink_;
   int64_t last_heartbeat_ts_ = -1;
 
-  // Stream state.
-  std::deque<LabelEnvelope> stream_;
-  std::deque<LabelEnvelope> buffered_next_epoch_;
+  // Stream state. Ring-backed queues recycle their slots: steady-state label
+  // traffic stops paying std::deque's block allocations.
+  RingQueue<LabelEnvelope> stream_;
+  RingQueue<LabelEnvelope> buffered_next_epoch_;
   std::vector<int64_t> stream_progress_;  // per origin DC: max processed label ts
   SimTime last_visible_ = 0;              // shared monotone visibility floor
   SimTime last_stream_activity_ = 0;
   std::vector<SimTime> last_label_seen_;  // per origin DC: last stream label time
 
-  // Payload buffer shared by both drains.
-  std::map<LabelKey, RemotePayload> pending_payloads_;
-  std::set<Label, LabelOrder> pending_order_;
+  // Payload buffer shared by both drains, kept sorted by label. The label
+  // total order (ts, src) uniquely identifies a payload, so one sorted vector
+  // serves both the ordered drain (pop the smallest-label prefix) and the
+  // stream's exact-label lookup (binary search) — and steady-state traffic
+  // recycles the same slots instead of paying a map node and a set node per
+  // remote payload.
+  std::vector<RemotePayload> pending_;
   FlatSet<uint64_t> applied_uids_;
 
   // Timestamp-stability state.
   bool ts_mode_ = false;
-  std::vector<std::vector<int64_t>> bulk_gear_ts_;  // [dc][gear]
+  // Last bulk-channel ts per (dc, gear), flattened to one cache-friendly
+  // array indexed [dc * num_gears + gear].
+  std::vector<int64_t> bulk_gear_ts_;
   // Lazily recomputed minima for the hot stability predicates. Each has a
   // single writer (NoteBulkProgress / PumpStream) that sets the dirty flag;
   // TimestampStable and WaiterReady run once per stream/bulk event and would

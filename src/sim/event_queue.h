@@ -7,21 +7,24 @@
 //
 // Hot-path design: tasks are InlineTask (small-buffer closures, no heap
 // allocation for the common capture sizes — see inline_task.h). Tasks are
-// parked in a slab (`slots_` + freelist) and the priority queue is an explicit
-// binary min-heap over 24-byte trivially-copyable handles {time, seq, slot}.
-// Heap rebalances therefore shuffle PODs — no relocate calls, no 200-byte
-// moves — and the sift uses a hole instead of pairwise swaps, so each level
-// costs one handle move. The explicit heap also pops by move
-// (std::priority_queue exposes only a const top(), forcing a const_cast to
-// steal the task). Because (time, seq) is a strict total order (seq is
-// unique), execution order is independent of the heap's internal layout and
-// of slot reuse: any correct heap yields the identical event trace, which is
-// what makes executed_events() usable as a determinism fingerprint across
-// core rewrites.
+// parked in a chunked slab (fixed-size chunks + freelist) and the priority
+// queue is an explicit binary min-heap over 24-byte trivially-copyable
+// handles {time, seq, slot}. Heap rebalances therefore shuffle PODs — no
+// relocate calls, no 300-byte moves — and the sift uses a hole instead of
+// pairwise swaps, so each level costs one handle move. Chunks give every slot
+// a stable address, which buys two things: growing the slab never relocates
+// parked closures, and Step() can invoke a task *in place* — no relocation at
+// all on the execute path — even when the running task schedules events and
+// forces the slab to grow under it. Because (time, seq) is a strict total
+// order (seq is unique), execution order is independent of the heap's
+// internal layout and of slot reuse: any correct heap yields the identical
+// event trace, which is what makes executed_events() usable as a determinism
+// fingerprint across core rewrites.
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
+#include <memory>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -50,11 +53,13 @@ class Simulator {
     if (!free_slots_.empty()) {
       slot = free_slots_.back();
       free_slots_.pop_back();
-      slots_[slot] = std::move(task);
     } else {
-      slot = static_cast<uint32_t>(slots_.size());
-      slots_.push_back(std::move(task));
+      slot = slab_size_++;
+      if ((slot >> kChunkShift) == chunks_.size()) {
+        chunks_.push_back(std::make_unique<Task[]>(kChunkSize));
+      }
     }
+    Slot(slot) = std::move(task);
     Push(HeapEntry{when, next_seq_++, slot});
   }
 
@@ -68,11 +73,14 @@ class Simulator {
     }
     HeapEntry top = PopTop();
     now_ = top.time;
-    // Steal the task and retire the slot *before* running: the task may
-    // schedule new events, and its slot is free for them to reuse.
-    Task task = std::move(slots_[top.slot]);
-    free_slots_.push_back(top.slot);
+    // Run the task *in place*: chunk addresses are stable, so even if the
+    // task schedules events and grows the slab, the running closure never
+    // moves. The slot is retired only after the call returns — a task that
+    // schedules new events can therefore never be overwritten by them.
+    Task& task = Slot(top.slot);
     task();
+    task = Task{};
+    free_slots_.push_back(top.slot);
     ++executed_;
     return true;
   }
@@ -158,9 +166,17 @@ class Simulator {
     return top;
   }
 
+  // Task slab: fixed-size chunks so slots have stable addresses for the
+  // lifetime of the simulator. 256 tasks/chunk keeps a chunk under 100 KB.
+  static constexpr uint32_t kChunkShift = 8;
+  static constexpr uint32_t kChunkSize = 1u << kChunkShift;
+
+  Task& Slot(uint32_t slot) { return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)]; }
+
   std::vector<HeapEntry> heap_;
-  std::vector<Task> slots_;         // task slab, indexed by HeapEntry::slot
-  std::vector<uint32_t> free_slots_;  // retired slots awaiting reuse
+  std::vector<std::unique_ptr<Task[]>> chunks_;  // task slab, indexed by HeapEntry::slot
+  uint32_t slab_size_ = 0;                       // slots handed out so far
+  std::vector<uint32_t> free_slots_;             // retired slots awaiting reuse
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;

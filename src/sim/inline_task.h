@@ -23,8 +23,11 @@ namespace saturn {
 class InlineTask {
  public:
   // Sized so a network-delivery closure (this + endpoints + Message) stays
-  // inline; the Event framing around it keeps the heap node cache-friendly.
-  static constexpr std::size_t kCapacity = 232;
+  // inline. Messages carry their datacenter vectors and dependency lists in
+  // small-buffer InlineVecs (see messages.h), so the closure is bigger than it
+  // was when those were std::vector headers — but moving it is a flat memcpy
+  // instead of a heap allocation per delivery.
+  static constexpr std::size_t kCapacity = 368;
   static constexpr std::size_t kAlign = alignof(std::max_align_t);
 
   // True when F runs inline: no allocation on construction, a memcpy-sized

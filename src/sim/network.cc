@@ -32,7 +32,7 @@ void Network::Send(NodeId from, NodeId to, Message msg) {
       link->buffer.pop_front();  // drop-oldest
       ++dropped_overflow_;
     }
-    link->buffer.push_back({{from, to}, std::move(msg)});
+    link->buffer.push_back(BufferedSend{from, to, std::move(msg)});
     return;
   }
 
@@ -121,8 +121,9 @@ void Network::HealLink(SiteId a, SiteId b) {
   }
   auto buffered = std::move(link->buffer);
   links_.Erase(SitePair(a, b));
-  for (auto& [endpoints, msg] : buffered) {
-    Send(endpoints.first, endpoints.second, std::move(msg));
+  for (size_t i = 0; i < buffered.size(); ++i) {
+    BufferedSend& entry = buffered[i];
+    Send(entry.from, entry.to, std::move(entry.msg));
   }
 }
 

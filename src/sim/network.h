@@ -12,12 +12,12 @@
 #define SRC_SIM_NETWORK_H_
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
 #include "src/common/check.h"
 #include "src/common/flat_map.h"
+#include "src/common/ring_buffer.h"
 #include "src/common/types.h"
 #include "src/core/messages.h"
 #include "src/sim/actor.h"
@@ -149,10 +149,16 @@ class Network {
     bool down = false;
   };
 
+  struct BufferedSend {
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    Message msg;
+  };
+
   struct LinkState {
     bool down = false;
     bool drop = false;  // lossy cut: discard instead of buffering
-    std::deque<std::pair<std::pair<NodeId, NodeId>, Message>> buffer;
+    RingQueue<BufferedSend> buffer;  // recycled slots: no per-message blocks
   };
 
   struct Channel {

@@ -102,8 +102,10 @@ class Client : public Actor {
 
   Rng rng_;
   Label label_ = kBottomLabel;
-  std::vector<int64_t> vector_;  // Cure mode only
-  std::vector<ExplicitDep> context_;  // COPS mode only
+  // Inline small-vectors (messages.h): copying these into each outgoing
+  // request is a flat store, not a heap allocation per operation.
+  DcVec vector_;    // Cure mode only
+  DepVec context_;  // COPS mode only
   FlatSet<uint64_t> context_uids_;
   size_t max_context_ = 0;
 

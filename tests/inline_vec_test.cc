@@ -1,0 +1,245 @@
+// Unit tests for the message plane's small-buffer vector (inline_vec.h).
+//
+// The properties exercised here are the ones the simulator relies on:
+// allocation-free operation below the inline bound, correct spill past it,
+// shrink back to inline storage, safe relocation of move-only elements, and
+// well-defined aliasing / self-assignment behaviour.
+#include "src/common/inline_vec.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace saturn {
+namespace {
+
+using SmallVec = InlineVec<int64_t, 4>;
+
+TEST(InlineVec, StaysInlineUpToCapacity) {
+  SmallVec v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(v.spilled());
+  EXPECT_EQ(v.capacity(), 4u);
+  for (int64_t i = 0; i < 4; ++i) {
+    v.push_back(i);
+    EXPECT_FALSE(v.spilled());
+  }
+  EXPECT_EQ(v.size(), 4u);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(v[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(InlineVec, SpillsPastCapacityAndPreservesContents) {
+  SmallVec v;
+  for (int64_t i = 0; i < 100; ++i) {
+    v.push_back(i);
+  }
+  EXPECT_TRUE(v.spilled());
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_GE(v.capacity(), 100u);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(v[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(InlineVec, SpillShrinkRoundTrip) {
+  SmallVec v;
+  for (int64_t i = 0; i < 20; ++i) {
+    v.push_back(i);
+  }
+  ASSERT_TRUE(v.spilled());
+  while (v.size() > 3) {
+    v.pop_back();
+  }
+  EXPECT_TRUE(v.spilled());  // capacity never shrinks implicitly
+  v.shrink_to_fit();
+  EXPECT_FALSE(v.spilled());
+  EXPECT_EQ(v.capacity(), 4u);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 0);
+  EXPECT_EQ(v[1], 1);
+  EXPECT_EQ(v[2], 2);
+  // ... and it can spill again after the round trip.
+  for (int64_t i = 3; i < 12; ++i) {
+    v.push_back(i);
+  }
+  EXPECT_TRUE(v.spilled());
+  for (int64_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(v[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(InlineVec, ShrinkToFitIsANoOpWhenTooBigOrAlreadyInline) {
+  SmallVec v{1, 2};
+  v.shrink_to_fit();  // inline: no-op
+  EXPECT_FALSE(v.spilled());
+  for (int64_t i = 0; i < 10; ++i) {
+    v.push_back(i);
+  }
+  ASSERT_TRUE(v.spilled());
+  ASSERT_GT(v.size(), 4u);
+  v.shrink_to_fit();  // more live elements than inline slots: must stay heap
+  EXPECT_TRUE(v.spilled());
+  EXPECT_EQ(v.size(), 12u);
+}
+
+TEST(InlineVec, AssignCountValuePicksTheRightOverload) {
+  SmallVec v;
+  // Both arguments are integral; must not bind to the iterator-pair template.
+  v.assign(7, 0);
+  EXPECT_EQ(v.size(), 7u);
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(v[i], 0);
+  }
+}
+
+TEST(InlineVec, AssignIteratorPair) {
+  std::vector<int64_t> src = {5, 6, 7, 8, 9, 10};
+  SmallVec v{1, 2, 3};
+  v.assign(src.begin(), src.end());
+  ASSERT_EQ(v.size(), 6u);
+  for (size_t i = 0; i < src.size(); ++i) {
+    EXPECT_EQ(v[i], src[i]);
+  }
+}
+
+TEST(InlineVec, CopyAndCompare) {
+  SmallVec a{1, 2, 3, 4, 5, 6};  // spilled
+  SmallVec b = a;
+  EXPECT_EQ(a, b);
+  b.push_back(7);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a < b);
+  SmallVec c;
+  c = a;  // copy-assign over a default-constructed (inline) vector
+  EXPECT_EQ(a, c);
+  a = a;  // self-copy-assignment must be a no-op
+  EXPECT_EQ(a, c);
+}
+
+TEST(InlineVec, MoveStealsHeapBlock) {
+  SmallVec a;
+  for (int64_t i = 0; i < 16; ++i) {
+    a.push_back(i);
+  }
+  const int64_t* heap = a.data();
+  SmallVec b = std::move(a);
+  EXPECT_EQ(b.data(), heap);  // ownership transfer, no relocation
+  EXPECT_TRUE(a.empty());
+  EXPECT_FALSE(a.spilled());
+  EXPECT_EQ(b.size(), 16u);
+  a.push_back(42);  // moved-from vector is reusable
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0], 42);
+}
+
+TEST(InlineVec, MoveOfInlineVectorRelocates) {
+  SmallVec a{1, 2, 3};
+  SmallVec b = std::move(a);
+  EXPECT_FALSE(b.spilled());
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[2], 3);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(InlineVec, PushBackOfOwnElementDuringGrowth) {
+  // emplace_back must copy the argument before relocating storage, or
+  // push_back(v[0]) at the capacity boundary reads freed memory.
+  SmallVec v{10, 20, 30, 40};
+  ASSERT_EQ(v.size(), v.capacity());
+  v.push_back(v[0]);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v.back(), 10);
+}
+
+TEST(InlineVec, IteratorsInvalidatedBySpillButStableOtherwise) {
+  SmallVec v{1, 2, 3};
+  int64_t* before = v.data();
+  v.push_back(4);  // fills inline storage, no spill
+  EXPECT_EQ(v.data(), before);
+  v.push_back(5);  // crosses the spill boundary
+  EXPECT_TRUE(v.spilled());
+  EXPECT_NE(v.data(), before);
+  // Past the spill, growth below capacity keeps pointers stable.
+  int64_t* heap = v.data();
+  while (v.size() < v.capacity()) {
+    v.push_back(0);
+  }
+  EXPECT_EQ(v.data(), heap);
+}
+
+TEST(InlineVec, EraseShiftsTail) {
+  SmallVec v{1, 2, 3, 4, 5, 6};
+  auto it = v.erase(v.begin() + 2);
+  EXPECT_EQ(*it, 4);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 4);
+  EXPECT_EQ(v[4], 6);
+}
+
+TEST(InlineVec, ResizeGrowsValueInitializedAndShrinksDestroying) {
+  SmallVec v{7, 8};
+  v.resize(6);
+  ASSERT_EQ(v.size(), 6u);
+  EXPECT_EQ(v[0], 7);
+  EXPECT_EQ(v[5], 0);
+  v.resize(1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 7);
+  v.resize(3, 9);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], 9);
+  EXPECT_EQ(v[2], 9);
+}
+
+// --- move-only element types ----------------------------------------------
+
+TEST(InlineVecMoveOnly, SpillsAndDrainsUniquePtrs) {
+  InlineVec<std::unique_ptr<int>, 2> v;
+  for (int i = 0; i < 10; ++i) {
+    v.push_back(std::make_unique<int>(i));
+  }
+  EXPECT_TRUE(v.spilled());
+  ASSERT_EQ(v.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(*v[static_cast<size_t>(i)], i);
+  }
+  InlineVec<std::unique_ptr<int>, 2> w = std::move(v);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(*w[9], 9);
+  w.erase(w.begin());
+  EXPECT_EQ(*w[0], 1);
+  while (w.size() > 2) {
+    w.pop_back();
+  }
+  w.shrink_to_fit();
+  EXPECT_FALSE(w.spilled());
+  EXPECT_EQ(*w[0], 1);
+  EXPECT_EQ(*w[1], 2);
+}
+
+// Non-trivially-copyable elements exercise the element-wise Relocate path.
+TEST(InlineVecNonTrivial, StringsSurviveSpillAndCopy) {
+  InlineVec<std::string, 2> v;
+  const std::string long_str(64, 'x');  // defeat SSO so moves matter
+  for (int i = 0; i < 6; ++i) {
+    v.push_back(long_str + std::to_string(i));
+  }
+  EXPECT_TRUE(v.spilled());
+  InlineVec<std::string, 2> copy = v;
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(copy[static_cast<size_t>(i)], long_str + std::to_string(i));
+  }
+  copy.clear();
+  EXPECT_TRUE(copy.empty());
+  EXPECT_EQ(v.size(), 6u);
+}
+
+}  // namespace
+}  // namespace saturn

@@ -3,7 +3,7 @@
 
 Usage:
     tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold PCT]
-                        [--ignore-wallclock]
+                        [--ignore-wallclock] [--ignore-allocs] [--no-timing]
     tools/bench_diff.py BENCH_sim.json                 # self mode
 
 Two-file mode compares per-workload events/sec (and throughput) of CANDIDATE
@@ -18,15 +18,32 @@ informational; the suite's serial-vs-parallel fingerprint check is a
 *determinism* property, never a timing one, so it gates regardless of the
 flag.
 
+Allocation counts (allocs_per_event) gate like fingerprints: the simulator is
+deterministic, so at the same scale a >10% allocs/event increase over the
+baseline is a real regression on the message plane, not noise. --ignore-allocs
+demotes it to informational (the escape hatch for a change that knowingly
+trades allocations for something else). Baselines recorded before allocation
+counting simply skip the check.
+
+--no-timing disables both timing gates (events/sec and suite wall-clock) and
+keeps only the deterministic ones — fingerprints and allocations. This is the
+mode the ctest allocation-budget check runs in, where machine load must not
+flake the suite.
+
 Exit status: 0 = no regression, 1 = events/sec regression beyond the
-threshold (default 5%), a determinism-fingerprint mismatch, or (without
+threshold (default 5%), a determinism-fingerprint mismatch, an allocs/event
+regression beyond 10% (without --ignore-allocs), or (without
 --ignore-wallclock) a suite wall-clock regression; 2 = usage or parse error.
-Fingerprints (executed_events) are only required to match when both runs were
-made at the same scale (smoke vs full).
+Fingerprints and allocation rates are only required to match when both runs
+were made at the same scale (smoke vs full).
 """
 
 import json
 import sys
+
+# Allocations are deterministic, so the slack only needs to absorb a genuinely
+# different split of the same work (e.g. one extra rehash), not timing noise.
+ALLOC_THRESHOLD_PCT = 10.0
 
 
 def load(path):
@@ -42,7 +59,27 @@ def by_name(workloads):
     return {w["name"]: w for w in workloads}
 
 
-def compare(base, cand, threshold_pct, check_fingerprint):
+def compare_allocs(base, cand, same_scale, ignore_allocs):
+    """Allocation-rate column for one workload; returns (text, regressed)."""
+    b_alloc = base.get("allocs_per_event")
+    c_alloc = cand.get("allocs_per_event")
+    if b_alloc is None or c_alloc is None:
+        return "", False  # baseline predates allocation counting
+    if not same_scale:
+        return "  allocs skipped (different scale)", False
+    b_alloc = float(b_alloc)
+    c_alloc = float(c_alloc)
+    text = f"  allocs/ev {b_alloc:.4f} -> {c_alloc:.4f}"
+    # Small absolute epsilon so a zero-allocation baseline tolerates counter
+    # jitter-free but formula-rounded values.
+    if c_alloc > b_alloc * (1.0 + ALLOC_THRESHOLD_PCT / 100.0) + 1e-4:
+        if ignore_allocs:
+            return text + " (worse, ignored by --ignore-allocs)", False
+        return text + " << ALLOC REGRESSION", True
+    return text, False
+
+
+def compare(base, cand, threshold_pct, same_scale, ignore_allocs, no_timing):
     base_by = by_name(base)
     cand_by = by_name(cand)
     regressed = False
@@ -56,7 +93,7 @@ def compare(base, cand, threshold_pct, check_fingerprint):
         b_eps = float(b["events_per_sec"])
         c_eps = float(c["events_per_sec"])
         delta = (c_eps - b_eps) / b_eps * 100.0 if b_eps > 0 else 0.0
-        if check_fingerprint:
+        if same_scale:
             same = int(b["executed_events"]) == int(c["executed_events"])
             fp = "ok" if same else (
                 f"MISMATCH ({b['executed_events']} -> {c['executed_events']})")
@@ -66,9 +103,15 @@ def compare(base, cand, threshold_pct, check_fingerprint):
             fp = "skipped (different scale)"
         flag = ""
         if delta < -threshold_pct:
-            flag = "  << REGRESSION"
-            regressed = True
-        print(f"{name:<12} {b_eps:>14.0f} {c_eps:>14.0f} {delta:>+8.1f}%  {fp}{flag}")
+            if no_timing:
+                flag = "  (slower, ignored by --no-timing)"
+            else:
+                flag = "  << REGRESSION"
+                regressed = True
+        alloc_text, alloc_regressed = compare_allocs(b, c, same_scale, ignore_allocs)
+        regressed |= alloc_regressed
+        print(f"{name:<12} {b_eps:>14.0f} {c_eps:>14.0f} {delta:>+8.1f}%  {fp}{flag}"
+              f"{alloc_text}")
     for name in cand_by:
         if name not in base_by:
             print(f"{name:<12} (new workload, no baseline)")
@@ -112,6 +155,8 @@ def compare_suite(base_suite, cand_suite, threshold_pct, ignore_wallclock):
 def main(argv):
     threshold = 5.0
     ignore_wallclock = False
+    ignore_allocs = False
+    no_timing = False
     args = []
     i = 1
     while i < len(argv):
@@ -119,6 +164,13 @@ def main(argv):
             threshold = float(argv[i + 1])
             i += 2
         elif argv[i] == "--ignore-wallclock":
+            ignore_wallclock = True
+            i += 1
+        elif argv[i] == "--ignore-allocs":
+            ignore_allocs = True
+            i += 1
+        elif argv[i] == "--no-timing":
+            no_timing = True
             ignore_wallclock = True
             i += 1
         else:
@@ -150,13 +202,15 @@ def main(argv):
         print(__doc__, file=sys.stderr)
         return 2
 
-    check_fingerprint = base_smoke == cand_smoke
-    regressed = compare(base, cand, threshold, check_fingerprint)
+    same_scale = base_smoke == cand_smoke
+    regressed = compare(base, cand, threshold, same_scale, ignore_allocs, no_timing)
     regressed |= compare_suite(base_suite, cand_suite, threshold, ignore_wallclock)
     if regressed:
-        print(f"\nFAIL: regression beyond {threshold:.1f}% or fingerprint mismatch")
+        print(f"\nFAIL: regression beyond {threshold:.1f}% (allocs: "
+              f"{ALLOC_THRESHOLD_PCT:.0f}%) or fingerprint mismatch")
         return 1
-    print(f"\nOK: no events/sec regression beyond {threshold:.1f}%")
+    print(f"\nOK: no regression (events/sec threshold {threshold:.1f}%, "
+          f"allocs {ALLOC_THRESHOLD_PCT:.0f}%)")
     return 0
 
 

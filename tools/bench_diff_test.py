@@ -13,8 +13,8 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import bench_diff  # noqa: E402
 
 
-def workload(name, events=1000, eps=50000.0):
-    return {
+def workload(name, events=1000, eps=50000.0, allocs_per_event=None):
+    w = {
         "name": name,
         "executed_events": events,
         "wall_s": events / eps,
@@ -22,6 +22,11 @@ def workload(name, events=1000, eps=50000.0):
         "throughput_ops": 1234.0,
         "peak_rss_kb": 10000,
     }
+    if allocs_per_event is not None:
+        w["allocs"] = int(events * allocs_per_event)
+        w["alloc_bytes"] = w["allocs"] * 64
+        w["allocs_per_event"] = allocs_per_event
+    return w
 
 
 def suite(runs=12, jobs=4, serial=8.0, parallel=2.5, fingerprints=True):
@@ -142,6 +147,82 @@ class BenchDiffTest(unittest.TestCase):
         self.assertIn("parallel wall-clock", out)
         code, _ = self.run_diff(path, "--ignore-wallclock")
         self.assertEqual(code, 0)
+
+    def test_alloc_regression_fails(self):
+        base = self.write(doc([workload("fig5_full", allocs_per_event=0.01)]))
+        cand = self.write(doc([workload("fig5_full", allocs_per_event=0.02)]))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 1)
+        self.assertIn("ALLOC REGRESSION", out)
+
+    def test_alloc_within_slack_passes(self):
+        base = self.write(doc([workload("fig5_full", allocs_per_event=0.100)]))
+        cand = self.write(doc([workload("fig5_full", allocs_per_event=0.105)]))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
+        self.assertIn("allocs/ev", out)
+
+    def test_alloc_improvement_passes(self):
+        base = self.write(doc([workload("fig5_full", allocs_per_event=1.25)]))
+        cand = self.write(doc([workload("fig5_full", allocs_per_event=0.07)]))
+        code, _ = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
+
+    def test_ignore_allocs_demotes_alloc_regression(self):
+        base = self.write(doc([workload("fig5_full", allocs_per_event=0.01)]))
+        cand = self.write(doc([workload("fig5_full", allocs_per_event=0.02)]))
+        code, out = self.run_diff(base, cand, "--ignore-allocs")
+        self.assertEqual(code, 0)
+        self.assertIn("ignored by --ignore-allocs", out)
+
+    def test_alloc_check_skipped_when_baseline_has_no_counts(self):
+        base = self.write(doc([workload("fig5_full")]))
+        cand = self.write(doc([workload("fig5_full", allocs_per_event=5.0)]))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
+        self.assertNotIn("ALLOC REGRESSION", out)
+
+    def test_alloc_check_skipped_across_scales(self):
+        base = self.write(doc([workload("fig5_full", allocs_per_event=0.01)],
+                              smoke=True))
+        cand = self.write(doc([workload("fig5_full", allocs_per_event=0.5)],
+                              smoke=False))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
+        self.assertIn("allocs skipped (different scale)", out)
+
+    def test_zero_alloc_baseline_tolerates_epsilon_only(self):
+        base = self.write(doc([workload("fig5_full", allocs_per_event=0.0)]))
+        cand = self.write(doc([workload("fig5_full", allocs_per_event=0.0001)]))
+        code, _ = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
+        cand = self.write(doc([workload("fig5_full", allocs_per_event=0.01)]))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 1)
+        self.assertIn("ALLOC REGRESSION", out)
+
+    def test_no_timing_keeps_deterministic_gates_only(self):
+        # events/sec halved: ignored. Fingerprint + allocs still gate.
+        base = self.write(doc([workload("fig5_full", eps=50000.0,
+                                        allocs_per_event=0.01)],
+                              suite_section=suite(parallel=2.0)))
+        cand = self.write(doc([workload("fig5_full", eps=25000.0,
+                                        allocs_per_event=0.01)],
+                              suite_section=suite(parallel=9.0)))
+        code, out = self.run_diff(base, cand, "--no-timing")
+        self.assertEqual(code, 0)
+        self.assertIn("ignored by --no-timing", out)
+
+        bad_fp = self.write(doc([workload("fig5_full", events=1001,
+                                          allocs_per_event=0.01)]))
+        code, _ = self.run_diff(base, bad_fp, "--no-timing")
+        self.assertEqual(code, 1)
+
+        bad_alloc = self.write(doc([workload("fig5_full",
+                                             allocs_per_event=0.9)]))
+        code, out = self.run_diff(base, bad_alloc, "--no-timing")
+        self.assertEqual(code, 1)
+        self.assertIn("ALLOC REGRESSION", out)
 
     def test_threshold_tolerates_small_wallclock_noise(self):
         base = self.write(doc([workload("fig5_full")],
