@@ -221,8 +221,10 @@ WorkloadResult TimeWorkload(const std::string& name, int repeat, BuildFn build) 
   return best;
 }
 
-// Workload 1: Saturn, 7 DCs, full replication, Fig. 5 defaults.
-PreparedRun BuildFig5Full(const PerfOptions& options) {
+// Workload 1: Saturn, 7 DCs, full replication, Fig. 5 defaults. `traced`
+// builds the same cluster with the trace recorder attached (the
+// trace_overhead section runs it both ways at identical scale).
+PreparedRun BuildFig5Full(const PerfOptions& options, bool traced = false) {
   PreparedRun run;
   ClusterConfig config;
   config.protocol = Protocol::kSaturn;
@@ -230,6 +232,7 @@ PreparedRun BuildFig5Full(const PerfOptions& options) {
   config.latencies = Ec2Latencies();
   config.dc.num_gears = 4;
   config.seed = 42;
+  config.trace.enabled = traced;
 
   KeyspaceConfig keyspace;
   keyspace.num_keys = 10000;
@@ -518,8 +521,74 @@ SuiteResult RunSuite(const PerfOptions& options) {
   return suite;
 }
 
+// --- Tracing-overhead measurement ------------------------------------------
+//
+// The fig5_full workload executed twice at identical scale: once untraced,
+// once with the trace recorder attached (ring events + sampled label
+// journeys). The executed-event fingerprints must match — the recorder only
+// observes, so tracing must not change simulation behaviour — and the
+// events/sec ratio is the recorder's whole-run cost, gated by bench_diff.py
+// alongside the allocation budget.
+
+struct TraceOverheadResult {
+  uint64_t executed_events = 0;
+  double off_wall_s = 0;
+  double on_wall_s = 0;
+  double events_off_per_sec = 0;
+  double events_on_per_sec = 0;
+  double overhead_pct = 0;
+  uint64_t trace_events_recorded = 0;
+  bool fingerprints_identical = false;
+};
+
+TraceOverheadResult RunTraceOverhead(const PerfOptions& options) {
+  TraceOverheadResult result;
+  auto leg = [&options](bool traced, double* best_wall, uint64_t* trace_events) {
+    uint64_t events = 0;
+    for (int i = 0; i < options.repeat; ++i) {
+      PreparedRun run = BuildFig5Full(options, traced);
+      auto start = std::chrono::steady_clock::now();
+      run.cluster->Run(run.warmup, run.measure, run.drain);
+      auto stop = std::chrono::steady_clock::now();
+      double wall = std::chrono::duration<double>(stop - start).count();
+      if (i == 0 || wall < *best_wall) {
+        *best_wall = wall;
+      }
+      uint64_t fp = run.cluster->sim().executed_events();
+      if (i == 0) {
+        events = fp;
+      } else if (events != fp) {
+        std::fprintf(stderr, "FATAL: trace_overhead leg nondeterministic across repeats\n");
+        std::exit(1);
+      }
+      if (traced && trace_events != nullptr) {
+        *trace_events = run.cluster->trace()->events_recorded();
+      }
+    }
+    return events;
+  };
+
+  uint64_t off_events = leg(false, &result.off_wall_s, nullptr);
+  uint64_t on_events = leg(true, &result.on_wall_s, &result.trace_events_recorded);
+  result.executed_events = off_events;
+  result.fingerprints_identical = off_events == on_events;
+  if (!result.fingerprints_identical) {
+    std::fprintf(stderr,
+                 "FATAL: tracing changed the executed-event fingerprint "
+                 "(%llu untraced vs %llu traced) — the recorder must only observe\n",
+                 static_cast<unsigned long long>(off_events),
+                 static_cast<unsigned long long>(on_events));
+    std::exit(1);
+  }
+  result.events_off_per_sec = static_cast<double>(off_events) / result.off_wall_s;
+  result.events_on_per_sec = static_cast<double>(on_events) / result.on_wall_s;
+  result.overhead_pct =
+      (result.events_off_per_sec / result.events_on_per_sec - 1.0) * 100.0;
+  return result;
+}
+
 void WriteJson(const PerfOptions& options, const std::vector<WorkloadResult>& results,
-               const SuiteResult& suite) {
+               const SuiteResult& suite, const TraceOverheadResult& trace) {
   std::FILE* f = std::fopen(options.out.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", options.out.c_str());
@@ -548,6 +617,18 @@ void WriteJson(const PerfOptions& options, const std::vector<WorkloadResult>& re
     std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"trace_overhead\": {\n");
+  std::fprintf(f, "    \"workload\": \"fig5_full\",\n");
+  std::fprintf(f, "    \"executed_events\": %llu,\n",
+               static_cast<unsigned long long>(trace.executed_events));
+  std::fprintf(f, "    \"events_off_per_sec\": %.0f,\n", trace.events_off_per_sec);
+  std::fprintf(f, "    \"events_on_per_sec\": %.0f,\n", trace.events_on_per_sec);
+  std::fprintf(f, "    \"overhead_pct\": %.2f,\n", trace.overhead_pct);
+  std::fprintf(f, "    \"trace_events_recorded\": %llu,\n",
+               static_cast<unsigned long long>(trace.trace_events_recorded));
+  std::fprintf(f, "    \"fingerprints_identical\": %s\n",
+               trace.fingerprints_identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"suite_wall_clock\": {\n");
   std::fprintf(f, "    \"runs\": %d,\n", suite.runs);
   std::fprintf(f, "    \"jobs\": %d,\n", suite.jobs);
@@ -611,6 +692,13 @@ int Main(int argc, char** argv) {
                 static_cast<double>(r.peak_rss_kb) / 1024.0);
   }
 
+  TraceOverheadResult trace = RunTraceOverhead(options);
+  std::printf("trace: off %.0f ev/s, on %.0f ev/s, overhead %.2f%%, "
+              "%llu trace events, fingerprints %s\n",
+              trace.events_off_per_sec, trace.events_on_per_sec, trace.overhead_pct,
+              static_cast<unsigned long long>(trace.trace_events_recorded),
+              trace.fingerprints_identical ? "identical" : "DIFFER");
+
   SuiteResult suite = RunSuite(options);
   std::printf("suite: %d runs, serial %.3fs, parallel %.3fs (jobs=%d, hw=%u), "
               "speedup %.2fx, fingerprints %s\n",
@@ -618,7 +706,7 @@ int Main(int argc, char** argv) {
               suite.hardware_concurrency, suite.speedup,
               suite.fingerprints_identical ? "identical" : "DIFFER");
 
-  WriteJson(options, results, suite);
+  WriteJson(options, results, suite, trace);
   std::printf("wrote %s\n", options.out.c_str());
   return 0;
 }

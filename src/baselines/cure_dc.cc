@@ -34,6 +34,10 @@ void CureDc::StabilizationRound() {
     }
   }
   if (advanced || num_dcs_ == 1) {
+    if (trace_ != nullptr && advanced) {
+      trace_->Instant(sim_->Now(), trace_track_, "sv.advance", nullptr, 0,
+                      static_cast<int64_t>(pending_.size()));
+    }
     DrainVisible();
   }
 }
@@ -167,6 +171,14 @@ void CureDc::OnRemotePayload(const RemotePayload& payload) {
                                 return a.label < b.label;
                               });
   pending_.insert(pos, payload);
+  if (trace_ != nullptr) {
+    trace_->Hop(sim_->Now(), trace_track_, "payload.buffered", payload.label.uid,
+                payload.label.ts, origin);
+    if (trace_->WantJourney(payload.label.uid)) {
+      trace_->JourneyHop(sim_->Now(), payload.label.uid, obs::HopKind::kBuffered,
+                         trace_track_, payload.label.ts, payload.label.src);
+    }
+  }
 }
 
 void CureDc::OnOtherMessage(NodeId from, const Message& msg) {

@@ -46,6 +46,10 @@ void GentleRainDc::StabilizationRound() {
 
   if (new_gst != kSimTimeNever && new_gst > gst_) {
     gst_ = new_gst;
+    if (trace_ != nullptr) {
+      trace_->Instant(sim_->Now(), trace_track_, "gst.advance", nullptr, gst_,
+                      static_cast<int64_t>(pending_.size()));
+    }
     DrainVisible();
   }
 }
@@ -118,6 +122,14 @@ void GentleRainDc::OnRemotePayload(const RemotePayload& payload) {
                                 return a.label < b.label;
                               });
   pending_.insert(pos, payload);
+  if (trace_ != nullptr) {
+    trace_->Hop(sim_->Now(), trace_track_, "payload.buffered", payload.label.uid,
+                payload.label.ts, origin);
+    if (trace_->WantJourney(payload.label.uid)) {
+      trace_->JourneyHop(sim_->Now(), payload.label.uid, obs::HopKind::kBuffered,
+                         trace_track_, payload.label.ts, payload.label.src);
+    }
+  }
   // Visibility is granted by the stabilization round; nothing to do now.
 }
 

@@ -148,6 +148,14 @@ void DatacenterBase::HandleUpdate(NodeId from, const ClientRequest& req) {
     label.target_key = req.key;
     label.uid = req.request_id;
 
+    if (trace_ != nullptr) {
+      trace_->Hop(sim_->Now(), trace_track_, "commit", label.uid, label.ts, label.src);
+      if (trace_->WantJourney(label.uid)) {
+        trace_->JourneyHop(sim_->Now(), label.uid, obs::HopKind::kCommit, trace_track_,
+                           label.ts, label.src);
+      }
+    }
+
     // Persist locally (Alg. 2 line 5).
     store_.PartitionFor(req.key).Put(req.key, VersionedValue{req.value_size, label});
     if (oracle_ != nullptr) {
@@ -234,6 +242,17 @@ SimTime DatacenterBase::ApplyRemoteUpdateImpl(const RemotePayload& payload,
     }
     if (oracle_ != nullptr) {
       oracle_->OnApply(config_.id, payload.label.uid);
+    }
+    if (trace_ != nullptr) {
+      // Recorded here — at the visibility instant, inside the already
+      // scheduled apply event — so the trace ring stays time-ordered without
+      // the recorder ever scheduling events of its own.
+      trace_->Hop(sim_->Now(), trace_track_, "visible", payload.label.uid,
+                  payload.label.ts, payload.label.origin_dc());
+      if (trace_->WantJourney(payload.label.uid)) {
+        trace_->JourneyHop(sim_->Now(), payload.label.uid, obs::HopKind::kVisible,
+                           trace_track_);
+      }
     }
   };
   static_assert(InlineTask::fits_inline<decltype(apply)>,
@@ -367,9 +386,12 @@ void DatacenterBase::BulkChannelTick() {
     }
     SimTime rto = BulkRto(dc);
     peer.unacked.ForEach([&](uint64_t seq, BulkOutEntry& entry) {
-      (void)seq;
       if (now - entry.sent_at >= rto) {
         entry.sent_at = now;
+        if (trace_ != nullptr) {
+          trace_->Instant(now, trace_track_, "bulk.retransmit", nullptr, dc,
+                          static_cast<int64_t>(seq));
+        }
         net_->Send(node_id(), peer_nodes_[dc], entry.msg);
       }
     });

@@ -81,6 +81,15 @@ class DatacenterBase : public Actor {
   // Aggregate gear utilization over the run (diagnostics).
   double MeanGearUtilization() const;
 
+  // Observation only: local commits, remote visibility and bulk-channel
+  // retransmissions are recorded onto `track` (plus label journeys for
+  // sampled uids). Null disables; simulation behaviour is unchanged either
+  // way.
+  virtual void SetTrace(obs::TraceRecorder* trace, uint32_t track) {
+    trace_ = trace;
+    trace_track_ = track;
+  }
+
  protected:
   // --- Protocol hooks ----------------------------------------------------
 
@@ -204,6 +213,8 @@ class DatacenterBase : public Actor {
   std::vector<std::unique_ptr<Gear>> gears_;
   std::vector<NodeId> peer_nodes_;  // indexed by DcId; self = kInvalidNode
   Rng rng_;
+  obs::TraceRecorder* trace_ = nullptr;  // null = tracing disabled
+  uint32_t trace_track_ = 0;
 
  private:
   // Sent but not yet cumulatively acked; lives in the peer's send window.

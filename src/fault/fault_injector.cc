@@ -3,6 +3,32 @@
 #include "src/common/check.h"
 
 namespace saturn {
+namespace {
+
+// Static names so the trace recorder can hold the pointer without copying.
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkCut:
+      return "link_cut";
+    case FaultKind::kLinkHeal:
+      return "link_heal";
+    case FaultKind::kLatencySpike:
+      return "latency_spike";
+    case FaultKind::kLatencyClear:
+      return "latency_clear";
+    case FaultKind::kDcCrash:
+      return "dc_crash";
+    case FaultKind::kDcRecover:
+      return "dc_recover";
+    case FaultKind::kKillTree:
+      return "kill_tree";
+    case FaultKind::kKillChainReplica:
+      return "kill_chain_replica";
+  }
+  return "?";
+}
+
+}  // namespace
 
 void FaultInjector::Start() {
   for (const FaultEvent& event : plan_.events) {
@@ -44,6 +70,31 @@ void FaultInjector::Apply(const FaultEvent& event) {
         }
       }
       break;
+  }
+  if (trace_ != nullptr) {
+    // site_a/site_b double as (dc, 0) / (epoch, replica) for the node and
+    // serializer fault kinds; the detail string disambiguates.
+    int64_t a = 0;
+    int64_t b = 0;
+    switch (event.kind) {
+      case FaultKind::kLinkCut:
+      case FaultKind::kLinkHeal:
+      case FaultKind::kLatencySpike:
+      case FaultKind::kLatencyClear:
+        a = event.site_a;
+        b = event.site_b;
+        break;
+      case FaultKind::kDcCrash:
+      case FaultKind::kDcRecover:
+        a = event.dc;
+        break;
+      case FaultKind::kKillTree:
+      case FaultKind::kKillChainReplica:
+        a = event.epoch;
+        b = event.replica;
+        break;
+    }
+    trace_->Instant(sim_->Now(), trace_track_, "fault", FaultKindName(event.kind), a, b);
   }
   log_.emplace_back(sim_->Now(), event);
 }

@@ -40,6 +40,12 @@ class FaultInjector : public Actor {
   }
 
   const FaultPlan& plan() const { return plan_; }
+
+  // Observation only: applied faults are recorded as instants onto `track`.
+  void SetTrace(obs::TraceRecorder* trace, uint32_t track) {
+    trace_ = trace;
+    trace_track_ = track;
+  }
   // (time applied, event description) — the fault trace of the run. Rendered
   // on demand: applying a fault records only the event, so runs that never
   // read the trace pay nothing for formatting.
@@ -59,6 +65,8 @@ class FaultInjector : public Actor {
   FaultPlan plan_;
   FaultTargets targets_;
   std::vector<std::pair<SimTime, FaultEvent>> log_;
+  obs::TraceRecorder* trace_ = nullptr;
+  uint32_t trace_track_ = 0;
 };
 
 }  // namespace saturn

@@ -1,0 +1,101 @@
+#include "src/obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace saturn::obs {
+
+int64_t MetricsSnapshot::Scalar(std::string_view name, int64_t missing) const {
+  for (const auto& [n, v] : scalars) {
+    if (n == name) {
+      return v;
+    }
+  }
+  return missing;
+}
+
+const LatencyHistogram* MetricsSnapshot::Histogram(std::string_view name) const {
+  for (const auto& [n, h] : histograms) {
+    if (n == name) {
+      return &h;
+    }
+  }
+  return nullptr;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.scalars) {
+    auto it = std::lower_bound(
+        scalars.begin(), scalars.end(), name,
+        [](const auto& entry, const std::string& key) { return entry.first < key; });
+    if (it != scalars.end() && it->first == name) {
+      it->second += value;
+    } else {
+      scalars.insert(it, {name, value});
+    }
+  }
+  for (const auto& [name, hist] : other.histograms) {
+    auto it = std::lower_bound(
+        histograms.begin(), histograms.end(), name,
+        [](const auto& entry, const std::string& key) { return entry.first < key; });
+    if (it != histograms.end() && it->first == name) {
+      it->second.Merge(hist);
+    } else {
+      histograms.insert(it, {name, hist});
+    }
+  }
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  char buf[256];
+  std::string out = "{\n  \"scalars\": {";
+  for (size_t i = 0; i < scalars.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %lld", i == 0 ? "" : ",",
+                  scalars[i].first.c_str(),
+                  static_cast<long long>(scalars[i].second));
+    out += buf;
+  }
+  out += scalars.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const LatencyHistogram& h = histograms[i].second;
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    \"%s\": {\"count\": %llu, \"mean_ms\": %.3f, "
+                  "\"p50_ms\": %.3f, \"p90_ms\": %.3f, \"p99_ms\": %.3f, "
+                  "\"min_ms\": %.3f, \"max_ms\": %.3f}",
+                  i == 0 ? "" : ",", histograms[i].first.c_str(),
+                  static_cast<unsigned long long>(h.count()), h.MeanMs(),
+                  h.PercentileMs(0.50), h.PercentileMs(0.90), h.PercentileMs(0.99),
+                  static_cast<double>(h.MinUs()) / 1000.0,
+                  static_cast<double>(h.MaxUs()) / 1000.0);
+    out += buf;
+  }
+  out += histograms.empty() ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+void MetricsRegistry::AddScalar(std::string name, std::function<int64_t()> getter) {
+  scalars_.emplace_back(std::move(name), std::move(getter));
+}
+
+void MetricsRegistry::AddHistogram(std::string name, const LatencyHistogram* histogram) {
+  histograms_.emplace_back(std::move(name), histogram);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.scalars.reserve(scalars_.size());
+  for (const auto& [name, getter] : scalars_) {
+    snap.scalars.emplace_back(name, getter());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms.emplace_back(name, *hist);
+  }
+  auto by_name = [](const auto& x, const auto& y) { return x.first < y.first; };
+  std::sort(snap.scalars.begin(), snap.scalars.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+}  // namespace saturn::obs

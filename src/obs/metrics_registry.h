@@ -1,0 +1,68 @@
+// Named metrics registry: one place where every counter, gauge and histogram
+// in a cluster is published under a stable name, snapshotted to plain data,
+// merged across seed sweeps, and exported as JSON.
+//
+// Registration is by *getter*: owners keep their existing plain counters
+// (sim::Network's drop tallies, Metrics' fallback stats, ReliableLinks'
+// retransmission counts) and the registry stores a closure that reads the
+// live value. Nothing on the simulation hot path changes — the registry only
+// costs at registration and at Snapshot() time. This is also what lets
+// saturn_sim derive its human-readable degraded-mode report from the registry
+// while staying byte-identical to the pre-registry output.
+//
+// Snapshots are plain data (sorted name -> value), so a parallel seed sweep
+// can take one per worker-owned cluster and merge them on the main thread,
+// exactly like ChaosVerdicts.
+#ifndef SRC_OBS_METRICS_REGISTRY_H_
+#define SRC_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/stats/histogram.h"
+
+namespace saturn::obs {
+
+// Plain-data snapshot of a registry. Scalars and histograms are sorted by
+// name, so JSON output and merges are deterministic.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> scalars;
+  std::vector<std::pair<std::string, LatencyHistogram>> histograms;
+
+  // Returns the scalar's value, or `missing` when the name is absent.
+  int64_t Scalar(std::string_view name, int64_t missing = 0) const;
+  const LatencyHistogram* Histogram(std::string_view name) const;
+
+  // Element-wise merge for seed sweeps: scalars sum, histograms Merge().
+  // Names present on either side survive.
+  void Merge(const MetricsSnapshot& other);
+
+  // Deterministic JSON: {"scalars":{...},"histograms":{name:{count,...}}}.
+  std::string ToJson() const;
+};
+
+class MetricsRegistry {
+ public:
+  // `getter` is called at Snapshot() time; it must stay valid for the
+  // registry's lifetime (it captures pointers into the owning cluster).
+  void AddScalar(std::string name, std::function<int64_t()> getter);
+  // The histogram pointer must outlive the registry; Snapshot() copies it.
+  void AddHistogram(std::string name, const LatencyHistogram* histogram);
+
+  MetricsSnapshot Snapshot() const;
+
+  size_t scalar_count() const { return scalars_.size(); }
+  size_t histogram_count() const { return histograms_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::function<int64_t()>>> scalars_;
+  std::vector<std::pair<std::string, const LatencyHistogram*>> histograms_;
+};
+
+}  // namespace saturn::obs
+
+#endif  // SRC_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,340 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace saturn::obs {
+
+namespace {
+
+// Names are static literals and track names come from region tables, but a
+// minimal escape keeps the exported JSON well-formed no matter what.
+std::string EscapeJson(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(*s);
+  }
+  return out;
+}
+
+void AppendArgs(std::string* out, const TraceEvent& ev) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), ",\"args\":{\"a\":%lld,\"b\":%lld",
+                static_cast<long long>(ev.a), static_cast<long long>(ev.b));
+  *out += buf;
+  if (ev.uid != 0) {
+    std::snprintf(buf, sizeof(buf), ",\"uid\":%llu",
+                  static_cast<unsigned long long>(ev.uid));
+    *out += buf;
+  }
+  if (ev.detail != nullptr) {
+    *out += ",\"detail\":\"";
+    *out += EscapeJson(ev.detail);
+    *out += '"';
+  }
+  *out += '}';
+}
+
+struct ExportRecord {
+  SimTime ts;
+  uint64_t seq;
+  std::string json;
+};
+
+}  // namespace
+
+const char* HopKindName(HopKind kind) {
+  switch (kind) {
+    case HopKind::kCommit:
+      return "commit";
+    case HopKind::kSink:
+      return "sink-forward";
+    case HopKind::kSerializer:
+      return "serializer";
+    case HopKind::kStreamArrive:
+      return "stream-arrive";
+    case HopKind::kBuffered:
+      return "buffered";
+    case HopKind::kVisible:
+      return "visible";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(const TraceConfig& config) : config_(config) {
+  if (config_.ring_capacity == 0) {
+    config_.ring_capacity = 1;
+  }
+  ring_.resize(config_.ring_capacity);
+  if (config_.journey_sample_every == 0) {
+    config_.journey_sample_every = 1;
+  }
+}
+
+uint32_t TraceRecorder::RegisterTrack(std::string name) {
+  tracks_.push_back(std::move(name));
+  return static_cast<uint32_t>(tracks_.size() - 1);
+}
+
+void TraceRecorder::Push(const TraceEvent& ev) {
+  ring_[head_] = ev;
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) {
+    ++size_;
+  } else {
+    ++dropped_;
+  }
+  ++recorded_;
+  if (ev.ts > last_ts_) {
+    last_ts_ = ev.ts;
+  }
+}
+
+void TraceRecorder::Instant(SimTime now, uint32_t track, const char* name,
+                            const char* detail, int64_t a, int64_t b) {
+  Push({now, track, TraceEventKind::kInstant, name, detail, 0, a, b});
+}
+
+void TraceRecorder::Hop(SimTime now, uint32_t track, const char* name,
+                        uint64_t uid, int64_t a, int64_t b) {
+  Push({now, track, TraceEventKind::kHop, name, nullptr, uid, a, b});
+}
+
+void TraceRecorder::Counter(SimTime now, uint32_t track, const char* name,
+                            int64_t value) {
+  Push({now, track, TraceEventKind::kCounter, name, nullptr, 0, value, 0});
+}
+
+void TraceRecorder::SpanBegin(SimTime now, uint32_t track, const char* name) {
+  for (OpenSpan& span : open_spans_) {
+    if (span.track == track && std::strcmp(span.name, name) == 0) {
+      ++span.depth;  // re-entrant begin: count it, emit nothing
+      return;
+    }
+  }
+  open_spans_.push_back({track, name, now, 1});
+  ++recorded_;
+  if (now > last_ts_) {
+    last_ts_ = now;
+  }
+}
+
+void TraceRecorder::SpanEnd(SimTime now, uint32_t track, const char* name) {
+  for (size_t i = 0; i < open_spans_.size(); ++i) {
+    OpenSpan& span = open_spans_[i];
+    if (span.track == track && std::strcmp(span.name, name) == 0) {
+      if (--span.depth == 0) {
+        completed_spans_.push_back({span.track, span.name, span.begin_ts, now});
+        open_spans_.erase(open_spans_.begin() + static_cast<long>(i));
+        ++recorded_;
+        if (now > last_ts_) {
+          last_ts_ = now;
+        }
+      }
+      return;
+    }
+  }
+  // End without a begin (span opened before the ring existed): ignore.
+}
+
+void TraceRecorder::JourneyHop(SimTime now, uint64_t uid, HopKind kind,
+                               uint32_t track, int64_t label_ts, SourceId src) {
+  uint32_t* idx = journey_index_.Find(uid);
+  if (idx == nullptr) {
+    if (kind != HopKind::kCommit || journeys_.size() >= config_.max_journeys) {
+      return;
+    }
+    journey_index_[uid] = static_cast<uint32_t>(journeys_.size());
+    journeys_.push_back({uid, label_ts, src, {}});
+    idx = journey_index_.Find(uid);
+  }
+  journeys_[*idx].hops.push_back({now, kind, track});
+}
+
+std::vector<const Journey*> TraceRecorder::SlowestJourneys(size_t n) const {
+  std::vector<const Journey*> sorted;
+  sorted.reserve(journeys_.size());
+  for (const Journey& j : journeys_) {
+    sorted.push_back(&j);
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const Journey* x, const Journey* y) {
+    if (x->TotalLatency() != y->TotalLatency()) {
+      return x->TotalLatency() > y->TotalLatency();
+    }
+    return x->uid < y->uid;
+  });
+  if (sorted.size() > n) {
+    sorted.resize(n);
+  }
+  return sorted;
+}
+
+std::string TraceRecorder::JourneyReport(size_t n) const {
+  std::vector<const Journey*> slowest = SlowestJourneys(n);
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "slowest %zu of %zu sampled label journeys (every %lluth uid):\n",
+                slowest.size(), journeys_.size(),
+                static_cast<unsigned long long>(config_.journey_sample_every));
+  out += buf;
+  for (const Journey* j : slowest) {
+    std::snprintf(buf, sizeof(buf),
+                  "label uid=%llu src=%u label_ts=%lld: %.3f ms over %zu hops\n",
+                  static_cast<unsigned long long>(j->uid), j->src,
+                  static_cast<long long>(j->label_ts),
+                  ToMillis(j->TotalLatency()), j->hops.size());
+    out += buf;
+    for (const HopRecord& hop : j->hops) {
+      const char* where = hop.track < tracks_.size() ? tracks_[hop.track].c_str() : "?";
+      std::snprintf(buf, sizeof(buf), "  %+10.3f ms  %-13s @ %s\n",
+                    ToMillis(hop.ts - j->hops.front().ts), HopKindName(hop.kind),
+                    where);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string TraceRecorder::ExportJson() const {
+  std::vector<ExportRecord> records;
+  records.reserve(size_ + 4 * journeys_.size() + open_spans_.size());
+  uint64_t seq = 0;
+  char buf[256];
+
+  auto emit = [&records, &seq](SimTime ts, std::string json) {
+    records.push_back({ts, seq++, std::move(json)});
+  };
+
+  // Ring events, oldest first (insertion order; timestamps are nondecreasing
+  // because every hook records at the current sim time).
+  for (size_t i = 0; i < size_; ++i) {
+    const TraceEvent& ev = ring_[(head_ + ring_.size() - size_ + i) % ring_.size()];
+    std::string json = "{\"ph\":\"";
+    switch (ev.kind) {
+      case TraceEventKind::kInstant:
+        json += "i";
+        break;
+      case TraceEventKind::kHop:
+        json += "X";
+        break;
+      case TraceEventKind::kSpanBegin:
+        json += "b";
+        break;
+      case TraceEventKind::kSpanEnd:
+        json += "e";
+        break;
+      case TraceEventKind::kCounter:
+        json += "C";
+        break;
+    }
+    std::snprintf(buf, sizeof(buf), "\",\"pid\":1,\"tid\":%u,\"ts\":%lld,\"name\":\"",
+                  ev.track, static_cast<long long>(ev.ts));
+    json += buf;
+    json += EscapeJson(ev.name);
+    json += '"';
+    switch (ev.kind) {
+      case TraceEventKind::kInstant:
+        json += ",\"s\":\"t\"";
+        AppendArgs(&json, ev);
+        break;
+      case TraceEventKind::kHop:
+        json += ",\"dur\":1";
+        AppendArgs(&json, ev);
+        break;
+      case TraceEventKind::kSpanBegin:
+      case TraceEventKind::kSpanEnd:
+        std::snprintf(buf, sizeof(buf), ",\"cat\":\"span\",\"id\":%u", ev.track);
+        json += buf;
+        break;
+      case TraceEventKind::kCounter:
+        std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%lld}",
+                      static_cast<long long>(ev.a));
+        json += buf;
+        break;
+    }
+    json += '}';
+    emit(ev.ts, std::move(json));
+  }
+
+  // Spans live outside the ring, so begin/end always export as a matched
+  // pair no matter how long the run wrapped the ring. Spans still open at
+  // export (e.g. a DC that never left timestamp mode) get a synthetic close
+  // at the last observed timestamp.
+  auto emit_span = [&emit, &buf](uint32_t track, const char* name, SimTime ts,
+                                 const char* ph) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"%s\",\"pid\":1,\"tid\":%u,\"ts\":%lld,\"name\":\"", ph,
+                  track, static_cast<long long>(ts));
+    std::string json = buf;
+    json += EscapeJson(name);
+    std::snprintf(buf, sizeof(buf), "\",\"cat\":\"span\",\"id\":%u}", track);
+    json += buf;
+    emit(ts, std::move(json));
+  };
+  for (const CompletedSpan& span : completed_spans_) {
+    emit_span(span.track, span.name, span.begin_ts, "b");
+    emit_span(span.track, span.name, span.end_ts, "e");
+  }
+  for (const OpenSpan& span : open_spans_) {
+    emit_span(span.track, span.name, span.begin_ts, "b");
+    emit_span(span.track, span.name, std::max(span.begin_ts, last_ts_), "e");
+  }
+
+  // Label journeys: one dur=1 slice per hop, stitched with a flow
+  // (start/step/finish) across tracks for journeys with at least two hops.
+  for (const Journey& j : journeys_) {
+    for (size_t h = 0; h < j.hops.size(); ++h) {
+      const HopRecord& hop = j.hops[h];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%lld,\"dur\":1,"
+                    "\"name\":\"%s\",\"args\":{\"uid\":%llu,\"label_ts\":%lld}}",
+                    hop.track, static_cast<long long>(hop.ts),
+                    HopKindName(hop.kind), static_cast<unsigned long long>(j.uid),
+                    static_cast<long long>(j.label_ts));
+      emit(hop.ts, buf);
+      if (j.hops.size() < 2) {
+        continue;
+      }
+      const char* ph = h == 0 ? "s" : (h + 1 == j.hops.size() ? "f" : "t");
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"%s\",\"pid\":1,\"tid\":%u,\"ts\":%lld,"
+                    "\"cat\":\"journey\",\"id\":%llu,\"name\":\"label\"%s}",
+                    ph, hop.track, static_cast<long long>(hop.ts),
+                    static_cast<unsigned long long>(j.uid),
+                    std::strcmp(ph, "f") == 0 ? ",\"bp\":\"e\"" : "");
+      emit(hop.ts, buf);
+    }
+  }
+
+  std::sort(records.begin(), records.end(),
+            [](const ExportRecord& x, const ExportRecord& y) {
+              return x.ts != y.ts ? x.ts < y.ts : x.seq < y.seq;
+            });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  // Metadata first: process name plus one named thread per track.
+  out += "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"saturn-sim\"}}";
+  for (uint32_t t = 0; t < tracks_.size(); ++t) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":\"thread_name\","
+                  "\"args\":{\"name\":\"",
+                  t);
+    out += buf;
+    out += EscapeJson(tracks_[t].c_str());
+    out += "\"}}";
+  }
+  for (const ExportRecord& rec : records) {
+    out += ",\n";
+    out += rec.json;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace saturn::obs

@@ -1,0 +1,192 @@
+// Deterministic trace recorder: ring-buffered structured events with sim-time
+// timestamps, exported as Chrome trace-event JSON (loadable in Perfetto).
+//
+// Design constraints, in priority order:
+//  1. Zero cost when disabled. Instrumented components hold a raw
+//     `TraceRecorder*` that is null unless tracing was requested; every hook
+//     is a single pointer test on the hot path. When the pointer is null the
+//     simulation is bit-for-bit identical to an untraced build.
+//  2. Never perturb the simulation. The recorder only *observes*: it never
+//     schedules simulator events, never calls back into the components, and
+//     timestamps everything with the caller-provided current sim time. The
+//     executed-event fingerprint is therefore identical with tracing on or
+//     off by construction (enforced by tests/trace_test.cc).
+//  3. Bounded memory. Events land in a preallocated ring (oldest dropped,
+//     drop count reported); label journeys are capped at a fixed store size
+//     with deterministic uid sampling.
+//
+// Event names and details are static strings (string literals owned by the
+// caller); the recorder stores only pointers, so recording an event is a few
+// word writes into the ring.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/flat_map.h"
+#include "src/common/types.h"
+
+namespace saturn::obs {
+
+struct TraceConfig {
+  bool enabled = false;
+  // Events retained; older events are dropped (and counted) once full.
+  size_t ring_capacity = 1u << 16;
+  // A label journey is recorded when uid % journey_sample_every == 0.
+  // Request ids are dense per client, so this samples uniformly and
+  // deterministically across clients. 1 = every label.
+  uint64_t journey_sample_every = 8;
+  // Journey store bound; once full, new uids are not admitted (existing
+  // journeys keep accumulating hops).
+  size_t max_journeys = 4096;
+};
+
+enum class TraceEventKind : uint8_t {
+  kInstant,    // phase "i": point event on a track
+  kHop,        // phase "X" with dur=1: a unit of work on a track
+  kSpanBegin,  // phase "b": async span open (unused in the ring; see spans)
+  kSpanEnd,    // phase "e": async span close (unused in the ring; see spans)
+  kCounter,    // phase "C": sampled counter value
+};
+
+// POD ring slot. `name` and `detail` must be string literals (or otherwise
+// outlive the recorder); `uid`/`a`/`b` are free-form arguments surfaced in
+// the exported JSON.
+struct TraceEvent {
+  SimTime ts = 0;
+  uint32_t track = 0;
+  TraceEventKind kind = TraceEventKind::kInstant;
+  const char* name = nullptr;
+  const char* detail = nullptr;
+  uint64_t uid = 0;
+  int64_t a = 0;
+  int64_t b = 0;
+};
+
+// The stations a sampled label passes through, frontend write to remote
+// visibility. One journey accumulates hops from every node it touches.
+enum class HopKind : uint8_t {
+  kCommit = 0,        // gear completion assigned the label (origin DC)
+  kSink = 1,          // origin DC forwarded the label into its tree sink
+  kSerializer = 2,    // an internal serializer routed the label
+  kStreamArrive = 3,  // the label's stream envelope reached a remote DC
+  kBuffered = 4,      // remote payload buffered awaiting stability
+  kVisible = 5,       // update became visible at a remote DC
+};
+
+const char* HopKindName(HopKind kind);
+
+struct HopRecord {
+  SimTime ts = 0;
+  HopKind kind = HopKind::kCommit;
+  uint32_t track = 0;
+};
+
+struct Journey {
+  uint64_t uid = 0;
+  int64_t label_ts = 0;
+  SourceId src = 0;
+  std::vector<HopRecord> hops;
+
+  // Wall-to-wall sim time from the first to the last recorded hop.
+  SimTime TotalLatency() const {
+    return hops.empty() ? 0 : hops.back().ts - hops.front().ts;
+  }
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(const TraceConfig& config);
+
+  // Tracks are registered once, at cluster construction, in a deterministic
+  // order; the returned id doubles as the Chrome trace `tid`.
+  uint32_t RegisterTrack(std::string name);
+  const std::string& TrackName(uint32_t track) const { return tracks_[track]; }
+  size_t track_count() const { return tracks_.size(); }
+
+  // --- Recording (hot path when tracing is enabled) ---
+  void Instant(SimTime now, uint32_t track, const char* name,
+               const char* detail = nullptr, int64_t a = 0, int64_t b = 0);
+  void Hop(SimTime now, uint32_t track, const char* name, uint64_t uid = 0,
+           int64_t a = 0, int64_t b = 0);
+  void Counter(SimTime now, uint32_t track, const char* name, int64_t value);
+  // Async spans keyed by (track, name): one open span per key (re-entrant
+  // begins are counted but not nested). Spans are stored outside the ring —
+  // they are rare (mode transitions) but must always export as matched
+  // begin/end pairs, which ring eviction cannot guarantee. Spans left open at
+  // export time get a synthetic close at the last observed timestamp.
+  void SpanBegin(SimTime now, uint32_t track, const char* name);
+  void SpanEnd(SimTime now, uint32_t track, const char* name);
+
+  // --- Label journeys ---
+  // True when `uid` is in the deterministic sample. Callers gate journey
+  // hops on this to skip the map lookup for unsampled labels.
+  bool WantJourney(uint64_t uid) const {
+    return uid != 0 && uid % config_.journey_sample_every == 0;
+  }
+  // Records a hop. A journey is created only by its kCommit hop (which
+  // carries the label identity); later hops for unknown uids are ignored, so
+  // journeys always start at the frontend write.
+  void JourneyHop(SimTime now, uint64_t uid, HopKind kind, uint32_t track,
+                  int64_t label_ts = 0, SourceId src = 0);
+
+  const std::vector<Journey>& journeys() const { return journeys_; }
+
+  // Journeys sorted by descending total latency (ties by uid) — the
+  // slowest-updates drill-down behind `saturn_sim --trace-label`.
+  std::vector<const Journey*> SlowestJourneys(size_t n) const;
+
+  // Human-readable hop-by-hop breakdown of the `n` slowest journeys.
+  std::string JourneyReport(size_t n) const;
+
+  // --- Export ---
+  // Chrome trace-event JSON: {"displayTimeUnit":"ms","traceEvents":[...]}.
+  // Events are emitted in nondecreasing-timestamp order (metadata first);
+  // journeys become flow events ("s"/"t"/"f") stitched across tracks plus a
+  // dur=1 slice per hop. Deterministic: same run, same bytes.
+  std::string ExportJson() const;
+
+  uint64_t events_recorded() const { return recorded_; }
+  uint64_t events_dropped() const { return dropped_; }
+  size_t events_retained() const { return size_; }
+
+ private:
+  void Push(const TraceEvent& ev);
+
+  TraceConfig config_;
+  std::vector<std::string> tracks_;
+
+  std::vector<TraceEvent> ring_;  // preallocated, capacity config_.ring_capacity
+  size_t head_ = 0;               // next write slot
+  size_t size_ = 0;               // events currently retained
+  uint64_t recorded_ = 0;
+  uint64_t dropped_ = 0;
+  SimTime last_ts_ = 0;  // max timestamp seen; closes dangling spans at export
+
+  // (track, name-pointer) -> open-span state. Cold: spans are rare
+  // (timestamp-mode episodes), so a small vector scan is fine.
+  struct OpenSpan {
+    uint32_t track;
+    const char* name;
+    SimTime begin_ts;
+    int depth;
+  };
+  std::vector<OpenSpan> open_spans_;
+  struct CompletedSpan {
+    uint32_t track;
+    const char* name;
+    SimTime begin_ts;
+    SimTime end_ts;
+  };
+  std::vector<CompletedSpan> completed_spans_;
+
+  FlatMap<uint64_t, uint32_t> journey_index_;  // uid -> index into journeys_
+  std::vector<Journey> journeys_;
+};
+
+}  // namespace saturn::obs
+
+#endif  // SRC_OBS_TRACE_H_

@@ -1,8 +1,21 @@
 #include "src/runtime/cluster.h"
 
 #include <algorithm>
+#include <string>
 
 namespace saturn {
+namespace {
+
+// Region short name for EC2 sites, generic fallback for synthetic ones (test
+// topologies use site ids past Table 1's seven regions).
+std::string SiteName(SiteId site) {
+  if (site < kNumEc2Regions) {
+    return Ec2RegionName(site);
+  }
+  return "site" + std::to_string(site);
+}
+
+}  // namespace
 
 const char* ProtocolName(Protocol protocol) {
   switch (protocol) {
@@ -45,7 +58,19 @@ Cluster::Cluster(ClusterConfig config, ReplicaMap replicas, std::vector<DcId> cl
   SAT_CHECK(n >= 1);
   SAT_CHECK(replicas_.num_dcs() == n);
 
+  // Trace recorder first: every later component takes a raw pointer, and
+  // track registration order (sim, net, DCs in id order, then serializers in
+  // DeployTree order) fixes the track ids, so exported traces are
+  // deterministic for a given configuration.
+  if (config_.trace.enabled) {
+    trace_ = std::make_unique<obs::TraceRecorder>(config_.trace);
+    sim_.set_trace(trace_.get(), trace_->RegisterTrack("sim"));
+  }
+
   net_ = std::make_unique<Network>(&sim_, config_.latencies, config_.net);
+  if (trace_ != nullptr) {
+    net_->SetTrace(trace_.get(), trace_->RegisterTrack("net"));
+  }
   metrics_ = std::make_unique<Metrics>(n);
   if (config_.enable_oracle) {
     oracle_ = std::make_unique<CausalityOracle>(n, static_cast<uint32_t>(client_homes.size()));
@@ -86,6 +111,11 @@ Cluster::Cluster(ClusterConfig config, ReplicaMap replicas, std::vector<DcId> cl
         break;
     }
     net_->Attach(dc.get(), config_.dc_sites[id]);
+    if (trace_ != nullptr) {
+      std::string track_name =
+          "dc" + std::to_string(id) + ":" + SiteName(config_.dc_sites[id]);
+      dc->SetTrace(trace_.get(), trace_->RegisterTrack(std::move(track_name)));
+    }
     datacenters_.push_back(std::move(dc));
   }
   for (DcId a = 0; a < n; ++a) {
@@ -118,6 +148,9 @@ Cluster::Cluster(ClusterConfig config, ReplicaMap replicas, std::vector<DcId> cl
       }
     }
     metadata_ = std::make_unique<MetadataService>(&sim_, net_.get(), saturn_dcs);
+    if (trace_ != nullptr) {
+      metadata_->SetTrace(trace_.get(), SiteName);
+    }
     metadata_->DeployTree(/*epoch=*/0, tree_, config_.chain_replicas);
   }
 
@@ -176,9 +209,100 @@ void Cluster::InstallFaultPlan(const FaultPlan& plan) {
   injector_ = std::make_unique<FaultInjector>(&sim_, plan, std::move(targets));
   // The injector exchanges no messages; attachment just gives it a node id.
   net_->Attach(injector_.get(), config_.dc_sites[0]);
+  if (trace_ != nullptr) {
+    injector_->SetTrace(trace_.get(), trace_->RegisterTrack("faults"));
+  }
 }
 
 void Cluster::StopClientsAt(SimTime when) { stop_clients_at_ = when; }
+
+obs::MetricsRegistry& Cluster::metrics_registry() {
+  if (registry_ == nullptr) {
+    BuildMetricsRegistry();
+  }
+  return *registry_;
+}
+
+void Cluster::BuildMetricsRegistry() {
+  registry_ = std::make_unique<obs::MetricsRegistry>();
+  obs::MetricsRegistry& reg = *registry_;
+
+  // Network plane. Getter lambdas read the owners' live counters, so one
+  // registry serves any number of snapshots and the owners keep their plain
+  // (allocation-free) counters on the hot path.
+  Network* net = net_.get();
+  reg.AddScalar("net.messages_sent", [net] { return static_cast<int64_t>(net->messages_sent()); });
+  reg.AddScalar("net.bytes_sent", [net] { return static_cast<int64_t>(net->bytes_sent()); });
+  reg.AddScalar("net.dropped_on_cut",
+                [net] { return static_cast<int64_t>(net->dropped_on_cut()); });
+  reg.AddScalar("net.dropped_overflow",
+                [net] { return static_cast<int64_t>(net->dropped_overflow()); });
+  reg.AddScalar("net.dropped_node_down",
+                [net] { return static_cast<int64_t>(net->dropped_node_down()); });
+  reg.AddScalar("net.messages_dropped",
+                [net] { return static_cast<int64_t>(net->messages_dropped()); });
+
+  Metrics* metrics = metrics_.get();
+  reg.AddScalar("ops.completed",
+                [metrics] { return static_cast<int64_t>(metrics->completed_ops()); });
+
+  // Degraded-mode accounting per datacenter (Saturn only: the fallback
+  // machinery exists only there, and names absent from the registry read as
+  // zero through MetricsSnapshot::Scalar).
+  const bool saturn_like = config_.protocol == Protocol::kSaturn ||
+                           config_.protocol == Protocol::kSaturnTimestamp;
+  for (DcId id = 0; id < num_dcs(); ++id) {
+    std::string prefix = "dc" + std::to_string(id) + ".";
+    reg.AddScalar(prefix + "fallback_entries",
+                  [metrics, id] { return static_cast<int64_t>(metrics->FallbackEntries(id)); });
+    reg.AddScalar(prefix + "fallback_exits",
+                  [metrics, id] { return static_cast<int64_t>(metrics->FallbackExits(id)); });
+    reg.AddScalar(prefix + "ts_mode_time_us", [this, metrics, id] {
+      return static_cast<int64_t>(metrics->TimestampModeTime(id, sim_.Now()));
+    });
+    if (saturn_like) {
+      SaturnDc* sdc = saturn_dc(id);
+      reg.AddScalar(prefix + "in_timestamp_mode",
+                    [sdc] { return sdc->in_timestamp_mode() ? int64_t{1} : int64_t{0}; });
+      reg.AddScalar(prefix + "link_retransmissions",
+                    [sdc] { return static_cast<int64_t>(sdc->link_retransmissions()); });
+    }
+  }
+
+  // Serializer tree totals, summed over every deployed epoch. AllSerializers
+  // is resolved at snapshot time, so trees deployed after the registry was
+  // built (backup epochs) are still counted.
+  if (metadata_ != nullptr) {
+    MetadataService* metadata = metadata_.get();
+    reg.AddScalar("tree.labels_routed", [metadata] {
+      int64_t total = 0;
+      for (Serializer* s : metadata->AllSerializers()) {
+        total += static_cast<int64_t>(s->routed());
+      }
+      return total;
+    });
+    reg.AddScalar("tree.link_retransmissions", [metadata] {
+      int64_t total = 0;
+      for (Serializer* s : metadata->AllSerializers()) {
+        total += static_cast<int64_t>(s->link_retransmissions());
+      }
+      return total;
+    });
+  }
+
+  if (trace_ != nullptr) {
+    obs::TraceRecorder* trace = trace_.get();
+    reg.AddScalar("trace.events_recorded",
+                  [trace] { return static_cast<int64_t>(trace->events_recorded()); });
+    reg.AddScalar("trace.events_dropped",
+                  [trace] { return static_cast<int64_t>(trace->events_dropped()); });
+  }
+
+  reg.AddHistogram("visibility.all", &metrics_->AllVisibility());
+  reg.AddHistogram("op_latency", &metrics_->OpLatency());
+  reg.AddHistogram("attach_latency", &metrics_->AttachLatency());
+  reg.AddHistogram("failover_latency", &metrics_->FailoverLatency());
+}
 
 SaturnDc* Cluster::saturn_dc(DcId id) {
   SAT_CHECK(config_.protocol == Protocol::kSaturn ||

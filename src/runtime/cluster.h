@@ -18,6 +18,8 @@
 #include "src/core/oracle.h"
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_plan.h"
+#include "src/obs/metrics_registry.h"
+#include "src/obs/trace.h"
 #include "src/runtime/regions.h"
 #include "src/saturn/config_generator.h"
 #include "src/saturn/metadata_service.h"
@@ -64,6 +66,11 @@ struct ClusterConfig {
 
   bool enable_oracle = false;
   uint64_t seed = 42;
+
+  // Observability: with trace.enabled the cluster owns a TraceRecorder and
+  // threads it through every component. Tracing never schedules simulator
+  // events, so enabling it cannot change the executed-event fingerprint.
+  obs::TraceConfig trace;
 };
 
 // Builds the op generator of one client. Invoked with the *cluster's* replica
@@ -124,11 +131,24 @@ class Cluster {
   SaturnDc* saturn_dc(DcId id);
   const std::vector<std::unique_ptr<Client>>& clients() const { return clients_; }
 
+  // Null unless config.trace.enabled.
+  obs::TraceRecorder* trace() { return trace_.get(); }
+
+  // Unified run metrics: every counter and histogram of the run, by name.
+  // Built lazily on first use (getter registration resolves values at
+  // Snapshot time), so runs that never snapshot pay nothing — not even the
+  // registration allocations.
+  obs::MetricsRegistry& metrics_registry();
+
   ExperimentResult Result() const;
 
  private:
+  void BuildMetricsRegistry();
+
   ClusterConfig config_;
   ReplicaMap replicas_;
+  std::unique_ptr<obs::TraceRecorder> trace_;  // created before any actor
+  std::unique_ptr<obs::MetricsRegistry> registry_;
   Simulator sim_;
   std::unique_ptr<Network> net_;
   std::unique_ptr<Metrics> metrics_;

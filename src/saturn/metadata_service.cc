@@ -24,6 +24,15 @@ void MetadataService::DeployTree(uint32_t epoch, const TreeTopology& topology,
     }
     auto serializer = std::make_unique<Serializer>(sim_, net_, nodes[i].site, chain_replicas);
     net_->Attach(serializer.get(), nodes[i].site);
+    if (trace_ != nullptr) {
+      // Serializers are created in topology node order, so track ids (and
+      // therefore the exported JSON) are deterministic for a given config.
+      std::string site_name = site_namer_ != nullptr
+                                  ? site_namer_(nodes[i].site)
+                                  : "site" + std::to_string(nodes[i].site);
+      serializer->SetTrace(trace_, trace_->RegisterTrack("ser:e" + std::to_string(epoch) +
+                                                         ":" + site_name));
+    }
     by_topology_node[i] = serializer.get();
     deployment.serializers.push_back(std::move(serializer));
   }
@@ -97,6 +106,16 @@ std::vector<Serializer*> MetadataService::SerializersOf(uint32_t epoch) {
       for (auto& s : deployment.serializers) {
         out.push_back(s.get());
       }
+    }
+  }
+  return out;
+}
+
+std::vector<Serializer*> MetadataService::AllSerializers() {
+  std::vector<Serializer*> out;
+  for (auto& deployment : deployments_) {
+    for (auto& s : deployment.serializers) {
+      out.push_back(s.get());
     }
   }
   return out;

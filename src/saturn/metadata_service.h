@@ -4,7 +4,9 @@
 #ifndef SRC_SATURN_METADATA_SERVICE_H_
 #define SRC_SATURN_METADATA_SERVICE_H_
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/saturn/saturn_dc.h"
@@ -17,6 +19,16 @@ class MetadataService {
  public:
   MetadataService(Simulator* sim, Network* net, std::vector<SaturnDc*> datacenters)
       : sim_(sim), net_(net), datacenters_(std::move(datacenters)) {}
+
+  // Observation only: serializers deployed from now on get their own trace
+  // track (named "ser:e<epoch>:<site>"). Must be set before DeployTree for
+  // the epoch to be traced; `site_namer` is optional and defaults to the
+  // numeric site id.
+  void SetTrace(obs::TraceRecorder* trace,
+                std::function<std::string(SiteId)> site_namer = nullptr) {
+    trace_ = trace;
+    site_namer_ = std::move(site_namer);
+  }
 
   // Deploys `topology` as epoch `epoch`: creates one (chain-replicated)
   // serializer per internal node and attaches every datacenter leaf. The
@@ -35,6 +47,9 @@ class MetadataService {
   // Serializers of one epoch, in topology internal-node order.
   std::vector<Serializer*> SerializersOf(uint32_t epoch);
 
+  // Every deployed serializer, in (deployment, topology internal-node) order.
+  std::vector<Serializer*> AllSerializers();
+
  private:
   struct Deployment {
     uint32_t epoch = 0;
@@ -45,6 +60,8 @@ class MetadataService {
   Network* net_;
   std::vector<SaturnDc*> datacenters_;
   std::vector<Deployment> deployments_;
+  obs::TraceRecorder* trace_ = nullptr;
+  std::function<std::string(SiteId)> site_namer_;
 };
 
 }  // namespace saturn

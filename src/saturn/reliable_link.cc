@@ -131,6 +131,10 @@ void ReliableLinks::Tick() {
     out.unacked.ForEach([&](uint64_t seq, OutEntry& entry) {
       if (now - entry.sent_at >= rto) {
         ++retransmissions_;
+        if (trace_ != nullptr) {
+          trace_->Instant(now, trace_track_, "link.retransmit", nullptr, to,
+                          static_cast<int64_t>(seq));
+        }
         Transmit(to, channel, seq);
       }
     });

@@ -63,6 +63,13 @@ class ReliableLinks {
 
   uint64_t retransmissions() const { return retransmissions_; }
 
+  // Observation only: RTO retransmissions are recorded onto the owner's
+  // trace track. Null disables; nothing else changes.
+  void SetTrace(obs::TraceRecorder* trace, uint32_t track) {
+    trace_ = trace;
+    trace_track_ = track;
+  }
+
  private:
   // Sent but not yet cumulatively acked. Sequence numbers are dense and acks
   // retire prefixes, so the live set is a contiguous window (see seq_window.h).
@@ -97,6 +104,8 @@ class ReliableLinks {
   std::map<NodeId, InChannel> in_;
   LazyTimer tick_;
   uint64_t retransmissions_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
+  uint32_t trace_track_ = 0;
 };
 
 }  // namespace saturn

@@ -89,6 +89,9 @@ void SaturnDc::EnterTimestampMode() {
   if (metrics_ != nullptr) {
     metrics_->RecordFallbackEnter(config_.id, sim_->Now());
   }
+  if (trace_ != nullptr) {
+    trace_->SpanBegin(sim_->Now(), trace_track_, "timestamp-mode");
+  }
   TimestampDrain();
 }
 
@@ -101,6 +104,9 @@ void SaturnDc::ExitTimestampMode() {
   if (metrics_ != nullptr) {
     metrics_->RecordFallbackExit(config_.id, sim_->Now());
     metrics_->RecordFailoverLatency(sim_->Now() - outage_started_);
+  }
+  if (trace_ != nullptr) {
+    trace_->SpanEnd(sim_->Now(), trace_track_, "timestamp-mode");
   }
 }
 
@@ -135,6 +141,14 @@ void SaturnDc::FlushSink() {
     for (const auto& env : sink_) {
       auto it = tree_neighbor_.find(env.epoch);
       SAT_CHECK_MSG(it != tree_neighbor_.end(), "no tree for epoch %u", env.epoch);
+      if (trace_ != nullptr) {
+        trace_->Hop(sim_->Now(), trace_track_, "sink.forward", env.label.uid,
+                    env.label.ts, env.epoch);
+        if (env.label.type == LabelType::kUpdate && trace_->WantJourney(env.label.uid)) {
+          trace_->JourneyHop(sim_->Now(), env.label.uid, obs::HopKind::kSink,
+                             trace_track_);
+        }
+      }
       links_.Send(it->second, env);
     }
     sink_.clear();
@@ -203,6 +217,12 @@ void SaturnDc::OnStreamEnvelope(NodeId from, const LabelEnvelope& env) {
   const Label& l = env.label;
   if (l.origin_dc() < num_dcs_) {
     last_label_seen_[l.origin_dc()] = sim_->Now();
+  }
+  if (trace_ != nullptr && l.type != LabelType::kHeartbeat) {
+    trace_->Hop(sim_->Now(), trace_track_, "stream.arrive", l.uid, l.ts, env.epoch);
+    if (l.type == LabelType::kUpdate && trace_->WantJourney(l.uid)) {
+      trace_->JourneyHop(sim_->Now(), l.uid, obs::HopKind::kStreamArrive, trace_track_);
+    }
   }
   if (env.epoch == epoch_ && !failover_pending_) {
     stream_.push_back(env);
@@ -466,6 +486,14 @@ void SaturnDc::OnRemotePayload(const RemotePayload& payload) {
   } else {
     pending_.insert(pos, payload);
   }
+  if (trace_ != nullptr) {
+    trace_->Hop(sim_->Now(), trace_track_, "payload.buffered", payload.label.uid,
+                payload.label.ts, payload.label.origin_dc());
+    if (trace_->WantJourney(payload.label.uid)) {
+      trace_->JourneyHop(sim_->Now(), payload.label.uid, obs::HopKind::kBuffered,
+                         trace_track_);
+    }
+  }
   // Drain by timestamp stability *before* pumping the stream: the arriving
   // payload may have advanced stability (NoteBulkProgress above), and attach
   // waiters -- re-checked by both drains -- must only complete after every
@@ -633,6 +661,10 @@ void SaturnDc::BeginFailoverSwitch(uint32_t new_epoch) {
     return;  // already failing over (detector racing an operator / gossip)
   }
   EnterTimestampMode();  // no-op if the fallback watchdog already fired
+  if (trace_ != nullptr) {
+    trace_->Instant(sim_->Now(), trace_track_, "failover.switch", nullptr, epoch_,
+                    new_epoch);
+  }
   failover_pending_ = true;
   next_epoch_ = new_epoch;
   emit_epoch_ = new_epoch;
@@ -687,6 +719,9 @@ void SaturnDc::MaybeResumeAfterFailover() {
   epoch_ = next_epoch_;
   failover_change_seen_ = DcSet();
   failover_fence_ = -1;
+  if (trace_ != nullptr) {
+    trace_->Instant(sim_->Now(), trace_track_, "failover.resume", nullptr, epoch_, 0);
+  }
   ExitTimestampMode();
   stream_ = std::move(buffered_next_epoch_);
   buffered_next_epoch_.clear();

@@ -71,6 +71,13 @@ class SaturnDc : public DatacenterBase {
   void set_failover_grace(SimTime t) { failover_grace_ = t; }
   void set_auto_failover(bool enabled) { auto_failover_ = enabled; }
 
+  void SetTrace(obs::TraceRecorder* trace, uint32_t track) override {
+    DatacenterBase::SetTrace(trace, track);
+    links_.SetTrace(trace, track);  // retransmits show on this DC's track
+  }
+
+  uint64_t link_retransmissions() const { return links_.retransmissions(); }
+
  protected:
   void HandleAttach(NodeId from, const ClientRequest& req) override;
   void HandleMigrate(NodeId from, const ClientRequest& req) override;

@@ -144,6 +144,14 @@ void Serializer::Commit(const ChainForward& fwd) {
 
 void Serializer::Route(const LabelEnvelope& env, NodeId ingress) {
   ++routed_;
+  if (trace_ != nullptr && env.label.type != LabelType::kHeartbeat) {
+    trace_->Hop(sim_->Now(), trace_track_, "route", env.label.uid, env.label.ts,
+                ingress);
+    if (env.label.type == LabelType::kUpdate && trace_->WantJourney(env.label.uid)) {
+      trace_->JourneyHop(sim_->Now(), env.label.uid, obs::HopKind::kSerializer,
+                         trace_track_);
+    }
+  }
   for (const auto& link : links_) {
     if (link.peer == ingress) {
       continue;  // never send a label back where it came from

@@ -85,7 +85,16 @@ class Serializer : public Actor {
   bool Alive() const;
   uint32_t live_replicas() const;
   uint64_t routed() const { return routed_; }
+  uint64_t link_retransmissions() const { return channels_.retransmissions(); }
   SiteId site() const { return site_; }
+
+  // Observation only: routing decisions (and link retransmits) are recorded
+  // onto `track`, plus journey hops for sampled update labels. Null disables.
+  void SetTrace(obs::TraceRecorder* trace, uint32_t track) {
+    trace_ = trace;
+    trace_track_ = track;
+    channels_.SetTrace(trace, track);
+  }
 
  private:
   void EnqueueThroughChain(const LabelEnvelope& env, NodeId ingress);
@@ -109,6 +118,8 @@ class Serializer : public Actor {
   SeqWindow<ChainForward> unacked_;
   FlatMap<uint64_t, ChainForward> out_of_order_;  // committed ahead of a gap
   uint64_t routed_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
+  uint32_t trace_track_ = 0;
 };
 
 }  // namespace saturn

@@ -18,6 +18,9 @@ void Network::Send(NodeId from, NodeId to, Message msg) {
   if (nodes_[from].down) {
     // A crashed node produces nothing: the send never leaves the machine.
     ++dropped_node_down_;
+    if (trace_ != nullptr) {
+      trace_->Instant(sim_->Now(), trace_track_, "net.drop", "sender_down", from, to);
+    }
     return;
   }
   SiteId sa = nodes_[from].site;
@@ -26,11 +29,18 @@ void Network::Send(NodeId from, NodeId to, Message msg) {
   if (LinkState* link = links_.Find(SitePair(sa, sb)); link != nullptr && link->down) {
     if (link->drop) {
       ++dropped_on_cut_;
+      if (trace_ != nullptr) {
+        trace_->Instant(sim_->Now(), trace_track_, "net.drop", "link_cut", from, to);
+      }
       return;
     }
     if (config_.down_buffer_cap > 0 && link->buffer.size() >= config_.down_buffer_cap) {
       link->buffer.pop_front();  // drop-oldest
       ++dropped_overflow_;
+      if (trace_ != nullptr) {
+        trace_->Instant(sim_->Now(), trace_track_, "net.drop", "buffer_overflow", from,
+                        to);
+      }
     }
     link->buffer.push_back(BufferedSend{from, to, std::move(msg)});
     return;
@@ -60,6 +70,9 @@ void Network::Deliver(NodeId from, NodeId to, Message msg, SimTime when, uint32_
 
   ++messages_sent_;
   bytes_sent_ += wire_size;
+  if (trace_ != nullptr) {
+    trace_->Hop(sim_->Now(), trace_track_, "net.send", 0, from, to);
+  }
 
   // Fault state is re-checked at delivery time: a lossy cut or a crash landing
   // while the message is in flight loses it (packets on the wire do not
@@ -69,12 +82,21 @@ void Network::Deliver(NodeId from, NodeId to, Message msg, SimTime when, uint32_
   auto task = [this, from, to, m = std::move(msg)]() {
     if (nodes_[to].down) {
       ++dropped_node_down_;
+      if (trace_ != nullptr) {
+        trace_->Instant(sim_->Now(), trace_track_, "net.drop", "receiver_down", from, to);
+      }
       return;
     }
     const LinkState* link = links_.Find(SitePair(nodes_[from].site, nodes_[to].site));
     if (link != nullptr && link->down && link->drop) {
       ++dropped_on_cut_;
+      if (trace_ != nullptr) {
+        trace_->Instant(sim_->Now(), trace_track_, "net.drop", "lost_in_flight", from, to);
+      }
       return;
+    }
+    if (trace_ != nullptr) {
+      trace_->Hop(sim_->Now(), trace_track_, "net.deliver", 0, from, to);
     }
     nodes_[to].actor->HandleMessage(from, m);
   };

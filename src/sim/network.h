@@ -142,6 +142,14 @@ class Network {
   uint64_t dropped_node_down() const { return dropped_node_down_; }
   Simulator* simulator() { return sim_; }
 
+  // Observation only: sends, deliveries and fault drops are recorded onto
+  // `track`. Null disables (the default); no simulation state changes either
+  // way.
+  void SetTrace(obs::TraceRecorder* trace, uint32_t track) {
+    trace_ = trace;
+    trace_track_ = track;
+  }
+
  private:
   struct NodeInfo {
     Actor* actor = nullptr;
@@ -187,6 +195,8 @@ class Network {
   uint64_t dropped_on_cut_ = 0;
   uint64_t dropped_overflow_ = 0;
   uint64_t dropped_node_down_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
+  uint32_t trace_track_ = 0;
 };
 
 }  // namespace saturn

@@ -19,21 +19,29 @@ class LatencyHistogram {
   void Merge(const LatencyHistogram& other);
   void Reset();
 
+  // Empty-histogram contract (count() == 0, i.e. freshly constructed or
+  // Reset): every statistic below is defined, never a trap or a sentinel.
+  // Mean/min/max/percentiles are 0, CdfPointsMs() is an empty vector (no
+  // (0, NaN) point), and Summary() renders "n=0 mean=0.0ms ...". Callers that
+  // must distinguish "no samples" from "all samples were 0" check count().
   uint64_t count() const { return count_; }
   double MeanUs() const;
   int64_t MinUs() const { return count_ == 0 ? 0 : min_; }
   int64_t MaxUs() const { return count_ == 0 ? 0 : max_; }
 
-  // Value at quantile q in [0, 1]. Returns 0 for an empty histogram.
+  // Value at quantile q (clamped to [0, 1]). Returns 0 for an empty histogram.
   int64_t PercentileUs(double q) const;
 
   double MeanMs() const { return MeanUs() / 1000.0; }
   double PercentileMs(double q) const { return static_cast<double>(PercentileUs(q)) / 1000.0; }
 
   // CDF as (value_ms, cumulative_fraction) points, one per non-empty bucket.
+  // Empty histogram: empty vector, so CSV writers emit no rows rather than a
+  // division-by-zero artifact.
   std::vector<std::pair<double, double>> CdfPointsMs() const;
 
   // One-line summary, e.g. "n=1000 mean=12.3ms p50=11.0ms p90=20.1ms p99=35.2ms".
+  // Empty histogram: "n=0 mean=0.0ms p50=0.0ms p90=0.0ms p99=0.0ms".
   std::string Summary() const;
 
  private:

@@ -13,6 +13,49 @@ TEST(LatencyHistogram, EmptyIsZero) {
   EXPECT_TRUE(h.CdfPointsMs().empty());
 }
 
+// The full empty-histogram contract from the header: every statistic is
+// defined and zero-like, both for a fresh histogram and after Reset, so
+// report writers need no empty special-casing.
+TEST(LatencyHistogram, EmptyContractCoversEveryStatistic) {
+  for (bool after_reset : {false, true}) {
+    LatencyHistogram h;
+    if (after_reset) {
+      h.Record(1234);
+      h.Reset();
+    }
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.MinUs(), 0);
+    EXPECT_EQ(h.MaxUs(), 0);
+    EXPECT_EQ(h.MeanMs(), 0.0);
+    EXPECT_EQ(h.PercentileUs(0.0), 0);
+    EXPECT_EQ(h.PercentileUs(1.0), 0);
+    EXPECT_TRUE(h.CdfPointsMs().empty());
+    EXPECT_EQ(h.Summary(), "n=0 mean=0.0ms p50=0.0ms p90=0.0ms p99=0.0ms");
+  }
+}
+
+TEST(LatencyHistogram, PercentileClampsOutOfRangeQuantiles) {
+  LatencyHistogram h;
+  h.Record(10);
+  h.Record(20);
+  EXPECT_EQ(h.PercentileUs(-0.5), h.PercentileUs(0.0));
+  EXPECT_EQ(h.PercentileUs(1.5), h.PercentileUs(1.0));
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentity) {
+  LatencyHistogram a;
+  a.Record(100);
+  a.Record(2000);
+  LatencyHistogram empty;
+  LatencyHistogram merged = a;
+  merged.Merge(empty);
+  EXPECT_EQ(merged.count(), a.count());
+  EXPECT_EQ(merged.CdfPointsMs(), a.CdfPointsMs());
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), a.count());
+  EXPECT_EQ(empty.CdfPointsMs(), a.CdfPointsMs());
+}
+
 TEST(LatencyHistogram, ExactBelowLinearLimit) {
   LatencyHistogram h;
   for (int64_t v = 0; v < 1000; ++v) {

@@ -1,0 +1,152 @@
+// The metrics registry: getter-based registration, plain-data snapshots,
+// deterministic merge and JSON export, and the cluster's published names.
+#include "src/obs/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tests/test_util.h"
+
+namespace saturn {
+namespace {
+
+TEST(MetricsRegistry, SnapshotReadsLiveValuesSortedByName) {
+  int64_t sent = 0;
+  int64_t dropped = 0;
+  obs::MetricsRegistry registry;
+  registry.AddScalar("net.sent", [&sent] { return sent; });
+  registry.AddScalar("net.dropped", [&dropped] { return dropped; });
+  sent = 7;
+  dropped = 2;
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.scalars.size(), 2u);
+  EXPECT_EQ(snap.scalars[0].first, "net.dropped");  // sorted, not insertion order
+  EXPECT_EQ(snap.scalars[1].first, "net.sent");
+  EXPECT_EQ(snap.Scalar("net.sent"), 7);
+  sent = 100;  // snapshots are copies; later mutation is invisible
+  EXPECT_EQ(snap.Scalar("net.sent"), 7);
+  EXPECT_EQ(registry.Snapshot().Scalar("net.sent"), 100);
+}
+
+TEST(MetricsRegistry, MissingNamesFallBack) {
+  obs::MetricsSnapshot snap;
+  EXPECT_EQ(snap.Scalar("absent"), 0);
+  EXPECT_EQ(snap.Scalar("absent", -1), -1);
+  EXPECT_EQ(snap.Histogram("absent"), nullptr);
+}
+
+TEST(MetricsRegistry, HistogramSnapshotCopies) {
+  LatencyHistogram h;
+  h.Record(1000);
+  obs::MetricsRegistry registry;
+  registry.AddHistogram("vis", &h);
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  const LatencyHistogram* copied = snap.Histogram("vis");
+  ASSERT_NE(copied, nullptr);
+  EXPECT_EQ(copied->count(), 1u);
+  h.Record(2000);  // the live histogram moves on; the snapshot does not
+  EXPECT_EQ(copied->count(), 1u);
+}
+
+TEST(MetricsRegistry, MergeSumsScalarsAndMergesHistograms) {
+  LatencyHistogram ha;
+  ha.Record(100);
+  LatencyHistogram hb;
+  hb.Record(300);
+  obs::MetricsRegistry a;
+  a.AddScalar("shared", [] { return int64_t{3}; });
+  a.AddScalar("only_a", [] { return int64_t{1}; });
+  a.AddHistogram("vis", &ha);
+  obs::MetricsRegistry b;
+  b.AddScalar("shared", [] { return int64_t{4}; });
+  b.AddScalar("only_b", [] { return int64_t{2}; });
+  b.AddHistogram("vis", &hb);
+
+  obs::MetricsSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.Scalar("shared"), 7);
+  EXPECT_EQ(merged.Scalar("only_a"), 1);  // names on either side survive
+  EXPECT_EQ(merged.Scalar("only_b"), 2);
+  const LatencyHistogram* vis = merged.Histogram("vis");
+  ASSERT_NE(vis, nullptr);
+  EXPECT_EQ(vis->count(), 2u);
+  EXPECT_EQ(vis->MaxUs(), 300);
+}
+
+TEST(MetricsRegistry, MergeWithEmptyIsIdentity) {
+  obs::MetricsRegistry a;
+  a.AddScalar("x", [] { return int64_t{5}; });
+  obs::MetricsSnapshot snap = a.Snapshot();
+  snap.Merge(obs::MetricsSnapshot{});
+  EXPECT_EQ(snap.Scalar("x"), 5);
+  obs::MetricsSnapshot empty;
+  empty.Merge(snap);
+  EXPECT_EQ(empty.Scalar("x"), 5);
+}
+
+TEST(MetricsRegistry, JsonIsDeterministicAndStructured) {
+  LatencyHistogram h;
+  h.Record(1500);
+  obs::MetricsRegistry registry;
+  registry.AddScalar("b.two", [] { return int64_t{2}; });
+  registry.AddScalar("a.one", [] { return int64_t{1}; });
+  registry.AddHistogram("vis", &h);
+  std::string json = registry.Snapshot().ToJson();
+  EXPECT_EQ(json, registry.Snapshot().ToJson());
+  EXPECT_NE(json.find("\"scalars\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.one\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"b.two\": 2"), std::string::npos);
+  // Sorted: a.one renders before b.two.
+  EXPECT_LT(json.find("a.one"), json.find("b.two"));
+}
+
+// --- The cluster's published metrics ---------------------------------------
+
+TEST(ClusterMetricsRegistry, PublishesTheExpectedNames) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 2),
+                  SyntheticGenerators(DefaultWorkload()));
+  cluster.Run(Millis(200), Millis(600), Millis(300));
+
+  obs::MetricsSnapshot snap = cluster.metrics_registry().Snapshot();
+  for (const char* name :
+       {"net.messages_sent", "net.bytes_sent", "net.messages_dropped",
+        "ops.completed", "tree.labels_routed", "dc0.fallback_entries",
+        "dc2.in_timestamp_mode"}) {
+    bool found = false;
+    for (const auto& [key, value] : snap.scalars) {
+      if (key == name) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "missing scalar " << name;
+  }
+  EXPECT_NE(snap.Histogram("visibility.all"), nullptr);
+  EXPECT_NE(snap.Histogram("op_latency"), nullptr);
+
+  // The registry reads the same live counters the legacy accessors expose.
+  EXPECT_EQ(snap.Scalar("ops.completed"),
+            static_cast<int64_t>(cluster.metrics().completed_ops()));
+  EXPECT_GT(snap.Scalar("net.messages_sent"), 0);
+  EXPECT_GT(snap.Scalar("tree.labels_routed"), 0);
+  EXPECT_GT(snap.Histogram("visibility.all")->count(), 0u);
+}
+
+TEST(ClusterMetricsRegistry, SnapshotTracksLaterActivity) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  Cluster cluster(config, SmallReplicas(config), UniformClientHomes(3, 2),
+                  SyntheticGenerators(DefaultWorkload()));
+  // Registry built before the run still sees post-run values: getters read
+  // live counters at Snapshot() time.
+  obs::MetricsSnapshot before = cluster.metrics_registry().Snapshot();
+  EXPECT_EQ(before.Scalar("ops.completed"), 0);
+  cluster.Run(Millis(200), Millis(600), Millis(300));
+  obs::MetricsSnapshot after = cluster.metrics_registry().Snapshot();
+  EXPECT_GT(after.Scalar("ops.completed"), 0);
+}
+
+}  // namespace
+}  // namespace saturn

@@ -1,0 +1,212 @@
+// The observability plane's core contract: the trace recorder observes
+// without perturbing. Tracing on vs off must leave the executed-event
+// fingerprint identical, exports must be byte-identical across sweep job
+// counts, and every sampled journey must be a complete, time-ordered path
+// from its frontend commit to remote visibility.
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/runtime/sweep.h"
+#include "src/saturn/topology.h"
+#include "tests/test_util.h"
+
+namespace saturn {
+namespace {
+
+// --- Recorder unit tests ---------------------------------------------------
+
+TEST(TraceRecorder, RingDropsOldestAndCountsDrops) {
+  obs::TraceConfig config;
+  config.ring_capacity = 4;
+  obs::TraceRecorder rec(config);
+  uint32_t track = rec.RegisterTrack("t");
+  for (int i = 0; i < 10; ++i) {
+    rec.Instant(i, track, "tick");
+  }
+  EXPECT_EQ(rec.events_recorded(), 10u);
+  EXPECT_EQ(rec.events_retained(), 4u);
+  EXPECT_EQ(rec.events_dropped(), 6u);
+  // The export holds only the newest four instants (ts 6..9).
+  std::string json = rec.ExportJson();
+  EXPECT_EQ(json.find("\"ts\":5,"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":6,"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":9,"), std::string::npos);
+}
+
+TEST(TraceRecorder, SpansSurviveRingWrapAsMatchedPairs) {
+  obs::TraceConfig config;
+  config.ring_capacity = 2;
+  obs::TraceRecorder rec(config);
+  uint32_t track = rec.RegisterTrack("dc0");
+  rec.SpanBegin(10, track, "timestamp-mode");
+  for (int i = 0; i < 50; ++i) {
+    rec.Instant(20 + i, track, "tick");  // wraps the tiny ring many times
+  }
+  rec.SpanEnd(80, track, "timestamp-mode");
+  std::string json = rec.ExportJson();
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":10,"), std::string::npos);  // begin kept its time
+}
+
+TEST(TraceRecorder, OpenSpanGetsSyntheticCloseAtLastTimestamp) {
+  obs::TraceRecorder rec(obs::TraceConfig{});
+  uint32_t track = rec.RegisterTrack("dc0");
+  rec.SpanBegin(10, track, "timestamp-mode");
+  rec.Instant(99, track, "tick");
+  std::string json = rec.ExportJson();
+  EXPECT_NE(json.find("\"ph\":\"e\",\"pid\":1,\"tid\":0,\"ts\":99"),
+            std::string::npos);
+}
+
+TEST(TraceRecorder, ReentrantSpanBeginsCollapseToOnePair) {
+  obs::TraceRecorder rec(obs::TraceConfig{});
+  uint32_t track = rec.RegisterTrack("dc0");
+  rec.SpanBegin(10, track, "mode");
+  rec.SpanBegin(20, track, "mode");  // nested: counted, not emitted
+  rec.SpanEnd(30, track, "mode");
+  rec.SpanEnd(40, track, "mode");
+  std::string json = rec.ExportJson();
+  size_t first = json.find("\"ph\":\"b\"");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"b\"", first + 1), std::string::npos);
+}
+
+TEST(TraceRecorder, JourneySamplingIsDeterministicByUid) {
+  obs::TraceConfig config;
+  config.journey_sample_every = 8;
+  obs::TraceRecorder rec(config);
+  EXPECT_TRUE(rec.WantJourney(8));
+  EXPECT_TRUE(rec.WantJourney(64));
+  EXPECT_FALSE(rec.WantJourney(9));
+  EXPECT_FALSE(rec.WantJourney(0));  // uid 0 means "no label"
+}
+
+TEST(TraceRecorder, JourneysStartOnlyAtCommit) {
+  obs::TraceRecorder rec(obs::TraceConfig{});
+  uint32_t track = rec.RegisterTrack("dc0");
+  // A hop for an unknown uid that is not a commit is ignored...
+  rec.JourneyHop(5, 8, obs::HopKind::kSerializer, track);
+  EXPECT_TRUE(rec.journeys().empty());
+  // ...but a commit creates the journey and later hops attach to it.
+  rec.JourneyHop(10, 8, obs::HopKind::kCommit, track, /*label_ts=*/42, /*src=*/1);
+  rec.JourneyHop(20, 8, obs::HopKind::kVisible, track);
+  ASSERT_EQ(rec.journeys().size(), 1u);
+  const obs::Journey& j = rec.journeys()[0];
+  EXPECT_EQ(j.uid, 8u);
+  EXPECT_EQ(j.label_ts, 42);
+  ASSERT_EQ(j.hops.size(), 2u);
+  EXPECT_EQ(j.hops[0].kind, obs::HopKind::kCommit);
+  EXPECT_EQ(j.TotalLatency(), 10);
+}
+
+// --- Cluster-level determinism ---------------------------------------------
+
+enum class Scenario { kFull, kPartial, kChaos };
+
+struct TraceRun {
+  uint64_t fingerprint = 0;
+  uint64_t completed_ops = 0;
+  uint64_t events_recorded = 0;
+  std::string trace_json;
+  std::vector<obs::Journey> journeys;
+};
+
+// One small Saturn deployment per scenario: full replication, partial
+// (exponential) replication, and a chaos run that kills the primary tree and
+// fails over to a pre-deployed backup star while a link flaps.
+TraceRun RunScenario(Scenario scenario, bool traced) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  config.trace.enabled = traced;
+  config.trace.journey_sample_every = 4;
+  CorrelationPattern pattern = scenario == Scenario::kPartial
+                                   ? CorrelationPattern::kExponential
+                                   : CorrelationPattern::kFull;
+  Cluster cluster(config, SmallReplicas(config, pattern), UniformClientHomes(3, 4),
+                  SyntheticGenerators(DefaultWorkload()));
+  if (scenario == Scenario::kChaos) {
+    FaultPlan plan;
+    std::string error;
+    EXPECT_TRUE(ParseFaultPlan("500:killtree:0;800:cut:0-1;1100:heal:0-1",
+                               &plan, &error))
+        << error;
+    cluster.InstallFaultPlan(plan);
+    cluster.metadata_service()->DeployTree(
+        1, StarTopology(config.dc_sites, config.dc_sites[1]));
+  }
+  cluster.Run(Millis(300), Millis(1200), Millis(600));
+
+  TraceRun out;
+  out.fingerprint = cluster.sim().executed_events();
+  out.completed_ops = cluster.metrics().completed_ops();
+  if (traced) {
+    out.events_recorded = cluster.trace()->events_recorded();
+    out.trace_json = cluster.trace()->ExportJson();
+    out.journeys = cluster.trace()->journeys();
+  }
+  return out;
+}
+
+TEST(TraceDeterminism, TracingNeverChangesTheFingerprint) {
+  for (Scenario scenario : {Scenario::kFull, Scenario::kPartial, Scenario::kChaos}) {
+    TraceRun off = RunScenario(scenario, /*traced=*/false);
+    TraceRun on = RunScenario(scenario, /*traced=*/true);
+    EXPECT_EQ(off.fingerprint, on.fingerprint)
+        << "scenario " << static_cast<int>(scenario);
+    EXPECT_EQ(off.completed_ops, on.completed_ops)
+        << "scenario " << static_cast<int>(scenario);
+    EXPECT_GT(on.events_recorded, 0u);
+  }
+}
+
+TEST(TraceDeterminism, ExportIsByteIdenticalAcrossJobCounts) {
+  std::vector<Scenario> scenarios = {Scenario::kFull, Scenario::kPartial,
+                                     Scenario::kChaos};
+  auto sweep = [&scenarios](int jobs) {
+    return ParallelSweep(scenarios, jobs, [](Scenario s) {
+      return RunScenario(s, /*traced=*/true).trace_json;
+    });
+  };
+  std::vector<std::string> serial = sweep(1);
+  std::vector<std::string> parallel = sweep(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_FALSE(serial[i].empty()) << "scenario " << i;
+    EXPECT_EQ(serial[i], parallel[i]) << "scenario " << i;
+  }
+}
+
+TEST(TraceDeterminism, SampledJourneysAreCompletePaths) {
+  TraceRun run = RunScenario(Scenario::kFull, /*traced=*/true);
+  ASSERT_FALSE(run.journeys.empty());
+  size_t with_visibility = 0;
+  for (const obs::Journey& j : run.journeys) {
+    ASSERT_FALSE(j.hops.empty());
+    // Journeys always start at the frontend write that assigned the label.
+    EXPECT_EQ(j.hops[0].kind, obs::HopKind::kCommit) << "uid " << j.uid;
+    // Hops are appended at record time, so they are time-ordered.
+    bool serializer_seen = false;
+    for (size_t h = 1; h < j.hops.size(); ++h) {
+      EXPECT_GE(j.hops[h].ts, j.hops[h - 1].ts) << "uid " << j.uid;
+      if (j.hops[h].kind == obs::HopKind::kSerializer) {
+        serializer_seen = true;
+      }
+      if (j.hops[h].kind == obs::HopKind::kVisible) {
+        ++with_visibility;
+        // Under full replication every label crosses the tree before it can
+        // become visible remotely, so visibility implies a serializer hop.
+        EXPECT_TRUE(serializer_seen) << "uid " << j.uid;
+        break;
+      }
+    }
+  }
+  // The workload runs long enough that sampled labels reach remote DCs.
+  EXPECT_GT(with_visibility, 0u);
+}
+
+}  // namespace
+}  // namespace saturn

@@ -25,10 +25,16 @@ demotes it to informational (the escape hatch for a change that knowingly
 trades allocations for something else). Baselines recorded before allocation
 counting simply skip the check.
 
---no-timing disables both timing gates (events/sec and suite wall-clock) and
-keeps only the deterministic ones — fingerprints and allocations. This is the
-mode the ctest allocation-budget check runs in, where machine load must not
-flake the suite.
+When both files carry a "trace_overhead" section (fig5_full run untraced and
+traced at the same scale), the tracing cost is compared too. The candidate's
+on-vs-off fingerprint flag always gates — the trace recorder must only
+observe — while the overhead delta is a timing quantity and obeys
+--no-timing.
+
+--no-timing disables the timing gates (events/sec, suite wall-clock, trace
+overhead) and keeps only the deterministic ones — fingerprints and
+allocations. This is the mode the ctest allocation-budget check runs in,
+where machine load must not flake the suite.
 
 Exit status: 0 = no regression, 1 = events/sec regression beyond the
 threshold (default 5%), a determinism-fingerprint mismatch, an allocs/event
@@ -44,6 +50,10 @@ import sys
 # Allocations are deterministic, so the slack only needs to absorb a genuinely
 # different split of the same work (e.g. one extra rehash), not timing noise.
 ALLOC_THRESHOLD_PCT = 10.0
+
+# Tracing overhead is wall-clock based, so the gate is a generous absolute
+# delta in percentage points over the baseline's overhead.
+TRACE_OVERHEAD_THRESHOLD_PCT = 10.0
 
 
 def load(path):
@@ -152,6 +162,38 @@ def compare_suite(base_suite, cand_suite, threshold_pct, ignore_wallclock):
     return regressed
 
 
+def compare_trace(base_trace, cand_trace, same_scale, no_timing):
+    """Compare trace_overhead sections; returns True on a gating regression.
+
+    The candidate's traced-vs-untraced fingerprint flag always gates: a false
+    means attaching the trace recorder changed simulation behaviour. The
+    overhead delta is a timing quantity: it gates only without --no-timing,
+    and only at the same scale.
+    """
+    regressed = False
+    if cand_trace and not cand_trace.get("fingerprints_identical", True):
+        print("trace: candidate fingerprints DIFFER between traced and untraced "
+              "runs (the recorder perturbed the simulation?)")
+        regressed = True
+    if not base_trace or not cand_trace:
+        return regressed
+    if not same_scale:
+        print(f"{'trace':<12} overhead skipped (different scale)")
+        return regressed
+    b_pct = float(base_trace.get("overhead_pct", 0))
+    c_pct = float(cand_trace.get("overhead_pct", 0))
+    flag = ""
+    if c_pct > b_pct + TRACE_OVERHEAD_THRESHOLD_PCT:
+        if no_timing:
+            flag = "  (worse, ignored by --no-timing)"
+        else:
+            flag = "  << REGRESSION"
+            regressed = True
+    print(f"{'trace':<12} overhead {b_pct:+.2f}% -> {c_pct:+.2f}% "
+          f"(tracing on vs off){flag}")
+    return regressed
+
+
 def main(argv):
     threshold = 5.0
     ignore_wallclock = False
@@ -189,6 +231,8 @@ def main(argv):
         cand_smoke = doc.get("smoke", False)
         base_suite = doc.get("baseline", {}).get("suite_wall_clock")
         cand_suite = doc.get("suite_wall_clock")
+        base_trace = doc.get("baseline", {}).get("trace_overhead")
+        cand_trace = doc.get("trace_overhead")
     elif len(args) == 2:
         base_doc = load(args[0])
         cand_doc = load(args[1])
@@ -198,6 +242,8 @@ def main(argv):
         cand_smoke = cand_doc.get("smoke", False)
         base_suite = base_doc.get("suite_wall_clock")
         cand_suite = cand_doc.get("suite_wall_clock")
+        base_trace = base_doc.get("trace_overhead")
+        cand_trace = cand_doc.get("trace_overhead")
     else:
         print(__doc__, file=sys.stderr)
         return 2
@@ -205,6 +251,7 @@ def main(argv):
     same_scale = base_smoke == cand_smoke
     regressed = compare(base, cand, threshold, same_scale, ignore_allocs, no_timing)
     regressed |= compare_suite(base_suite, cand_suite, threshold, ignore_wallclock)
+    regressed |= compare_trace(base_trace, cand_trace, same_scale, no_timing)
     if regressed:
         print(f"\nFAIL: regression beyond {threshold:.1f}% (allocs: "
               f"{ALLOC_THRESHOLD_PCT:.0f}%) or fingerprint mismatch")

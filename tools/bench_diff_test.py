@@ -43,11 +43,25 @@ def suite(runs=12, jobs=4, serial=8.0, parallel=2.5, fingerprints=True):
     }
 
 
-def doc(workloads, smoke=False, suite_section=None):
+def trace(overhead_pct=5.0, fingerprints=True):
+    return {
+        "workload": "fig5_full",
+        "executed_events": 400000,
+        "events_off_per_sec": 2500000,
+        "events_on_per_sec": 2500000 / (1 + overhead_pct / 100.0),
+        "overhead_pct": overhead_pct,
+        "trace_events_recorded": 700000,
+        "fingerprints_identical": fingerprints,
+    }
+
+
+def doc(workloads, smoke=False, suite_section=None, trace_section=None):
     d = {"harness": "perf_sim", "version": 1, "smoke": smoke,
          "repeat": 1, "workloads": workloads}
     if suite_section is not None:
         d["suite_wall_clock"] = suite_section
+    if trace_section is not None:
+        d["trace_overhead"] = trace_section
     return d
 
 
@@ -223,6 +237,60 @@ class BenchDiffTest(unittest.TestCase):
         code, out = self.run_diff(base, bad_alloc, "--no-timing")
         self.assertEqual(code, 1)
         self.assertIn("ALLOC REGRESSION", out)
+
+    def test_trace_overhead_regression_gates_by_default(self):
+        base = self.write(doc([workload("fig5_full")],
+                              trace_section=trace(overhead_pct=4.0)))
+        cand = self.write(doc([workload("fig5_full")],
+                              trace_section=trace(overhead_pct=25.0)))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 1)
+        self.assertIn("tracing on vs off", out)
+        self.assertIn("REGRESSION", out)
+
+    def test_trace_overhead_within_slack_passes(self):
+        base = self.write(doc([workload("fig5_full")],
+                              trace_section=trace(overhead_pct=4.0)))
+        cand = self.write(doc([workload("fig5_full")],
+                              trace_section=trace(overhead_pct=9.0)))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
+        self.assertIn("tracing on vs off", out)
+
+    def test_trace_overhead_obeys_no_timing(self):
+        base = self.write(doc([workload("fig5_full")],
+                              trace_section=trace(overhead_pct=4.0)))
+        cand = self.write(doc([workload("fig5_full")],
+                              trace_section=trace(overhead_pct=25.0)))
+        code, out = self.run_diff(base, cand, "--no-timing")
+        self.assertEqual(code, 0)
+        self.assertIn("ignored by --no-timing", out)
+
+    def test_trace_fingerprint_failure_always_gates(self):
+        # Even with every timing gate off and no baseline section, a candidate
+        # whose traced run diverged from its untraced run fails the diff.
+        base = self.write(doc([workload("fig5_full")]))
+        cand = self.write(doc([workload("fig5_full")],
+                              trace_section=trace(fingerprints=False)))
+        code, out = self.run_diff(base, cand, "--no-timing")
+        self.assertEqual(code, 1)
+        self.assertIn("DIFFER", out)
+
+    def test_trace_overhead_skipped_across_scales(self):
+        base = self.write(doc([workload("fig5_full")], smoke=True,
+                              trace_section=trace(overhead_pct=4.0)))
+        cand = self.write(doc([workload("fig5_full")], smoke=False,
+                              trace_section=trace(overhead_pct=25.0)))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
+        self.assertIn("overhead skipped (different scale)", out)
+
+    def test_missing_trace_sections_are_fine(self):
+        base = self.write(doc([workload("fig5_full")]))
+        cand = self.write(doc([workload("fig5_full")],
+                              trace_section=trace()))
+        code, _ = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
 
     def test_threshold_tolerates_small_wallclock_noise(self):
         base = self.write(doc([workload("fig5_full")],

@@ -100,7 +100,14 @@ void Usage() {
       "                      CDFs of the per-pair histograms merged across seeds\n"
       "  --jobs=N            sweep worker threads (default: SATURN_JOBS env or\n"
       "                      all hardware threads); results are reported in seed\n"
-      "                      order, so output is identical for every jobs value\n");
+      "                      order, so output is identical for every jobs value\n"
+      "  --trace-out=PATH    record a structured trace and write it as Chrome\n"
+      "                      trace-event JSON (load in Perfetto); single-run only\n"
+      "  --trace-label[=N]   print the slowest N sampled label journeys,\n"
+      "                      hop by hop (5); implies tracing; single-run only\n"
+      "  --trace-ring=N      trace ring-buffer capacity in events (65536)\n"
+      "  --metrics-out=PATH  write every run counter and histogram as JSON;\n"
+      "                      with --seeds the snapshots are merged in seed order\n");
 }
 
 // Everything needed to assemble one cluster, parsed and validated once; the
@@ -116,6 +123,7 @@ struct SimSetup {
   SimTime measure = 0;
   SimTime stop_clients = 0;  // 0 = never
   bool backup = false;
+  bool capture_metrics = false;  // sweep workers snapshot the registry
 };
 
 // Parses flags into a SimSetup. Returns false (with *exit_code set) on bad
@@ -199,6 +207,19 @@ bool BuildSetup(const Flags& flags, SimSetup* setup, int* exit_code) {
   if (flags.Has("stop-clients")) {
     setup->stop_clients = Millis(flags.GetInt("stop-clients", 0));
   }
+
+  if (flags.Has("trace-out") || flags.Has("trace-label")) {
+    if (flags.GetInt("seeds", 1) > 1) {
+      std::fprintf(stderr, "--trace-out/--trace-label are single-run only\n");
+      *exit_code = 2;
+      return false;
+    }
+    config.trace.enabled = true;
+  }
+  if (flags.Has("trace-ring")) {
+    config.trace.ring_capacity = static_cast<size_t>(flags.GetInt("trace-ring", 1 << 16));
+  }
+  setup->capture_metrics = flags.Has("metrics-out");
   return true;
 }
 
@@ -270,25 +291,29 @@ int Run(const Flags& flags, const SimSetup& setup) {
   }
 
   if (cluster.fault_injector() != nullptr) {
+    // Everything printed here is read back out of the unified metrics
+    // registry — the registry getters resolve the same live counters the
+    // owners maintain, so this block is byte-identical to reading them
+    // directly.
+    const obs::MetricsSnapshot snap = cluster.metrics_registry().Snapshot();
     std::printf("\ndegraded-mode metrics:\n");
     std::printf("messages dropped    %10llu\n",
-                static_cast<unsigned long long>(cluster.network().messages_dropped()));
-    SimTime now = cluster.sim().Now();
+                static_cast<unsigned long long>(snap.Scalar("net.messages_dropped")));
     for (DcId dc = 0; dc < dcs; ++dc) {
+      std::string prefix = "dc" + std::to_string(dc) + ".";
       std::printf("%4s fallback entries/exits %u/%u, timestamp-mode time %.1f ms%s\n",
-                  Ec2RegionName(config.dc_sites[dc]), cluster.metrics().FallbackEntries(dc),
-                  cluster.metrics().FallbackExits(dc),
-                  static_cast<double>(cluster.metrics().TimestampModeTime(dc, now)) /
-                      Millis(1),
-                  cluster.saturn_dc(dc) != nullptr &&
-                          cluster.saturn_dc(dc)->in_timestamp_mode()
-                      ? " (still degraded)"
-                      : "");
+                  Ec2RegionName(config.dc_sites[dc]),
+                  static_cast<unsigned>(snap.Scalar(prefix + "fallback_entries")),
+                  static_cast<unsigned>(snap.Scalar(prefix + "fallback_exits")),
+                  static_cast<double>(snap.Scalar(prefix + "ts_mode_time_us")) / Millis(1),
+                  snap.Scalar(prefix + "in_timestamp_mode") != 0 ? " (still degraded)"
+                                                                 : "");
     }
-    if (cluster.metrics().FailoverLatency().count() > 0) {
+    const LatencyHistogram* failover = snap.Histogram("failover_latency");
+    if (failover != nullptr && failover->count() > 0) {
       std::printf("failover latency    %10.1f ms mean over %llu failovers\n",
-                  cluster.metrics().FailoverLatency().MeanMs(),
-                  static_cast<unsigned long long>(cluster.metrics().FailoverLatency().count()));
+                  failover->MeanMs(),
+                  static_cast<unsigned long long>(failover->count()));
     }
     std::printf("fault trace:\n");
     for (const auto& [at, desc] : cluster.fault_injector()->log()) {
@@ -338,6 +363,29 @@ int Run(const Flags& flags, const SimSetup& setup) {
     std::printf("\nwrote CDFs to %s\n", flags.Get("csv", "").c_str());
   }
 
+  if (flags.Has("trace-out")) {
+    std::ofstream out(flags.Get("trace-out", ""));
+    out << cluster.trace()->ExportJson();
+    std::printf("\nwrote trace to %s (%llu events recorded, %llu dropped)\n",
+                flags.Get("trace-out", "").c_str(),
+                static_cast<unsigned long long>(cluster.trace()->events_recorded()),
+                static_cast<unsigned long long>(cluster.trace()->events_dropped()));
+  }
+  if (flags.Has("trace-label")) {
+    // Bare --trace-label parses as "1"; treat anything below 2 as the default
+    // count of 5.
+    long n = flags.GetInt("trace-label", 5);
+    if (n <= 1) {
+      n = 5;
+    }
+    std::printf("\n%s", cluster.trace()->JourneyReport(static_cast<size_t>(n)).c_str());
+  }
+  if (flags.Has("metrics-out")) {
+    std::ofstream out(flags.Get("metrics-out", ""));
+    out << cluster.metrics_registry().Snapshot().ToJson();
+    std::printf("\nwrote metrics to %s\n", flags.Get("metrics-out", "").c_str());
+  }
+
   if (cluster.oracle() != nullptr) {
     if (cluster.fault_injector() != nullptr) {
       auto missing = cluster.oracle()->MissingReplicas();
@@ -370,6 +418,7 @@ struct SeedRun {
   ExperimentResult result;
   LatencyHistogram all_visibility;
   std::vector<LatencyHistogram> pair_visibility;  // dcs*dcs, row-major
+  obs::MetricsSnapshot metrics;  // empty unless --metrics-out
   bool oracle_clean = true;
   std::string first_violation;
 };
@@ -381,6 +430,10 @@ SeedRun RunOneSeed(const SimSetup& base, uint64_t seed) {
   SeedRun run;
   run.seed = seed;
   run.result = cluster->Run(setup.warmup, setup.measure);
+  if (setup.capture_metrics) {
+    // Snapshot before the destructive Take* accessors empty the histograms.
+    run.metrics = cluster->metrics_registry().Snapshot();
+  }
   run.all_visibility = cluster->metrics().TakeAllVisibility();
   run.pair_visibility.reserve(static_cast<size_t>(setup.dcs) * setup.dcs);
   for (DcId from = 0; from < setup.dcs; ++from) {
@@ -461,6 +514,18 @@ int RunSeedSweep(const Flags& flags, const SimSetup& setup, uint64_t num_seeds) 
       }
     }
     std::printf("\nwrote merged CDFs to %s\n", flags.Get("csv", "").c_str());
+  }
+
+  if (flags.Has("metrics-out")) {
+    // Merge order is seed order: byte-identical output for every --jobs
+    // value, same guarantee as the CSV path above.
+    obs::MetricsSnapshot merged_metrics;
+    for (const SeedRun& run : runs) {
+      merged_metrics.Merge(run.metrics);
+    }
+    std::ofstream out(flags.Get("metrics-out", ""));
+    out << merged_metrics.ToJson();
+    std::printf("\nwrote merged metrics to %s\n", flags.Get("metrics-out", "").c_str());
   }
   return violations == 0 ? 0 : 1;
 }

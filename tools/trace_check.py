@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Validate Chrome trace-event JSON exported by the saturn simulator.
+
+Checks the structural invariants the trace recorder promises:
+
+  * the document is {"displayTimeUnit": ..., "traceEvents": [...]} and every
+    event is an object with the fields its phase requires;
+  * non-metadata timestamps are non-decreasing in file order (the exporter
+    stable-sorts by (ts, collection seq));
+  * async spans (ph "b"/"e", cat "span") are matched: per (cat, id, name) key
+    every end has a begin at an earlier-or-equal timestamp, depth never goes
+    negative and ends at zero — ring eviction must never orphan half a span;
+  * flows (cat "journey") are complete journeys: per id, exactly one start
+    ("s") first and one finish ("f", with bp "e") last, steps ("t") in
+    between, timestamps non-decreasing — a sampled label either stitches its
+    whole path or emits no flow at all;
+  * complete-slice events ("X") have a non-negative duration.
+
+Usage:
+    trace_check.py TRACE.json [TRACE2.json ...]
+
+Exits 0 when every file passes, 1 otherwise (one "file: error" line per
+problem). Library use: validate(doc) returns the list of error strings.
+"""
+
+import json
+import sys
+
+# Phases the recorder exports. Anything else is a schema violation.
+KNOWN_PHASES = {"M", "i", "X", "b", "e", "C", "s", "t", "f"}
+MAX_ERRORS_PER_FILE = 20
+
+
+def _is_int(v):
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def validate(doc):
+    """Validate a parsed trace document. Returns a list of error strings."""
+    errors = []
+
+    def err(i, msg):
+        errors.append(f"event {i}: {msg}")
+
+    if not isinstance(doc, dict):
+        return ["document: top level must be an object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["document: missing traceEvents array"]
+
+    last_ts = None
+    seen_non_meta = False
+    # (cat, id, name) -> [depth, begin_ts stack]
+    span_state = {}
+    # flow id -> list of (phase, ts)
+    flows = {}
+
+    for i, ev in enumerate(events):
+        if len(errors) >= MAX_ERRORS_PER_FILE:
+            errors.append("... (more errors suppressed)")
+            break
+        if not isinstance(ev, dict):
+            err(i, "not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            err(i, f"unknown phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            err(i, f"phase {ph!r} missing name")
+            continue
+
+        if ph == "M":
+            if seen_non_meta:
+                err(i, "metadata event after non-metadata events")
+            if ev["name"] not in ("process_name", "thread_name"):
+                err(i, f"unexpected metadata record {ev['name']!r}")
+            elif not isinstance(ev.get("args", {}).get("name"), str):
+                err(i, "metadata record missing args.name")
+            continue
+
+        seen_non_meta = True
+        ts = ev.get("ts")
+        if not _is_int(ts):
+            err(i, f"phase {ph!r} ({ev['name']}) has no integer ts")
+            continue
+        if not _is_int(ev.get("tid")):
+            err(i, f"phase {ph!r} ({ev['name']}) has no integer tid")
+        if last_ts is not None and ts < last_ts:
+            err(i, f"timestamp went backwards: {ts} after {last_ts}")
+        last_ts = ts
+
+        if ph == "i":
+            if ev.get("s") not in ("t", "p", "g"):
+                err(i, f"instant {ev['name']!r} missing scope s")
+        elif ph == "X":
+            dur = ev.get("dur")
+            if not _is_int(dur) or dur < 0:
+                err(i, f"slice {ev['name']!r} has invalid dur {dur!r}")
+        elif ph == "C":
+            value = ev.get("args", {}).get("value")
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                err(i, f"counter {ev['name']!r} missing numeric args.value")
+        elif ph in ("b", "e"):
+            if "id" not in ev:
+                err(i, f"async {ph!r} {ev['name']!r} missing id")
+                continue
+            key = (ev.get("cat"), ev["id"], ev["name"])
+            state = span_state.setdefault(key, [0, []])
+            if ph == "b":
+                state[0] += 1
+                state[1].append(ts)
+            else:
+                if state[0] == 0:
+                    err(i, f"span end without begin: {key}")
+                    continue
+                state[0] -= 1
+                begin_ts = state[1].pop()
+                if ts < begin_ts:
+                    err(i, f"span {key} ends at {ts} before its begin {begin_ts}")
+        elif ph in ("s", "t", "f"):
+            if "id" not in ev:
+                err(i, f"flow {ph!r} {ev['name']!r} missing id")
+                continue
+            if ph == "f" and ev.get("bp") != "e":
+                err(i, f"flow finish id={ev['id']} missing bp=\"e\"")
+            flows.setdefault(ev["id"], []).append((ph, ts, i))
+
+    for key, (depth, _) in sorted(span_state.items(), key=str):
+        if depth != 0:
+            errors.append(f"span {key}: {depth} begin(s) never closed")
+
+    for fid in sorted(flows, key=str):
+        steps = flows[fid]
+        phases = [ph for ph, _, _ in steps]
+        first_index = steps[0][2]
+        if phases[0] != "s":
+            errors.append(f"flow id={fid}: starts with {phases[0]!r}, not 's' "
+                          f"(event {first_index})")
+        if phases[-1] != "f":
+            errors.append(f"flow id={fid}: ends with {phases[-1]!r}, not 'f'")
+        if phases.count("s") != 1 or phases.count("f") != 1:
+            errors.append(f"flow id={fid}: expected one start and one finish, "
+                          f"got {phases}")
+        for (_, prev_ts, _), (ph, ts, i) in zip(steps, steps[1:]):
+            if ts < prev_ts:
+                errors.append(f"flow id={fid}: step at event {i} goes back in "
+                              f"time ({ts} < {prev_ts})")
+
+    return errors
+
+
+def summarize(doc):
+    """One-line content summary for a valid document."""
+    counts = {}
+    for ev in doc.get("traceEvents", []):
+        ph = ev.get("ph", "?")
+        counts[ph] = counts.get(ph, 0) + 1
+    flows = len({ev.get("id") for ev in doc["traceEvents"] if ev.get("ph") == "s"})
+    spans = counts.get("b", 0)
+    total = sum(n for ph, n in counts.items() if ph != "M")
+    return f"{total} events, {spans} spans, {flows} flows"
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[0])
+        print("usage: trace_check.py TRACE.json [TRACE2.json ...]")
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{path}: cannot load: {e}")
+            failed = True
+            continue
+        errors = validate(doc)
+        if errors:
+            for e in errors:
+                print(f"{path}: {e}")
+            failed = True
+        else:
+            print(f"{path}: OK ({summarize(doc)})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

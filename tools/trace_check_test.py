@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Unit tests for trace_check.py — the trace validator is itself validated."""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import trace_check  # noqa: E402
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "trace_check.py")
+
+
+def meta(tid, name):
+    record = "process_name" if tid == 0 else "thread_name"
+    return {"ph": "M", "pid": 1, "tid": tid, "name": record, "args": {"name": name}}
+
+
+def instant(ts, tid=0, name="tick"):
+    return {"ph": "i", "pid": 1, "tid": tid, "ts": ts, "name": name, "s": "t"}
+
+
+def slice_(ts, tid=0, name="hop", dur=1):
+    return {"ph": "X", "pid": 1, "tid": tid, "ts": ts, "name": name, "dur": dur}
+
+
+def counter(ts, tid=0, name="queue", value=3):
+    return {"ph": "C", "pid": 1, "tid": tid, "ts": ts, "name": name,
+            "args": {"value": value}}
+
+
+def span(ph, ts, tid=1, name="timestamp-mode"):
+    return {"ph": ph, "pid": 1, "tid": tid, "ts": ts, "name": name,
+            "cat": "span", "id": tid}
+
+
+def flow(ph, ts, fid, tid=0):
+    ev = {"ph": ph, "pid": 1, "tid": tid, "ts": ts, "name": "label",
+          "cat": "journey", "id": fid}
+    if ph == "f":
+        ev["bp"] = "e"
+    return ev
+
+
+def doc(events):
+    return {"displayTimeUnit": "ms",
+            "traceEvents": [meta(0, "saturn-sim"), meta(1, "sim")] + events}
+
+
+class ValidateTest(unittest.TestCase):
+    def test_minimal_valid_document(self):
+        self.assertEqual(trace_check.validate(doc([])), [])
+
+    def test_full_valid_document(self):
+        d = doc([
+            instant(10),
+            slice_(20),
+            span("b", 30),
+            counter(40),
+            flow("s", 50, fid=8),
+            flow("t", 60, fid=8, tid=1),
+            span("e", 65),
+            flow("f", 70, fid=8, tid=1),
+        ])
+        self.assertEqual(trace_check.validate(d), [])
+
+    def test_rejects_non_object_document(self):
+        self.assertTrue(trace_check.validate([]))
+        self.assertTrue(trace_check.validate({"events": []}))
+
+    def test_rejects_unknown_phase(self):
+        errors = trace_check.validate(doc([{"ph": "Z", "ts": 1, "name": "x"}]))
+        self.assertTrue(any("unknown phase" in e for e in errors))
+
+    def test_rejects_missing_name(self):
+        errors = trace_check.validate(
+            doc([{"ph": "i", "pid": 1, "tid": 0, "ts": 1, "s": "t"}]))
+        self.assertTrue(any("missing name" in e for e in errors))
+
+    def test_rejects_backwards_timestamps(self):
+        errors = trace_check.validate(doc([instant(20), instant(10)]))
+        self.assertTrue(any("backwards" in e for e in errors))
+
+    def test_rejects_negative_duration(self):
+        errors = trace_check.validate(doc([slice_(10, dur=-1)]))
+        self.assertTrue(any("invalid dur" in e for e in errors))
+
+    def test_rejects_counter_without_value(self):
+        bad = counter(10)
+        del bad["args"]
+        errors = trace_check.validate(doc([bad]))
+        self.assertTrue(any("numeric args.value" in e for e in errors))
+
+    def test_rejects_orphan_span_end(self):
+        errors = trace_check.validate(doc([span("e", 10)]))
+        self.assertTrue(any("end without begin" in e for e in errors))
+
+    def test_rejects_unclosed_span(self):
+        errors = trace_check.validate(doc([span("b", 10)]))
+        self.assertTrue(any("never closed" in e for e in errors))
+
+    def test_sequential_spans_on_one_key_are_fine(self):
+        d = doc([span("b", 10), span("e", 20), span("b", 30), span("e", 40)])
+        self.assertEqual(trace_check.validate(d), [])
+
+    def test_rejects_flow_without_start(self):
+        errors = trace_check.validate(doc([flow("t", 10, fid=8),
+                                           flow("f", 20, fid=8)]))
+        self.assertTrue(any("not 's'" in e for e in errors))
+
+    def test_rejects_flow_without_finish(self):
+        errors = trace_check.validate(doc([flow("s", 10, fid=8),
+                                           flow("t", 20, fid=8)]))
+        self.assertTrue(any("not 'f'" in e for e in errors))
+
+    def test_rejects_flow_finish_without_binding_point(self):
+        bad = flow("f", 20, fid=8)
+        del bad["bp"]
+        errors = trace_check.validate(doc([flow("s", 10, fid=8), bad]))
+        self.assertTrue(any("bp" in e for e in errors))
+
+    def test_rejects_double_start(self):
+        errors = trace_check.validate(doc([flow("s", 10, fid=8),
+                                           flow("s", 20, fid=8),
+                                           flow("f", 30, fid=8)]))
+        self.assertTrue(any("one start and one finish" in e for e in errors))
+
+    def test_independent_flows_do_not_interfere(self):
+        d = doc([flow("s", 10, fid=8), flow("s", 11, fid=16),
+                 flow("f", 20, fid=8), flow("f", 21, fid=16)])
+        self.assertEqual(trace_check.validate(d), [])
+
+    def test_error_flood_is_capped(self):
+        d = doc([{"ph": "Z", "ts": i, "name": "x"} for i in range(100)])
+        errors = trace_check.validate(d)
+        self.assertLessEqual(len(errors), trace_check.MAX_ERRORS_PER_FILE + 1)
+        self.assertIn("suppressed", errors[-1])
+
+
+class MainTest(unittest.TestCase):
+    def run_main(self, *docs):
+        paths = []
+        with tempfile.TemporaryDirectory() as tmp:
+            for i, d in enumerate(docs):
+                path = os.path.join(tmp, f"t{i}.json")
+                with open(path, "w") as f:
+                    json.dump(d, f)
+                paths.append(path)
+            proc = subprocess.run([sys.executable, SCRIPT] + paths,
+                                  capture_output=True, text=True)
+        return proc.returncode, proc.stdout
+
+    def test_ok_file_exits_zero_and_summarizes(self):
+        code, out = self.run_main(doc([instant(10), flow("s", 10, fid=8),
+                                       flow("f", 20, fid=8)]))
+        self.assertEqual(code, 0)
+        self.assertIn("OK", out)
+        self.assertIn("1 flows", out)
+
+    def test_bad_file_exits_one(self):
+        code, out = self.run_main(doc([span("b", 10)]))
+        self.assertEqual(code, 1)
+        self.assertIn("never closed", out)
+
+    def test_one_bad_file_fails_the_batch(self):
+        code, _ = self.run_main(doc([]), doc([instant(20), instant(10)]))
+        self.assertEqual(code, 1)
+
+    def test_unparseable_file_exits_one(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as f:
+            f.write("{not json")
+            path = f.name
+        try:
+            proc = subprocess.run([sys.executable, SCRIPT, path],
+                                  capture_output=True, text=True)
+            self.assertEqual(proc.returncode, 1)
+            self.assertIn("cannot load", proc.stdout)
+        finally:
+            os.unlink(path)
+
+    def test_no_arguments_exits_two(self):
+        proc = subprocess.run([sys.executable, SCRIPT],
+                              capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()
