@@ -13,6 +13,11 @@
 //   chaos      — 3-DC Saturn under a seeded chaos schedule with a backup
 //                tree (lossy cuts, crashes, tree kill + auto failover).
 //
+//   reconfig   — 5-DC Saturn with the dynamic-topology plane live (probe
+//                agents, adaptive detector, reconfiguration controller) and a
+//                scripted latency drift forcing one live epoch switch inside
+//                the measured window.
+//
 //   cure_cops  — Cure then COPS back-to-back on the 7-DC deployment, full
 //                replication: the two baselines whose per-message metadata
 //                (dependency vectors / explicit dep lists) dominates the
@@ -53,6 +58,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <new>
 #include <string>
 #include <thread>
@@ -165,6 +171,10 @@ struct PreparedRun {
   SimTime warmup = 0;
   SimTime measure = 0;
   SimTime drain = 0;
+  // Post-run sanity hook (e.g. "the reconfiguration actually happened");
+  // failures are fatal — a baseline recorded from a run that silently skipped
+  // the interesting path would gate nothing.
+  std::function<void(Cluster&)> verify;
 };
 
 // One timed workload: `build` constructs one or more clusters and returns
@@ -191,6 +201,9 @@ WorkloadResult TimeWorkload(const std::string& name, int repeat, BuildFn build) 
       ExperimentResult result = run.cluster->Run(run.warmup, run.measure, run.drain);
       events += run.cluster->sim().executed_events();
       throughput += result.throughput_ops;
+      if (run.verify) {
+        run.verify(*run.cluster);
+      }
     }
     auto stop = std::chrono::steady_clock::now();
     uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) - alloc0;
@@ -333,7 +346,72 @@ PreparedRun BuildChaos(const PerfOptions& options) {
   return run;
 }
 
-// Workload 4: the metadata-heavy baselines, back-to-back. Cure's per-DC
+// Workload 4: the dynamic-topology plane under load — 5-DC Saturn with probe
+// agents, the adaptive failure detector and the reconfiguration controller
+// running, plus a scripted latency drift that forces one live epoch switch
+// inside the measured window. Events/sec here prices the whole control loop
+// (probes, EWMA updates, controller evaluations, the solver re-run and the
+// drain-and-handoff migration) riding on top of client traffic, and
+// allocs_per_event gates the reconfiguration path against allocation creep.
+PreparedRun BuildReconfig(const PerfOptions& options) {
+  PreparedRun run;
+  ClusterConfig config;
+  config.protocol = Protocol::kSaturn;
+  config.dc_sites = Ec2Sites(5);
+  config.latencies = Ec2Latencies();
+  config.dc.num_gears = 4;
+  config.seed = 42;
+  config.dynamic.enabled = true;
+  if (options.smoke) {
+    // Tight knobs so the trigger → solve → switch cycle fits the tiny window.
+    config.dynamic.monitor.probe_interval = Millis(25);
+    config.dynamic.controller.eval_interval = Millis(50);
+    config.dynamic.controller.hysteresis_evals = 2;
+    config.dynamic.controller.cooldown = Millis(300);
+  }
+
+  KeyspaceConfig keyspace;
+  keyspace.num_keys = 10000;
+  keyspace.pattern = CorrelationPattern::kFull;
+  ReplicaMap replicas = ReplicaMap::Generate(keyspace, config.dc_sites, config.latencies);
+
+  SyntheticOpGenerator::Config workload;
+  workload.write_fraction = 0.1;
+  workload.value_size = 2;
+
+  uint32_t clients_per_dc = options.smoke ? 8 : 48;
+  run.cluster = std::make_unique<Cluster>(std::move(config), std::move(replicas),
+                                          UniformClientHomes(5, clients_per_dc),
+                                          SyntheticGenerators(workload));
+
+  // Degrade the deployed tree's links mid-window; the controller re-solves on
+  // the measured matrix and performs a live epoch switch under traffic.
+  DriftPlan drift;
+  std::string error;
+  bool ok = options.smoke
+                ? ParseDriftPlan("250:step:0-3:200;250:step:1-3:220", &drift, &error)
+                : ParseDriftPlan("1500:ramp:0-3:200:500;1500:ramp:1-3:220:500", &drift,
+                                 &error);
+  if (!ok) {
+    std::fprintf(stderr, "FATAL: reconfig drift plan: %s\n", error.c_str());
+    std::exit(1);
+  }
+  run.cluster->InstallDriftPlan(drift);
+  run.warmup = options.smoke ? Millis(200) : Seconds(1);
+  run.measure = options.smoke ? Millis(500) : Seconds(2);
+  run.drain = options.smoke ? Millis(500) : Millis(1500);
+  run.verify = [](Cluster& cluster) {
+    if (cluster.reconfig_controller()->reconfigs() < 1) {
+      std::fprintf(stderr,
+                   "FATAL: reconfig workload finished without a reconfiguration — the "
+                   "timed window no longer covers a live epoch switch\n");
+      std::exit(1);
+    }
+  };
+  return run;
+}
+
+// Workload 5: the metadata-heavy baselines, back-to-back. Cure's per-DC
 // dependency vectors and COPS's explicit dependency lists ride on every
 // client request, response and remote payload, so this workload is dominated
 // by per-message container traffic — exactly where the allocation plane
@@ -679,6 +757,8 @@ int Main(int argc, char** argv) {
                                  [&]() { return single(BuildPartial(options)); }));
   results.push_back(TimeWorkload("chaos", options.repeat,
                                  [&]() { return single(BuildChaos(options)); }));
+  results.push_back(TimeWorkload("reconfig", options.repeat,
+                                 [&]() { return single(BuildReconfig(options)); }));
   results.push_back(TimeWorkload("cure_cops", options.repeat,
                                  [&]() { return BuildCureCops(options); }));
 

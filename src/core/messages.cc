@@ -25,6 +25,8 @@ struct WireSizeVisitor {
   uint32_t operator()(const StableVectorBroadcast& m) const {
     return 16 + static_cast<uint32_t>(m.stable.size()) * 8;
   }
+  uint32_t operator()(const ProbePing&) const { return 24; }
+  uint32_t operator()(const ProbePong&) const { return 24; }
 };
 
 }  // namespace

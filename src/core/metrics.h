@@ -39,6 +39,12 @@ class Metrics {
     }
     visibility_[origin * num_dcs_ + at].Record(visible - created);
     all_visibility_.Record(visible - created);
+    if (reconfig_active_) {
+      // Tee: visibility of updates that became visible while a live tree
+      // reconfiguration (epoch switch / join / leave) was in flight — the
+      // "visibility during switch" figure of the dynamic-topology experiments.
+      reconfig_visibility_.Record(visible - created);
+    }
   }
 
   // A client operation completed (read or update); `issued` is when the client
@@ -129,6 +135,22 @@ class Metrics {
 
   const LatencyHistogram& FailoverLatency() const { return failover_latency_; }
 
+  // --- Reconfiguration accounting (dynamic topology) ----------------------
+  // Not window-gated, like the fault stats: reconfigurations are scheduled
+  // events whose latency is interesting wherever they fall in the run.
+
+  // Marks a live reconfiguration in flight; RecordVisibility tees into the
+  // during-reconfiguration histogram while set.
+  void SetReconfigActive(bool active) { reconfig_active_ = active; }
+  bool reconfig_active() const { return reconfig_active_; }
+
+  // Wall-clock of one completed reconfiguration: controller decision to every
+  // participant back in stream mode on the target configuration.
+  void RecordReconfigLatency(SimTime latency) { reconfig_latency_.Record(latency); }
+
+  const LatencyHistogram& ReconfigLatency() const { return reconfig_latency_; }
+  const LatencyHistogram& ReconfigVisibility() const { return reconfig_visibility_; }
+
  private:
   struct DcFaultStats {
     uint32_t entries = 0;
@@ -146,6 +168,9 @@ class Metrics {
   LatencyHistogram op_latency_;
   LatencyHistogram attach_latency_;
   LatencyHistogram failover_latency_;
+  LatencyHistogram reconfig_latency_;
+  LatencyHistogram reconfig_visibility_;
+  bool reconfig_active_ = false;
   std::vector<DcFaultStats> fault_stats_;
   uint64_t completed_ops_ = 0;
 };

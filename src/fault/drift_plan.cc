@@ -1,0 +1,164 @@
+#include "src/fault/drift_plan.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace saturn {
+namespace {
+
+std::string PairString(const DriftEvent& e) {
+  return std::to_string(e.site_a) + "-" + std::to_string(e.site_b);
+}
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+bool ParseUint(const std::string& s, uint64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  uint64_t v = std::strtoull(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseSitePair(const std::string& s, DriftEvent* e, std::string* error) {
+  auto parts = SplitOn(s, '-');
+  uint64_t a = 0;
+  uint64_t b = 0;
+  if (parts.size() != 2 || !ParseUint(parts[0], &a) || !ParseUint(parts[1], &b)) {
+    *error = "bad site pair '" + s + "' (want <siteA>-<siteB>)";
+    return false;
+  }
+  e->site_a = static_cast<SiteId>(a);
+  e->site_b = static_cast<SiteId>(b);
+  return true;
+}
+
+}  // namespace
+
+// Events print in the exact grammar ParseDriftPlan accepts, so a logged plan
+// is a reproducible command-line spec.
+std::string DriftEvent::ToString() const {
+  std::string when = std::to_string(at / Millis(1)) + ":";
+  switch (kind) {
+    case DriftKind::kStep:
+      return when + "step:" + PairString(*this) + ":" + std::to_string(latency / Millis(1));
+    case DriftKind::kStepOneWay:
+      return when + "stepone:" + PairString(*this) + ":" +
+             std::to_string(latency / Millis(1));
+    case DriftKind::kRamp:
+      return when + "ramp:" + PairString(*this) + ":" + std::to_string(latency / Millis(1)) +
+             ":" + std::to_string(duration / Millis(1));
+    case DriftKind::kRampOneWay:
+      return when + "rampone:" + PairString(*this) + ":" +
+             std::to_string(latency / Millis(1)) + ":" +
+             std::to_string(duration / Millis(1));
+    case DriftKind::kJoin:
+      return when + "join:" + std::to_string(dc);
+    case DriftKind::kLeave:
+      return when + "leave:" + std::to_string(dc);
+  }
+  return when + "?";
+}
+
+void DriftPlan::Normalize() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const DriftEvent& a, const DriftEvent& b) { return a.at < b.at; });
+}
+
+SimTime DriftPlan::LastEventTime() const {
+  SimTime last = 0;
+  for (const auto& e : events) {
+    last = std::max(last, e.at + e.duration);
+  }
+  return last;
+}
+
+std::string DriftPlan::ToString() const {
+  std::string out;
+  for (const auto& e : events) {
+    if (!out.empty()) {
+      out += ";";
+    }
+    out += e.ToString();
+  }
+  return out.empty() ? "(no drift)" : out;
+}
+
+std::vector<DcId> DriftPlan::JoinedDcs() const {
+  std::vector<DcId> joined;
+  for (const auto& e : events) {
+    if (e.kind == DriftKind::kJoin &&
+        std::find(joined.begin(), joined.end(), e.dc) == joined.end()) {
+      joined.push_back(e.dc);
+    }
+  }
+  return joined;
+}
+
+bool ParseDriftPlan(const std::string& spec, DriftPlan* plan, std::string* error) {
+  plan->events.clear();
+  for (const std::string& entry : SplitOn(spec, ';')) {
+    if (entry.empty()) {
+      continue;
+    }
+    auto fields = SplitOn(entry, ':');
+    uint64_t ms = 0;
+    if (fields.size() < 2 || !ParseUint(fields[0], &ms)) {
+      *error = "bad event '" + entry + "' (want <ms>:<kind>[:args])";
+      return false;
+    }
+    DriftEvent e;
+    e.at = Millis(static_cast<SimTime>(ms));
+    const std::string& kind = fields[1];
+    uint64_t v = 0;
+    uint64_t dur = 0;
+    if ((kind == "step" || kind == "stepone") && fields.size() == 4 &&
+        ParseUint(fields[3], &v)) {
+      e.kind = kind == "step" ? DriftKind::kStep : DriftKind::kStepOneWay;
+      e.latency = Millis(static_cast<SimTime>(v));
+      if (!ParseSitePair(fields[2], &e, error)) {
+        return false;
+      }
+    } else if ((kind == "ramp" || kind == "rampone") && fields.size() == 5 &&
+               ParseUint(fields[3], &v) && ParseUint(fields[4], &dur)) {
+      e.kind = kind == "ramp" ? DriftKind::kRamp : DriftKind::kRampOneWay;
+      e.latency = Millis(static_cast<SimTime>(v));
+      e.duration = Millis(static_cast<SimTime>(dur));
+      if (!ParseSitePair(fields[2], &e, error)) {
+        return false;
+      }
+    } else if (kind == "join" && fields.size() == 3 && ParseUint(fields[2], &v)) {
+      e.kind = DriftKind::kJoin;
+      e.dc = static_cast<DcId>(v);
+    } else if (kind == "leave" && fields.size() == 3 && ParseUint(fields[2], &v)) {
+      e.kind = DriftKind::kLeave;
+      e.dc = static_cast<DcId>(v);
+    } else {
+      *error = "unknown or malformed event '" + entry + "'";
+      return false;
+    }
+    plan->events.push_back(e);
+  }
+  plan->Normalize();
+  return true;
+}
+
+}  // namespace saturn

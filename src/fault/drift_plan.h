@@ -1,0 +1,74 @@
+// Drift plans: scripted trajectories of the world itself.
+//
+// Where a FaultPlan injects *faults* (cuts, crashes, latency spikes layered on
+// top of the base matrix), a DriftPlan rewrites the base matrix over time —
+// steps and piecewise-linear ramps of the one-way site latencies, symmetric or
+// directed — and schedules first-class datacenter membership events (join /
+// leave). Both planes compose: chaos spikes ride additively on top of drifted
+// base latencies, and a drift plan can run under a concurrent fault plan.
+// Plans are plain data, parseable from one command-line spec and printable
+// back out, so every drifting run is reproducible from one line.
+#ifndef SRC_FAULT_DRIFT_PLAN_H_
+#define SRC_FAULT_DRIFT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/network.h"
+
+namespace saturn {
+
+enum class DriftKind : uint8_t {
+  kStep,      // set the base one-way latency of a site pair (both directions)
+  kStepOneWay,  // set only the a -> b direction
+  kRamp,      // ramp both directions linearly to a target over a duration
+  kRampOneWay,  // ramp only the a -> b direction
+  kJoin,      // datacenter joins the metadata service (tree membership)
+  kLeave,     // datacenter leaves the metadata service gracefully
+};
+
+struct DriftEvent {
+  SimTime at = 0;
+  DriftKind kind = DriftKind::kStep;
+  SiteId site_a = 0;  // latency events: from-site (directed kinds)
+  SiteId site_b = 0;  // latency events: to-site
+  SimTime latency = 0;   // target one-way latency (absolute, not extra)
+  SimTime duration = 0;  // ramp duration (0 behaves like a step)
+  DcId dc = 0;           // kJoin / kLeave
+
+  std::string ToString() const;
+};
+
+struct DriftPlan {
+  std::vector<DriftEvent> events;
+
+  // Sorts events by time (stable: same-time events keep their listed order).
+  void Normalize();
+
+  bool Empty() const { return events.empty(); }
+  SimTime LastEventTime() const;
+  std::string ToString() const;
+
+  // Datacenters the plan joins mid-run; these start deferred (no clients, no
+  // tree attachment) until their join event fires.
+  std::vector<DcId> JoinedDcs() const;
+};
+
+// Parses a plan spec of `;`-separated timed events:
+//
+//   <ms>:step:<siteA>-<siteB>:<ms>            set base one-way latency (both dirs)
+//   <ms>:stepone:<from>-<to>:<ms>             set only the from->to direction
+//   <ms>:ramp:<siteA>-<siteB>:<ms>:<durms>    ramp both directions over durms
+//   <ms>:rampone:<from>-<to>:<ms>:<durms>     ramp only from->to over durms
+//   <ms>:join:<dc>                            datacenter <dc> joins the tree
+//   <ms>:leave:<dc>                           datacenter <dc> leaves the tree
+//
+// e.g. "1000:ramp:3-5:240:2000;4000:join:3". Returns false (and sets *error)
+// on malformed specs.
+bool ParseDriftPlan(const std::string& spec, DriftPlan* plan, std::string* error);
+
+}  // namespace saturn
+
+#endif  // SRC_FAULT_DRIFT_PLAN_H_

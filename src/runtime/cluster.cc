@@ -127,31 +127,92 @@ Cluster::Cluster(ClusterConfig config, ReplicaMap replicas, std::vector<DcId> cl
   }
 
   // --- Saturn metadata service ----------------------------------------------
+  initial_active_ = DcSet::FirstN(n);
+  if (config_.dynamic.enabled) {
+    SAT_CHECK_MSG(config_.protocol == Protocol::kSaturn,
+                  "dynamic topology requires the Saturn protocol");
+    for (DcId dc : config_.dynamic.deferred_dcs) {
+      SAT_CHECK(dc < n);
+      initial_active_ = initial_active_.Minus(DcSet::Single(dc));
+    }
+    SAT_CHECK(initial_active_.Size() >= 2);
+  }
   if (config_.protocol == Protocol::kSaturn) {
-    switch (config_.tree_kind) {
-      case SaturnTreeKind::kStar:
-        tree_ = StarTopology(config_.dc_sites, config_.star_hub);
-        break;
-      case SaturnTreeKind::kCustom:
-        tree_ = config_.custom_tree;
-        break;
-      case SaturnTreeKind::kGenerated: {
-        SolverInput input;
-        input.dc_sites = config_.dc_sites;
-        input.candidate_sites = config_.dc_sites;
-        input.latencies = &config_.latencies;
-        if (config_.weighted_tree) {
-          input.weights = replicas_.PairWeights();
+    // Solver-space view of the deployed tree, for the reconfiguration
+    // controller's mismatch evaluation. Equal to tree_ when every datacenter
+    // is active (compact ids == real ids).
+    TreeTopology compact_tree;
+    std::vector<double> pair_weights =
+        config_.weighted_tree ? replicas_.PairWeights() : std::vector<double>();
+    if (initial_active_.Size() < n) {
+      // Deferred datacenters are not in the initial tree: solve over the
+      // active subset only. Only the generated kind makes sense here — a star
+      // or custom tree would name leaves that are not active.
+      SAT_CHECK_MSG(config_.tree_kind == SaturnTreeKind::kGenerated,
+                    "deferred datacenters require a generated tree");
+      ActiveTreeSolve solved = SolveActiveTree(initial_active_, config_.dc_sites,
+                                               pair_weights, config_.latencies);
+      tree_ = solved.topology;
+      compact_tree = solved.compact;
+    } else {
+      switch (config_.tree_kind) {
+        case SaturnTreeKind::kStar:
+          tree_ = StarTopology(config_.dc_sites, config_.star_hub);
+          break;
+        case SaturnTreeKind::kCustom:
+          tree_ = config_.custom_tree;
+          break;
+        case SaturnTreeKind::kGenerated: {
+          SolverInput input;
+          input.dc_sites = config_.dc_sites;
+          input.candidate_sites = config_.dc_sites;
+          input.latencies = &config_.latencies;
+          input.weights = pair_weights;
+          tree_ = FindConfiguration(input).topology;
+          break;
         }
-        tree_ = FindConfiguration(input).topology;
-        break;
       }
+      compact_tree = tree_;
     }
     metadata_ = std::make_unique<MetadataService>(&sim_, net_.get(), saturn_dcs);
     if (trace_ != nullptr) {
       metadata_->SetTrace(trace_.get(), SiteName);
     }
     metadata_->DeployTree(/*epoch=*/0, tree_, config_.chain_replicas);
+
+    if (config_.dynamic.enabled) {
+      for (SaturnDc* sdc : saturn_dcs) {
+        sdc->SetActiveSet(initial_active_);
+      }
+      monitor_ = std::make_unique<TopologyMonitor>(net_.get(), config_.dc_sites,
+                                                   config_.latencies, config_.dynamic.monitor);
+      if (config_.dynamic.adaptive_detector) {
+        TopologyMonitor* monitor = monitor_.get();
+        for (DcId id = 0; id < n; ++id) {
+          SiteId site = config_.dc_sites[id];
+          saturn_dcs[id]->SetRttProvider([monitor, site]() { return monitor->MaxRttFrom(site); },
+                                         config_.dynamic.rtt_multiplier);
+        }
+      }
+      controller_ = std::make_unique<ReconfigController>(
+          &sim_, metadata_.get(), monitor_.get(), saturn_dcs, config_.dc_sites,
+          std::move(pair_weights), metrics_.get(), config_.dynamic.controller);
+      controller_->SetInitialTree(/*epoch=*/0, initial_active_, compact_tree);
+      controller_->SetClientGate([this](DcId dc, bool run) {
+        for (size_t i = 0; i < clients_.size(); ++i) {
+          if (client_homes_[i] == dc) {
+            if (run) {
+              clients_[i]->Start();
+            } else {
+              clients_[i]->Stop();
+            }
+          }
+        }
+      });
+      if (trace_ != nullptr) {
+        controller_->SetTrace(trace_.get(), trace_->RegisterTrack("reconfig"));
+      }
+    }
   }
 
   // --- Clients ---------------------------------------------------------------
@@ -176,6 +237,7 @@ Cluster::Cluster(ClusterConfig config, ReplicaMap replicas, std::vector<DcId> cl
     dc_nodes[id] = datacenters_[id]->node_id();
   }
 
+  client_homes_ = client_homes;
   for (uint32_t i = 0; i < client_homes.size(); ++i) {
     DcId home = client_homes[i];
     SAT_CHECK(home < n);
@@ -211,6 +273,35 @@ void Cluster::InstallFaultPlan(const FaultPlan& plan) {
   net_->Attach(injector_.get(), config_.dc_sites[0]);
   if (trace_ != nullptr) {
     injector_->SetTrace(trace_.get(), trace_->RegisterTrack("faults"));
+  }
+}
+
+void Cluster::InstallDriftPlan(const DriftPlan& plan) {
+  for (const DriftEvent& e : plan.events) {
+    switch (e.kind) {
+      case DriftKind::kStep:
+        net_->ScheduleLatencyStep(e.at, e.site_a, e.site_b, e.latency, /*symmetric=*/true);
+        break;
+      case DriftKind::kStepOneWay:
+        net_->ScheduleLatencyStep(e.at, e.site_a, e.site_b, e.latency, /*symmetric=*/false);
+        break;
+      case DriftKind::kRamp:
+        net_->ScheduleLatencyRamp(e.at, e.site_a, e.site_b, e.latency, e.duration,
+                                  /*symmetric=*/true);
+        break;
+      case DriftKind::kRampOneWay:
+        net_->ScheduleLatencyRamp(e.at, e.site_a, e.site_b, e.latency, e.duration,
+                                  /*symmetric=*/false);
+        break;
+      case DriftKind::kJoin:
+        SAT_CHECK_MSG(controller_ != nullptr, "drift-plan join requires dynamic topology");
+        sim_.At(e.at, [this, dc = e.dc]() { controller_->RequestJoin(dc); });
+        break;
+      case DriftKind::kLeave:
+        SAT_CHECK_MSG(controller_ != nullptr, "drift-plan leave requires dynamic topology");
+        sim_.At(e.at, [this, dc = e.dc]() { controller_->RequestLeave(dc); });
+        break;
+    }
   }
 }
 
@@ -266,6 +357,9 @@ void Cluster::BuildMetricsRegistry() {
                     [sdc] { return sdc->in_timestamp_mode() ? int64_t{1} : int64_t{0}; });
       reg.AddScalar(prefix + "link_retransmissions",
                     [sdc] { return static_cast<int64_t>(sdc->link_retransmissions()); });
+      reg.AddScalar(prefix + "link_retransmit_storms", [sdc] {
+        return static_cast<int64_t>(sdc->link_retransmit_storms());
+      });
     }
   }
 
@@ -288,6 +382,26 @@ void Cluster::BuildMetricsRegistry() {
       }
       return total;
     });
+    reg.AddScalar("tree.link_retransmit_storms", [metadata] {
+      int64_t total = 0;
+      for (Serializer* s : metadata->AllSerializers()) {
+        total += static_cast<int64_t>(s->link_retransmit_storms());
+      }
+      return total;
+    });
+  }
+
+  if (controller_ != nullptr) {
+    ReconfigController* ctl = controller_.get();
+    reg.AddScalar("reconfig.completed",
+                  [ctl] { return static_cast<int64_t>(ctl->reconfigs()); });
+    reg.AddScalar("reconfig.joins", [ctl] { return static_cast<int64_t>(ctl->joins()); });
+    reg.AddScalar("reconfig.leaves", [ctl] { return static_cast<int64_t>(ctl->leaves()); });
+    reg.AddScalar("reconfig.evals", [ctl] { return static_cast<int64_t>(ctl->evals()); });
+    reg.AddScalar("reconfig.rejected_solves",
+                  [ctl] { return static_cast<int64_t>(ctl->rejected_solves()); });
+    reg.AddHistogram("reconfig_latency", &metrics_->ReconfigLatency());
+    reg.AddHistogram("reconfig_visibility", &metrics_->ReconfigVisibility());
   }
 
   if (trace_ != nullptr) {
@@ -318,8 +432,18 @@ ExperimentResult Cluster::Run(SimTime warmup, SimTime measure, SimTime drain) {
   for (auto& dc : datacenters_) {
     dc->Start();
   }
-  for (auto& client : clients_) {
-    client->Start();
+  if (monitor_ != nullptr) {
+    monitor_->Start();
+  }
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    // Clients homed at a deferred datacenter stay parked until the
+    // controller's join completes (the client gate starts them).
+    if (initial_active_.Contains(client_homes_[i])) {
+      clients_[i]->Start();
+    }
+  }
+  if (controller_ != nullptr) {
+    controller_->Start();
   }
   if (injector_ != nullptr) {
     injector_->Start();

@@ -16,6 +16,7 @@
 #include "src/core/datacenter.h"
 #include "src/core/metrics.h"
 #include "src/core/oracle.h"
+#include "src/fault/drift_plan.h"
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_plan.h"
 #include "src/obs/metrics_registry.h"
@@ -23,7 +24,9 @@
 #include "src/runtime/regions.h"
 #include "src/saturn/config_generator.h"
 #include "src/saturn/metadata_service.h"
+#include "src/saturn/reconfig_controller.h"
 #include "src/saturn/saturn_dc.h"
+#include "src/saturn/topology_monitor.h"
 #include "src/workload/client.h"
 #include "src/workload/replication.h"
 
@@ -44,6 +47,28 @@ enum class SaturnTreeKind {
   kGenerated,  // Algorithm 3 + solver (the M-configuration)
   kStar,       // single serializer at `star_hub` (the S-configuration)
   kCustom,     // caller-provided topology
+};
+
+// Dynamic geo-topology plane (Saturn protocol only): probe-based latency
+// measurement, RTT-adaptive failure detection, and the online
+// tree-reconfiguration control loop. Off by default — enabling it adds probe
+// traffic and controller events, so static experiments (Fig. 5/6) keep their
+// exact schedules.
+struct DynamicTopologyConfig {
+  bool enabled = false;
+  TopologyMonitorConfig monitor;
+  ReconfigControllerConfig controller;
+  // When true, every Saturn datacenter's whole-stream-silence threshold
+  // becomes max(fallback_timeout, rtt_multiplier * measured max RTT) instead
+  // of the static fallback_timeout, so legitimate latency drift does not trip
+  // false failovers.
+  bool adaptive_detector = true;
+  double rtt_multiplier = 3.0;
+  // Datacenters deployed *deferred*: they replicate over the bulk channel
+  // from t=0 (peer-to-peer timestamp mode, clients parked) but are not part
+  // of the initial tree; a drift-plan join event (or RequestJoin on the
+  // controller) brings them into the metadata service live.
+  std::vector<DcId> deferred_dcs;
 };
 
 struct ClusterConfig {
@@ -71,6 +96,8 @@ struct ClusterConfig {
   // threads it through every component. Tracing never schedules simulator
   // events, so enabling it cannot change the executed-event fingerprint.
   obs::TraceConfig trace;
+
+  DynamicTopologyConfig dynamic;
 };
 
 // Builds the op generator of one client. Invoked with the *cluster's* replica
@@ -106,6 +133,11 @@ class Cluster {
   // Installs a fault plan to be injected during Run(). Call before Run().
   void InstallFaultPlan(const FaultPlan& plan);
 
+  // Installs a drift plan: latency trajectories are scheduled directly on the
+  // network; join/leave events are handed to the reconfiguration controller
+  // (which requires config.dynamic.enabled). Call before Run().
+  void InstallDriftPlan(const DriftPlan& plan);
+
   // Stops every client (after its in-flight operation) at `when`. Fault
   // experiments use this to leave quiescent time for recovery and the
   // liveness check before the run ends.
@@ -125,6 +157,9 @@ class Cluster {
   const ReplicaMap& replicas() const { return replicas_; }
   MetadataService* metadata_service() { return metadata_.get(); }
   const TreeTopology& tree() const { return tree_; }
+  // Null unless config.dynamic.enabled (Saturn protocol).
+  TopologyMonitor* topology_monitor() { return monitor_.get(); }
+  ReconfigController* reconfig_controller() { return controller_.get(); }
 
   uint32_t num_dcs() const { return static_cast<uint32_t>(config_.dc_sites.size()); }
   DatacenterBase* dc(DcId id) { return datacenters_[id].get(); }
@@ -156,6 +191,10 @@ class Cluster {
   std::vector<std::unique_ptr<DatacenterBase>> datacenters_;
   std::unique_ptr<MetadataService> metadata_;
   TreeTopology tree_;
+  std::unique_ptr<TopologyMonitor> monitor_;
+  std::unique_ptr<ReconfigController> controller_;
+  DcSet initial_active_;  // all DCs minus config.dynamic.deferred_dcs
+  std::vector<DcId> client_homes_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::unique_ptr<FaultInjector> injector_;
   SimTime stop_clients_at_ = kSimTimeNever;

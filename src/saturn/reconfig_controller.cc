@@ -1,0 +1,329 @@
+#include "src/saturn/reconfig_controller.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/saturn/config_generator.h"
+
+namespace saturn {
+
+ActiveTreeSolve SolveActiveTree(DcSet active, const std::vector<SiteId>& dc_sites,
+                                const std::vector<double>& pair_weights,
+                                const LatencyMatrix& latencies) {
+  SAT_CHECK(active.Size() >= 2);
+  std::vector<DcId> ids;
+  ids.reserve(active.Size());
+  for (DcId dc : active) {
+    SAT_CHECK(dc < dc_sites.size());
+    ids.push_back(dc);
+  }
+
+  SolverInput input;
+  input.dc_sites.reserve(ids.size());
+  for (DcId dc : ids) {
+    input.dc_sites.push_back(dc_sites[dc]);
+  }
+  input.candidate_sites = input.dc_sites;
+  input.latencies = &latencies;
+  if (!pair_weights.empty()) {
+    const size_t n = dc_sites.size();
+    input.weights.reserve(ids.size() * ids.size());
+    for (DcId a : ids) {
+      for (DcId b : ids) {
+        input.weights.push_back(pair_weights[a * n + b]);
+      }
+    }
+  }
+
+  SolvedTree solved = FindConfiguration(input);
+  ActiveTreeSolve out;
+  out.compact = solved.topology;
+  out.objective = solved.objective;
+  out.topology = std::move(solved.topology);
+  const auto& nodes = out.topology.nodes();
+  for (uint32_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].is_dc) {
+      out.topology.SetLeafDc(i, ids[nodes[i].dc]);
+    }
+  }
+  return out;
+}
+
+ReconfigController::ReconfigController(Simulator* sim, MetadataService* metadata,
+                                       TopologyMonitor* monitor, std::vector<SaturnDc*> dcs,
+                                       std::vector<SiteId> dc_sites,
+                                       std::vector<double> pair_weights, Metrics* metrics,
+                                       ReconfigControllerConfig config)
+    : sim_(sim),
+      metadata_(metadata),
+      monitor_(monitor),
+      dcs_(std::move(dcs)),
+      dc_sites_(std::move(dc_sites)),
+      pair_weights_(std::move(pair_weights)),
+      metrics_(metrics),
+      config_(config) {
+  SAT_CHECK(config_.hysteresis_evals >= 1);
+  SAT_CHECK(config_.degrade_ratio > 1.0);
+}
+
+void ReconfigController::SetInitialTree(uint32_t epoch, DcSet active,
+                                        const TreeTopology& compact_tree) {
+  epoch_ = epoch;
+  active_ = active;
+  compact_tree_ = compact_tree;
+  // Baseline against the monitor's current view: the static prior until
+  // probes land, so the first evaluations compare like with like.
+  LatencyMatrix measured = monitor_->BuildMatrix();
+  baseline_mismatch_ = MeasuredMismatch(measured);
+}
+
+void ReconfigController::Start() {
+  sim_->After(config_.eval_interval, [this]() { Evaluate(); });
+}
+
+void ReconfigController::RequestJoin(DcId dc) {
+  SAT_CHECK(dc < dcs_.size());
+  pending_.push_back(PendingOp{/*join=*/true, dc});
+}
+
+void ReconfigController::RequestLeave(DcId dc) {
+  SAT_CHECK(dc < dcs_.size());
+  pending_.push_back(PendingOp{/*join=*/false, dc});
+}
+
+bool ReconfigController::ServiceQuiescent() const {
+  for (DcId dc : active_) {
+    const SaturnDc* d = dcs_[dc];
+    if (d->switching() || d->failover_pending() || d->in_timestamp_mode()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SolverInput ReconfigController::CompactInput(DcSet active,
+                                             const LatencyMatrix* latencies) const {
+  SolverInput input;
+  input.dc_sites.reserve(active.Size());
+  for (DcId dc : active) {
+    input.dc_sites.push_back(dc_sites_[dc]);
+  }
+  input.candidate_sites = input.dc_sites;
+  input.latencies = latencies;
+  if (!pair_weights_.empty()) {
+    const size_t n = dc_sites_.size();
+    input.weights.reserve(static_cast<size_t>(active.Size()) * active.Size());
+    for (DcId a : active) {
+      for (DcId b : active) {
+        input.weights.push_back(pair_weights_[a * n + b]);
+      }
+    }
+  }
+  return input;
+}
+
+double ReconfigController::MeasuredMismatch(const LatencyMatrix& measured) const {
+  SolverInput input = CompactInput(active_, &measured);
+  return WeightedMismatch(compact_tree_, input);
+}
+
+void ReconfigController::Evaluate() {
+  sim_->After(config_.eval_interval, [this]() { Evaluate(); });
+  ++evals_;
+  if (state_ == State::kCooldown && sim_->Now() >= cooldown_until_) {
+    state_ = State::kIdle;
+  }
+  if (state_ != State::kIdle) {
+    return;
+  }
+  if (!pending_.empty()) {
+    // Membership changes take priority over drift response and execute only
+    // from a quiescent service; otherwise retry next evaluation.
+    if (!ServiceQuiescent()) {
+      return;
+    }
+    PendingOp op = pending_.front();
+    pending_.erase(pending_.begin());
+    if (op.join) {
+      StartJoin(op.dc);
+    } else {
+      StartLeave(op.dc);
+    }
+    return;
+  }
+  if (active_.Size() <= 1) {
+    return;
+  }
+  LatencyMatrix measured = monitor_->BuildMatrix();
+  double mismatch = MeasuredMismatch(measured);
+  last_measured_mismatch_ = mismatch;
+  double baseline = std::max(baseline_mismatch_, 1.0);
+  if (mismatch > baseline * config_.degrade_ratio) {
+    ++strikes_;
+  } else {
+    strikes_ = 0;
+  }
+  if (strikes_ < config_.hysteresis_evals) {
+    return;
+  }
+  strikes_ = 0;
+  if (!ServiceQuiescent()) {
+    return;  // never start a switch into a degraded service
+  }
+  if (trace_ != nullptr) {
+    trace_->Instant(sim_->Now(), trace_track_, "reconfig.trigger", nullptr,
+                    static_cast<int64_t>(mismatch), static_cast<int64_t>(baseline_mismatch_));
+  }
+  ActiveTreeSolve solved = SolveActiveTree(active_, dc_sites_, pair_weights_, measured);
+  if (solved.objective >= mismatch * config_.improvement_ratio) {
+    // No materially better tree exists: the drift degraded every placement
+    // (e.g. a uniformly slower world). Re-anchor the baseline so the trigger
+    // watches for *further* drift instead of re-solving every interval.
+    ++rejected_solves_;
+    baseline_mismatch_ = mismatch;
+    return;
+  }
+  StartSwitch(std::move(solved));
+}
+
+void ReconfigController::BeginOperation(State state, const char* span) {
+  state_ = state;
+  op_span_ = span;
+  op_started_ = sim_->Now();
+  metrics_->SetReconfigActive(true);
+  if (trace_ != nullptr) {
+    trace_->SpanBegin(sim_->Now(), trace_track_, span);
+  }
+}
+
+void ReconfigController::StartSwitch(ActiveTreeSolve solved) {
+  op_stayers_ = active_;
+  BeginOperation(State::kSwitching, "reconfig-switch");
+  uint32_t epoch = ++epoch_;
+  metadata_->DeployTree(epoch, solved.topology, config_.chain_replicas);
+  for (DcId dc : active_) {
+    dcs_[dc]->BeginEpochSwitch(epoch);
+  }
+  baseline_mismatch_ = solved.objective;
+  compact_tree_ = std::move(solved.compact);
+  ++reconfigs_;
+  sim_->After(config_.poll_interval, [this]() { PollCompletion(); });
+}
+
+void ReconfigController::StartJoin(DcId dc) {
+  SAT_CHECK(dc < dcs_.size());
+  SAT_CHECK(!active_.Contains(dc));
+  SAT_CHECK(!dcs_[dc]->attached_to_tree());
+  DcSet old_active = active_;
+  DcSet new_active = old_active.Union(DcSet::Single(dc));
+  op_joiner_ = dc;
+  op_stayers_ = old_active;
+  BeginOperation(State::kJoining, "join");
+  LatencyMatrix measured = monitor_->BuildMatrix();
+  ActiveTreeSolve solved = SolveActiveTree(new_active, dc_sites_, pair_weights_, measured);
+  uint32_t epoch = ++epoch_;
+  // One synchronous sequence — deploy, switch the stayers, bootstrap the
+  // joiner, widen the stability floor — so no message can interleave between
+  // the steps (e.g. failover gossip reaching a half-joined datacenter).
+  metadata_->DeployTree(epoch, solved.topology, config_.chain_replicas);
+  for (DcId stayer : old_active) {
+    dcs_[stayer]->BeginEpochSwitch(epoch, old_active, new_active);
+  }
+  dcs_[dc]->JoinAtEpoch(epoch, new_active);
+  // Every datacenter — active or not — must floor timestamp stability on the
+  // new origin before its clients can commit; same event, so no update of
+  // the joiner can be generated first.
+  for (SaturnDc* d : dcs_) {
+    d->AddStabilityOrigin(dc);
+  }
+  active_ = new_active;
+  baseline_mismatch_ = solved.objective;
+  compact_tree_ = std::move(solved.compact);
+  ++joins_;
+  if (client_gate_) {
+    client_gate_(dc, /*run=*/true);
+  }
+  sim_->After(config_.poll_interval, [this]() { PollCompletion(); });
+}
+
+void ReconfigController::StartLeave(DcId dc) {
+  SAT_CHECK(active_.Contains(dc));
+  SAT_CHECK(active_.Size() > 2);  // a tree needs at least two datacenters left
+  op_leaver_ = dc;
+  BeginOperation(State::kLeaveDraining, "leave");
+  // Stop the leaver's clients, then give their in-flight operations a grace
+  // period to commit and flush their labels through the old tree before the
+  // leaver's change-label fence goes out.
+  if (client_gate_) {
+    client_gate_(dc, /*run=*/false);
+  }
+  sim_->After(config_.leave_drain, [this]() { ExecuteLeave(); });
+}
+
+void ReconfigController::ExecuteLeave() {
+  // If a fault tripped a datacenter during the drain, wait it out: the leave
+  // fast path requires a healthy old tree.
+  if (!ServiceQuiescent()) {
+    sim_->After(config_.poll_interval, [this]() { ExecuteLeave(); });
+    return;
+  }
+  DcSet old_active = active_;
+  DcSet new_active = old_active.Minus(DcSet::Single(op_leaver_));
+  LatencyMatrix measured = monitor_->BuildMatrix();
+  ActiveTreeSolve solved = SolveActiveTree(new_active, dc_sites_, pair_weights_, measured);
+  uint32_t epoch = ++epoch_;
+  metadata_->DeployTree(epoch, solved.topology, config_.chain_replicas);
+  for (DcId stayer : new_active) {
+    dcs_[stayer]->BeginEpochSwitch(epoch, old_active, new_active);
+  }
+  dcs_[op_leaver_]->BeginLeaveSwitch(old_active);
+  active_ = new_active;
+  op_stayers_ = new_active;
+  baseline_mismatch_ = solved.objective;
+  compact_tree_ = std::move(solved.compact);
+  state_ = State::kLeaving;
+  ++leaves_;
+  sim_->After(config_.poll_interval, [this]() { PollCompletion(); });
+}
+
+bool ReconfigController::OperationComplete() const {
+  for (DcId dc : op_stayers_) {
+    const SaturnDc* d = dcs_[dc];
+    if (d->switching() || d->failover_pending()) {
+      return false;
+    }
+  }
+  if (op_joiner_ != kInvalidDc && dcs_[op_joiner_]->in_timestamp_mode()) {
+    return false;  // bootstrap not caught up yet
+  }
+  if (op_leaver_ != kInvalidDc && dcs_[op_leaver_]->attached_to_tree()) {
+    return false;  // old stream not fully drained yet
+  }
+  return true;
+}
+
+void ReconfigController::PollCompletion() {
+  if (!OperationComplete()) {
+    sim_->After(config_.poll_interval, [this]() { PollCompletion(); });
+    return;
+  }
+  CompleteOperation();
+}
+
+void ReconfigController::CompleteOperation() {
+  metrics_->RecordReconfigLatency(sim_->Now() - op_started_);
+  metrics_->SetReconfigActive(false);
+  if (trace_ != nullptr && op_span_ != nullptr) {
+    trace_->SpanEnd(sim_->Now(), trace_track_, op_span_);
+  }
+  op_stayers_ = DcSet();
+  op_joiner_ = kInvalidDc;
+  op_leaver_ = kInvalidDc;
+  op_span_ = nullptr;
+  strikes_ = 0;
+  state_ = State::kCooldown;
+  cooldown_until_ = sim_->Now() + config_.cooldown;
+}
+
+}  // namespace saturn

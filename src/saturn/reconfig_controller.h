@@ -1,0 +1,185 @@
+// Online tree-reconfiguration control loop (dynamic geo-topology).
+//
+// Saturn's configuration generator (sections 5.4-5.5) solves serializer
+// placement against a *static* latency matrix. In a long-lived deployment the
+// matrix drifts: routes change, links slow down, datacenters join and leave.
+// The ReconfigController closes the loop:
+//
+//  - a TopologyMonitor feeds it EWMA-smoothed per-link latency estimates;
+//  - every eval_interval it recomputes the deployed tree's weighted mismatch
+//    (Definition 2) against the *measured* matrix; when the ratio to the
+//    deploy-time baseline exceeds degrade_ratio for hysteresis_evals
+//    consecutive evaluations, it re-runs the solver on the measured matrix;
+//  - if the solved tree is materially better it performs a live epoch switch
+//    (section 6.2 fast path) while client traffic flows; otherwise it
+//    re-anchors the baseline (the world got worse everywhere — no tree fixes
+//    that) and keeps watching.
+//
+// It also drives metadata-service membership: a join deploys a tree over the
+// enlarged set and bootstraps the newcomer through timestamp mode
+// (SaturnDc::JoinAtEpoch); a leave stops the leaver's clients, drains its
+// labels through the old tree and detaches it (SaturnDc::BeginLeaveSwitch).
+// Operations are serialized and only start when every active datacenter is
+// quiescent (no switch, failover or fallback in flight), so at most one
+// reconfiguration is ever in progress.
+//
+// The controller solves in a *compact* datacenter space (the active subset,
+// ascending id order) and relabels the solved tree's leaves to real ids
+// before deployment — the solver and mismatch evaluation never see holes in
+// the id space.
+#ifndef SRC_SATURN_RECONFIG_CONTROLLER_H_
+#define SRC_SATURN_RECONFIG_CONTROLLER_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/core/metrics.h"
+#include "src/saturn/metadata_service.h"
+#include "src/saturn/topology_monitor.h"
+#include "src/saturn/tree_solver.h"
+
+namespace saturn {
+
+struct ReconfigControllerConfig {
+  SimTime eval_interval = Millis(250);
+  // Trigger: measured mismatch of the deployed tree exceeds the deploy-time
+  // baseline by this factor...
+  double degrade_ratio = 1.25;
+  // ...for this many consecutive evaluations (hysteresis: a transient latency
+  // spike the EWMA passes through must not churn the tree).
+  uint32_t hysteresis_evals = 3;
+  // A re-solved tree must beat the current measured mismatch by this factor
+  // to be worth a live switch; otherwise the baseline is re-anchored.
+  double improvement_ratio = 0.9;
+  // No trigger evaluation counts for this long after a completed operation:
+  // the EWMA needs time to re-converge on the new steady state.
+  SimTime cooldown = Seconds(2);
+  SimTime poll_interval = Millis(10);
+  // Grace between stopping a leaver's clients and draining its labels, so
+  // in-flight operations commit and their labels flush through the old tree.
+  SimTime leave_drain = Millis(500);
+  uint32_t chain_replicas = 1;
+};
+
+// Tree solved over an active subset: `topology` has real datacenter ids on
+// its leaves (deployable), `compact` keeps the solver-space 0..k-1 labels
+// (evaluable against a compact SolverInput).
+struct ActiveTreeSolve {
+  TreeTopology topology;
+  TreeTopology compact;
+  double objective = 0.0;
+};
+
+// Solves serializer placement for the active subset on `latencies`.
+// `pair_weights` is the full num_dcs x num_dcs weight matrix (empty =
+// uniform); candidate serializer sites are the active datacenters' sites.
+ActiveTreeSolve SolveActiveTree(DcSet active, const std::vector<SiteId>& dc_sites,
+                                const std::vector<double>& pair_weights,
+                                const LatencyMatrix& latencies);
+
+class ReconfigController {
+ public:
+  // Starts (true) or stops (false) the clients homed at a datacenter; wired
+  // by the cluster for join/leave operations.
+  using ClientGate = std::function<void(DcId dc, bool run)>;
+
+  ReconfigController(Simulator* sim, MetadataService* metadata, TopologyMonitor* monitor,
+                     std::vector<SaturnDc*> dcs, std::vector<SiteId> dc_sites,
+                     std::vector<double> pair_weights, Metrics* metrics,
+                     ReconfigControllerConfig config);
+
+  // Registers the initially deployed tree so the trigger has a baseline:
+  // `epoch` is its epoch (later deployments allocate upwards from it),
+  // `active` its membership, `compact_tree` the solver-space topology.
+  void SetInitialTree(uint32_t epoch, DcSet active, const TreeTopology& compact_tree);
+
+  void SetClientGate(ClientGate gate) { client_gate_ = std::move(gate); }
+
+  // Observation only: reconfiguration/join/leave windows become spans on
+  // `track`, decisions become instants.
+  void SetTrace(obs::TraceRecorder* trace, uint32_t track) {
+    trace_ = trace;
+    trace_track_ = track;
+  }
+
+  // Begins the periodic evaluation loop. Call after SetInitialTree.
+  void Start();
+
+  // Queues a membership change; executed when the service is quiescent,
+  // serialized with any reconfiguration in flight.
+  void RequestJoin(DcId dc);
+  void RequestLeave(DcId dc);
+
+  DcSet active() const { return active_; }
+  uint32_t epoch() const { return epoch_; }
+  uint64_t evals() const { return evals_; }
+  uint64_t reconfigs() const { return reconfigs_; }
+  uint64_t joins() const { return joins_; }
+  uint64_t leaves() const { return leaves_; }
+  uint64_t rejected_solves() const { return rejected_solves_; }
+  double baseline_mismatch() const { return baseline_mismatch_; }
+  double last_measured_mismatch() const { return last_measured_mismatch_; }
+  bool busy() const { return state_ != State::kIdle && state_ != State::kCooldown; }
+
+ private:
+  enum class State { kIdle, kCooldown, kSwitching, kJoining, kLeaveDraining, kLeaving };
+
+  struct PendingOp {
+    bool join = false;
+    DcId dc = kInvalidDc;
+  };
+
+  void Evaluate();
+  bool ServiceQuiescent() const;
+  SolverInput CompactInput(DcSet active, const LatencyMatrix* latencies) const;
+  double MeasuredMismatch(const LatencyMatrix& measured) const;
+  void StartSwitch(ActiveTreeSolve solved);
+  void StartJoin(DcId dc);
+  void StartLeave(DcId dc);
+  void ExecuteLeave();
+  void PollCompletion();
+  bool OperationComplete() const;
+  void BeginOperation(State state, const char* span);
+  void CompleteOperation();
+
+  Simulator* sim_;
+  MetadataService* metadata_;
+  TopologyMonitor* monitor_;
+  std::vector<SaturnDc*> dcs_;
+  std::vector<SiteId> dc_sites_;
+  std::vector<double> pair_weights_;  // full matrix, [i * num_dcs + j]
+  Metrics* metrics_;
+  ReconfigControllerConfig config_;
+  ClientGate client_gate_;
+
+  State state_ = State::kIdle;
+  DcSet active_;
+  TreeTopology compact_tree_;  // deployed tree, solver-space leaf labels
+  uint32_t epoch_ = 0;         // highest deployed epoch
+  double baseline_mismatch_ = 0.0;
+  double last_measured_mismatch_ = 0.0;
+  uint32_t strikes_ = 0;
+  SimTime cooldown_until_ = 0;
+  std::vector<PendingOp> pending_;  // FIFO; front executes first
+
+  // In-flight operation bookkeeping.
+  DcSet op_stayers_;              // must finish their epoch switch
+  DcId op_joiner_ = kInvalidDc;   // must exit bootstrap
+  DcId op_leaver_ = kInvalidDc;   // must detach
+  SimTime op_started_ = 0;
+  const char* op_span_ = nullptr;
+
+  uint64_t evals_ = 0;
+  uint64_t reconfigs_ = 0;
+  uint64_t joins_ = 0;
+  uint64_t leaves_ = 0;
+  uint64_t rejected_solves_ = 0;
+
+  obs::TraceRecorder* trace_ = nullptr;
+  uint32_t trace_track_ = 0;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_SATURN_RECONFIG_CONTROLLER_H_

@@ -12,6 +12,21 @@ namespace {
 constexpr SimTime kTickInterval = Millis(5);
 // Safety margin on top of the round-trip estimate before a retransmission.
 constexpr SimTime kRetransmitMargin = Millis(25);
+// Exponential backoff: the n-th retransmission waits base_rto << n, shifted at
+// most this far and never beyond kMaxRetryTimeout. Without backoff a sender
+// facing a legitimately slowing link (latency drift) re-sends the same window
+// every fixed RTO — a retransmit storm that only adds load.
+constexpr uint32_t kBackoffCapShifts = 6;
+constexpr SimTime kMaxRetryTimeout = Seconds(2);
+
+// SplitMix64: deterministic per-(owner, peer, seq, attempt) jitter source so
+// concurrent backed-off senders desynchronize without a shared RNG.
+uint64_t MixJitter(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 
 }  // namespace
 
@@ -45,6 +60,7 @@ void ReliableLinks::Send(NodeId to, LabelEnvelope env) {
 void ReliableLinks::Transmit(NodeId to, OutChannel* out, uint64_t seq) {
   OutEntry& entry = out->unacked.At(seq);
   entry.sent_at = sim_->Now();
+  ++entry.attempts;
   if (out->delay > 0) {
     // Artificial edge delay (section 5.4): constant per directed edge, so it
     // shifts but never reorders transmissions.
@@ -96,6 +112,25 @@ SimTime ReliableLinks::Rto(NodeId to, const OutChannel& out) const {
   return 4 * one_way + kRetransmitMargin;
 }
 
+SimTime ReliableLinks::RetryTimeout(SimTime base_rto, const OutEntry& entry, NodeId to,
+                                    uint64_t seq) const {
+  uint32_t shifts = entry.attempts > 0 ? entry.attempts - 1 : 0;
+  if (shifts > kBackoffCapShifts) {
+    shifts = kBackoffCapShifts;
+  }
+  SimTime rto = base_rto << shifts;
+  if (rto > kMaxRetryTimeout) {
+    rto = kMaxRetryTimeout;
+  }
+  uint64_t key = (static_cast<uint64_t>(owner_->node_id()) << 48) ^
+                 (static_cast<uint64_t>(to) << 32) ^ (seq << 8) ^ entry.attempts;
+  SimTime jitter_span = rto / 8;
+  if (jitter_span > 0) {
+    rto += static_cast<SimTime>(MixJitter(key) % static_cast<uint64_t>(jitter_span));
+  }
+  return rto;
+}
+
 bool ReliableLinks::WorkPending() const {
   for (const auto& [peer, out] : out_) {
     if (!out.unacked.empty()) {
@@ -125,12 +160,15 @@ void ReliableLinks::Tick() {
     }
   }
   for (auto& [peer, out] : out_) {
-    SimTime rto = Rto(peer, out);
+    SimTime base_rto = Rto(peer, out);
     NodeId to = peer;
     OutChannel* channel = &out;
     out.unacked.ForEach([&](uint64_t seq, OutEntry& entry) {
-      if (now - entry.sent_at >= rto) {
+      if (now - entry.sent_at >= RetryTimeout(base_rto, entry, to, seq)) {
         ++retransmissions_;
+        if (entry.attempts >= 2) {
+          ++retransmit_storms_;
+        }
         if (trace_ != nullptr) {
           trace_->Instant(now, trace_track_, "link.retransmit", nullptr, to,
                           static_cast<int64_t>(seq));

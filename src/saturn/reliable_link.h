@@ -62,6 +62,10 @@ class ReliableLinks {
   void OnAck(NodeId from, const LinkAck& ack);
 
   uint64_t retransmissions() const { return retransmissions_; }
+  // Retransmissions beyond the first for an envelope — the storm signature: a
+  // fixed-RTO sender re-sending the same labels again and again into a link
+  // that legitimately slowed. Exponential backoff keeps this near zero.
+  uint64_t retransmit_storms() const { return retransmit_storms_; }
 
   // Observation only: RTO retransmissions are recorded onto the owner's
   // trace track. Null disables; nothing else changes.
@@ -75,7 +79,8 @@ class ReliableLinks {
   // retire prefixes, so the live set is a contiguous window (see seq_window.h).
   struct OutEntry {
     LabelEnvelope env;
-    SimTime sent_at = 0;  // last (re)transmission time
+    SimTime sent_at = 0;    // last (re)transmission time
+    uint32_t attempts = 0;  // transmissions so far (drives exponential backoff)
   };
   struct OutChannel {
     uint64_t next_out = 1;
@@ -90,6 +95,8 @@ class ReliableLinks {
 
   void Transmit(NodeId to, OutChannel* out, uint64_t seq);
   SimTime Rto(NodeId to, const OutChannel& out) const;
+  SimTime RetryTimeout(SimTime base_rto, const OutEntry& entry, NodeId to,
+                       uint64_t seq) const;
   bool WorkPending() const;
   void ScheduleTick();
   void Tick();
@@ -104,6 +111,7 @@ class ReliableLinks {
   std::map<NodeId, InChannel> in_;
   LazyTimer tick_;
   uint64_t retransmissions_ = 0;
+  uint64_t retransmit_storms_ = 0;
   obs::TraceRecorder* trace_ = nullptr;
   uint32_t trace_track_ = 0;
 };

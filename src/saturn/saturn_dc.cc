@@ -11,7 +11,27 @@ SaturnDc::SaturnDc(Simulator* sim, Network* net, const DatacenterConfig& config,
       links_(sim, net, this,
              [this](NodeId from, const LabelEnvelope& env) { OnStreamEnvelope(from, env); }),
       stream_progress_(num_dcs, -1),
+      active_(DcSet::FirstN(num_dcs)),
+      next_active_(DcSet::FirstN(num_dcs)),
+      stability_origins_(DcSet::FirstN(num_dcs)),
       bulk_gear_ts_(static_cast<size_t>(num_dcs) * config.num_gears, -1) {}
+
+void SaturnDc::SetActiveSet(DcSet active) {
+  SAT_CHECK(!started_);
+  active_ = active;
+  next_active_ = active;
+  stability_origins_ = active;
+  ts_stable_dirty_ = true;
+  min_remote_progress_dirty_ = true;
+}
+
+void SaturnDc::AddStabilityOrigin(DcId dc) {
+  if (stability_origins_.Contains(dc)) {
+    return;
+  }
+  stability_origins_.Add(dc);
+  ts_stable_dirty_ = true;
+}
 
 void SaturnDc::AttachToTree(uint32_t epoch, NodeId serializer_node) {
   tree_neighbor_[epoch] = serializer_node;
@@ -20,6 +40,7 @@ void SaturnDc::AttachToTree(uint32_t epoch, NodeId serializer_node) {
 
 void SaturnDc::Start() {
   DatacenterBase::Start();
+  started_ = true;
   if (!has_tree_) {
     // Peer-to-peer configuration: timestamp-order stability is the only
     // delivery mechanism. Not a degraded mode, so no fallback accounting.
@@ -34,8 +55,16 @@ void SaturnDc::Start() {
     TimestampDrain();
   });
   if (has_tree_) {
-    EveryInterval(Millis(10), [this]() { Watchdog(); });
+    ArmWatchdog();
   }
+}
+
+void SaturnDc::ArmWatchdog() {
+  if (watchdog_armed_) {
+    return;
+  }
+  watchdog_armed_ = true;
+  EveryInterval(Millis(10), [this]() { Watchdog(); });
 }
 
 // --------------------------------------------------------------------------
@@ -53,7 +82,7 @@ void SaturnDc::Watchdog() {
     // the *whole* stream is the trigger: a single quiet peer pair already
     // degrades only that pair's visibility, and per-origin triggers would
     // freeze every origin's visibility behind the global stability cut.
-    if (now - last_stream_activity_ > fallback_timeout_) {
+    if (now - last_stream_activity_ > effective_fallback_timeout()) {
       EnterTimestampMode();
     }
     return;
@@ -69,7 +98,8 @@ void SaturnDc::Watchdog() {
     return;
   }
   TimestampDrain();  // also attempts the resync exit
-  if (ts_mode_ && auto_failover_ && now - last_stream_activity_ > fallback_timeout_ + failover_grace_) {
+  if (ts_mode_ && auto_failover_ &&
+      now - last_stream_activity_ > effective_fallback_timeout() + failover_grace_) {
     // The old tree stayed silent well past the fallback trigger: give up on
     // it and fail over to the highest pre-deployed backup epoch.
     uint32_t target = tree_neighbor_.rbegin()->first;
@@ -101,6 +131,15 @@ void SaturnDc::ExitTimestampMode() {
   }
   ts_mode_ = false;
   last_stream_activity_ = sim_->Now();
+  if (bootstrapping_) {
+    // Joiner bootstrap completed: caught up and in stream mode. Not an
+    // outage, so no fallback/failover accounting.
+    bootstrapping_ = false;
+    if (trace_ != nullptr) {
+      trace_->SpanEnd(sim_->Now(), trace_track_, "join-bootstrap");
+    }
+    return;
+  }
   if (metrics_ != nullptr) {
     metrics_->RecordFallbackExit(config_.id, sim_->Now());
     metrics_->RecordFailoverLatency(sim_->Now() - outage_started_);
@@ -108,6 +147,15 @@ void SaturnDc::ExitTimestampMode() {
   if (trace_ != nullptr) {
     trace_->SpanEnd(sim_->Now(), trace_track_, "timestamp-mode");
   }
+}
+
+SimTime SaturnDc::effective_fallback_timeout() const {
+  if (!rtt_provider_) {
+    return fallback_timeout_;
+  }
+  SimTime adaptive =
+      static_cast<SimTime>(rtt_multiplier_ * static_cast<double>(rtt_provider_()));
+  return std::max(fallback_timeout_, adaptive);
 }
 
 // --------------------------------------------------------------------------
@@ -169,7 +217,9 @@ void SaturnDc::FlushSink() {
   hb.label.src = MakeSourceId(config_.id, 0);
   hb.label.ts = ts;
   hb.epoch = emit_epoch_;
-  hb.interest = DcSet::FirstN(num_dcs_).Minus(DcSet::Single(config_.id));
+  // Interest follows the emit epoch's membership: during a join switch the
+  // heartbeat must reach the joiner on the new tree so its resync fences fill.
+  hb.interest = EmitActive().Minus(DcSet::Single(config_.id));
   auto it = tree_neighbor_.find(emit_epoch_);
   SAT_CHECK(it != tree_neighbor_.end());
   links_.Send(it->second, hb);
@@ -287,13 +337,14 @@ void SaturnDc::PumpStream() {
       }
       stream_.pop_front();
     }
-    // Epoch switch completes once every datacenter's change label has been
-    // seen and the old-tree stream has fully drained; then keep pumping the
-    // buffered new-tree stream it installs. (Trailing old-tree heartbeats may
-    // arrive after the change labels, so the check lives here, not at the
-    // moment a change label is processed.)
+    // Epoch switch completes once every old-tree participant's change label
+    // has been seen and the old-tree stream has fully drained; then keep
+    // pumping the buffered new-tree stream it installs. (Trailing old-tree
+    // heartbeats may arrive after the change labels, so the check lives here,
+    // not at the moment a change label is processed.)
     if (!stalled && switching_ &&
-        epoch_change_seen_.Union(DcSet::Single(config_.id)) == DcSet::FirstN(num_dcs_) &&
+        switch_participants_.Minus(epoch_change_seen_.Union(DcSet::Single(config_.id)))
+            .Empty() &&
         stream_.empty()) {
       FinishEpochSwitch();
       continue;
@@ -350,7 +401,7 @@ int64_t SaturnDc::TimestampStable() const {
   }
   if (ts_stable_dirty_) {
     int64_t stable = kSimTimeNever;
-    for (DcId dc = 0; dc < num_dcs_; ++dc) {
+    for (DcId dc : stability_origins_) {
       if (dc == config_.id) {
         continue;
       }
@@ -367,7 +418,7 @@ int64_t SaturnDc::TimestampStable() const {
 int64_t SaturnDc::MinRemoteStreamProgress() const {
   if (min_remote_progress_dirty_) {
     int64_t progress = kSimTimeNever;
-    for (DcId dc = 0; dc < num_dcs_; ++dc) {
+    for (DcId dc : active_) {
       if (dc != config_.id) {
         progress = std::min(progress, stream_progress_[dc]);
       }
@@ -455,11 +506,11 @@ void SaturnDc::TryResyncExit() {
   }
   SimTime now = sim_->Now();
   int64_t max_fence = -1;
-  for (DcId dc = 0; dc < num_dcs_; ++dc) {
+  for (DcId dc : active_) {
     if (dc == config_.id) {
       continue;
     }
-    if (resync_fence_[dc] < 0 || now - last_label_seen_[dc] > fallback_timeout_) {
+    if (resync_fence_[dc] < 0 || now - last_label_seen_[dc] > effective_fallback_timeout()) {
       return;
     }
     max_fence = std::max(max_fence, resync_fence_[dc]);
@@ -524,7 +575,7 @@ bool SaturnDc::WaiterReady(const ClientRequest& req) const {
       if (TimestampStable() < l.ts) {
         return false;
       }
-      for (DcId dc = 0; dc < num_dcs_; ++dc) {
+      for (DcId dc : active_) {
         if (dc != config_.id && stream_progress_[dc] < l.ts) {
           return false;
         }
@@ -622,28 +673,63 @@ Label SaturnDc::MakeMigrationLabel(const ClientRequest& req, const Label& floor)
 // --------------------------------------------------------------------------
 
 void SaturnDc::BeginEpochSwitch(uint32_t new_epoch) {
+  BeginEpochSwitch(new_epoch, active_, active_);
+}
+
+void SaturnDc::BeginEpochSwitch(uint32_t new_epoch, DcSet participants, DcSet next_active) {
   SAT_CHECK(tree_neighbor_.count(new_epoch) != 0);
   SAT_CHECK(!switching_);
+  SAT_CHECK(participants.Contains(config_.id));
   switching_ = true;
+  leaving_ = false;
   next_epoch_ = new_epoch;
+  next_active_ = next_active;
+  switch_participants_ = participants;
   epoch_change_seen_ = DcSet();
 
   // Emit the epoch-change label through the old tree, then move emission to
-  // the new one. Everything already in the sink flushes ahead of it.
+  // the new one. Everything already in the sink flushes ahead of it. Interest
+  // covers the old tree's participants only: a joiner was never attached to
+  // the old tree, so no change label can (or need) reach it there — its
+  // catch-up runs through JoinAtEpoch's timestamp bootstrap instead.
   Gear& gear = RandomGear();
   Label label;
   label.type = LabelType::kEpochChange;
   label.src = gear.source();
   label.ts = gear.HeartbeatTimestamp();
   label.target_dc = config_.id;
-  EmitLabel(label, DcSet::FirstN(num_dcs_).Minus(DcSet::Single(config_.id)));
+  EmitLabel(label, participants.Minus(DcSet::Single(config_.id)));
   FlushSink();
   emit_epoch_ = new_epoch;
 }
 
 void SaturnDc::FinishEpochSwitch() {
   switching_ = false;
+  switch_participants_ = DcSet();
+  epoch_change_seen_ = DcSet();
+  if (leaving_) {
+    // Graceful decommission: the old stream has drained with every
+    // participant's change label in it, so everything this datacenter must
+    // see via the tree has been applied. Detach and fall back to the pure
+    // timestamp configuration — not an outage, so no fallback accounting.
+    leaving_ = false;
+    has_tree_ = false;
+    tree_neighbor_.clear();
+    sink_.clear();
+    stream_.clear();
+    buffered_next_epoch_.clear();
+    ts_mode_ = true;
+    if (trace_ != nullptr) {
+      trace_->Instant(sim_->Now(), trace_track_, "leave.detach", nullptr, epoch_, 0);
+    }
+    return;
+  }
   epoch_ = next_epoch_;
+  if (!(active_ == next_active_)) {
+    active_ = next_active_;
+    ts_stable_dirty_ = true;
+    min_remote_progress_dirty_ = true;
+  }
   // The buffered new-tree labels become the live stream; PumpStream's outer
   // loop (the only caller) picks them up immediately. The stream is empty
   // here (the switch requires it), so this is a plain transfer in order.
@@ -651,6 +737,76 @@ void SaturnDc::FinishEpochSwitch() {
     stream_.push_back(std::move(buffered_next_epoch_[i]));
   }
   buffered_next_epoch_.clear();
+}
+
+void SaturnDc::JoinAtEpoch(uint32_t epoch, DcSet active) {
+  SAT_CHECK(has_tree_);
+  SAT_CHECK(tree_neighbor_.count(epoch) != 0);
+  SAT_CHECK(active.Contains(config_.id));
+  SAT_CHECK(!switching_ && !failover_pending_);
+  epoch_ = epoch;
+  next_epoch_ = epoch;
+  emit_epoch_ = epoch;
+  active_ = active;
+  next_active_ = active;
+  stability_origins_ = stability_origins_.Union(active);
+  ts_stable_dirty_ = true;
+  min_remote_progress_dirty_ = true;
+  // Bootstrap through timestamp mode (section 6.1 machinery, reused): buffer
+  // the new tree's stream, apply everything timestamp-stable off the bulk
+  // channel, and flip to stream mode via the standard resync exit once every
+  // active peer's first new-epoch label (its resync fence) is stable — at
+  // that point the buffered stream suffix is gap-free and this datacenter is
+  // fully caught up.
+  bootstrapping_ = true;
+  ts_mode_ = true;  // already true in the deferred P-configuration
+  outage_started_ = sim_->Now();
+  resync_fence_.assign(num_dcs_, -1);
+  last_label_seen_.assign(num_dcs_, sim_->Now());
+  last_stream_activity_ = sim_->Now();
+  ArmWatchdog();  // Start() skipped it: there was no tree then
+  if (trace_ != nullptr) {
+    trace_->SpanBegin(sim_->Now(), trace_track_, "join-bootstrap");
+  }
+  // Defensive: labels that raced ahead of this event were parked as a future
+  // epoch; they are the head of the new stream and seed the resync fences.
+  for (size_t i = 0; i < buffered_next_epoch_.size(); ++i) {
+    LabelEnvelope env = std::move(buffered_next_epoch_[i]);
+    const Label& l = env.label;
+    if (l.origin_dc() < num_dcs_) {
+      last_label_seen_[l.origin_dc()] = sim_->Now();
+      if (resync_fence_[l.origin_dc()] < 0) {
+        resync_fence_[l.origin_dc()] = l.ts;
+      }
+    }
+    stream_.push_back(std::move(env));
+  }
+  buffered_next_epoch_.clear();
+  TimestampDrain();
+}
+
+void SaturnDc::BeginLeaveSwitch(DcSet participants) {
+  SAT_CHECK(has_tree_);
+  SAT_CHECK(!switching_ && !failover_pending_ && !ts_mode_);
+  SAT_CHECK(participants.Contains(config_.id));
+  switching_ = true;
+  leaving_ = true;
+  next_epoch_ = epoch_;  // no successor epoch: FinishEpochSwitch detaches
+  next_active_ = active_.Minus(DcSet::Single(config_.id));
+  switch_participants_ = participants;
+  epoch_change_seen_ = DcSet();
+  // Change label through the old tree, exactly like a fast switch — but
+  // emission stays on the old epoch: there is no new tree for this
+  // datacenter, and its clients are already stopped, so nothing but this
+  // fence (and trailing heartbeats) will follow.
+  Gear& gear = RandomGear();
+  Label label;
+  label.type = LabelType::kEpochChange;
+  label.src = gear.source();
+  label.ts = gear.HeartbeatTimestamp();
+  label.target_dc = config_.id;
+  EmitLabel(label, participants.Minus(DcSet::Single(config_.id)));
+  FlushSink();
 }
 
 void SaturnDc::BeginFailoverSwitch(uint32_t new_epoch) {
@@ -667,6 +823,7 @@ void SaturnDc::BeginFailoverSwitch(uint32_t new_epoch) {
   }
   failover_pending_ = true;
   next_epoch_ = new_epoch;
+  next_active_ = active_;  // failover never changes membership
   emit_epoch_ = new_epoch;
   stream_.clear();  // the old tree's stream is dead
 
@@ -694,7 +851,7 @@ void SaturnDc::BeginFailoverSwitch(uint32_t new_epoch) {
 
 void SaturnDc::EmitFailoverChange() {
   last_change_emit_ = sim_->Now();
-  EmitLabel(failover_change_label_, DcSet::FirstN(num_dcs_).Minus(DcSet::Single(config_.id)));
+  EmitLabel(failover_change_label_, active_.Minus(DcSet::Single(config_.id)));
   FlushSink();
 }
 
@@ -702,13 +859,13 @@ void SaturnDc::MaybeResumeAfterFailover() {
   if (!failover_pending_) {
     return;
   }
-  if (num_dcs_ > 1) {
-    // Resume once every datacenter's epoch-change label has been delivered by
-    // the new tree and everything up to the greatest of them is stable in
-    // timestamp order: all updates the dead tree lost predate some fence, so
-    // the drain has applied them, and the buffered new-tree stream carries no
-    // label we cannot dedup or apply in order.
-    if (failover_change_seen_.Union(DcSet::Single(config_.id)) != DcSet::FirstN(num_dcs_)) {
+  if (active_.Size() > 1) {
+    // Resume once every active datacenter's epoch-change label has been
+    // delivered by the new tree and everything up to the greatest of them is
+    // stable in timestamp order: all updates the dead tree lost predate some
+    // fence, so the drain has applied them, and the buffered new-tree stream
+    // carries no label we cannot dedup or apply in order.
+    if (!active_.Minus(failover_change_seen_.Union(DcSet::Single(config_.id))).Empty()) {
       return;
     }
     if (TimestampStable() < failover_fence_) {

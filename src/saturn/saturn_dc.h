@@ -22,6 +22,7 @@
 #ifndef SRC_SATURN_SATURN_DC_H_
 #define SRC_SATURN_SATURN_DC_H_
 
+#include <functional>
 #include <map>
 #include <set>
 #include <vector>
@@ -52,6 +53,49 @@ class SaturnDc : public DatacenterBase {
   // processed and everything before them applied.
   void BeginEpochSwitch(uint32_t new_epoch);
 
+  // Generalized fast switch for membership changes. `participants` is the set
+  // of datacenters attached to the *old* tree (whose epoch-change labels must
+  // drain before the switch completes); `next_active` is the metadata-service
+  // membership once the new tree is live — a superset of the old active set
+  // on a join, a subset on a leave. The plain overload above delegates with
+  // participants = next_active = the current active set.
+  void BeginEpochSwitch(uint32_t new_epoch, DcSet participants, DcSet next_active);
+
+  // Joiner bootstrap: this datacenter was not part of any earlier epoch (it
+  // was deployed deferred) and enters the service directly at `epoch`, whose
+  // tree must already be attached. It runs in timestamp mode — applying
+  // everything timestamp-stable on the bulk channel — until every active
+  // remote origin's new-epoch stream has begun (resync fences) and stability
+  // passes the fences, then flips to stream mode fully caught up. Bootstrap
+  // is not a degraded mode: no fallback accounting.
+  void JoinAtEpoch(uint32_t epoch, DcSet active);
+
+  // Graceful decommission of the metadata-service role: emits an epoch-change
+  // label through the old tree like a fast switch, drains the old stream, and
+  // then *detaches* instead of installing a successor epoch — the datacenter
+  // keeps replicating over the bulk channel in pure timestamp mode (the
+  // paper's P-configuration). `participants` is the old tree's membership.
+  void BeginLeaveSwitch(DcSet participants);
+
+  // Current metadata-service membership as this datacenter sees it. Defaults
+  // to all datacenters; Cluster overrides it before Start() when some are
+  // deployed deferred.
+  void SetActiveSet(DcSet active);
+  DcSet active_set() const { return active_; }
+
+  // Declares `dc` live on the *bulk* plane: its gear floors join the
+  // timestamp-stability minimum. Must be called on every running datacenter
+  // before a joiner's clients can commit updates — once a new origin can
+  // produce timestamped updates, stability must wait on its heartbeats, or
+  // the drain could apply around an in-flight update of lower timestamp.
+  // Monotone: origins are added on join and never removed (a datacenter that
+  // left the tree keeps replicating and heartbeating over bulk).
+  void AddStabilityOrigin(DcId dc);
+
+  bool switching() const { return switching_; }
+  bool failover_pending() const { return failover_pending_; }
+  bool attached_to_tree() const { return has_tree_; }
+
   // Failure path: the current tree is unusable. Runs on timestamp-order
   // stability until epoch-change labels from every datacenter have been
   // delivered by the new tree and everything up to them is stable, then
@@ -71,12 +115,26 @@ class SaturnDc : public DatacenterBase {
   void set_failover_grace(SimTime t) { failover_grace_ = t; }
   void set_auto_failover(bool enabled) { auto_failover_ = enabled; }
 
+  // Adaptive failure detection: when a provider is set, the whole-stream
+  // silence threshold becomes max(fallback_timeout_, multiplier * provider())
+  // where provider() returns the current max measured RTT to any active peer
+  // (see TopologyMonitor::MaxRttFrom). A link that legitimately slows raises
+  // the estimate — and the threshold with it — instead of tripping a false
+  // failover. fallback_timeout_ stays as the floor.
+  using RttProvider = std::function<SimTime()>;
+  void SetRttProvider(RttProvider provider, double multiplier) {
+    rtt_provider_ = std::move(provider);
+    rtt_multiplier_ = multiplier;
+  }
+  SimTime effective_fallback_timeout() const;
+
   void SetTrace(obs::TraceRecorder* trace, uint32_t track) override {
     DatacenterBase::SetTrace(trace, track);
     links_.SetTrace(trace, track);  // retransmits show on this DC's track
   }
 
   uint64_t link_retransmissions() const { return links_.retransmissions(); }
+  uint64_t link_retransmit_storms() const { return links_.retransmit_storms(); }
 
  protected:
   void HandleAttach(NodeId from, const ClientRequest& req) override;
@@ -110,6 +168,11 @@ class SaturnDc : public DatacenterBase {
   // --- Label sink ---------------------------------------------------------
   void EmitLabel(const Label& label, DcSet interest);
   void FlushSink();
+  // Membership the labels we are *emitting now* belong to: the post-switch
+  // set while a switch or failover is in flight, the live set otherwise.
+  DcSet EmitActive() const {
+    return (switching_ || failover_pending_) ? next_active_ : active_;
+  }
 
   // --- Remote proxy -------------------------------------------------------
   void OnStreamEnvelope(NodeId from, const LabelEnvelope& env);
@@ -134,6 +197,7 @@ class SaturnDc : public DatacenterBase {
   std::vector<RemotePayload>::iterator FindPending(const Label& label);
 
   // --- Failure detection and recovery -------------------------------------
+  void ArmWatchdog();
   void Watchdog();
   void EnterTimestampMode();
   void ExitTimestampMode();
@@ -196,13 +260,34 @@ class SaturnDc : public DatacenterBase {
   // buffered stream suffix is gap-free and stream mode can resume.
   std::vector<int64_t> resync_fence_;
 
+  // Metadata-service membership. `active_` is the set of datacenters whose
+  // streams / bulk heartbeats the stability and completion predicates wait
+  // on; `next_active_` is the membership after an in-flight switch completes
+  // (== active_ except during a join/leave). Heartbeat-label interest follows
+  // the *emit* epoch's membership so a joiner starts receiving per-origin
+  // liveness on the new tree before the stayers' switch completes.
+  DcSet active_;
+  DcSet next_active_;
+  // Bulk-plane origin set: every datacenter whose timestamped updates can
+  // reach us, whether or not it is attached to a tree. Drives the
+  // timestamp-stability minimum; grows on joins, never shrinks (see
+  // AddStabilityOrigin).
+  DcSet stability_origins_;
+
   // Reconfiguration state.
   bool switching_ = false;
   bool failover_pending_ = false;
+  bool leaving_ = false;        // this switch detaches us instead of moving epochs
+  bool bootstrapping_ = false;  // joiner catching up through timestamp mode
+  bool started_ = false;
+  bool watchdog_armed_ = false;  // the 10ms failure-detector tick is running
   uint32_t next_epoch_ = 0;
   DcSet epoch_change_seen_;
+  DcSet switch_participants_;  // old-tree members whose change labels must drain
 
   // Failure detector / automatic failover state.
+  RttProvider rtt_provider_;
+  double rtt_multiplier_ = 3.0;
   bool auto_failover_ = true;
   SimTime failover_grace_ = Millis(500);
   SimTime last_change_emit_ = 0;

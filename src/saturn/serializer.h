@@ -86,6 +86,7 @@ class Serializer : public Actor {
   uint32_t live_replicas() const;
   uint64_t routed() const { return routed_; }
   uint64_t link_retransmissions() const { return channels_.retransmissions(); }
+  uint64_t link_retransmit_storms() const { return channels_.retransmit_storms(); }
   SiteId site() const { return site_; }
 
   // Observation only: routing decisions (and link retransmits) are recorded

@@ -83,6 +83,12 @@ class TreeTopology {
   // Mutable access for the configuration solver.
   void SetSite(uint32_t node, SiteId site) { nodes_[node].site = site; }
 
+  // Relabels a datacenter leaf. The solver works in a compact 0..k-1
+  // datacenter space (the currently active subset); deployments need the real
+  // datacenter ids, so the reconfiguration controller relabels the leaves of
+  // the solved tree before handing it to the metadata service.
+  void SetLeafDc(uint32_t node, DcId dc) { nodes_[node].dc = dc; }
+
  private:
   std::vector<TopologyNode> nodes_;
   std::vector<TopologyEdge> edges_;

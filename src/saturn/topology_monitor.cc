@@ -1,0 +1,113 @@
+#include "src/saturn/topology_monitor.h"
+
+#include <algorithm>
+#include <utility>
+#include <variant>
+
+#include "src/common/check.h"
+
+namespace saturn {
+
+void ProbeAgent::Start() { SendProbes(); }
+
+void ProbeAgent::SendProbes() {
+  Network* net = monitor_->net();
+  for (NodeId peer : monitor_->agent_nodes()) {
+    if (peer == node_id()) {
+      continue;
+    }
+    ProbePing ping;
+    ping.origin_site = site_;
+    ping.sent_at = monitor_->sim()->Now();
+    net->Send(node_id(), peer, ping);
+  }
+  monitor_->sim()->After(monitor_->probe_interval(), [this]() { SendProbes(); });
+}
+
+void ProbeAgent::HandleMessage(NodeId from, const Message& msg) {
+  if (const auto* ping = std::get_if<ProbePing>(&msg)) {
+    ProbePong pong;
+    pong.origin_site = site_;
+    pong.sent_at = ping->sent_at;
+    monitor_->net()->Send(node_id(), from, pong);
+  } else if (const auto* pong = std::get_if<ProbePong>(&msg)) {
+    SimTime rtt = monitor_->sim()->Now() - pong->sent_at;
+    monitor_->RecordSample(site_, static_cast<SiteId>(pong->origin_site), rtt);
+  }
+}
+
+TopologyMonitor::TopologyMonitor(Network* net, std::vector<SiteId> dc_sites,
+                                 LatencyMatrix prior, TopologyMonitorConfig config)
+    : net_(net), dc_sites_(std::move(dc_sites)), prior_(std::move(prior)), config_(config) {
+  SAT_CHECK(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0);
+  for (SiteId site : dc_sites_) {
+    agents_.push_back(std::make_unique<ProbeAgent>(this, site));
+  }
+}
+
+void TopologyMonitor::Start() {
+  SAT_CHECK(!started_);
+  started_ = true;
+  agent_nodes_.clear();
+  for (auto& agent : agents_) {
+    agent_nodes_.push_back(net_->Attach(agent.get(), agent->site()));
+  }
+  for (auto& agent : agents_) {
+    agent->Start();
+  }
+}
+
+void TopologyMonitor::RecordSample(SiteId from, SiteId to, SimTime rtt) {
+  if (from == to) {
+    return;
+  }
+  ++samples_;
+  // Probes cannot attribute asymmetry within an RTT, so the half-sample
+  // updates both directions; directed drift still shows up as a shared mean.
+  double sample = static_cast<double>(rtt) / 2.0;
+  for (uint64_t key : {(static_cast<uint64_t>(from) << 32) | to,
+                       (static_cast<uint64_t>(to) << 32) | from}) {
+    double* est = estimate_.Find(key);
+    if (est == nullptr) {
+      estimate_[key] = sample;
+    } else {
+      *est += config_.ewma_alpha * (sample - *est);
+    }
+  }
+}
+
+SimTime TopologyMonitor::EstimatedOneWay(SiteId from, SiteId to) const {
+  if (from == to) {
+    return 0;
+  }
+  uint64_t key = (static_cast<uint64_t>(from) << 32) | to;
+  if (const double* est = estimate_.Find(key)) {
+    return static_cast<SimTime>(*est);
+  }
+  return prior_.Get(from, to);
+}
+
+LatencyMatrix TopologyMonitor::BuildMatrix() const {
+  LatencyMatrix matrix = prior_;
+  for (SiteId a : dc_sites_) {
+    for (SiteId b : dc_sites_) {
+      if (a != b) {
+        matrix.SetOneWay(a, b, EstimatedOneWay(a, b));
+      }
+    }
+  }
+  return matrix;
+}
+
+SimTime TopologyMonitor::MaxRttFrom(SiteId site) const {
+  SimTime max_rtt = 0;
+  for (SiteId other : dc_sites_) {
+    if (other == site) {
+      continue;
+    }
+    max_rtt = std::max(max_rtt, EstimatedOneWay(site, other) + EstimatedOneWay(other, site));
+  }
+  return max_rtt;
+}
+
+}  // namespace saturn

@@ -1,0 +1,108 @@
+// RTT measurement plane for the dynamic-topology control loop.
+//
+// One lightweight ProbeAgent per datacenter site pings every peer site on a
+// fixed cadence; pongs echo the send timestamp, so an agent computes an RTT
+// sample with no clock agreement. Samples feed EWMA-smoothed per-directed-pair
+// one-way estimates (rtt/2 — probes cannot attribute asymmetry, so both
+// directions share the sample) held by the TopologyMonitor, which serves two
+// consumers:
+//
+//   * the reconfiguration controller, which re-runs the tree solver on
+//     `BuildMatrix()` — the *measured* world, not the deploy-time constants;
+//   * the adaptive failure detector, which scales each datacenter's
+//     whole-stream-silence timeout by `MaxRttFrom(site)` so a legitimately
+//     slowing link stops masquerading as a dead tree.
+//
+// Estimates are seeded from the static configuration matrix, so the monitor
+// is useful from the first tick and converges toward reality as probes flow.
+#ifndef SRC_SATURN_TOPOLOGY_MONITOR_H_
+#define SRC_SATURN_TOPOLOGY_MONITOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/flat_map.h"
+#include "src/common/types.h"
+#include "src/sim/actor.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/network.h"
+
+namespace saturn {
+
+class TopologyMonitor;
+
+struct TopologyMonitorConfig {
+  SimTime probe_interval = Millis(100);
+  // Smoothing factor for new samples: est' = alpha * sample + (1-alpha) * est.
+  double ewma_alpha = 0.3;
+};
+
+// Periodically pings every peer agent; answers pings from peers.
+class ProbeAgent : public Actor {
+ public:
+  ProbeAgent(TopologyMonitor* monitor, SiteId site) : monitor_(monitor), site_(site) {}
+
+  void Start();
+  void HandleMessage(NodeId from, const Message& msg) override;
+
+  SiteId site() const { return site_; }
+
+ private:
+  void SendProbes();
+
+  TopologyMonitor* monitor_;
+  SiteId site_;
+};
+
+class TopologyMonitor {
+ public:
+  // `dc_sites[dc]` is the site of datacenter `dc`; `prior` seeds the
+  // estimates (typically the cluster's configured latency matrix).
+  TopologyMonitor(Network* net, std::vector<SiteId> dc_sites, LatencyMatrix prior,
+                  TopologyMonitorConfig config = {});
+
+  TopologyMonitor(const TopologyMonitor&) = delete;
+  TopologyMonitor& operator=(const TopologyMonitor&) = delete;
+
+  // Attaches and starts every probe agent. Agents probe from t=0 even for
+  // datacenters that join the metadata service later: measurement is a
+  // network-plane activity, and the controller needs the joiner's latencies
+  // *before* it solves the join tree.
+  void Start();
+
+  // EWMA-smoothed one-way estimate, microseconds. Falls back to the prior for
+  // pairs with no samples yet.
+  SimTime EstimatedOneWay(SiteId from, SiteId to) const;
+
+  // The measured world as a latency matrix the tree solver accepts: the prior
+  // with every datacenter-pair entry overridden by the current estimate.
+  LatencyMatrix BuildMatrix() const;
+
+  // Max estimated round-trip from `site` to any other datacenter site — the
+  // adaptive failure detector's yardstick.
+  SimTime MaxRttFrom(SiteId site) const;
+
+  uint64_t samples() const { return samples_; }
+
+  // Internal: called by agents.
+  void RecordSample(SiteId from, SiteId to, SimTime rtt);
+  Network* net() { return net_; }
+  Simulator* sim() { return net_->simulator(); }
+  const std::vector<NodeId>& agent_nodes() const { return agent_nodes_; }
+  SimTime probe_interval() const { return config_.probe_interval; }
+
+ private:
+  Network* net_;
+  std::vector<SiteId> dc_sites_;
+  LatencyMatrix prior_;
+  TopologyMonitorConfig config_;
+  std::vector<std::unique_ptr<ProbeAgent>> agents_;
+  std::vector<NodeId> agent_nodes_;
+  FlatMap<uint64_t, double> estimate_;  // key: directed site pair; value: us
+  uint64_t samples_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_SATURN_TOPOLOGY_MONITOR_H_

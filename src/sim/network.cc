@@ -1,5 +1,6 @@
 #include "src/sim/network.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace saturn {
@@ -110,11 +111,73 @@ void Network::Deliver(NodeId from, NodeId to, Message msg, SimTime when, uint32_
 }
 
 void Network::InjectExtraLatency(SiteId a, SiteId b, SimTime extra) {
+  InjectExtraLatencyOneWay(a, b, extra);
+  InjectExtraLatencyOneWay(b, a, extra);
+}
+
+void Network::InjectExtraLatencyOneWay(SiteId from, SiteId to, SimTime extra) {
   if (extra == 0) {
-    injected_.Erase(SitePair(a, b));
+    injected_.Erase(DirectedPair(from, to));
   } else {
-    injected_[SitePair(a, b)] = extra;
+    injected_[DirectedPair(from, to)] = extra;
   }
+}
+
+void Network::SetBaseLatency(SiteId a, SiteId b, SimTime one_way) {
+  latency_.Set(a, b, one_way);
+}
+
+void Network::SetBaseLatencyOneWay(SiteId from, SiteId to, SimTime one_way) {
+  latency_.SetOneWay(from, to, one_way);
+}
+
+void Network::ScheduleLatencyStep(SimTime at, SiteId a, SiteId b, SimTime one_way,
+                                  bool symmetric) {
+  sim_->At(at, [this, a, b, one_way, symmetric]() {
+    if (symmetric) {
+      latency_.Set(a, b, one_way);
+    } else {
+      latency_.SetOneWay(a, b, one_way);
+    }
+  });
+}
+
+void Network::ScheduleLatencyRamp(SimTime at, SiteId a, SiteId b, SimTime target,
+                                  SimTime duration, bool symmetric) {
+  if (duration <= 0) {
+    ScheduleLatencyStep(at, a, b, target, symmetric);
+    return;
+  }
+  // The ramp's start values are sampled when it begins, not when it is
+  // scheduled, so earlier trajectory events on the same pair compose.
+  sim_->At(at, [this, a, b, target, duration, symmetric]() {
+    RampTick(a, b, latency_.Get(a, b), latency_.Get(b, a), target, sim_->Now(), duration,
+             symmetric);
+  });
+}
+
+void Network::RampTick(SiteId a, SiteId b, SimTime start_value_a, SimTime start_value_b,
+                       SimTime target, SimTime started, SimTime duration, bool symmetric) {
+  SimTime elapsed = sim_->Now() - started;
+  if (elapsed >= duration) {
+    elapsed = duration;
+  }
+  auto lerp = [&](SimTime from) {
+    return from + (target - from) * elapsed / duration;
+  };
+  latency_.SetOneWay(a, b, lerp(start_value_a));
+  if (symmetric) {
+    latency_.SetOneWay(b, a, lerp(start_value_b));
+  }
+  if (elapsed >= duration) {
+    return;
+  }
+  SimTime next = std::min<SimTime>(kRampTick, duration - elapsed);
+  sim_->At(sim_->Now() + next,
+           [this, a, b, start_value_a, start_value_b, target, started, duration, symmetric]() {
+             RampTick(a, b, start_value_a, start_value_b, target, started, duration,
+                      symmetric);
+           });
 }
 
 void Network::SetLinkDown(SiteId a, SiteId b, bool down) {

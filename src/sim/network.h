@@ -28,7 +28,9 @@ namespace saturn {
 
 using SiteId = uint32_t;
 
-// Symmetric site-to-site one-way latency matrix, in microseconds.
+// Site-to-site one-way latency matrix, in microseconds. `Set` writes both
+// directions; `SetOneWay` supports asymmetric paths (routing detours rarely
+// affect both directions equally).
 class LatencyMatrix {
  public:
   explicit LatencyMatrix(uint32_t sites, SimTime default_latency = Millis(50))
@@ -42,6 +44,8 @@ class LatencyMatrix {
     At(a, b) = one_way;
     At(b, a) = one_way;
   }
+
+  void SetOneWay(SiteId from, SiteId to, SimTime one_way) { At(from, to) = one_way; }
 
   SimTime Get(SiteId a, SiteId b) const {
     SAT_CHECK(a < sites_ && b < sites_);
@@ -93,6 +97,31 @@ class Network {
   // both directions. Used by the Fig. 6 latency-variability experiment.
   void InjectExtraLatency(SiteId a, SiteId b, SimTime extra);
 
+  // Directed variant: extra one-way latency applied only to `from` -> `to`
+  // traffic. Realistic drift trajectories (route changes, asymmetric
+  // congestion) slow one direction of a path without touching the other.
+  void InjectExtraLatencyOneWay(SiteId from, SiteId to, SimTime extra);
+
+  // --- Latency trajectories (time-varying world) ---
+  //
+  // The *base* matrix itself can change over simulated time: a step rewrites
+  // the one-way latency instantly, a ramp interpolates linearly from the value
+  // observed when the ramp starts to `target` over `duration` (discretized in
+  // kRampTick slices, deterministically). Steps/ramps compose with the
+  // injected-extra overlay above — chaos spikes ride on top of drift. FIFO
+  // delivery clamping makes latency *decreases* safe: a channel never reorders.
+  void SetBaseLatency(SiteId a, SiteId b, SimTime one_way);
+  void SetBaseLatencyOneWay(SiteId from, SiteId to, SimTime one_way);
+  void ScheduleLatencyStep(SimTime at, SiteId a, SiteId b, SimTime one_way, bool symmetric);
+  void ScheduleLatencyRamp(SimTime at, SiteId a, SiteId b, SimTime target, SimTime duration,
+                           bool symmetric);
+
+  // Current base one-way latency (no injected overlay, no intra-site rule).
+  SimTime CurrentBaseLatency(SiteId from, SiteId to) const { return latency_.Get(from, to); }
+
+  // Ramp discretization interval.
+  static constexpr SimTime kRampTick = Millis(50);
+
   // Cuts / restores the channel between two sites. While down, messages are
   // buffered and flushed in order when the link is restored (TCP semantics).
   void SetLinkDown(SiteId a, SiteId b, bool down);
@@ -124,7 +153,7 @@ class Network {
       return config_.intra_site_latency;
     }
     SimTime extra = 0;
-    if (const SimTime* injected = injected_.Find(SitePair(a, b))) {
+    if (const SimTime* injected = injected_.Find(DirectedPair(a, b))) {
       extra = *injected;
     }
     return latency_.Get(a, b) + extra;
@@ -180,7 +209,14 @@ class Network {
     return (static_cast<uint64_t>(a) << 32) | b;
   }
 
+  // Direction-preserving key for the injected-extra overlay.
+  static uint64_t DirectedPair(SiteId from, SiteId to) {
+    return (static_cast<uint64_t>(from) << 32) | to;
+  }
+
   void Deliver(NodeId from, NodeId to, Message msg, SimTime when, uint32_t wire_size);
+  void RampTick(SiteId a, SiteId b, SimTime start_value_a, SimTime start_value_b,
+                SimTime target, SimTime started, SimTime duration, bool symmetric);
 
   Simulator* sim_;
   LatencyMatrix latency_;
@@ -188,7 +224,7 @@ class Network {
   Rng jitter_rng_;
   std::vector<NodeInfo> nodes_;
   FlatMap<uint64_t, Channel> channels_;  // key: (from << 32) | to
-  FlatMap<uint64_t, SimTime> injected_;  // key: site pair
+  FlatMap<uint64_t, SimTime> injected_;  // key: directed site pair
   FlatMap<uint64_t, LinkState> links_;   // key: site pair; only cut links present
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;

@@ -1,0 +1,135 @@
+// Chaos x drift composition suite: seeded random fault schedules running
+// *concurrently* with latency drift and a mid-run datacenter join.
+//
+// The chaos property suite proves Saturn survives faults in a static world;
+// this suite proves the two planes compose: while links are cut, crashed and
+// spiked at random, the base matrix itself is ramping and a deferred
+// datacenter joins the metadata service live (stayers epoch-switch, joiner
+// bootstraps through timestamp mode, its clients start mid-run). The
+// invariants are the same as ever — and that is the point:
+//
+//   1. Safety: the causality oracle stays clean.
+//   2. Liveness: every update that committed anywhere reaches all its
+//      replicas once the faults heal (the joiner included).
+//   3. Convergence: every active datacenter ends in stream mode on one agreed
+//      epoch, and the join completed.
+//
+// The adaptive failure detector is load-bearing here: with the static
+// timeout, the drift ramps alone would fake dead trees. Tree kills stay off —
+// epochs belong to the reconfiguration controller in a dynamic deployment,
+// and random fault-plane failovers would race its switches (the controller
+// serializes against *observed* failovers instead, which cuts and crashes
+// still exercise).
+//
+// Simulations run on the ParallelSweep worker pool; all gtest assertions
+// happen on the main thread in seed order. The tsan_smoke ctest label runs
+// this binary with SATURN_JOBS=4 under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/fault/chaos.h"
+#include "src/fault/drift_plan.h"
+#include "src/runtime/sweep.h"
+#include "tests/test_util.h"
+
+namespace saturn {
+namespace {
+
+struct DriftChaosVerdict {
+  std::string context;
+  bool oracle_clean = false;
+  std::string first_violation;
+  size_t missing_count = 0;
+  std::string first_missing;
+  uint64_t joins = 0;
+  bool controller_busy = false;
+  std::vector<bool> in_timestamp_mode;
+  std::vector<uint32_t> epochs;
+};
+
+DriftChaosVerdict RunDriftChaosSim(uint64_t seed) {
+  // Four datacenters: Ireland / Frankfurt / Tokyo active from the start,
+  // North Virginia deferred until its join event.
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  config.dc_sites = {kIreland, kFrankfurt, kTokyo, kNVirginia};
+  config.dynamic.enabled = true;
+  config.dynamic.deferred_dcs = {3};
+  ReplicaMap replicas = SmallReplicas(config, CorrelationPattern::kFull);
+  Cluster cluster(config, std::move(replicas), UniformClientHomes(4, 3),
+                  SyntheticGenerators(DefaultWorkload()));
+  for (DcId dc = 0; dc < 4; ++dc) {
+    cluster.saturn_dc(dc)->set_fallback_timeout(Millis(150));
+  }
+
+  // Random faults over the active window...
+  ChaosOptions options;
+  options.seed = seed;
+  options.start = Millis(1500);
+  options.end = Millis(3300);
+  options.allow_lossy = true;
+  options.allow_crash = true;
+  options.tree_kill_percent = 0;  // epochs belong to the controller here
+  FaultPlan plan = GenerateChaosPlan(options, config.dc_sites);
+  cluster.InstallFaultPlan(plan);
+
+  // ...composed with drift of the base matrix and a mid-run join. The ramps
+  // roughly double Tokyo's links while the fault plan is live.
+  DriftPlan drift;
+  std::string error;
+  bool parsed = ParseDriftPlan(
+      "1500:ramp:3-5:214:1200;1800:ramp:4-5:236:1200;2500:join:3", &drift, &error);
+  SAT_CHECK_MSG(parsed, "%s", error.c_str());
+  cluster.InstallDriftPlan(drift);
+
+  cluster.StopClientsAt(Millis(4500));
+  cluster.Run(Seconds(1), Seconds(2), /*drain=*/Seconds(4));
+
+  DriftChaosVerdict v;
+  v.context = "seed=" + std::to_string(seed) + " plan=[" + plan.ToString() +
+              "] drift=[" + drift.ToString() + "]";
+  v.oracle_clean = cluster.oracle()->Clean();
+  if (!v.oracle_clean && !cluster.oracle()->violations().empty()) {
+    v.first_violation = cluster.oracle()->violations().front();
+  }
+  auto missing = cluster.oracle()->MissingReplicas();
+  v.missing_count = missing.size();
+  if (!missing.empty()) {
+    v.first_missing = missing.front();
+  }
+  v.joins = cluster.reconfig_controller()->joins();
+  v.controller_busy = cluster.reconfig_controller()->busy();
+  for (DcId dc = 0; dc < 4; ++dc) {
+    v.in_timestamp_mode.push_back(cluster.saturn_dc(dc)->in_timestamp_mode());
+    v.epochs.push_back(cluster.saturn_dc(dc)->current_epoch());
+  }
+  return v;
+}
+
+TEST(DriftChaos, SaturnSurvivesChaosUnderDriftWithMidRunJoin) {
+  std::vector<uint64_t> seeds;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    seeds.push_back(seed);
+  }
+  std::vector<DriftChaosVerdict> verdicts =
+      ParallelSweep(seeds, ResolveJobs(), RunDriftChaosSim);
+  for (const DriftChaosVerdict& v : verdicts) {
+    EXPECT_TRUE(v.oracle_clean) << v.context << "\nfirst violation: " << v.first_violation;
+    EXPECT_EQ(v.missing_count, 0u)
+        << v.context << "\n" << v.missing_count
+        << " updates missing replicas, first: " << v.first_missing;
+    EXPECT_EQ(v.joins, 1u) << v.context << "\njoin did not execute";
+    EXPECT_FALSE(v.controller_busy) << v.context << "\noperation still in flight at end";
+    ASSERT_EQ(v.epochs.size(), 4u) << v.context;
+    for (DcId dc = 0; dc < 4; ++dc) {
+      EXPECT_FALSE(v.in_timestamp_mode[dc])
+          << v.context << "\ndc " << dc << " stuck in timestamp mode";
+      EXPECT_EQ(v.epochs[dc], v.epochs[0])
+          << v.context << "\ndc " << dc << " disagrees on the epoch";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace saturn

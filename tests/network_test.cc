@@ -116,6 +116,94 @@ TEST_F(NetworkTest, InjectedLatencyAddsAndClears) {
   EXPECT_EQ(net.BaseLatency(0, 1), Millis(10));
 }
 
+TEST_F(NetworkTest, AsymmetricInjectedLatencyTouchesOneDirection) {
+  Simulator sim;
+  NetworkConfig config;
+  config.bandwidth_bytes_per_us = 1e9;
+  Network net(&sim, matrix_, config);
+  Sink a(&sim);
+  Sink b(&sim);
+  net.Attach(&a, 0);
+  net.Attach(&b, 1);
+
+  net.InjectExtraLatencyOneWay(0, 1, Millis(25));
+  EXPECT_EQ(net.BaseLatency(0, 1), Millis(35));
+  EXPECT_EQ(net.BaseLatency(1, 0), Millis(10));  // reverse path untouched
+
+  net.Send(a.node_id(), b.node_id(), Hb(1));
+  net.Send(b.node_id(), a.node_id(), Hb(2));
+  sim.RunAll();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, Millis(35));
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(a.received[0].first, Millis(10));
+
+  net.InjectExtraLatencyOneWay(0, 1, 0);
+  EXPECT_EQ(net.BaseLatency(0, 1), Millis(10));
+  // The symmetric injector still writes both directions at once (Fig. 6).
+  net.InjectExtraLatency(0, 1, Millis(5));
+  EXPECT_EQ(net.BaseLatency(0, 1), Millis(15));
+  EXPECT_EQ(net.BaseLatency(1, 0), Millis(15));
+}
+
+TEST_F(NetworkTest, ScheduledStepRewritesBaseLatency) {
+  Simulator sim;
+  NetworkConfig config;
+  config.bandwidth_bytes_per_us = 1e9;
+  Network net(&sim, matrix_, config);
+  Sink a(&sim);
+  Sink b(&sim);
+  net.Attach(&a, 0);
+  net.Attach(&b, 1);
+
+  net.ScheduleLatencyStep(Millis(100), 0, 1, Millis(40), /*symmetric=*/false);
+  sim.At(Millis(99), [&] { net.Send(a.node_id(), b.node_id(), Hb(1)); });
+  sim.At(Millis(101), [&] { net.Send(a.node_id(), b.node_id(), Hb(2)); });
+  sim.At(Millis(101), [&] { net.Send(b.node_id(), a.node_id(), Hb(3)); });
+  sim.RunAll();
+
+  ASSERT_EQ(b.received.size(), 2u);
+  EXPECT_EQ(b.received[0].first, Millis(99) + Millis(10));   // pre-step latency
+  EXPECT_EQ(b.received[1].first, Millis(101) + Millis(40));  // post-step latency
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(a.received[0].first, Millis(101) + Millis(10));  // directed: reverse keeps base
+  EXPECT_EQ(net.CurrentBaseLatency(0, 1), Millis(40));
+  EXPECT_EQ(net.CurrentBaseLatency(1, 0), Millis(10));
+}
+
+TEST_F(NetworkTest, ScheduledRampInterpolatesAndComposesWithInjection) {
+  Simulator sim;
+  NetworkConfig config;
+  config.bandwidth_bytes_per_us = 1e9;
+  Network net(&sim, matrix_, config);
+  Sink a(&sim);
+  Sink b(&sim);
+  net.Attach(&a, 0);
+  net.Attach(&b, 1);
+
+  // 10ms -> 50ms over 200ms, both directions, starting at t=100ms.
+  net.ScheduleLatencyRamp(Millis(100), 0, 1, Millis(50), Millis(200), /*symmetric=*/true);
+  net.InjectExtraLatency(0, 1, Millis(5));  // chaos overlay rides on top
+  sim.At(Millis(200), [&] { net.Send(a.node_id(), b.node_id(), Hb(1)); });  // mid-ramp
+  sim.At(Millis(400), [&] { net.Send(a.node_id(), b.node_id(), Hb(2)); });  // post-ramp
+  sim.At(Millis(400), [&] { net.Send(b.node_id(), a.node_id(), Hb(3)); });
+  sim.RunAll();
+
+  // Mid-ramp (t=200ms, halfway): base is ~30ms, discretized in kRampTick
+  // slices, plus the 5ms overlay.
+  ASSERT_EQ(b.received.size(), 2u);
+  SimTime mid = b.received[0].first - Millis(200) - Millis(5);
+  EXPECT_GE(mid, Millis(20));
+  EXPECT_LE(mid, Millis(40));
+  EXPECT_EQ(b.received[1].first, Millis(400) + Millis(50) + Millis(5));
+  // Symmetric ramp: the reverse direction landed on the target too (and the
+  // symmetric overlay covers both directions).
+  ASSERT_EQ(a.received.size(), 1u);
+  EXPECT_EQ(a.received[0].first, Millis(400) + Millis(50) + Millis(5));
+  EXPECT_EQ(net.CurrentBaseLatency(0, 1), Millis(50));
+  EXPECT_EQ(net.CurrentBaseLatency(1, 0), Millis(50));
+}
+
 TEST_F(NetworkTest, LargeMessagesPayTransmissionTime) {
   Simulator sim;
   NetworkConfig config;

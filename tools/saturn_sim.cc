@@ -92,6 +92,27 @@ void Usage() {
       "                        <ms>:recover:<dc>         recover it\n"
       "                        <ms>:killtree:<epoch>     kill an epoch's serializers\n"
       "                        <ms>:killchain:<e>:<r>    kill one chain replica\n"
+      "  --drift-plan=SPEC   drift the world; `;`-separated timed events:\n"
+      "                        <ms>:step:<a>-<b>:<ms>        set base one-way latency\n"
+      "                        <ms>:stepone:<from>-<to>:<ms> directed variant\n"
+      "                        <ms>:ramp:<a>-<b>:<ms>:<durms>    linear ramp\n"
+      "                        <ms>:rampone:<from>-<to>:<ms>:<durms>\n"
+      "                        <ms>:join:<dc>                datacenter joins the tree\n"
+      "                        <ms>:leave:<dc>               datacenter leaves it\n"
+      "                      joined DCs start deferred (no clients, no tree)\n"
+      "  --join=MS:DC        shorthand for a single join event\n"
+      "  --leave=MS:DC       shorthand for a single leave event\n"
+      "  --dynamic           saturn: enable the dynamic-topology plane (probe\n"
+      "                      agents, adaptive failure detector, online tree-\n"
+      "                      reconfiguration controller); implied by join/leave\n"
+      "  --probe-interval=MS probe cadence                              (100)\n"
+      "  --reconfig-eval=MS  controller evaluation interval             (250)\n"
+      "  --reconfig-degrade=F  mismatch ratio that arms the trigger     (1.25)\n"
+      "  --reconfig-hysteresis=N  consecutive degraded evals required   (3)\n"
+      "  --reconfig-cooldown=MS  quiet time after an operation          (2000)\n"
+      "  --leave-drain=MS    grace between client stop and leave switch (500)\n"
+      "  --static-detector   keep the static fallback timeout (no RTT scaling)\n"
+      "  --rtt-multiplier=F  adaptive silence threshold = F * max RTT   (3)\n"
       "  --backup            saturn: pre-deploy a backup star tree as epoch 1\n"
       "  --stop-clients=MS   stop all clients at MS (quiescent recovery tail)\n"
       "  --seeds=N           sweep mode: run seeds seed..seed+N-1 concurrently\n"
@@ -117,6 +138,7 @@ struct SimSetup {
   KeyspaceConfig keyspace;
   SyntheticOpGenerator::Config workload;
   FaultPlan plan;
+  DriftPlan drift;
   uint32_t dcs = 0;
   uint32_t clients = 0;
   SimTime warmup = 0;
@@ -196,6 +218,67 @@ bool BuildSetup(const Flags& flags, SimSetup* setup, int* exit_code) {
       return false;
     }
   }
+  if (flags.Has("drift-plan")) {
+    std::string error;
+    if (!ParseDriftPlan(flags.Get("drift-plan", ""), &setup->drift, &error)) {
+      std::fprintf(stderr, "bad --drift-plan: %s\n", error.c_str());
+      *exit_code = 2;
+      return false;
+    }
+  }
+  // --join / --leave are shorthand for single-event drift plans.
+  for (const char* kind : {"join", "leave"}) {
+    if (!flags.Has(kind)) {
+      continue;
+    }
+    std::string spec = flags.Get(kind, "");
+    size_t colon = spec.find(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--%s needs MS:DC\n", kind);
+      *exit_code = 2;
+      return false;
+    }
+    DriftEvent ev;
+    ev.at = Millis(std::atol(spec.c_str()));
+    ev.kind = std::strcmp(kind, "join") == 0 ? DriftKind::kJoin : DriftKind::kLeave;
+    ev.dc = static_cast<DcId>(std::atol(spec.c_str() + colon + 1));
+    setup->drift.events.push_back(ev);
+  }
+  setup->drift.Normalize();
+
+  bool has_membership = !setup->drift.JoinedDcs().empty();
+  for (const DriftEvent& ev : setup->drift.events) {
+    if (ev.kind == DriftKind::kLeave) {
+      has_membership = true;
+    }
+    if ((ev.kind == DriftKind::kJoin || ev.kind == DriftKind::kLeave) &&
+        ev.dc >= setup->dcs) {
+      std::fprintf(stderr, "drift join/leave dc %u out of range (dcs=%u)\n",
+                   static_cast<unsigned>(ev.dc), setup->dcs);
+      *exit_code = 2;
+      return false;
+    }
+  }
+  if (flags.Has("dynamic") || has_membership) {
+    if (config.protocol != Protocol::kSaturn) {
+      std::fprintf(stderr, "--dynamic / drift join/leave require --protocol=saturn\n");
+      *exit_code = 2;
+      return false;
+    }
+    config.dynamic.enabled = true;
+    config.dynamic.deferred_dcs = setup->drift.JoinedDcs();
+    config.dynamic.monitor.probe_interval = Millis(flags.GetInt("probe-interval", 100));
+    config.dynamic.controller.eval_interval = Millis(flags.GetInt("reconfig-eval", 250));
+    config.dynamic.controller.degrade_ratio = flags.GetDouble("reconfig-degrade", 1.25);
+    config.dynamic.controller.hysteresis_evals =
+        static_cast<uint32_t>(flags.GetInt("reconfig-hysteresis", 3));
+    config.dynamic.controller.cooldown = Millis(flags.GetInt("reconfig-cooldown", 2000));
+    config.dynamic.controller.leave_drain = Millis(flags.GetInt("leave-drain", 500));
+    config.dynamic.controller.chain_replicas = config.chain_replicas;
+    config.dynamic.adaptive_detector = !flags.Has("static-detector");
+    config.dynamic.rtt_multiplier = flags.GetDouble("rtt-multiplier", 3.0);
+  }
+
   if (flags.Has("backup")) {
     if (config.protocol != Protocol::kSaturn) {
       std::fprintf(stderr, "--backup requires --protocol=saturn\n");
@@ -233,6 +316,9 @@ std::unique_ptr<Cluster> BuildCluster(const SimSetup& setup) {
                                            SyntheticGenerators(setup.workload));
   if (!setup.plan.Empty()) {
     cluster->InstallFaultPlan(setup.plan);
+  }
+  if (!setup.drift.Empty()) {
+    cluster->InstallDriftPlan(setup.drift);
   }
   if (setup.backup) {
     // A star rooted away from the primary hub: survives whatever killed it.
@@ -276,6 +362,9 @@ int Run(const Flags& flags, const SimSetup& setup) {
   if (!plan.Empty()) {
     std::printf("fault plan: %s\n", plan.ToString().c_str());
   }
+  if (!setup.drift.Empty()) {
+    std::printf("drift plan: %s\n", setup.drift.ToString().c_str());
+  }
 
   ExperimentResult result = cluster.Run(setup.warmup, setup.measure);
 
@@ -318,6 +407,41 @@ int Run(const Flags& flags, const SimSetup& setup) {
     std::printf("fault trace:\n");
     for (const auto& [at, desc] : cluster.fault_injector()->log()) {
       std::printf("  [%7.1f ms] %s\n", static_cast<double>(at) / Millis(1), desc.c_str());
+    }
+  }
+
+  if (cluster.reconfig_controller() != nullptr) {
+    const ReconfigController* ctl = cluster.reconfig_controller();
+    const obs::MetricsSnapshot snap = cluster.metrics_registry().Snapshot();
+    std::printf("\ndynamic topology:\n");
+    std::printf("probe samples       %10llu\n",
+                static_cast<unsigned long long>(cluster.topology_monitor()->samples()));
+    std::printf("controller evals    %10llu (reconfigs %llu, joins %llu, leaves %llu, "
+                "rejected solves %llu)\n",
+                static_cast<unsigned long long>(ctl->evals()),
+                static_cast<unsigned long long>(ctl->reconfigs()),
+                static_cast<unsigned long long>(ctl->joins()),
+                static_cast<unsigned long long>(ctl->leaves()),
+                static_cast<unsigned long long>(ctl->rejected_solves()));
+    std::printf("mismatch objective  %10.3g measured vs %.3g baseline\n",
+                ctl->last_measured_mismatch(), ctl->baseline_mismatch());
+    std::printf("final epoch %u, active {", ctl->epoch());
+    bool first = true;
+    for (DcId dc : ctl->active()) {
+      std::printf("%s%s", first ? "" : " ", Ec2RegionName(config.dc_sites[dc]));
+      first = false;
+    }
+    std::printf("}%s\n", ctl->busy() ? " (operation still in flight)" : "");
+    const LatencyHistogram* reconfig = snap.Histogram("reconfig_latency");
+    if (reconfig != nullptr && reconfig->count() > 0) {
+      std::printf("reconfig latency    %10.1f ms mean over %llu operations\n",
+                  reconfig->MeanMs(), static_cast<unsigned long long>(reconfig->count()));
+    }
+    const LatencyHistogram* during = snap.Histogram("reconfig_visibility");
+    if (during != nullptr && during->count() > 0) {
+      std::printf("visibility during reconfig: mean %.1f ms, p99 %.1f ms (%llu samples)\n",
+                  during->MeanMs(), during->PercentileMs(0.99),
+                  static_cast<unsigned long long>(during->count()));
     }
   }
 

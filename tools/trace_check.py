@@ -17,10 +17,18 @@ Checks the structural invariants the trace recorder promises:
   * complete-slice events ("X") have a non-negative duration.
 
 Usage:
-    trace_check.py TRACE.json [TRACE2.json ...]
+    trace_check.py [--require-span=NAME ...] TRACE.json [TRACE2.json ...]
+
+--require-span=NAME additionally demands that every file contain at least one
+*matched* async span named NAME (begin and end both present). Migration
+exports use it to prove an epoch switch ran to completion: e.g.
+--require-span=reconfig-switch fails on a trace where the controller started
+a switch that never finished, and the structural flow check above already
+fails if a label journey was torn by the migration.
 
 Exits 0 when every file passes, 1 otherwise (one "file: error" line per
-problem). Library use: validate(doc) returns the list of error strings.
+problem). Library use: validate(doc, require_spans=[...]) returns the list of
+error strings.
 """
 
 import json
@@ -35,7 +43,7 @@ def _is_int(v):
     return isinstance(v, int) and not isinstance(v, bool)
 
 
-def validate(doc):
+def validate(doc, require_spans=()):
     """Validate a parsed trace document. Returns a list of error strings."""
     errors = []
 
@@ -130,6 +138,14 @@ def validate(doc):
         if depth != 0:
             errors.append(f"span {key}: {depth} begin(s) never closed")
 
+    for name in require_spans:
+        begun = [key for key in span_state if key[2] == name]
+        if not begun:
+            errors.append(f"required span {name!r}: no span with this name")
+            continue
+        if all(span_state[key][0] != 0 for key in begun):
+            errors.append(f"required span {name!r}: began but never completed")
+
     for fid in sorted(flows, key=str):
         steps = flows[fid]
         phases = [ph for ph, _, _ in steps]
@@ -163,12 +179,22 @@ def summarize(doc):
 
 
 def main(argv):
-    if len(argv) < 2:
+    require_spans = []
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--require-span="):
+            require_spans.append(arg[len("--require-span="):])
+        elif arg.startswith("--"):
+            print(f"unknown flag: {arg}")
+            return 2
+        else:
+            paths.append(arg)
+    if not paths:
         print(__doc__.strip().splitlines()[0])
-        print("usage: trace_check.py TRACE.json [TRACE2.json ...]")
+        print("usage: trace_check.py [--require-span=NAME ...] TRACE.json [...]")
         return 2
     failed = False
-    for path in argv[1:]:
+    for path in paths:
         try:
             with open(path) as f:
                 doc = json.load(f)
@@ -176,7 +202,7 @@ def main(argv):
             print(f"{path}: cannot load: {e}")
             failed = True
             continue
-        errors = validate(doc)
+        errors = validate(doc, require_spans)
         if errors:
             for e in errors:
                 print(f"{path}: {e}")
