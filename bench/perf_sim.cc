@@ -23,6 +23,11 @@
 //                (dependency vectors / explicit dep lists) dominates the
 //                allocation plane. One timed window covers both runs.
 //
+//   batch      — the fig5_full deployment with metadata-link batching on
+//                (1 ms window, delta-encoded label frames, piggybacked acks).
+//                Gated against fig5_full: the metadata plane must shed ≥1.3x
+//                wire bytes while p99 visibility grows ≤10%.
+//
 // Per workload it records wall-clock, executed simulation events, events/sec,
 // peak RSS and the protocol-level throughput. The executed-event count is a
 // determinism fingerprint: any core change that alters it changed simulation
@@ -158,6 +163,11 @@ struct WorkloadResult {
   uint64_t alloc_bytes = 0;
   double allocs_per_event = 0;
   long peak_rss_kb = 0;
+  // Wire-volume and visibility facts for the batching gate. Deterministic for
+  // a given build (they follow the fingerprint), so repeats agree.
+  uint64_t metadata_wire_bytes = 0;
+  uint64_t total_wire_bytes = 0;
+  double p99_visibility_ms = 0;
 };
 
 long PeakRssKb() {
@@ -194,6 +204,9 @@ WorkloadResult TimeWorkload(const std::string& name, int repeat, BuildFn build) 
     std::vector<PreparedRun> runs = build();
     uint64_t events = 0;
     double throughput = 0;
+    uint64_t metadata_wire = 0;
+    uint64_t total_wire = 0;
+    double p99_vis = 0;
     uint64_t alloc0 = g_alloc_count.load(std::memory_order_relaxed);
     uint64_t bytes0 = g_alloc_bytes.load(std::memory_order_relaxed);
     auto start = std::chrono::steady_clock::now();
@@ -201,6 +214,11 @@ WorkloadResult TimeWorkload(const std::string& name, int repeat, BuildFn build) 
       ExperimentResult result = run.cluster->Run(run.warmup, run.measure, run.drain);
       events += run.cluster->sim().executed_events();
       throughput += result.throughput_ops;
+      metadata_wire += result.metadata_wire_bytes;
+      total_wire += result.net_bytes;
+      if (result.p99_visibility_ms > p99_vis) {
+        p99_vis = result.p99_visibility_ms;
+      }
       if (run.verify) {
         run.verify(*run.cluster);
       }
@@ -214,6 +232,9 @@ WorkloadResult TimeWorkload(const std::string& name, int repeat, BuildFn build) 
       best.wall_s = wall;
       best.events_per_sec = static_cast<double>(events) / wall;
       best.throughput_ops = throughput;
+      best.metadata_wire_bytes = metadata_wire;
+      best.total_wire_bytes = total_wire;
+      best.p99_visibility_ms = p99_vis;
     }
     if (i == 0 || allocs < best.allocs) {
       best.allocs = allocs;
@@ -237,7 +258,11 @@ WorkloadResult TimeWorkload(const std::string& name, int repeat, BuildFn build) 
 // Workload 1: Saturn, 7 DCs, full replication, Fig. 5 defaults. `traced`
 // builds the same cluster with the trace recorder attached (the
 // trace_overhead section runs it both ways at identical scale).
-PreparedRun BuildFig5Full(const PerfOptions& options, bool traced = false) {
+// `batch_deadline` > 0 turns on metadata-link batching at that window (the
+// `batch` workload is this cluster with a 1 ms window; everything else is
+// byte-identical to fig5_full).
+PreparedRun BuildFig5Full(const PerfOptions& options, bool traced = false,
+                          SimTime batch_deadline = 0) {
   PreparedRun run;
   ClusterConfig config;
   config.protocol = Protocol::kSaturn;
@@ -246,6 +271,7 @@ PreparedRun BuildFig5Full(const PerfOptions& options, bool traced = false) {
   config.dc.num_gears = 4;
   config.seed = 42;
   config.trace.enabled = traced;
+  config.dc.batch_deadline = batch_deadline;
 
   KeyspaceConfig keyspace;
   keyspace.num_keys = 10000;
@@ -691,6 +717,11 @@ void WriteJson(const PerfOptions& options, const std::vector<WorkloadResult>& re
     std::fprintf(f, "      \"alloc_bytes\": %llu,\n",
                  static_cast<unsigned long long>(r.alloc_bytes));
     std::fprintf(f, "      \"allocs_per_event\": %.4f,\n", r.allocs_per_event);
+    std::fprintf(f, "      \"metadata_wire_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(r.metadata_wire_bytes));
+    std::fprintf(f, "      \"total_wire_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(r.total_wire_bytes));
+    std::fprintf(f, "      \"p99_visibility_ms\": %.3f,\n", r.p99_visibility_ms);
     std::fprintf(f, "      \"peak_rss_kb\": %ld\n", r.peak_rss_kb);
     std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
   }
@@ -761,6 +792,9 @@ int Main(int argc, char** argv) {
                                  [&]() { return single(BuildReconfig(options)); }));
   results.push_back(TimeWorkload("cure_cops", options.repeat,
                                  [&]() { return BuildCureCops(options); }));
+  results.push_back(TimeWorkload("batch", options.repeat, [&]() {
+    return single(BuildFig5Full(options, /*traced=*/false, /*batch_deadline=*/Millis(1)));
+  }));
 
   std::printf("%-10s  %14s  %8s  %14s  %12s  %12s  %10s  %10s\n", "workload", "events",
               "wall_s", "events/sec", "ops/sec", "allocs", "allocs/ev", "rss_mb");
@@ -770,6 +804,46 @@ int Main(int argc, char** argv) {
                 r.events_per_sec, r.throughput_ops,
                 static_cast<unsigned long long>(r.allocs), r.allocs_per_event,
                 static_cast<double>(r.peak_rss_kb) / 1024.0);
+  }
+
+  // Batching gate: the batch workload is fig5_full plus a 1 ms metadata
+  // window, so the two are directly comparable. The ratios are deterministic
+  // (wire bytes and visibility follow the fingerprint), so gating them here is
+  // as stable as gating the fingerprint itself.
+  {
+    const WorkloadResult* fig5 = nullptr;
+    const WorkloadResult* batch = nullptr;
+    for (const WorkloadResult& r : results) {
+      if (r.name == "fig5_full") fig5 = &r;
+      if (r.name == "batch") batch = &r;
+    }
+    double wire_ratio = batch->metadata_wire_bytes > 0
+                            ? static_cast<double>(fig5->metadata_wire_bytes) /
+                                  static_cast<double>(batch->metadata_wire_bytes)
+                            : 0;
+    double p99_ratio = fig5->p99_visibility_ms > 0
+                           ? batch->p99_visibility_ms / fig5->p99_visibility_ms
+                           : 0;
+    std::printf("batch: metadata wire bytes %llu -> %llu (%.2fx), p99 visibility "
+                "%.2f ms -> %.2f ms (%.2fx), events/sec %.2fx\n",
+                static_cast<unsigned long long>(fig5->metadata_wire_bytes),
+                static_cast<unsigned long long>(batch->metadata_wire_bytes), wire_ratio,
+                fig5->p99_visibility_ms, batch->p99_visibility_ms, p99_ratio,
+                batch->events_per_sec / fig5->events_per_sec);
+    if (wire_ratio < 1.3) {
+      std::fprintf(stderr,
+                   "FATAL: batching shed only %.2fx metadata wire bytes (need >= 1.3x) — "
+                   "the batch plane stopped coalescing or the codec stopped compressing\n",
+                   wire_ratio);
+      std::exit(1);
+    }
+    if (p99_ratio > 1.1) {
+      std::fprintf(stderr,
+                   "FATAL: batching grew p99 visibility %.2fx (budget 1.1x) — the flush "
+                   "policy is holding labels too long\n",
+                   p99_ratio);
+      std::exit(1);
+    }
   }
 
   TraceOverheadResult trace = RunTraceOverhead(options);

@@ -12,6 +12,7 @@ set(SATURN_FIG_BENCHES
   fig8_facebook
   ablation_design
   ablation_stabilization
+  ablation_batching
   cops_metadata
 )
 

@@ -50,6 +50,13 @@ struct CostModel {
   // the real system; cheap because labels are constant-size).
   double sink_flush_us = 5.0;
 
+  // Metadata batch codec (batching plane, reliable_link.h): per-label delta
+  // encode when the sink hands labels to a batched link, and per-label decode
+  // when a batch frame reaches the remote proxy. Charged only when batching
+  // is enabled; labels are tiny, so both are fractions of scalar_meta_us.
+  double batch_encode_label_us = 0.3;
+  double batch_decode_label_us = 0.2;
+
   // Frontend work for attach / migration requests.
   double attach_base_us = 15.0;
 

@@ -54,6 +54,15 @@ struct DatacenterConfig {
   // Reliable bulk channel: retransmission margin added on top of two round
   // trips to the peer before an unacked message is resent.
   SimTime bulk_retransmit_margin = Millis(25);
+  // Metadata-plane batching on Saturn's reliable links (reliable_link.h):
+  // labels pending on a serializer/DC link coalesce into one delta-encoded
+  // frame, flushed at batch_max_labels entries / batch_max_bytes encoded
+  // bytes or when batch_deadline elapses, whichever first. batch_deadline 0
+  // (the default) disables batching entirely and preserves per-label
+  // behaviour bit-for-bit.
+  uint32_t batch_max_labels = 32;
+  uint32_t batch_max_bytes = 1024;
+  SimTime batch_deadline = 0;
   uint64_t rng_seed = 1;
 };
 

@@ -1,0 +1,196 @@
+#include "src/core/label_codec.h"
+
+#include <utility>
+
+namespace saturn {
+namespace {
+
+// Per-entry flags byte layout. Bits 0-1 carry the label type; the rest elide
+// fields that match the batch's first entry (or, for target_dc, the invalid
+// sentinel that every non-migration label carries).
+constexpr uint8_t kTypeMask = 0x03;
+constexpr uint8_t kSrcInDict = 0x04;
+constexpr uint8_t kEpochSame = 0x08;
+constexpr uint8_t kInterestSame = 0x10;
+constexpr uint8_t kDcInvalid = 0x20;
+
+}  // namespace
+
+void LabelBatchEncoder::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void LabelBatchEncoder::Add(const LabelEnvelope& env) {
+  const bool is_first = count_ == 0;
+  const Label& l = env.label;
+
+  uint8_t flags = static_cast<uint8_t>(l.type) & kTypeMask;
+  uint32_t dict_index = 0;
+  for (size_t i = 0; i < dict_.size(); ++i) {
+    if (dict_[i] == l.src) {
+      flags |= kSrcInDict;
+      dict_index = static_cast<uint32_t>(i);
+      break;
+    }
+  }
+  if (!is_first && env.epoch == first_.epoch) {
+    flags |= kEpochSame;
+  }
+  if (!is_first && env.interest == first_.interest) {
+    flags |= kInterestSame;
+  }
+  if (l.target_dc == kInvalidDc) {
+    flags |= kDcInvalid;
+  }
+  buf_.push_back(flags);
+
+  if ((flags & kSrcInDict) != 0) {
+    PutVarint(dict_index);
+  } else {
+    PutVarint(l.src);
+    dict_.push_back(l.src);
+  }
+  if (is_first) {
+    PutZigzag(l.ts);
+    first_ = env;
+  } else {
+    PutZigzag(l.ts - first_.label.ts);
+  }
+  PutVarint(l.target_key);
+  if ((flags & kDcInvalid) == 0) {
+    PutVarint(l.target_dc);
+  }
+  if (is_first) {
+    PutVarint(l.uid);
+  } else {
+    PutZigzag(static_cast<int64_t>(l.uid - prev_uid_));
+  }
+  prev_uid_ = l.uid;
+  if ((flags & kEpochSame) == 0) {
+    PutVarint(env.epoch);
+  }
+  if ((flags & kInterestSame) == 0) {
+    PutVarint(env.interest.bits());
+  }
+  ++count_;
+}
+
+BatchBytes LabelBatchEncoder::Take() {
+  BatchBytes out = std::move(buf_);
+  buf_.clear();
+  count_ = 0;
+  prev_uid_ = 0;
+  dict_.clear();
+  return out;
+}
+
+bool LabelBatchDecoder::GetVarint(uint64_t* v) {
+  uint64_t out = 0;
+  for (uint32_t shift = 0; shift < 64; shift += 7) {
+    if (pos_ >= size_) {
+      ok_ = false;
+      return false;
+    }
+    uint8_t byte = data_[pos_++];
+    out |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = out;
+      return true;
+    }
+  }
+  ok_ = false;  // more than 10 continuation bytes: malformed
+  return false;
+}
+
+bool LabelBatchDecoder::Next(LabelEnvelope* env) {
+  if (!ok_ || pos_ >= size_) {
+    return false;
+  }
+  const bool is_first = count_ == 0;
+  uint8_t flags = data_[pos_++];
+
+  LabelEnvelope out;
+  out.label.type = static_cast<LabelType>(flags & kTypeMask);
+
+  uint64_t raw;
+  if (!GetVarint(&raw)) {
+    return false;
+  }
+  if ((flags & kSrcInDict) != 0) {
+    if (raw >= dict_.size()) {
+      ok_ = false;
+      return false;
+    }
+    out.label.src = dict_[static_cast<size_t>(raw)];
+  } else {
+    out.label.src = static_cast<SourceId>(raw);
+    dict_.push_back(out.label.src);
+  }
+
+  int64_t sts;
+  if (!GetZigzag(&sts)) {
+    return false;
+  }
+  out.label.ts = is_first ? sts : first_.label.ts + sts;
+
+  if (!GetVarint(&raw)) {
+    return false;
+  }
+  out.label.target_key = raw;
+
+  if ((flags & kDcInvalid) != 0) {
+    out.label.target_dc = kInvalidDc;
+  } else {
+    if (!GetVarint(&raw)) {
+      return false;
+    }
+    out.label.target_dc = static_cast<DcId>(raw);
+  }
+
+  if (is_first) {
+    if (!GetVarint(&raw)) {
+      return false;
+    }
+    out.label.uid = raw;
+  } else {
+    int64_t delta;
+    if (!GetZigzag(&delta)) {
+      return false;
+    }
+    out.label.uid = prev_uid_ + static_cast<uint64_t>(delta);
+  }
+  prev_uid_ = out.label.uid;
+
+  if ((flags & kEpochSame) != 0) {
+    out.epoch = first_.epoch;
+  } else {
+    if (!GetVarint(&raw)) {
+      return false;
+    }
+    out.epoch = static_cast<uint32_t>(raw);
+  }
+
+  if ((flags & kInterestSame) != 0) {
+    out.interest = first_.interest;
+  } else {
+    if (!GetVarint(&raw)) {
+      return false;
+    }
+    out.interest = DcSet(raw);
+  }
+
+  if (is_first) {
+    first_ = out;
+  }
+  ++count_;
+  env->label = out.label;
+  env->interest = out.interest;
+  env->epoch = out.epoch;
+  return true;
+}
+
+}  // namespace saturn

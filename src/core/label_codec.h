@@ -1,0 +1,92 @@
+// Delta codec for metadata label batches.
+//
+// A flushed batch (reliable_link.h) carries consecutive envelopes of one
+// directed metadata link. Consecutive labels share almost all of their
+// structure — same epoch, a handful of source gears, timestamps within the
+// flush window of each other — so the batch encodes the first envelope in
+// full and every later one as a delta against it: zigzag-varint timestamp
+// deltas, an in-batch source dictionary, and elision of the epoch / interest
+// set when they match the first entry (they almost always do; an epoch switch
+// mid-batch just pays the full field). The encoding is self-contained byte
+// data: the decoder needs nothing but the bytes and the entry count.
+//
+// Link sequence numbers are NOT encoded — batch entries are consecutive by
+// construction, so the receiver reassigns first_seq + i.
+//
+// Every Add appends at least the flags byte, so the encoded size is strictly
+// monotone in the batch length — the size-triggered flush bound in the batch
+// layer can never be starved by a zero-byte entry.
+#ifndef SRC_CORE_LABEL_CODEC_H_
+#define SRC_CORE_LABEL_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/inline_vec.h"
+#include "src/core/messages.h"
+
+namespace saturn {
+
+// Incremental encoder for one batch. Reused across batches by the owning
+// out-channel: Take() hands the buffer to the wire message and resets the
+// per-batch state, the dictionary keeps its capacity.
+class LabelBatchEncoder {
+ public:
+  // Appends `env` to the open batch. The first Add after construction /
+  // Take() defines the reference entry deltas are taken against.
+  void Add(const LabelEnvelope& env);
+
+  uint32_t count() const { return count_; }
+  size_t size() const { return buf_.size(); }
+
+  // Moves the encoded bytes out and resets for the next batch.
+  BatchBytes Take();
+
+ private:
+  void PutVarint(uint64_t v);
+  void PutZigzag(int64_t v) { PutVarint((static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63)); }
+
+  BatchBytes buf_;
+  uint32_t count_ = 0;
+  LabelEnvelope first_;
+  uint64_t prev_uid_ = 0;
+  // Sources seen in this batch, in first-seen order; later entries refer to
+  // them by index. A serializer-level batch mixes at most a few dozen gears.
+  InlineVec<SourceId, 32> dict_;
+};
+
+// Streaming decoder: mirrors the encoder state entry by entry.
+class LabelBatchDecoder {
+ public:
+  LabelBatchDecoder(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  // Decodes the next entry into *env (link_seq is left untouched). Returns
+  // false when the buffer is exhausted or malformed; ok() disambiguates.
+  bool Next(LabelEnvelope* env);
+
+  bool ok() const { return ok_; }
+
+ private:
+  bool GetVarint(uint64_t* v);
+  bool GetZigzag(int64_t* v) {
+    uint64_t raw;
+    if (!GetVarint(&raw)) {
+      return false;
+    }
+    *v = static_cast<int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+  uint32_t count_ = 0;
+  LabelEnvelope first_;
+  uint64_t prev_uid_ = 0;
+  InlineVec<SourceId, 32> dict_;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_CORE_LABEL_CODEC_H_

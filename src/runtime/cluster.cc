@@ -175,6 +175,8 @@ Cluster::Cluster(ClusterConfig config, ReplicaMap replicas, std::vector<DcId> cl
       compact_tree = tree_;
     }
     metadata_ = std::make_unique<MetadataService>(&sim_, net_.get(), saturn_dcs);
+    metadata_->SetBatchConfig({config_.dc.batch_max_labels, config_.dc.batch_max_bytes,
+                               config_.dc.batch_deadline});
     if (trace_ != nullptr) {
       metadata_->SetTrace(trace_.get(), SiteName);
     }
@@ -332,6 +334,11 @@ void Cluster::BuildMetricsRegistry() {
                 [net] { return static_cast<int64_t>(net->dropped_node_down()); });
   reg.AddScalar("net.messages_dropped",
                 [net] { return static_cast<int64_t>(net->messages_dropped()); });
+  for (uint32_t c = 0; c < kNumLinkClasses; ++c) {
+    LinkClass cls = static_cast<LinkClass>(c);
+    reg.AddScalar(std::string("net.wire_bytes.") + LinkClassName(cls),
+                  [net, cls] { return static_cast<int64_t>(net->wire_bytes(cls)); });
+  }
 
   Metrics* metrics = metrics_.get();
   reg.AddScalar("ops.completed",
@@ -360,6 +367,9 @@ void Cluster::BuildMetricsRegistry() {
       reg.AddScalar(prefix + "link_retransmit_storms", [sdc] {
         return static_cast<int64_t>(sdc->link_retransmit_storms());
       });
+      reg.AddScalar(prefix + "link_retransmit_coalesced", [sdc] {
+        return static_cast<int64_t>(sdc->link_retransmit_coalesced());
+      });
     }
   }
 
@@ -386,6 +396,13 @@ void Cluster::BuildMetricsRegistry() {
       int64_t total = 0;
       for (Serializer* s : metadata->AllSerializers()) {
         total += static_cast<int64_t>(s->link_retransmit_storms());
+      }
+      return total;
+    });
+    reg.AddScalar("tree.link_retransmit_coalesced", [metadata] {
+      int64_t total = 0;
+      for (Serializer* s : metadata->AllSerializers()) {
+        total += static_cast<int64_t>(s->link_retransmit_coalesced());
       }
       return total;
     });
@@ -469,6 +486,9 @@ ExperimentResult Cluster::Result() const {
   result.remote_updates = vis.count();
   result.mean_op_latency_ms = metrics_->OpLatency().MeanMs();
   result.mean_attach_ms = metrics_->AttachLatency().MeanMs();
+  result.net_messages = net_->messages_sent();
+  result.net_bytes = net_->bytes_sent();
+  result.metadata_wire_bytes = net_->metadata_wire_bytes();
   return result;
 }
 

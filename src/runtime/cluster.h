@@ -114,6 +114,9 @@ struct ExperimentResult {
   double mean_op_latency_ms = 0;     // client-perceived
   double mean_attach_ms = 0;         // attach/migration round-trips
   uint64_t remote_updates = 0;
+  uint64_t net_messages = 0;           // total messages delivered on the wire
+  uint64_t net_bytes = 0;              // total wire bytes, every traffic class
+  uint64_t metadata_wire_bytes = 0;    // labels + acks only (Saturn's metadata plane)
 };
 
 class Cluster {

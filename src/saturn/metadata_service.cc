@@ -23,6 +23,7 @@ void MetadataService::DeployTree(uint32_t epoch, const TreeTopology& topology,
       continue;
     }
     auto serializer = std::make_unique<Serializer>(sim_, net_, nodes[i].site, chain_replicas);
+    serializer->ConfigureBatching(batch_config_);
     net_->Attach(serializer.get(), nodes[i].site);
     if (trace_ != nullptr) {
       // Serializers are created in topology node order, so track ids (and

@@ -20,6 +20,11 @@ class MetadataService {
   MetadataService(Simulator* sim, Network* net, std::vector<SaturnDc*> datacenters)
       : sim_(sim), net_(net), datacenters_(std::move(datacenters)) {}
 
+  // Batching policy applied to every serializer deployed from now on
+  // (including controller-driven backup epochs). Set before the first
+  // DeployTree; the default keeps batching off.
+  void SetBatchConfig(const LinkBatchConfig& config) { batch_config_ = config; }
+
   // Observation only: serializers deployed from now on get their own trace
   // track (named "ser:e<epoch>:<site>"). Must be set before DeployTree for
   // the epoch to be traced; `site_namer` is optional and defaults to the
@@ -60,6 +65,7 @@ class MetadataService {
   Network* net_;
   std::vector<SaturnDc*> datacenters_;
   std::vector<Deployment> deployments_;
+  LinkBatchConfig batch_config_;
   obs::TraceRecorder* trace_ = nullptr;
   std::function<std::string(SiteId)> site_namer_;
 };

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/common/inline_vec.h"
+
 namespace saturn {
 namespace {
 
@@ -35,12 +37,14 @@ ReliableLinks::ReliableLinks(Simulator* sim, Network* net, Actor* owner, Deliver
       net_(net),
       owner_(owner),
       deliver_(std::move(deliver)),
-      tick_(sim, [this]() {
-        Tick();
-        if (WorkPending()) {
-          ScheduleTick();
-        }
-      }) {}
+      tick_(sim,
+            [this]() {
+              Tick();
+              if (WorkPending()) {
+                ScheduleTick();
+              }
+            }),
+      flush_(sim, [this]() { FlushDueBatches(); }) {}
 
 void ReliableLinks::SetPeerDelay(NodeId peer, SimTime delay) {
   out_[peer].delay = delay;
@@ -53,7 +57,23 @@ void ReliableLinks::Send(NodeId to, LabelEnvelope env) {
   // Move the envelope straight into the (ring-backed) retransmit window; the
   // wire copy in Transmit reads from the stored entry.
   out.unacked.Push(seq, OutEntry{std::move(env), 0});
-  Transmit(to, &out, seq);
+  if (!batch_.enabled()) {
+    Transmit(to, &out, seq);
+    ScheduleTick();
+    return;
+  }
+  // Batched path: the envelope joins the open batch instead of going out as
+  // its own frame; its window entry keeps attempts == 0 until the flush.
+  if (out.pending.count() == 0) {
+    out.pending_first = seq;
+    out.flush_at = sim_->Now() + batch_.deadline;
+  }
+  out.pending.Add(out.unacked.At(seq).env);
+  if (out.pending.count() >= batch_.max_labels || out.pending.size() >= batch_.max_bytes) {
+    FlushBatch(to, &out);
+  } else {
+    flush_.Arm(batch_.deadline);
+  }
   ScheduleTick();
 }
 
@@ -70,6 +90,66 @@ void ReliableLinks::Transmit(NodeId to, OutChannel* out, uint64_t seq) {
     sim_->After(out->delay, [net, self, to, copy]() { net->Send(self, to, copy); });
   } else {
     net_->Send(owner_->node_id(), to, entry.env);
+  }
+}
+
+void ReliableLinks::FlushBatch(NodeId to, OutChannel* out) {
+  if (out->pending.count() == 0) {
+    return;
+  }
+  LabelBatch batch;
+  batch.first_seq = out->pending_first;
+  batch.count = out->pending.count();
+  batch.bytes = out->pending.Take();
+  out->flush_at = kSimTimeNever;
+  // Piggyback the cumulative ack owed on the reverse direction of this link:
+  // while data flows both ways, no standalone LinkAck frames are needed (the
+  // lazy tick only acks channels still owed when it fires).
+  if (auto in = in_.find(to); in != in_.end() && in->second.ack_owed) {
+    batch.has_ack = true;
+    batch.acked = in->second.next_in - 1;
+    in->second.ack_owed = false;
+  }
+  SimTime now = sim_->Now();
+  for (uint64_t seq = batch.first_seq; seq < batch.first_seq + batch.count; ++seq) {
+    OutEntry& entry = out->unacked.At(seq);
+    entry.sent_at = now;
+    ++entry.attempts;
+  }
+  if (trace_ != nullptr) {
+    trace_->Hop(now, trace_track_, "batch.flush", 0, static_cast<int64_t>(batch.count),
+                static_cast<int64_t>(batch.bytes.size()));
+  }
+  SendBatchFrame(to, *out, std::move(batch));
+}
+
+void ReliableLinks::FlushDueBatches() {
+  SimTime now = sim_->Now();
+  SimTime next = kSimTimeNever;
+  for (auto& [peer, out] : out_) {
+    if (out.pending.count() == 0) {
+      continue;
+    }
+    if (out.flush_at <= now) {
+      FlushBatch(peer, &out);
+    } else if (out.flush_at < next) {
+      next = out.flush_at;
+    }
+  }
+  if (next != kSimTimeNever) {
+    flush_.Arm(next - now);
+  }
+}
+
+void ReliableLinks::SendBatchFrame(NodeId to, const OutChannel& out, LabelBatch batch) {
+  if (out.delay > 0) {
+    Network* net = net_;
+    NodeId self = owner_->node_id();
+    sim_->After(out.delay, [net, self, to, m = std::move(batch)]() mutable {
+      net->Send(self, to, std::move(m));
+    });
+  } else {
+    net_->Send(owner_->node_id(), to, std::move(batch));
   }
 }
 
@@ -96,6 +176,28 @@ void ReliableLinks::OnEnvelope(NodeId from, const LabelEnvelope& env) {
     deliver_(from, next);
     ++in.next_in;
   }
+}
+
+void ReliableLinks::OnBatch(NodeId from, const LabelBatch& batch) {
+  if (batch.has_ack) {
+    LinkAck ack;
+    ack.acked = batch.acked;
+    OnAck(from, ack);
+  }
+  // Every decoded entry goes through the same dedup/reorder as a standalone
+  // envelope, so partially duplicate retransmitted batches are harmless and
+  // delivery order is identical to per-envelope transmission.
+  LabelBatchDecoder dec(batch.bytes.data(), batch.bytes.size());
+  LabelEnvelope env;
+  uint64_t seq = batch.first_seq;
+  for (uint32_t i = 0; i < batch.count; ++i) {
+    if (!dec.Next(&env)) {
+      break;
+    }
+    env.link_seq = seq++;
+    OnEnvelope(from, env);
+  }
+  SAT_CHECK_MSG(dec.ok(), "malformed label batch from node %u", from);
 }
 
 void ReliableLinks::OnAck(NodeId from, const LinkAck& ack) {
@@ -152,30 +254,109 @@ void ReliableLinks::ScheduleTick() {
 void ReliableLinks::Tick() {
   SimTime now = sim_->Now();
   for (auto& [peer, in] : in_) {
-    if (in.ack_owed) {
-      LinkAck ack;
-      ack.acked = in.next_in - 1;
-      net_->Send(owner_->node_id(), peer, ack);
-      in.ack_owed = false;
+    if (!in.ack_owed) {
+      continue;
     }
+    if (batch_.enabled()) {
+      // Reverse link busy: an open batch towards this peer flushes within the
+      // deadline and piggybacks the cumulative ack. Standalone ack frames are
+      // for idle reverse links only.
+      if (auto o = out_.find(peer); o != out_.end() && o->second.pending.count() > 0) {
+        continue;
+      }
+    }
+    LinkAck ack;
+    ack.acked = in.next_in - 1;
+    net_->Send(owner_->node_id(), peer, ack);
+    in.ack_owed = false;
   }
   for (auto& [peer, out] : out_) {
-    SimTime base_rto = Rto(peer, out);
-    NodeId to = peer;
-    OutChannel* channel = &out;
-    out.unacked.ForEach([&](uint64_t seq, OutEntry& entry) {
-      if (now - entry.sent_at >= RetryTimeout(base_rto, entry, to, seq)) {
+    if (batch_.enabled()) {
+      RetransmitDueCoalesced(peer, &out, now);
+    } else {
+      RetransmitDue(peer, &out, now);
+    }
+  }
+}
+
+void ReliableLinks::RetransmitDue(NodeId to, OutChannel* out, SimTime now) {
+  SimTime base_rto = Rto(to, *out);
+  OutChannel* channel = out;
+  out->unacked.ForEach([&](uint64_t seq, OutEntry& entry) {
+    if (now - entry.sent_at >= RetryTimeout(base_rto, entry, to, seq)) {
+      ++retransmissions_;
+      if (entry.attempts >= 2) {
+        ++retransmit_storms_;
+      }
+      if (trace_ != nullptr) {
+        trace_->Instant(now, trace_track_, "link.retransmit", nullptr, to,
+                        static_cast<int64_t>(seq));
+      }
+      Transmit(to, channel, seq);
+    }
+  });
+}
+
+void ReliableLinks::RetransmitDueCoalesced(NodeId to, OutChannel* out, SimTime now) {
+  SimTime base_rto = Rto(to, *out);
+  // Collect due sequence numbers first (ascending, from ForEach), then resend
+  // contiguous runs as single re-encoded batch frames instead of one frame
+  // per envelope — an RTO on a batched link re-sends the window, and without
+  // coalescing that resend would undo the batching win exactly when the link
+  // is already struggling.
+  InlineVec<uint64_t, 64> due;
+  out->unacked.ForEach([&](uint64_t seq, OutEntry& entry) {
+    if (entry.attempts == 0) {
+      return;  // still pending in the open batch: never transmitted yet
+    }
+    if (now - entry.sent_at >= RetryTimeout(base_rto, entry, to, seq)) {
+      due.push_back(seq);
+    }
+  });
+  size_t i = 0;
+  while (i < due.size()) {
+    size_t j = i + 1;
+    while (j < due.size() && due[j] == due[j - 1] + 1 &&
+           static_cast<uint32_t>(j - i) < batch_.max_labels) {
+      ++j;
+    }
+    const uint32_t run = static_cast<uint32_t>(j - i);
+    if (run == 1) {
+      uint64_t seq = due[i];
+      OutEntry& entry = out->unacked.At(seq);
+      ++retransmissions_;
+      if (entry.attempts >= 2) {
+        ++retransmit_storms_;
+      }
+      if (trace_ != nullptr) {
+        trace_->Instant(now, trace_track_, "link.retransmit", nullptr, to,
+                        static_cast<int64_t>(seq));
+      }
+      Transmit(to, out, seq);
+    } else {
+      LabelBatch batch;
+      batch.first_seq = due[i];
+      batch.count = run;
+      LabelBatchEncoder enc;
+      for (uint64_t seq = due[i]; seq < due[i] + run; ++seq) {
+        OutEntry& entry = out->unacked.At(seq);
+        enc.Add(entry.env);
+        entry.sent_at = now;
+        ++entry.attempts;
         ++retransmissions_;
-        if (entry.attempts >= 2) {
+        if (entry.attempts >= 3) {  // attempts was >= 2 before this resend
           ++retransmit_storms_;
         }
-        if (trace_ != nullptr) {
-          trace_->Instant(now, trace_track_, "link.retransmit", nullptr, to,
-                          static_cast<int64_t>(seq));
-        }
-        Transmit(to, channel, seq);
       }
-    });
+      batch.bytes = enc.Take();
+      ++retransmit_coalesced_;
+      if (trace_ != nullptr) {
+        trace_->Instant(now, trace_track_, "link.retransmit_coalesced", nullptr, to,
+                        static_cast<int64_t>(run));
+      }
+      SendBatchFrame(to, *out, std::move(batch));
+    }
+    i = j;
   }
 }
 

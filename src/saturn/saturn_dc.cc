@@ -14,7 +14,10 @@ SaturnDc::SaturnDc(Simulator* sim, Network* net, const DatacenterConfig& config,
       active_(DcSet::FirstN(num_dcs)),
       next_active_(DcSet::FirstN(num_dcs)),
       stability_origins_(DcSet::FirstN(num_dcs)),
-      bulk_gear_ts_(static_cast<size_t>(num_dcs) * config.num_gears, -1) {}
+      bulk_gear_ts_(static_cast<size_t>(num_dcs) * config.num_gears, -1) {
+  links_.ConfigureBatching(
+      {config.batch_max_labels, config.batch_max_bytes, config.batch_deadline});
+}
 
 void SaturnDc::SetActiveSet(DcSet active) {
   SAT_CHECK(!started_);
@@ -182,6 +185,12 @@ void SaturnDc::FlushSink() {
   }
   gears_[0]->queue().Submit(sim_->Now(), CostModel::AsTime(config_.costs.sink_flush_us));
   if (!sink_.empty()) {
+    if (config_.batch_deadline > 0) {
+      // Delta-encoding the outgoing labels costs the sink machine per label.
+      gears_[0]->queue().Submit(
+          sim_->Now(), CostModel::AsTime(config_.costs.batch_encode_label_us *
+                                         static_cast<double>(sink_.size())));
+    }
     // Order the batch by timestamp: a causality-compliant serialization of
     // this datacenter's labels (section 4, label sink).
     std::sort(sink_.begin(), sink_.end(),
@@ -254,6 +263,15 @@ void SaturnDc::OnOtherMessage(NodeId from, const Message& msg) {
     // Reliable-link ingress: dedup + reorder, then OnStreamEnvelope sees the
     // serializer's exact send order, gap-free.
     links_.OnEnvelope(from, *env);
+    return;
+  }
+  if (const auto* batch = std::get_if<LabelBatch>(&msg)) {
+    // Decoding the delta batch is real work on the remote proxy's machine;
+    // charge it before the entries flow through the usual stream path.
+    gears_[0]->queue().Submit(
+        sim_->Now(),
+        CostModel::AsTime(config_.costs.batch_decode_label_us * batch->count));
+    links_.OnBatch(from, *batch);
     return;
   }
   if (const auto* ack = std::get_if<LinkAck>(&msg)) {

@@ -135,6 +135,7 @@ class SaturnDc : public DatacenterBase {
 
   uint64_t link_retransmissions() const { return links_.retransmissions(); }
   uint64_t link_retransmit_storms() const { return links_.retransmit_storms(); }
+  uint64_t link_retransmit_coalesced() const { return links_.retransmit_coalesced(); }
 
  protected:
   void HandleAttach(NodeId from, const ClientRequest& req) override;

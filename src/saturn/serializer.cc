@@ -94,6 +94,10 @@ void Serializer::HandleMessage(NodeId from, const Message& msg) {
     channels_.OnEnvelope(from, *env);
     return;
   }
+  if (const auto* batch = std::get_if<LabelBatch>(&msg)) {
+    channels_.OnBatch(from, *batch);
+    return;
+  }
   if (const auto* ack = std::get_if<LinkAck>(&msg)) {
     channels_.OnAck(from, *ack);
   }

@@ -68,6 +68,12 @@ class Serializer : public Actor {
   // `replicas` >= 1; replicas beyond the first enable chain replication.
   Serializer(Simulator* sim, Network* net, SiteId site, uint32_t replicas);
 
+  // Batching policy for this serializer's tree links (reliable_link.h).
+  // Deadline 0 (the default) keeps per-label forwarding.
+  void ConfigureBatching(const LinkBatchConfig& config) {
+    channels_.ConfigureBatching(config);
+  }
+
   void AddLink(const Link& link);
 
   void HandleMessage(NodeId from, const Message& msg) override;
@@ -87,6 +93,7 @@ class Serializer : public Actor {
   uint64_t routed() const { return routed_; }
   uint64_t link_retransmissions() const { return channels_.retransmissions(); }
   uint64_t link_retransmit_storms() const { return channels_.retransmit_storms(); }
+  uint64_t link_retransmit_coalesced() const { return channels_.retransmit_coalesced(); }
   SiteId site() const { return site_; }
 
   // Observation only: routing decisions (and link retransmits) are recorded

@@ -71,6 +71,7 @@ void Network::Deliver(NodeId from, NodeId to, Message msg, SimTime when, uint32_
 
   ++messages_sent_;
   bytes_sent_ += wire_size;
+  wire_bytes_[static_cast<size_t>(MessageLinkClass(msg))] += wire_size;
   if (trace_ != nullptr) {
     trace_->Hop(sim_->Now(), trace_track_, "net.send", 0, from, to);
   }

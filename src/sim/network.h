@@ -161,6 +161,14 @@ class Network {
 
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
+  // Wire bytes by traffic class (messages.h): separates the metadata plane
+  // from bulk payloads and client RPCs, so label-compression wins show up in
+  // plain counters without traces.
+  uint64_t wire_bytes(LinkClass c) const { return wire_bytes_[static_cast<size_t>(c)]; }
+  // Labels + acks: everything Saturn's metadata service puts on the wire.
+  uint64_t metadata_wire_bytes() const {
+    return wire_bytes(LinkClass::kMetadataLabels) + wire_bytes(LinkClass::kMetadataAcks);
+  }
   // Messages lost to faults: lossy cuts (including in-flight loss), buffer
   // overflow on buffered cuts, and crashed nodes.
   uint64_t messages_dropped() const {
@@ -228,6 +236,7 @@ class Network {
   FlatMap<uint64_t, LinkState> links_;   // key: site pair; only cut links present
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
+  uint64_t wire_bytes_[kNumLinkClasses] = {};
   uint64_t dropped_on_cut_ = 0;
   uint64_t dropped_overflow_ = 0;
   uint64_t dropped_node_down_ = 0;

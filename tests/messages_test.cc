@@ -84,6 +84,50 @@ TEST(MessageWireSize, FixedSizeVariants) {
   EXPECT_EQ(MessageWireSize(GstBroadcast{}), 24u);
 }
 
+TEST(MessageWireSize, LabelBatchCountsEncodedBytesAndPiggybackedAck) {
+  LabelBatch batch;
+  EXPECT_EQ(MessageWireSize(batch), 24u);
+
+  batch.bytes.resize(100);
+  EXPECT_EQ(MessageWireSize(batch), 24u + 100u);
+
+  // The piggybacked cumulative ack costs what a standalone LinkAck's payload
+  // would have: 8 bytes, only when present.
+  batch.has_ack = true;
+  batch.acked = 41;
+  EXPECT_EQ(MessageWireSize(batch), 24u + 100u + 8u);
+}
+
+TEST(MessageWireSize, SpilledLabelBatchStillCountsEveryByte) {
+  // Past BatchBytes's inline capacity the frame spills to the heap; the wire
+  // size must keep tracking the true encoded length.
+  LabelBatch batch;
+  batch.bytes.assign(400, 0xab);
+  ASSERT_TRUE(batch.bytes.spilled());
+  EXPECT_EQ(MessageWireSize(batch), 24u + 400u);
+
+  LabelBatch copy = batch;
+  EXPECT_EQ(copy.bytes, batch.bytes);
+  EXPECT_EQ(MessageWireSize(copy), MessageWireSize(batch));
+}
+
+TEST(MessageLinkClass, ClassifiesEveryVariant) {
+  EXPECT_EQ(MessageLinkClass(ClientRequest{}), LinkClass::kClient);
+  EXPECT_EQ(MessageLinkClass(ClientResponse{}), LinkClass::kClient);
+  EXPECT_EQ(MessageLinkClass(RemotePayload{}), LinkClass::kBulk);
+  EXPECT_EQ(MessageLinkClass(BulkHeartbeat{}), LinkClass::kBulk);
+  EXPECT_EQ(MessageLinkClass(BulkAck{}), LinkClass::kBulk);
+  EXPECT_EQ(MessageLinkClass(LabelEnvelope{}), LinkClass::kMetadataLabels);
+  EXPECT_EQ(MessageLinkClass(LabelBatch{}), LinkClass::kMetadataLabels);
+  EXPECT_EQ(MessageLinkClass(LinkAck{}), LinkClass::kMetadataAcks);
+  EXPECT_EQ(MessageLinkClass(ChainForward{}), LinkClass::kChain);
+  EXPECT_EQ(MessageLinkClass(ChainAck{}), LinkClass::kChain);
+  EXPECT_EQ(MessageLinkClass(GstBroadcast{}), LinkClass::kControl);
+  EXPECT_EQ(MessageLinkClass(StableVectorBroadcast{}), LinkClass::kControl);
+  EXPECT_EQ(MessageLinkClass(ProbePing{}), LinkClass::kControl);
+  EXPECT_EQ(MessageLinkClass(ProbePong{}), LinkClass::kControl);
+}
+
 TEST(MessageWireSize, StableVectorBroadcastScalesWithDcCount) {
   StableVectorBroadcast sv;
   EXPECT_EQ(MessageWireSize(sv), 16u);

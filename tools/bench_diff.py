@@ -3,7 +3,8 @@
 
 Usage:
     tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold PCT]
-                        [--ignore-wallclock] [--ignore-allocs] [--no-timing]
+                        [--ignore-wallclock] [--ignore-allocs]
+                        [--ignore-wire-bytes] [--no-timing]
     tools/bench_diff.py BENCH_sim.json                 # self mode
 
 Two-file mode compares per-workload events/sec (and throughput) of CANDIDATE
@@ -24,6 +25,14 @@ baseline is a real regression on the message plane, not noise. --ignore-allocs
 demotes it to informational (the escape hatch for a change that knowingly
 trades allocations for something else). Baselines recorded before allocation
 counting simply skip the check.
+
+Wire volume (metadata_wire_bytes, total_wire_bytes) gates the same way: the
+network's byte counters are deterministic, so at the same scale a >10% growth
+over the baseline means the message plane fattened — an envelope grew, a batch
+stopped coalescing, or the label codec stopped compressing.
+--ignore-wire-bytes demotes it to informational (for a change that knowingly
+spends wire bytes, e.g. a new protocol field). Baselines recorded before wire
+accounting simply skip the check.
 
 When both files carry a "trace_overhead" section (fig5_full run untraced and
 traced at the same scale), the tracing cost is compared too. The candidate's
@@ -50,6 +59,10 @@ import sys
 # Allocations are deterministic, so the slack only needs to absorb a genuinely
 # different split of the same work (e.g. one extra rehash), not timing noise.
 ALLOC_THRESHOLD_PCT = 10.0
+
+# Wire bytes are deterministic too: the slack absorbs legitimate re-framing of
+# the same traffic, not noise.
+WIRE_BYTES_THRESHOLD_PCT = 10.0
 
 # Tracing overhead is wall-clock based, so the gate is a generous absolute
 # delta in percentage points over the baseline's overhead.
@@ -89,7 +102,33 @@ def compare_allocs(base, cand, same_scale, ignore_allocs):
     return text, False
 
 
-def compare(base, cand, threshold_pct, same_scale, ignore_allocs, no_timing):
+def compare_wire_bytes(base, cand, same_scale, ignore_wire_bytes):
+    """Wire-volume column for one workload; returns (text, regressed)."""
+    texts = []
+    regressed = False
+    for key, label in (("metadata_wire_bytes", "meta wire"),
+                       ("total_wire_bytes", "total wire")):
+        b = base.get(key)
+        c = cand.get(key)
+        if b is None or c is None:
+            continue  # baseline predates wire accounting
+        if not same_scale:
+            return "  wire bytes skipped (different scale)", False
+        b = int(b)
+        c = int(c)
+        text = f"  {label} {b} -> {c}"
+        if c > b * (1.0 + WIRE_BYTES_THRESHOLD_PCT / 100.0):
+            if ignore_wire_bytes:
+                text += " (worse, ignored by --ignore-wire-bytes)"
+            else:
+                text += " << WIRE REGRESSION"
+                regressed = True
+        texts.append(text)
+    return "".join(texts), regressed
+
+
+def compare(base, cand, threshold_pct, same_scale, ignore_allocs, no_timing,
+            ignore_wire_bytes=False):
     base_by = by_name(base)
     cand_by = by_name(cand)
     regressed = False
@@ -120,8 +159,11 @@ def compare(base, cand, threshold_pct, same_scale, ignore_allocs, no_timing):
                 regressed = True
         alloc_text, alloc_regressed = compare_allocs(b, c, same_scale, ignore_allocs)
         regressed |= alloc_regressed
+        wire_text, wire_regressed = compare_wire_bytes(b, c, same_scale,
+                                                       ignore_wire_bytes)
+        regressed |= wire_regressed
         print(f"{name:<12} {b_eps:>14.0f} {c_eps:>14.0f} {delta:>+8.1f}%  {fp}{flag}"
-              f"{alloc_text}")
+              f"{alloc_text}{wire_text}")
     for name in cand_by:
         if name not in base_by:
             print(f"{name:<12} (new workload, no baseline)")
@@ -198,6 +240,7 @@ def main(argv):
     threshold = 5.0
     ignore_wallclock = False
     ignore_allocs = False
+    ignore_wire_bytes = False
     no_timing = False
     args = []
     i = 1
@@ -210,6 +253,9 @@ def main(argv):
             i += 1
         elif argv[i] == "--ignore-allocs":
             ignore_allocs = True
+            i += 1
+        elif argv[i] == "--ignore-wire-bytes":
+            ignore_wire_bytes = True
             i += 1
         elif argv[i] == "--no-timing":
             no_timing = True
@@ -249,7 +295,8 @@ def main(argv):
         return 2
 
     same_scale = base_smoke == cand_smoke
-    regressed = compare(base, cand, threshold, same_scale, ignore_allocs, no_timing)
+    regressed = compare(base, cand, threshold, same_scale, ignore_allocs, no_timing,
+                        ignore_wire_bytes)
     regressed |= compare_suite(base_suite, cand_suite, threshold, ignore_wallclock)
     regressed |= compare_trace(base_trace, cand_trace, same_scale, no_timing)
     if regressed:

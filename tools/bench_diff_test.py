@@ -13,7 +13,8 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import bench_diff  # noqa: E402
 
 
-def workload(name, events=1000, eps=50000.0, allocs_per_event=None):
+def workload(name, events=1000, eps=50000.0, allocs_per_event=None,
+             metadata_wire_bytes=None, total_wire_bytes=None):
     w = {
         "name": name,
         "executed_events": events,
@@ -26,6 +27,10 @@ def workload(name, events=1000, eps=50000.0, allocs_per_event=None):
         w["allocs"] = int(events * allocs_per_event)
         w["alloc_bytes"] = w["allocs"] * 64
         w["allocs_per_event"] = allocs_per_event
+    if metadata_wire_bytes is not None:
+        w["metadata_wire_bytes"] = metadata_wire_bytes
+    if total_wire_bytes is not None:
+        w["total_wire_bytes"] = total_wire_bytes
     return w
 
 
@@ -237,6 +242,81 @@ class BenchDiffTest(unittest.TestCase):
         code, out = self.run_diff(base, bad_alloc, "--no-timing")
         self.assertEqual(code, 1)
         self.assertIn("ALLOC REGRESSION", out)
+
+    def test_wire_bytes_regression_fails(self):
+        base = self.write(doc([workload("fig5_full",
+                                        metadata_wire_bytes=1000000)]))
+        cand = self.write(doc([workload("fig5_full",
+                                        metadata_wire_bytes=1200000)]))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 1)
+        self.assertIn("WIRE REGRESSION", out)
+
+    def test_total_wire_bytes_regression_fails(self):
+        base = self.write(doc([workload("fig5_full", total_wire_bytes=5000000)]))
+        cand = self.write(doc([workload("fig5_full", total_wire_bytes=6000000)]))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 1)
+        self.assertIn("WIRE REGRESSION", out)
+
+    def test_wire_bytes_within_slack_passes(self):
+        base = self.write(doc([workload("fig5_full",
+                                        metadata_wire_bytes=1000000,
+                                        total_wire_bytes=5000000)]))
+        cand = self.write(doc([workload("fig5_full",
+                                        metadata_wire_bytes=1050000,
+                                        total_wire_bytes=5200000)]))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
+        self.assertIn("meta wire", out)
+        self.assertIn("total wire", out)
+
+    def test_wire_bytes_improvement_passes(self):
+        base = self.write(doc([workload("fig5_full",
+                                        metadata_wire_bytes=5332256)]))
+        cand = self.write(doc([workload("fig5_full",
+                                        metadata_wire_bytes=1779928)]))
+        code, _ = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
+
+    def test_ignore_wire_bytes_demotes_regression(self):
+        base = self.write(doc([workload("fig5_full",
+                                        metadata_wire_bytes=1000000)]))
+        cand = self.write(doc([workload("fig5_full",
+                                        metadata_wire_bytes=2000000)]))
+        code, out = self.run_diff(base, cand, "--ignore-wire-bytes")
+        self.assertEqual(code, 0)
+        self.assertIn("ignored by --ignore-wire-bytes", out)
+
+    def test_wire_bytes_skipped_when_baseline_has_no_counts(self):
+        base = self.write(doc([workload("fig5_full")]))
+        cand = self.write(doc([workload("fig5_full",
+                                        metadata_wire_bytes=9999999,
+                                        total_wire_bytes=9999999)]))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
+        self.assertNotIn("WIRE REGRESSION", out)
+
+    def test_wire_bytes_skipped_across_scales(self):
+        base = self.write(doc([workload("fig5_full",
+                                        metadata_wire_bytes=1000)],
+                              smoke=True))
+        cand = self.write(doc([workload("fig5_full",
+                                        metadata_wire_bytes=9000000)],
+                              smoke=False))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
+        self.assertIn("wire bytes skipped (different scale)", out)
+
+    def test_wire_bytes_gate_survives_no_timing(self):
+        # Wire volume is deterministic, so --no-timing must not demote it.
+        base = self.write(doc([workload("fig5_full",
+                                        metadata_wire_bytes=1000000)]))
+        cand = self.write(doc([workload("fig5_full",
+                                        metadata_wire_bytes=2000000)]))
+        code, out = self.run_diff(base, cand, "--no-timing")
+        self.assertEqual(code, 1)
+        self.assertIn("WIRE REGRESSION", out)
 
     def test_trace_overhead_regression_gates_by_default(self):
         base = self.write(doc([workload("fig5_full")],

@@ -80,6 +80,10 @@ void Usage() {
       "  --hub=SITE          star hub region index (0=NV..6=S)          (3=Ireland)\n"
       "  --chain=N           chain replicas per serializer              (1)\n"
       "  --prune=0|1         COPS context pruning                       (1)\n"
+      "  --batch-deadline=MS metadata-link batching window; 0 = per-label\n"
+      "                      sends, byte-identical to no batching        (0)\n"
+      "  --batch-max-labels=N  flush a batch at N labels                 (32)\n"
+      "  --batch-max-bytes=N   flush a batch at N encoded bytes          (1024)\n"
       "  --seed=N            RNG seed                                   (42)\n"
       "  --oracle            enable the causality oracle\n"
       "  --csv=PATH          dump per-pair visibility CDFs (and fault events) as CSV\n"
@@ -194,6 +198,9 @@ bool BuildSetup(const Flags& flags, SimSetup* setup, int* exit_code) {
   config.star_hub = static_cast<SiteId>(flags.GetInt("hub", kIreland));
   config.chain_replicas = static_cast<uint32_t>(flags.GetInt("chain", 1));
   config.cops_prune = flags.GetInt("prune", 1) != 0;
+  config.dc.batch_deadline = Millis(flags.GetInt("batch-deadline", 0));
+  config.dc.batch_max_labels = static_cast<uint32_t>(flags.GetInt("batch-max-labels", 32));
+  config.dc.batch_max_bytes = static_cast<uint32_t>(flags.GetInt("batch-max-bytes", 1024));
   config.enable_oracle = flags.Has("oracle");
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
 
