@@ -691,8 +691,128 @@ TraceOverheadResult RunTraceOverhead(const PerfOptions& options) {
   return result;
 }
 
+// --- Realtime-backend scaling measurement ------------------------------------
+//
+// The same sharded Saturn deployment executed on the wall-clock backend at 1,
+// 2 and 4 workers. The virtual window is fixed, so the completed-op count is
+// workload-determined and wall-clock ops/sec measures backend scaling
+// directly. Realtime runs are not reproducible, so nothing here feeds the
+// fingerprint gates; the numbers are timing quantities (bench_diff.py treats
+// them like the suite wall-clock). The 4-worker leg must reach >= 1.8x the
+// 1-worker leg's ops/sec — enforced only on machines with >= 4 hardware
+// threads; on smaller machines the gate is skipped with a logged reason (the
+// legs still run, oversubscribed, for the record).
+
+struct RealtimeLeg {
+  unsigned workers = 0;
+  double wall_s = 0;
+  uint64_t ops = 0;
+  double ops_per_sec = 0;
+  uint64_t executed_events = 0;
+  std::vector<double> utilization;
+};
+
+struct RealtimeScalingResult {
+  unsigned hardware_concurrency = 0;
+  double speedup_4x = 0;
+  bool gate_enforced = false;
+  std::string gate_reason;
+  std::vector<RealtimeLeg> legs;
+};
+
+RealtimeLeg RunRealtimeLeg(const PerfOptions& options, unsigned workers) {
+  RealtimeLeg best;
+  best.workers = workers;
+  for (int i = 0; i < options.repeat; ++i) {
+    ClusterConfig config;
+    config.protocol = Protocol::kSaturn;
+    config.backend = ExecBackend::kRealtime;
+    config.realtime.workers = workers;
+    config.dc_sites = {kIreland, kFrankfurt, kTokyo};
+    config.latencies = Ec2Latencies();
+    config.dc.num_gears = 4;
+    config.dc.sharded_gears = true;
+    config.seed = 42;
+
+    KeyspaceConfig keyspace;
+    keyspace.num_keys = 2000;
+    keyspace.pattern = CorrelationPattern::kFull;
+    ReplicaMap replicas =
+        ReplicaMap::Generate(keyspace, config.dc_sites, config.latencies);
+
+    SyntheticOpGenerator::Config workload;
+    workload.write_fraction = 0.1;
+    workload.value_size = 2;
+
+    uint32_t clients_per_dc = options.smoke ? 4 : 16;
+    Cluster cluster(std::move(config), std::move(replicas),
+                    UniformClientHomes(3, clients_per_dc),
+                    SyntheticGenerators(workload));
+    auto start = std::chrono::steady_clock::now();
+    cluster.Run(options.smoke ? Millis(200) : Seconds(1),
+                options.smoke ? Millis(300) : Seconds(2),
+                options.smoke ? Millis(300) : Seconds(1));
+    auto stop = std::chrono::steady_clock::now();
+    double wall = std::chrono::duration<double>(stop - start).count();
+    uint64_t ops = 0;
+    for (const auto& client : cluster.clients()) {
+      ops += client->ops_completed();
+    }
+    double ops_per_sec = static_cast<double>(ops) / wall;
+    if (i == 0 || ops_per_sec > best.ops_per_sec) {
+      best.wall_s = wall;
+      best.ops = ops;
+      best.ops_per_sec = ops_per_sec;
+      best.executed_events = cluster.executed_events();
+      best.utilization = cluster.scheduler()->worker_utilization();
+    }
+  }
+  return best;
+}
+
+RealtimeScalingResult RunRealtimeScaling(const PerfOptions& options) {
+  RealtimeScalingResult result;
+  result.hardware_concurrency = std::thread::hardware_concurrency();
+  for (unsigned workers : {1u, 2u, 4u}) {
+    result.legs.push_back(RunRealtimeLeg(options, workers));
+    const RealtimeLeg& leg = result.legs.back();
+    std::printf("realtime: workers=%u  wall %.3fs  %llu ops  %.0f ops/s  "
+                "%llu events  util",
+                leg.workers, leg.wall_s, static_cast<unsigned long long>(leg.ops),
+                leg.ops_per_sec, static_cast<unsigned long long>(leg.executed_events));
+    for (double u : leg.utilization) {
+      std::printf(" %.2f", u);
+    }
+    std::printf("\n");
+  }
+  result.speedup_4x =
+      result.legs.front().ops_per_sec > 0
+          ? result.legs.back().ops_per_sec / result.legs.front().ops_per_sec
+          : 0;
+  result.gate_enforced = result.hardware_concurrency >= 4;
+  if (!result.gate_enforced) {
+    result.gate_reason = "skipped: need >= 4 hardware threads, have " +
+                         std::to_string(result.hardware_concurrency);
+    std::printf("realtime: speedup(4 workers) %.2fx — gate %s\n", result.speedup_4x,
+                result.gate_reason.c_str());
+    return result;
+  }
+  result.gate_reason = "enforced";
+  std::printf("realtime: speedup(4 workers) %.2fx (gate: >= 1.8x on %u threads)\n",
+              result.speedup_4x, result.hardware_concurrency);
+  if (result.speedup_4x < 1.8) {
+    std::fprintf(stderr,
+                 "FATAL: realtime backend scaled only %.2fx at 4 workers (need >= "
+                 "1.8x on %u hardware threads) — lanes are serializing somewhere\n",
+                 result.speedup_4x, result.hardware_concurrency);
+    std::exit(1);
+  }
+  return result;
+}
+
 void WriteJson(const PerfOptions& options, const std::vector<WorkloadResult>& results,
-               const SuiteResult& suite, const TraceOverheadResult& trace) {
+               const SuiteResult& suite, const TraceOverheadResult& trace,
+               const RealtimeScalingResult& realtime) {
   std::FILE* f = std::fopen(options.out.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", options.out.c_str());
@@ -700,7 +820,7 @@ void WriteJson(const PerfOptions& options, const std::vector<WorkloadResult>& re
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"harness\": \"perf_sim\",\n");
-  std::fprintf(f, "  \"version\": 2,\n");
+  std::fprintf(f, "  \"version\": 3,\n");
   std::fprintf(f, "  \"smoke\": %s,\n", options.smoke ? "true" : "false");
   std::fprintf(f, "  \"repeat\": %d,\n", options.repeat);
   std::fprintf(f, "  \"workloads\": [\n");
@@ -737,6 +857,30 @@ void WriteJson(const PerfOptions& options, const std::vector<WorkloadResult>& re
                static_cast<unsigned long long>(trace.trace_events_recorded));
   std::fprintf(f, "    \"fingerprints_identical\": %s\n",
                trace.fingerprints_identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"realtime_scaling\": {\n");
+  std::fprintf(f, "    \"hardware_concurrency\": %u,\n", realtime.hardware_concurrency);
+  std::fprintf(f, "    \"speedup_4x\": %.2f,\n", realtime.speedup_4x);
+  std::fprintf(f, "    \"gate_enforced\": %s,\n", realtime.gate_enforced ? "true" : "false");
+  std::fprintf(f, "    \"gate_reason\": \"%s\",\n", realtime.gate_reason.c_str());
+  std::fprintf(f, "    \"legs\": [\n");
+  for (size_t i = 0; i < realtime.legs.size(); ++i) {
+    const RealtimeLeg& leg = realtime.legs[i];
+    std::fprintf(f, "      {\n");
+    std::fprintf(f, "        \"workers\": %u,\n", leg.workers);
+    std::fprintf(f, "        \"wall_s\": %.4f,\n", leg.wall_s);
+    std::fprintf(f, "        \"ops\": %llu,\n", static_cast<unsigned long long>(leg.ops));
+    std::fprintf(f, "        \"ops_per_sec\": %.0f,\n", leg.ops_per_sec);
+    std::fprintf(f, "        \"executed_events\": %llu,\n",
+                 static_cast<unsigned long long>(leg.executed_events));
+    std::fprintf(f, "        \"worker_utilization\": [");
+    for (size_t u = 0; u < leg.utilization.size(); ++u) {
+      std::fprintf(f, "%s%.3f", u > 0 ? ", " : "", leg.utilization[u]);
+    }
+    std::fprintf(f, "]\n");
+    std::fprintf(f, "      }%s\n", i + 1 < realtime.legs.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n");
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"suite_wall_clock\": {\n");
   std::fprintf(f, "    \"runs\": %d,\n", suite.runs);
@@ -860,7 +1004,9 @@ int Main(int argc, char** argv) {
               suite.hardware_concurrency, suite.speedup,
               suite.fingerprints_identical ? "identical" : "DIFFER");
 
-  WriteJson(options, results, suite, trace);
+  RealtimeScalingResult realtime = RunRealtimeScaling(options);
+
+  WriteJson(options, results, suite, trace, realtime);
   std::printf("wrote %s\n", options.out.c_str());
   return 0;
 }

@@ -104,16 +104,19 @@ void DatacenterBase::HandleRead(NodeId from, const ClientRequest& req) {
   auto complete = [this, from, req = req]() {
     // Read the version at completion time: the request sees the store state
     // after everything queued before it.
-    const VersionedValue* v = store_.PartitionFor(req.key).Get(req.key);
     ClientResponse resp;
     resp.op = ClientOpType::kRead;
     resp.client = req.client;
     resp.request_id = req.request_id;
-    if (v != nullptr) {
-      resp.label = v->label;
-      resp.value_size = v->size;
+    {
+      auto guard = store_.GuardFor(req.key);
+      const VersionedValue* v = store_.PartitionFor(req.key).Get(req.key);
+      if (v != nullptr) {
+        resp.label = v->label;
+        resp.value_size = v->size;
+      }
+      AugmentReadResponse(req, v, &resp);
     }
-    AugmentReadResponse(req, v, &resp);
     if (req.migrate_after) {
       Label floor = MaxLabel(req.client_label, resp.label);
       ClientRequest migrate = req;
@@ -157,7 +160,10 @@ void DatacenterBase::HandleUpdate(NodeId from, const ClientRequest& req) {
     }
 
     // Persist locally (Alg. 2 line 5).
-    store_.PartitionFor(req.key).Put(req.key, VersionedValue{req.value_size, label});
+    {
+      auto guard = store_.GuardFor(req.key);
+      store_.PartitionFor(req.key).Put(req.key, VersionedValue{req.value_size, label});
+    }
     if (oracle_ != nullptr) {
       oracle_->OnApply(config_.id, label.uid);
     }
@@ -234,8 +240,11 @@ SimTime DatacenterBase::ApplyRemoteUpdateImpl(const RemotePayload& payload,
   SimTime visible = completion > min_visible ? completion : min_visible;
 
   auto apply = [this, payload = payload]() {
-    store_.PartitionFor(payload.key).Put(payload.key,
-                                         VersionedValue{payload.value_size, payload.label});
+    {
+      auto guard = store_.GuardFor(payload.key);
+      store_.PartitionFor(payload.key).Put(
+          payload.key, VersionedValue{payload.value_size, payload.label});
+    }
     if (metrics_ != nullptr) {
       metrics_->RecordVisibility(payload.label.origin_dc(), config_.id, payload.created_at,
                                  sim_->Now());
@@ -262,11 +271,11 @@ SimTime DatacenterBase::ApplyRemoteUpdateImpl(const RemotePayload& payload,
 }
 
 void DatacenterBase::SendBulkHeartbeats() {
-  for (auto& gear : gears_) {
+  for (uint32_t g = 0; g < gears_.size(); ++g) {
     BulkHeartbeat hb;
     hb.origin = config_.id;
-    hb.gear = SourceGear(gear->source());
-    hb.ts = gear->HeartbeatTimestamp();
+    hb.gear = SourceGear(gears_[g]->source());
+    hb.ts = GearHeartbeatFloor(g);
     DecorateHeartbeat(&hb);
     for (DcId dc = 0; dc < num_dcs_; ++dc) {
       if (dc != config_.id && peer_nodes_[dc] != kInvalidNode) {

@@ -58,7 +58,11 @@ void LabelBatchEncoder::Add(const LabelEnvelope& env) {
     PutZigzag(l.ts);
     first_ = env;
   } else {
-    PutZigzag(l.ts - first_.label.ts);
+    // Unsigned wraparound: extreme ts pairs (INT64_MIN vs INT64_MAX in the
+    // round-trip sweep) would overflow a signed subtraction; mod-2^64 delta
+    // encoding round-trips them and emits the same bits on normal inputs.
+    PutZigzag(static_cast<int64_t>(static_cast<uint64_t>(l.ts) -
+                                   static_cast<uint64_t>(first_.label.ts)));
   }
   PutVarint(l.target_key);
   if ((flags & kDcInvalid) == 0) {
@@ -135,7 +139,10 @@ bool LabelBatchDecoder::Next(LabelEnvelope* env) {
   if (!GetZigzag(&sts)) {
     return false;
   }
-  out.label.ts = is_first ? sts : first_.label.ts + sts;
+  // Mirrors the encoder's mod-2^64 delta (see Add): unsigned add, then cast.
+  out.label.ts = is_first ? sts
+                          : static_cast<int64_t>(static_cast<uint64_t>(first_.label.ts) +
+                                                 static_cast<uint64_t>(sts));
 
   if (!GetVarint(&raw)) {
     return false;

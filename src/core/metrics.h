@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -32,8 +34,13 @@ class Metrics {
     window_end_ = end;
   }
 
+  // Realtime backend: recorders run on concurrent lanes. Off (the default),
+  // every Record* stays lock-free.
+  void EnableLocking() { mu_ = std::make_unique<std::mutex>(); }
+
   void RecordVisibility(DcId origin, DcId at, SimTime created, SimTime visible) {
     SAT_CHECK(origin < num_dcs_ && at < num_dcs_);
+    auto lock = Guard();
     if (created < window_start_ || created > window_end_) {
       return;
     }
@@ -51,6 +58,7 @@ class Metrics {
   // sent the request, `done` when the response arrived.
   void RecordClientOp(ClientOpType op, DcId dc, SimTime issued, SimTime done) {
     (void)dc;
+    auto lock = Guard();
     if (done < window_start_ || done > window_end_) {
       return;
     }
@@ -99,6 +107,7 @@ class Metrics {
 
   void RecordFallbackEnter(DcId dc, SimTime now) {
     SAT_CHECK(dc < num_dcs_);
+    auto lock = Guard();
     DcFaultStats& s = fault_stats_[dc];
     if (s.in_fallback) {
       return;
@@ -110,6 +119,7 @@ class Metrics {
 
   void RecordFallbackExit(DcId dc, SimTime now) {
     SAT_CHECK(dc < num_dcs_);
+    auto lock = Guard();
     DcFaultStats& s = fault_stats_[dc];
     if (!s.in_fallback) {
       return;
@@ -121,7 +131,10 @@ class Metrics {
 
   // End-to-end outage-to-recovery latency: fallback entry until stream mode
   // resumed (resync on the same tree, or failover to a backup tree).
-  void RecordFailoverLatency(SimTime latency) { failover_latency_.Record(latency); }
+  void RecordFailoverLatency(SimTime latency) {
+    auto lock = Guard();
+    failover_latency_.Record(latency);
+  }
 
   uint32_t FallbackEntries(DcId dc) const { return fault_stats_[dc].entries; }
   uint32_t FallbackExits(DcId dc) const { return fault_stats_[dc].exits; }
@@ -146,12 +159,22 @@ class Metrics {
 
   // Wall-clock of one completed reconfiguration: controller decision to every
   // participant back in stream mode on the target configuration.
-  void RecordReconfigLatency(SimTime latency) { reconfig_latency_.Record(latency); }
+  void RecordReconfigLatency(SimTime latency) {
+    auto lock = Guard();
+    reconfig_latency_.Record(latency);
+  }
 
   const LatencyHistogram& ReconfigLatency() const { return reconfig_latency_; }
   const LatencyHistogram& ReconfigVisibility() const { return reconfig_visibility_; }
 
  private:
+  std::unique_lock<std::mutex> Guard() {
+    if (mu_ == nullptr) {
+      return {};
+    }
+    return std::unique_lock<std::mutex>(*mu_);
+  }
+
   struct DcFaultStats {
     uint32_t entries = 0;
     uint32_t exits = 0;
@@ -173,6 +196,7 @@ class Metrics {
   bool reconfig_active_ = false;
   std::vector<DcFaultStats> fault_stats_;
   uint64_t completed_ops_ = 0;
+  std::unique_ptr<std::mutex> mu_;  // null unless EnableLocking
 };
 
 }  // namespace saturn

@@ -18,6 +18,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,12 +40,17 @@ class CausalityOracle {
         replicated_seqs_(static_cast<size_t>(num_clients) * num_dcs),
         prefix_(num_dcs, std::vector<uint32_t>(num_clients, 0)) {}
 
+  // Realtime backend: clients and datacenters call in from concurrent lanes.
+  // Off (the default), every call stays lock-free.
+  void EnableLocking() { mu_ = std::make_unique<std::mutex>(); }
+
   // --- Recording the ground truth --------------------------------------
 
   // Client `c` issued update `uid` on a key replicated at `replicas`.
   // Returns the update's session index.
   void OnClientUpdate(ClientId c, uint64_t uid, DcSet replicas) {
     SAT_CHECK(c < num_clients_);
+    auto lock = Guard();
     uint32_t seq = static_cast<uint32_t>(client_updates_[c].size()) + 1;
     client_vectors_[c][c] = seq;
     UpdateInfo info;
@@ -65,6 +72,7 @@ class CausalityOracle {
     if (uid == 0) {
       return;
     }
+    auto lock = Guard();
     auto it = by_uid_.find(uid);
     SAT_CHECK_MSG(it != by_uid_.end(), "read of unknown update uid=%llu",
                   static_cast<unsigned long long>(uid));
@@ -83,6 +91,7 @@ class CausalityOracle {
   // holds; records a violation description otherwise.
   bool OnApply(DcId dc, uint64_t uid) {
     SAT_CHECK(dc < num_dcs_);
+    auto lock = Guard();
     auto it = by_uid_.find(uid);
     SAT_CHECK(it != by_uid_.end());
     applied_at_[uid].Add(dc);
@@ -138,6 +147,7 @@ class CausalityOracle {
   // visible there (paper section 4.1).
   bool OnAttach(DcId dc, ClientId c) {
     SAT_CHECK(dc < num_dcs_ && c < num_clients_);
+    auto lock = Guard();
     const auto& vec = client_vectors_[c];
     for (uint32_t d = 0; d < num_clients_; ++d) {
       if (CountReplicatedPrefix(d, vec[d], dc) > AppliedReplicatedCount(dc, d)) {
@@ -195,6 +205,13 @@ class CausalityOracle {
   }
 
  private:
+  std::unique_lock<std::mutex> Guard() const {
+    if (mu_ == nullptr) {
+      return {};
+    }
+    return std::unique_lock<std::mutex>(*mu_);
+  }
+
   struct UpdateInfo {
     uint64_t uid = 0;
     DcSet replicas;
@@ -281,6 +298,7 @@ class CausalityOracle {
   std::unordered_map<uint64_t, DcSet> applied_at_;
   std::vector<ViolationRecord> violations_;
   mutable std::vector<std::string> formatted_;  // rendered lazily by violations()
+  std::unique_ptr<std::mutex> mu_;  // null unless EnableLocking
 };
 
 }  // namespace saturn

@@ -1,5 +1,6 @@
 #include "src/exec/thread_pool.h"
 
+#include <cstdio>
 #include <utility>
 
 namespace saturn {
@@ -39,7 +40,14 @@ void ThreadPool::Wait() {
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
   if (first_error_ != nullptr) {
     std::exception_ptr error = std::exchange(first_error_, nullptr);
+    std::size_t suppressed = std::exchange(suppressed_errors_, 0);
     lock.unlock();
+    if (suppressed > 0) {
+      std::fprintf(stderr,
+                   "ThreadPool::Wait: rethrowing first of %zu job failures "
+                   "(%zu suppressed)\n",
+                   suppressed + 1, suppressed);
+    }
     std::rethrow_exception(error);
   }
 }
@@ -59,9 +67,12 @@ void ThreadPool::WorkerLoop() {
     try {
       job();
     } catch (...) {
+      failures_.fetch_add(1, std::memory_order_relaxed);
       std::unique_lock<std::mutex> lock(mu_);
       if (first_error_ == nullptr) {
         first_error_ = std::current_exception();
+      } else {
+        ++suppressed_errors_;
       }
     }
     {

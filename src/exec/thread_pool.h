@@ -9,8 +9,10 @@
 #ifndef SRC_EXEC_THREAD_POOL_H_
 #define SRC_EXEC_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -36,8 +38,16 @@ class ThreadPool {
   void Submit(std::function<void()> job);
 
   // Blocks until every submitted job has finished, then rethrows the first
-  // exception any job raised (if one did). The pool stays usable afterwards.
+  // exception any job raised (if one did). Only the first exception
+  // propagates; any further failures in the same batch are counted and
+  // logged to stderr so a multi-failure sweep is not silently lossy.
+  // The pool stays usable afterwards.
   void Wait();
+
+  // Total jobs that threw, across the pool's lifetime. Readable from any
+  // thread without waiting — a coordinator can poll it to notice a dead
+  // worker batch mid-flight.
+  uint64_t failures() const { return failures_.load(std::memory_order_relaxed); }
 
   unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
 
@@ -49,6 +59,8 @@ class ThreadPool {
   std::condition_variable idle_cv_;  // signals Wait(): batch complete
   std::deque<std::function<void()>> queue_;
   std::exception_ptr first_error_;
+  std::size_t suppressed_errors_ = 0;  // failures after the first, this batch
+  std::atomic<uint64_t> failures_{0};  // lifetime total of jobs that threw
   std::size_t in_flight_ = 0;  // queued + currently running
   bool stopping_ = false;
   std::vector<std::thread> workers_;

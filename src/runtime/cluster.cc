@@ -51,12 +51,21 @@ ClientProtocolMode ClientModeFor(Protocol protocol) {
   return ClientProtocolMode::kScalar;
 }
 
+Simulator* Cluster::NewLaneSim() {
+  return scheduler_ != nullptr ? scheduler_->AddLane() : &sim_;
+}
+
 Cluster::Cluster(ClusterConfig config, ReplicaMap replicas, std::vector<DcId> client_homes,
                  const GeneratorFactory& generator_factory)
     : config_(std::move(config)), replicas_(std::move(replicas)) {
   const uint32_t n = num_dcs();
   SAT_CHECK(n >= 1);
   SAT_CHECK(replicas_.num_dcs() == n);
+  const bool saturn_like = config_.protocol == Protocol::kSaturn ||
+                           config_.protocol == Protocol::kSaturnTimestamp;
+  if (config_.dc.sharded_gears) {
+    SAT_CHECK_MSG(saturn_like, "sharded gear lanes require a Saturn protocol");
+  }
 
   // Trace recorder first: every later component takes a raw pointer, and
   // track registration order (sim, net, DCs in id order, then serializers in
@@ -67,13 +76,30 @@ Cluster::Cluster(ClusterConfig config, ReplicaMap replicas, std::vector<DcId> cl
     sim_.set_trace(trace_.get(), trace_->RegisterTrack("sim"));
   }
 
+  if (config_.backend == ExecBackend::kRealtime) {
+    SAT_CHECK_MSG(!config_.trace.enabled,
+                  "tracing requires the deterministic backend");
+    SAT_CHECK_MSG(!config_.dynamic.enabled,
+                  "dynamic topology requires the deterministic backend");
+    scheduler_ = std::make_unique<RealtimeScheduler>(config_.realtime);
+  }
+
   net_ = std::make_unique<Network>(&sim_, config_.latencies, config_.net);
   if (trace_ != nullptr) {
     net_->SetTrace(trace_.get(), trace_->RegisterTrack("net"));
   }
+  if (scheduler_ != nullptr) {
+    net_->SetRouter(scheduler_.get());
+  }
   metrics_ = std::make_unique<Metrics>(n);
+  if (scheduler_ != nullptr) {
+    metrics_->EnableLocking();
+  }
   if (config_.enable_oracle) {
     oracle_ = std::make_unique<CausalityOracle>(n, static_cast<uint32_t>(client_homes.size()));
+    if (scheduler_ != nullptr) {
+      oracle_->EnableLocking();
+    }
   }
 
   // --- Datacenters ----------------------------------------------------------
@@ -83,34 +109,38 @@ Cluster::Cluster(ClusterConfig config, ReplicaMap replicas, std::vector<DcId> cl
     DatacenterConfig dc_config = config_.dc;
     dc_config.id = id;
     dc_config.rng_seed = config_.seed ^ 0x5157a7u;
+    Simulator* dc_sim = NewLaneSim();
     std::unique_ptr<DatacenterBase> dc;
     switch (config_.protocol) {
       case Protocol::kEventual:
-        dc = std::make_unique<EventualDc>(&sim_, net_.get(), dc_config, n, resolver,
+        dc = std::make_unique<EventualDc>(dc_sim, net_.get(), dc_config, n, resolver,
                                           metrics_.get(), oracle_.get());
         break;
       case Protocol::kSaturn:
       case Protocol::kSaturnTimestamp: {
-        auto sdc = std::make_unique<SaturnDc>(&sim_, net_.get(), dc_config, n, resolver,
+        auto sdc = std::make_unique<SaturnDc>(dc_sim, net_.get(), dc_config, n, resolver,
                                               metrics_.get(), oracle_.get());
         saturn_dcs.push_back(sdc.get());
         dc = std::move(sdc);
         break;
       }
       case Protocol::kGentleRain:
-        dc = std::make_unique<GentleRainDc>(&sim_, net_.get(), dc_config, n, resolver,
+        dc = std::make_unique<GentleRainDc>(dc_sim, net_.get(), dc_config, n, resolver,
                                             metrics_.get(), oracle_.get());
         break;
       case Protocol::kCure:
-        dc = std::make_unique<CureDc>(&sim_, net_.get(), dc_config, n, resolver,
+        dc = std::make_unique<CureDc>(dc_sim, net_.get(), dc_config, n, resolver,
                                       metrics_.get(), oracle_.get());
         break;
       case Protocol::kCops:
-        dc = std::make_unique<CopsDc>(&sim_, net_.get(), dc_config, n, resolver,
+        dc = std::make_unique<CopsDc>(dc_sim, net_.get(), dc_config, n, resolver,
                                       metrics_.get(), oracle_.get());
         break;
     }
     net_->Attach(dc.get(), config_.dc_sites[id]);
+    if (scheduler_ != nullptr) {
+      scheduler_->BindNode(dc->node_id(), dc_sim);
+    }
     if (trace_ != nullptr) {
       std::string track_name =
           "dc" + std::to_string(id) + ":" + SiteName(config_.dc_sites[id]);
@@ -122,6 +152,32 @@ Cluster::Cluster(ClusterConfig config, ReplicaMap replicas, std::vector<DcId> cl
     for (DcId b = 0; b < n; ++b) {
       if (a != b) {
         datacenters_[a]->RegisterPeer(b, datacenters_[b]->node_id());
+      }
+    }
+  }
+
+  // --- Gear lanes (intra-DC sharding) ---------------------------------------
+  if (config_.dc.sharded_gears) {
+    lane_nodes_.assign(n, {});
+    for (DcId id = 0; id < n; ++id) {
+      DatacenterBase* dc = datacenters_[id].get();
+      if (scheduler_ != nullptr) {
+        // Lanes read the store concurrently with the control node's installs.
+        dc->store().EnableLocking();
+      }
+      DatacenterConfig lane_config = config_.dc;
+      lane_config.id = id;
+      for (uint32_t g = 0; g < config_.dc.num_gears; ++g) {
+        Simulator* lane_sim = NewLaneSim();
+        auto lane = std::make_unique<GearLane>(lane_sim, net_.get(), lane_config, g,
+                                               &dc->store());
+        net_->Attach(lane.get(), config_.dc_sites[id]);
+        lane->SetControlNode(dc->node_id());
+        if (scheduler_ != nullptr) {
+          scheduler_->BindNode(lane->node_id(), lane_sim);
+        }
+        lane_nodes_[id].push_back(lane->node_id());
+        gear_lanes_.push_back(std::move(lane));
       }
     }
   }
@@ -174,13 +230,22 @@ Cluster::Cluster(ClusterConfig config, ReplicaMap replicas, std::vector<DcId> cl
       }
       compact_tree = tree_;
     }
-    metadata_ = std::make_unique<MetadataService>(&sim_, net_.get(), saturn_dcs);
+    Simulator* meta_sim = NewLaneSim();
+    metadata_ = std::make_unique<MetadataService>(meta_sim, net_.get(), saturn_dcs);
     metadata_->SetBatchConfig({config_.dc.batch_max_labels, config_.dc.batch_max_bytes,
                                config_.dc.batch_deadline});
     if (trace_ != nullptr) {
       metadata_->SetTrace(trace_.get(), SiteName);
     }
+    size_t nodes_before_tree = net_->NodeCount();
     metadata_->DeployTree(/*epoch=*/0, tree_, config_.chain_replicas);
+    if (scheduler_ != nullptr) {
+      // DeployTree attached the serializers internally; they all live on the
+      // metadata lane.
+      for (size_t node = nodes_before_tree; node < net_->NodeCount(); ++node) {
+        scheduler_->BindNode(static_cast<NodeId>(node), meta_sim);
+      }
+    }
 
     if (config_.dynamic.enabled) {
       for (SaturnDc* sdc : saturn_dcs) {
@@ -239,6 +304,21 @@ Cluster::Cluster(ClusterConfig config, ReplicaMap replicas, std::vector<DcId> cl
     dc_nodes[id] = datacenters_[id]->node_id();
   }
 
+  // Realtime: clients bundle onto one lane per home datacenter — closed-loop
+  // clients spend their life waiting on responses, so a lane per client would
+  // be pure overhead.
+  std::vector<Simulator*> client_sim_by_home(n, nullptr);
+  if (scheduler_ != nullptr) {
+    for (DcId id = 0; id < n; ++id) {
+      client_sim_by_home[id] = NewLaneSim();
+    }
+  }
+  std::function<uint32_t(KeyId)> partition_of;
+  if (config_.dc.sharded_gears) {
+    PartitionedStore* store = &datacenters_[0]->store();
+    partition_of = [store](KeyId key) { return store->PartitionOf(key); };
+  }
+
   client_homes_ = client_homes;
   for (uint32_t i = 0; i < client_homes.size(); ++i) {
     DcId home = client_homes[i];
@@ -250,11 +330,19 @@ Cluster::Cluster(ClusterConfig config, ReplicaMap replicas, std::vector<DcId> cl
     cc.num_dcs = n;
     cc.prune_context = config_.cops_prune;
     cc.seed = config_.seed;
-    auto client = std::make_unique<Client>(&sim_, net_.get(), &replicas_,
+    Simulator* client_sim = scheduler_ != nullptr ? client_sim_by_home[home] : &sim_;
+    auto client = std::make_unique<Client>(client_sim, net_.get(), &replicas_,
                                            generator_factory(replicas_, home, i),
                                            metrics_.get(), oracle_.get(), cc, dc_nodes,
                                            remote_target);
+    if (config_.dc.sharded_gears) {
+      client->SetShardRouting(lane_nodes_, partition_of);
+    }
     net_->Attach(client.get(), config_.dc_sites[home]);
+    if (scheduler_ != nullptr) {
+      scheduler_->BindNode(client->node_id(), client_sim);
+    }
+    client_sims_.push_back(client_sim);
     clients_.push_back(std::move(client));
   }
 }
@@ -270,9 +358,13 @@ void Cluster::InstallFaultPlan(const FaultPlan& plan) {
     targets.dc_nodes.push_back(dc->node_id());
   }
   targets.dc_sites = config_.dc_sites;
-  injector_ = std::make_unique<FaultInjector>(&sim_, plan, std::move(targets));
+  Simulator* injector_sim = NewLaneSim();
+  injector_ = std::make_unique<FaultInjector>(injector_sim, plan, std::move(targets));
   // The injector exchanges no messages; attachment just gives it a node id.
   net_->Attach(injector_.get(), config_.dc_sites[0]);
+  if (scheduler_ != nullptr) {
+    scheduler_->BindNode(injector_->node_id(), injector_sim);
+  }
   if (trace_ != nullptr) {
     injector_->SetTrace(trace_.get(), trace_->RegisterTrack("faults"));
   }
@@ -449,6 +541,9 @@ ExperimentResult Cluster::Run(SimTime warmup, SimTime measure, SimTime drain) {
   for (auto& dc : datacenters_) {
     dc->Start();
   }
+  for (auto& lane : gear_lanes_) {
+    lane->Start();
+  }
   if (monitor_ != nullptr) {
     monitor_->Start();
   }
@@ -466,13 +561,25 @@ ExperimentResult Cluster::Run(SimTime warmup, SimTime measure, SimTime drain) {
     injector_->Start();
   }
   if (stop_clients_at_ != kSimTimeNever) {
-    sim_.At(stop_clients_at_, [this]() {
-      for (auto& client : clients_) {
-        client->Stop();
+    if (scheduler_ != nullptr) {
+      // Stop each client from its own lane: Stop() writes client state, so it
+      // must run where the client runs.
+      for (size_t i = 0; i < clients_.size(); ++i) {
+        client_sims_[i]->At(stop_clients_at_, [c = clients_[i].get()]() { c->Stop(); });
       }
-    });
+    } else {
+      sim_.At(stop_clients_at_, [this]() {
+        for (auto& client : clients_) {
+          client->Stop();
+        }
+      });
+    }
   }
-  sim_.RunUntil(window_end_ + drain);
+  if (scheduler_ != nullptr) {
+    scheduler_->Run(window_end_ + drain);
+  } else {
+    sim_.RunUntil(window_end_ + drain);
+  }
   return Result();
 }
 

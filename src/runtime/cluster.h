@@ -21,8 +21,10 @@
 #include "src/fault/fault_plan.h"
 #include "src/obs/metrics_registry.h"
 #include "src/obs/trace.h"
+#include "src/runtime/realtime.h"
 #include "src/runtime/regions.h"
 #include "src/saturn/config_generator.h"
+#include "src/saturn/gear_lane.h"
 #include "src/saturn/metadata_service.h"
 #include "src/saturn/reconfig_controller.h"
 #include "src/saturn/saturn_dc.h"
@@ -71,8 +73,21 @@ struct DynamicTopologyConfig {
   std::vector<DcId> deferred_dcs;
 };
 
+// Execution backend. kSim is the deterministic single-threaded simulator —
+// the correctness oracle, with reproducible executed-event fingerprints.
+// kRealtime drives the same actors wall-clock on a worker pool: every
+// datacenter, gear lane, client group and the serializer tree runs on its own
+// scheduler lane. Realtime runs are not reproducible and reject tracing and
+// dynamic topology.
+enum class ExecBackend {
+  kSim,
+  kRealtime,
+};
+
 struct ClusterConfig {
   Protocol protocol = Protocol::kSaturn;
+  ExecBackend backend = ExecBackend::kSim;
+  RealtimeOptions realtime;  // used when backend == kRealtime
   std::vector<SiteId> dc_sites = Ec2Sites();
   LatencyMatrix latencies = Ec2Latencies();
   NetworkConfig net;
@@ -169,6 +184,13 @@ class Cluster {
   SaturnDc* saturn_dc(DcId id);
   const std::vector<std::unique_ptr<Client>>& clients() const { return clients_; }
 
+  // Null unless backend == kRealtime.
+  RealtimeScheduler* scheduler() { return scheduler_.get(); }
+  // Total executed events, whichever backend ran.
+  uint64_t executed_events() const {
+    return scheduler_ != nullptr ? scheduler_->executed_events() : sim_.executed_events();
+  }
+
   // Null unless config.trace.enabled.
   obs::TraceRecorder* trace() { return trace_.get(); }
 
@@ -182,16 +204,23 @@ class Cluster {
 
  private:
   void BuildMetricsRegistry();
+  // The simulator new actors should be built against: a fresh scheduler lane
+  // under the realtime backend, the shared deterministic simulator otherwise.
+  Simulator* NewLaneSim();
 
   ClusterConfig config_;
   ReplicaMap replicas_;
   std::unique_ptr<obs::TraceRecorder> trace_;  // created before any actor
   std::unique_ptr<obs::MetricsRegistry> registry_;
   Simulator sim_;
+  std::unique_ptr<RealtimeScheduler> scheduler_;  // null unless kRealtime
   std::unique_ptr<Network> net_;
   std::unique_ptr<Metrics> metrics_;
   std::unique_ptr<CausalityOracle> oracle_;
   std::vector<std::unique_ptr<DatacenterBase>> datacenters_;
+  // Sharded mode: per-gear frontend lanes, dc-major gear-minor order.
+  std::vector<std::unique_ptr<GearLane>> gear_lanes_;
+  std::vector<std::vector<NodeId>> lane_nodes_;  // [dc][gear], empty unless sharded
   std::unique_ptr<MetadataService> metadata_;
   TreeTopology tree_;
   std::unique_ptr<TopologyMonitor> monitor_;
@@ -199,6 +228,7 @@ class Cluster {
   DcSet initial_active_;  // all DCs minus config.dynamic.deferred_dcs
   std::vector<DcId> client_homes_;
   std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<Simulator*> client_sims_;  // parallel to clients_ (realtime stops)
   std::unique_ptr<FaultInjector> injector_;
   SimTime stop_clients_at_ = kSimTimeNever;
   SimTime window_start_ = 0;

@@ -1,0 +1,243 @@
+#include "src/runtime/realtime.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/exec/thread_pool.h"
+
+namespace saturn {
+
+namespace {
+
+// Lane the calling worker thread is currently executing; null on threads that
+// never ran a lane (the main thread during setup). Keyed per thread, not per
+// scheduler: a worker serves exactly one scheduler at a time.
+thread_local const Simulator* t_lane_sim = nullptr;
+
+// Events per run_mu acquisition. Large enough to amortize the locking and
+// floor computation, small enough that the lane's frontier stays fresh for
+// the drift-window floor.
+constexpr int kBatchEvents = 1024;
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+RealtimeScheduler::RealtimeScheduler(RealtimeOptions options)
+    : options_(options), busy_ns_(options.workers == 0 ? 1 : options.workers) {
+  if (options_.workers == 0) {
+    options_.workers = 1;
+  }
+  SAT_CHECK(options_.drift_window > 0);
+}
+
+RealtimeScheduler::~RealtimeScheduler() = default;
+
+Simulator* RealtimeScheduler::AddLane() {
+  SAT_CHECK(!running_.load(std::memory_order_acquire));
+  lanes_.push_back(std::make_unique<Lane>());
+  return &lanes_.back()->sim;
+}
+
+void RealtimeScheduler::BindNode(NodeId node, Simulator* lane_sim) {
+  SAT_CHECK(!running_.load(std::memory_order_acquire));
+  Lane* owner = nullptr;
+  for (auto& lane : lanes_) {
+    if (&lane->sim == lane_sim) {
+      owner = lane.get();
+      break;
+    }
+  }
+  SAT_CHECK_MSG(owner != nullptr, "BindNode: simulator is not a lane of this scheduler");
+  if (node >= node_lane_.size()) {
+    node_lane_.resize(node + 1, nullptr);
+  }
+  node_lane_[node] = owner;
+}
+
+SimTime RealtimeScheduler::Now() const {
+  return t_lane_sim != nullptr ? t_lane_sim->Now() : 0;
+}
+
+void RealtimeScheduler::PostAt(NodeId to, SimTime when, InlineTask task) {
+  SAT_CHECK_MSG(to < node_lane_.size() && node_lane_[to] != nullptr,
+                "PostAt: node %u is not bound to a lane", to);
+  Lane& lane = *node_lane_[to];
+  {
+    std::lock_guard<std::mutex> g(lane.inbox_mu);
+    lane.inbox.emplace_back(when, std::move(task));
+    if (when < lane.frontier.load(std::memory_order_relaxed)) {
+      lane.frontier.store(when);
+    }
+    posts_.fetch_add(1);
+  }
+}
+
+SimTime RealtimeScheduler::GlobalFloor() const {
+  SimTime floor = kSimTimeNever;
+  for (const auto& lane : lanes_) {
+    SimTime f = lane->frontier.load(std::memory_order_acquire);
+    if (f < floor) {
+      floor = f;
+    }
+  }
+  return floor;
+}
+
+bool RealtimeScheduler::RunLane(Lane& lane, SimTime until, SimTime wall_allowance) {
+  std::unique_lock<std::mutex> run(lane.run_mu, std::try_to_lock);
+  if (!run.owns_lock()) {
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> g(lane.inbox_mu);
+    for (auto& entry : lane.inbox) {
+      // A delivery from a lane that ran ahead of us may target our past; the
+      // clamp delays it to "now", which is indistinguishable from extra
+      // network latency. The drift window keeps the clamp small.
+      SimTime at = entry.first > lane.sim.Now() ? entry.first : lane.sim.Now();
+      lane.sim.At(at, std::move(entry.second));
+    }
+    lane.inbox.clear();
+  }
+  SimTime horizon = until;
+  SimTime floor = GlobalFloor();
+  if (floor != kSimTimeNever && floor + options_.drift_window < horizon) {
+    horizon = floor + options_.drift_window;
+  }
+  if (wall_allowance < horizon) {
+    horizon = wall_allowance;
+  }
+  bool did_work = false;
+  const Simulator* prev = t_lane_sim;
+  t_lane_sim = &lane.sim;
+  int executed = 0;
+  while (executed < kBatchEvents && lane.sim.PeekTime() <= horizon) {
+    lane.sim.Step();
+    ++executed;
+  }
+  t_lane_sim = prev;
+  did_work = executed > 0;
+  {
+    // Refresh the frontier: heap head, lowered by any post that arrived while
+    // we were stepping (inbox entries count as pending work too).
+    std::lock_guard<std::mutex> g(lane.inbox_mu);
+    SimTime f = lane.sim.PeekTime();
+    for (const auto& entry : lane.inbox) {
+      SimTime at = entry.first > lane.sim.Now() ? entry.first : lane.sim.Now();
+      if (at < f) {
+        f = at;
+      }
+    }
+    lane.frontier.store(f);
+  }
+  return did_work;
+}
+
+bool RealtimeScheduler::AllIdle(SimTime until) {
+  for (auto& lane_ptr : lanes_) {
+    Lane& lane = *lane_ptr;
+    std::unique_lock<std::mutex> run(lane.run_mu, std::try_to_lock);
+    if (!run.owns_lock()) {
+      return false;  // someone is executing (or polling) this lane
+    }
+    std::lock_guard<std::mutex> g(lane.inbox_mu);
+    if (!lane.inbox.empty()) {
+      return false;
+    }
+    if (lane.sim.PeekTime() <= until) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void RealtimeScheduler::WorkerLoop(size_t worker_index, SimTime until) {
+  size_t n = lanes_.size();
+  if (n == 0) {
+    return;
+  }
+  uint64_t wall_start = NowNs();
+  size_t next = worker_index % n;  // stagger workers across lanes
+  unsigned idle_rounds = 0;
+  while (!done_.load(std::memory_order_acquire)) {
+    SimTime allowance = kSimTimeNever;
+    if (options_.time_scale > 0.0) {
+      double elapsed_us = static_cast<double>(NowNs() - wall_start) * 1e-3;
+      allowance = static_cast<SimTime>(elapsed_us * options_.time_scale);
+    }
+    bool did_work = false;
+    for (size_t i = 0; i < n; ++i) {
+      Lane& lane = *lanes_[(next + i) % n];
+      uint64_t t0 = NowNs();
+      if (RunLane(lane, until, allowance)) {
+        busy_ns_[worker_index].fetch_add(NowNs() - t0, std::memory_order_relaxed);
+        did_work = true;
+      }
+    }
+    next = (next + 1) % n;
+    if (did_work) {
+      idle_rounds = 0;
+    } else if (++idle_rounds >= 64) {
+      // Nothing runnable anywhere (drift-window stall, pacing, or quiescence
+      // pending): sleep instead of burning the core other lanes need.
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void RealtimeScheduler::Run(SimTime until) {
+  SAT_CHECK_MSG(!running_.exchange(true), "RealtimeScheduler::Run called twice");
+  for (auto& lane : lanes_) {
+    lane->frontier.store(lane->sim.PeekTime());
+  }
+  done_.store(false);
+  uint64_t wall_start = NowNs();
+  ThreadPool pool(options_.workers);
+  for (unsigned w = 0; w < options_.workers; ++w) {
+    pool.Submit([this, w, until] { WorkerLoop(w, until); });
+  }
+  for (;;) {
+    uint64_t p0 = posts_.load();
+    // Quiescent iff every lane is simultaneously un-owned, inbox-empty and
+    // heap-idle past `until`, and no post landed during the scan (the second
+    // read catches a lane that finished a batch — releasing its run_mu —
+    // after posting to a lane we had already inspected).
+    if (AllIdle(until) && posts_.load() == p0) {
+      break;
+    }
+    if (pool.failures() > 0) {
+      break;  // a worker died; stop the rest and let Wait() rethrow
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  done_.store(true, std::memory_order_release);
+  pool.Wait();  // joins the batch; rethrows the first worker exception
+  uint64_t wall_ns = NowNs() - wall_start;
+  utilization_.assign(options_.workers, 0.0);
+  if (wall_ns > 0) {
+    for (unsigned w = 0; w < options_.workers; ++w) {
+      utilization_[w] = static_cast<double>(busy_ns_[w].load()) /
+                        static_cast<double>(wall_ns);
+    }
+  }
+}
+
+uint64_t RealtimeScheduler::executed_events() const {
+  uint64_t total = 0;
+  for (const auto& lane : lanes_) {
+    total += lane->sim.executed_events();
+  }
+  return total;
+}
+
+}  // namespace saturn

@@ -1,0 +1,123 @@
+// Wall-clock multi-threaded execution backend.
+//
+// The deterministic Simulator drives every actor in one thread and is the
+// correctness oracle. RealtimeScheduler drives the *same* actor code at real
+// speed: the node population is split into lanes, each lane owns a private
+// Simulator (its virtual clock and event heap), and a pool of worker threads
+// polls lanes and executes whatever events are due. Cross-lane traffic goes
+// through per-lane MPSC inboxes — the Network hands deliveries to PostAt()
+// via the LaneRouter seam instead of scheduling on a single heap.
+//
+// Virtual time is decentralized: each lane advances its own clock as it
+// executes. A drift window bounds how far any lane may run ahead of the
+// earliest pending work in the system, so a cross-lane message rarely arrives
+// in its destination's past; when one does (scheduling races make it
+// unavoidable), the delivery is clamped to the lane's current time — which is
+// indistinguishable from extra network latency and therefore causally sound.
+// Runs are NOT reproducible: thread interleaving decides clamp points and
+// event order between lanes. Causal-consistency guarantees (the oracle's
+// session and prefix checks) must hold on every interleaving; timing numbers
+// are measurements, not fixtures.
+#ifndef SRC_RUNTIME_REALTIME_H_
+#define SRC_RUNTIME_REALTIME_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/lane_router.h"
+
+namespace saturn {
+
+struct RealtimeOptions {
+  // Worker threads polling lanes. More lanes than workers is fine (workers
+  // multiplex); more workers than lanes wastes threads.
+  unsigned workers = 2;
+  // Max virtual time any lane may run ahead of the globally earliest pending
+  // event. Small enough that clamped cross-lane deliveries stay well under
+  // protocol timeouts (failure detectors use hundreds of ms), large enough
+  // that lanes rarely stall on each other.
+  SimTime drift_window = Millis(5);
+  // 0 = free-run (virtual time advances as fast as workers can execute).
+  // > 0 paces execution: at most `time_scale` virtual microseconds may pass
+  // per wall-clock microsecond.
+  double time_scale = 0.0;
+};
+
+class RealtimeScheduler : public LaneRouter {
+ public:
+  explicit RealtimeScheduler(RealtimeOptions options);
+  ~RealtimeScheduler() override;
+
+  RealtimeScheduler(const RealtimeScheduler&) = delete;
+  RealtimeScheduler& operator=(const RealtimeScheduler&) = delete;
+
+  // Creates a lane and returns its private simulator. Actors constructed
+  // against this simulator belong to the lane. Call only before Run().
+  Simulator* AddLane();
+
+  // Declares that node `node` (a Network NodeId) runs on the lane owning
+  // `lane_sim`. Every node that can receive messages must be bound before
+  // Run(). Call only before Run().
+  void BindNode(NodeId node, Simulator* lane_sim);
+
+  // LaneRouter: virtual time of the lane the calling thread is executing on.
+  // Returns 0 from threads not running a lane (single-threaded setup, before
+  // Run() — every lane is still at 0 then, so the answer is consistent).
+  SimTime Now() const override;
+
+  // LaneRouter: enqueues a task on the destination node's lane. Thread-safe.
+  void PostAt(NodeId to, SimTime when, InlineTask task) override;
+
+  // Executes all work up to virtual time `until` on the worker pool and
+  // returns when the system is quiescent (no lane has pending work at or
+  // before `until`). Rethrows the first worker exception. Call once.
+  void Run(SimTime until);
+
+  size_t num_lanes() const { return lanes_.size(); }
+  unsigned workers() const { return options_.workers; }
+
+  // Fraction of wall time each worker spent executing lane events during
+  // Run() (the rest is polling / stalling on the drift window). Valid after
+  // Run() returns.
+  const std::vector<double>& worker_utilization() const { return utilization_; }
+
+  // Sum of executed events across all lanes. Valid after Run().
+  uint64_t executed_events() const;
+
+ private:
+  struct Lane {
+    Simulator sim;
+    std::mutex inbox_mu;
+    std::vector<std::pair<SimTime, InlineTask>> inbox;
+    // Earliest pending work (heap or inbox), kSimTimeNever when idle.
+    // Written under inbox_mu; read lock-free by the drift-window floor.
+    std::atomic<int64_t> frontier{kSimTimeNever};
+    // Serializes execution on the lane: whoever holds it may drain the inbox
+    // and step the simulator. Workers try-lock and move on.
+    std::mutex run_mu;
+  };
+
+  SimTime GlobalFloor() const;
+  // Runs one bounded batch on `lane`. Returns true if any event executed.
+  bool RunLane(Lane& lane, SimTime until, SimTime wall_allowance);
+  bool AllIdle(SimTime until);
+  void WorkerLoop(size_t worker_index, SimTime until);
+
+  RealtimeOptions options_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<Lane*> node_lane_;  // indexed by NodeId
+  std::atomic<uint64_t> posts_{0};
+  std::atomic<bool> done_{false};
+  std::atomic<bool> running_{false};
+  std::vector<std::atomic<uint64_t>> busy_ns_;  // per worker
+  std::vector<double> utilization_;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_RUNTIME_REALTIME_H_

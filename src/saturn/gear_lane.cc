@@ -1,0 +1,117 @@
+#include "src/saturn/gear_lane.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace saturn {
+
+GearLane::GearLane(Simulator* sim, Network* net, const DatacenterConfig& config,
+                   uint32_t gear_index, PartitionedStore* store)
+    : sim_(sim),
+      net_(net),
+      config_(config),
+      gear_index_(gear_index),
+      store_(store),
+      clock_(sim, config.clock_skew),
+      gear_(MakeSourceId(config.id, gear_index), &clock_) {
+  SAT_CHECK(store != nullptr && gear_index < store->num_partitions());
+}
+
+void GearLane::Start() {
+  SAT_CHECK(control_node_ != kInvalidNode);
+  heartbeat_ = std::make_unique<PeriodicTimer>(sim_, config_.bulk_heartbeat_interval,
+                                               [this]() { ReportHeartbeat(); });
+  heartbeat_->Start();
+}
+
+void GearLane::HandleMessage(NodeId from, const Message& msg) {
+  const auto* req = std::get_if<ClientRequest>(&msg);
+  SAT_CHECK_MSG(req != nullptr, "gear lane received a non-client message");
+  // Attach, migrate and composite operate-and-migrate requests stay on the
+  // control node (the client routes them there): they touch sink/waiter state
+  // a lane does not have.
+  SAT_CHECK(!req->migrate_after);
+  switch (req->op) {
+    case ClientOpType::kRead:
+      HandleRead(from, *req);
+      return;
+    case ClientOpType::kUpdate:
+      HandleUpdate(from, *req);
+      return;
+    default:
+      SAT_CHECK_MSG(false, "gear lane received op %d", static_cast<int>(req->op));
+  }
+}
+
+void GearLane::HandleRead(NodeId from, const ClientRequest& req) {
+  SAT_CHECK(store_->PartitionOf(req.key) == gear_index_);
+  uint32_t size = 0;
+  {
+    auto guard = store_->GuardFor(req.key);
+    const VersionedValue* current = store_->PartitionFor(req.key).Get(req.key);
+    size = current != nullptr ? current->size : 0;
+  }
+  SimTime cost = config_.costs.ReadCost(size) + CostModel::AsTime(config_.costs.scalar_meta_us);
+  SimTime done = gear_.queue().Submit(sim_->Now(), cost);
+
+  auto complete = [this, from, req = req]() {
+    ClientResponse resp;
+    resp.op = ClientOpType::kRead;
+    resp.client = req.client;
+    resp.request_id = req.request_id;
+    {
+      auto guard = store_->GuardFor(req.key);
+      const VersionedValue* v = store_->PartitionFor(req.key).Get(req.key);
+      if (v != nullptr) {
+        resp.label = v->label;
+        resp.value_size = v->size;
+      }
+    }
+    net_->Send(node_id(), from, std::move(resp));
+  };
+  static_assert(InlineTask::fits_inline<decltype(complete)>,
+                "lane read-completion closure outgrew InlineTask's inline buffer");
+  sim_->At(done, std::move(complete));
+}
+
+void GearLane::HandleUpdate(NodeId from, const ClientRequest& req) {
+  SAT_CHECK(store_->PartitionOf(req.key) == gear_index_);
+  SimTime cost = config_.costs.UpdateCost(req.value_size) +
+                 CostModel::AsTime(config_.costs.scalar_meta_us);
+  SimTime done = gear_.queue().Submit(sim_->Now(), cost);
+
+  auto complete = [this, from, req = req]() {
+    // Label generation happens here, on the lane, when the gear processes the
+    // request — the same completion-time rule as the unsharded path. The
+    // install, replication fan-out and client response happen on the control
+    // node when the GearCommit arrives; the lane promises (via its heartbeat
+    // reports) never to emit a smaller timestamp, and the FIFO lane->control
+    // channel keeps every commit ahead of the report that covers it.
+    GearCommit commit;
+    commit.client = req.client;
+    commit.client_node = from;
+    commit.request_id = req.request_id;
+    commit.key = req.key;
+    commit.value_size = req.value_size;
+    commit.label.type = LabelType::kUpdate;
+    commit.label.src = gear_.source();
+    commit.label.ts = gear_.GenerateTimestamp(req.client_label);
+    commit.label.target_key = req.key;
+    commit.label.uid = req.request_id;
+    commit.created_at = sim_->Now();
+    net_->Send(node_id(), control_node_, std::move(commit));
+  };
+  static_assert(InlineTask::fits_inline<decltype(complete)>,
+                "lane update-completion closure outgrew InlineTask's inline buffer");
+  sim_->At(done, std::move(complete));
+}
+
+void GearLane::ReportHeartbeat() {
+  GearHeartbeatReport report;
+  report.gear = gear_index_;
+  report.ts = gear_.HeartbeatTimestamp();
+  net_->Send(node_id(), control_node_, report);
+}
+
+}  // namespace saturn

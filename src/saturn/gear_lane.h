@@ -1,0 +1,67 @@
+// One gear's frontend/sink lane (intra-DC sharding).
+//
+// In sharded mode a Saturn datacenter decomposes into num_gears GearLane
+// actors plus the SaturnDc control node. Each lane owns label generation for
+// its store partition: clients send reads and updates for the partition's
+// keys directly to the lane, which charges the gear's service cost, answers
+// reads from the shared store, and — for updates — generates the label and
+// forwards a GearCommit to the control node. The control node keeps
+// everything that must stay serialized: store installs (local and remote),
+// the label sink feeding the serializer tree, the replication fan-out, and
+// the client response for updates (responding only after the install
+// preserves read-your-writes). Under the realtime backend each lane runs on
+// its own scheduler lane, so a DC's frontend work spreads across
+// num_gears + 1 threads of parallelism.
+#ifndef SRC_SATURN_GEAR_LANE_H_
+#define SRC_SATURN_GEAR_LANE_H_
+
+#include <memory>
+
+#include "src/core/datacenter.h"
+#include "src/core/gear.h"
+#include "src/kvstore/partitioned_store.h"
+#include "src/sim/actor.h"
+#include "src/sim/clock.h"
+#include "src/sim/network.h"
+#include "src/sim/timer.h"
+
+namespace saturn {
+
+class GearLane : public Actor {
+ public:
+  // `store` is the owning datacenter's partitioned store, shared read-mostly:
+  // the lane reads its partition (store guards make that safe under the
+  // realtime backend), the control node writes it.
+  GearLane(Simulator* sim, Network* net, const DatacenterConfig& config,
+           uint32_t gear_index, PartitionedStore* store);
+
+  // The owning datacenter's control node. Must be set before Start().
+  void SetControlNode(NodeId node) { control_node_ = node; }
+
+  // Starts the periodic gear heartbeat reports to the control node.
+  void Start();
+
+  void HandleMessage(NodeId from, const Message& msg) override;
+
+  uint32_t gear_index() const { return gear_index_; }
+  Gear& gear() { return gear_; }
+
+ private:
+  void HandleRead(NodeId from, const ClientRequest& req);
+  void HandleUpdate(NodeId from, const ClientRequest& req);
+  void ReportHeartbeat();
+
+  Simulator* sim_;
+  Network* net_;
+  DatacenterConfig config_;
+  uint32_t gear_index_;
+  PartitionedStore* store_;
+  PhysicalClock clock_;
+  Gear gear_;
+  NodeId control_node_ = kInvalidNode;
+  std::unique_ptr<PeriodicTimer> heartbeat_;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_SATURN_GEAR_LANE_H_

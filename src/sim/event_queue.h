@@ -107,6 +107,18 @@ class Simulator {
     }
   }
 
+  // Time of the earliest pending event, or kSimTimeNever when idle.
+  SimTime PeekTime() const { return heap_.empty() ? kSimTimeNever : heap_.front().time; }
+
+  // Like RunUntil, but never advances Now() past the last executed event:
+  // an idle simulator keeps its clock where it is, so later cross-lane posts
+  // at earlier times need no clamping. Used by the realtime backend.
+  void Drain(SimTime until) {
+    while (!heap_.empty() && heap_.front().time <= until) {
+      Step();
+    }
+  }
+
   bool Empty() const { return heap_.empty(); }
   uint64_t executed_events() const { return executed_; }
   size_t pending_events() const { return heap_.size(); }

@@ -1,0 +1,30 @@
+// Seam between the Network and an execution backend that runs nodes on
+// multiple lanes (independent Simulators driven by worker threads). When a
+// router is installed, the network asks it for the current virtual time and
+// hands it cross-lane deliveries instead of scheduling on a single simulator.
+// With no router the network talks to its one Simulator directly and is
+// bit-for-bit identical to the historical single-threaded behavior.
+#ifndef SRC_SIM_LANE_ROUTER_H_
+#define SRC_SIM_LANE_ROUTER_H_
+
+#include "src/common/types.h"
+#include "src/sim/inline_task.h"
+
+namespace saturn {
+
+class LaneRouter {
+ public:
+  virtual ~LaneRouter() = default;
+
+  // Virtual time of the lane the calling thread is currently executing on
+  // (0 during single-threaded setup, before any lane has run).
+  virtual SimTime Now() const = 0;
+
+  // Enqueues `task` for execution at virtual time `when` on the lane that
+  // owns node `to`. Thread-safe; may be called from any lane.
+  virtual void PostAt(NodeId to, SimTime when, InlineTask task) = 0;
+};
+
+}  // namespace saturn
+
+#endif  // SRC_SIM_LANE_ROUTER_H_

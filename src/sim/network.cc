@@ -15,6 +15,11 @@ NodeId Network::Attach(Actor* actor, SiteId site) {
 }
 
 void Network::Send(NodeId from, NodeId to, Message msg) {
+  auto lock = MaybeLock();
+  SendLocked(from, to, std::move(msg));
+}
+
+void Network::SendLocked(NodeId from, NodeId to, Message msg) {
   SAT_CHECK(from < nodes_.size() && to < nodes_.size());
   if (nodes_[from].down) {
     // A crashed node produces nothing: the send never leaves the machine.
@@ -47,7 +52,7 @@ void Network::Send(NodeId from, NodeId to, Message msg) {
     return;
   }
 
-  SimTime base = BaseLatency(sa, sb);
+  SimTime base = BaseLatencyLocked(sa, sb);
   SimTime jitter = 0;
   if (config_.jitter_fraction > 0.0 && base > 0) {
     jitter = static_cast<SimTime>(static_cast<double>(base) * config_.jitter_fraction *
@@ -56,7 +61,7 @@ void Network::Send(NodeId from, NodeId to, Message msg) {
   uint32_t size = MessageWireSize(msg);
   SimTime transmission = static_cast<SimTime>(static_cast<double>(size) /
                                               config_.bandwidth_bytes_per_us);
-  SimTime when = sim_->Now() + base + jitter + transmission;
+  SimTime when = LocalNow() + base + jitter + transmission;
   Deliver(from, to, std::move(msg), when, size);
 }
 
@@ -76,12 +81,32 @@ void Network::Deliver(NodeId from, NodeId to, Message msg, SimTime when, uint32_
     trace_->Hop(sim_->Now(), trace_track_, "net.send", 0, from, to);
   }
 
+  // The message moves into the event and is handed to the actor without
+  // further copies.
+  auto task = [this, from, to, m = std::move(msg)]() {
+    FinishDelivery(from, to, m);
+  };
+  // The delivery closure is the simulator's single hottest scheduling site:
+  // one per simulated message. It must stay inside InlineTask's buffer, or
+  // every message pays a heap round trip again.
+  static_assert(InlineTask::fits_inline<decltype(task)>,
+                "network delivery closure no longer fits InlineTask's inline buffer; "
+                "grow InlineTask::kCapacity or shrink Message");
+  if (router_ != nullptr) {
+    router_->PostAt(to, when, InlineTask(std::move(task)));
+  } else {
+    sim_->At(when, std::move(task));
+  }
+}
+
+void Network::FinishDelivery(NodeId from, NodeId to, const Message& msg) {
   // Fault state is re-checked at delivery time: a lossy cut or a crash landing
   // while the message is in flight loses it (packets on the wire do not
   // survive either). Buffered cuts leave in-flight traffic alone — they model
-  // TCP, which retransmits once the route heals. The message moves into the
-  // event and is handed to the actor without further copies.
-  auto task = [this, from, to, m = std::move(msg)]() {
+  // TCP, which retransmits once the route heals.
+  Actor* receiver = nullptr;
+  {
+    auto lock = MaybeLock();
     if (nodes_[to].down) {
       ++dropped_node_down_;
       if (trace_ != nullptr) {
@@ -100,23 +125,25 @@ void Network::Deliver(NodeId from, NodeId to, Message msg, SimTime when, uint32_
     if (trace_ != nullptr) {
       trace_->Hop(sim_->Now(), trace_track_, "net.deliver", 0, from, to);
     }
-    nodes_[to].actor->HandleMessage(from, m);
-  };
-  // The delivery closure is the simulator's single hottest scheduling site:
-  // one per simulated message. It must stay inside InlineTask's buffer, or
-  // every message pays a heap round trip again.
-  static_assert(InlineTask::fits_inline<decltype(task)>,
-                "network delivery closure no longer fits InlineTask's inline buffer; "
-                "grow InlineTask::kCapacity or shrink Message");
-  sim_->At(when, std::move(task));
+    receiver = nodes_[to].actor;
+  }
+  // The handler runs outside the lock: it will re-enter the network to send.
+  receiver->HandleMessage(from, msg);
 }
 
 void Network::InjectExtraLatency(SiteId a, SiteId b, SimTime extra) {
-  InjectExtraLatencyOneWay(a, b, extra);
-  InjectExtraLatencyOneWay(b, a, extra);
+  auto lock = MaybeLock();
+  if (extra == 0) {
+    injected_.Erase(DirectedPair(a, b));
+    injected_.Erase(DirectedPair(b, a));
+  } else {
+    injected_[DirectedPair(a, b)] = extra;
+    injected_[DirectedPair(b, a)] = extra;
+  }
 }
 
 void Network::InjectExtraLatencyOneWay(SiteId from, SiteId to, SimTime extra) {
+  auto lock = MaybeLock();
   if (extra == 0) {
     injected_.Erase(DirectedPair(from, to));
   } else {
@@ -125,15 +152,18 @@ void Network::InjectExtraLatencyOneWay(SiteId from, SiteId to, SimTime extra) {
 }
 
 void Network::SetBaseLatency(SiteId a, SiteId b, SimTime one_way) {
+  auto lock = MaybeLock();
   latency_.Set(a, b, one_way);
 }
 
 void Network::SetBaseLatencyOneWay(SiteId from, SiteId to, SimTime one_way) {
+  auto lock = MaybeLock();
   latency_.SetOneWay(from, to, one_way);
 }
 
 void Network::ScheduleLatencyStep(SimTime at, SiteId a, SiteId b, SimTime one_way,
                                   bool symmetric) {
+  SAT_CHECK(router_ == nullptr);  // trajectories are a deterministic-sim feature
   sim_->At(at, [this, a, b, one_way, symmetric]() {
     if (symmetric) {
       latency_.Set(a, b, one_way);
@@ -145,6 +175,7 @@ void Network::ScheduleLatencyStep(SimTime at, SiteId a, SiteId b, SimTime one_wa
 
 void Network::ScheduleLatencyRamp(SimTime at, SiteId a, SiteId b, SimTime target,
                                   SimTime duration, bool symmetric) {
+  SAT_CHECK(router_ == nullptr);  // trajectories are a deterministic-sim feature
   if (duration <= 0) {
     ScheduleLatencyStep(at, a, b, target, symmetric);
     return;
@@ -182,14 +213,18 @@ void Network::RampTick(SiteId a, SiteId b, SimTime start_value_a, SimTime start_
 }
 
 void Network::SetLinkDown(SiteId a, SiteId b, bool down) {
+  auto lock = MaybeLock();
   if (down) {
-    CutLink(a, b, /*drop_messages=*/false);
+    LinkState& link = links_[SitePair(a, b)];
+    link.down = true;
+    link.drop = false;
   } else {
-    HealLink(a, b);
+    HealLinkLocked(a, b);
   }
 }
 
 void Network::CutLink(SiteId a, SiteId b, bool drop_messages) {
+  auto lock = MaybeLock();
   LinkState& link = links_[SitePair(a, b)];
   link.down = true;
   link.drop = drop_messages;
@@ -201,6 +236,11 @@ void Network::CutLink(SiteId a, SiteId b, bool drop_messages) {
 }
 
 void Network::HealLink(SiteId a, SiteId b) {
+  auto lock = MaybeLock();
+  HealLinkLocked(a, b);
+}
+
+void Network::HealLinkLocked(SiteId a, SiteId b) {
   LinkState* link = links_.Find(SitePair(a, b));
   if (link == nullptr || !link->down) {
     return;
@@ -209,21 +249,24 @@ void Network::HealLink(SiteId a, SiteId b) {
   links_.Erase(SitePair(a, b));
   for (size_t i = 0; i < buffered.size(); ++i) {
     BufferedSend& entry = buffered[i];
-    Send(entry.from, entry.to, std::move(entry.msg));
+    SendLocked(entry.from, entry.to, std::move(entry.msg));
   }
 }
 
 bool Network::LinkDown(SiteId a, SiteId b) const {
+  auto lock = MaybeLock();
   const LinkState* link = links_.Find(SitePair(a, b));
   return link != nullptr && link->down;
 }
 
 void Network::SetNodeDown(NodeId node, bool down) {
+  auto lock = MaybeLock();
   SAT_CHECK(node < nodes_.size());
   nodes_[node].down = down;
 }
 
 bool Network::NodeDown(NodeId node) const {
+  auto lock = MaybeLock();
   SAT_CHECK(node < nodes_.size());
   return nodes_[node].down;
 }

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/common/check.h"
@@ -22,6 +23,7 @@
 #include "src/core/messages.h"
 #include "src/sim/actor.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/lane_router.h"
 #include "src/sim/random.h"
 
 namespace saturn {
@@ -149,14 +151,10 @@ class Network {
   }
 
   SimTime BaseLatency(SiteId a, SiteId b) const {
-    if (a == b) {
-      return config_.intra_site_latency;
-    }
-    SimTime extra = 0;
-    if (const SimTime* injected = injected_.Find(DirectedPair(a, b))) {
-      extra = *injected;
-    }
-    return latency_.Get(a, b) + extra;
+    // Actors read this for RTO estimates while a fault-injector lane may be
+    // rewriting the overlay; under a router the overlay is lock-protected.
+    auto lock = MaybeLock();
+    return BaseLatencyLocked(a, b);
   }
 
   uint64_t messages_sent() const { return messages_sent_; }
@@ -178,6 +176,20 @@ class Network {
   uint64_t dropped_overflow() const { return dropped_overflow_; }
   uint64_t dropped_node_down() const { return dropped_node_down_; }
   Simulator* simulator() { return sim_; }
+
+  size_t NodeCount() const { return nodes_.size(); }
+
+  // Installs a multi-lane execution backend. From now on the network asks the
+  // router for virtual time and routes deliveries to the lane owning the
+  // destination node, guarding its own state with a mutex (senders run on
+  // concurrent worker threads). With no router (the default) there is no lock
+  // on any path and behavior is bit-for-bit the historical single-simulator
+  // one. Tracing and latency trajectories are single-threaded-only features;
+  // they cannot be combined with a router.
+  void SetRouter(LaneRouter* router) {
+    SAT_CHECK(trace_ == nullptr);
+    router_ = router;
+  }
 
   // Observation only: sends, deliveries and fault drops are recorded onto
   // `track`. Null disables (the default); no simulation state changes either
@@ -222,11 +234,43 @@ class Network {
     return (static_cast<uint64_t>(from) << 32) | to;
   }
 
+  // Virtual time as seen by the calling thread: the owning lane's clock under
+  // a router, the single simulator's otherwise.
+  SimTime LocalNow() const { return router_ != nullptr ? router_->Now() : sim_->Now(); }
+
+  // Locks mu_ only when a router is installed; the single-threaded path stays
+  // lock-free (and uncontended locks would still perturb nothing, but zero
+  // cost is easy to keep here).
+  std::unique_lock<std::mutex> MaybeLock() const {
+    std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+    if (router_ != nullptr) {
+      lock.lock();
+    }
+    return lock;
+  }
+
+  // Caller holds mu_ (or no router is installed).
+  SimTime BaseLatencyLocked(SiteId a, SiteId b) const {
+    if (a == b) {
+      return config_.intra_site_latency;
+    }
+    SimTime extra = 0;
+    if (const SimTime* injected = injected_.Find(DirectedPair(a, b))) {
+      extra = *injected;
+    }
+    return latency_.Get(a, b) + extra;
+  }
+
+  void SendLocked(NodeId from, NodeId to, Message msg);
+  void HealLinkLocked(SiteId a, SiteId b);
   void Deliver(NodeId from, NodeId to, Message msg, SimTime when, uint32_t wire_size);
+  void FinishDelivery(NodeId from, NodeId to, const Message& msg);
   void RampTick(SiteId a, SiteId b, SimTime start_value_a, SimTime start_value_b,
                 SimTime target, SimTime started, SimTime duration, bool symmetric);
 
   Simulator* sim_;
+  LaneRouter* router_ = nullptr;
+  mutable std::mutex mu_;  // guards all mutable state below when router_ set
   LatencyMatrix latency_;
   NetworkConfig config_;
   Rng jitter_rng_;

@@ -1,10 +1,91 @@
 #include <gtest/gtest.h>
 
+#include <deque>
+#include <vector>
+
 #include "src/common/dc_set.h"
+#include "src/common/ring_buffer.h"
 #include "src/common/types.h"
 
 namespace saturn {
 namespace {
+
+TEST(RingQueue, WrapAroundAtPowerOfTwoBoundary) {
+  // Exactly fill the initial 16-slot ring, drain half so the head sits
+  // mid-ring, then refill: the live window now wraps the physical end of the
+  // slot array and every index must mask correctly.
+  RingQueue<int> q;
+  for (int i = 0; i < 16; ++i) {
+    q.push_back(i);
+  }
+  EXPECT_EQ(q.size(), 16u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(q.front(), i);
+    q.pop_front();
+  }
+  for (int i = 16; i < 24; ++i) {
+    q.push_back(i);  // writes land in the vacated slots before the head
+  }
+  EXPECT_EQ(q.size(), 16u);
+  for (size_t i = 0; i < q.size(); ++i) {
+    EXPECT_EQ(q[i], static_cast<int>(i) + 8);
+  }
+  // One more push crosses 16 live elements and forces Grow(): the wrapped
+  // window must be relocated in FIFO order, not slot order.
+  q.push_back(24);
+  EXPECT_EQ(q.size(), 17u);
+  for (int expect = 8; expect <= 24; ++expect) {
+    EXPECT_EQ(q.front(), expect);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueue, RandomizedInterleavingMatchesDeque) {
+  // Many wrap/grow cycles with a skewed push:pop mix, checked move-for-move
+  // against std::deque (including front/back/operator[] probes).
+  RingQueue<uint64_t> q;
+  std::deque<uint64_t> reference;
+  uint64_t state = 12345, next_value = 0;
+  for (int step = 0; step < 20000; ++step) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    if ((state >> 33) % 3 != 0 || reference.empty()) {
+      q.push_back(next_value);
+      reference.push_back(next_value);
+      ++next_value;
+    } else {
+      ASSERT_EQ(q.front(), reference.front());
+      q.pop_front();
+      reference.pop_front();
+    }
+    ASSERT_EQ(q.size(), reference.size());
+    if (!reference.empty()) {
+      ASSERT_EQ(q.back(), reference.back());
+      size_t probe = (state >> 17) % reference.size();
+      ASSERT_EQ(q[probe], reference[probe]);
+    }
+  }
+  while (!reference.empty()) {
+    ASSERT_EQ(q.front(), reference.front());
+    q.pop_front();
+    reference.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueue, ClearResetsStateAfterWrap) {
+  RingQueue<std::vector<int>> q;
+  for (int i = 0; i < 20; ++i) {
+    q.push_back(std::vector<int>(100, i));
+  }
+  for (int i = 0; i < 10; ++i) {
+    q.pop_front();
+  }
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  q.push_back(std::vector<int>{42});
+  EXPECT_EQ(q.front().front(), 42);
+}
 
 TEST(Types, TimeConversions) {
   EXPECT_EQ(Millis(1), 1000);

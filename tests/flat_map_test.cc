@@ -109,6 +109,50 @@ TEST(FlatMap, TombstoneChainsStillFindLaterKeys) {
   EXPECT_EQ(map.size(), 64u);
 }
 
+TEST(FlatMap, TombstoneHeavyChurnTriggersFlushingRehash) {
+  // Insert/erase churn with a small live set: tombstones pile up until the
+  // 7/8 occupancy trigger fires with live*4 < capacity, which rehashes at the
+  // SAME capacity — a pure tombstone flush, not a grow. The map must stay
+  // correct through many such flushes.
+  FlatMap<uint64_t, uint64_t> map;
+  std::map<uint64_t, uint64_t> reference;
+  uint64_t next_key = 0;
+  for (int round = 0; round < 200; ++round) {
+    // A sliding window of 8 live keys; each round retires the window and
+    // installs a fresh one, leaving 8 new tombstones behind.
+    for (int i = 0; i < 8; ++i) {
+      map[next_key] = next_key * 7;
+      reference[next_key] = next_key * 7;
+      ++next_key;
+    }
+    for (uint64_t k = next_key - 16; k + 8 < next_key && round > 0; ++k) {
+      EXPECT_TRUE(map.Erase(k)) << k;
+      reference.erase(k);
+    }
+    ASSERT_EQ(map.size(), reference.size()) << "round " << round;
+    for (const auto& [k, v] : reference) {
+      const uint64_t* found = map.Find(k);
+      ASSERT_NE(found, nullptr) << "round " << round << " key " << k;
+      ASSERT_EQ(*found, v);
+    }
+    // Retired keys must stay gone after every flush.
+    if (next_key >= 40) {
+      for (uint64_t k = next_key - 40; k + 16 < next_key; ++k) {
+        ASSERT_EQ(map.Find(k), nullptr) << "round " << round << " key " << k;
+      }
+    }
+  }
+  // The live set never exceeded 16, so the flushes kept the table small
+  // instead of doubling under dead weight.
+  EXPECT_LE(map.size(), 16u);
+  size_t visited = 0;
+  map.ForEach([&](const uint64_t& k, uint64_t& v) {
+    ++visited;
+    EXPECT_EQ(v, reference.at(k));
+  });
+  EXPECT_EQ(visited, reference.size());
+}
+
 TEST(FlatSet, InsertContainsClear) {
   FlatSet<uint64_t> set;
   EXPECT_TRUE(set.empty());

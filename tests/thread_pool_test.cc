@@ -49,6 +49,30 @@ TEST(ThreadPool, WaitRethrowsFirstException) {
   pool.Wait();
 }
 
+TEST(ThreadPool, CountsSuppressedFailuresAcrossBatch) {
+  // Several jobs in one batch throw; only one exception can propagate from
+  // Wait(), but the rest must be counted, not silently dropped. failures()
+  // tracks the lifetime total so a coordinator can notice mid-flight.
+  ThreadPool pool(2);
+  for (int i = 0; i < 6; ++i) {
+    pool.Submit([] { throw std::runtime_error("boom"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(pool.failures(), 6u);
+
+  // A clean batch leaves the counter alone; the pool is healthy again.
+  std::atomic<int> done{0};
+  pool.Submit([&done] { done.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 1);
+  EXPECT_EQ(pool.failures(), 6u);
+
+  // A later failing batch keeps accumulating into the lifetime total.
+  pool.Submit([] { throw std::runtime_error("again"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(pool.failures(), 7u);
+}
+
 TEST(ThreadPool, ReusableAcrossBatches) {
   ThreadPool pool(2);
   std::atomic<int> done{0};

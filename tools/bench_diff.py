@@ -40,9 +40,16 @@ on-vs-off fingerprint flag always gates — the trace recorder must only
 observe — while the overhead delta is a timing quantity and obeys
 --no-timing.
 
+When both files carry a "realtime_scaling" section (the wall-clock backend's
+ops/sec at 1/2/4 workers), the 4-worker speedup is compared too. Realtime
+runs are inherently non-reproducible, so the whole section is a timing
+quantity: the absolute >= 1.8x floor is enforced by perf_sim itself when the
+machine has enough hardware threads, and this script only flags a speedup
+collapse relative to the baseline (obeying --no-timing).
+
 --no-timing disables the timing gates (events/sec, suite wall-clock, trace
-overhead) and keeps only the deterministic ones — fingerprints and
-allocations. This is the mode the ctest allocation-budget check runs in,
+overhead, realtime speedup) and keeps only the deterministic ones —
+fingerprints and allocations. This is the mode the ctest allocation-budget check runs in,
 where machine load must not flake the suite.
 
 Exit status: 0 = no regression, 1 = events/sec regression beyond the
@@ -236,6 +243,44 @@ def compare_trace(base_trace, cand_trace, same_scale, no_timing):
     return regressed
 
 
+def compare_realtime(base_rt, cand_rt, threshold_pct, no_timing):
+    """Compare realtime_scaling sections; returns True on a gating regression.
+
+    Realtime runs are not reproducible, so everything here is a timing
+    quantity and obeys --no-timing. The candidate's own >= 1.8x gate is
+    enforced by perf_sim at run time (and only on machines with enough
+    hardware threads); here we additionally catch a speedup that collapsed
+    relative to the baseline even while staying above the absolute floor.
+    Baselines recorded before the realtime backend simply skip the check.
+    """
+    if not cand_rt:
+        return False
+    legs = cand_rt.get("legs", [])
+    leg_text = ", ".join(
+        f"{leg.get('workers')}w {float(leg.get('ops_per_sec', 0)):.0f} ops/s"
+        for leg in legs)
+    c_speedup = float(cand_rt.get("speedup_4x", 0))
+    print(f"{'realtime':<12} {leg_text}  speedup(4w) {c_speedup:.2f}x "
+          f"[{cand_rt.get('gate_reason', '?')}]")
+    if not cand_rt.get("gate_enforced", False):
+        return False  # too few hardware threads: nothing to gate against
+    if not base_rt or not base_rt.get("gate_enforced", False):
+        return False  # no comparable baseline measurement
+    b_speedup = float(base_rt.get("speedup_4x", 0))
+    if b_speedup <= 0:
+        return False
+    delta = (c_speedup - b_speedup) / b_speedup * 100.0
+    if delta < -threshold_pct:
+        if no_timing:
+            print(f"{'realtime':<12} speedup {b_speedup:.2f}x -> {c_speedup:.2f}x "
+                  f"(worse, ignored by --no-timing)")
+            return False
+        print(f"{'realtime':<12} speedup {b_speedup:.2f}x -> {c_speedup:.2f}x "
+              f"<< REGRESSION")
+        return True
+    return False
+
+
 def main(argv):
     threshold = 5.0
     ignore_wallclock = False
@@ -279,6 +324,8 @@ def main(argv):
         cand_suite = doc.get("suite_wall_clock")
         base_trace = doc.get("baseline", {}).get("trace_overhead")
         cand_trace = doc.get("trace_overhead")
+        base_rt = doc.get("baseline", {}).get("realtime_scaling")
+        cand_rt = doc.get("realtime_scaling")
     elif len(args) == 2:
         base_doc = load(args[0])
         cand_doc = load(args[1])
@@ -290,6 +337,8 @@ def main(argv):
         cand_suite = cand_doc.get("suite_wall_clock")
         base_trace = base_doc.get("trace_overhead")
         cand_trace = cand_doc.get("trace_overhead")
+        base_rt = base_doc.get("realtime_scaling")
+        cand_rt = cand_doc.get("realtime_scaling")
     else:
         print(__doc__, file=sys.stderr)
         return 2
@@ -299,6 +348,7 @@ def main(argv):
                         ignore_wire_bytes)
     regressed |= compare_suite(base_suite, cand_suite, threshold, ignore_wallclock)
     regressed |= compare_trace(base_trace, cand_trace, same_scale, no_timing)
+    regressed |= compare_realtime(base_rt, cand_rt, threshold, no_timing)
     if regressed:
         print(f"\nFAIL: regression beyond {threshold:.1f}% (allocs: "
               f"{ALLOC_THRESHOLD_PCT:.0f}%) or fingerprint mismatch")

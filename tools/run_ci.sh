@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# One-command CI: configure, build and test the three trees this repo gates on.
+#
+#   native  build/        plain build, full ctest suite
+#   asan    build-asan/   AddressSanitizer + UBSan, full ctest suite
+#   tsan    build-tsan/   ThreadSanitizer, the `tsan_smoke` ctest label
+#                         (concurrent sweep isolation + the realtime backend;
+#                         the full suite under TSan is deterministic
+#                         single-threaded code and would only re-prove native)
+#
+# Usage:
+#   tools/run_ci.sh              # all three trees
+#   tools/run_ci.sh native,tsan  # a comma-separated subset
+#   JOBS=8 tools/run_ci.sh       # override parallelism (default: nproc)
+#
+# Build directories are persistent, so reruns are incremental. Exits nonzero
+# on the first configure, build, or test failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+TREES="${1:-native,asan,tsan}"
+
+build_tree() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "=== [${name}] configure + build (${dir}, -j${JOBS}) ==="
+  cmake -B "${dir}" -S . "$@"
+  cmake --build "${dir}" -j "${JOBS}"
+}
+
+for tree in ${TREES//,/ }; do
+  case "${tree}" in
+    native)
+      build_tree native build
+      echo "=== [native] ctest (full suite) ==="
+      ctest --test-dir build --output-on-failure -j "${JOBS}"
+      ;;
+    asan)
+      build_tree asan build-asan -DSATURN_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+      echo "=== [asan] ctest (full suite) ==="
+      ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+      ;;
+    tsan)
+      build_tree tsan build-tsan -DSATURN_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+      echo "=== [tsan] ctest (-L tsan_smoke) ==="
+      ctest --test-dir build-tsan --output-on-failure -L tsan_smoke -j "${JOBS}"
+      ;;
+    *)
+      echo "run_ci.sh: unknown tree '${tree}' (expected native, asan, tsan)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "=== CI green: ${TREES} ==="

@@ -74,6 +74,11 @@ void Usage() {
       "  --value=N           value size in bytes                        (2)\n"
       "  --clients=N         clients per datacenter                     (32)\n"
       "  --gears=N           storage servers per datacenter             (4)\n"
+      "  --sharded-gears     saturn: per-gear frontend/sink lanes (DESIGN.md §12)\n"
+      "  --backend=sim|realtime  execution backend: deterministic simulator or\n"
+      "                      wall-clock worker threads (non-reproducible;\n"
+      "                      single-run only, no drift/trace/backup)     (sim)\n"
+      "  --workers=N         realtime backend worker threads             (2)\n"
       "  --seconds=N         measured simulated seconds                 (3)\n"
       "  --warmup=N          warm-up simulated seconds                  (1)\n"
       "  --tree=generated|star  Saturn tree configuration               (generated)\n"
@@ -198,6 +203,15 @@ bool BuildSetup(const Flags& flags, SimSetup* setup, int* exit_code) {
   config.star_hub = static_cast<SiteId>(flags.GetInt("hub", kIreland));
   config.chain_replicas = static_cast<uint32_t>(flags.GetInt("chain", 1));
   config.cops_prune = flags.GetInt("prune", 1) != 0;
+  if (flags.Has("sharded-gears")) {
+    if (protocol_it->second != Protocol::kSaturn &&
+        protocol_it->second != Protocol::kSaturnTimestamp) {
+      std::fprintf(stderr, "--sharded-gears requires a Saturn protocol\n");
+      *exit_code = 2;
+      return false;
+    }
+    config.dc.sharded_gears = true;
+  }
   config.dc.batch_deadline = Millis(flags.GetInt("batch-deadline", 0));
   config.dc.batch_max_labels = static_cast<uint32_t>(flags.GetInt("batch-max-labels", 32));
   config.dc.batch_max_bytes = static_cast<uint32_t>(flags.GetInt("batch-max-bytes", 1024));
@@ -310,6 +324,27 @@ bool BuildSetup(const Flags& flags, SimSetup* setup, int* exit_code) {
     config.trace.ring_capacity = static_cast<size_t>(flags.GetInt("trace-ring", 1 << 16));
   }
   setup->capture_metrics = flags.Has("metrics-out");
+
+  if (flags.Get("backend", "sim") == "realtime") {
+    // The wall-clock backend is incompatible with the deterministic-sim-only
+    // planes: latency trajectories and tracing refuse a lane router, the
+    // backup tree deploys after lane binding closes, and a seed sweep's
+    // merged output would not be reproducible anyway.
+    if (flags.GetInt("seeds", 1) > 1 || config.trace.enabled || !setup->drift.Empty() ||
+        setup->backup || flags.Has("dynamic")) {
+      std::fprintf(stderr,
+                   "--backend=realtime is single-run only and cannot combine with "
+                   "--drift-plan/--join/--leave/--dynamic, --trace-*, or --backup\n");
+      *exit_code = 2;
+      return false;
+    }
+    config.backend = ExecBackend::kRealtime;
+    config.realtime.workers = static_cast<unsigned>(flags.GetInt("workers", 2));
+  } else if (flags.Get("backend", "sim") != "sim") {
+    std::fprintf(stderr, "--backend must be sim or realtime\n");
+    *exit_code = 2;
+    return false;
+  }
   return true;
 }
 
