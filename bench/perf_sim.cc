@@ -28,6 +28,16 @@
 //                Gated against fig5_full: the metadata plane must shed ≥1.3x
 //                wire bytes while p99 visibility grows ≤10%.
 //
+//   mmusers    — the million-user open-loop workload engine: Saturn on the
+//                7-DC deployment driven by SessionMux actors (Poisson
+//                arrivals, Zipf 0.9 session skew) over a streaming power-law
+//                graph and a procedural replica map, so workload-side memory
+//                is O(sessions) slab + O(1) graph state. 1M sessions at full
+//                scale (400k in smoke). Runs LAST so its peak_rss_kb row is
+//                the engine's own high-water mark: the process-wide peak RSS
+//                is dominated by this workload, making the bench_diff.py RSS
+//                gate a real bounded-memory check at production scale.
+//
 // Per workload it records wall-clock, executed simulation events, events/sec,
 // peak RSS and the protocol-level throughput. The executed-event count is a
 // determinism fingerprint: any core change that alters it changed simulation
@@ -475,6 +485,71 @@ std::vector<PreparedRun> BuildCureCops(const PerfOptions& options) {
     runs.push_back(std::move(run));
   }
   return runs;
+}
+
+// Workload 6: the open-loop streaming workload engine at production scale.
+// No closed-loop clients at all: the whole load plane is SessionMux actors
+// multiplexing sessions as slab slots, the streaming social graph, and the
+// procedural replica map. Events/sec prices the open-loop dispatch path;
+// allocs_per_event gates it against per-arrival allocation creep; and
+// peak_rss_kb — measured here, at the end of the binary's largest live set —
+// gates the engine's bounded-memory contract (a change that materializes the
+// graph or fattens the session slab shows up as an RSS regression).
+PreparedRun BuildMmUsers(const PerfOptions& options) {
+  PreparedRun run;
+  ClusterConfig config;
+  config.protocol = Protocol::kSaturn;
+  config.dc_sites = Ec2Sites();
+  config.latencies = Ec2Latencies();
+  config.dc.num_gears = 4;
+  config.seed = 42;
+  config.open_loop.sessions = options.smoke ? 400000 : 1000000;
+  config.open_loop.arrival_rate = 2000;  // per DC
+  config.open_loop.zipf_theta = 0.9;
+  config.open_loop.max_queue = 8;
+  config.open_loop.mix.value_size = 2;
+
+  KeyspaceConfig keyspace;
+  keyspace.num_keys = config.open_loop.sessions;  // session ids double as keys
+  keyspace.pattern = CorrelationPattern::kFull;
+  ReplicaMap replicas =
+      ReplicaMap::Procedural(keyspace, config.dc_sites, config.latencies);
+
+  run.warmup = options.smoke ? Millis(200) : Seconds(1);
+  run.measure = options.smoke ? Millis(300) : Seconds(2);
+  run.drain = options.smoke ? Millis(500) : Millis(1500);
+  run.cluster = std::make_unique<Cluster>(std::move(config), std::move(replicas),
+                                          /*client_homes=*/std::vector<DcId>{},
+                                          GeneratorFactory{});
+  // Stop arrivals at the end of the measured window so the drain phase
+  // actually drains: residual backlog after Run means sessions wedged.
+  run.cluster->StopClientsAt(run.warmup + run.measure);
+  run.verify = [](Cluster& cluster) {
+    uint64_t arrivals = 0;
+    uint64_t completed = 0;
+    uint64_t backlog = 0;
+    for (const auto& mux : cluster.session_muxes()) {
+      arrivals += mux->arrivals();
+      completed += mux->ops_completed();
+      backlog += mux->backlog();
+    }
+    if (arrivals == 0 || completed < arrivals / 2) {
+      std::fprintf(stderr,
+                   "FATAL: mmusers open-loop plane delivered no load (%llu arrivals, "
+                   "%llu completed) — the timed window no longer measures the engine\n",
+                   static_cast<unsigned long long>(arrivals),
+                   static_cast<unsigned long long>(completed));
+      std::exit(1);
+    }
+    if (backlog != 0) {
+      std::fprintf(stderr,
+                   "FATAL: mmusers finished with %llu queued ops after the drain — "
+                   "sessions wedged mid-flight\n",
+                   static_cast<unsigned long long>(backlog));
+      std::exit(1);
+    }
+  };
+  return run;
 }
 
 // --- Parallel-suite measurement --------------------------------------------
@@ -939,6 +1014,12 @@ int Main(int argc, char** argv) {
   results.push_back(TimeWorkload("batch", options.repeat, [&]() {
     return single(BuildFig5Full(options, /*traced=*/false, /*batch_deadline=*/Millis(1)));
   }));
+  // mmusers stays last: its session slab is the binary's largest live set, so
+  // running it at the end makes its peak_rss_kb row the process high-water
+  // mark it is gated on (earlier, smaller workloads would otherwise hide an
+  // engine RSS regression below their own peaks).
+  results.push_back(TimeWorkload("mmusers", options.repeat,
+                                 [&]() { return single(BuildMmUsers(options)); }));
 
   std::printf("%-10s  %14s  %8s  %14s  %12s  %12s  %10s  %10s\n", "workload", "events",
               "wall_s", "events/sec", "ops/sec", "allocs", "allocs/ev", "rss_mb");

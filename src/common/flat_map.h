@@ -47,6 +47,23 @@ class FlatMap {
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+  // Slot count (a power of two); lets tests and sizing audits observe that a
+  // Reserve actually pre-sized and that churn is not doubling the table.
+  size_t capacity() const { return states_.size(); }
+
+  // Pre-sizes the table so `n` live entries insert without a rehash (growth
+  // triggers at 7/8 occupancy, so capacity must exceed 8n/7). Tables sized
+  // from workload config skip the doubling cascade — at a million sessions
+  // that cascade is a storm of full-table rehashes right at ramp-up.
+  void Reserve(size_t n) {
+    size_t capacity = 16;
+    while (capacity * 7 <= n * 8) {
+      capacity <<= 1;
+    }
+    if (capacity > states_.size()) {
+      Rehash(capacity);
+    }
+  }
 
   void Clear() {
     states_.clear();
@@ -207,6 +224,18 @@ class FlatSet {
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+  size_t capacity() const { return states_.size(); }
+
+  // Same contract as FlatMap::Reserve: `n` inserts without a rehash.
+  void Reserve(size_t n) {
+    size_t capacity = 16;
+    while (capacity * 7 <= n * 8) {
+      capacity <<= 1;
+    }
+    if (capacity > states_.size()) {
+      Rehash(capacity);
+    }
+  }
 
   void Clear() {
     states_.clear();

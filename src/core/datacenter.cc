@@ -29,6 +29,9 @@ DatacenterBase::DatacenterBase(Simulator* sim, Network* net, const DatacenterCon
   for (uint32_t g = 0; g < config.num_gears; ++g) {
     gears_.push_back(std::make_unique<Gear>(MakeSourceId(config.id, g), &clock_));
   }
+  if (config.expected_keys > 0) {
+    store_.ReserveKeys(config.expected_keys);
+  }
 }
 
 void DatacenterBase::RegisterPeer(DcId dc, NodeId node) {

@@ -69,6 +69,10 @@ struct DatacenterConfig {
   // replication fan-out. Off by default: the single-actor DC is the
   // fingerprint-pinned configuration.
   bool sharded_gears = false;
+  // Expected distinct keys this datacenter will store (workload config hint).
+  // Non-zero pre-sizes the partitioned store's hash tables so million-key
+  // runs skip the rehash cascade; zero keeps lazy growth.
+  uint64_t expected_keys = 0;
   uint64_t rng_seed = 1;
 };
 

@@ -35,6 +35,15 @@ class PartitionedStore {
 
   uint32_t num_partitions() const { return static_cast<uint32_t>(partitions_.size()); }
 
+  // Pre-sizes every partition for `expected_total` distinct keys across the
+  // store. The hash split is near-even; 5/4 slack covers its variance.
+  void ReserveKeys(size_t expected_total) {
+    size_t per_partition = (expected_total / partitions_.size() + 1) * 5 / 4;
+    for (auto& p : partitions_) {
+      p.Reserve(per_partition);
+    }
+  }
+
   size_t TotalKeys() const {
     size_t total = 0;
     for (const auto& p : partitions_) {

@@ -39,6 +39,10 @@ class VersionedStore {
   // Returns the current version, or nullptr if the key was never written.
   const VersionedValue* Get(KeyId key) const { return map_.Find(key); }
 
+  // Pre-sizes the map for an expected number of distinct keys (workload
+  // config hint); avoids rehash storms when millions of keys pour in.
+  void Reserve(size_t expected_keys) { map_.Reserve(expected_keys); }
+
   size_t size() const { return map_.size(); }
 
  private:

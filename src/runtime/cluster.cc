@@ -96,7 +96,12 @@ Cluster::Cluster(ClusterConfig config, ReplicaMap replicas, std::vector<DcId> cl
     metrics_->EnableLocking();
   }
   if (config_.enable_oracle) {
-    oracle_ = std::make_unique<CausalityOracle>(n, static_cast<uint32_t>(client_homes.size()));
+    // Open-loop session user ids are oracle client ids, so the oracle must
+    // cover them too (its per-client state is quadratic: oracle runs stay at
+    // test scale, which is what it is for).
+    uint32_t oracle_clients = static_cast<uint32_t>(
+        std::max<uint64_t>(client_homes.size(), config_.open_loop.sessions));
+    oracle_ = std::make_unique<CausalityOracle>(n, oracle_clients);
     if (scheduler_ != nullptr) {
       oracle_->EnableLocking();
     }
@@ -345,6 +350,48 @@ Cluster::Cluster(ClusterConfig config, ReplicaMap replicas, std::vector<DcId> cl
     client_sims_.push_back(client_sim);
     clients_.push_back(std::move(client));
   }
+
+  // --- Open-loop session muxes ----------------------------------------------
+  if (config_.open_loop.sessions > 0) {
+    const OpenLoopConfig& ol = config_.open_loop;
+    ClientProtocolMode mode = ClientModeFor(config_.protocol);
+    SAT_CHECK_MSG(mode == ClientProtocolMode::kScalar || mode == ClientProtocolMode::kSaturn,
+                  "the open-loop engine supports label-only protocols");
+    SAT_CHECK_MSG(replicas_.num_keys() >= ol.sessions,
+                  "open-loop keyspace must cover every session user id");
+    SAT_CHECK(ol.sessions <= UINT32_MAX);
+    StreamingGraphConfig gc;
+    gc.num_users = static_cast<uint32_t>(ol.sessions);
+    gc.edges_per_node = ol.edges_per_node;
+    gc.seed = config_.seed ^ 0x57ea619eull;  // independent of op/keyspace seeds
+    streaming_graph_ = std::make_unique<StreamingSocialGraph>(gc);
+    const ArrivalPlan* plan = ol.plan.Empty() ? nullptr : &config_.open_loop.plan;
+    for (DcId id = 0; id < n; ++id) {
+      SessionMuxConfig mc;
+      mc.home = id;
+      mc.num_dcs = n;
+      mc.mode = mode;
+      mc.total_sessions = ol.sessions;
+      mc.arrival_rate = ol.arrival_rate;
+      mc.zipf_theta = ol.zipf_theta;
+      mc.max_queue = ol.max_queue;
+      mc.mix = ol.mix;
+      mc.seed = config_.seed;
+      Simulator* mux_sim = NewLaneSim();
+      auto mux = std::make_unique<SessionMux>(mux_sim, net_.get(), &replicas_,
+                                              streaming_graph_.get(), plan, metrics_.get(),
+                                              oracle_.get(), mc, dc_nodes, remote_target);
+      if (config_.dc.sharded_gears) {
+        mux->SetShardRouting(lane_nodes_, partition_of);
+      }
+      net_->Attach(mux.get(), config_.dc_sites[id]);
+      if (scheduler_ != nullptr) {
+        scheduler_->BindNode(mux->node_id(), mux_sim);
+      }
+      mux_sims_.push_back(mux_sim);
+      muxes_.push_back(std::move(mux));
+    }
+  }
 }
 
 Cluster::~Cluster() = default;
@@ -435,6 +482,32 @@ void Cluster::BuildMetricsRegistry() {
   Metrics* metrics = metrics_.get();
   reg.AddScalar("ops.completed",
                 [metrics] { return static_cast<int64_t>(metrics->completed_ops()); });
+
+  // Open-loop workload plane: offered vs. served load, queueing and shedding
+  // (summed over the per-DC muxes at snapshot time).
+  if (!muxes_.empty()) {
+    auto sum = [this](uint64_t (SessionMux::*get)() const) {
+      int64_t total = 0;
+      for (const auto& mux : muxes_) {
+        total += static_cast<int64_t>(((*mux).*get)());
+      }
+      return total;
+    };
+    reg.AddScalar("workload.arrivals", [sum] { return sum(&SessionMux::arrivals); });
+    reg.AddScalar("workload.ops_completed",
+                  [sum] { return sum(&SessionMux::ops_completed); });
+    reg.AddScalar("workload.queued", [sum] { return sum(&SessionMux::queued_total); });
+    reg.AddScalar("workload.shed", [sum] { return sum(&SessionMux::shed); });
+    reg.AddScalar("workload.migrations", [sum] { return sum(&SessionMux::migrations); });
+    reg.AddScalar("workload.backlog", [sum] { return sum(&SessionMux::backlog); });
+    reg.AddScalar("workload.max_queue_depth", [this] {
+      int64_t depth = 0;
+      for (const auto& mux : muxes_) {
+        depth = std::max<int64_t>(depth, mux->max_queue_depth());
+      }
+      return depth;
+    });
+  }
 
   // Degraded-mode accounting per datacenter (Saturn only: the fallback
   // machinery exists only there, and names absent from the registry read as
@@ -554,6 +627,15 @@ ExperimentResult Cluster::Run(SimTime warmup, SimTime measure, SimTime drain) {
       clients_[i]->Start();
     }
   }
+  for (size_t i = 0; i < muxes_.size(); ++i) {
+    if (initial_active_.Contains(static_cast<DcId>(i))) {
+      if (scheduler_ != nullptr) {
+        mux_sims_[i]->At(sim_.Now(), [m = muxes_[i].get()]() { m->Start(); });
+      } else {
+        muxes_[i]->Start();
+      }
+    }
+  }
   if (controller_ != nullptr) {
     controller_->Start();
   }
@@ -567,10 +649,16 @@ ExperimentResult Cluster::Run(SimTime warmup, SimTime measure, SimTime drain) {
       for (size_t i = 0; i < clients_.size(); ++i) {
         client_sims_[i]->At(stop_clients_at_, [c = clients_[i].get()]() { c->Stop(); });
       }
+      for (size_t i = 0; i < muxes_.size(); ++i) {
+        mux_sims_[i]->At(stop_clients_at_, [m = muxes_[i].get()]() { m->Stop(); });
+      }
     } else {
       sim_.At(stop_clients_at_, [this]() {
         for (auto& client : clients_) {
           client->Stop();
+        }
+        for (auto& mux : muxes_) {
+          mux->Stop();
         }
       });
     }

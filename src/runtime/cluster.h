@@ -31,6 +31,8 @@
 #include "src/saturn/topology_monitor.h"
 #include "src/workload/client.h"
 #include "src/workload/replication.h"
+#include "src/workload/session_mux.h"
+#include "src/workload/streaming_graph.h"
 
 namespace saturn {
 
@@ -84,6 +86,28 @@ enum class ExecBackend {
   kRealtime,
 };
 
+// Open-loop workload engine: one SessionMux per datacenter multiplexing
+// `sessions` logical sessions (user u homed at DC u % n) over a streaming
+// power-law social graph. Session user ids double as key ids, so the
+// cluster's ReplicaMap must cover at least `sessions` keys. Off (sessions ==
+// 0) leaves the closed-loop Client path byte-identical. Only label-only
+// protocols (scalar / Saturn modes) are supported.
+struct OpenLoopConfig {
+  uint64_t sessions = 0;
+  // Offered load per datacenter, ops/sec (open-loop: an input, not a result).
+  double arrival_rate = 1000;
+  // Session-popularity skew (0 = uniform arrivals over sessions).
+  double zipf_theta = 0;
+  // Per-session queue depth before arrivals are shed.
+  uint32_t max_queue = 8;
+  // Streaming graph attachment parameter (mean degree = 2m).
+  uint32_t edges_per_node = 15;
+  FacebookMixConfig mix;
+  // Scripted traffic shape (flash crowds, diurnal curves, regional
+  // imbalance); empty = steady arrival_rate.
+  ArrivalPlan plan;
+};
+
 struct ClusterConfig {
   Protocol protocol = Protocol::kSaturn;
   ExecBackend backend = ExecBackend::kSim;
@@ -113,6 +137,8 @@ struct ClusterConfig {
   obs::TraceConfig trace;
 
   DynamicTopologyConfig dynamic;
+
+  OpenLoopConfig open_loop;
 };
 
 // Builds the op generator of one client. Invoked with the *cluster's* replica
@@ -183,6 +209,10 @@ class Cluster {
   DatacenterBase* dc(DcId id) { return datacenters_[id].get(); }
   SaturnDc* saturn_dc(DcId id);
   const std::vector<std::unique_ptr<Client>>& clients() const { return clients_; }
+  // Empty unless config.open_loop.sessions > 0 (one mux per datacenter).
+  const std::vector<std::unique_ptr<SessionMux>>& session_muxes() const { return muxes_; }
+  // Null unless the open-loop engine is on.
+  const StreamingSocialGraph* streaming_graph() const { return streaming_graph_.get(); }
 
   // Null unless backend == kRealtime.
   RealtimeScheduler* scheduler() { return scheduler_.get(); }
@@ -229,6 +259,9 @@ class Cluster {
   std::vector<DcId> client_homes_;
   std::vector<std::unique_ptr<Client>> clients_;
   std::vector<Simulator*> client_sims_;  // parallel to clients_ (realtime stops)
+  std::unique_ptr<StreamingSocialGraph> streaming_graph_;
+  std::vector<std::unique_ptr<SessionMux>> muxes_;  // one per DC when open-loop
+  std::vector<Simulator*> mux_sims_;                // parallel to muxes_
   std::unique_ptr<FaultInjector> injector_;
   SimTime stop_clients_at_ = kSimTimeNever;
   SimTime window_start_ = 0;

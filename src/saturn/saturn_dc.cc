@@ -18,6 +18,11 @@ SaturnDc::SaturnDc(Simulator* sim, Network* net, const DatacenterConfig& config,
       sharded_gear_floor_(config.sharded_gears ? config.num_gears : 0, -1) {
   links_.ConfigureBatching(
       {config.batch_max_labels, config.batch_max_bytes, config.batch_deadline});
+  if (config.expected_keys > 0) {
+    // The applied-update dedup set sees at least one uid per remotely written
+    // key; seeding it from the keyspace hint skips the early rehash cascade.
+    applied_uids_.Reserve(config.expected_keys);
+  }
 }
 
 void SaturnDc::SetActiveSet(DcSet active) {

@@ -1,0 +1,236 @@
+#include "src/workload/arrival_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace saturn {
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925;
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+bool ParseUint(const std::string& s, uint64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  uint64_t v = std::strtoull(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0' || !std::isfinite(v) || v < 0) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseDcSelector(const std::string& s, ArrivalEvent* e) {
+  if (s == "*") {
+    e->all_dcs = true;
+    return true;
+  }
+  uint64_t dc = 0;
+  if (!ParseUint(s, &dc)) {
+    return false;
+  }
+  e->all_dcs = false;
+  e->dc = static_cast<DcId>(dc);
+  return true;
+}
+
+std::string DcString(const ArrivalEvent& e) {
+  return e.all_dcs ? "*" : std::to_string(e.dc);
+}
+
+std::string NumString(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+bool Applies(const ArrivalEvent& e, DcId dc) { return e.all_dcs || e.dc == dc; }
+
+}  // namespace
+
+// Events print in the exact grammar ParseArrivalPlan accepts, so a logged
+// plan is a reproducible command-line spec.
+std::string ArrivalEvent::ToString() const {
+  std::string when = std::to_string(at / Millis(1)) + ":";
+  switch (kind) {
+    case ArrivalKind::kRate:
+      return when + "rate:" + DcString(*this) + ":" + NumString(value);
+    case ArrivalKind::kRamp:
+      return when + "ramp:" + DcString(*this) + ":" + NumString(value) + ":" +
+             std::to_string(duration / Millis(1));
+    case ArrivalKind::kBurst:
+      return when + "burst:" + DcString(*this) + ":" + NumString(value) + ":" +
+             std::to_string(duration / Millis(1));
+    case ArrivalKind::kDiurnal:
+      return when + "diurnal:" + DcString(*this) + ":" + NumString(value) + ":" +
+             std::to_string(duration / Millis(1)) +
+             (phase != 0 ? ":" + std::to_string(phase / Millis(1)) : "");
+  }
+  return when + "?";
+}
+
+void ArrivalPlan::Normalize() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ArrivalEvent& a, const ArrivalEvent& b) { return a.at < b.at; });
+}
+
+std::string ArrivalPlan::ToString() const {
+  std::string out;
+  for (const auto& e : events) {
+    if (!out.empty()) {
+      out += ";";
+    }
+    out += e.ToString();
+  }
+  return out.empty() ? "(steady)" : out;
+}
+
+double ArrivalPlan::RateAt(DcId dc, SimTime now, double base) const {
+  // One pass in time order: rate/ramp events fold into the base trajectory
+  // (each ramp starts from the value the trajectory had at its onset), while
+  // bursts and diurnal terms accumulate multiplicatively on top.
+  double rate = base;
+  double mult = 1.0;
+  for (const ArrivalEvent& e : events) {
+    if (!Applies(e, dc)) {
+      continue;
+    }
+    switch (e.kind) {
+      case ArrivalKind::kRate:
+        if (now >= e.at) {
+          rate = e.value;
+        }
+        break;
+      case ArrivalKind::kRamp:
+        if (now >= e.at + e.duration || e.duration <= 0) {
+          if (now >= e.at) {
+            rate = e.value;
+          }
+        } else if (now >= e.at) {
+          double frac = static_cast<double>(now - e.at) / static_cast<double>(e.duration);
+          rate = rate + (e.value - rate) * frac;
+        }
+        break;
+      case ArrivalKind::kBurst:
+        if (now >= e.at && now < e.at + e.duration) {
+          mult *= e.value;
+        }
+        break;
+      case ArrivalKind::kDiurnal:
+        if (e.duration > 0) {
+          double angle = kTwoPi * static_cast<double>(now - e.at + e.phase) /
+                         static_cast<double>(e.duration);
+          mult *= std::max(0.0, 1.0 + e.value * std::sin(angle));
+        }
+        break;
+    }
+  }
+  return std::max(0.0, rate) * mult;
+}
+
+double ArrivalPlan::MaxRate(DcId dc, double base) const {
+  double max_base = base;
+  double mult = 1.0;
+  for (const ArrivalEvent& e : events) {
+    if (!Applies(e, dc)) {
+      continue;
+    }
+    switch (e.kind) {
+      case ArrivalKind::kRate:
+      case ArrivalKind::kRamp:
+        max_base = std::max(max_base, e.value);
+        break;
+      case ArrivalKind::kBurst:
+        mult *= std::max(1.0, e.value);
+        break;
+      case ArrivalKind::kDiurnal:
+        mult *= 1.0 + std::max(0.0, e.value);
+        break;
+    }
+  }
+  return max_base * mult;
+}
+
+bool ParseArrivalPlan(const std::string& spec, ArrivalPlan* plan, std::string* error) {
+  plan->events.clear();
+  for (const std::string& entry : SplitOn(spec, ';')) {
+    if (entry.empty()) {
+      continue;
+    }
+    auto fields = SplitOn(entry, ':');
+    uint64_t ms = 0;
+    if (fields.size() < 3 || !ParseUint(fields[0], &ms)) {
+      *error = "bad event '" + entry + "' (want <ms>:<kind>:<dc|*>[:args])";
+      return false;
+    }
+    ArrivalEvent e;
+    e.at = Millis(static_cast<SimTime>(ms));
+    const std::string& kind = fields[1];
+    if (!ParseDcSelector(fields[2], &e)) {
+      *error = "bad dc selector '" + fields[2] + "' in '" + entry + "' (want <dc> or *)";
+      return false;
+    }
+    uint64_t dur = 0;
+    uint64_t ph = 0;
+    if (kind == "rate" && fields.size() == 4 && ParseDouble(fields[3], &e.value)) {
+      e.kind = ArrivalKind::kRate;
+    } else if (kind == "ramp" && fields.size() == 5 && ParseDouble(fields[3], &e.value) &&
+               ParseUint(fields[4], &dur)) {
+      e.kind = ArrivalKind::kRamp;
+      e.duration = Millis(static_cast<SimTime>(dur));
+    } else if (kind == "burst" && fields.size() == 5 && ParseDouble(fields[3], &e.value) &&
+               ParseUint(fields[4], &dur)) {
+      e.kind = ArrivalKind::kBurst;
+      e.duration = Millis(static_cast<SimTime>(dur));
+    } else if (kind == "diurnal" && (fields.size() == 5 || fields.size() == 6) &&
+               ParseDouble(fields[3], &e.value) && ParseUint(fields[4], &dur) &&
+               (fields.size() == 5 || ParseUint(fields[5], &ph))) {
+      e.kind = ArrivalKind::kDiurnal;
+      e.duration = Millis(static_cast<SimTime>(dur));
+      e.phase = Millis(static_cast<SimTime>(ph));
+      if (e.duration <= 0) {
+        *error = "diurnal period must be positive in '" + entry + "'";
+        return false;
+      }
+    } else {
+      *error = "unknown or malformed event '" + entry + "'";
+      return false;
+    }
+    plan->events.push_back(e);
+  }
+  plan->Normalize();
+  return true;
+}
+
+}  // namespace saturn

@@ -1,0 +1,72 @@
+// Arrival plans: scripted open-loop traffic shapes.
+//
+// An ArrivalPlan does for load what a DriftPlan does for the world: it is a
+// plain-data, `;`-separated command-line spec of timed events that reshape
+// the per-datacenter arrival rate of the open-loop SessionMux — rate steps
+// and ramps (regional imbalance, load sweeps), multiplicative bursts (flash
+// crowds) and standing diurnal sinusoids. RateAt is a pure function of
+// (dc, time), so the nonhomogeneous arrival process stays deterministic and
+// byte-identical across --jobs.
+#ifndef SRC_WORKLOAD_ARRIVAL_PLAN_H_
+#define SRC_WORKLOAD_ARRIVAL_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace saturn {
+
+enum class ArrivalKind : uint8_t {
+  kRate,     // step the base arrival rate (ops/sec) of a DC (or all DCs)
+  kRamp,     // ramp the base rate linearly to a target over a duration
+  kBurst,    // flash crowd: multiply the rate by a factor for a duration
+  kDiurnal,  // standing sinusoid: multiply by 1 + amp * sin(2*pi*(t+phase)/period)
+};
+
+struct ArrivalEvent {
+  SimTime at = 0;
+  ArrivalKind kind = ArrivalKind::kRate;
+  bool all_dcs = true;  // '*' selector
+  DcId dc = 0;
+  double value = 0;      // ops/sec (rate, ramp), multiplier (burst), amplitude (diurnal)
+  SimTime duration = 0;  // ramp / burst duration; diurnal period
+  SimTime phase = 0;     // diurnal only
+
+  std::string ToString() const;
+};
+
+struct ArrivalPlan {
+  std::vector<ArrivalEvent> events;
+
+  // Sorts events by time (stable: same-time events keep their listed order).
+  void Normalize();
+
+  bool Empty() const { return events.empty(); }
+  std::string ToString() const;
+
+  // Arrival rate (ops/sec) for sessions homed at `dc` at `now`, folding the
+  // plan over the configured steady rate `base`. Never negative.
+  double RateAt(DcId dc, SimTime now, double base) const;
+
+  // An upper bound of RateAt over all times >= 0 (thinning envelopes, sanity
+  // output). Conservative: bursts and diurnal amplitudes are both assumed to
+  // coincide with the largest base rate ever set.
+  double MaxRate(DcId dc, double base) const;
+};
+
+// Parses a plan spec of `;`-separated timed events:
+//
+//   <ms>:rate:<dc|*>:<ops_per_sec>              step the base arrival rate
+//   <ms>:ramp:<dc|*>:<ops_per_sec>:<durms>      ramp the base rate over durms
+//   <ms>:burst:<dc|*>:<mult>:<durms>            flash crowd: rate * mult for durms
+//   <ms>:diurnal:<dc|*>:<amp>:<periodms>[:<phasems>]   standing sinusoid
+//
+// e.g. "0:diurnal:*:0.4:8000;2000:burst:1:5:500;4000:ramp:*:30000:2000".
+// Returns false (and sets *error) on malformed specs.
+bool ParseArrivalPlan(const std::string& spec, ArrivalPlan* plan, std::string* error);
+
+}  // namespace saturn
+
+#endif  // SRC_WORKLOAD_ARRIVAL_PLAN_H_

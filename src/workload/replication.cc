@@ -1,8 +1,32 @@
 #include "src/workload/replication.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "src/common/flat_map.h"  // HashMix64
+
 namespace saturn {
+namespace {
+
+// Correlation weight of `dc` as an extra replica for keys with this primary
+// (shared with Generate; kFull never reaches here).
+double PatternWeight(const KeyspaceConfig& config, const std::vector<SiteId>& dc_sites,
+                     const LatencyMatrix& latencies, DcId primary, DcId dc) {
+  double dist = static_cast<double>(latencies.Get(dc_sites[primary], dc_sites[dc]));
+  switch (config.pattern) {
+    case CorrelationPattern::kUniform:
+      return 1.0;
+    case CorrelationPattern::kProportional:
+      return 1.0 / std::max(dist, 1000.0);
+    case CorrelationPattern::kExponential:
+      return std::exp(-dist / config.exponential_tau_us);
+    case CorrelationPattern::kFull:
+      break;
+  }
+  return 0.0;
+}
+
+}  // namespace
 
 const char* CorrelationPatternName(CorrelationPattern pattern) {
   switch (pattern) {
@@ -99,8 +123,89 @@ ReplicaMap ReplicaMap::Generate(const KeyspaceConfig& config,
   return ReplicaMap(std::move(sets), n);
 }
 
+ReplicaMap ReplicaMap::Procedural(const KeyspaceConfig& config,
+                                  const std::vector<SiteId>& dc_sites,
+                                  const LatencyMatrix& latencies) {
+  uint32_t n = static_cast<uint32_t>(dc_sites.size());
+  SAT_CHECK(n >= 1);
+  ReplicaMap map;
+  map.procedural_ = true;
+  map.num_dcs_ = n;
+  map.num_keys_ = config.num_keys;
+  map.seed_ = config.seed;
+  map.degree_ = std::min(std::max<uint32_t>(config.replication_degree, 1), n);
+  map.full_ = config.pattern == CorrelationPattern::kFull;
+  if (!map.full_) {
+    map.cum_weights_.assign(static_cast<size_t>(n) * n, 0.0);
+    map.weight_totals_.assign(n, 0.0);
+    for (DcId primary = 0; primary < n; ++primary) {
+      double running = 0;
+      for (DcId dc = 0; dc < n; ++dc) {
+        if (dc != primary) {
+          running += PatternWeight(config, dc_sites, latencies, primary, dc);
+        }
+        map.cum_weights_[static_cast<size_t>(primary) * n + dc] = running;
+      }
+      SAT_CHECK(map.degree_ == 1 || running > 0);
+      map.weight_totals_[primary] = running;
+    }
+  }
+  return map;
+}
+
+DcSet ReplicaMap::ProceduralReplicasOf(KeyId key) const {
+  DcId primary = static_cast<DcId>(key % num_dcs_);
+  if (full_) {
+    return DcSet::FirstN(num_dcs_);
+  }
+  DcSet replicas = DcSet::Single(primary);
+  const double* cum = &cum_weights_[static_cast<size_t>(primary) * num_dcs_];
+  uint64_t stream = HashMix64(seed_ ^ HashMix64(key + 0x6b79d8f2a1c4e35full));
+  uint32_t draws = 0;
+  while (static_cast<uint32_t>(replicas.Size()) < degree_) {
+    // Rejection-sample from the fixed per-primary distribution: conditioning
+    // on "not already chosen" renormalizes over the remaining candidates,
+    // exactly Generate's sequential weighted sampling without replacement.
+    double pick = static_cast<double>(HashMix64(stream + draws++) >> 11) * 0x1.0p-53 *
+                  weight_totals_[primary];
+    DcId dc = 0;
+    while (dc + 1 < num_dcs_ && cum[dc] <= pick) {
+      ++dc;
+    }
+    replicas.Add(dc);
+    // Vanishing weights (distant sites under kExponential) could starve the
+    // sampler; the deterministic fallback completes the set in id order.
+    if (draws >= 64 * degree_) {
+      for (DcId d = 0; d < num_dcs_ && static_cast<uint32_t>(replicas.Size()) < degree_;
+           ++d) {
+        replicas.Add(d);
+      }
+    }
+  }
+  return replicas;
+}
+
 std::vector<double> ReplicaMap::PairWeights() const {
   std::vector<double> weights(static_cast<size_t>(num_dcs_) * num_dcs_, 0.0);
+  if (procedural_) {
+    // Shared-key traffic estimate from a bounded prefix of the keyspace: the
+    // prefix is primary-balanced (round-robin) and replica choice is a pure
+    // hash per key, so scaling it to num_keys is unbiased and deterministic.
+    uint64_t sample = std::min<uint64_t>(num_keys_, 262144);
+    sample = std::max<uint64_t>(num_dcs_, sample - sample % num_dcs_);
+    double scale = static_cast<double>(num_keys_) / static_cast<double>(sample);
+    for (KeyId key = 0; key < sample; ++key) {
+      DcSet set = ProceduralReplicasOf(key);
+      for (DcId i : set) {
+        for (DcId j : set) {
+          if (i != j) {
+            weights[i * num_dcs_ + j] += scale;
+          }
+        }
+      }
+    }
+    return weights;
+  }
   for (const DcSet& set : sets_) {
     for (DcId i : set) {
       for (DcId j : set) {
@@ -114,6 +219,9 @@ std::vector<double> ReplicaMap::PairWeights() const {
 }
 
 double ReplicaMap::MeanDegree() const {
+  if (procedural_) {
+    return full_ ? static_cast<double>(num_dcs_) : static_cast<double>(degree_);
+  }
   if (sets_.empty()) {
     return 0;
   }

@@ -44,16 +44,41 @@ class ReplicaMap {
   // benchmark's partitioner).
   static ReplicaMap FromSets(std::vector<DcSet> sets, uint32_t num_dcs);
 
+  // Procedural keyspace for million-key scale: ReplicasOf is computed from
+  // (seed, key) on demand instead of materializing per-key tables, so memory
+  // stays O(num_dcs^2) no matter how many keys the workload names. The
+  // per-key replica sets follow the same law as Generate — round-robin
+  // primaries, extra replicas sampled without replacement proportionally to
+  // the correlation-pattern weights (rejection sampling from the fixed
+  // per-primary distribution is distribution-identical to Generate's
+  // renormalized sequential sampling) — but are not bitwise-equal to a
+  // Generate map for the same seed. LocalKeys/RemoteKeys are unavailable.
+  static ReplicaMap Procedural(const KeyspaceConfig& config,
+                               const std::vector<SiteId>& dc_sites,
+                               const LatencyMatrix& latencies);
+
+  bool procedural() const { return procedural_; }
+
   DcSet ReplicasOf(KeyId key) const {
+    if (procedural_) {
+      return ProceduralReplicasOf(key);
+    }
     SAT_CHECK(key < sets_.size());
     return sets_[key];
   }
 
-  // Keys replicated / not replicated at `dc`.
-  const std::vector<KeyId>& LocalKeys(DcId dc) const { return local_[dc]; }
-  const std::vector<KeyId>& RemoteKeys(DcId dc) const { return remote_[dc]; }
+  // Keys replicated / not replicated at `dc`. Materialized maps only: a
+  // procedural keyspace has no key lists to enumerate.
+  const std::vector<KeyId>& LocalKeys(DcId dc) const {
+    SAT_CHECK_MSG(!procedural_, "LocalKeys requires a materialized ReplicaMap");
+    return local_[dc];
+  }
+  const std::vector<KeyId>& RemoteKeys(DcId dc) const {
+    SAT_CHECK_MSG(!procedural_, "RemoteKeys requires a materialized ReplicaMap");
+    return remote_[dc];
+  }
 
-  uint64_t num_keys() const { return sets_.size(); }
+  uint64_t num_keys() const { return procedural_ ? num_keys_ : sets_.size(); }
   uint32_t num_dcs() const { return num_dcs_; }
 
   // Adapter for the datacenter fabric.
@@ -70,11 +95,25 @@ class ReplicaMap {
 
  private:
   ReplicaMap(std::vector<DcSet> sets, uint32_t num_dcs);
+  ReplicaMap() = default;  // Procedural() fills the fields directly
+
+  DcSet ProceduralReplicasOf(KeyId key) const;
 
   std::vector<DcSet> sets_;
   uint32_t num_dcs_ = 0;
   std::vector<std::vector<KeyId>> local_;
   std::vector<std::vector<KeyId>> remote_;
+
+  // Procedural mode only.
+  bool procedural_ = false;
+  uint64_t num_keys_ = 0;
+  uint32_t degree_ = 1;
+  bool full_ = false;
+  uint64_t seed_ = 0;
+  // Per-primary cumulative correlation weights over candidate replicas
+  // (weight[primary] = 0), indexed [primary * num_dcs + dc]; and their totals.
+  std::vector<double> cum_weights_;
+  std::vector<double> weight_totals_;
 };
 
 }  // namespace saturn

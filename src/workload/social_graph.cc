@@ -51,12 +51,11 @@ SocialGraph SocialGraph::Generate(const SocialGraphConfig& config) {
   return SocialGraph(std::move(adjacency), edges);
 }
 
-uint32_t SocialGraph::MaxDegree() const {
-  uint32_t max_deg = 0;
+SocialGraph::SocialGraph(std::vector<std::vector<uint32_t>> adjacency, uint64_t edges)
+    : adjacency_(std::move(adjacency)), num_edges_(edges) {
   for (const auto& friends : adjacency_) {
-    max_deg = std::max(max_deg, static_cast<uint32_t>(friends.size()));
+    max_degree_ = std::max(max_degree_, static_cast<uint32_t>(friends.size()));
   }
-  return max_deg;
 }
 
 }  // namespace saturn

@@ -36,14 +36,16 @@ class SocialGraph {
                ? 0
                : 2.0 * static_cast<double>(num_edges_) / static_cast<double>(adjacency_.size());
   }
-  uint32_t MaxDegree() const;
+  // Computed once at generation time (callers poll it per client setup, so an
+  // O(n) scan per call was quadratic across a large deployment's build).
+  uint32_t MaxDegree() const { return max_degree_; }
 
  private:
-  explicit SocialGraph(std::vector<std::vector<uint32_t>> adjacency, uint64_t edges)
-      : adjacency_(std::move(adjacency)), num_edges_(edges) {}
+  explicit SocialGraph(std::vector<std::vector<uint32_t>> adjacency, uint64_t edges);
 
   std::vector<std::vector<uint32_t>> adjacency_;
   uint64_t num_edges_ = 0;
+  uint32_t max_degree_ = 0;
 };
 
 }  // namespace saturn

@@ -1,0 +1,76 @@
+#include "src/workload/streaming_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/flat_map.h"  // HashMix64
+
+namespace saturn {
+namespace {
+
+// Independent substreams for the two laws, derived from one seed.
+constexpr uint64_t kDegreeSalt = 0x5d3a9f0c6b21e847ull;
+constexpr uint64_t kFriendSalt = 0xc2b8d16e94a7503bull;
+
+uint64_t Mix2(uint64_t a, uint64_t b) { return HashMix64(HashMix64(a) ^ b); }
+
+}  // namespace
+
+StreamingSocialGraph::StreamingSocialGraph(const StreamingGraphConfig& config)
+    : config_(config) {
+  SAT_CHECK(config_.num_users >= 2);
+  config_.edges_per_node = std::max<uint32_t>(1, config_.edges_per_node);
+  double m = static_cast<double>(config_.edges_per_node);
+  mm_ = m * (m + 1.0);
+}
+
+uint32_t StreamingSocialGraph::DegreeOf(uint32_t user) const {
+  SAT_CHECK(user < config_.num_users);
+  uint64_t h = Mix2(config_.seed ^ kDegreeSalt, user);
+  // U in (0, 1]: U = 1 maps to the minimum degree m, U -> 0 to the hub tail.
+  double u = static_cast<double>((h >> 11) + 1) * 0x1.0p-53;
+  double k = std::floor((std::sqrt(1.0 + 4.0 * mm_ / u) - 1.0) / 2.0);
+  double cap = static_cast<double>(config_.num_users - 1);
+  k = std::min(std::max(k, static_cast<double>(config_.edges_per_node)), cap);
+  return static_cast<uint32_t>(k);
+}
+
+uint32_t StreamingSocialGraph::NeighborOf(uint32_t user, uint32_t index) const {
+  SAT_CHECK(user < config_.num_users);
+  uint64_t stream = Mix2(config_.seed ^ kFriendSalt, user);
+  // Self-loops are re-drawn from the same deterministic stream; a bounded
+  // attempt count keeps the lookup O(1) with a rotation fallback.
+  for (uint32_t attempt = 0; attempt < 8; ++attempt) {
+    uint64_t h = Mix2(stream, (static_cast<uint64_t>(index) << 3) | attempt);
+    double x = static_cast<double>(h >> 11) * 0x1.0p-53;
+    // Inverse of the BA attachment-mass CDF P(friend <= v) = sqrt(v / n).
+    uint64_t v = static_cast<uint64_t>(static_cast<double>(config_.num_users) * x * x);
+    v = std::min<uint64_t>(v, config_.num_users - 1);
+    if (v != user) {
+      return static_cast<uint32_t>(v);
+    }
+  }
+  return (user + 1) % config_.num_users;
+}
+
+void StreamingSocialGraph::FriendsOf(uint32_t user, std::vector<uint32_t>* out) const {
+  uint32_t degree = DegreeOf(user);
+  out->clear();
+  out->reserve(degree);
+  for (uint32_t i = 0; i < degree; ++i) {
+    out->push_back(NeighborOf(user, i));
+  }
+}
+
+uint32_t StreamingSocialGraph::MaxDegree() const {
+  if (max_degree_ == 0) {
+    uint32_t max_deg = 0;
+    for (uint32_t u = 0; u < config_.num_users; ++u) {
+      max_deg = std::max(max_deg, DegreeOf(u));
+    }
+    max_degree_ = max_deg;
+  }
+  return max_degree_;
+}
+
+}  // namespace saturn

@@ -1,0 +1,80 @@
+// Streaming power-law social graph: million-user scale in O(1) memory.
+//
+// The materialized SocialGraph holds the full Barabási–Albert adjacency
+// (~O(users × degree) memory), which caps workloads near the paper's 61k-user
+// trace. This generator synthesizes the same *statistics* on demand from a
+// seeded hash: a user's friend count is drawn from the exact stationary BA
+// degree law and each friend is drawn from the BA attachment-mass law, so
+// FriendsOf(u) costs O(degree) time and the whole graph costs O(1) state —
+// memory is bounded regardless of user count.
+//
+// The math. A BA graph with attachment parameter m has stationary degree
+// distribution p(k) = 2m(m+1) / (k(k+1)(k+2)) for k >= m (Dorogovtsev et al.),
+// whose complementary CDF is P(deg >= k) = m(m+1) / (k(k+1)). Inverting that
+// at a hashed uniform U in (0, 1] gives
+//
+//   deg(u) = floor((sqrt(1 + 4 m(m+1)/U) - 1) / 2),
+//
+// an exact sample: mean 2m, tail ~ k^-3, max over n users ~ m*sqrt(n) — all
+// matching the materialized generator (pinned by streaming_graph_test at 8k
+// users). Friends skew to old/hub users the same way: in BA built in id
+// order, node v's attachment mass is proportional to 1/sqrt(v), i.e. the
+// endpoint CDF is P(friend <= v) = sqrt(v/n). Inverting at a hashed uniform X
+// gives friend = floor(n * X^2). Both laws are pure functions of
+// (seed, user, index), so lookups are deterministic, order-independent and
+// side-effect free.
+//
+// What is *not* preserved: edges are directed samples (u listing v does not
+// make v list u) and two draws may collide. Operation generation only ever
+// consumes FriendsOf one user at a time, so neither matters for workloads —
+// and both effects are included in the statistics the equivalence test pins.
+#ifndef SRC_WORKLOAD_STREAMING_GRAPH_H_
+#define SRC_WORKLOAD_STREAMING_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace saturn {
+
+struct StreamingGraphConfig {
+  uint32_t num_users = 1000000;
+  // BA attachment parameter m; mean degree converges to ~2 * edges_per_node.
+  uint32_t edges_per_node = 15;
+  uint64_t seed = 11;
+};
+
+class StreamingSocialGraph {
+ public:
+  explicit StreamingSocialGraph(const StreamingGraphConfig& config);
+
+  uint32_t num_users() const { return config_.num_users; }
+
+  // Friend count of `user`: an exact sample of the stationary BA degree law,
+  // O(1) time, no per-user state.
+  uint32_t DegreeOf(uint32_t user) const;
+
+  // The `index`-th friend of `user` (index < DegreeOf(user)), O(1) time.
+  // Never returns `user` itself; distinct indices may collide.
+  uint32_t NeighborOf(uint32_t user, uint32_t index) const;
+
+  // Fills `out` with user's friend list (scratch-buffer API: the caller owns
+  // the vector so repeated calls reuse its capacity).
+  void FriendsOf(uint32_t user, std::vector<uint32_t>* out) const;
+
+  // Analytic mean of the degree law (the BA stationary mean is exactly 2m).
+  double MeanDegree() const { return 2.0 * static_cast<double>(config_.edges_per_node); }
+
+  // Largest DegreeOf over all users; one lazy O(n) hash scan, then cached.
+  uint32_t MaxDegree() const;
+
+ private:
+  StreamingGraphConfig config_;
+  double mm_ = 0;  // m * (m + 1), the CCDF numerator
+  mutable uint32_t max_degree_ = 0;  // 0 = not computed yet (degrees are >= m >= 1)
+};
+
+}  // namespace saturn
+
+#endif  // SRC_WORKLOAD_STREAMING_GRAPH_H_

@@ -153,6 +153,65 @@ TEST(FlatMap, TombstoneHeavyChurnTriggersFlushingRehash) {
   EXPECT_EQ(visited, reference.size());
 }
 
+TEST(FlatMap, ReserveHoldsCapacityAndPointersThroughNInserts) {
+  // The sizing contract the session tables rely on: after Reserve(n), n live
+  // inserts never trip the 7/8 growth trigger, so the table neither rehashes
+  // (pointer stability proves it) nor doubles mid-ramp-up.
+  FlatMap<uint64_t, uint64_t> map;
+  map.Reserve(1000);
+  const size_t reserved = map.capacity();
+  EXPECT_GT(reserved * 7, 1000u * 8);
+  map[0] = 42;
+  const uint64_t* first = map.Find(0);
+  for (uint64_t k = 1; k < 1000; ++k) {
+    map[k] = k;
+  }
+  EXPECT_EQ(map.capacity(), reserved);
+  EXPECT_EQ(map.Find(0), first);
+  EXPECT_EQ(map.size(), 1000u);
+  // Reserving less than the current capacity never shrinks.
+  map.Reserve(10);
+  EXPECT_EQ(map.capacity(), reserved);
+}
+
+TEST(FlatMap, TombstoneChurnAtReservedCapacityStaysBounded) {
+  // Long-lived reserved tables under session churn: live size stays far
+  // below the reservation while inserts+erases accumulate tombstones. The
+  // flush path must reclaim them at constant capacity — a growth here would
+  // mean churn alone inflates a pre-sized million-session table.
+  FlatMap<uint64_t, uint64_t> map;
+  std::map<uint64_t, uint64_t> reference;
+  map.Reserve(512);
+  const size_t reserved = map.capacity();
+  for (uint64_t i = 0; i < 50000; ++i) {
+    map[i] = i * 3;
+    reference[i] = i * 3;
+    if (i >= 128) {
+      EXPECT_TRUE(map.Erase(i - 128));
+      reference.erase(i - 128);
+    }
+  }
+  EXPECT_EQ(map.capacity(), reserved);
+  EXPECT_EQ(map.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    const uint64_t* found = map.Find(key);
+    ASSERT_NE(found, nullptr) << "key " << key;
+    EXPECT_EQ(*found, value);
+  }
+}
+
+TEST(FlatSet, ReserveHoldsCapacityThroughNInserts) {
+  FlatSet<uint64_t> set;
+  set.Reserve(1000);
+  const size_t reserved = set.capacity();
+  EXPECT_GT(reserved * 7, 1000u * 8);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_TRUE(set.Insert(k * 977));
+  }
+  EXPECT_EQ(set.capacity(), reserved);
+  EXPECT_EQ(set.size(), 1000u);
+}
+
 TEST(FlatSet, InsertContainsClear) {
   FlatSet<uint64_t> set;
   EXPECT_TRUE(set.empty());

@@ -136,6 +136,40 @@ TEST(LatencyHistogram, MergeMatchesCombinedQuantiles) {
   EXPECT_EQ(merged.CdfPointsMs(), combined.CdfPointsMs());
 }
 
+TEST(LatencyHistogram, SurvivesHundredsOfMillionsOfSamples) {
+  // Million-user open-loop runs push sample counts past 10^8, so this pins
+  // the overflow audit: bucket counts and count_ are uint64 (no 32-bit
+  // wraparound) and sum_ is a double that stays exact — every per-doubling
+  // sum here is an integer below 2^53, so the mean must hold to the last
+  // ulp, not merely approximately. Doubling by Merge reaches 2.6e8 samples
+  // without 2.6e8 Record calls; a uniform count scaling preserves every
+  // quantile, so the percentiles must be bitwise-stable throughout.
+  LatencyHistogram h;
+  uint64_t x = 99;
+  for (int i = 0; i < 1000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;  // LCG
+    h.Record(static_cast<int64_t>(x % 200000));               // 0..200ms in us
+  }
+  const double mean = h.MeanUs();
+  const int64_t min = h.MinUs();
+  const int64_t max = h.MaxUs();
+  const int64_t p50 = h.PercentileUs(0.5);
+  const int64_t p99 = h.PercentileUs(0.99);
+  const int64_t p999 = h.PercentileUs(0.999);
+  for (int doubling = 0; doubling < 18; ++doubling) {
+    LatencyHistogram copy = h;
+    h.Merge(copy);
+  }
+  EXPECT_EQ(h.count(), 1000ull << 18);  // 2.62e8, exact
+  EXPECT_DOUBLE_EQ(h.MeanUs(), mean);
+  EXPECT_EQ(h.MinUs(), min);
+  EXPECT_EQ(h.MaxUs(), max);
+  EXPECT_EQ(h.PercentileUs(0.5), p50);
+  EXPECT_EQ(h.PercentileUs(0.99), p99);
+  EXPECT_EQ(h.PercentileUs(0.999), p999);
+  EXPECT_DOUBLE_EQ(h.CdfPointsMs().back().second, 1.0);
+}
+
 TEST(LatencyHistogram, CdfReachesOne) {
   LatencyHistogram h;
   for (int i = 0; i < 100; ++i) {

@@ -4,7 +4,7 @@
 Usage:
     tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold PCT]
                         [--ignore-wallclock] [--ignore-allocs]
-                        [--ignore-wire-bytes] [--no-timing]
+                        [--ignore-wire-bytes] [--ignore-rss] [--no-timing]
     tools/bench_diff.py BENCH_sim.json                 # self mode
 
 Two-file mode compares per-workload events/sec (and throughput) of CANDIDATE
@@ -34,6 +34,17 @@ stopped coalescing, or the label codec stopped compressing.
 spends wire bytes, e.g. a new protocol field). Baselines recorded before wire
 accounting simply skip the check.
 
+Peak RSS (peak_rss_kb) gates the same way: the allocation sequence is
+deterministic, so at the same scale a >10% growth in a workload's recorded
+high-water mark means something durably fattened — a table stopped being
+pre-sized, the streaming graph materialized, the session slab grew. The
+workloads run in a pinned order and RSS is process-monotone, so each row is
+"the high-water mark as of this workload"; the mmusers row runs last and is
+the million-user engine's bounded-memory gate. --ignore-rss demotes RSS
+growth to informational (the escape hatch for a change that knowingly spends
+resident memory, e.g. a bigger deliberate pre-size). Baselines recorded
+before RSS tracking simply skip the check.
+
 When both files carry a "trace_overhead" section (fig5_full run untraced and
 traced at the same scale), the tracing cost is compared too. The candidate's
 on-vs-off fingerprint flag always gates — the trace recorder must only
@@ -54,8 +65,9 @@ where machine load must not flake the suite.
 
 Exit status: 0 = no regression, 1 = events/sec regression beyond the
 threshold (default 5%), a determinism-fingerprint mismatch, an allocs/event
-regression beyond 10% (without --ignore-allocs), or (without
---ignore-wallclock) a suite wall-clock regression; 2 = usage or parse error.
+regression beyond 10% (without --ignore-allocs), a peak-RSS growth beyond
+10% (without --ignore-rss), or (without --ignore-wallclock) a suite
+wall-clock regression; 2 = usage or parse error.
 Fingerprints and allocation rates are only required to match when both runs
 were made at the same scale (smoke vs full).
 """
@@ -74,6 +86,10 @@ WIRE_BYTES_THRESHOLD_PCT = 10.0
 # Tracing overhead is wall-clock based, so the gate is a generous absolute
 # delta in percentage points over the baseline's overhead.
 TRACE_OVERHEAD_THRESHOLD_PCT = 10.0
+
+# Peak RSS follows the deterministic allocation sequence; the slack absorbs
+# allocator/kernel page-accounting jitter, not a genuinely bigger live set.
+RSS_THRESHOLD_PCT = 10.0
 
 
 def load(path):
@@ -134,8 +150,26 @@ def compare_wire_bytes(base, cand, same_scale, ignore_wire_bytes):
     return "".join(texts), regressed
 
 
+def compare_rss(base, cand, same_scale, ignore_rss):
+    """Peak-RSS column for one workload; returns (text, regressed)."""
+    b_rss = base.get("peak_rss_kb")
+    c_rss = cand.get("peak_rss_kb")
+    if b_rss is None or c_rss is None:
+        return "", False  # baseline predates RSS tracking
+    if not same_scale:
+        return "  rss skipped (different scale)", False
+    b_rss = int(b_rss)
+    c_rss = int(c_rss)
+    text = f"  rss {b_rss} -> {c_rss} kB"
+    if b_rss > 0 and c_rss > b_rss * (1.0 + RSS_THRESHOLD_PCT / 100.0):
+        if ignore_rss:
+            return text + " (worse, ignored by --ignore-rss)", False
+        return text + " << RSS REGRESSION", True
+    return text, False
+
+
 def compare(base, cand, threshold_pct, same_scale, ignore_allocs, no_timing,
-            ignore_wire_bytes=False):
+            ignore_wire_bytes=False, ignore_rss=False):
     base_by = by_name(base)
     cand_by = by_name(cand)
     regressed = False
@@ -169,8 +203,10 @@ def compare(base, cand, threshold_pct, same_scale, ignore_allocs, no_timing,
         wire_text, wire_regressed = compare_wire_bytes(b, c, same_scale,
                                                        ignore_wire_bytes)
         regressed |= wire_regressed
+        rss_text, rss_regressed = compare_rss(b, c, same_scale, ignore_rss)
+        regressed |= rss_regressed
         print(f"{name:<12} {b_eps:>14.0f} {c_eps:>14.0f} {delta:>+8.1f}%  {fp}{flag}"
-              f"{alloc_text}{wire_text}")
+              f"{alloc_text}{wire_text}{rss_text}")
     for name in cand_by:
         if name not in base_by:
             print(f"{name:<12} (new workload, no baseline)")
@@ -286,6 +322,7 @@ def main(argv):
     ignore_wallclock = False
     ignore_allocs = False
     ignore_wire_bytes = False
+    ignore_rss = False
     no_timing = False
     args = []
     i = 1
@@ -301,6 +338,9 @@ def main(argv):
             i += 1
         elif argv[i] == "--ignore-wire-bytes":
             ignore_wire_bytes = True
+            i += 1
+        elif argv[i] == "--ignore-rss":
+            ignore_rss = True
             i += 1
         elif argv[i] == "--no-timing":
             no_timing = True
@@ -345,16 +385,17 @@ def main(argv):
 
     same_scale = base_smoke == cand_smoke
     regressed = compare(base, cand, threshold, same_scale, ignore_allocs, no_timing,
-                        ignore_wire_bytes)
+                        ignore_wire_bytes, ignore_rss)
     regressed |= compare_suite(base_suite, cand_suite, threshold, ignore_wallclock)
     regressed |= compare_trace(base_trace, cand_trace, same_scale, no_timing)
     regressed |= compare_realtime(base_rt, cand_rt, threshold, no_timing)
     if regressed:
         print(f"\nFAIL: regression beyond {threshold:.1f}% (allocs: "
-              f"{ALLOC_THRESHOLD_PCT:.0f}%) or fingerprint mismatch")
+              f"{ALLOC_THRESHOLD_PCT:.0f}%, rss: {RSS_THRESHOLD_PCT:.0f}%) "
+              f"or fingerprint mismatch")
         return 1
     print(f"\nOK: no regression (events/sec threshold {threshold:.1f}%, "
-          f"allocs {ALLOC_THRESHOLD_PCT:.0f}%)")
+          f"allocs {ALLOC_THRESHOLD_PCT:.0f}%, rss {RSS_THRESHOLD_PCT:.0f}%)")
     return 0
 
 

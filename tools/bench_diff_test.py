@@ -14,15 +14,17 @@ import bench_diff  # noqa: E402
 
 
 def workload(name, events=1000, eps=50000.0, allocs_per_event=None,
-             metadata_wire_bytes=None, total_wire_bytes=None):
+             metadata_wire_bytes=None, total_wire_bytes=None,
+             peak_rss_kb=10000):
     w = {
         "name": name,
         "executed_events": events,
         "wall_s": events / eps,
         "events_per_sec": eps,
         "throughput_ops": 1234.0,
-        "peak_rss_kb": 10000,
     }
+    if peak_rss_kb is not None:
+        w["peak_rss_kb"] = peak_rss_kb
     if allocs_per_event is not None:
         w["allocs"] = int(events * allocs_per_event)
         w["alloc_bytes"] = w["allocs"] * 64
@@ -317,6 +319,58 @@ class BenchDiffTest(unittest.TestCase):
         code, out = self.run_diff(base, cand, "--no-timing")
         self.assertEqual(code, 1)
         self.assertIn("WIRE REGRESSION", out)
+
+    def test_rss_regression_fails(self):
+        base = self.write(doc([workload("mmusers", peak_rss_kb=96000)]))
+        cand = self.write(doc([workload("mmusers", peak_rss_kb=120000)]))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 1)
+        self.assertIn("RSS REGRESSION", out)
+
+    def test_rss_within_slack_passes(self):
+        base = self.write(doc([workload("mmusers", peak_rss_kb=96000)]))
+        cand = self.write(doc([workload("mmusers", peak_rss_kb=100000)]))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
+        self.assertIn("rss 96000 -> 100000 kB", out)
+
+    def test_rss_improvement_passes(self):
+        base = self.write(doc([workload("mmusers", peak_rss_kb=96000)]))
+        cand = self.write(doc([workload("mmusers", peak_rss_kb=48000)]))
+        code, _ = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
+
+    def test_ignore_rss_demotes_regression(self):
+        base = self.write(doc([workload("mmusers", peak_rss_kb=96000)]))
+        cand = self.write(doc([workload("mmusers", peak_rss_kb=200000)]))
+        code, out = self.run_diff(base, cand, "--ignore-rss")
+        self.assertEqual(code, 0)
+        self.assertIn("ignored by --ignore-rss", out)
+
+    def test_rss_skipped_when_baseline_has_no_counts(self):
+        base = self.write(doc([workload("mmusers", peak_rss_kb=None)]))
+        cand = self.write(doc([workload("mmusers", peak_rss_kb=999999)]))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
+        self.assertNotIn("RSS REGRESSION", out)
+
+    def test_rss_skipped_across_scales(self):
+        base = self.write(doc([workload("mmusers", peak_rss_kb=43000)],
+                              smoke=True))
+        cand = self.write(doc([workload("mmusers", peak_rss_kb=96000)],
+                              smoke=False))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
+        self.assertIn("rss skipped (different scale)", out)
+
+    def test_rss_gate_survives_no_timing(self):
+        # Peak RSS follows the deterministic allocation sequence, so
+        # --no-timing must not demote it.
+        base = self.write(doc([workload("mmusers", peak_rss_kb=96000)]))
+        cand = self.write(doc([workload("mmusers", peak_rss_kb=150000)]))
+        code, out = self.run_diff(base, cand, "--no-timing")
+        self.assertEqual(code, 1)
+        self.assertIn("RSS REGRESSION", out)
 
     def test_trace_overhead_regression_gates_by_default(self):
         base = self.write(doc([workload("fig5_full")],

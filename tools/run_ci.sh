@@ -36,6 +36,13 @@ for tree in ${TREES//,/ }; do
       build_tree native build
       echo "=== [native] ctest (full suite) ==="
       ctest --test-dir build --output-on-failure -j "${JOBS}"
+      echo "=== [native] saturn_sim open-loop smoke ==="
+      # The million-user engine end-to-end through the CLI: open-loop saturn
+      # with a flash-crowd plan on the procedural keyspace. Small enough for
+      # CI; the scale gates live in perf_sim_smoke / perf_sim_alloc_budget.
+      ./build/tools/saturn_sim --protocol=saturn --dcs=3 --open-loop=3000 \
+        --arrival-rate=2000 --arrival-plan="1200:burst:*:4:300" \
+        --zipf-sessions=0.9 --warmup=1 --seconds=1 > /dev/null
       ;;
     asan)
       build_tree asan build-asan -DSATURN_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo

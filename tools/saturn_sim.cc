@@ -11,6 +11,7 @@
 //   saturn_sim --protocol=cops --prune=0 --degree=2 --oracle
 //   saturn_sim --protocol=saturn --backup --oracle --fault-plan="1500:cut:3-5:drop;2100:heal:3-5"
 //   saturn_sim --protocol=saturn --seeds=10 --jobs=4 --csv=/tmp/vis.csv
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -72,7 +73,24 @@ void Usage() {
       "  --remote-reads=F    remote-read fraction of reads              (0)\n"
       "  --zipf=F            key popularity skew theta                  (0)\n"
       "  --value=N           value size in bytes                        (2)\n"
-      "  --clients=N         clients per datacenter                     (32)\n"
+      "  --clients=N         clients per datacenter (0 with --open-loop) (32)\n"
+      "  --open-loop=N       open-loop engine: N logical sessions multiplexed\n"
+      "                      onto one mux per DC over a streaming power-law\n"
+      "                      social graph; session ids double as key ids, and\n"
+      "                      with --clients=0 the keyspace is procedural (no\n"
+      "                      per-key tables), so N can be millions         (off)\n"
+      "  --arrival-rate=F    open-loop offered load per DC, ops/sec     (1000)\n"
+      "  --arrival-plan=SPEC scripted traffic shape; `;`-separated timed events:\n"
+      "                        <ms>:rate:<dc|*>:<ops>        set absolute rate\n"
+      "                        <ms>:ramp:<dc|*>:<ops>:<durms> linear ramp to it\n"
+      "                        <ms>:burst:<dc|*>:<mult>:<durms> flash crowd\n"
+      "                        <ms>:diurnal:<dc|*>:<amp>:<periodms>[:<phasems>]\n"
+      "                      rate/ramp replace the base rate; burst/diurnal\n"
+      "                      multiply whatever is in effect\n"
+      "  --zipf-sessions=F   session-popularity skew theta (hot users)     (0)\n"
+      "  --max-queue=N       per-session queue before arrivals shed        (8)\n"
+      "  --edges=N           streaming graph attachment m (mean degree 2m) (15)\n"
+      "  --expected-keys=N   pre-size each DC's store for N distinct keys  (0)\n"
       "  --gears=N           storage servers per datacenter             (4)\n"
       "  --sharded-gears     saturn: per-gear frontend/sink lanes (DESIGN.md §12)\n"
       "  --backend=sim|realtime  execution backend: deterministic simulator or\n"
@@ -227,7 +245,46 @@ bool BuildSetup(const Flags& flags, SimSetup* setup, int* exit_code) {
   setup->workload.zipf_theta = flags.GetDouble("zipf", 0.0);
   setup->workload.value_size = static_cast<uint32_t>(flags.GetInt("value", 2));
 
-  setup->clients = static_cast<uint32_t>(flags.GetInt("clients", 32));
+  if (flags.Has("open-loop")) {
+    long sessions = flags.GetInt("open-loop", 0);
+    if (sessions <= 0) {
+      std::fprintf(stderr, "--open-loop needs a positive session count\n");
+      *exit_code = 2;
+      return false;
+    }
+    ClientProtocolMode mode = ClientModeFor(config.protocol);
+    if (mode != ClientProtocolMode::kScalar && mode != ClientProtocolMode::kSaturn) {
+      std::fprintf(stderr, "--open-loop supports label-only protocols "
+                           "(eventual, gentlerain, saturn, saturn-p2p)\n");
+      *exit_code = 2;
+      return false;
+    }
+    config.open_loop.sessions = static_cast<uint64_t>(sessions);
+    config.open_loop.arrival_rate = flags.GetDouble("arrival-rate", 1000);
+    config.open_loop.zipf_theta = flags.GetDouble("zipf-sessions", 0.0);
+    config.open_loop.max_queue = static_cast<uint32_t>(flags.GetInt("max-queue", 8));
+    config.open_loop.edges_per_node = static_cast<uint32_t>(flags.GetInt("edges", 15));
+    if (flags.Has("value")) {
+      config.open_loop.mix.value_size = static_cast<uint32_t>(flags.GetInt("value", 256));
+    }
+    if (flags.Has("arrival-plan")) {
+      std::string error;
+      if (!ParseArrivalPlan(flags.Get("arrival-plan", ""), &config.open_loop.plan,
+                            &error)) {
+        std::fprintf(stderr, "bad --arrival-plan: %s\n", error.c_str());
+        *exit_code = 2;
+        return false;
+      }
+    }
+    // Session user ids double as key ids: the keyspace must cover them.
+    if (setup->keyspace.num_keys < config.open_loop.sessions) {
+      setup->keyspace.num_keys = config.open_loop.sessions;
+    }
+  }
+  config.dc.expected_keys = static_cast<uint64_t>(flags.GetInt("expected-keys", 0));
+
+  setup->clients = static_cast<uint32_t>(
+      flags.GetInt("clients", config.open_loop.sessions > 0 ? 0 : 32));
   setup->warmup = Seconds(flags.GetInt("warmup", 1));
   setup->measure = Seconds(flags.GetInt("seconds", 3));
 
@@ -351,8 +408,16 @@ bool BuildSetup(const Flags& flags, SimSetup* setup, int* exit_code) {
 // Builds the cluster for one run of `setup` (the backup tree, fault plan and
 // client stop are applied; nothing is printed — both modes share this).
 std::unique_ptr<Cluster> BuildCluster(const SimSetup& setup) {
+  // Closed-loop clients need the materialized key lists (their op generator
+  // enumerates local/remote keys); a pure open-loop run can use the
+  // procedural keyspace, whose memory is O(dcs^2) however many keys exist.
+  bool procedural = setup.config.open_loop.sessions > 0 && setup.clients == 0;
   ReplicaMap replicas =
-      ReplicaMap::Generate(setup.keyspace, setup.config.dc_sites, setup.config.latencies);
+      procedural
+          ? ReplicaMap::Procedural(setup.keyspace, setup.config.dc_sites,
+                                   setup.config.latencies)
+          : ReplicaMap::Generate(setup.keyspace, setup.config.dc_sites,
+                                 setup.config.latencies);
   auto cluster = std::make_unique<Cluster>(setup.config, std::move(replicas),
                                            UniformClientHomes(setup.dcs, setup.clients),
                                            SyntheticGenerators(setup.workload));
@@ -407,6 +472,14 @@ int Run(const Flags& flags, const SimSetup& setup) {
   if (!setup.drift.Empty()) {
     std::printf("drift plan: %s\n", setup.drift.ToString().c_str());
   }
+  if (config.open_loop.sessions > 0) {
+    std::printf("open-loop: sessions=%llu arrival-rate=%.0f/s/DC zipf=%.2f "
+                "max-queue=%u edges=%u plan=%s\n",
+                static_cast<unsigned long long>(config.open_loop.sessions),
+                config.open_loop.arrival_rate, config.open_loop.zipf_theta,
+                config.open_loop.max_queue, config.open_loop.edges_per_node,
+                config.open_loop.plan.ToString().c_str());
+  }
 
   ExperimentResult result = cluster.Run(setup.warmup, setup.measure);
 
@@ -419,6 +492,31 @@ int Run(const Flags& flags, const SimSetup& setup) {
               static_cast<unsigned long long>(result.remote_updates));
   if (result.mean_attach_ms > 0) {
     std::printf("attach mean         %10.1f ms\n", result.mean_attach_ms);
+  }
+
+  if (!cluster.session_muxes().empty()) {
+    uint64_t arrivals = 0, completed = 0, queued = 0, shed = 0, migrations = 0,
+             backlog = 0;
+    uint32_t depth = 0;
+    for (const auto& mux : cluster.session_muxes()) {
+      arrivals += mux->arrivals();
+      completed += mux->ops_completed();
+      queued += mux->queued_total();
+      shed += mux->shed();
+      migrations += mux->migrations();
+      backlog += mux->backlog();
+      depth = std::max(depth, mux->max_queue_depth());
+    }
+    std::printf("\nopen-loop load:\n");
+    std::printf("  arrivals %llu, completed %llu, queued %llu, shed %llu, "
+                "migrations %llu\n",
+                static_cast<unsigned long long>(arrivals),
+                static_cast<unsigned long long>(completed),
+                static_cast<unsigned long long>(queued),
+                static_cast<unsigned long long>(shed),
+                static_cast<unsigned long long>(migrations));
+    std::printf("  residual backlog %llu, max queue depth %u\n",
+                static_cast<unsigned long long>(backlog), depth);
   }
 
   if (cluster.fault_injector() != nullptr) {
