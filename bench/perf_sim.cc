@@ -270,9 +270,11 @@ WorkloadResult TimeWorkload(const std::string& name, int repeat, BuildFn build) 
 // trace_overhead section runs it both ways at identical scale).
 // `batch_deadline` > 0 turns on metadata-link batching at that window (the
 // `batch` workload is this cluster with a 1 ms window; everything else is
-// byte-identical to fig5_full).
+// byte-identical to fig5_full). `attribution` attaches the visibility-
+// attribution profiler without the trace ring (the attribution_overhead
+// section isolates the profiler's own cost).
 PreparedRun BuildFig5Full(const PerfOptions& options, bool traced = false,
-                          SimTime batch_deadline = 0) {
+                          SimTime batch_deadline = 0, bool attribution = false) {
   PreparedRun run;
   ClusterConfig config;
   config.protocol = Protocol::kSaturn;
@@ -281,6 +283,7 @@ PreparedRun BuildFig5Full(const PerfOptions& options, bool traced = false,
   config.dc.num_gears = 4;
   config.seed = 42;
   config.trace.enabled = traced;
+  config.trace.attribution = attribution;
   config.dc.batch_deadline = batch_deadline;
 
   KeyspaceConfig keyspace;
@@ -766,6 +769,81 @@ TraceOverheadResult RunTraceOverhead(const PerfOptions& options) {
   return result;
 }
 
+// --- Attribution-overhead measurement ----------------------------------------
+//
+// The fig5_full workload executed twice at identical scale: once bare, once
+// with the visibility-attribution profiler attached (journey hop records plus
+// per-(src,dst) phase histograms) but no trace ring. Same contract as the
+// trace recorder: the profiler only observes, so the executed-event
+// fingerprints must match, and the events/sec ratio is its whole-run cost —
+// gated in bench_diff.py against growing more than a fixed number of
+// percentage points over the committed baseline.
+
+struct AttributionOverheadResult {
+  uint64_t executed_events = 0;
+  double off_wall_s = 0;
+  double on_wall_s = 0;
+  double events_off_per_sec = 0;
+  double events_on_per_sec = 0;
+  double overhead_pct = 0;
+  uint64_t attribution_samples = 0;
+  bool fingerprints_identical = false;
+};
+
+AttributionOverheadResult RunAttributionOverhead(const PerfOptions& options) {
+  AttributionOverheadResult result;
+  auto leg = [&options](bool attribution, double* best_wall, uint64_t* samples) {
+    uint64_t events = 0;
+    for (int i = 0; i < options.repeat; ++i) {
+      PreparedRun run = BuildFig5Full(options, /*traced=*/false,
+                                      /*batch_deadline=*/0, attribution);
+      auto start = std::chrono::steady_clock::now();
+      run.cluster->Run(run.warmup, run.measure, run.drain);
+      auto stop = std::chrono::steady_clock::now();
+      double wall = std::chrono::duration<double>(stop - start).count();
+      if (i == 0 || wall < *best_wall) {
+        *best_wall = wall;
+      }
+      uint64_t fp = run.cluster->sim().executed_events();
+      if (i == 0) {
+        events = fp;
+      } else if (events != fp) {
+        std::fprintf(stderr,
+                     "FATAL: attribution_overhead leg nondeterministic across repeats\n");
+        std::exit(1);
+      }
+      if (attribution && samples != nullptr) {
+        *samples = run.cluster->attribution()->samples();
+      }
+    }
+    return events;
+  };
+
+  uint64_t off_events = leg(false, &result.off_wall_s, nullptr);
+  uint64_t on_events = leg(true, &result.on_wall_s, &result.attribution_samples);
+  result.executed_events = off_events;
+  result.fingerprints_identical = off_events == on_events;
+  if (!result.fingerprints_identical) {
+    std::fprintf(stderr,
+                 "FATAL: attribution changed the executed-event fingerprint "
+                 "(%llu off vs %llu on) — the profiler must only observe\n",
+                 static_cast<unsigned long long>(off_events),
+                 static_cast<unsigned long long>(on_events));
+    std::exit(1);
+  }
+  if (result.attribution_samples == 0) {
+    std::fprintf(stderr,
+                 "FATAL: attribution_overhead measured zero decomposed journeys — "
+                 "the on leg no longer exercises the profiler\n");
+    std::exit(1);
+  }
+  result.events_off_per_sec = static_cast<double>(off_events) / result.off_wall_s;
+  result.events_on_per_sec = static_cast<double>(on_events) / result.on_wall_s;
+  result.overhead_pct =
+      (result.events_off_per_sec / result.events_on_per_sec - 1.0) * 100.0;
+  return result;
+}
+
 // --- Realtime-backend scaling measurement ------------------------------------
 //
 // The same sharded Saturn deployment executed on the wall-clock backend at 1,
@@ -887,6 +965,7 @@ RealtimeScalingResult RunRealtimeScaling(const PerfOptions& options) {
 
 void WriteJson(const PerfOptions& options, const std::vector<WorkloadResult>& results,
                const SuiteResult& suite, const TraceOverheadResult& trace,
+               const AttributionOverheadResult& attribution,
                const RealtimeScalingResult& realtime) {
   std::FILE* f = std::fopen(options.out.c_str(), "w");
   if (f == nullptr) {
@@ -895,7 +974,7 @@ void WriteJson(const PerfOptions& options, const std::vector<WorkloadResult>& re
   }
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"harness\": \"perf_sim\",\n");
-  std::fprintf(f, "  \"version\": 3,\n");
+  std::fprintf(f, "  \"version\": 4,\n");
   std::fprintf(f, "  \"smoke\": %s,\n", options.smoke ? "true" : "false");
   std::fprintf(f, "  \"repeat\": %d,\n", options.repeat);
   std::fprintf(f, "  \"workloads\": [\n");
@@ -932,6 +1011,18 @@ void WriteJson(const PerfOptions& options, const std::vector<WorkloadResult>& re
                static_cast<unsigned long long>(trace.trace_events_recorded));
   std::fprintf(f, "    \"fingerprints_identical\": %s\n",
                trace.fingerprints_identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"attribution_overhead\": {\n");
+  std::fprintf(f, "    \"workload\": \"fig5_full\",\n");
+  std::fprintf(f, "    \"executed_events\": %llu,\n",
+               static_cast<unsigned long long>(attribution.executed_events));
+  std::fprintf(f, "    \"events_off_per_sec\": %.0f,\n", attribution.events_off_per_sec);
+  std::fprintf(f, "    \"events_on_per_sec\": %.0f,\n", attribution.events_on_per_sec);
+  std::fprintf(f, "    \"overhead_pct\": %.2f,\n", attribution.overhead_pct);
+  std::fprintf(f, "    \"attribution_samples\": %llu,\n",
+               static_cast<unsigned long long>(attribution.attribution_samples));
+  std::fprintf(f, "    \"fingerprints_identical\": %s\n",
+               attribution.fingerprints_identical ? "true" : "false");
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"realtime_scaling\": {\n");
   std::fprintf(f, "    \"hardware_concurrency\": %u,\n", realtime.hardware_concurrency);
@@ -1078,6 +1169,14 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long long>(trace.trace_events_recorded),
               trace.fingerprints_identical ? "identical" : "DIFFER");
 
+  AttributionOverheadResult attribution = RunAttributionOverhead(options);
+  std::printf("attribution: off %.0f ev/s, on %.0f ev/s, overhead %.2f%%, "
+              "%llu samples, fingerprints %s\n",
+              attribution.events_off_per_sec, attribution.events_on_per_sec,
+              attribution.overhead_pct,
+              static_cast<unsigned long long>(attribution.attribution_samples),
+              attribution.fingerprints_identical ? "identical" : "DIFFER");
+
   SuiteResult suite = RunSuite(options);
   std::printf("suite: %d runs, serial %.3fs, parallel %.3fs (jobs=%d, hw=%u), "
               "speedup %.2fx, fingerprints %s\n",
@@ -1087,7 +1186,7 @@ int Main(int argc, char** argv) {
 
   RealtimeScalingResult realtime = RunRealtimeScaling(options);
 
-  WriteJson(options, results, suite, trace, realtime);
+  WriteJson(options, results, suite, trace, attribution, realtime);
   std::printf("wrote %s\n", options.out.c_str());
   return 0;
 }

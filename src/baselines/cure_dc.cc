@@ -176,7 +176,8 @@ void CureDc::OnRemotePayload(const RemotePayload& payload) {
                 payload.label.ts, origin);
     if (trace_->WantJourney(payload.label.uid)) {
       trace_->JourneyHop(sim_->Now(), payload.label.uid, obs::HopKind::kBuffered,
-                         trace_track_, payload.label.ts, payload.label.src);
+                         trace_track_, static_cast<int32_t>(config_.id),
+                         payload.label.ts, payload.label.src);
     }
   }
 }

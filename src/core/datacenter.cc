@@ -158,7 +158,7 @@ void DatacenterBase::HandleUpdate(NodeId from, const ClientRequest& req) {
       trace_->Hop(sim_->Now(), trace_track_, "commit", label.uid, label.ts, label.src);
       if (trace_->WantJourney(label.uid)) {
         trace_->JourneyHop(sim_->Now(), label.uid, obs::HopKind::kCommit, trace_track_,
-                           label.ts, label.src);
+                           static_cast<int32_t>(config_.id), label.ts, label.src);
       }
     }
 
@@ -263,7 +263,7 @@ SimTime DatacenterBase::ApplyRemoteUpdateImpl(const RemotePayload& payload,
                   payload.label.ts, payload.label.origin_dc());
       if (trace_->WantJourney(payload.label.uid)) {
         trace_->JourneyHop(sim_->Now(), payload.label.uid, obs::HopKind::kVisible,
-                           trace_track_);
+                           trace_track_, static_cast<int32_t>(config_.id));
       }
     }
   };

@@ -1,0 +1,310 @@
+#include "src/obs/attribution.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace saturn::obs {
+
+namespace {
+
+// Clamp `t` into [lo, hi]; missing boundaries collapse onto `lo` so that the
+// boundary chain stays monotone and the phase sum telescopes exactly.
+SimTime ClampBoundary(SimTime t, SimTime lo, SimTime hi) {
+  if (t < lo) {
+    return lo;
+  }
+  return t > hi ? hi : t;
+}
+
+void AppendHistJson(std::string* out, const LatencyHistogram& h) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\": %llu, \"mean_ms\": %.3f, \"p50_ms\": %.3f, "
+                "\"p90_ms\": %.3f, \"p99_ms\": %.3f, \"min_ms\": %.3f, "
+                "\"max_ms\": %.3f}",
+                static_cast<unsigned long long>(h.count()), h.MeanMs(),
+                h.PercentileMs(0.50), h.PercentileMs(0.90), h.PercentileMs(0.99),
+                static_cast<double>(h.MinUs()) / 1000.0,
+                static_cast<double>(h.MaxUs()) / 1000.0);
+  *out += buf;
+}
+
+}  // namespace
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kCommitSink:
+      return "commit-sink";
+    case Phase::kSerializer:
+      return "serializer";
+    case Phase::kTree:
+      return "tree";
+    case Phase::kBuffer:
+      return "buffer";
+    case Phase::kStability:
+      return "stability";
+  }
+  return "?";
+}
+
+const char* PhaseKey(Phase phase) {
+  switch (phase) {
+    case Phase::kCommitSink:
+      return "commit_sink";
+    case Phase::kSerializer:
+      return "serializer";
+    case Phase::kTree:
+      return "tree";
+    case Phase::kBuffer:
+      return "buffer";
+    case Phase::kStability:
+      return "stability";
+  }
+  return "?";
+}
+
+PhaseBreakdown ComputeBreakdown(const Journey& journey, SimTime now,
+                                uint32_t visible_track, int32_t dest_dc) {
+  PhaseBreakdown bd;
+  bd.dest_dc = dest_dc;
+  bd.src_dc = static_cast<int32_t>(SourceDc(journey.src));
+  if (journey.hops.empty()) {
+    return bd;
+  }
+  const SimTime t0 = journey.hops.front().ts;
+  uint32_t commit_track = journey.hops.front().track;
+
+  // Boundary-defining hops. Sink and serializer boundaries are the *first*
+  // of their kind (the origin's forward and the first routing decision);
+  // arrival and buffering at the destination are the *last* matching hop not
+  // after `now` (retransmissions or failover can deliver a label twice — the
+  // delivery that led to this visibility is the latest one).
+  SimTime sink_ts = -1, serializer_ts = -1, arrive_ts = -1, buffered_ts = -1;
+  uint32_t sink_track = commit_track, serializer_track = commit_track;
+  uint32_t arrive_track = commit_track, buffered_track = commit_track;
+  for (const HopRecord& hop : journey.hops) {
+    if (hop.ts > now) {
+      continue;
+    }
+    switch (hop.kind) {
+      case HopKind::kSink:
+        if (sink_ts < 0) {
+          sink_ts = hop.ts;
+          sink_track = hop.track;
+        }
+        break;
+      case HopKind::kSerializer:
+        if (serializer_ts < 0) {
+          serializer_ts = hop.ts;
+          serializer_track = hop.track;
+        }
+        break;
+      case HopKind::kStreamArrive:
+        if (hop.dc == dest_dc) {
+          arrive_ts = hop.ts;
+          arrive_track = hop.track;
+        }
+        break;
+      case HopKind::kBuffered:
+        if (hop.dc == dest_dc) {
+          buffered_ts = hop.ts;
+          buffered_track = hop.track;
+        }
+        break;
+      case HopKind::kCommit:
+      case HopKind::kVisible:
+        break;
+    }
+  }
+
+  const SimTime t4 = now;
+  const SimTime t1 = ClampBoundary(sink_ts < 0 ? t0 : sink_ts, t0, t4);
+  const SimTime t2 = ClampBoundary(serializer_ts < 0 ? t1 : serializer_ts, t1, t4);
+  const SimTime t3 = ClampBoundary(arrive_ts < 0 ? t2 : arrive_ts, t2, t4);
+  const SimTime tb = ClampBoundary(buffered_ts < 0 ? t3 : buffered_ts, t3, t4);
+
+  bd.total = t4 - t0;
+  bd.phase = {t1 - t0, t2 - t1, t3 - t2, tb - t3, t4 - tb};
+  bd.end_ts = {t1, t2, t3, tb, t4};
+  bd.track = {sink_ts < 0 ? commit_track : sink_track,
+              serializer_ts < 0 ? commit_track : serializer_track,
+              arrive_ts < 0 ? commit_track : arrive_track,
+              buffered_ts < 0 ? commit_track : buffered_track, visible_track};
+  return bd;
+}
+
+AttributionProfiler::AttributionProfiler(uint32_t num_dcs)
+    : num_dcs_(num_dcs),
+      pairs_(static_cast<size_t>(num_dcs) * static_cast<size_t>(num_dcs)) {}
+
+void AttributionProfiler::Record(const PhaseBreakdown& breakdown) {
+  ++samples_;
+  total_.Record(breakdown.total);
+  SimTime sum = 0;
+  for (size_t p = 0; p < kNumPhases; ++p) {
+    phases_[p].Record(breakdown.phase[p]);
+    sum += breakdown.phase[p];
+  }
+  // The decomposition contract: phases always sum to the total, exactly.
+  SAT_CHECK(sum == breakdown.total);
+  if (breakdown.src_dc < 0 || breakdown.dest_dc < 0 ||
+      static_cast<uint32_t>(breakdown.src_dc) >= num_dcs_ ||
+      static_cast<uint32_t>(breakdown.dest_dc) >= num_dcs_) {
+    return;  // aggregate only — no pair identity for this sample
+  }
+  size_t idx = static_cast<size_t>(breakdown.src_dc) * num_dcs_ +
+               static_cast<size_t>(breakdown.dest_dc);
+  if (pairs_[idx] == nullptr) {
+    pairs_[idx] = std::make_unique<PairStats>();
+  }
+  pairs_[idx]->total.Record(breakdown.total);
+  for (size_t p = 0; p < kNumPhases; ++p) {
+    pairs_[idx]->phases[p].Record(breakdown.phase[p]);
+  }
+}
+
+void AttributionProfiler::RecordTreeHop(SimTime duration) {
+  tree_hop_.Record(duration);
+}
+
+const AttributionProfiler::PairStats* AttributionProfiler::pair(uint32_t src,
+                                                                uint32_t dst) const {
+  if (src >= num_dcs_ || dst >= num_dcs_) {
+    return nullptr;
+  }
+  return pairs_[static_cast<size_t>(src) * num_dcs_ + dst].get();
+}
+
+AttributionProfiler::Snapshot AttributionProfiler::TakeSnapshot() const {
+  Snapshot snap;
+  snap.num_dcs = num_dcs_;
+  snap.samples = samples_;
+  snap.total = total_;
+  snap.tree_hop = tree_hop_;
+  snap.phases = phases_;
+  for (uint32_t src = 0; src < num_dcs_; ++src) {
+    for (uint32_t dst = 0; dst < num_dcs_; ++dst) {
+      const PairStats* stats = pair(src, dst);
+      if (stats != nullptr) {
+        snap.pairs.push_back({src, dst, *stats});
+      }
+    }
+  }
+  return snap;
+}
+
+void AttributionProfiler::Snapshot::Merge(const Snapshot& other) {
+  if (num_dcs == 0) {
+    num_dcs = other.num_dcs;
+  }
+  SAT_CHECK(other.num_dcs == 0 || other.num_dcs == num_dcs);
+  samples += other.samples;
+  total.Merge(other.total);
+  tree_hop.Merge(other.tree_hop);
+  for (size_t p = 0; p < kNumPhases; ++p) {
+    phases[p].Merge(other.phases[p]);
+  }
+  // Both pair lists are sorted by (src, dst); merge like MetricsSnapshot.
+  for (const Pair& theirs : other.pairs) {
+    auto it = std::lower_bound(pairs.begin(), pairs.end(), theirs,
+                               [](const Pair& x, const Pair& y) {
+                                 return x.src != y.src ? x.src < y.src : x.dst < y.dst;
+                               });
+    if (it != pairs.end() && it->src == theirs.src && it->dst == theirs.dst) {
+      it->stats.total.Merge(theirs.stats.total);
+      for (size_t p = 0; p < kNumPhases; ++p) {
+        it->stats.phases[p].Merge(theirs.stats.phases[p]);
+      }
+    } else {
+      pairs.insert(it, theirs);
+    }
+  }
+}
+
+std::string AttributionProfiler::Snapshot::Report() const {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "visibility attribution: %llu sampled visibilities across %zu dc "
+                "pairs\n",
+                static_cast<unsigned long long>(samples), pairs.size());
+  out += buf;
+  out += "  phase          count      mean       p50       p90       p99     "
+         "share\n";
+  double total_sum = total.SumUs();
+  auto row = [&](const char* name, const LatencyHistogram& h, bool share) {
+    std::string share_str = "-";
+    if (share && total_sum > 0) {
+      share_str = std::to_string(
+                      static_cast<int>(h.SumUs() / total_sum * 100.0 + 0.5)) +
+                  "%";
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  %-12s %7llu %7.2fms %7.2fms %7.2fms %7.2fms    %s\n", name,
+                  static_cast<unsigned long long>(h.count()), h.MeanMs(),
+                  h.PercentileMs(0.50), h.PercentileMs(0.90), h.PercentileMs(0.99),
+                  share_str.c_str());
+    out += buf;
+  };
+  for (size_t p = 0; p < kNumPhases; ++p) {
+    row(PhaseName(static_cast<Phase>(p)), phases[p], true);
+  }
+  row("total", total, false);
+  row("tree-hop", tree_hop, false);
+  out += "  per-pair p99 decomposition (ms): src->dst  n  total | commit-sink "
+         "serializer tree buffer stability\n";
+  for (const Pair& pair : pairs) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %u->%u  %6llu  %8.2f | %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+                  pair.src, pair.dst,
+                  static_cast<unsigned long long>(pair.stats.total.count()),
+                  pair.stats.total.PercentileMs(0.99),
+                  pair.stats.phases[0].PercentileMs(0.99),
+                  pair.stats.phases[1].PercentileMs(0.99),
+                  pair.stats.phases[2].PercentileMs(0.99),
+                  pair.stats.phases[3].PercentileMs(0.99),
+                  pair.stats.phases[4].PercentileMs(0.99));
+    out += buf;
+  }
+  return out;
+}
+
+void AttributionProfiler::Snapshot::AppendJson(std::string* out) const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "{\n    \"samples\": %llu,\n    \"phases\": {",
+                static_cast<unsigned long long>(samples));
+  *out += buf;
+  for (size_t p = 0; p < kNumPhases; ++p) {
+    *out += p == 0 ? "\n" : ",\n";
+    *out += "      \"";
+    *out += PhaseKey(static_cast<Phase>(p));
+    *out += "\": ";
+    AppendHistJson(out, phases[p]);
+  }
+  *out += ",\n      \"total\": ";
+  AppendHistJson(out, total);
+  *out += ",\n      \"tree_hop\": ";
+  AppendHistJson(out, tree_hop);
+  *out += "\n    },\n    \"pairs\": [";
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const Pair& pair = pairs[i];
+    std::snprintf(buf, sizeof(buf), "%s\n      {\"src\": %u, \"dst\": %u, \"total\": ",
+                  i == 0 ? "" : ",", pair.src, pair.dst);
+    *out += buf;
+    AppendHistJson(out, pair.stats.total);
+    *out += ", \"phases\": {";
+    for (size_t p = 0; p < kNumPhases; ++p) {
+      *out += p == 0 ? "" : ", ";
+      *out += '"';
+      *out += PhaseKey(static_cast<Phase>(p));
+      *out += "\": ";
+      AppendHistJson(out, pair.stats.phases[p]);
+    }
+    *out += "}}";
+  }
+  *out += pairs.empty() ? "]\n  }" : "\n    ]\n  }";
+}
+
+}  // namespace saturn::obs

@@ -1,0 +1,127 @@
+// Visibility attribution: decompose every sampled label journey's
+// commit→visible latency into named phases, accumulated per
+// (source DC, dest DC) pair.
+//
+// The decomposition is exact by construction. A journey's hops give a chain
+// of boundary timestamps t0 <= t1 <= t2 <= t3 <= tb <= t4 (each clamped into
+// the previous one's range, and collapsing onto the previous boundary when
+// the defining hop is missing), and each phase is the difference of two
+// consecutive boundaries — so the phase durations always sum to t4 - t0, the
+// journey's total commit→visible latency, with no rounding and no residual.
+// Protocols that skip stations (Cure/GentleRain have no sink or serializer
+// hops) simply get zero-duration phases for the stations they skip.
+//
+// Like the trace recorder it piggybacks on, the profiler only observes: it is
+// fed from TraceRecorder::JourneyHop, never schedules simulator events, and
+// its memory is bounded — a fixed set of constant-size histograms per
+// (src, dst) DC pair, lazily allocated, at most num_dcs^2 of them.
+#ifndef SRC_OBS_ATTRIBUTION_H_
+#define SRC_OBS_ATTRIBUTION_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/obs/trace.h"
+#include "src/stats/histogram.h"
+
+namespace saturn::obs {
+
+// The stations of the commit→visible path, as phases (closed under the exact
+// sum; kTreeHop below is a separate per-hop view, not part of the sum).
+enum class Phase : uint8_t {
+  kCommitSink = 0,  // gear commit → origin DC flushed the label into its sink
+  kSerializer = 1,  // sink flush → first serializer routed it (queue + batch)
+  kTree = 2,        // first serializer route → stream arrival at the dest DC
+  kBuffer = 3,      // stream arrival → remote payload buffered for stability
+  kStability = 4,   // buffered → update visible at the dest DC
+};
+inline constexpr size_t kNumPhases = 5;
+
+const char* PhaseName(Phase phase);
+// Identifier-safe variant ('-' swapped for '_'): JSON keys and registry
+// metric suffixes (attribution.phase.<key>).
+const char* PhaseKey(Phase phase);
+
+// One decomposed visibility sample: the kVisible hop of `journey` at
+// `dest_dc`, split into phases that sum to `total` exactly.
+struct PhaseBreakdown {
+  int32_t src_dc = -1;
+  int32_t dest_dc = -1;
+  SimTime total = 0;
+  std::array<SimTime, kNumPhases> phase{};
+  // Per phase: the boundary timestamp the phase ends at and the track of the
+  // hop that defined it — where the recorder drops the "phase-*" instants.
+  std::array<SimTime, kNumPhases> end_ts{};
+  std::array<uint32_t, kNumPhases> track{};
+};
+
+// Pure decomposition of `journey` for a kVisible hop observed at `now` on
+// `visible_track` at `dest_dc`. The visible hop itself may or may not already
+// be appended to the journey; only hops with ts <= now are considered.
+PhaseBreakdown ComputeBreakdown(const Journey& journey, SimTime now,
+                                uint32_t visible_track, int32_t dest_dc);
+
+class AttributionProfiler {
+ public:
+  explicit AttributionProfiler(uint32_t num_dcs);
+
+  // Aggregate + per-pair accumulation of one decomposed visibility.
+  void Record(const PhaseBreakdown& breakdown);
+  // One tree-plane propagation hop (serializer→serializer or →dest arrival).
+  void RecordTreeHop(SimTime duration);
+
+  struct PairStats {
+    LatencyHistogram total;
+    std::array<LatencyHistogram, kNumPhases> phases;
+  };
+
+  uint64_t samples() const { return samples_; }
+  const LatencyHistogram* phase_histogram(Phase phase) const {
+    return &phases_[static_cast<size_t>(phase)];
+  }
+  const LatencyHistogram* total_histogram() const { return &total_; }
+  const LatencyHistogram* tree_hop_histogram() const { return &tree_hop_; }
+  // Null when the pair has no samples (or is out of range).
+  const PairStats* pair(uint32_t src, uint32_t dst) const;
+  uint32_t num_dcs() const { return num_dcs_; }
+
+  // Plain-data snapshot: copies, mergeable across a seed sweep in seed order.
+  struct Snapshot {
+    uint32_t num_dcs = 0;
+    uint64_t samples = 0;
+    LatencyHistogram total;
+    LatencyHistogram tree_hop;
+    std::array<LatencyHistogram, kNumPhases> phases;
+    struct Pair {
+      uint32_t src = 0;
+      uint32_t dst = 0;
+      PairStats stats;
+    };
+    std::vector<Pair> pairs;  // sorted by (src, dst)
+
+    void Merge(const Snapshot& other);
+    // Human-readable report behind `saturn_sim --attribution`.
+    std::string Report() const;
+    // Appends the JSON object body consumed by tools/telemetry_report.py
+    // (deterministic: same snapshot, same bytes).
+    void AppendJson(std::string* out) const;
+  };
+  Snapshot TakeSnapshot() const;
+
+ private:
+  uint32_t num_dcs_;
+  uint64_t samples_ = 0;
+  LatencyHistogram total_;
+  LatencyHistogram tree_hop_;
+  std::array<LatencyHistogram, kNumPhases> phases_;
+  // src * num_dcs_ + dst, lazily allocated: memory is O(pairs actually seen).
+  std::vector<std::unique_ptr<PairStats>> pairs_;
+};
+
+}  // namespace saturn::obs
+
+#endif  // SRC_OBS_ATTRIBUTION_H_

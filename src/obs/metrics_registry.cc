@@ -75,18 +75,33 @@ std::string MetricsSnapshot::ToJson() const {
 }
 
 void MetricsRegistry::AddScalar(std::string name, std::function<int64_t()> getter) {
-  scalars_.emplace_back(std::move(name), std::move(getter));
+  scalars_.push_back({std::move(name), std::move(getter), /*gauge=*/false});
+}
+
+void MetricsRegistry::AddGauge(std::string name, std::function<int64_t()> getter) {
+  scalars_.push_back({std::move(name), std::move(getter), /*gauge=*/true});
 }
 
 void MetricsRegistry::AddHistogram(std::string name, const LatencyHistogram* histogram) {
   histograms_.emplace_back(std::move(name), histogram);
 }
 
+std::vector<std::string> MetricsRegistry::GaugeNames() const {
+  std::vector<std::string> names;
+  for (const ScalarEntry& entry : scalars_) {
+    if (entry.gauge) {
+      names.push_back(entry.name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
   snap.scalars.reserve(scalars_.size());
-  for (const auto& [name, getter] : scalars_) {
-    snap.scalars.emplace_back(name, getter());
+  for (const ScalarEntry& entry : scalars_) {
+    snap.scalars.emplace_back(entry.name, entry.getter());
   }
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, hist] : histograms_) {

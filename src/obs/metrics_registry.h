@@ -49,17 +49,32 @@ class MetricsRegistry {
  public:
   // `getter` is called at Snapshot() time; it must stay valid for the
   // registry's lifetime (it captures pointers into the owning cluster).
+  // AddScalar registers a monotone counter; AddGauge registers a level
+  // (backlog, mode bits, high-water marks). The distinction only matters to
+  // windowed consumers: time-series sampling emits counters as per-window
+  // deltas and gauges as the value at the window boundary. Snapshot() and
+  // Merge() treat both identically.
   void AddScalar(std::string name, std::function<int64_t()> getter);
+  void AddGauge(std::string name, std::function<int64_t()> getter);
   // The histogram pointer must outlive the registry; Snapshot() copies it.
   void AddHistogram(std::string name, const LatencyHistogram* histogram);
 
   MetricsSnapshot Snapshot() const;
 
+  // Names registered via AddGauge, sorted (the time-series sampler keys its
+  // delta-vs-level decision off this).
+  std::vector<std::string> GaugeNames() const;
+
   size_t scalar_count() const { return scalars_.size(); }
   size_t histogram_count() const { return histograms_.size(); }
 
  private:
-  std::vector<std::pair<std::string, std::function<int64_t()>>> scalars_;
+  struct ScalarEntry {
+    std::string name;
+    std::function<int64_t()> getter;
+    bool gauge = false;
+  };
+  std::vector<ScalarEntry> scalars_;
   std::vector<std::pair<std::string, const LatencyHistogram*>> histograms_;
 };
 

@@ -1,0 +1,214 @@
+#include "src/obs/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+
+namespace saturn::obs {
+
+void HistogramWindow::Merge(const HistogramWindow& other) {
+  count += other.count;
+  sum_us += other.sum_us;
+  std::vector<std::pair<uint32_t, uint64_t>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  size_t i = 0, j = 0;
+  while (i < buckets.size() || j < other.buckets.size()) {
+    if (j == other.buckets.size() ||
+        (i < buckets.size() && buckets[i].first < other.buckets[j].first)) {
+      merged.push_back(buckets[i++]);
+    } else if (i == buckets.size() || other.buckets[j].first < buckets[i].first) {
+      merged.push_back(other.buckets[j++]);
+    } else {
+      merged.emplace_back(buckets[i].first, buckets[i].second + other.buckets[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  buckets = std::move(merged);
+}
+
+int64_t HistogramWindow::PercentileUs(double q) const {
+  if (count == 0) {
+    return 0;
+  }
+  if (q < 0) {
+    q = 0;
+  }
+  if (q > 1) {
+    q = 1;
+  }
+  uint64_t target = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (target == 0) {
+    target = 1;
+  }
+  uint64_t seen = 0;
+  for (const auto& [bucket, n] : buckets) {
+    seen += n;
+    if (seen >= target) {
+      return LatencyHistogram::BucketUpperBound(bucket);
+    }
+  }
+  return MaxUs();
+}
+
+int64_t HistogramWindow::MinUs() const {
+  return buckets.empty() ? 0 : LatencyHistogram::BucketLowerBound(buckets.front().first);
+}
+
+int64_t HistogramWindow::MaxUs() const {
+  return buckets.empty() ? 0 : LatencyHistogram::BucketUpperBound(buckets.back().first);
+}
+
+void TimeSeriesWindow::Merge(const TimeSeriesWindow& other) {
+  for (const auto& [name, value] : other.scalars) {
+    auto it = std::lower_bound(
+        scalars.begin(), scalars.end(), name,
+        [](const auto& entry, const std::string& key) { return entry.first < key; });
+    if (it != scalars.end() && it->first == name) {
+      it->second += value;
+    } else {
+      scalars.insert(it, {name, value});
+    }
+  }
+  for (const auto& [name, hist] : other.histograms) {
+    auto it = std::lower_bound(
+        histograms.begin(), histograms.end(), name,
+        [](const auto& entry, const std::string& key) { return entry.first < key; });
+    if (it != histograms.end() && it->first == name) {
+      it->second.Merge(hist);
+    } else {
+      histograms.insert(it, {name, hist});
+    }
+  }
+}
+
+void TimeSeries::Merge(const TimeSeries& other) {
+  if (window == 0) {
+    window = other.window;
+  }
+  SAT_CHECK(other.window == 0 || other.window == window);
+  size_t common = std::min(windows.size(), other.windows.size());
+  for (size_t i = 0; i < common; ++i) {
+    SAT_CHECK(windows[i].start == other.windows[i].start);
+    windows[i].Merge(other.windows[i]);
+    // Runs of slightly different lengths (e.g. a longer drain) can close the
+    // final partial window at different times; keep the later edge.
+    if (other.windows[i].end > windows[i].end) {
+      windows[i].end = other.windows[i].end;
+    }
+  }
+  for (size_t i = common; i < other.windows.size(); ++i) {
+    windows.push_back(other.windows[i]);
+  }
+}
+
+std::string TimeSeries::ToJson() const {
+  char buf[256];
+  std::string out = "{\n  \"schema\": \"saturn-timeseries-v1\",\n";
+  std::snprintf(buf, sizeof(buf), "  \"window_us\": %lld,\n  \"windows\": [",
+                static_cast<long long>(window));
+  out += buf;
+  for (size_t w = 0; w < windows.size(); ++w) {
+    const TimeSeriesWindow& row = windows[w];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    {\n      \"start_us\": %lld,\n      \"end_us\": %lld,\n"
+                  "      \"scalars\": {",
+                  w == 0 ? "" : ",", static_cast<long long>(row.start),
+                  static_cast<long long>(row.end));
+    out += buf;
+    for (size_t i = 0; i < row.scalars.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%s\n        \"%s\": %lld", i == 0 ? "" : ",",
+                    row.scalars[i].first.c_str(),
+                    static_cast<long long>(row.scalars[i].second));
+      out += buf;
+    }
+    out += row.scalars.empty() ? "},\n" : "\n      },\n";
+    out += "      \"histograms\": {";
+    for (size_t i = 0; i < row.histograms.size(); ++i) {
+      const HistogramWindow& h = row.histograms[i].second;
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n        \"%s\": {\"count\": %llu, \"mean_ms\": %.3f, "
+                    "\"p50_ms\": %.3f, \"p90_ms\": %.3f, \"p99_ms\": %.3f, "
+                    "\"min_ms\": %.3f, \"max_ms\": %.3f}",
+                    i == 0 ? "" : ",", row.histograms[i].first.c_str(),
+                    static_cast<unsigned long long>(h.count), h.MeanUs() / 1000.0,
+                    static_cast<double>(h.PercentileUs(0.50)) / 1000.0,
+                    static_cast<double>(h.PercentileUs(0.90)) / 1000.0,
+                    static_cast<double>(h.PercentileUs(0.99)) / 1000.0,
+                    static_cast<double>(h.MinUs()) / 1000.0,
+                    static_cast<double>(h.MaxUs()) / 1000.0);
+      out += buf;
+    }
+    out += row.histograms.empty() ? "}\n    }" : "\n      }\n    }";
+  }
+  out += windows.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+TimeSeriesRecorder::TimeSeriesRecorder(const MetricsRegistry* registry,
+                                       SimTime window)
+    : registry_(registry), window_(window > 0 ? window : 1), next_at_(window_) {
+  prev_ = registry_->Snapshot();
+  gauge_names_ = registry_->GaugeNames();
+  series_.window = window_;
+}
+
+void TimeSeriesRecorder::EmitWindow(const MetricsSnapshot& cur, SimTime start,
+                                    SimTime end) {
+  TimeSeriesWindow row;
+  row.start = start;
+  row.end = end;
+  row.scalars.reserve(cur.scalars.size());
+  // Snapshots of one registry always have the same sorted name sets, so the
+  // delta walks them index-aligned.
+  SAT_CHECK(cur.scalars.size() == prev_.scalars.size());
+  SAT_CHECK(cur.histograms.size() == prev_.histograms.size());
+  for (size_t i = 0; i < cur.scalars.size(); ++i) {
+    const std::string& name = cur.scalars[i].first;
+    bool gauge = std::binary_search(gauge_names_.begin(), gauge_names_.end(), name);
+    row.scalars.emplace_back(
+        name, gauge ? cur.scalars[i].second
+                    : cur.scalars[i].second - prev_.scalars[i].second);
+  }
+  row.histograms.reserve(cur.histograms.size());
+  for (size_t i = 0; i < cur.histograms.size(); ++i) {
+    const LatencyHistogram& h = cur.histograms[i].second;
+    const LatencyHistogram& p = prev_.histograms[i].second;
+    HistogramWindow hw;
+    hw.count = h.count() - p.count();
+    hw.sum_us = h.SumUs() - p.SumUs();
+    hw.buckets = h.DiffBuckets(p);
+    row.histograms.emplace_back(cur.histograms[i].first, std::move(hw));
+  }
+  series_.windows.push_back(std::move(row));
+}
+
+void TimeSeriesRecorder::Sample(SimTime now) {
+  MetricsSnapshot cur = registry_->Snapshot();
+  while (next_at_ <= now) {
+    EmitWindow(cur, next_at_ - window_, next_at_);
+    prev_ = cur;  // later boundaries in this call emit empty rows
+    next_at_ += window_;
+  }
+}
+
+void TimeSeriesRecorder::Finalize(SimTime end) {
+  if (finalized_) {
+    return;
+  }
+  finalized_ = true;
+  MetricsSnapshot cur = registry_->Snapshot();
+  while (next_at_ <= end) {
+    EmitWindow(cur, next_at_ - window_, next_at_);
+    prev_ = cur;
+    next_at_ += window_;
+  }
+  SimTime partial_start = next_at_ - window_;
+  if (end > partial_start) {
+    EmitWindow(cur, partial_start, end);
+  }
+}
+
+}  // namespace saturn::obs

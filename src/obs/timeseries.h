@@ -1,0 +1,109 @@
+// Windowed time-series telemetry: the whole metrics registry, sampled at
+// fixed sim-time window boundaries into a deterministic series.
+//
+// Sampling is driven by a non-perturbing hook in Simulator::Step: before the
+// first event at or past a window boundary executes, the recorder snapshots
+// the registry — so a window's row is exactly the state produced by the
+// events inside [start, end). The recorder never schedules events, so the
+// executed-event fingerprint is identical with sampling on or off, and the
+// series itself is a pure function of the run: the same seed produces the
+// same bytes, and a seed sweep merges per-seed series in seed order, making
+// the merged output byte-identical for any --jobs.
+//
+// Per window the row holds, for every registry scalar, the counter's delta
+// across the window (or the gauge's value at the boundary — see
+// MetricsRegistry::AddGauge), and for every registry histogram a sparse
+// bucket-delta from which per-window quantiles are reconstructed at export.
+// Windows with no samples export count=0 rows, never gaps: the series always
+// covers [0, run end] densely.
+#ifndef SRC_OBS_TIMESERIES_H_
+#define SRC_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/obs/metrics_registry.h"
+
+namespace saturn::obs {
+
+// Per-window view of one histogram: count/sum deltas plus the sparse
+// (bucket, added_count) pairs. Quantiles are reconstructed from the bucket
+// geometry (LatencyHistogram::BucketUpperBound), so min/max are bucket
+// bounds — deterministic, within the histogram's ~1% bucket resolution.
+struct HistogramWindow {
+  uint64_t count = 0;
+  double sum_us = 0;
+  std::vector<std::pair<uint32_t, uint64_t>> buckets;  // sorted by bucket
+
+  void Merge(const HistogramWindow& other);
+  double MeanUs() const {
+    return count == 0 ? 0 : sum_us / static_cast<double>(count);
+  }
+  int64_t PercentileUs(double q) const;
+  int64_t MinUs() const;  // lower bound of the first non-empty bucket
+  int64_t MaxUs() const;  // upper bound of the last non-empty bucket
+};
+
+struct TimeSeriesWindow {
+  SimTime start = 0;
+  SimTime end = 0;
+  // Sorted by name, like MetricsSnapshot; merge semantics match (scalars
+  // sum — counter deltas add, gauge levels add across seeds — histograms
+  // merge bucket-wise).
+  std::vector<std::pair<std::string, int64_t>> scalars;
+  std::vector<std::pair<std::string, HistogramWindow>> histograms;
+
+  void Merge(const TimeSeriesWindow& other);
+};
+
+struct TimeSeries {
+  SimTime window = 0;
+  std::vector<TimeSeriesWindow> windows;
+
+  // Seed-sweep merge: windows pair up by index (boundaries agree across
+  // seeds by construction — same window size, same run length). A longer
+  // series keeps its extra tail windows; merging an empty series is the
+  // identity in both directions.
+  void Merge(const TimeSeries& other);
+
+  // Deterministic JSON (schema "saturn-timeseries-v1"): window size, then
+  // one row per window with scalars and histogram quantile summaries.
+  std::string ToJson() const;
+};
+
+class TimeSeriesRecorder {
+ public:
+  // `registry` must be fully built (all names registered) and outlive the
+  // recorder. The first window starts at sim time 0.
+  TimeSeriesRecorder(const MetricsRegistry* registry, SimTime window);
+
+  // Hot-path gate read by Simulator::Step before each event executes.
+  SimTime next_sample_at() const { return next_at_; }
+  // Called when the next event's timestamp is >= next_sample_at(): closes
+  // every window boundary <= `now` (the event at `now` has NOT executed yet,
+  // so its effects land in the window containing `now`).
+  void Sample(SimTime now);
+  // Closes the trailing boundaries and the final partial window at run end.
+  void Finalize(SimTime end);
+
+  const TimeSeries& series() const { return series_; }
+  TimeSeries TakeSeries() { return std::move(series_); }
+
+ private:
+  void EmitWindow(const MetricsSnapshot& cur, SimTime start, SimTime end);
+
+  const MetricsRegistry* registry_;
+  SimTime window_;
+  SimTime next_at_;
+  MetricsSnapshot prev_;
+  std::vector<std::string> gauge_names_;  // sorted
+  TimeSeries series_;
+  bool finalized_ = false;
+};
+
+}  // namespace saturn::obs
+
+#endif  // SRC_OBS_TIMESERIES_H_

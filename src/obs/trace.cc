@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/obs/attribution.h"
+
 namespace saturn::obs {
 
 namespace {
@@ -141,8 +143,18 @@ void TraceRecorder::SpanEnd(SimTime now, uint32_t track, const char* name) {
   // End without a begin (span opened before the ring existed): ignore.
 }
 
+namespace {
+
+// Ring names for the backdated per-phase instants (indexed by Phase).
+constexpr const char* kPhaseInstantNames[kNumPhases] = {
+    "phase-commit-sink", "phase-serializer", "phase-tree", "phase-buffer",
+    "phase-stability"};
+
+}  // namespace
+
 void TraceRecorder::JourneyHop(SimTime now, uint64_t uid, HopKind kind,
-                               uint32_t track, int64_t label_ts, SourceId src) {
+                               uint32_t track, int32_t dc, int64_t label_ts,
+                               SourceId src) {
   uint32_t* idx = journey_index_.Find(uid);
   if (idx == nullptr) {
     if (kind != HopKind::kCommit || journeys_.size() >= config_.max_journeys) {
@@ -152,7 +164,34 @@ void TraceRecorder::JourneyHop(SimTime now, uint64_t uid, HopKind kind,
     journeys_.push_back({uid, label_ts, src, {}});
     idx = journey_index_.Find(uid);
   }
-  journeys_[*idx].hops.push_back({now, kind, track});
+  Journey& journey = journeys_[*idx];
+  journey.hops.push_back({now, kind, track, dc});
+  if (attribution_ == nullptr) {
+    return;
+  }
+  if (kind == HopKind::kSerializer || kind == HopKind::kStreamArrive) {
+    // One tree-plane propagation hop: time since the label last left a tree
+    // node (the origin sink or an internal serializer).
+    for (size_t i = journey.hops.size() - 1; i-- > 0;) {
+      HopKind prev = journey.hops[i].kind;
+      if (prev == HopKind::kSink || prev == HopKind::kSerializer) {
+        attribution_->RecordTreeHop(now - journey.hops[i].ts);
+        break;
+      }
+    }
+  } else if (kind == HopKind::kVisible) {
+    PhaseBreakdown bd = ComputeBreakdown(journey, now, track, dc);
+    attribution_->Record(bd);
+    // Backdated phase instants: one per phase at the phase's end boundary,
+    // carrying the journey uid (a = duration us, b = dest dc), so Perfetto
+    // shows the decomposition inline with the journey's flow. The global
+    // (ts, seq) sort at export time puts them back in timestamp order.
+    for (size_t p = 0; p < kNumPhases; ++p) {
+      Push({bd.end_ts[p], bd.track[p], TraceEventKind::kInstant,
+            kPhaseInstantNames[p], nullptr, uid,
+            static_cast<int64_t>(bd.phase[p]), dc});
+    }
+  }
 }
 
 std::vector<const Journey*> TraceRecorder::SlowestJourneys(size_t n) const {
@@ -210,8 +249,9 @@ std::string TraceRecorder::ExportJson() const {
     records.push_back({ts, seq++, std::move(json)});
   };
 
-  // Ring events, oldest first (insertion order; timestamps are nondecreasing
-  // because every hook records at the current sim time).
+  // Ring events in insertion order. Most hooks record at the current sim
+  // time; attribution's phase instants are backdated to their phase boundary,
+  // so ordering is fixed up by the global (ts, seq) sort below.
   for (size_t i = 0; i < size_; ++i) {
     const TraceEvent& ev = ring_[(head_ + ring_.size() - size_ + i) % ring_.size()];
     std::string json = "{\"ph\":\"";

@@ -31,8 +31,14 @@
 
 namespace saturn::obs {
 
+class AttributionProfiler;
+
 struct TraceConfig {
   bool enabled = false;
+  // Visibility attribution: decompose every sampled journey's commit→visible
+  // latency into named phases, per (source DC, dest DC) pair. Orthogonal to
+  // `enabled` (the ring): a cluster creates the recorder when either is on.
+  bool attribution = false;
   // Events retained; older events are dropped (and counted) once full.
   size_t ring_capacity = 1u << 16;
   // A label journey is recorded when uid % journey_sample_every == 0.
@@ -83,6 +89,9 @@ struct HopRecord {
   SimTime ts = 0;
   HopKind kind = HopKind::kCommit;
   uint32_t track = 0;
+  // The DC the hop happened at; -1 for hops with no DC identity (internal
+  // serializers). Lets attribution split a journey per destination DC.
+  int32_t dc = -1;
 };
 
 struct Journey {
@@ -129,9 +138,21 @@ class TraceRecorder {
   }
   // Records a hop. A journey is created only by its kCommit hop (which
   // carries the label identity); later hops for unknown uids are ignored, so
-  // journeys always start at the frontend write.
+  // journeys always start at the frontend write. `dc` is the DC the hop
+  // happened at (-1 for internal serializers). When an attribution profiler
+  // is attached, kSerializer/kStreamArrive hops feed the per-hop tree
+  // histogram and each kVisible hop triggers a full phase decomposition (and,
+  // for Perfetto alignment, one backdated "phase-*" instant per phase at the
+  // phase's end timestamp, carrying the journey uid).
   void JourneyHop(SimTime now, uint64_t uid, HopKind kind, uint32_t track,
-                  int64_t label_ts = 0, SourceId src = 0);
+                  int32_t dc, int64_t label_ts = 0, SourceId src = 0);
+
+  // Attribution is an observer of journey hops, owned by the cluster; null
+  // unless requested. Like the recorder itself it never schedules events.
+  void set_attribution(AttributionProfiler* attribution) {
+    attribution_ = attribution;
+  }
+  AttributionProfiler* attribution() const { return attribution_; }
 
   const std::vector<Journey>& journeys() const { return journeys_; }
 
@@ -185,6 +206,8 @@ class TraceRecorder {
 
   FlatMap<uint64_t, uint32_t> journey_index_;  // uid -> index into journeys_
   std::vector<Journey> journeys_;
+
+  AttributionProfiler* attribution_ = nullptr;
 };
 
 }  // namespace saturn::obs

@@ -71,14 +71,20 @@ Cluster::Cluster(ClusterConfig config, ReplicaMap replicas, std::vector<DcId> cl
   // track registration order (sim, net, DCs in id order, then serializers in
   // DeployTree order) fixes the track ids, so exported traces are
   // deterministic for a given configuration.
-  if (config_.trace.enabled) {
+  if (config_.trace.enabled || config_.trace.attribution) {
     trace_ = std::make_unique<obs::TraceRecorder>(config_.trace);
     sim_.set_trace(trace_.get(), trace_->RegisterTrack("sim"));
   }
+  if (config_.trace.attribution) {
+    attribution_ = std::make_unique<obs::AttributionProfiler>(n);
+    trace_->set_attribution(attribution_.get());
+  }
 
   if (config_.backend == ExecBackend::kRealtime) {
-    SAT_CHECK_MSG(!config_.trace.enabled,
+    SAT_CHECK_MSG(!config_.trace.enabled && !config_.trace.attribution,
                   "tracing requires the deterministic backend");
+    SAT_CHECK_MSG(config_.timeseries_window == 0,
+                  "time-series telemetry requires the deterministic backend");
     SAT_CHECK_MSG(!config_.dynamic.enabled,
                   "dynamic topology requires the deterministic backend");
     scheduler_ = std::make_unique<RealtimeScheduler>(config_.realtime);
@@ -499,14 +505,28 @@ void Cluster::BuildMetricsRegistry() {
     reg.AddScalar("workload.queued", [sum] { return sum(&SessionMux::queued_total); });
     reg.AddScalar("workload.shed", [sum] { return sum(&SessionMux::shed); });
     reg.AddScalar("workload.migrations", [sum] { return sum(&SessionMux::migrations); });
-    reg.AddScalar("workload.backlog", [sum] { return sum(&SessionMux::backlog); });
-    reg.AddScalar("workload.max_queue_depth", [this] {
+    // Backlog and high-water depth are levels, not monotone counters: the
+    // time-series reports them as-is at each window boundary.
+    reg.AddGauge("workload.backlog", [sum] { return sum(&SessionMux::backlog); });
+    reg.AddGauge("workload.max_queue_depth", [this] {
       int64_t depth = 0;
       for (const auto& mux : muxes_) {
         depth = std::max<int64_t>(depth, mux->max_queue_depth());
       }
       return depth;
     });
+    // Per-DC mux detail: session slab size (a level fixed at construction),
+    // arrivals/shed counters, and the queue-wait histogram.
+    for (size_t i = 0; i < muxes_.size(); ++i) {
+      SessionMux* mux = muxes_[i].get();
+      std::string prefix = "workload.dc" + std::to_string(i) + ".";
+      reg.AddGauge(prefix + "sessions",
+                   [mux] { return static_cast<int64_t>(mux->num_slots()); });
+      reg.AddScalar(prefix + "arrivals",
+                    [mux] { return static_cast<int64_t>(mux->arrivals()); });
+      reg.AddScalar(prefix + "shed", [mux] { return static_cast<int64_t>(mux->shed()); });
+      reg.AddHistogram(prefix + "queue_wait", mux->queue_wait());
+    }
   }
 
   // Degraded-mode accounting per datacenter (Saturn only: the fallback
@@ -525,8 +545,8 @@ void Cluster::BuildMetricsRegistry() {
     });
     if (saturn_like) {
       SaturnDc* sdc = saturn_dc(id);
-      reg.AddScalar(prefix + "in_timestamp_mode",
-                    [sdc] { return sdc->in_timestamp_mode() ? int64_t{1} : int64_t{0}; });
+      reg.AddGauge(prefix + "in_timestamp_mode",
+                   [sdc] { return sdc->in_timestamp_mode() ? int64_t{1} : int64_t{0}; });
       reg.AddScalar(prefix + "link_retransmissions",
                     [sdc] { return static_cast<int64_t>(sdc->link_retransmissions()); });
       reg.AddScalar(prefix + "link_retransmit_storms", [sdc] {
@@ -594,6 +614,22 @@ void Cluster::BuildMetricsRegistry() {
                   [trace] { return static_cast<int64_t>(trace->events_dropped()); });
   }
 
+  // Aggregate attribution view. Per-pair detail stays in the profiler (its
+  // snapshot feeds the --attribution report); publishing only the aggregates
+  // keeps registry snapshots — and every time-series window — small.
+  if (attribution_ != nullptr) {
+    obs::AttributionProfiler* attr = attribution_.get();
+    reg.AddScalar("attribution.samples",
+                  [attr] { return static_cast<int64_t>(attr->samples()); });
+    for (size_t p = 0; p < obs::kNumPhases; ++p) {
+      obs::Phase phase = static_cast<obs::Phase>(p);
+      reg.AddHistogram(std::string("attribution.phase.") + obs::PhaseKey(phase),
+                       attr->phase_histogram(phase));
+    }
+    reg.AddHistogram("attribution.total", attr->total_histogram());
+    reg.AddHistogram("attribution.tree_hop", attr->tree_hop_histogram());
+  }
+
   reg.AddHistogram("visibility.all", &metrics_->AllVisibility());
   reg.AddHistogram("op_latency", &metrics_->OpLatency());
   reg.AddHistogram("attach_latency", &metrics_->AttachLatency());
@@ -610,6 +646,16 @@ ExperimentResult Cluster::Run(SimTime warmup, SimTime measure, SimTime drain) {
   window_start_ = sim_.Now() + warmup;
   window_end_ = window_start_ + measure;
   metrics_->SetWindow(window_start_, window_end_);
+
+  if (config_.timeseries_window > 0) {
+    SAT_CHECK_MSG(scheduler_ == nullptr,
+                  "time-series telemetry requires the deterministic backend");
+    // Built here, not in the constructor: the recorder snapshots the fully
+    // registered registry once at t=0 as its delta baseline.
+    timeseries_ = std::make_unique<obs::TimeSeriesRecorder>(&metrics_registry(),
+                                                            config_.timeseries_window);
+    sim_.set_timeseries(timeseries_.get());
+  }
 
   for (auto& dc : datacenters_) {
     dc->Start();
@@ -667,6 +713,9 @@ ExperimentResult Cluster::Run(SimTime warmup, SimTime measure, SimTime drain) {
     scheduler_->Run(window_end_ + drain);
   } else {
     sim_.RunUntil(window_end_ + drain);
+  }
+  if (timeseries_ != nullptr) {
+    timeseries_->Finalize(sim_.Now());
   }
   return Result();
 }

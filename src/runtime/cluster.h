@@ -19,7 +19,9 @@
 #include "src/fault/drift_plan.h"
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_plan.h"
+#include "src/obs/attribution.h"
 #include "src/obs/metrics_registry.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
 #include "src/runtime/realtime.h"
 #include "src/runtime/regions.h"
@@ -134,7 +136,15 @@ struct ClusterConfig {
   // Observability: with trace.enabled the cluster owns a TraceRecorder and
   // threads it through every component. Tracing never schedules simulator
   // events, so enabling it cannot change the executed-event fingerprint.
+  // trace.attribution additionally decomposes sampled journeys into
+  // visibility phases (same recorder, same zero-cost contract).
   obs::TraceConfig trace;
+
+  // Windowed time-series telemetry: > 0 samples the metrics registry every
+  // `timeseries_window` of sim time (deterministic backend only). Sampling
+  // observes event timestamps without scheduling anything, so the
+  // executed-event fingerprint is identical with it on or off.
+  SimTime timeseries_window = 0;
 
   DynamicTopologyConfig dynamic;
 
@@ -221,8 +231,13 @@ class Cluster {
     return scheduler_ != nullptr ? scheduler_->executed_events() : sim_.executed_events();
   }
 
-  // Null unless config.trace.enabled.
+  // Null unless config.trace.enabled or config.trace.attribution.
   obs::TraceRecorder* trace() { return trace_.get(); }
+  // Null unless config.trace.attribution.
+  obs::AttributionProfiler* attribution() { return attribution_.get(); }
+  const obs::AttributionProfiler* attribution() const { return attribution_.get(); }
+  // Null unless config.timeseries_window > 0 (created inside Run()).
+  obs::TimeSeriesRecorder* timeseries() { return timeseries_.get(); }
 
   // Unified run metrics: every counter and histogram of the run, by name.
   // Built lazily on first use (getter registration resolves values at
@@ -241,7 +256,9 @@ class Cluster {
   ClusterConfig config_;
   ReplicaMap replicas_;
   std::unique_ptr<obs::TraceRecorder> trace_;  // created before any actor
+  std::unique_ptr<obs::AttributionProfiler> attribution_;
   std::unique_ptr<obs::MetricsRegistry> registry_;
+  std::unique_ptr<obs::TimeSeriesRecorder> timeseries_;
   Simulator sim_;
   std::unique_ptr<RealtimeScheduler> scheduler_;  // null unless kRealtime
   std::unique_ptr<Network> net_;

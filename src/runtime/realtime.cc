@@ -206,6 +206,9 @@ void RealtimeScheduler::Run(SimTime until) {
   for (unsigned w = 0; w < options_.workers; ++w) {
     pool.Submit([this, w, until] { WorkerLoop(w, until); });
   }
+  utilization_series_.clear();
+  std::vector<uint64_t> sample_prev_busy(options_.workers, 0);
+  uint64_t next_sample_ns = options_.utilization_sample_ns;
   for (;;) {
     uint64_t p0 = posts_.load();
     // Quiescent iff every lane is simultaneously un-owned, inbox-empty and
@@ -217,6 +220,31 @@ void RealtimeScheduler::Run(SimTime until) {
     }
     if (pool.failures() > 0) {
       break;  // a worker died; stop the rest and let Wait() rethrow
+    }
+    if (options_.utilization_sample_ns > 0) {
+      uint64_t elapsed = NowNs() - wall_start;
+      if (elapsed >= next_sample_ns) {
+        // The interval actually elapsed can exceed the nominal one (this loop
+        // sleeps between polls); fractions divide by the measured interval.
+        uint64_t interval =
+            elapsed - (utilization_series_.empty()
+                           ? 0
+                           : utilization_series_.back().wall_ns);
+        UtilizationSample sample;
+        sample.wall_ns = elapsed;
+        sample.busy_fraction.resize(options_.workers, 0.0);
+        for (unsigned w = 0; w < options_.workers; ++w) {
+          uint64_t busy = busy_ns_[w].load(std::memory_order_relaxed);
+          if (interval > 0) {
+            sample.busy_fraction[w] =
+                static_cast<double>(busy - sample_prev_busy[w]) /
+                static_cast<double>(interval);
+          }
+          sample_prev_busy[w] = busy;
+        }
+        utilization_series_.push_back(std::move(sample));
+        next_sample_ns = elapsed + options_.utilization_sample_ns;
+      }
     }
     std::this_thread::sleep_for(std::chrono::microseconds(200));
   }

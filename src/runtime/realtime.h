@@ -46,6 +46,11 @@ struct RealtimeOptions {
   // > 0 paces execution: at most `time_scale` virtual microseconds may pass
   // per wall-clock microsecond.
   double time_scale = 0.0;
+  // > 0 samples per-worker busy fractions every this many wall-clock
+  // nanoseconds during Run() (from the coordinator's quiescence-poll loop).
+  // Wall-clock telemetry: like every realtime measurement it is not
+  // reproducible — tests may assert shape and bounds only.
+  uint64_t utilization_sample_ns = 0;
 };
 
 class RealtimeScheduler : public LaneRouter {
@@ -86,6 +91,18 @@ class RealtimeScheduler : public LaneRouter {
   // Run() returns.
   const std::vector<double>& worker_utilization() const { return utilization_; }
 
+  // One windowed utilization sample (options.utilization_sample_ns > 0).
+  struct UtilizationSample {
+    uint64_t wall_ns = 0;                // sample time, relative to Run() start
+    std::vector<double> busy_fraction;   // per worker, over the last interval
+  };
+  // Wall-clock utilization series. Valid after Run(); empty when sampling is
+  // off. Values are nonnegative and may slightly exceed 1.0 (busy_ns is
+  // accumulated with relaxed atomics).
+  const std::vector<UtilizationSample>& utilization_series() const {
+    return utilization_series_;
+  }
+
   // Sum of executed events across all lanes. Valid after Run().
   uint64_t executed_events() const;
 
@@ -116,6 +133,7 @@ class RealtimeScheduler : public LaneRouter {
   std::atomic<bool> running_{false};
   std::vector<std::atomic<uint64_t>> busy_ns_;  // per worker
   std::vector<double> utilization_;
+  std::vector<UtilizationSample> utilization_series_;
 };
 
 }  // namespace saturn

@@ -209,7 +209,7 @@ void SaturnDc::FlushSink() {
                     env.label.ts, env.epoch);
         if (env.label.type == LabelType::kUpdate && trace_->WantJourney(env.label.uid)) {
           trace_->JourneyHop(sim_->Now(), env.label.uid, obs::HopKind::kSink,
-                             trace_track_);
+                             trace_track_, static_cast<int32_t>(config_.id));
         }
       }
       links_.Send(it->second, env);
@@ -314,7 +314,7 @@ void SaturnDc::OnGearCommit(const GearCommit& c) {
     trace_->Hop(sim_->Now(), trace_track_, "commit", label.uid, label.ts, label.src);
     if (trace_->WantJourney(label.uid)) {
       trace_->JourneyHop(sim_->Now(), label.uid, obs::HopKind::kCommit, trace_track_,
-                         label.ts, label.src);
+                         static_cast<int32_t>(config_.id), label.ts, label.src);
     }
   }
 
@@ -391,7 +391,8 @@ void SaturnDc::OnStreamEnvelope(NodeId from, const LabelEnvelope& env) {
   if (trace_ != nullptr && l.type != LabelType::kHeartbeat) {
     trace_->Hop(sim_->Now(), trace_track_, "stream.arrive", l.uid, l.ts, env.epoch);
     if (l.type == LabelType::kUpdate && trace_->WantJourney(l.uid)) {
-      trace_->JourneyHop(sim_->Now(), l.uid, obs::HopKind::kStreamArrive, trace_track_);
+      trace_->JourneyHop(sim_->Now(), l.uid, obs::HopKind::kStreamArrive, trace_track_,
+                         static_cast<int32_t>(config_.id));
     }
   }
   if (env.epoch == epoch_ && !failover_pending_) {
@@ -662,7 +663,7 @@ void SaturnDc::OnRemotePayload(const RemotePayload& payload) {
                 payload.label.ts, payload.label.origin_dc());
     if (trace_->WantJourney(payload.label.uid)) {
       trace_->JourneyHop(sim_->Now(), payload.label.uid, obs::HopKind::kBuffered,
-                         trace_track_);
+                         trace_track_, static_cast<int32_t>(config_.id));
     }
   }
   // Drain by timestamp stability *before* pumping the stream: the arriving

@@ -153,7 +153,7 @@ void Serializer::Route(const LabelEnvelope& env, NodeId ingress) {
                 ingress);
     if (env.label.type == LabelType::kUpdate && trace_->WantJourney(env.label.uid)) {
       trace_->JourneyHop(sim_->Now(), env.label.uid, obs::HopKind::kSerializer,
-                         trace_track_);
+                         trace_track_, /*dc=*/-1);
     }
   }
   for (const auto& link : links_) {

@@ -31,6 +31,7 @@
 
 #include "src/common/check.h"
 #include "src/common/types.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
 #include "src/sim/inline_task.h"
 
@@ -74,6 +75,13 @@ class Simulator {
     }
     HeapEntry top = PopTop();
     now_ = top.time;
+    // Windowed telemetry samples *before* the boundary-crossing event runs,
+    // so a window's row is exactly the state the events inside it produced.
+    // The recorder only snapshots the registry — it never schedules events —
+    // so the fingerprint is identical with sampling on or off.
+    if (timeseries_ != nullptr && top.time >= timeseries_->next_sample_at()) {
+      timeseries_->Sample(top.time);
+    }
     // Run the task *in place*: chunk addresses are stable, so even if the
     // task schedules events and grows the slab, the running closure never
     // moves. The slot is retired only after the call returns — a task that
@@ -129,6 +137,13 @@ class Simulator {
   void set_trace(obs::TraceRecorder* trace, uint32_t track) {
     trace_ = trace;
     trace_track_ = track;
+  }
+
+  // Observation only, same contract as set_trace: closes metric windows at
+  // sim-time boundaries from inside Step(), before the boundary-crossing
+  // event executes. Null unless windowed telemetry was requested.
+  void set_timeseries(obs::TimeSeriesRecorder* timeseries) {
+    timeseries_ = timeseries;
   }
 
  private:
@@ -209,6 +224,7 @@ class Simulator {
   static constexpr uint64_t kTraceSampleInterval = 4096;  // power of two
   obs::TraceRecorder* trace_ = nullptr;
   uint32_t trace_track_ = 0;
+  obs::TimeSeriesRecorder* timeseries_ = nullptr;
 };
 
 }  // namespace saturn

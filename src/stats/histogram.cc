@@ -85,6 +85,19 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
   sum_ += other.sum_;
 }
 
+std::vector<std::pair<uint32_t, uint64_t>> LatencyHistogram::DiffBuckets(
+    const LatencyHistogram& prev) const {
+  SAT_CHECK(buckets_.size() == prev.buckets_.size());
+  std::vector<std::pair<uint32_t, uint64_t>> diff;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] != prev.buckets_[i]) {
+      SAT_CHECK(buckets_[i] > prev.buckets_[i]);
+      diff.emplace_back(static_cast<uint32_t>(i), buckets_[i] - prev.buckets_[i]);
+    }
+  }
+  return diff;
+}
+
 void LatencyHistogram::Reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;

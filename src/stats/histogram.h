@@ -44,12 +44,26 @@ class LatencyHistogram {
   // Empty histogram: "n=0 mean=0.0ms p50=0.0ms p90=0.0ms p99=0.0ms".
   std::string Summary() const;
 
+  // Bucket geometry, exposed for windowed-delta consumers (obs/timeseries)
+  // that reconstruct quantiles from sparse (bucket, count) pairs.
+  static size_t BucketFor(int64_t value);
+  static int64_t BucketUpperBound(size_t bucket);
+  static int64_t BucketLowerBound(size_t bucket) {
+    return bucket == 0 ? 0 : BucketUpperBound(bucket - 1) + 1;
+  }
+
+  // Sparse bucket-wise difference against `prev`, an earlier snapshot of this
+  // same histogram (so every bucket of `prev` is <= the matching bucket
+  // here): (bucket, added_count) for each bucket that grew, sorted by bucket.
+  // Together with count()/SumUs() deltas this is a complete per-window view.
+  std::vector<std::pair<uint32_t, uint64_t>> DiffBuckets(
+      const LatencyHistogram& prev) const;
+
+  double SumUs() const { return sum_; }
+
  private:
   static constexpr int64_t kLinearLimit = 1024;  // exact below this
   static constexpr int kSubBuckets = 64;         // per power-of-two above the limit
-
-  static size_t BucketFor(int64_t value);
-  static int64_t BucketUpperBound(size_t bucket);
 
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;

@@ -308,6 +308,7 @@ void SessionMux::CompleteOp(uint64_t slot) {
     // above one outside deliberate overload).
     SimTime issued = s.queued_since;
     s.queued_since = sim_->Now();
+    queue_wait_.Record(sim_->Now() - issued);
     StartOp(slot, issued);
     return;
   }

@@ -39,6 +39,7 @@
 #include "src/sim/event_queue.h"
 #include "src/sim/network.h"
 #include "src/sim/random.h"
+#include "src/stats/histogram.h"
 #include "src/workload/arrival_plan.h"
 #include "src/workload/client.h"
 #include "src/workload/facebook_workload.h"
@@ -100,6 +101,9 @@ class SessionMux : public Actor {
   uint32_t max_queue_depth() const { return max_queue_depth_; }
   // Arrivals queued or in flight right now (0 after a drained stop).
   uint64_t backlog() const { return backlog_; }
+  // Time arrivals spent queued behind a busy session before dispatch, sampled
+  // at the dequeue. Published into the cluster's metrics registry.
+  const LatencyHistogram* queue_wait() const { return &queue_wait_; }
 
  private:
   // Client's phase machine, flattened into one byte per session.
@@ -167,6 +171,7 @@ class SessionMux : public Actor {
   uint64_t migrations_ = 0;
   uint64_t backlog_ = 0;
   uint32_t max_queue_depth_ = 0;
+  LatencyHistogram queue_wait_;
 };
 
 }  // namespace saturn

@@ -1,0 +1,232 @@
+// Visibility attribution: the phase decomposition is exact (phases sum to the
+// commit→visible total with no residual, even when a protocol skips
+// stations), the profiler accumulates per-(src,dst) pairs and snapshots merge
+// deterministically, and attaching the profiler to a cluster never changes
+// the executed-event fingerprint — on full replication, partial replication,
+// or a chaos run with a tree failover.
+#include "src/obs/attribution.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/saturn/topology.h"
+#include "tests/test_util.h"
+
+namespace saturn {
+namespace {
+
+obs::Journey MakeJourney(DcId src_dc = 0) {
+  obs::Journey j;
+  j.uid = 8;
+  j.src = MakeSourceId(src_dc, 1);
+  return j;
+}
+
+void ExpectExactSum(const obs::PhaseBreakdown& bd) {
+  SimTime sum = 0;
+  for (size_t p = 0; p < obs::kNumPhases; ++p) {
+    sum += bd.phase[p];
+  }
+  EXPECT_EQ(sum, bd.total);
+}
+
+TEST(ComputeBreakdown, FullChainSplitsEveryPhase) {
+  obs::Journey j = MakeJourney();
+  j.hops.push_back({0, obs::HopKind::kCommit, 0, 0});
+  j.hops.push_back({5, obs::HopKind::kSink, 0, 0});
+  j.hops.push_back({12, obs::HopKind::kSerializer, 3, -1});
+  j.hops.push_back({30, obs::HopKind::kStreamArrive, 1, 1});
+  j.hops.push_back({32, obs::HopKind::kBuffered, 1, 1});
+  obs::PhaseBreakdown bd = obs::ComputeBreakdown(j, 40, /*visible_track=*/1,
+                                                 /*dest_dc=*/1);
+  EXPECT_EQ(bd.src_dc, 0);
+  EXPECT_EQ(bd.dest_dc, 1);
+  EXPECT_EQ(bd.total, 40);
+  EXPECT_EQ(bd.phase[0], 5);   // commit -> sink
+  EXPECT_EQ(bd.phase[1], 7);   // sink -> serializer
+  EXPECT_EQ(bd.phase[2], 18);  // serializer -> stream arrival
+  EXPECT_EQ(bd.phase[3], 2);   // arrival -> buffered
+  EXPECT_EQ(bd.phase[4], 8);   // buffered -> visible
+  ExpectExactSum(bd);
+}
+
+TEST(ComputeBreakdown, MissingHopsCollapseOntoPredecessor) {
+  // Cure/GentleRain-shaped journey: no sink, serializer or stream hops. The
+  // missing boundaries collapse, their phases are zero, and the sum is still
+  // exact.
+  obs::Journey j = MakeJourney();
+  j.hops.push_back({0, obs::HopKind::kCommit, 0, 0});
+  j.hops.push_back({20, obs::HopKind::kBuffered, 1, 1});
+  obs::PhaseBreakdown bd = obs::ComputeBreakdown(j, 25, 1, 1);
+  EXPECT_EQ(bd.total, 25);
+  EXPECT_EQ(bd.phase[0], 0);
+  EXPECT_EQ(bd.phase[1], 0);
+  EXPECT_EQ(bd.phase[2], 0);
+  EXPECT_EQ(bd.phase[3], 20);  // commit -> buffered, nothing in between
+  EXPECT_EQ(bd.phase[4], 5);   // buffered -> visible
+  ExpectExactSum(bd);
+}
+
+TEST(ComputeBreakdown, CommitOnlyJourneyIsAllStability) {
+  obs::Journey j = MakeJourney();
+  j.hops.push_back({10, obs::HopKind::kCommit, 0, 0});
+  obs::PhaseBreakdown bd = obs::ComputeBreakdown(j, 17, 0, 0);
+  EXPECT_EQ(bd.total, 7);
+  for (size_t p = 0; p + 1 < obs::kNumPhases; ++p) {
+    EXPECT_EQ(bd.phase[p], 0) << "phase " << p;
+  }
+  EXPECT_EQ(bd.phase[4], 7);
+  ExpectExactSum(bd);
+}
+
+TEST(ComputeBreakdown, IgnoresOtherDestinationsAndFutureHops) {
+  obs::Journey j = MakeJourney();
+  j.hops.push_back({0, obs::HopKind::kCommit, 0, 0});
+  j.hops.push_back({4, obs::HopKind::kSink, 0, 0});
+  j.hops.push_back({10, obs::HopKind::kStreamArrive, 2, 2});  // other DC
+  j.hops.push_back({14, obs::HopKind::kStreamArrive, 1, 1});
+  j.hops.push_back({99, obs::HopKind::kBuffered, 1, 1});  // after `now`
+  obs::PhaseBreakdown bd = obs::ComputeBreakdown(j, 20, 1, 1);
+  EXPECT_EQ(bd.total, 20);
+  EXPECT_EQ(bd.phase[0], 4);
+  EXPECT_EQ(bd.phase[1], 0);   // no serializer hop
+  EXPECT_EQ(bd.phase[2], 10);  // sink -> the dest's own arrival at 14
+  EXPECT_EQ(bd.phase[3], 0);   // the ts=99 buffering hasn't happened yet
+  EXPECT_EQ(bd.phase[4], 6);
+  ExpectExactSum(bd);
+}
+
+TEST(ComputeBreakdown, RedeliveryUsesTheLatestArrival) {
+  // Failover can deliver a label twice; the visibility being decomposed came
+  // from the latest delivery at or before `now`.
+  obs::Journey j = MakeJourney();
+  j.hops.push_back({0, obs::HopKind::kCommit, 0, 0});
+  j.hops.push_back({6, obs::HopKind::kStreamArrive, 1, 1});
+  j.hops.push_back({15, obs::HopKind::kStreamArrive, 1, 1});
+  obs::PhaseBreakdown bd = obs::ComputeBreakdown(j, 18, 1, 1);
+  EXPECT_EQ(bd.phase[2], 15);
+  EXPECT_EQ(bd.phase[4], 3);
+  ExpectExactSum(bd);
+}
+
+TEST(AttributionProfiler, AccumulatesAggregateAndPairs) {
+  obs::AttributionProfiler profiler(3);
+  obs::Journey j = MakeJourney(/*src_dc=*/0);
+  j.hops.push_back({0, obs::HopKind::kCommit, 0, 0});
+  j.hops.push_back({5, obs::HopKind::kSink, 0, 0});
+  j.hops.push_back({30, obs::HopKind::kStreamArrive, 1, 1});
+  profiler.Record(obs::ComputeBreakdown(j, 40, 1, 1));
+  profiler.Record(obs::ComputeBreakdown(j, 44, 1, 1));
+  profiler.RecordTreeHop(25);
+
+  EXPECT_EQ(profiler.samples(), 2u);
+  EXPECT_EQ(profiler.total_histogram()->count(), 2u);
+  EXPECT_EQ(profiler.phase_histogram(obs::Phase::kCommitSink)->count(), 2u);
+  EXPECT_EQ(profiler.tree_hop_histogram()->count(), 1u);
+  ASSERT_NE(profiler.pair(0, 1), nullptr);
+  EXPECT_EQ(profiler.pair(0, 1)->total.count(), 2u);
+  EXPECT_EQ(profiler.pair(1, 0), nullptr);  // never seen, never allocated
+  EXPECT_EQ(profiler.pair(9, 0), nullptr);  // out of range
+}
+
+TEST(AttributionProfiler, SnapshotMergeSumsPairwise) {
+  auto record_one = [](obs::AttributionProfiler* profiler, DcId src, DcId dst,
+                       SimTime total) {
+    obs::Journey j = MakeJourney(src);
+    j.hops.push_back({0, obs::HopKind::kCommit, 0,
+                      static_cast<int32_t>(src)});
+    profiler->Record(obs::ComputeBreakdown(j, total, 0,
+                                           static_cast<int32_t>(dst)));
+  };
+  obs::AttributionProfiler a(3);
+  record_one(&a, 0, 1, 10);
+  obs::AttributionProfiler b(3);
+  record_one(&b, 0, 1, 20);
+  record_one(&b, 2, 0, 30);
+
+  obs::AttributionProfiler::Snapshot merged = a.TakeSnapshot();
+  merged.Merge(b.TakeSnapshot());
+  EXPECT_EQ(merged.samples, 3u);
+  EXPECT_EQ(merged.total.count(), 3u);
+  ASSERT_EQ(merged.pairs.size(), 2u);
+  EXPECT_EQ(merged.pairs[0].src, 0u);
+  EXPECT_EQ(merged.pairs[0].dst, 1u);
+  EXPECT_EQ(merged.pairs[0].stats.total.count(), 2u);
+  EXPECT_EQ(merged.pairs[1].src, 2u);
+  EXPECT_EQ(merged.pairs[1].dst, 0u);
+
+  // Merging into an empty snapshot is the identity, and the JSON export is a
+  // pure function of the snapshot.
+  obs::AttributionProfiler::Snapshot empty;
+  empty.Merge(merged);
+  std::string lhs, rhs;
+  empty.AppendJson(&lhs);
+  merged.AppendJson(&rhs);
+  EXPECT_EQ(lhs, rhs);
+}
+
+// --- Cluster-level determinism ---------------------------------------------
+
+enum class Scenario { kFull, kPartial, kChaos };
+
+struct AttributionRun {
+  uint64_t fingerprint = 0;
+  uint64_t completed_ops = 0;
+  uint64_t samples = 0;
+  int64_t registry_samples = 0;
+};
+
+// The trace_test scenarios, with the attribution profiler (and only it — no
+// trace ring export) attached or not.
+AttributionRun RunScenario(Scenario scenario, bool attribution) {
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  config.trace.attribution = attribution;
+  config.trace.journey_sample_every = 4;
+  CorrelationPattern pattern = scenario == Scenario::kPartial
+                                   ? CorrelationPattern::kExponential
+                                   : CorrelationPattern::kFull;
+  Cluster cluster(config, SmallReplicas(config, pattern), UniformClientHomes(3, 4),
+                  SyntheticGenerators(DefaultWorkload()));
+  if (scenario == Scenario::kChaos) {
+    FaultPlan plan;
+    std::string error;
+    EXPECT_TRUE(ParseFaultPlan("500:killtree:0;800:cut:0-1;1100:heal:0-1",
+                               &plan, &error))
+        << error;
+    cluster.InstallFaultPlan(plan);
+    cluster.metadata_service()->DeployTree(
+        1, StarTopology(config.dc_sites, config.dc_sites[1]));
+  }
+  cluster.Run(Millis(300), Millis(1200), Millis(600));
+
+  AttributionRun out;
+  out.fingerprint = cluster.sim().executed_events();
+  out.completed_ops = cluster.metrics().completed_ops();
+  if (attribution) {
+    out.samples = cluster.attribution()->samples();
+    out.registry_samples =
+        cluster.metrics_registry().Snapshot().Scalar("attribution.samples");
+  }
+  return out;
+}
+
+TEST(AttributionDeterminism, ProfilerNeverChangesTheFingerprint) {
+  for (Scenario scenario : {Scenario::kFull, Scenario::kPartial, Scenario::kChaos}) {
+    AttributionRun off = RunScenario(scenario, /*attribution=*/false);
+    AttributionRun on = RunScenario(scenario, /*attribution=*/true);
+    EXPECT_EQ(off.fingerprint, on.fingerprint)
+        << "scenario " << static_cast<int>(scenario);
+    EXPECT_EQ(off.completed_ops, on.completed_ops)
+        << "scenario " << static_cast<int>(scenario);
+    // Every scenario replicates across DCs, so journeys reach visibility and
+    // the profiler actually decomposed something...
+    EXPECT_GT(on.samples, 0u) << "scenario " << static_cast<int>(scenario);
+    // ...and the registry publishes the same count the profiler holds.
+    EXPECT_EQ(on.registry_samples, static_cast<int64_t>(on.samples))
+        << "scenario " << static_cast<int>(scenario);
+  }
+}
+
+}  // namespace
+}  // namespace saturn

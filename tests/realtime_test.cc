@@ -111,6 +111,35 @@ TEST(Realtime, ShardedLanesRunConcurrently) {
   EXPECT_EQ(v.lanes, 13u) << v.context;
 }
 
+TEST(Realtime, UtilizationSeriesSampledOverWallClock) {
+  // Windowed per-worker utilization telemetry. Wall-clock sampling is not
+  // reproducible, so this asserts shape and bounds only: samples exist, the
+  // clock is monotone, every sample covers every worker, and fractions are
+  // nonnegative (they may slightly exceed 1.0 — busy time is accumulated with
+  // relaxed atomics).
+  ClusterConfig config = SmallClusterConfig(Protocol::kSaturn);
+  config.seed = 1234;
+  config.backend = ExecBackend::kRealtime;
+  config.realtime.workers = RealtimeWorkers();
+  config.realtime.utilization_sample_ns = 10ull * 1000 * 1000;  // 10ms
+  Cluster cluster(config, SmallReplicas(config, CorrelationPattern::kFull),
+                  UniformClientHomes(3, 3), SyntheticGenerators(DefaultWorkload()));
+  cluster.StopClientsAt(Millis(4000));
+  cluster.Run(Seconds(1), Seconds(2), /*drain=*/Seconds(2));
+
+  const auto& series = cluster.scheduler()->utilization_series();
+  ASSERT_FALSE(series.empty());
+  uint64_t prev_ns = 0;
+  for (const auto& sample : series) {
+    EXPECT_GT(sample.wall_ns, prev_ns);
+    prev_ns = sample.wall_ns;
+    ASSERT_EQ(sample.busy_fraction.size(), RealtimeWorkers());
+    for (double fraction : sample.busy_fraction) {
+      EXPECT_GE(fraction, 0.0);
+    }
+  }
+}
+
 TEST(Realtime, GentleRainSmoke) {
   // The backend is protocol-agnostic: a non-Saturn datacenter on lanes.
   RealtimeVerdict v = RunRealtime(Protocol::kGentleRain, /*sharded=*/false, 99);

@@ -90,11 +90,12 @@ TEST(TraceRecorder, JourneysStartOnlyAtCommit) {
   obs::TraceRecorder rec(obs::TraceConfig{});
   uint32_t track = rec.RegisterTrack("dc0");
   // A hop for an unknown uid that is not a commit is ignored...
-  rec.JourneyHop(5, 8, obs::HopKind::kSerializer, track);
+  rec.JourneyHop(5, 8, obs::HopKind::kSerializer, track, /*dc=*/-1);
   EXPECT_TRUE(rec.journeys().empty());
   // ...but a commit creates the journey and later hops attach to it.
-  rec.JourneyHop(10, 8, obs::HopKind::kCommit, track, /*label_ts=*/42, /*src=*/1);
-  rec.JourneyHop(20, 8, obs::HopKind::kVisible, track);
+  rec.JourneyHop(10, 8, obs::HopKind::kCommit, track, /*dc=*/0, /*label_ts=*/42,
+                 /*src=*/1);
+  rec.JourneyHop(20, 8, obs::HopKind::kVisible, track, /*dc=*/0);
   ASSERT_EQ(rec.journeys().size(), 1u);
   const obs::Journey& j = rec.journeys()[0];
   EXPECT_EQ(j.uid, 8u);

@@ -51,6 +51,13 @@ on-vs-off fingerprint flag always gates — the trace recorder must only
 observe — while the overhead delta is a timing quantity and obeys
 --no-timing.
 
+When both files carry an "attribution_overhead" section (fig5_full run with
+and without the visibility-attribution profiler at the same scale), the
+profiler's cost is compared the same way as the trace recorder's: the
+candidate's on-vs-off fingerprint flag always gates — attribution must only
+observe — while the overhead delta is a timing quantity and obeys
+--no-timing.
+
 When both files carry a "realtime_scaling" section (the wall-clock backend's
 ops/sec at 1/2/4 workers), the 4-worker speedup is compared too. Realtime
 runs are inherently non-reproducible, so the whole section is a timing
@@ -84,8 +91,10 @@ ALLOC_THRESHOLD_PCT = 10.0
 WIRE_BYTES_THRESHOLD_PCT = 10.0
 
 # Tracing overhead is wall-clock based, so the gate is a generous absolute
-# delta in percentage points over the baseline's overhead.
+# delta in percentage points over the baseline's overhead. The attribution
+# profiler shares the contract and the budget.
 TRACE_OVERHEAD_THRESHOLD_PCT = 10.0
+ATTRIBUTION_OVERHEAD_THRESHOLD_PCT = 10.0
 
 # Peak RSS follows the deterministic allocation sequence; the slack absorbs
 # allocator/kernel page-accounting jitter, not a genuinely bigger live set.
@@ -279,6 +288,39 @@ def compare_trace(base_trace, cand_trace, same_scale, no_timing):
     return regressed
 
 
+def compare_attribution(base_attr, cand_attr, same_scale, no_timing):
+    """Compare attribution_overhead sections; returns True on a regression.
+
+    The candidate's on-vs-off fingerprint flag always gates: a false means
+    attaching the attribution profiler changed simulation behaviour. The
+    overhead delta is a timing quantity: it gates only without --no-timing,
+    and only at the same scale. Baselines recorded before the profiler simply
+    skip the delta check.
+    """
+    regressed = False
+    if cand_attr and not cand_attr.get("fingerprints_identical", True):
+        print("attribution: candidate fingerprints DIFFER between profiled and "
+              "bare runs (the profiler perturbed the simulation?)")
+        regressed = True
+    if not base_attr or not cand_attr:
+        return regressed
+    if not same_scale:
+        print(f"{'attribution':<12} overhead skipped (different scale)")
+        return regressed
+    b_pct = float(base_attr.get("overhead_pct", 0))
+    c_pct = float(cand_attr.get("overhead_pct", 0))
+    flag = ""
+    if c_pct > b_pct + ATTRIBUTION_OVERHEAD_THRESHOLD_PCT:
+        if no_timing:
+            flag = "  (worse, ignored by --no-timing)"
+        else:
+            flag = "  << REGRESSION"
+            regressed = True
+    print(f"{'attribution':<12} overhead {b_pct:+.2f}% -> {c_pct:+.2f}% "
+          f"(profiler on vs off){flag}")
+    return regressed
+
+
 def compare_realtime(base_rt, cand_rt, threshold_pct, no_timing):
     """Compare realtime_scaling sections; returns True on a gating regression.
 
@@ -364,6 +406,8 @@ def main(argv):
         cand_suite = doc.get("suite_wall_clock")
         base_trace = doc.get("baseline", {}).get("trace_overhead")
         cand_trace = doc.get("trace_overhead")
+        base_attr = doc.get("baseline", {}).get("attribution_overhead")
+        cand_attr = doc.get("attribution_overhead")
         base_rt = doc.get("baseline", {}).get("realtime_scaling")
         cand_rt = doc.get("realtime_scaling")
     elif len(args) == 2:
@@ -377,6 +421,8 @@ def main(argv):
         cand_suite = cand_doc.get("suite_wall_clock")
         base_trace = base_doc.get("trace_overhead")
         cand_trace = cand_doc.get("trace_overhead")
+        base_attr = base_doc.get("attribution_overhead")
+        cand_attr = cand_doc.get("attribution_overhead")
         base_rt = base_doc.get("realtime_scaling")
         cand_rt = cand_doc.get("realtime_scaling")
     else:
@@ -388,6 +434,7 @@ def main(argv):
                         ignore_wire_bytes, ignore_rss)
     regressed |= compare_suite(base_suite, cand_suite, threshold, ignore_wallclock)
     regressed |= compare_trace(base_trace, cand_trace, same_scale, no_timing)
+    regressed |= compare_attribution(base_attr, cand_attr, same_scale, no_timing)
     regressed |= compare_realtime(base_rt, cand_rt, threshold, no_timing)
     if regressed:
         print(f"\nFAIL: regression beyond {threshold:.1f}% (allocs: "

@@ -62,13 +62,28 @@ def trace(overhead_pct=5.0, fingerprints=True):
     }
 
 
-def doc(workloads, smoke=False, suite_section=None, trace_section=None):
+def attribution(overhead_pct=3.0, fingerprints=True):
+    return {
+        "workload": "fig5_full",
+        "executed_events": 400000,
+        "events_off_per_sec": 2500000,
+        "events_on_per_sec": 2500000 / (1 + overhead_pct / 100.0),
+        "overhead_pct": overhead_pct,
+        "attribution_samples": 4000,
+        "fingerprints_identical": fingerprints,
+    }
+
+
+def doc(workloads, smoke=False, suite_section=None, trace_section=None,
+        attribution_section=None):
     d = {"harness": "perf_sim", "version": 1, "smoke": smoke,
          "repeat": 1, "workloads": workloads}
     if suite_section is not None:
         d["suite_wall_clock"] = suite_section
     if trace_section is not None:
         d["trace_overhead"] = trace_section
+    if attribution_section is not None:
+        d["attribution_overhead"] = attribution_section
     return d
 
 
@@ -423,6 +438,61 @@ class BenchDiffTest(unittest.TestCase):
         base = self.write(doc([workload("fig5_full")]))
         cand = self.write(doc([workload("fig5_full")],
                               trace_section=trace()))
+        code, _ = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
+
+    def test_attribution_overhead_regression_gates_by_default(self):
+        base = self.write(doc([workload("fig5_full")],
+                              attribution_section=attribution(overhead_pct=3.0)))
+        cand = self.write(doc([workload("fig5_full")],
+                              attribution_section=attribution(overhead_pct=20.0)))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 1)
+        self.assertIn("profiler on vs off", out)
+        self.assertIn("REGRESSION", out)
+
+    def test_attribution_overhead_within_slack_passes(self):
+        base = self.write(doc([workload("fig5_full")],
+                              attribution_section=attribution(overhead_pct=3.0)))
+        cand = self.write(doc([workload("fig5_full")],
+                              attribution_section=attribution(overhead_pct=9.0)))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
+        self.assertIn("profiler on vs off", out)
+
+    def test_attribution_overhead_obeys_no_timing(self):
+        base = self.write(doc([workload("fig5_full")],
+                              attribution_section=attribution(overhead_pct=3.0)))
+        cand = self.write(doc([workload("fig5_full")],
+                              attribution_section=attribution(overhead_pct=20.0)))
+        code, out = self.run_diff(base, cand, "--no-timing")
+        self.assertEqual(code, 0)
+        self.assertIn("ignored by --no-timing", out)
+
+    def test_attribution_fingerprint_failure_always_gates(self):
+        # A candidate whose profiled run diverged from its bare run fails the
+        # diff even with --no-timing and no baseline section.
+        base = self.write(doc([workload("fig5_full")]))
+        cand = self.write(doc([workload("fig5_full")],
+                              attribution_section=attribution(
+                                  fingerprints=False)))
+        code, out = self.run_diff(base, cand, "--no-timing")
+        self.assertEqual(code, 1)
+        self.assertIn("DIFFER", out)
+
+    def test_attribution_overhead_skipped_across_scales(self):
+        base = self.write(doc([workload("fig5_full")], smoke=True,
+                              attribution_section=attribution(overhead_pct=3.0)))
+        cand = self.write(doc([workload("fig5_full")], smoke=False,
+                              attribution_section=attribution(overhead_pct=20.0)))
+        code, out = self.run_diff(base, cand)
+        self.assertEqual(code, 0)
+        self.assertIn("overhead skipped (different scale)", out)
+
+    def test_missing_attribution_sections_are_fine(self):
+        base = self.write(doc([workload("fig5_full")]))
+        cand = self.write(doc([workload("fig5_full")],
+                              attribution_section=attribution()))
         code, _ = self.run_diff(base, cand)
         self.assertEqual(code, 0)
 

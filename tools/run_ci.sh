@@ -30,6 +30,21 @@ build_tree() {
   cmake --build "${dir}" -j "${JOBS}"
 }
 
+telemetry_smoke() {
+  # The telemetry path end-to-end through the CLI: an open-loop flash crowd
+  # with the attribution profiler and windowed time series on, the exported
+  # JSON schema-checked by the report renderer. Runs in every tree so the
+  # sampler and profiler also see the sanitizers.
+  local name="$1" dir="$2"
+  echo "=== [${name}] saturn_sim telemetry smoke ==="
+  "./${dir}/tools/saturn_sim" --protocol=saturn --dcs=3 --open-loop=3000 \
+    --arrival-rate=2000 --arrival-plan="1200:burst:*:4:300" \
+    --zipf-sessions=0.9 --warmup=1 --seconds=1 \
+    --attribution --timeseries-out="${dir}/ci_timeseries.json" \
+    --timeseries-window=100 > /dev/null
+  python3 tools/telemetry_report.py --check "${dir}/ci_timeseries.json"
+}
+
 for tree in ${TREES//,/ }; do
   case "${tree}" in
     native)
@@ -43,16 +58,19 @@ for tree in ${TREES//,/ }; do
       ./build/tools/saturn_sim --protocol=saturn --dcs=3 --open-loop=3000 \
         --arrival-rate=2000 --arrival-plan="1200:burst:*:4:300" \
         --zipf-sessions=0.9 --warmup=1 --seconds=1 > /dev/null
+      telemetry_smoke native build
       ;;
     asan)
       build_tree asan build-asan -DSATURN_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
       echo "=== [asan] ctest (full suite) ==="
       ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+      telemetry_smoke asan build-asan
       ;;
     tsan)
       build_tree tsan build-tsan -DSATURN_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
       echo "=== [tsan] ctest (-L tsan_smoke) ==="
       ctest --test-dir build-tsan --output-on-failure -L tsan_smoke -j "${JOBS}"
+      telemetry_smoke tsan build-tsan
       ;;
     *)
       echo "run_ci.sh: unknown tree '${tree}' (expected native, asan, tsan)" >&2

@@ -155,7 +155,18 @@ void Usage() {
       "                      hop by hop (5); implies tracing; single-run only\n"
       "  --trace-ring=N      trace ring-buffer capacity in events (65536)\n"
       "  --metrics-out=PATH  write every run counter and histogram as JSON;\n"
-      "                      with --seeds the snapshots are merged in seed order\n");
+      "                      with --seeds the snapshots are merged in seed order\n"
+      "  --attribution       decompose sampled visibilities into phases\n"
+      "                      (commit-sink, serializer, tree, buffer, stability)\n"
+      "                      per DC pair and print the report; never perturbs\n"
+      "                      the run (fingerprint-identical on or off); with\n"
+      "                      --seeds the profiles merge in seed order\n"
+      "  --timeseries-out=PATH  sample every registry metric on a fixed sim-time\n"
+      "                      window into JSON (schema saturn-timeseries-v1);\n"
+      "                      with --seeds the series merge in seed order, so the\n"
+      "                      bytes are identical for every --jobs value; with\n"
+      "                      --attribution the file embeds the phase profile\n"
+      "  --timeseries-window=MS  time-series window size                (100)\n");
 }
 
 // Everything needed to assemble one cluster, parsed and validated once; the
@@ -173,6 +184,7 @@ struct SimSetup {
   SimTime stop_clients = 0;  // 0 = never
   bool backup = false;
   bool capture_metrics = false;  // sweep workers snapshot the registry
+  bool capture_timeseries = false;
 };
 
 // Parses flags into a SimSetup. Returns false (with *exit_code set) on bad
@@ -380,23 +392,43 @@ bool BuildSetup(const Flags& flags, SimSetup* setup, int* exit_code) {
   if (flags.Has("trace-ring")) {
     config.trace.ring_capacity = static_cast<size_t>(flags.GetInt("trace-ring", 1 << 16));
   }
+  config.trace.attribution = flags.Has("attribution");
   setup->capture_metrics = flags.Has("metrics-out");
+  if (flags.Has("timeseries-out")) {
+    long window_ms = flags.GetInt("timeseries-window", 100);
+    if (window_ms <= 0) {
+      std::fprintf(stderr, "--timeseries-window must be positive\n");
+      *exit_code = 2;
+      return false;
+    }
+    config.timeseries_window = Millis(window_ms);
+    setup->capture_timeseries = true;
+  } else if (flags.Has("timeseries-window")) {
+    std::fprintf(stderr, "--timeseries-window needs --timeseries-out\n");
+    *exit_code = 2;
+    return false;
+  }
 
   if (flags.Get("backend", "sim") == "realtime") {
     // The wall-clock backend is incompatible with the deterministic-sim-only
     // planes: latency trajectories and tracing refuse a lane router, the
     // backup tree deploys after lane binding closes, and a seed sweep's
     // merged output would not be reproducible anyway.
-    if (flags.GetInt("seeds", 1) > 1 || config.trace.enabled || !setup->drift.Empty() ||
-        setup->backup || flags.Has("dynamic")) {
+    if (flags.GetInt("seeds", 1) > 1 || config.trace.enabled || config.trace.attribution ||
+        setup->capture_timeseries || !setup->drift.Empty() || setup->backup ||
+        flags.Has("dynamic")) {
       std::fprintf(stderr,
                    "--backend=realtime is single-run only and cannot combine with "
-                   "--drift-plan/--join/--leave/--dynamic, --trace-*, or --backup\n");
+                   "--drift-plan/--join/--leave/--dynamic, --trace-*, --attribution, "
+                   "--timeseries-out, or --backup\n");
       *exit_code = 2;
       return false;
     }
     config.backend = ExecBackend::kRealtime;
     config.realtime.workers = static_cast<unsigned>(flags.GetInt("workers", 2));
+    // Wall-clock worker-utilization series (50 ms windows): realtime's
+    // telemetry counterpart to --timeseries-out, printed after the run.
+    config.realtime.utilization_sample_ns = 50ull * 1000 * 1000;
   } else if (flags.Get("backend", "sim") != "sim") {
     std::fprintf(stderr, "--backend must be sim or realtime\n");
     *exit_code = 2;
@@ -438,6 +470,25 @@ std::unique_ptr<Cluster> BuildCluster(const SimSetup& setup) {
     cluster->StopClientsAt(setup.stop_clients);
   }
   return cluster;
+}
+
+// Writes the time-series JSON, splicing the attribution profile (when one was
+// collected) in as a top-level "attribution" object. Both inputs are plain
+// data merged in seed order, so the file bytes are jobs-independent.
+void WriteTimeSeries(const std::string& path, const obs::TimeSeries& series,
+                     const obs::AttributionProfiler::Snapshot* attribution) {
+  std::string json = series.ToJson();
+  if (attribution != nullptr) {
+    size_t pos = json.rfind('}');
+    std::string attr = ",\n  \"attribution\": ";
+    attribution->AppendJson(&attr);
+    attr += "\n";
+    json.insert(pos, attr);
+  }
+  std::ofstream out(path);
+  out << json;
+  std::printf("\nwrote time series to %s (%zu windows)\n", path.c_str(),
+              series.windows.size());
 }
 
 int Run(const Flags& flags, const SimSetup& setup) {
@@ -495,28 +546,52 @@ int Run(const Flags& flags, const SimSetup& setup) {
   }
 
   if (!cluster.session_muxes().empty()) {
-    uint64_t arrivals = 0, completed = 0, queued = 0, shed = 0, migrations = 0,
-             backlog = 0;
-    uint32_t depth = 0;
-    for (const auto& mux : cluster.session_muxes()) {
-      arrivals += mux->arrivals();
-      completed += mux->ops_completed();
-      queued += mux->queued_total();
-      shed += mux->shed();
-      migrations += mux->migrations();
-      backlog += mux->backlog();
-      depth = std::max(depth, mux->max_queue_depth());
-    }
+    // Every figure here is read back out of the unified metrics registry —
+    // the same names --metrics-out and --timeseries-out export, so scripted
+    // consumers need not scrape this stdout block.
+    const obs::MetricsSnapshot snap = cluster.metrics_registry().Snapshot();
     std::printf("\nopen-loop load:\n");
-    std::printf("  arrivals %llu, completed %llu, queued %llu, shed %llu, "
-                "migrations %llu\n",
-                static_cast<unsigned long long>(arrivals),
-                static_cast<unsigned long long>(completed),
-                static_cast<unsigned long long>(queued),
-                static_cast<unsigned long long>(shed),
-                static_cast<unsigned long long>(migrations));
-    std::printf("  residual backlog %llu, max queue depth %u\n",
-                static_cast<unsigned long long>(backlog), depth);
+    std::printf("  arrivals %lld, completed %lld, queued %lld, shed %lld, "
+                "migrations %lld\n",
+                static_cast<long long>(snap.Scalar("workload.arrivals")),
+                static_cast<long long>(snap.Scalar("workload.ops_completed")),
+                static_cast<long long>(snap.Scalar("workload.queued")),
+                static_cast<long long>(snap.Scalar("workload.shed")),
+                static_cast<long long>(snap.Scalar("workload.migrations")));
+    std::printf("  residual backlog %lld, max queue depth %lld\n",
+                static_cast<long long>(snap.Scalar("workload.backlog")),
+                static_cast<long long>(snap.Scalar("workload.max_queue_depth")));
+    LatencyHistogram queue_wait;
+    for (DcId dc = 0; dc < dcs; ++dc) {
+      const LatencyHistogram* h =
+          snap.Histogram("workload.dc" + std::to_string(dc) + ".queue_wait");
+      if (h != nullptr) {
+        queue_wait.Merge(*h);
+      }
+    }
+    if (queue_wait.count() > 0) {
+      std::printf("  queue wait mean %.2f ms, p99 %.2f ms over %llu dequeues\n",
+                  queue_wait.MeanMs(), queue_wait.PercentileMs(0.99),
+                  static_cast<unsigned long long>(queue_wait.count()));
+    }
+  }
+
+  if (cluster.scheduler() != nullptr &&
+      !cluster.scheduler()->utilization_series().empty()) {
+    const auto& series = cluster.scheduler()->utilization_series();
+    size_t workers = series.front().busy_fraction.size();
+    std::printf("\nrealtime worker utilization (%zu samples, 50 ms windows):\n",
+                series.size());
+    for (size_t w = 0; w < workers; ++w) {
+      double mean = 0, peak = 0;
+      for (const auto& s : series) {
+        mean += s.busy_fraction[w];
+        peak = std::max(peak, s.busy_fraction[w]);
+      }
+      mean /= static_cast<double>(series.size());
+      std::printf("  worker %zu: mean %.0f%%, peak %.0f%%\n", w, mean * 100.0,
+                  peak * 100.0);
+    }
   }
 
   if (cluster.fault_injector() != nullptr) {
@@ -649,6 +724,17 @@ int Run(const Flags& flags, const SimSetup& setup) {
     out << cluster.metrics_registry().Snapshot().ToJson();
     std::printf("\nwrote metrics to %s\n", flags.Get("metrics-out", "").c_str());
   }
+  if (cluster.attribution() != nullptr) {
+    std::printf("\n%s", cluster.attribution()->TakeSnapshot().Report().c_str());
+  }
+  if (setup.capture_timeseries) {
+    obs::AttributionProfiler::Snapshot attr;
+    if (cluster.attribution() != nullptr) {
+      attr = cluster.attribution()->TakeSnapshot();
+    }
+    WriteTimeSeries(flags.Get("timeseries-out", ""), cluster.timeseries()->series(),
+                    cluster.attribution() != nullptr ? &attr : nullptr);
+  }
 
   if (cluster.oracle() != nullptr) {
     if (cluster.fault_injector() != nullptr) {
@@ -683,6 +769,8 @@ struct SeedRun {
   LatencyHistogram all_visibility;
   std::vector<LatencyHistogram> pair_visibility;  // dcs*dcs, row-major
   obs::MetricsSnapshot metrics;  // empty unless --metrics-out
+  obs::TimeSeries timeseries;    // empty unless --timeseries-out
+  obs::AttributionProfiler::Snapshot attribution;  // empty unless --attribution
   bool oracle_clean = true;
   std::string first_violation;
 };
@@ -697,6 +785,12 @@ SeedRun RunOneSeed(const SimSetup& base, uint64_t seed) {
   if (setup.capture_metrics) {
     // Snapshot before the destructive Take* accessors empty the histograms.
     run.metrics = cluster->metrics_registry().Snapshot();
+  }
+  if (setup.capture_timeseries) {
+    run.timeseries = cluster->timeseries()->TakeSeries();
+  }
+  if (cluster->attribution() != nullptr) {
+    run.attribution = cluster->attribution()->TakeSnapshot();
   }
   run.all_visibility = cluster->metrics().TakeAllVisibility();
   run.pair_visibility.reserve(static_cast<size_t>(setup.dcs) * setup.dcs);
@@ -790,6 +884,24 @@ int RunSeedSweep(const Flags& flags, const SimSetup& setup, uint64_t num_seeds) 
     std::ofstream out(flags.Get("metrics-out", ""));
     out << merged_metrics.ToJson();
     std::printf("\nwrote merged metrics to %s\n", flags.Get("metrics-out", "").c_str());
+  }
+
+  const bool attribution = setup.config.trace.attribution;
+  obs::AttributionProfiler::Snapshot merged_attr;
+  if (attribution) {
+    // Seed-order merge, like every sweep output above.
+    for (const SeedRun& run : runs) {
+      merged_attr.Merge(run.attribution);
+    }
+    std::printf("\n%s", merged_attr.Report().c_str());
+  }
+  if (setup.capture_timeseries) {
+    obs::TimeSeries merged_series;
+    for (const SeedRun& run : runs) {
+      merged_series.Merge(run.timeseries);
+    }
+    WriteTimeSeries(flags.Get("timeseries-out", ""), merged_series,
+                    attribution ? &merged_attr : nullptr);
   }
   return violations == 0 ? 0 : 1;
 }

@@ -1,0 +1,370 @@
+#!/usr/bin/env python3
+"""Render saturn time-series telemetry JSON as a self-contained HTML report.
+
+Input is the file written by `saturn_sim --timeseries-out` (schema
+"saturn-timeseries-v1"): windowed counter deltas, gauge levels and histogram
+quantiles, plus the embedded visibility-attribution block when the run used
+--attribution. Output is one HTML file with inline SVG charts — no external
+scripts, stylesheets or fonts, so the report can be attached to a bug or
+opened from a CI artifact store without a network.
+
+The report shows:
+  * one sparkline per scalar metric (counter deltas per window, gauge levels);
+  * p50/p99-over-time charts for every histogram metric;
+  * the attribution phase breakdown: a stacked share bar of mean visibility
+    time per phase, the phase summary table, and per-(src,dst) DC pair rows.
+
+Usage:
+    telemetry_report.py [--out=REPORT.html] [--check] TIMESERIES.json
+
+--check validates the schema and exits without writing a report (CI smoke).
+Default output path is the input with its extension replaced by ".html".
+
+Exits 0 on success, 1 on schema errors. Library use: validate(doc) returns a
+list of error strings; render(doc, title) returns the HTML string.
+"""
+
+import html
+import json
+import os
+import sys
+
+SCHEMA = "saturn-timeseries-v1"
+HIST_KEYS = ("count", "mean_ms", "p50_ms", "p90_ms", "p99_ms", "min_ms",
+             "max_ms")
+PHASE_ORDER = ("commit_sink", "serializer", "tree", "buffer", "stability")
+# Fill colors for the stacked phase bar, one per PHASE_ORDER entry.
+PHASE_COLORS = ("#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1")
+
+
+def _is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def _is_int(v):
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def _check_hist(errors, where, summary):
+    if not isinstance(summary, dict):
+        errors.append(f"{where}: histogram summary must be an object")
+        return
+    for key in HIST_KEYS:
+        if not _is_num(summary.get(key)):
+            errors.append(f"{where}: missing numeric {key!r}")
+
+
+def validate(doc):
+    """Validate a parsed time-series document. Returns error strings."""
+    errors = []
+    if not isinstance(doc, dict):
+        return ["document: top level must be an object"]
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"document: schema is {doc.get('schema')!r}, "
+                      f"expected {SCHEMA!r}")
+    if not _is_int(doc.get("window_us")) or doc["window_us"] <= 0:
+        errors.append("document: window_us must be a positive integer")
+    windows = doc.get("windows")
+    if not isinstance(windows, list):
+        return errors + ["document: missing windows array"]
+
+    scalar_names = None
+    hist_names = None
+    prev_end = None
+    for i, win in enumerate(windows):
+        where = f"window {i}"
+        if not isinstance(win, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        start, end = win.get("start_us"), win.get("end_us")
+        if not _is_int(start) or not _is_int(end) or start >= end:
+            errors.append(f"{where}: needs integer start_us < end_us")
+        elif prev_end is not None and start != prev_end:
+            errors.append(f"{where}: starts at {start}, previous window "
+                          f"ended at {prev_end}")
+        else:
+            prev_end = end
+        scalars = win.get("scalars")
+        if not isinstance(scalars, dict):
+            errors.append(f"{where}: missing scalars object")
+        else:
+            for name, value in scalars.items():
+                if not _is_num(value):
+                    errors.append(f"{where}: scalar {name!r} not numeric")
+            if scalar_names is None:
+                scalar_names = set(scalars)
+            elif set(scalars) != scalar_names:
+                errors.append(f"{where}: scalar names differ from window 0")
+        hists = win.get("histograms")
+        if not isinstance(hists, dict):
+            errors.append(f"{where}: missing histograms object")
+        else:
+            for name, summary in hists.items():
+                _check_hist(errors, f"{where} histogram {name!r}", summary)
+            if hist_names is None:
+                hist_names = set(hists)
+            elif set(hists) != hist_names:
+                errors.append(f"{where}: histogram names differ from window 0")
+
+    attribution = doc.get("attribution")
+    if attribution is not None:
+        errors.extend(_validate_attribution(attribution))
+    return errors
+
+
+def _validate_attribution(attr):
+    errors = []
+    if not isinstance(attr, dict):
+        return ["attribution: must be an object"]
+    if not _is_int(attr.get("samples")) or attr["samples"] < 0:
+        errors.append("attribution: samples must be a nonnegative integer")
+    phases = attr.get("phases")
+    if not isinstance(phases, dict):
+        errors.append("attribution: missing phases object")
+    else:
+        for name in PHASE_ORDER + ("total", "tree_hop"):
+            if name not in phases:
+                errors.append(f"attribution: missing phase {name!r}")
+            else:
+                _check_hist(errors, f"attribution phase {name!r}",
+                            phases[name])
+    pairs = attr.get("pairs")
+    if not isinstance(pairs, list):
+        errors.append("attribution: missing pairs array")
+        return errors
+    for i, pair in enumerate(pairs):
+        where = f"attribution pair {i}"
+        if not isinstance(pair, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not _is_int(pair.get("src")) or not _is_int(pair.get("dst")):
+            errors.append(f"{where}: needs integer src and dst")
+        _check_hist(errors, f"{where} total", pair.get("total"))
+        pair_phases = pair.get("phases")
+        if not isinstance(pair_phases, dict):
+            errors.append(f"{where}: missing phases object")
+            continue
+        for name in PHASE_ORDER:
+            _check_hist(errors, f"{where} phase {name!r}",
+                        pair_phases.get(name))
+    return errors
+
+
+# ---------------------------------------------------------------- rendering
+
+_CSS = """
+body { font: 13px/1.5 system-ui, sans-serif; margin: 2em auto; max-width: 72em;
+       color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.15em; margin-top: 2em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+th, td { border: 1px solid #ccc; padding: 0.25em 0.6em; text-align: right; }
+th { background: #f2f2f2; } td.name { text-align: left; font-family: monospace; }
+.chart { display: inline-block; margin: 0.4em 1em 0.4em 0; vertical-align: top; }
+.chart figcaption { font-family: monospace; font-size: 11px; color: #444; }
+.meta { color: #666; }
+svg { background: #fafafa; border: 1px solid #ddd; }
+.legend span { display: inline-block; margin-right: 1.2em; }
+.swatch { display: inline-block; width: 0.8em; height: 0.8em; margin-right: 0.3em;
+          vertical-align: -0.1em; }
+"""
+
+
+def _fmt(v):
+    if isinstance(v, float):
+        return f"{v:g}"
+    return str(v)
+
+
+def _polyline(values, width, height, lo=None, hi=None):
+    """SVG points string for `values` scaled into a width x height box."""
+    if lo is None:
+        lo = min(values)
+    if hi is None:
+        hi = max(values)
+    span = hi - lo
+    points = []
+    for i, v in enumerate(values):
+        x = 2 + (width - 4) * (i / max(1, len(values) - 1))
+        y = height - 2 - (height - 4) * ((v - lo) / span if span > 0 else 0.5)
+        points.append(f"{x:.1f},{y:.1f}")
+    return " ".join(points)
+
+
+def _sparkline(name, values, width=220, height=48, series=None):
+    """One labelled chart. `values` is a list, or pass `series` as a list of
+    (label, color, values) to overlay several lines on a shared scale."""
+    if series is None:
+        series = [("", "#4e79a7", values)]
+    all_values = [v for _, _, vs in series for v in vs]
+    lo, hi = min(all_values), max(all_values)
+    lines = []
+    for label, color, vs in series:
+        if len(vs) == 1:
+            vs = vs * 2  # a single window still draws a (flat) segment
+        lines.append(f'<polyline fill="none" stroke="{color}" '
+                     f'stroke-width="1.5" '
+                     f'points="{_polyline(vs, width, height, lo, hi)}"/>')
+    caption = html.escape(name)
+    if series[0][0]:
+        caption += " (" + ", ".join(
+            f'<span style="color:{c}">{html.escape(l)}</span>'
+            for l, c, _ in series) + ")"
+    return (f'<figure class="chart"><svg width="{width}" height="{height}" '
+            f'viewBox="0 0 {width} {height}">{"".join(lines)}</svg>'
+            f'<figcaption>{caption}<br>min {_fmt(lo)} &middot; '
+            f'max {_fmt(hi)}</figcaption></figure>')
+
+
+def _hist_row(name, summary, header=False):
+    if header:
+        cells = "".join(f"<th>{k}</th>" for k in HIST_KEYS)
+        return f'<tr><th>{html.escape(name)}</th>{cells}</tr>'
+    cells = "".join(f"<td>{_fmt(summary[k])}</td>" for k in HIST_KEYS)
+    return f'<tr><td class="name">{html.escape(name)}</td>{cells}</tr>'
+
+
+def _stacked_bar(parts, width=480, height=22):
+    """Horizontal stacked bar; parts is a list of (label, color, value)."""
+    total = sum(v for _, _, v in parts)
+    if total <= 0:
+        return '<span class="meta">(no samples)</span>'
+    rects, x = [], 0.0
+    for label, color, value in parts:
+        w = width * value / total
+        rects.append(f'<rect x="{x:.1f}" y="0" width="{w:.1f}" '
+                     f'height="{height}" fill="{color}">'
+                     f'<title>{html.escape(label)}: {value:.3f} ms '
+                     f'({100 * value / total:.1f}%)</title></rect>')
+        x += w
+    return (f'<svg width="{width}" height="{height}" '
+            f'viewBox="0 0 {width} {height}">{"".join(rects)}</svg>')
+
+
+def _render_timeseries(doc, out):
+    windows = doc["windows"]
+    out.append(f'<p class="meta">{len(windows)} windows of '
+               f'{doc["window_us"] / 1000:g} ms')
+    if windows:
+        span = windows[-1]["end_us"] - windows[0]["start_us"]
+        out.append(f' covering {span / 1000:g} ms of simulated time')
+    out.append('.</p>')
+    if not windows:
+        return
+
+    out.append('<h2>Scalars (counter deltas and gauge levels per window)</h2>')
+    for name in sorted(windows[0]["scalars"]):
+        values = [w["scalars"][name] for w in windows]
+        out.append(_sparkline(name, values))
+
+    out.append('<h2>Histograms (per-window quantiles, ms)</h2>')
+    for name in sorted(windows[0]["histograms"]):
+        hists = [w["histograms"][name] for w in windows]
+        if not any(h["count"] for h in hists):
+            continue
+        out.append(_sparkline(
+            name, None,
+            series=[("p50", "#4e79a7", [h["p50_ms"] for h in hists]),
+                    ("p99", "#e15759", [h["p99_ms"] for h in hists])]))
+
+
+def _render_attribution(attr, out):
+    out.append('<h2>Visibility attribution</h2>')
+    out.append(f'<p class="meta">{attr["samples"]} sampled label journeys '
+               'decomposed into phases (commit&rarr;sink, serializer '
+               'queue+batch, tree propagation, dest buffering, stability '
+               'wait). Phase durations sum exactly to the visibility '
+               'latency.</p>')
+    phases = attr["phases"]
+    parts = [(name, PHASE_COLORS[i], phases[name]["mean_ms"])
+             for i, name in enumerate(PHASE_ORDER)]
+    out.append('<p>Mean share: ' + _stacked_bar(parts) + '</p>')
+    out.append('<p class="legend">' + "".join(
+        f'<span><span class="swatch" style="background:{c}"></span>'
+        f'{html.escape(n)}</span>' for n, c, _ in parts) + '</p>')
+
+    out.append('<table>')
+    out.append(_hist_row("phase", None, header=True))
+    for name in PHASE_ORDER + ("total", "tree_hop"):
+        out.append(_hist_row(name, phases[name]))
+    out.append('</table>')
+
+    pairs = attr.get("pairs", [])
+    if pairs:
+        out.append('<h2>Per DC pair (src &rarr; dst)</h2><table>')
+        out.append('<tr><th>pair</th><th>count</th><th>total mean</th>'
+                   '<th>total p99</th><th>mean share by phase</th></tr>')
+        for pair in pairs:
+            parts = [(name, PHASE_COLORS[i],
+                      pair["phases"][name]["mean_ms"])
+                     for i, name in enumerate(PHASE_ORDER)]
+            out.append(
+                f'<tr><td class="name">{pair["src"]} &rarr; {pair["dst"]}'
+                f'</td><td>{pair["total"]["count"]}</td>'
+                f'<td>{_fmt(pair["total"]["mean_ms"])}</td>'
+                f'<td>{_fmt(pair["total"]["p99_ms"])}</td>'
+                f'<td style="text-align:left">'
+                f'{_stacked_bar(parts, width=320, height=14)}</td></tr>')
+        out.append('</table>')
+
+
+def render(doc, title="saturn telemetry"):
+    """Render a validated document to a self-contained HTML string."""
+    out = [f'<!DOCTYPE html><html><head><meta charset="utf-8">'
+           f'<title>{html.escape(title)}</title>'
+           f'<style>{_CSS}</style></head><body>'
+           f'<h1>{html.escape(title)}</h1>']
+    _render_timeseries(doc, out)
+    if doc.get("attribution") is not None:
+        _render_attribution(doc["attribution"], out)
+    out.append('</body></html>\n')
+    return "".join(out)
+
+
+def main(argv):
+    out_path = None
+    check_only = False
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--out="):
+            out_path = arg[len("--out="):]
+        elif arg == "--check":
+            check_only = True
+        elif arg.startswith("--"):
+            print(f"unknown flag: {arg}")
+            return 2
+        else:
+            paths.append(arg)
+    if len(paths) != 1:
+        print("usage: telemetry_report.py [--out=REPORT.html] [--check] "
+              "TIMESERIES.json")
+        return 2
+    path = paths[0]
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path}: cannot load: {e}")
+        return 1
+    errors = validate(doc)
+    if errors:
+        for e in errors:
+            print(f"{path}: {e}")
+        return 1
+    n = len(doc["windows"])
+    attr = doc.get("attribution")
+    summary = f"{n} windows" + (
+        f", attribution over {attr['samples']} samples" if attr else "")
+    if check_only:
+        print(f"{path}: OK ({summary})")
+        return 0
+    if out_path is None:
+        out_path = os.path.splitext(path)[0] + ".html"
+    html_text = render(doc, title=os.path.basename(path))
+    with open(out_path, "w") as f:
+        f.write(html_text)
+    print(f"{path}: OK ({summary}) -> {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

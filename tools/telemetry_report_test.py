@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Unit tests for telemetry_report.py."""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import telemetry_report  # noqa: E402
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "telemetry_report.py")
+
+
+def hist(count=10, mean=1.0):
+    return {"count": count, "mean_ms": mean, "p50_ms": mean,
+            "p90_ms": 2 * mean, "p99_ms": 3 * mean, "min_ms": 0.0,
+            "max_ms": 4 * mean}
+
+
+def window(start, end, scalars=None, hists=None):
+    return {"start_us": start, "end_us": end,
+            "scalars": {"ops": 100.0} if scalars is None else scalars,
+            "histograms": {"lat": hist()} if hists is None else hists}
+
+
+def doc(windows=None, attribution=None):
+    d = {"schema": telemetry_report.SCHEMA, "window_us": 1000,
+         "windows": [window(0, 1000), window(1000, 2000)]
+         if windows is None else windows}
+    if attribution is not None:
+        d["attribution"] = attribution
+    return d
+
+
+def attribution(samples=5, pairs=None):
+    phases = {name: hist() for name in
+              telemetry_report.PHASE_ORDER + ("total", "tree_hop")}
+    return {"samples": samples, "phases": phases,
+            "pairs": [] if pairs is None else pairs}
+
+
+def pair(src=0, dst=1):
+    return {"src": src, "dst": dst, "total": hist(),
+            "phases": {name: hist() for name in telemetry_report.PHASE_ORDER}}
+
+
+class ValidateTest(unittest.TestCase):
+    def test_minimal_valid_document(self):
+        self.assertEqual(telemetry_report.validate(doc(windows=[])), [])
+
+    def test_full_valid_document(self):
+        d = doc(attribution=attribution(pairs=[pair(), pair(1, 0)]))
+        self.assertEqual(telemetry_report.validate(d), [])
+
+    def test_rejects_non_object_document(self):
+        self.assertTrue(telemetry_report.validate([]))
+
+    def test_rejects_wrong_schema(self):
+        d = doc()
+        d["schema"] = "saturn-timeseries-v0"
+        errors = telemetry_report.validate(d)
+        self.assertTrue(any("schema" in e for e in errors))
+
+    def test_rejects_missing_window_us(self):
+        d = doc()
+        del d["window_us"]
+        errors = telemetry_report.validate(d)
+        self.assertTrue(any("window_us" in e for e in errors))
+
+    def test_rejects_missing_windows(self):
+        errors = telemetry_report.validate(
+            {"schema": telemetry_report.SCHEMA, "window_us": 1000})
+        self.assertTrue(any("windows" in e for e in errors))
+
+    def test_rejects_window_gap(self):
+        d = doc(windows=[window(0, 1000), window(1500, 2500)])
+        errors = telemetry_report.validate(d)
+        self.assertTrue(any("previous window ended" in e for e in errors))
+
+    def test_rejects_inverted_window(self):
+        errors = telemetry_report.validate(doc(windows=[window(1000, 1000)]))
+        self.assertTrue(any("start_us < end_us" in e for e in errors))
+
+    def test_rejects_non_numeric_scalar(self):
+        d = doc(windows=[window(0, 1000, scalars={"ops": "many"})])
+        errors = telemetry_report.validate(d)
+        self.assertTrue(any("not numeric" in e for e in errors))
+
+    def test_rejects_scalar_name_drift(self):
+        d = doc(windows=[window(0, 1000, scalars={"a": 1}),
+                         window(1000, 2000, scalars={"b": 1})])
+        errors = telemetry_report.validate(d)
+        self.assertTrue(any("scalar names differ" in e for e in errors))
+
+    def test_rejects_incomplete_histogram(self):
+        bad = hist()
+        del bad["p99_ms"]
+        d = doc(windows=[window(0, 1000, hists={"lat": bad})])
+        errors = telemetry_report.validate(d)
+        self.assertTrue(any("p99_ms" in e for e in errors))
+
+    def test_rejects_attribution_missing_phase(self):
+        attr = attribution()
+        del attr["phases"]["serializer"]
+        errors = telemetry_report.validate(doc(attribution=attr))
+        self.assertTrue(any("missing phase 'serializer'" in e for e in errors))
+
+    def test_rejects_attribution_bad_pair(self):
+        attr = attribution(pairs=[{"src": 0}])
+        errors = telemetry_report.validate(doc(attribution=attr))
+        self.assertTrue(any("integer src and dst" in e for e in errors))
+
+    def test_rejects_negative_samples(self):
+        attr = attribution(samples=-1)
+        errors = telemetry_report.validate(doc(attribution=attr))
+        self.assertTrue(any("samples" in e for e in errors))
+
+
+class RenderTest(unittest.TestCase):
+    def test_renders_all_sections(self):
+        d = doc(attribution=attribution(pairs=[pair()]))
+        out = telemetry_report.render(d)
+        self.assertIn("<svg", out)
+        self.assertIn("ops", out)
+        self.assertIn("Visibility attribution", out)
+        self.assertIn("serializer", out)
+        self.assertIn("0 &rarr; 1", out)
+
+    def test_renders_without_attribution(self):
+        out = telemetry_report.render(doc())
+        self.assertNotIn("Visibility attribution", out)
+        self.assertIn("<svg", out)
+
+    def test_renders_empty_windows(self):
+        out = telemetry_report.render(doc(windows=[]))
+        self.assertIn("0 windows", out)
+
+    def test_single_window_chart(self):
+        out = telemetry_report.render(doc(windows=[window(0, 1000)]))
+        self.assertIn("polyline", out)
+
+    def test_escapes_metric_names(self):
+        d = doc(windows=[window(0, 1000, scalars={"a<b": 1.0})])
+        out = telemetry_report.render(d)
+        self.assertIn("a&lt;b", out)
+        self.assertNotIn("a<b", out)
+
+    def test_zero_count_histogram_skipped(self):
+        d = doc(windows=[window(0, 1000, hists={"idle": hist(count=0)})])
+        out = telemetry_report.render(d)
+        self.assertNotIn("idle", out)
+
+
+class MainTest(unittest.TestCase):
+    def run_main(self, d, *flags):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "ts.json")
+            with open(path, "w") as f:
+                json.dump(d, f)
+            proc = subprocess.run(
+                [sys.executable, SCRIPT] + list(flags) + [path],
+                capture_output=True, text=True)
+            html_path = os.path.splitext(path)[0] + ".html"
+            html_out = None
+            if os.path.exists(html_path):
+                with open(html_path) as f:
+                    html_out = f.read()
+        return proc.returncode, proc.stdout, html_out
+
+    def test_check_mode_writes_nothing(self):
+        code, out, html_out = self.run_main(doc(), "--check")
+        self.assertEqual(code, 0)
+        self.assertIn("OK", out)
+        self.assertIsNone(html_out)
+
+    def test_writes_report_next_to_input(self):
+        code, out, html_out = self.run_main(doc())
+        self.assertEqual(code, 0)
+        self.assertIn(".html", out)
+        self.assertIn("<svg", html_out)
+
+    def test_invalid_document_exits_one(self):
+        code, out, _ = self.run_main({"schema": "bogus"})
+        self.assertEqual(code, 1)
+        self.assertIn("schema", out)
+
+    def test_unparseable_file_exits_one(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                         delete=False) as f:
+            f.write("{not json")
+            path = f.name
+        try:
+            proc = subprocess.run([sys.executable, SCRIPT, path],
+                                  capture_output=True, text=True)
+            self.assertEqual(proc.returncode, 1)
+            self.assertIn("cannot load", proc.stdout)
+        finally:
+            os.unlink(path)
+
+    def test_no_arguments_exits_two(self):
+        proc = subprocess.run([sys.executable, SCRIPT],
+                              capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

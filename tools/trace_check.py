@@ -14,10 +14,15 @@ Checks the structural invariants the trace recorder promises:
     ("s") first and one finish ("f", with bp "e") last, steps ("t") in
     between, timestamps non-decreasing — a sampled label either stitches its
     whole path or emits no flow at all;
-  * complete-slice events ("X") have a non-negative duration.
+  * complete-slice events ("X") have a non-negative duration;
+  * attribution phase instants (names "phase-*", emitted by --attribution)
+    carry a journey uid and land inside that journey's flow: at or after the
+    flow's start and at or before its finish — a backdated phase boundary
+    outside its own journey means the decomposition was mis-attributed.
 
 Usage:
-    trace_check.py [--require-span=NAME ...] TRACE.json [TRACE2.json ...]
+    trace_check.py [--require-span=NAME ...] [--require-counter=NAME ...]
+                   TRACE.json [TRACE2.json ...]
 
 --require-span=NAME additionally demands that every file contain at least one
 *matched* async span named NAME (begin and end both present). Migration
@@ -26,9 +31,12 @@ exports use it to prove an epoch switch ran to completion: e.g.
 a switch that never finished, and the structural flow check above already
 fails if a label journey was torn by the migration.
 
+--require-counter=NAME demands at least one counter ("C") event named NAME,
+proving a counter track was actually recorded (e.g. queue-depth telemetry).
+
 Exits 0 when every file passes, 1 otherwise (one "file: error" line per
-problem). Library use: validate(doc, require_spans=[...]) returns the list of
-error strings.
+problem). Library use: validate(doc, require_spans=[...],
+require_counters=[...]) returns the list of error strings.
 """
 
 import json
@@ -43,7 +51,7 @@ def _is_int(v):
     return isinstance(v, int) and not isinstance(v, bool)
 
 
-def validate(doc, require_spans=()):
+def validate(doc, require_spans=(), require_counters=()):
     """Validate a parsed trace document. Returns a list of error strings."""
     errors = []
 
@@ -62,6 +70,9 @@ def validate(doc, require_spans=()):
     span_state = {}
     # flow id -> list of (phase, ts)
     flows = {}
+    counters_seen = set()
+    # journey uid -> list of (instant name, ts, event index)
+    phase_instants = {}
 
     for i, ev in enumerate(events):
         if len(errors) >= MAX_ERRORS_PER_FILE:
@@ -101,6 +112,12 @@ def validate(doc, require_spans=()):
         if ph == "i":
             if ev.get("s") not in ("t", "p", "g"):
                 err(i, f"instant {ev['name']!r} missing scope s")
+            if ev["name"].startswith("phase-"):
+                uid = ev.get("args", {}).get("uid")
+                if not _is_int(uid):
+                    err(i, f"phase instant {ev['name']!r} missing args.uid")
+                else:
+                    phase_instants.setdefault(uid, []).append((ev["name"], ts, i))
         elif ph == "X":
             dur = ev.get("dur")
             if not _is_int(dur) or dur < 0:
@@ -109,6 +126,8 @@ def validate(doc, require_spans=()):
             value = ev.get("args", {}).get("value")
             if not isinstance(value, (int, float)) or isinstance(value, bool):
                 err(i, f"counter {ev['name']!r} missing numeric args.value")
+            else:
+                counters_seen.add(ev["name"])
         elif ph in ("b", "e"):
             if "id" not in ev:
                 err(i, f"async {ph!r} {ev['name']!r} missing id")
@@ -146,6 +165,27 @@ def validate(doc, require_spans=()):
         if all(span_state[key][0] != 0 for key in begun):
             errors.append(f"required span {name!r}: began but never completed")
 
+    for name in require_counters:
+        if name not in counters_seen:
+            errors.append(f"required counter {name!r}: never recorded")
+
+    # Attribution phase instants must sit inside their journey's flow: the
+    # earliest boundary is the commit hop (flow start) and the last is a
+    # visible hop, never after the flow finish.
+    for uid in sorted(phase_instants, key=str):
+        if uid not in flows:
+            errors.append(f"phase instants for uid={uid}: no journey flow with "
+                          f"this id")
+            continue
+        steps = flows[uid]
+        flow_start = min(ts for _, ts, _ in steps)
+        flow_end = max(ts for _, ts, _ in steps)
+        for name, ts, i in phase_instants[uid]:
+            if ts < flow_start or ts > flow_end:
+                errors.append(f"phase instant {name!r} (event {i}) at {ts} "
+                              f"outside journey uid={uid} flow "
+                              f"[{flow_start}, {flow_end}]")
+
     for fid in sorted(flows, key=str):
         steps = flows[fid]
         phases = [ph for ph, _, _ in steps]
@@ -180,10 +220,13 @@ def summarize(doc):
 
 def main(argv):
     require_spans = []
+    require_counters = []
     paths = []
     for arg in argv[1:]:
         if arg.startswith("--require-span="):
             require_spans.append(arg[len("--require-span="):])
+        elif arg.startswith("--require-counter="):
+            require_counters.append(arg[len("--require-counter="):])
         elif arg.startswith("--"):
             print(f"unknown flag: {arg}")
             return 2
@@ -191,7 +234,8 @@ def main(argv):
             paths.append(arg)
     if not paths:
         print(__doc__.strip().splitlines()[0])
-        print("usage: trace_check.py [--require-span=NAME ...] TRACE.json [...]")
+        print("usage: trace_check.py [--require-span=NAME ...] "
+              "[--require-counter=NAME ...] TRACE.json [...]")
         return 2
     failed = False
     for path in paths:
@@ -202,7 +246,7 @@ def main(argv):
             print(f"{path}: cannot load: {e}")
             failed = True
             continue
-        errors = validate(doc, require_spans)
+        errors = validate(doc, require_spans, require_counters)
         if errors:
             for e in errors:
                 print(f"{path}: {e}")

@@ -133,6 +133,65 @@ class ValidateTest(unittest.TestCase):
                  flow("f", 20, fid=8), flow("f", 21, fid=16)])
         self.assertEqual(trace_check.validate(d), [])
 
+    def test_require_counter_present(self):
+        d = doc([counter(10, name="queue-depth")])
+        self.assertEqual(
+            trace_check.validate(d, require_counters=["queue-depth"]), [])
+
+    def test_require_counter_missing(self):
+        errors = trace_check.validate(doc([counter(10, name="queue-depth")]),
+                                      require_counters=["replication-lag"])
+        self.assertTrue(any("required counter 'replication-lag'" in e
+                            and "never recorded" in e for e in errors))
+
+    def test_require_counter_ignores_other_phases(self):
+        # An instant with the right name is not a counter track.
+        errors = trace_check.validate(doc([instant(10, name="queue-depth")]),
+                                      require_counters=["queue-depth"])
+        self.assertTrue(any("never recorded" in e for e in errors))
+
+    def phase_instant(self, ts, uid, name="phase-tree"):
+        return {"ph": "i", "pid": 1, "tid": 0, "ts": ts, "name": name,
+                "s": "t", "args": {"uid": uid, "a": 5, "b": 1}}
+
+    def test_phase_instants_inside_flow_pass(self):
+        d = doc([flow("s", 10, fid=8),
+                 self.phase_instant(12, uid=8, name="phase-commit-sink"),
+                 flow("t", 15, fid=8, tid=1),
+                 self.phase_instant(18, uid=8, name="phase-tree"),
+                 flow("f", 20, fid=8, tid=1)])
+        self.assertEqual(trace_check.validate(d), [])
+
+    def test_phase_instant_on_flow_boundaries_passes(self):
+        d = doc([flow("s", 10, fid=8),
+                 self.phase_instant(10, uid=8),
+                 flow("f", 20, fid=8),
+                 self.phase_instant(20, uid=8, name="phase-stability")])
+        self.assertEqual(trace_check.validate(d), [])
+
+    def test_phase_instant_outside_flow_fails(self):
+        d = doc([flow("s", 10, fid=8),
+                 flow("f", 20, fid=8),
+                 self.phase_instant(25, uid=8)])
+        errors = trace_check.validate(d)
+        self.assertTrue(any("outside journey uid=8" in e for e in errors))
+
+    def test_phase_instant_without_flow_fails(self):
+        errors = trace_check.validate(doc([self.phase_instant(10, uid=99)]))
+        self.assertTrue(any("uid=99: no journey flow" in e for e in errors))
+
+    def test_phase_instant_without_uid_fails(self):
+        bad = self.phase_instant(10, uid=8)
+        del bad["args"]["uid"]
+        errors = trace_check.validate(doc([flow("s", 5, fid=8), bad,
+                                           flow("f", 20, fid=8)]))
+        self.assertTrue(any("missing args.uid" in e for e in errors))
+
+    def test_plain_instant_needs_no_uid(self):
+        # Only "phase-*" instants are attribution records; others are exempt.
+        d = doc([instant(10, name="label-created")])
+        self.assertEqual(trace_check.validate(d), [])
+
     def test_error_flood_is_capped(self):
         d = doc([{"ph": "Z", "ts": i, "name": "x"} for i in range(100)])
         errors = trace_check.validate(d)
@@ -159,6 +218,22 @@ class MainTest(unittest.TestCase):
         self.assertEqual(code, 0)
         self.assertIn("OK", out)
         self.assertIn("1 flows", out)
+
+    def test_require_counter_flag(self):
+        d = doc([counter(10, name="queue-depth")])
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "t.json")
+            with open(path, "w") as f:
+                json.dump(d, f)
+            ok = subprocess.run(
+                [sys.executable, SCRIPT, "--require-counter=queue-depth", path],
+                capture_output=True, text=True)
+            bad = subprocess.run(
+                [sys.executable, SCRIPT, "--require-counter=nope", path],
+                capture_output=True, text=True)
+        self.assertEqual(ok.returncode, 0)
+        self.assertEqual(bad.returncode, 1)
+        self.assertIn("never recorded", bad.stdout)
 
     def test_bad_file_exits_one(self):
         code, out = self.run_main(doc([span("b", 10)]))
